@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the HAAC compiler passes on a mid-size
+//! workload: assembly/renaming, full and segment reordering, ESW, and
+//! OoR marking — the §4 pipeline whose output the accelerator replays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use haac_core::compiler::{
+    assemble, eliminate_spent_wires, full_reorder, mark_out_of_range, segment_reorder,
+};
+use haac_core::WindowModel;
+use haac_workloads::{build, Scale, WorkloadKind};
+
+fn bench_passes(c: &mut Criterion) {
+    let w = build(WorkloadKind::MatMult, Scale::Small);
+    let gates = w.circuit.num_gates() as u64;
+    let window = WindowModel::new(1024);
+
+    let mut group = c.benchmark_group("compiler");
+    group.throughput(Throughput::Elements(gates));
+    group.bench_function("assemble", |b| b.iter(|| assemble(&w.circuit)));
+    group.bench_function("full_reorder", |b| b.iter(|| full_reorder(&w.circuit)));
+    group.bench_function("segment_reorder", |b| {
+        b.iter(|| segment_reorder(&w.circuit, window.half() as usize))
+    });
+    let program = full_reorder(&w.circuit);
+    group.bench_function("eliminate_spent_wires", |b| {
+        b.iter_batched(
+            || program.clone(),
+            |mut p| eliminate_spent_wires(&mut p, window),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let mut with_esw = program.clone();
+    eliminate_spent_wires(&mut with_esw, window);
+    group.bench_function("mark_out_of_range", |b| {
+        b.iter(|| mark_out_of_range(&with_esw, window))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

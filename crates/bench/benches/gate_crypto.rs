@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the gate-level cryptography — the
+//! per-gate costs behind the paper's §2.1 numbers, including the
+//! re-keying vs fixed-key overhead ("re-keying increases the Half-Gate
+//! cost by 27.5%") and the garbler/evaluator asymmetry.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use haac_circuit::aes_circuit;
+use haac_gc::{eval_and, garble, garble_and, Block, Delta, GateHash, HashScheme};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_aes_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes");
+    let key = [7u8; 16];
+    group.bench_function("key_expansion", |b| {
+        b.iter(|| haac_gc::aes::Aes128::new(std::hint::black_box(key)))
+    });
+    let aes = haac_gc::aes::Aes128::new(key);
+    group.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt(std::hint::black_box([42u8; 16])))
+    });
+    group.finish();
+}
+
+fn bench_gate_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_hash");
+    let x = Block::from(0xABCDEFu128);
+    let rekeyed = GateHash::new(HashScheme::Rekeyed);
+    group.bench_function("rekeyed", |b| b.iter(|| rekeyed.hash(std::hint::black_box(x), 12345)));
+    let fixed = GateHash::new(HashScheme::FixedKey);
+    group.bench_function("fixed_key", |b| b.iter(|| fixed.hash(std::hint::black_box(x), 12345)));
+    group.finish();
+}
+
+fn bench_halfgate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halfgate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let delta = Delta::random(&mut rng);
+    let w0a = Block::random(&mut rng);
+    let w0b = Block::random(&mut rng);
+    for scheme in [HashScheme::Rekeyed, HashScheme::FixedKey] {
+        let hash = GateHash::new(scheme);
+        group.bench_function(format!("garble_and_{scheme:?}"), |b| {
+            b.iter(|| garble_and(&hash, delta, 7, std::hint::black_box(w0a), w0b))
+        });
+        let (_, table) = garble_and(&hash, delta, 7, w0a, w0b);
+        group.bench_function(format!("eval_and_{scheme:?}"), |b| {
+            b.iter(|| eval_and(&hash, 7, std::hint::black_box(w0a), w0b, &table))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aes128_circuit_garbling(c: &mut Criterion) {
+    let circuit = aes_circuit::aes128_circuit().expect("AES circuit builds");
+    let mut group = c.benchmark_group("garble_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(circuit.num_gates() as u64));
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("aes128_circuit_gates", |b| {
+        b.iter(|| garble(&circuit, &mut rng, HashScheme::Rekeyed))
+    });
+    group.finish();
+}
+
+fn bench_label_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a: Block = Block::random(&mut rng);
+    let bset: Vec<Block> = (0..1024).map(|_| Block::random(&mut rng)).collect();
+    c.bench_function("freexor_1k_labels", |b| {
+        b.iter(|| {
+            let mut acc = a;
+            for &x in &bset {
+                acc ^= x;
+            }
+            acc
+        })
+    });
+    let mut any: u64 = rng.gen();
+    c.bench_function("permute_bit_select", |b| {
+        b.iter(|| {
+            any = any.wrapping_mul(6364136223846793005).wrapping_add(1);
+            a.select(std::hint::black_box(any & 1 == 1))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes_primitives,
+    bench_gate_hash,
+    bench_halfgate,
+    bench_aes128_circuit_garbling,
+    bench_label_ops
+);
+criterion_main!(benches);

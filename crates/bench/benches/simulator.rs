@@ -1,0 +1,23 @@
+//! Criterion benchmarks for the cycle-level simulator: mapping pass,
+//! replay pass, and simulated-instructions-per-host-second throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use haac_core::compiler::{compile, ReorderKind};
+use haac_core::sim::{map_to_ges, simulate, HaacConfig};
+use haac_workloads::{build, Scale, WorkloadKind};
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = build(WorkloadKind::MatMult, Scale::Small);
+    let config = HaacConfig { num_ges: 8, sww_bytes: 64 * 1024, ..HaacConfig::default() };
+    let (lowered, stats) = compile(&w.circuit, ReorderKind::Full, config.window());
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(stats.instructions as u64));
+    group.bench_function("mapping_pass", |b| b.iter(|| map_to_ges(&lowered, &config)));
+    let assignment = map_to_ges(&lowered, &config);
+    group.bench_function("replay_pass", |b| b.iter(|| simulate(&lowered, &config, &assignment)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation studies for the design choices the paper fixes by
+//! experiment:
+//!
+//! 1. **SWW banks per GE** — §5: "we empirically evaluate how SWW banks
+//!    and GEs interact and find that 4 banks per GE works well".
+//! 2. **Segment size** — §4.2.1/§6.2: "We set the segment size to half
+//!    the SWW size ... which we find performs best".
+//! 3. **Garbler vs Evaluator pipelines** — §6.1: "the HAAC Garbler is
+//!    only 0.67% slower than the HAAC Evaluator" (vs 11.9% on CPU).
+//! 4. **Queue depth** — decoupling only works if queues ride out DRAM
+//!    arbitration; sweep per-GE queue capacities.
+//!
+//! Run with: `cargo run --release -p haac-bench --bin ablations`
+
+use haac_bench::{compile_and_simulate, paper_config, save_result};
+use haac_core::compiler::{
+    eliminate_spent_wires, mark_out_of_range, segment_reorder, ReorderKind,
+};
+use haac_core::sim::{map_and_simulate, DramKind, HaacConfig, Role};
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    study: &'static str,
+    setting: String,
+    bench: &'static str,
+    cycles: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut results = Vec::new();
+
+    println!("Ablation 1: SWW banks per GE (MatMult, full reorder, DDR4)");
+    let w = build(WorkloadKind::MatMult, scale);
+    for banks in [1usize, 2, 4, 8] {
+        let config = HaacConfig { banks_per_ge: banks, ..paper_config(DramKind::Ddr4) };
+        let (_, report) = compile_and_simulate(&w, ReorderKind::Full, &config);
+        println!("  {banks} banks/GE: {} cycles ({} bank stalls)", report.cycles, report.stalls.bank);
+        results.push(Entry {
+            study: "banks_per_ge",
+            setting: banks.to_string(),
+            bench: w.kind.name(),
+            cycles: report.cycles,
+        });
+    }
+
+    println!("Ablation 2: segment size as a fraction of the SWW (MatMult, DDR4)");
+    let config = paper_config(DramKind::Ddr4);
+    let window = config.window();
+    for (label, frac) in [("1/8", 8u32), ("1/4", 4), ("1/2 (paper)", 2), ("1/1", 1)] {
+        let seg = (window.sww_wires() / frac).max(1) as usize;
+        let mut program = segment_reorder(&w.circuit, seg);
+        eliminate_spent_wires(&mut program, window);
+        let lowered = mark_out_of_range(&program, window);
+        let report = map_and_simulate(&lowered, &config);
+        println!("  segment = {label} SWW: {} cycles", report.cycles);
+        results.push(Entry {
+            study: "segment_size",
+            setting: label.to_string(),
+            bench: w.kind.name(),
+            cycles: report.cycles,
+        });
+    }
+
+    println!("Ablation 3: Garbler vs Evaluator pipelines (geomean over all workloads, DDR4)");
+    let mut ratios = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let eval_cfg = paper_config(DramKind::Ddr4);
+        let garb_cfg = HaacConfig { role: Role::Garbler, ..eval_cfg };
+        let (_, ev) = compile_and_simulate(&w, ReorderKind::Full, &eval_cfg);
+        let (_, ga) = compile_and_simulate(&w, ReorderKind::Full, &garb_cfg);
+        ratios.push(ga.cycles as f64 / ev.cycles as f64);
+        results.push(Entry {
+            study: "garbler_vs_evaluator",
+            setting: "garbler/evaluator cycle ratio".to_string(),
+            bench: kind.name(),
+            cycles: ga.cycles,
+        });
+    }
+    let geo = haac_bench::geomean(&ratios);
+    println!("  Garbler/Evaluator cycle ratio: {:.4} (paper: 1.0067)", geo);
+
+    println!("Ablation 4: per-GE queue depth (ReLU — bandwidth-bound, DDR4)");
+    let w = build(WorkloadKind::Relu, scale);
+    for depth in [4usize, 16, 64, 256] {
+        let config = HaacConfig {
+            instr_queue: depth.max(8),
+            table_queue: depth,
+            oorw_queue: depth,
+            ..paper_config(DramKind::Ddr4)
+        };
+        let (_, report) = compile_and_simulate(&w, ReorderKind::Full, &config);
+        println!(
+            "  {depth:>3}-deep queues: {} cycles (instr/table/oorw stalls: {}/{}/{})",
+            report.cycles, report.stalls.instr_queue, report.stalls.table_queue,
+            report.stalls.oorw_queue
+        );
+        results.push(Entry {
+            study: "queue_depth",
+            setting: depth.to_string(),
+            bench: w.kind.name(),
+            cycles: report.cycles,
+        });
+    }
+
+    save_result("ablations", scale, &results);
+}

@@ -1,0 +1,74 @@
+//! Figure 10: GC slowdown relative to plaintext (plaintext = 1) —
+//! CPU GC, HAAC with DDR4, and HAAC with HBM2, under each benchmark's
+//! optimal reordering.
+//!
+//! The paper's headline numbers come from this figure: HAAC/DDR4 is a
+//! geomean 589× faster than CPU GC; HAAC/HBM2 2,627×; the remaining
+//! slowdown vs plaintext is 76× geomean (23× integer-only).
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin fig10`
+
+use haac_bench::{best_of_reorders, cpu_baselines, geomean, paper_config, save_result};
+use haac_core::sim::DramKind;
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    cpu_gc_slowdown: f64,
+    haac_ddr4_slowdown: f64,
+    haac_hbm2_slowdown: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cpu = cpu_baselines(scale);
+    println!("Figure 10: slowdown vs plaintext = 1 (16 GEs, 2 MB SWW, optimal reorder, {scale:?})");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "Benchmark", "CPU GC", "HAAC (DDR4)", "HAAC (HBM2)"
+    );
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let times = &cpu[kind.name()];
+        let ddr = best_of_reorders(&w, &paper_config(DramKind::Ddr4)).2;
+        let hbm = best_of_reorders(&w, &paper_config(DramKind::Hbm2)).2;
+        let row = Row {
+            bench: kind.name(),
+            cpu_gc_slowdown: times.evaluate_s / times.plaintext_s,
+            haac_ddr4_slowdown: ddr.seconds / times.plaintext_s,
+            haac_hbm2_slowdown: hbm.seconds / times.plaintext_s,
+        };
+        println!(
+            "{:<10} {:>11.0}× {:>13.1}× {:>13.1}×",
+            row.bench, row.cpu_gc_slowdown, row.haac_ddr4_slowdown, row.haac_hbm2_slowdown
+        );
+        rows.push(row);
+    }
+    let cpu_gc: Vec<f64> = rows.iter().map(|r| r.cpu_gc_slowdown).collect();
+    let ddr: Vec<f64> = rows.iter().map(|r| r.haac_ddr4_slowdown).collect();
+    let hbm: Vec<f64> = rows.iter().map(|r| r.haac_hbm2_slowdown).collect();
+    println!(
+        "geomean slowdowns: CPU GC {:.0}×, HAAC/DDR4 {:.1}×, HAAC/HBM2 {:.1}×",
+        geomean(&cpu_gc),
+        geomean(&ddr),
+        geomean(&hbm)
+    );
+    println!(
+        "HAAC speedup over CPU GC: DDR4 {:.0}×, HBM2 {:.0}×  (paper: 589× / 2,627×)",
+        geomean(&cpu_gc) / geomean(&ddr),
+        geomean(&cpu_gc) / geomean(&hbm)
+    );
+    let integer: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.bench != "GradDesc")
+        .map(|r| r.haac_hbm2_slowdown)
+        .collect();
+    println!(
+        "integer-only HAAC/HBM2 slowdown vs plaintext: {:.1}× (paper: 23×)",
+        geomean(&integer)
+    );
+    save_result("fig10", scale, &rows);
+}

@@ -1,0 +1,83 @@
+//! Figure 6: HAAC speedup over the CPU for three compiler settings —
+//! Baseline schedule, RO+RN (full reorder + rename), and RO+RN+ESW —
+//! on the Evaluator with 16 GEs, 2 MB SWW, DDR4.
+//!
+//! The paper's claims this reproduces: baseline alone already beats the
+//! CPU (82.6× average there); RO+RN adds ~3.1× on top; ESW adds ~2.1×
+//! more on memory-bound workloads; ReLU gains nothing from reordering.
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin fig6`
+
+use haac_bench::{cpu_baselines, geomean, paper_config, save_result};
+use haac_core::compiler::{compile, mark_out_of_range, reorder, ReorderKind};
+use haac_core::sim::{map_and_simulate, DramKind};
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    baseline: f64,
+    ro_rn: f64,
+    ro_rn_esw: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = paper_config(DramKind::Ddr4);
+    let cpu = cpu_baselines(scale);
+
+    println!("Figure 6: speedup over CPU GC (Evaluator, 16 GEs, 2 MB SWW, DDR4, scale {scale:?})");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "Benchmark", "Baseline", "RO+RN", "RO+RN+ESW"
+    );
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let cpu_s = cpu[kind.name()].evaluate_s;
+
+        // Baseline: original schedule. Without ESW every wire is live.
+        let window = config.window();
+        let mut base_prog = reorder(&w.circuit, ReorderKind::Baseline, window);
+        base_prog.instructions.iter_mut().for_each(|i| i.live = true);
+        let base_lowered = mark_out_of_range(&base_prog, window);
+        let base = map_and_simulate(&base_lowered, &config);
+
+        // RO+RN: full reorder, all wires still written back.
+        let mut ro_prog = reorder(&w.circuit, ReorderKind::Full, window);
+        ro_prog.instructions.iter_mut().for_each(|i| i.live = true);
+        let ro_lowered = mark_out_of_range(&ro_prog, window);
+        let ro = map_and_simulate(&ro_lowered, &config);
+
+        // RO+RN+ESW: the full pipeline.
+        let (esw_lowered, _) = compile(&w.circuit, ReorderKind::Full, window);
+        let esw = map_and_simulate(&esw_lowered, &config);
+
+        let row = Row {
+            bench: kind.name(),
+            baseline: cpu_s / base.seconds,
+            ro_rn: cpu_s / ro.seconds,
+            ro_rn_esw: cpu_s / esw.seconds,
+        };
+        println!(
+            "{:<10} {:>11.1}× {:>11.1}× {:>13.1}×",
+            row.bench, row.baseline, row.ro_rn, row.ro_rn_esw
+        );
+        rows.push(row);
+    }
+    let geo = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    println!(
+        "{:<10} {:>11.1}× {:>11.1}× {:>13.1}×",
+        "geomean",
+        geo(|r| r.baseline),
+        geo(|r| r.ro_rn),
+        geo(|r| r.ro_rn_esw)
+    );
+    println!(
+        "RO+RN over baseline: {:.2}×; ESW over RO+RN: {:.2}×",
+        geo(|r| r.ro_rn) / geo(|r| r.baseline),
+        geo(|r| r.ro_rn_esw) / geo(|r| r.ro_rn)
+    );
+    save_result("fig6", scale, &rows);
+}

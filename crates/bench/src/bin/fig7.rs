@@ -1,0 +1,68 @@
+//! Figure 7: compute-only vs wire-traffic-only time for MatMult and
+//! BubbSt, across Baseline/Segment/Full schedules and SWW sizes of
+//! 0.5, 1, and 2 MB (16 GEs, DDR4).
+//!
+//! "Compute" isolates GE execution (infinite bandwidth); "wire traffic"
+//! is off-chip wire movement (OoRW reads + live write-backs) at peak
+//! bandwidth. Overall performance is constrained by the higher bar —
+//! this is the experiment showing segment reordering rescuing MatMult
+//! and full reordering rescuing BubbSt.
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin fig7`
+
+use haac_bench::{paper_config, save_result};
+use haac_core::compiler::{compile, ReorderKind};
+use haac_core::sim::{map_and_simulate, static_traffic, DramKind, HaacConfig};
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    schedule: &'static str,
+    sww_mb: f64,
+    compute_ms: f64,
+    wire_traffic_ms: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 7: compute vs wire-traffic time (16 GEs, DDR4, scale {scale:?})");
+    println!(
+        "{:<10} {:<10} {:>7} {:>13} {:>17}",
+        "Benchmark", "Schedule", "SWW", "Compute (ms)", "Wire traffic (ms)"
+    );
+    let mut rows = Vec::new();
+    for kind in [WorkloadKind::MatMult, WorkloadKind::BubbleSort] {
+        let w = build(kind, scale);
+        for schedule in [ReorderKind::Baseline, ReorderKind::Segment, ReorderKind::Full] {
+            for sww_mb in [0.5f64, 1.0, 2.0] {
+                let sww_bytes = (sww_mb * 1024.0 * 1024.0) as usize;
+                let ddr = HaacConfig { sww_bytes, ..paper_config(DramKind::Ddr4) };
+                let (lowered, _) = compile(&w.circuit, schedule, ddr.window());
+                // Compute-only: replay with infinite bandwidth.
+                let compute = map_and_simulate(
+                    &lowered,
+                    &HaacConfig { dram: DramKind::Infinite, ..ddr },
+                );
+                // Wire-traffic-only: bytes over peak DDR4 bandwidth.
+                let traffic = static_traffic(&lowered, &ddr);
+                let wire_ms =
+                    traffic.wire_bytes() as f64 / DramKind::Ddr4.bytes_per_second() * 1e3;
+                let row = Row {
+                    bench: kind.name(),
+                    schedule: schedule.label(),
+                    sww_mb,
+                    compute_ms: compute.seconds * 1e3,
+                    wire_traffic_ms: wire_ms,
+                };
+                println!(
+                    "{:<10} {:<10} {:>6.1}M {:>13.4} {:>17.4}",
+                    row.bench, row.schedule, row.sww_mb, row.compute_ms, row.wire_traffic_ms
+                );
+                rows.push(row);
+            }
+        }
+    }
+    save_result("fig7", scale, &rows);
+}

@@ -1,0 +1,72 @@
+//! Figure 8: performance scaling with GE count (1, 2, 4, 8, 16) under
+//! DDR4 and HBM2, as speedup over the CPU (2 MB SWW, Evaluator).
+//!
+//! DDR4 bars plateau when a workload saturates 35.2 GB/s; HBM2 keeps
+//! scaling (the paper reports up to 15.5× from 1→16 GEs, geomean 12.3×).
+//! Per §6.3: DDR4 uses the better of segment/full per workload, HBM2
+//! always uses full reordering.
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin fig8`
+
+use haac_bench::{best_of_reorders, compile_and_simulate, cpu_baselines, paper_config, save_result};
+use haac_core::compiler::ReorderKind;
+use haac_core::sim::{DramKind, HaacConfig};
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    dram: &'static str,
+    ges: usize,
+    speedup: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cpu = cpu_baselines(scale);
+    println!("Figure 8: GE scaling, speedup over CPU (2 MB SWW, scale {scale:?})");
+    println!(
+        "{:<10} {:<6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Benchmark", "DRAM", "1 GE", "2 GE", "4 GE", "8 GE", "16 GE"
+    );
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let cpu_s = cpu[kind.name()].evaluate_s;
+        for dram in [DramKind::Ddr4, DramKind::Hbm2] {
+            let mut line = format!("{:<10} {:<6}", kind.name(), dram.label());
+            for ges in [1usize, 2, 4, 8, 16] {
+                let config = HaacConfig { num_ges: ges, ..paper_config(dram) };
+                let report = match dram {
+                    // §6.3: DDR4 reports the better reordering; HBM2 full.
+                    DramKind::Ddr4 => best_of_reorders(&w, &config).2,
+                    _ => compile_and_simulate(&w, ReorderKind::Full, &config).1,
+                };
+                let speedup = cpu_s / report.seconds;
+                line.push_str(&format!(" {:>7.0}×", speedup));
+                rows.push(Row { bench: kind.name(), dram: dram.label(), ges, speedup });
+            }
+            println!("{line}");
+        }
+    }
+    // Scaling summary (HBM2, 1 → 16 GEs).
+    let scaling: Vec<f64> = WorkloadKind::ALL
+        .iter()
+        .map(|k| {
+            let at = |g: usize| {
+                rows.iter()
+                    .find(|r| r.bench == k.name() && r.dram == "HBM2" && r.ges == g)
+                    .map(|r| r.speedup)
+                    .unwrap_or(f64::NAN)
+            };
+            at(16) / at(1)
+        })
+        .collect();
+    println!(
+        "HBM2 1→16 GE scaling: geomean {:.1}×, max {:.1}×",
+        haac_bench::geomean(&scaling),
+        scaling.iter().cloned().fold(f64::MIN, f64::max)
+    );
+    save_result("fig8", scale, &rows);
+}

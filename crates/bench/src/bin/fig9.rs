@@ -1,0 +1,69 @@
+//! Figure 9: normalized energy per component (Half-Gate, Crossbar, SRAM,
+//! Others, HBM2 PHY) for every benchmark under full reordering, plus the
+//! energy-efficiency improvement over the CPU (red annotations).
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin fig9`
+
+use haac_bench::{compile_and_simulate, cpu_baselines, paper_config, save_result};
+use haac_core::compiler::ReorderKind;
+use haac_core::model::{efficiency_vs_cpu, EnergyBreakdown};
+use haac_core::sim::DramKind;
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    halfgate_pct: f64,
+    crossbar_pct: f64,
+    sram_pct: f64,
+    others_pct: f64,
+    phy_pct: f64,
+    total_uj: f64,
+    efficiency_vs_cpu_kx: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = paper_config(DramKind::Hbm2);
+    let cpu = cpu_baselines(scale);
+    println!("Figure 9: energy breakdown (16 GEs, 2 MB SWW, HBM2, full reorder, scale {scale:?})");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>11} {:>12}",
+        "Benchmark", "Half-Gate", "Crossbar", "SRAM", "Others", "PHY", "Total (µJ)", "Eff (K×)"
+    );
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let (_, report) = compile_and_simulate(&w, ReorderKind::Full, &config);
+        let energy = EnergyBreakdown::from_report(&report);
+        let pct = energy.percentages();
+        let get = |name: &str| pct.iter().find(|(n, _)| *n == name).map(|(_, p)| *p).unwrap_or(0.0);
+        let efficiency = efficiency_vs_cpu(&report, cpu[kind.name()].evaluate_s);
+        let row = Row {
+            bench: kind.name(),
+            halfgate_pct: get("Half-Gate"),
+            crossbar_pct: get("Crossbar"),
+            sram_pct: get("SRAM"),
+            others_pct: get("Others"),
+            phy_pct: get("HBM2 PHY"),
+            total_uj: energy.total_joules() * 1e6,
+            efficiency_vs_cpu_kx: efficiency / 1e3,
+        };
+        println!(
+            "{:<10} {:>9.1}% {:>9.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>11.2} {:>12.1}",
+            row.bench,
+            row.halfgate_pct,
+            row.crossbar_pct,
+            row.sram_pct,
+            row.others_pct,
+            row.phy_pct,
+            row.total_uj,
+            row.efficiency_vs_cpu_kx
+        );
+        rows.push(row);
+    }
+    let avg_hg: f64 = rows.iter().map(|r| r.halfgate_pct).sum::<f64>() / rows.len() as f64;
+    println!("average Half-Gate energy share: {avg_hg:.1}% (paper: 61%)");
+    save_result("fig9", scale, &rows);
+}

@@ -1,0 +1,56 @@
+//! Table 2: key characteristics of the VIP-Bench workloads.
+//!
+//! Levels (circuit depth), wires, gates, AND %, ILP (gates/levels), and
+//! the spent-wire percentage under a 2 MB SWW with full reordering.
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin table2`
+
+use haac_bench::{compile_only, paper_config, save_result};
+use haac_circuit::stats::CircuitStats;
+use haac_core::compiler::ReorderKind;
+use haac_core::sim::DramKind;
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    levels: u32,
+    wires_k: f64,
+    gates_k: f64,
+    and_percent: f64,
+    ilp: f64,
+    spent_wire_percent: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = paper_config(DramKind::Ddr4);
+    println!("Table 2: benchmark characteristics (scale {scale:?}, 2 MB SWW, full reorder)");
+    println!(
+        "{:<10} {:>9} {:>11} {:>11} {:>7} {:>8} {:>13}",
+        "Benchmark", "# Levels", "# Wires(k)", "# Gates(k)", "AND %", "ILP", "Spent Wire %"
+    );
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let s = CircuitStats::of(&w.circuit);
+        let (_, stats) = compile_only(&w, ReorderKind::Full, &config);
+        let row = Row {
+            bench: kind.name(),
+            levels: s.levels,
+            wires_k: s.wires as f64 / 1e3,
+            gates_k: s.gates as f64 / 1e3,
+            and_percent: s.and_percent,
+            ilp: s.ilp,
+            spent_wire_percent: stats.spent_percent,
+        };
+        println!(
+            "{:<10} {:>9} {:>11.0} {:>11.0} {:>7.2} {:>8.0} {:>12.2}%",
+            row.bench, row.levels, row.wires_k, row.gates_k, row.and_percent, row.ilp,
+            row.spent_wire_percent
+        );
+        rows.push(row);
+    }
+    save_result("table2", scale, &rows);
+}

@@ -1,0 +1,54 @@
+//! Table 3: wire traffic, segment vs full reordering (both with ESW),
+//! 2 MB SWW — live write-backs, OoRW reads, and totals in kilo-wires.
+//!
+//! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin table3`
+
+use haac_bench::{compile_only, paper_config, save_result};
+use haac_core::compiler::ReorderKind;
+use haac_core::sim::DramKind;
+use haac_workloads::{build, Scale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: &'static str,
+    live_seg_k: f64,
+    live_full_k: f64,
+    oorw_seg_k: f64,
+    oorw_full_k: f64,
+    total_seg_k: f64,
+    total_full_k: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = paper_config(DramKind::Ddr4);
+    println!("Table 3: wire traffic, segment vs full reorder (scale {scale:?}, 2 MB SWW, ESW)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Benchmark", "Live Seg(k)", "Live Full(k)", "OoRW Seg(k)", "OoRW Full(k)", "Tot Seg(k)",
+        "Tot Full(k)"
+    );
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let (_, seg) = compile_only(&w, ReorderKind::Segment, &config);
+        let (_, full) = compile_only(&w, ReorderKind::Full, &config);
+        let row = Row {
+            bench: kind.name(),
+            live_seg_k: seg.live_count as f64 / 1e3,
+            live_full_k: full.live_count as f64 / 1e3,
+            oorw_seg_k: seg.oor_count as f64 / 1e3,
+            oorw_full_k: full.oor_count as f64 / 1e3,
+            total_seg_k: (seg.live_count + seg.oor_count) as f64 / 1e3,
+            total_full_k: (full.live_count + full.oor_count) as f64 / 1e3,
+        };
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            row.bench, row.live_seg_k, row.live_full_k, row.oorw_seg_k, row.oorw_full_k,
+            row.total_seg_k, row.total_full_k
+        );
+        rows.push(row);
+    }
+    save_result("table3", scale, &rows);
+}

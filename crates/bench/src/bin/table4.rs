@@ -1,0 +1,31 @@
+//! Table 4: HAAC chip area and average power breakdown
+//! (16 GEs, 2 MB SWW, 64 banks, 64 KB queues, HBM2 PHY).
+//!
+//! Run with: `cargo run --release -p haac-bench --bin table4`
+
+use haac_bench::paper_config;
+use haac_core::model::AreaPowerBreakdown;
+use haac_core::sim::DramKind;
+
+fn main() {
+    let config = paper_config(DramKind::Hbm2);
+    let breakdown = AreaPowerBreakdown::for_config(&config);
+    println!("Table 4: HAAC area and power ({} GEs, {} MB SWW)",
+        config.num_ges, config.sww_bytes / (1024 * 1024));
+    println!("{:<16} {:>12} {:>12}", "Component", "Area (mm²)", "Power (mW)");
+    for c in &breakdown.components {
+        println!("{:<16} {:>12.4} {:>12.3}", c.name, c.area_mm2, c.power_mw);
+    }
+    println!(
+        "{:<16} {:>12.2} {:>12.0}",
+        "Total HAAC",
+        breakdown.total_area_mm2(),
+        breakdown.total_power_mw()
+    );
+    println!(
+        "{:<16} {:>12.1} {:>12.0}  (TDP)",
+        breakdown.hbm_phy.name, breakdown.hbm_phy.area_mm2, breakdown.hbm_phy.power_mw
+    );
+    println!();
+    println!("paper reference: Total HAAC 4.33 mm², 1502 mW; HBM2 PHY 14.9 mm², 225 mW");
+}

@@ -1,0 +1,348 @@
+//! Bristol-format netlist reader and writer.
+//!
+//! HAAC's software flow (paper Fig. 5) starts from netlists that EMP emits
+//! in the classic "Bristol" format [Tillich & Smart]:
+//!
+//! ```text
+//! <num_gates> <num_wires>
+//! <garbler_inputs> <evaluator_inputs> <num_outputs>
+//!
+//! 2 1 <in_a> <in_b> <out> AND
+//! 2 1 <in_a> <in_b> <out> XOR
+//! 1 1 <in>          <out> INV
+//! ```
+//!
+//! Outputs are, by convention, the last `num_outputs` wires in ascending
+//! order. [`write()`](fn@write) renumbers wires if needed so that round-tripping always
+//! produces a conforming file.
+
+use crate::ir::{Circuit, CircuitError, Gate, GateOp, WireId};
+
+/// Parses a Bristol-format netlist from a string.
+///
+/// Blank lines are ignored; tokens may be separated by arbitrary
+/// whitespace. Gates must appear in topological order (Bristol files in
+/// the wild always are).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] for malformed text and the usual
+/// validation errors for inconsistent netlists.
+///
+/// # Examples
+///
+/// ```
+/// let text = "1 3\n1 1 1\n2 1 0 1 2 AND\n";
+/// let c = haac_circuit::bristol::parse(text)?;
+/// assert_eq!(c.num_gates(), 1);
+/// assert_eq!(c.eval(&[true], &[true])?, vec![true]);
+/// # Ok::<(), haac_circuit::CircuitError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, CircuitError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (line_no, header) = lines.next().ok_or_else(|| CircuitError::Parse {
+        line: 0,
+        message: "empty netlist".to_string(),
+    })?;
+    let [num_gates, num_wires] = parse_fields::<2>(line_no, header)?;
+
+    let (line_no, io_header) = lines.next().ok_or_else(|| CircuitError::Parse {
+        line: line_no,
+        message: "missing input/output header".to_string(),
+    })?;
+    let [garbler_inputs, evaluator_inputs, num_outputs] = parse_fields::<3>(line_no, io_header)?;
+
+    let mut gates = Vec::with_capacity(num_gates as usize);
+    for (line_no, line) in lines {
+        let mut tokens = line.split_whitespace();
+        let arity: u32 = next_number(line_no, &mut tokens)?;
+        let n_out: u32 = next_number(line_no, &mut tokens)?;
+        if n_out != 1 {
+            return Err(CircuitError::Parse {
+                line: line_no,
+                message: format!("gates must have exactly 1 output, got {n_out}"),
+            });
+        }
+        let gate = match arity {
+            1 => {
+                let a: WireId = next_number(line_no, &mut tokens)?;
+                let out: WireId = next_number(line_no, &mut tokens)?;
+                expect_op(line_no, &mut tokens, "INV")?;
+                Gate::inv(a, out)
+            }
+            2 => {
+                let a: WireId = next_number(line_no, &mut tokens)?;
+                let b: WireId = next_number(line_no, &mut tokens)?;
+                let out: WireId = next_number(line_no, &mut tokens)?;
+                let op = match tokens.next() {
+                    Some("AND") => GateOp::And,
+                    Some("XOR") => GateOp::Xor,
+                    Some(other) => {
+                        return Err(CircuitError::Parse {
+                            line: line_no,
+                            message: format!("unknown binary gate {other:?}"),
+                        })
+                    }
+                    None => {
+                        return Err(CircuitError::Parse {
+                            line: line_no,
+                            message: "missing gate kind".to_string(),
+                        })
+                    }
+                };
+                Gate::new(op, a, b, out)
+            }
+            other => {
+                return Err(CircuitError::Parse {
+                    line: line_no,
+                    message: format!("unsupported gate arity {other}"),
+                })
+            }
+        };
+        gates.push(gate);
+    }
+
+    if gates.len() as u32 != num_gates {
+        return Err(CircuitError::Parse {
+            line: 0,
+            message: format!("header declares {num_gates} gates, found {}", gates.len()),
+        });
+    }
+    let declared_inputs = garbler_inputs + evaluator_inputs;
+    if declared_inputs + num_gates != num_wires {
+        return Err(CircuitError::WireCountMismatch {
+            declared: num_wires,
+            required: declared_inputs + num_gates,
+        });
+    }
+    let outputs: Vec<WireId> = (num_wires - num_outputs..num_wires).collect();
+    Circuit::new(garbler_inputs, evaluator_inputs, gates, outputs)
+}
+
+/// Serializes a circuit to Bristol format.
+///
+/// Because Bristol requires outputs to be the last wires of the file, the
+/// circuit is renumbered when its outputs are not already in that
+/// position. Renumbering preserves semantics (it relabels wires only);
+/// output wires that are primary inputs or duplicated are routed through
+/// fresh `XOR(w, w) ⊕ ...` — more precisely, an identity is synthesized as
+/// a pair of `INV` gates, keeping the netlist AND-count unchanged.
+pub fn write(circuit: &Circuit) -> String {
+    let circuit = normalize_outputs(circuit);
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n", circuit.num_gates(), circuit.num_wires()));
+    out.push_str(&format!(
+        "{} {} {}\n\n",
+        circuit.garbler_inputs(),
+        circuit.evaluator_inputs(),
+        circuit.outputs().len()
+    ));
+    for gate in circuit.gates() {
+        match gate.op {
+            GateOp::Inv => out.push_str(&format!("1 1 {} {} INV\n", gate.a, gate.out)),
+            GateOp::And => out.push_str(&format!("2 1 {} {} {} AND\n", gate.a, gate.b, gate.out)),
+            GateOp::Xor => out.push_str(&format!("2 1 {} {} {} XOR\n", gate.a, gate.b, gate.out)),
+        }
+    }
+    out
+}
+
+/// Rewrites a circuit so its outputs are exactly the last wires, in order.
+///
+/// This is the canonical form required by the Bristol on-disk format. The
+/// result is semantically identical to the input.
+pub fn normalize_outputs(circuit: &Circuit) -> Circuit {
+    let n_out = circuit.outputs().len() as u32;
+    let already_canonical = n_out <= circuit.num_wires()
+        && circuit
+            .outputs()
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w == circuit.num_wires() - n_out + i as u32);
+    if already_canonical {
+        return circuit.clone();
+    }
+
+    // Append a double-inverter identity for each output, making the new
+    // outputs the freshest wires; then they are the last wires by
+    // construction. (Two INVs rather than one keep polarity.)
+    let mut gates = circuit.gates().to_vec();
+    let mut next = circuit.num_wires();
+    let mut new_outputs = Vec::with_capacity(circuit.outputs().len());
+    for &w in circuit.outputs() {
+        let mid = next;
+        let fin = next + 1;
+        next += 2;
+        gates.push(Gate::inv(w, mid));
+        gates.push(Gate::inv(mid, fin));
+        new_outputs.push(fin);
+    }
+    // Interleave so that final output wires are contiguous and last:
+    // they already are, since we allocated mid/fin pairs in order — but the
+    // mids sit between fins. Renumber so fins occupy the final block.
+    let circuit =
+        Circuit::new(circuit.garbler_inputs(), circuit.evaluator_inputs(), gates, new_outputs)
+            .expect("identity-extended circuit is valid");
+    renumber_tail(&circuit)
+}
+
+/// Renumbers wires so that output wires occupy the final contiguous block.
+fn renumber_tail(circuit: &Circuit) -> Circuit {
+    let num_wires = circuit.num_wires();
+    let n_out = circuit.outputs().len() as u32;
+    let mut remap: Vec<WireId> = (0..num_wires).collect();
+    // Desired: outputs()[i] -> num_wires - n_out + i. Build a permutation.
+    let mut is_output = vec![false; num_wires as usize];
+    for &w in circuit.outputs() {
+        is_output[w as usize] = true;
+    }
+    let mut next_non_output = circuit.num_inputs();
+    for w in circuit.num_inputs()..num_wires {
+        if !is_output[w as usize] {
+            remap[w as usize] = next_non_output;
+            next_non_output += 1;
+        }
+    }
+    for (i, &w) in circuit.outputs().iter().enumerate() {
+        remap[w as usize] = num_wires - n_out + i as u32;
+    }
+
+    // Gate outputs must remain topologically ordered; sort gates by the
+    // new output id. Because inputs always map below their consumers'
+    // outputs in the new order only if the permutation is monotone on the
+    // def-use chain, we re-sort and rely on validation to confirm.
+    let mut gates: Vec<Gate> = circuit
+        .gates()
+        .iter()
+        .map(|g| Gate {
+            a: remap[g.a as usize],
+            b: remap[g.b as usize],
+            out: remap[g.out as usize],
+            op: g.op,
+        })
+        .collect();
+    gates.sort_by_key(|g| g.out);
+    let outputs: Vec<WireId> = (num_wires - n_out..num_wires).collect();
+    Circuit::new(circuit.garbler_inputs(), circuit.evaluator_inputs(), gates, outputs)
+        .expect("renumbered circuit is valid")
+}
+
+fn parse_fields<const N: usize>(line: usize, text: &str) -> Result<[u32; N], CircuitError> {
+    let mut result = [0u32; N];
+    let mut tokens = text.split_whitespace();
+    for slot in &mut result {
+        *slot = next_number(line, &mut tokens)?;
+    }
+    Ok(result)
+}
+
+fn next_number<'a>(
+    line: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<u32, CircuitError> {
+    let token = tokens.next().ok_or_else(|| CircuitError::Parse {
+        line,
+        message: "unexpected end of line".to_string(),
+    })?;
+    token.parse().map_err(|_| CircuitError::Parse {
+        line,
+        message: format!("expected a number, got {token:?}"),
+    })
+}
+
+fn expect_op<'a>(
+    line: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    expected: &str,
+) -> Result<(), CircuitError> {
+    match tokens.next() {
+        Some(op) if op == expected => Ok(()),
+        Some(op) => Err(CircuitError::Parse {
+            line,
+            message: format!("expected {expected}, got {op:?}"),
+        }),
+        None => Err(CircuitError::Parse { line, message: "missing gate kind".to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "3 7\n2 2 1\n\n2 1 0 1 4 AND\n2 1 2 3 5 XOR\n2 1 4 5 6 AND\n";
+
+    #[test]
+    fn parse_sample() {
+        let c = parse(SAMPLE).unwrap();
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.garbler_inputs(), 2);
+        assert_eq!(c.evaluator_inputs(), 2);
+        assert_eq!(c.outputs(), &[6]);
+        // out = (g0 & g1) & (e0 ^ e1)
+        assert_eq!(c.eval(&[true, true], &[true, false]).unwrap(), vec![true]);
+        assert_eq!(c.eval(&[true, false], &[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn parse_inv() {
+        let text = "2 4\n1 1 2\n1 1 0 2 INV\n2 1 2 1 3 XOR\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[false], &[false]).unwrap(), vec![true, true]);
+    }
+
+    #[test]
+    fn roundtrip_canonical() {
+        let c = parse(SAMPLE).unwrap();
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        for bits in 0..16u32 {
+            let g = [(bits & 1) != 0, (bits & 2) != 0];
+            let e = [(bits & 4) != 0, (bits & 8) != 0];
+            assert_eq!(c.eval(&g, &e).unwrap(), c2.eval(&g, &e).unwrap());
+        }
+    }
+
+    #[test]
+    fn write_noncanonical_outputs() {
+        // Output is a middle wire — the writer must renumber.
+        let c = Circuit::new(
+            1,
+            1,
+            vec![Gate::new(GateOp::And, 0, 1, 2), Gate::new(GateOp::Xor, 0, 1, 3)],
+            vec![2],
+        )
+        .unwrap();
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(c.eval(&[a], &[b]).unwrap(), c2.eval(&[a], &[b]).unwrap());
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = parse("1 3\n1 1 1\n2 1 0 1 2 NAND\n").unwrap_err();
+        match err {
+            CircuitError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_gate_count_mismatch() {
+        assert!(parse("2 3\n1 1 1\n2 1 0 1 2 AND\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_wire_count_mismatch() {
+        assert!(matches!(
+            parse("1 9\n1 1 1\n2 1 0 1 2 AND\n").unwrap_err(),
+            CircuitError::WireCountMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,415 @@
+//! High-level circuit construction (the EMP-toolkit frontend equivalent).
+//!
+//! [`Builder`] assembles [`Circuit`]s gate by gate while performing the
+//! constant folding and common-subexpression elimination a GC synthesis
+//! frontend performs: AND/XOR with constants fold away, double negations
+//! cancel, and `x ⊕ x` collapses — so public constants (loop bounds,
+//! masks, coefficients) never cost gates.
+//!
+//! Bits are represented by [`Bit`], which is either a public constant or a
+//! circuit wire; multi-bit words are `Vec<Bit>` in little-endian order
+//! (see the word-level ops in [`crate::word`]).
+
+use std::collections::HashMap;
+
+use crate::ir::{Circuit, CircuitError, Gate, GateOp, WireId};
+
+/// A single Boolean value during circuit construction: either a public
+/// compile-time constant or a secret wire.
+///
+/// Public constants fold: no gate is emitted for `AND`/`XOR`/`NOT`
+/// involving only constants, and mixed operations simplify (e.g.
+/// `x AND true = x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bit {
+    /// A public constant known at circuit-construction time.
+    Const(bool),
+    /// A secret value carried on a circuit wire.
+    Wire(WireId),
+}
+
+impl Bit {
+    /// Constant `false`.
+    pub const FALSE: Bit = Bit::Const(false);
+    /// Constant `true`.
+    pub const TRUE: Bit = Bit::Const(true);
+
+    /// Returns the constant value if this bit is public.
+    #[inline]
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            Bit::Const(v) => Some(v),
+            Bit::Wire(_) => None,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(v: bool) -> Self {
+        Bit::Const(v)
+    }
+}
+
+/// Little-endian multi-bit value under construction (`word[0]` is the LSB).
+pub type Word = Vec<Bit>;
+
+/// Incremental circuit builder with constant folding.
+///
+/// Input allocation must precede gate creation; garbler inputs must be
+/// allocated before evaluator inputs (primary inputs occupy the lowest
+/// wire ids, garbler first, matching the Bristol convention).
+///
+/// # Examples
+///
+/// ```
+/// use haac_circuit::{Builder, Bit};
+///
+/// // Millionaires' problem for 4-bit wealth: is Alice richer than Bob?
+/// let mut b = Builder::new();
+/// let alice = b.input_garbler(4);
+/// let bob = b.input_evaluator(4);
+/// let alice_richer = b.gt_u(&alice, &bob);
+/// let circuit = b.finish(vec![alice_richer]).unwrap();
+/// assert_eq!(
+///     circuit.eval(&[true, false, false, true], &[false, true, true, false]).unwrap(),
+///     vec![true] // 9 > 6
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    gates: Vec<Gate>,
+    garbler_inputs: u32,
+    evaluator_inputs: u32,
+    next_wire: WireId,
+    inputs_frozen: bool,
+    evaluator_inputs_started: bool,
+    not_cache: HashMap<WireId, WireId>,
+    const_one: Option<WireId>,
+}
+
+impl Builder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Allocates `n` garbler (Alice) input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate has already been created or if evaluator inputs
+    /// have already been allocated (inputs must occupy the lowest wire
+    /// ids, garbler first).
+    pub fn input_garbler(&mut self, n: u32) -> Word {
+        assert!(!self.inputs_frozen, "inputs must be allocated before any gate is created");
+        assert!(
+            !self.evaluator_inputs_started,
+            "garbler inputs must be allocated before evaluator inputs"
+        );
+        let start = self.next_wire;
+        self.garbler_inputs += n;
+        self.next_wire += n;
+        (start..start + n).map(Bit::Wire).collect()
+    }
+
+    /// Allocates `n` evaluator (Bob) input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate has already been created.
+    pub fn input_evaluator(&mut self, n: u32) -> Word {
+        assert!(!self.inputs_frozen, "inputs must be allocated before any gate is created");
+        self.evaluator_inputs_started = true;
+        let start = self.next_wire;
+        self.evaluator_inputs += n;
+        self.next_wire += n;
+        (start..start + n).map(Bit::Wire).collect()
+    }
+
+    /// Number of gates emitted so far.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Read-only view of the gates emitted so far.
+    ///
+    /// Useful for inspecting synthesis quality (e.g. counting ANDs) while
+    /// a circuit is still under construction.
+    pub fn snapshot_gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    fn emit(&mut self, op: GateOp, a: WireId, b: WireId) -> WireId {
+        self.inputs_frozen = true;
+        let out = self.next_wire;
+        self.next_wire += 1;
+        self.gates.push(Gate { a, b, out, op });
+        out
+    }
+
+    /// Logical AND with constant folding (`x & x = x`).
+    pub fn and(&mut self, a: Bit, b: Bit) -> Bit {
+        match (a, b) {
+            (Bit::Const(x), Bit::Const(y)) => Bit::Const(x & y),
+            (Bit::Const(false), _) | (_, Bit::Const(false)) => Bit::FALSE,
+            (Bit::Const(true), w) | (w, Bit::Const(true)) => w,
+            (Bit::Wire(x), Bit::Wire(y)) if x == y => Bit::Wire(x),
+            (Bit::Wire(x), Bit::Wire(y)) => Bit::Wire(self.emit(GateOp::And, x, y)),
+        }
+    }
+
+    /// Logical XOR with constant folding (`x ^ x = 0`).
+    pub fn xor(&mut self, a: Bit, b: Bit) -> Bit {
+        match (a, b) {
+            (Bit::Const(x), Bit::Const(y)) => Bit::Const(x ^ y),
+            (Bit::Const(false), w) | (w, Bit::Const(false)) => w,
+            (Bit::Const(true), w) | (w, Bit::Const(true)) => self.not(w),
+            (Bit::Wire(x), Bit::Wire(y)) if x == y => Bit::FALSE,
+            (Bit::Wire(x), Bit::Wire(y)) => Bit::Wire(self.emit(GateOp::Xor, x, y)),
+        }
+    }
+
+    /// Logical NOT; double negations are cached and cancel.
+    pub fn not(&mut self, a: Bit) -> Bit {
+        match a {
+            Bit::Const(x) => Bit::Const(!x),
+            Bit::Wire(w) => {
+                if let Some(&cached) = self.not_cache.get(&w) {
+                    return Bit::Wire(cached);
+                }
+                let out = self.emit(GateOp::Inv, w, w);
+                self.not_cache.insert(w, out);
+                self.not_cache.insert(out, w);
+                Bit::Wire(out)
+            }
+        }
+    }
+
+    /// Logical OR (one AND, two XOR: `a | b = a ⊕ b ⊕ ab`).
+    pub fn or(&mut self, a: Bit, b: Bit) -> Bit {
+        let ab = self.and(a, b);
+        let axb = self.xor(a, b);
+        self.xor(axb, ab)
+    }
+
+    /// Logical NAND.
+    pub fn nand(&mut self, a: Bit, b: Bit) -> Bit {
+        let ab = self.and(a, b);
+        self.not(ab)
+    }
+
+    /// Logical NOR.
+    pub fn nor(&mut self, a: Bit, b: Bit) -> Bit {
+        let ab = self.or(a, b);
+        self.not(ab)
+    }
+
+    /// Logical XNOR (equality of two bits).
+    pub fn xnor(&mut self, a: Bit, b: Bit) -> Bit {
+        let axb = self.xor(a, b);
+        self.not(axb)
+    }
+
+    /// Two-way multiplexer: returns `if sel { t } else { f }`.
+    ///
+    /// Costs one AND: `f ⊕ sel·(t ⊕ f)`.
+    pub fn mux(&mut self, sel: Bit, t: Bit, f: Bit) -> Bit {
+        let txf = self.xor(t, f);
+        let gated = self.and(sel, txf);
+        self.xor(f, gated)
+    }
+
+    /// Single-bit full adder; returns `(sum, carry_out)`.
+    ///
+    /// Uses the 1-AND construction standard in GC synthesis:
+    /// `carry' = c ⊕ ((a⊕c)·(b⊕c))`.
+    pub fn full_adder(&mut self, a: Bit, b: Bit, c: Bit) -> (Bit, Bit) {
+        let axc = self.xor(a, c);
+        let bxc = self.xor(b, c);
+        let sum = self.xor(axc, b);
+        let t = self.and(axc, bxc);
+        let carry = self.xor(c, t);
+        (sum, carry)
+    }
+
+    /// Materializes a bit as a wire, synthesizing public constants when
+    /// needed (`1 = w ⊕ ¬w` for any existing wire `w`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UndefinedOutput`] if a constant must be
+    /// materialized but the circuit has no wires at all.
+    pub fn materialize(&mut self, bit: Bit) -> Result<WireId, CircuitError> {
+        match bit {
+            Bit::Wire(w) => Ok(w),
+            Bit::Const(v) => {
+                let one = self.materialize_one()?;
+                if v {
+                    Ok(one)
+                } else {
+                    match self.not(Bit::Wire(one)) {
+                        Bit::Wire(w) => Ok(w),
+                        Bit::Const(_) => unreachable!("negating a wire yields a wire"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn materialize_one(&mut self) -> Result<WireId, CircuitError> {
+        if let Some(w) = self.const_one {
+            return Ok(w);
+        }
+        if self.next_wire == 0 {
+            // No wires exist to anchor a constant on.
+            return Err(CircuitError::UndefinedOutput { wire: 0 });
+        }
+        let w = Bit::Wire(0);
+        let nw = self.not(w);
+        let one = self.xor(w, nw);
+        match one {
+            Bit::Wire(id) => {
+                self.const_one = Some(id);
+                Ok(id)
+            }
+            Bit::Const(_) => unreachable!("w ⊕ ¬w over wires always emits a gate"),
+        }
+    }
+
+    /// Finalizes the circuit with the given output bits (constants are
+    /// materialized).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a constant output cannot be materialized (the
+    /// circuit has no wires) or if the assembled circuit fails validation
+    /// (the latter indicates a builder bug).
+    pub fn finish(mut self, outputs: Vec<Bit>) -> Result<Circuit, CircuitError> {
+        let mut output_wires = Vec::with_capacity(outputs.len());
+        for bit in outputs {
+            output_wires.push(self.materialize(bit)?);
+        }
+        Circuit::new(self.garbler_inputs, self.evaluator_inputs, self.gates, output_wires)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval1(c: &Circuit, g: &[bool], e: &[bool]) -> bool {
+        c.eval(g, e).unwrap()[0]
+    }
+
+    #[test]
+    fn constant_folding_emits_no_gates() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(1)[0];
+        let t = b.and(x, Bit::TRUE);
+        assert_eq!(t, x);
+        let f = b.and(x, Bit::FALSE);
+        assert_eq!(f, Bit::FALSE);
+        let same = b.xor(x, x);
+        assert_eq!(same, Bit::FALSE);
+        let id = b.xor(x, Bit::FALSE);
+        assert_eq!(id, x);
+        assert_eq!(b.num_gates(), 0);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(1)[0];
+        let nx = b.not(x);
+        let nnx = b.not(nx);
+        assert_eq!(nnx, x);
+        assert_eq!(b.num_gates(), 1);
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        for (s, t, f) in
+            [(false, false, true), (false, true, false), (true, false, true), (true, true, false)]
+        {
+            let mut b = Builder::new();
+            let sel = b.input_garbler(1)[0];
+            let inputs = b.input_evaluator(2);
+            let out = b.mux(sel, inputs[0], inputs[1]);
+            let c = b.finish(vec![out]).unwrap();
+            assert_eq!(eval1(&c, &[s], &[t, f]), if s { t } else { f });
+        }
+    }
+
+    #[test]
+    fn or_and_friends() {
+        for a in [false, true] {
+            for b_val in [false, true] {
+                let mut b = Builder::new();
+                let x = b.input_garbler(1)[0];
+                let y = b.input_evaluator(1)[0];
+                let or = b.or(x, y);
+                let nand = b.nand(x, y);
+                let nor = b.nor(x, y);
+                let xnor = b.xnor(x, y);
+                let c = b.finish(vec![or, nand, nor, xnor]).unwrap();
+                let out = c.eval(&[a], &[b_val]).unwrap();
+                assert_eq!(out, vec![a | b_val, !(a & b_val), !(a | b_val), a == b_val]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_exhaustive() {
+        for bits in 0..8u32 {
+            let (a, b_in, c_in) = ((bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0);
+            let mut b = Builder::new();
+            let inputs = b.input_garbler(3);
+            let (s, c) = b.full_adder(inputs[0], inputs[1], inputs[2]);
+            let circuit = b.finish(vec![s, c]).unwrap();
+            let out = circuit.eval(&[a, b_in, c_in], &[]).unwrap();
+            let total = a as u8 + b_in as u8 + c_in as u8;
+            assert_eq!(out, vec![total & 1 == 1, total >= 2]);
+        }
+    }
+
+    #[test]
+    fn full_adder_uses_one_and() {
+        let mut b = Builder::new();
+        let inputs = b.input_garbler(3);
+        let _ = b.full_adder(inputs[0], inputs[1], inputs[2]);
+        let ands = b.gates.iter().filter(|g| g.op == GateOp::And).count();
+        assert_eq!(ands, 1);
+    }
+
+    #[test]
+    fn constant_outputs_materialize() {
+        let mut b = Builder::new();
+        let _x = b.input_garbler(1);
+        let c = b.finish(vec![Bit::TRUE, Bit::FALSE]).unwrap();
+        assert_eq!(c.eval(&[false], &[]).unwrap(), vec![true, false]);
+        assert_eq!(c.eval(&[true], &[]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn constant_output_without_wires_errors() {
+        let b = Builder::new();
+        assert!(b.finish(vec![Bit::TRUE]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs must be allocated before any gate")]
+    fn inputs_after_gates_panic() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(2);
+        let _ = b.and(x[0], x[1]);
+        let _ = b.input_garbler(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "garbler inputs must be allocated before evaluator")]
+    fn garbler_after_evaluator_panics() {
+        let mut b = Builder::new();
+        let _ = b.input_evaluator(1);
+        let _ = b.input_garbler(1);
+    }
+}

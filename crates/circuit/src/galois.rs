@@ -1,0 +1,396 @@
+//! Software GF(2⁸) arithmetic and the composite-field (tower) machinery
+//! used to synthesize a compact AES S-box circuit.
+//!
+//! The AES-128 benchmark of Table 5 requires a Boolean AES circuit whose
+//! AND count is comparable to the hand-optimized netlists EMP ships
+//! (≈ 32–36 ANDs per S-box). Rather than embedding a third-party netlist,
+//! we derive one from first principles:
+//!
+//! 1. Represent GF(2⁸) as the tower GF(((2²)²)²) where inversion in each
+//!    extension is cheap (inversion in GF(2²) is squaring, i.e. *linear*).
+//! 2. Search for an isomorphism between the AES polynomial field
+//!    `GF(2)[x]/(x⁸+x⁴+x³+x+1)` and the tower (a basis-change matrix), by
+//!    finding a tower element that is a root of the AES modulus.
+//! 3. Emit the S-box as: basis change (XORs) → tower inversion (a handful
+//!    of GF(2⁴)/GF(2²) multiplications = ANDs) → inverse basis change
+//!    merged with the AES affine transform (XOR/INV).
+//!
+//! Everything in this module is plain (non-circuit) arithmetic; the gate
+//! emission lives in [`crate::aes_circuit`].
+
+/// The AES field modulus x⁸ + x⁴ + x³ + x + 1 (0x11B).
+pub const AES_MODULUS: u16 = 0x11B;
+
+/// Multiplication in the AES polynomial-basis field GF(2⁸)/0x11B.
+///
+/// # Examples
+///
+/// ```
+/// use haac_circuit::galois::aes_mul;
+/// assert_eq!(aes_mul(0x57, 0x83), 0xC1); // FIPS-197 §4.2 example
+/// ```
+pub fn aes_mul(a: u8, b: u8) -> u8 {
+    let mut a = a as u16;
+    let mut b = b as u16;
+    let mut acc = 0u16;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= AES_MODULUS;
+        }
+        b >>= 1;
+    }
+    acc as u8
+}
+
+/// Multiplicative inverse in the AES field (0 maps to 0).
+pub fn aes_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^(2^8 - 2) = a^254 by square-and-multiply.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = aes_mul(result, base);
+        }
+        base = aes_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The AES S-box affine transform applied to `x` (after inversion).
+pub fn aes_affine(x: u8) -> u8 {
+    let mut out = 0u8;
+    for i in 0..8 {
+        let bit = ((x >> i) & 1)
+            ^ ((x >> ((i + 4) % 8)) & 1)
+            ^ ((x >> ((i + 5) % 8)) & 1)
+            ^ ((x >> ((i + 6) % 8)) & 1)
+            ^ ((x >> ((i + 7) % 8)) & 1)
+            ^ ((0x63 >> i) & 1);
+        out |= bit << i;
+    }
+    out
+}
+
+/// Computes the full 256-entry AES S-box from the field definition.
+pub fn compute_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    for (i, slot) in sbox.iter_mut().enumerate() {
+        *slot = aes_affine(aes_inv(i as u8));
+    }
+    sbox
+}
+
+// ---------------------------------------------------------------------------
+// Tower field GF(((2²)²)²)
+// ---------------------------------------------------------------------------
+
+/// GF(2²) = `GF(2)[x]/(x²+x+1)`; elements are 2-bit values (bit 1 = x term).
+pub fn gf4_mul(a: u8, b: u8) -> u8 {
+    let (a1, a0) = ((a >> 1) & 1, a & 1);
+    let (b1, b0) = ((b >> 1) & 1, b & 1);
+    // (a1 x + a0)(b1 x + b0) with x² = x + 1
+    let hi = (a1 & b1) ^ (a1 & b0) ^ (a0 & b1);
+    let lo = (a1 & b1) ^ (a0 & b0);
+    (hi << 1) | lo
+}
+
+/// Inversion in GF(2²): the inverse equals the square (`a³ = 1`).
+pub fn gf4_inv(a: u8) -> u8 {
+    gf4_mul(a, a)
+}
+
+/// λ for GF(2⁴) = `GF(2²)[y]/(y² + y + λ)`; λ = x (value 0b10) has nonzero
+/// trace, making the polynomial irreducible.
+pub const LAMBDA: u8 = 0b10;
+
+/// Multiplication in GF(2⁴) as pairs over GF(2²) (bits 3..2 = hi, 1..0 = lo).
+pub fn gf16_mul(a: u8, b: u8) -> u8 {
+    let (ah, al) = (a >> 2, a & 3);
+    let (bh, bl) = (b >> 2, b & 3);
+    // (ah y + al)(bh y + bl), y² = y + λ:
+    //   hi = ah·bh + ah·bl + al·bh
+    //   lo = ah·bh·λ + al·bl
+    let hh = gf4_mul(ah, bh);
+    let hl = gf4_mul(ah, bl);
+    let lh = gf4_mul(al, bh);
+    let ll = gf4_mul(al, bl);
+    let hi = hh ^ hl ^ lh;
+    let lo = gf4_mul(hh, LAMBDA) ^ ll;
+    (hi << 2) | lo
+}
+
+/// Inversion in GF(2⁴) using the quadratic-extension formula.
+pub fn gf16_inv(a: u8) -> u8 {
+    let (ah, al) = (a >> 2, a & 3);
+    // Δ = ah²·λ + ah·al + al²   (norm of a)
+    let delta =
+        gf4_mul(gf4_mul(ah, ah), LAMBDA) ^ gf4_mul(ah, al) ^ gf4_mul(al, al);
+    let delta_inv = gf4_inv(delta);
+    let hi = gf4_mul(ah, delta_inv);
+    let lo = gf4_mul(ah ^ al, delta_inv);
+    (hi << 2) | lo
+}
+
+/// Searches for a Λ making z² + z + Λ irreducible over GF(2⁴).
+///
+/// A quadratic is irreducible iff it has no roots; we simply test all 16
+/// candidate roots for each candidate Λ.
+pub fn find_big_lambda() -> u8 {
+    'cand: for lambda in 1..16u8 {
+        for z in 0..16u8 {
+            // z² + z + Λ == 0 ?
+            if gf16_mul(z, z) ^ z ^ lambda == 0 {
+                continue 'cand;
+            }
+        }
+        return lambda;
+    }
+    unreachable!("an irreducible quadratic over GF(16) always exists")
+}
+
+/// Multiplication in the tower GF(2⁸) = `GF(2⁴)[z]/(z² + z + Λ)`.
+///
+/// `big_lambda` must come from [`find_big_lambda`]. Elements pack the
+/// hi nibble as the z-coefficient.
+pub fn gf256_tower_mul(a: u8, b: u8, big_lambda: u8) -> u8 {
+    let (ah, al) = (a >> 4, a & 0xF);
+    let (bh, bl) = (b >> 4, b & 0xF);
+    let hh = gf16_mul(ah, bh);
+    let hl = gf16_mul(ah, bl);
+    let lh = gf16_mul(al, bh);
+    let ll = gf16_mul(al, bl);
+    let hi = hh ^ hl ^ lh;
+    let lo = gf16_mul(hh, big_lambda) ^ ll;
+    (hi << 4) | lo
+}
+
+/// Inversion in the tower GF(2⁸) (0 maps to 0).
+pub fn gf256_tower_inv(a: u8, big_lambda: u8) -> u8 {
+    let (ah, al) = (a >> 4, a & 0xF);
+    let delta = gf16_mul(gf16_mul(ah, ah), big_lambda) ^ gf16_mul(ah, al) ^ gf16_mul(al, al);
+    let delta_inv = gf16_inv(delta);
+    let hi = gf16_mul(ah, delta_inv);
+    let lo = gf16_mul(ah ^ al, delta_inv);
+    (hi << 4) | lo
+}
+
+/// An isomorphism GF(2⁸)/0x11B → tower field, as a pair of 8×8 bit
+/// matrices (`to_tower`, `from_tower`), each row a u8 bitmask applied to
+/// the source bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TowerIso {
+    /// Λ of the GF(2⁴) quadratic extension.
+    pub big_lambda: u8,
+    /// Row `i` of the AES→tower basis-change matrix.
+    pub to_tower: [u8; 8],
+    /// Row `i` of the tower→AES basis-change matrix.
+    pub from_tower: [u8; 8],
+}
+
+impl TowerIso {
+    /// Derives the isomorphism by searching for a tower-field root of the
+    /// AES modulus and building the basis-change matrices from its powers.
+    pub fn derive() -> TowerIso {
+        let big_lambda = find_big_lambda();
+        // Find β in the tower with β⁸+β⁴+β³+β+1 = 0.
+        let beta = (1..=255u8)
+            .find(|&beta| {
+                let p = |e: u32| tower_pow(beta, e, big_lambda);
+                p(8) ^ p(4) ^ p(3) ^ p(1) ^ 1 == 0
+            })
+            .expect("the AES modulus has roots in any GF(2^8) representation");
+        // Columns of M: β^i. M maps AES coords (coefficients of α^i) to tower.
+        let mut columns = [0u8; 8];
+        for (i, col) in columns.iter_mut().enumerate() {
+            *col = tower_pow(beta, i as u32, big_lambda);
+        }
+        let to_tower = columns_to_rows(&columns);
+        let from_tower = invert_bit_matrix(&to_tower).expect("basis change is invertible");
+        TowerIso { big_lambda, to_tower, from_tower }
+    }
+
+    /// Applies the AES→tower basis change.
+    pub fn to_tower(&self, x: u8) -> u8 {
+        apply_bit_matrix(&self.to_tower, x)
+    }
+
+    /// Applies the tower→AES basis change.
+    pub fn from_tower(&self, x: u8) -> u8 {
+        apply_bit_matrix(&self.from_tower, x)
+    }
+}
+
+fn tower_pow(base: u8, exp: u32, big_lambda: u8) -> u8 {
+    let mut result = 1u8;
+    for _ in 0..exp {
+        result = gf256_tower_mul(result, base, big_lambda);
+    }
+    result
+}
+
+/// Converts column-major u8 columns into row bitmasks.
+fn columns_to_rows(columns: &[u8; 8]) -> [u8; 8] {
+    let mut rows = [0u8; 8];
+    for (c, &col) in columns.iter().enumerate() {
+        for (r, row) in rows.iter_mut().enumerate() {
+            if (col >> r) & 1 != 0 {
+                *row |= 1 << c;
+            }
+        }
+    }
+    rows
+}
+
+/// Applies an 8×8 GF(2) matrix (rows as bitmasks) to a bit-vector.
+pub fn apply_bit_matrix(rows: &[u8; 8], x: u8) -> u8 {
+    let mut out = 0u8;
+    for (i, &row) in rows.iter().enumerate() {
+        out |= (((row & x).count_ones() & 1) as u8) << i;
+    }
+    out
+}
+
+/// Inverts an 8×8 GF(2) matrix via Gauss-Jordan; `None` if singular.
+pub fn invert_bit_matrix(rows: &[u8; 8]) -> Option<[u8; 8]> {
+    let mut a = *rows;
+    let mut inv: [u8; 8] = core::array::from_fn(|i| 1 << i);
+    for col in 0..8 {
+        let pivot = (col..8).find(|&r| (a[r] >> col) & 1 != 0)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        for r in 0..8 {
+            if r != col && (a[r] >> col) & 1 != 0 {
+                a[r] ^= a[col];
+                inv[r] ^= inv[col];
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_mul_fips_example() {
+        assert_eq!(aes_mul(0x57, 0x13), 0xFE); // FIPS-197 §4.2.1
+        assert_eq!(aes_mul(0x57, 0x02), 0xAE);
+        assert_eq!(aes_mul(0x01, 0xAB), 0xAB);
+    }
+
+    #[test]
+    fn aes_inverse_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(aes_mul(a, aes_inv(a)), 1, "inverse of {a:#x}");
+        }
+        assert_eq!(aes_inv(0), 0);
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let sbox = compute_sbox();
+        // Canonical FIPS-197 spot values.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7C);
+        assert_eq!(sbox[0x53], 0xED);
+        assert_eq!(sbox[0xFF], 0x16);
+    }
+
+    #[test]
+    fn gf4_field_axioms() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                assert_eq!(gf4_mul(a, b), gf4_mul(b, a));
+            }
+            if a != 0 {
+                assert_eq!(gf4_mul(a, gf4_inv(a)), 1, "gf4 inverse of {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_field_axioms() {
+        for a in 0..16u8 {
+            assert_eq!(gf16_mul(a, 1), a);
+            if a != 0 {
+                assert_eq!(gf16_mul(a, gf16_inv(a)), 1, "gf16 inverse of {a}");
+            }
+            for b in 0..16u8 {
+                assert_eq!(gf16_mul(a, b), gf16_mul(b, a));
+                for c in 0..16u8 {
+                    assert_eq!(
+                        gf16_mul(a, gf16_mul(b, c)),
+                        gf16_mul(gf16_mul(a, b), c),
+                        "associativity {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tower_field_axioms() {
+        let big_lambda = find_big_lambda();
+        for a in 0..=255u8 {
+            assert_eq!(gf256_tower_mul(a, 1, big_lambda), a);
+            if a != 0 {
+                assert_eq!(
+                    gf256_tower_mul(a, gf256_tower_inv(a, big_lambda), big_lambda),
+                    1,
+                    "tower inverse of {a:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphism_preserves_multiplication() {
+        let iso = TowerIso::derive();
+        // φ(a·b) = φ(a)·φ(b) for a sample grid (full 256×256 is slow in
+        // debug builds; the structure theorem makes sampling sufficient).
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                let lhs = iso.to_tower(aes_mul(a, b));
+                let rhs = gf256_tower_mul(iso.to_tower(a), iso.to_tower(b), iso.big_lambda);
+                assert_eq!(lhs, rhs, "φ({a:#x}·{b:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphism_roundtrip() {
+        let iso = TowerIso::derive();
+        for a in 0..=255u8 {
+            assert_eq!(iso.from_tower(iso.to_tower(a)), a);
+        }
+    }
+
+    #[test]
+    fn sbox_via_tower_matches_direct() {
+        let iso = TowerIso::derive();
+        let sbox = compute_sbox();
+        for a in 0..=255u8 {
+            let inv_tower = iso.from_tower(gf256_tower_inv(iso.to_tower(a), iso.big_lambda));
+            assert_eq!(aes_affine(inv_tower), sbox[a as usize], "S-box({a:#x}) via tower");
+        }
+    }
+
+    #[test]
+    fn bit_matrix_inversion() {
+        let iso = TowerIso::derive();
+        let id = invert_bit_matrix(&iso.to_tower).unwrap();
+        assert_eq!(id, iso.from_tower);
+        let singular = [0u8; 8];
+        assert!(invert_bit_matrix(&singular).is_none());
+    }
+}

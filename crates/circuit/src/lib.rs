@@ -1,0 +1,89 @@
+//! # haac-circuit — Boolean circuit substrate for the HAAC reproduction
+//!
+//! This crate is the frontend substrate of the HAAC system (Mo, Gopinath
+//! & Reagen, *HAAC: A Hardware-Software Co-Design to Accelerate Garbled
+//! Circuits*, ISCA 2023): everything the paper obtains from the EMP
+//! toolkit — netlists, synthesis, characterization — rebuilt in Rust.
+//!
+//! - [`Circuit`]: topologically ordered AND/XOR/INV netlists in SSA form,
+//!   with plaintext evaluation as the reference semantics.
+//! - [`Builder`]: a constant-folding synthesis frontend with word-level
+//!   operations (adders, comparators, multipliers, dividers, barrel
+//!   shifters, popcounts — see the word-level ops in `word.rs`) and FP32 arithmetic ([`float`]).
+//! - [`bristol`]: the Bristol netlist interchange format EMP emits.
+//! - [`aes_circuit`] / [`galois`]: a from-first-principles compact AES-128
+//!   circuit via a composite-field S-box.
+//! - [`stats`]: the Table 2 characterization metrics (levels, ILP, AND%).
+//!
+//! # Examples
+//!
+//! ```
+//! use haac_circuit::{Builder, stats::CircuitStats};
+//!
+//! // A 16-bit private adder: Alice's x plus Bob's y.
+//! let mut b = Builder::new();
+//! let x = b.input_garbler(16);
+//! let y = b.input_evaluator(16);
+//! let (sum, _carry) = b.add_words(&x, &y);
+//! let circuit = b.finish(sum)?;
+//!
+//! let stats = CircuitStats::of(&circuit);
+//! assert_eq!(stats.and_gates, 16); // one AND per full adder
+//! # Ok::<(), haac_circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aes_circuit;
+pub mod bristol;
+mod builder;
+pub mod float;
+pub mod galois;
+mod ir;
+pub mod opt;
+pub mod stats;
+mod word;
+
+pub use builder::{Bit, Builder, Word};
+pub use ir::{Circuit, CircuitError, Gate, GateOp, WireId};
+
+/// Converts an integer to a little-endian bit vector of the given width.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(haac_circuit::to_bits(5, 4), vec![true, false, true, false]);
+/// ```
+pub fn to_bits(value: u64, width: u32) -> Vec<bool> {
+    (0..width).map(|i| i < 64 && (value >> i) & 1 == 1).collect()
+}
+
+/// Converts a little-endian bit slice back to an integer (lowest 64 bits).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(haac_circuit::from_bits(&[true, false, true, false]), 5);
+/// ```
+pub fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter().take(64).enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_conversions_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(from_bits(&to_bits(v, 64)), v);
+        }
+    }
+
+    #[test]
+    fn to_bits_truncates_to_width() {
+        assert_eq!(to_bits(0xFF, 4), vec![true; 4]);
+        assert_eq!(from_bits(&to_bits(0xFF, 4)), 0xF);
+    }
+}

@@ -1,0 +1,155 @@
+//! Circuit characterization, reproducing the metrics of Table 2.
+//!
+//! The paper characterizes each VIP-Bench workload by circuit depth
+//! (`# Levels`), wire and gate counts, the AND-gate percentage (only ANDs
+//! cost garbled tables), and `ILP` — the average number of independent
+//! gates per dependence level, i.e. `gates / levels`.
+
+use crate::ir::Circuit;
+
+/// Summary statistics of a circuit, as reported in the paper's Table 2.
+///
+/// # Examples
+///
+/// ```
+/// use haac_circuit::{Builder, stats::CircuitStats};
+///
+/// let mut b = haac_circuit::Builder::new();
+/// let x = b.input_garbler(8);
+/// let y = b.input_evaluator(8);
+/// let (sum, _) = b.add_words(&x, &y);
+/// let c = b.finish(sum).unwrap();
+/// let stats = CircuitStats::of(&c);
+/// assert!(stats.and_percent > 0.0);
+/// assert_eq!(stats.gates, c.num_gates());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitStats {
+    /// Circuit depth: number of dependence levels (`# Levels`).
+    pub levels: u32,
+    /// Total wires (inputs + gate outputs) (`# Wires`).
+    pub wires: u64,
+    /// Total gates (`# Gates`).
+    pub gates: usize,
+    /// AND gates as a percentage of all gates (`AND %`).
+    pub and_percent: f64,
+    /// Average gates per level (`ILP`), the paper's parallelism proxy.
+    pub ilp: f64,
+    /// Number of AND gates (each requiring a garbled table).
+    pub and_gates: usize,
+    /// Number of XOR gates (free under FreeXOR).
+    pub xor_gates: usize,
+    /// Number of INV gates (free relabelings).
+    pub inv_gates: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut and_gates = 0usize;
+        let mut xor_gates = 0usize;
+        let mut inv_gates = 0usize;
+        for gate in circuit.gates() {
+            match gate.op {
+                crate::GateOp::And => and_gates += 1,
+                crate::GateOp::Xor => xor_gates += 1,
+                crate::GateOp::Inv => inv_gates += 1,
+            }
+        }
+        let gates = circuit.num_gates();
+        let levels = circuit.depth();
+        CircuitStats {
+            levels,
+            wires: circuit.num_wires() as u64,
+            gates,
+            and_percent: if gates == 0 { 0.0 } else { 100.0 * and_gates as f64 / gates as f64 },
+            ilp: if levels == 0 { 0.0 } else { gates as f64 / levels as f64 },
+            and_gates,
+            xor_gates,
+            inv_gates,
+        }
+    }
+
+    /// Gates per level histogram: `result[l]` is the number of gates whose
+    /// output sits at dependence level `l + 1`.
+    ///
+    /// Useful for understanding why full reordering floods the SWW on
+    /// wide circuits (paper §4.2.1).
+    pub fn level_widths(circuit: &Circuit) -> Vec<u32> {
+        let levels = circuit.wire_levels();
+        let depth = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut widths = vec![0u32; depth];
+        for gate in circuit.gates() {
+            let l = levels[gate.out as usize] as usize;
+            widths[l - 1] += 1;
+        }
+        widths
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "levels={} wires={} gates={} and%={:.2} ilp={:.0}",
+            self.levels, self.wires, self.gates, self.and_percent, self.ilp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Circuit, Gate, GateOp};
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let c = Circuit::new(
+            1,
+            1,
+            vec![
+                Gate::new(GateOp::Xor, 0, 1, 2),
+                Gate::new(GateOp::And, 2, 0, 3),
+                Gate::inv(3, 4),
+            ],
+            vec![4],
+        )
+        .unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.levels, 3);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.wires, 5);
+        assert_eq!(s.and_gates, 1);
+        assert_eq!(s.xor_gates, 1);
+        assert_eq!(s.inv_gates, 1);
+        assert!((s.and_percent - 100.0 / 3.0).abs() < 1e-9);
+        assert!((s.ilp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_widths_sum_to_gate_count() {
+        let c = Circuit::new(
+            2,
+            0,
+            vec![
+                Gate::new(GateOp::Xor, 0, 1, 2),
+                Gate::new(GateOp::And, 0, 1, 3),
+                Gate::new(GateOp::And, 2, 3, 4),
+            ],
+            vec![4],
+        )
+        .unwrap();
+        let widths = CircuitStats::level_widths(&c);
+        assert_eq!(widths, vec![2, 1]);
+        assert_eq!(widths.iter().sum::<u32>() as usize, c.num_gates());
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let c = Circuit::new(1, 0, vec![], vec![0]).unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.levels, 0);
+        assert_eq!(s.ilp, 0.0);
+        assert_eq!(s.and_percent, 0.0);
+    }
+}

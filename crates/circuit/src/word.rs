@@ -1,0 +1,702 @@
+//! Word-level (multi-bit) circuit operations.
+//!
+//! All words are little-endian `Vec<Bit>` ([`Word`]). These are the
+//! synthesis building blocks the VIP-Bench workload generators use:
+//! ripple adders (1 AND/bit), comparators, barrel shifters, schoolbook
+//! multipliers, restoring dividers, and carry-save popcount/sum trees.
+//!
+//! Binary operations require operands of equal width and panic otherwise
+//! (width mismatches are construction-time bugs, not runtime conditions).
+
+use crate::builder::{Bit, Builder, Word};
+
+impl Builder {
+    /// A public constant word of `width` bits (little-endian).
+    ///
+    /// Constants cost no gates until they meet a secret value.
+    pub fn const_word(&self, value: u64, width: u32) -> Word {
+        (0..width).map(|i| Bit::Const(i < 64 && (value >> i) & 1 == 1)).collect()
+    }
+
+    /// Interprets a word of constants; returns `None` if any bit is secret.
+    pub fn word_as_const(&self, word: &[Bit]) -> Option<u64> {
+        let mut value = 0u64;
+        for (i, bit) in word.iter().enumerate() {
+            match bit.as_const() {
+                Some(true) if i < 64 => value |= 1 << i,
+                Some(_) => {}
+                None => return None,
+            }
+        }
+        Some(value)
+    }
+
+    /// Ripple-carry addition; returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn add_words(&mut self, x: &[Bit], y: &[Bit]) -> (Word, Bit) {
+        self.add_words_with_carry(x, y, Bit::FALSE)
+    }
+
+    /// Ripple-carry addition with explicit carry-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn add_words_with_carry(&mut self, x: &[Bit], y: &[Bit], carry_in: Bit) -> (Word, Bit) {
+        assert_eq!(x.len(), y.len(), "add_words requires equal widths");
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(x.len());
+        for (&a, &b) in x.iter().zip(y) {
+            let (s, c) = self.full_adder(a, b, carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Two's-complement subtraction `x - y`; returns `(difference, borrow)`.
+    ///
+    /// `borrow` is true iff `x < y` (unsigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn sub_words(&mut self, x: &[Bit], y: &[Bit]) -> (Word, Bit) {
+        let ny: Word = y.iter().map(|&b| self.not(b)).collect();
+        let (diff, carry) = self.add_words_with_carry(x, &ny, Bit::TRUE);
+        let borrow = self.not(carry);
+        (diff, borrow)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg_word(&mut self, x: &[Bit]) -> Word {
+        let zero = self.const_word(0, x.len() as u32);
+        self.sub_words(&zero, x).0
+    }
+
+    /// Unsigned `x < y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn lt_u(&mut self, x: &[Bit], y: &[Bit]) -> Bit {
+        self.sub_words(x, y).1
+    }
+
+    /// Unsigned `x > y`.
+    pub fn gt_u(&mut self, x: &[Bit], y: &[Bit]) -> Bit {
+        self.lt_u(y, x)
+    }
+
+    /// Unsigned `x <= y`.
+    pub fn le_u(&mut self, x: &[Bit], y: &[Bit]) -> Bit {
+        let gt = self.gt_u(x, y);
+        self.not(gt)
+    }
+
+    /// Unsigned `x >= y`.
+    pub fn ge_u(&mut self, x: &[Bit], y: &[Bit]) -> Bit {
+        let lt = self.lt_u(x, y);
+        self.not(lt)
+    }
+
+    /// Signed (two's-complement) `x < y`.
+    ///
+    /// Implemented by biasing both operands (flipping the sign bits) and
+    /// comparing unsigned, which is free.
+    pub fn lt_s(&mut self, x: &[Bit], y: &[Bit]) -> Bit {
+        assert!(!x.is_empty(), "lt_s requires at least one bit");
+        let mut xb = x.to_vec();
+        let mut yb = y.to_vec();
+        let xm = *xb.last().unwrap();
+        let ym = *yb.last().unwrap();
+        *xb.last_mut().unwrap() = self.not(xm);
+        *yb.last_mut().unwrap() = self.not(ym);
+        self.lt_u(&xb, &yb)
+    }
+
+    /// Bitwise equality `x == y` (AND-tree of XNORs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn eq_words(&mut self, x: &[Bit], y: &[Bit]) -> Bit {
+        assert_eq!(x.len(), y.len(), "eq_words requires equal widths");
+        let bits: Vec<Bit> = x.iter().zip(y).map(|(&a, &b)| self.xnor(a, b)).collect();
+        self.and_reduce(&bits)
+    }
+
+    /// Balanced AND-reduction of a bit list (true for the empty list).
+    pub fn and_reduce(&mut self, bits: &[Bit]) -> Bit {
+        self.reduce(bits, Bit::TRUE, Builder::and)
+    }
+
+    /// Balanced OR-reduction of a bit list (false for the empty list).
+    pub fn or_reduce(&mut self, bits: &[Bit]) -> Bit {
+        self.reduce(bits, Bit::FALSE, Builder::or)
+    }
+
+    /// Balanced XOR-reduction of a bit list (false for the empty list).
+    pub fn xor_reduce(&mut self, bits: &[Bit]) -> Bit {
+        self.reduce(bits, Bit::FALSE, Builder::xor)
+    }
+
+    fn reduce(&mut self, bits: &[Bit], empty: Bit, op: fn(&mut Builder, Bit, Bit) -> Bit) -> Bit {
+        match bits.len() {
+            0 => empty,
+            1 => bits[0],
+            n => {
+                let (lo, hi) = bits.split_at(n / 2);
+                let l = self.reduce(lo, empty, op);
+                let r = self.reduce(hi, empty, op);
+                op(self, l, r)
+            }
+        }
+    }
+
+    /// Word-level multiplexer: `if sel { t } else { f }`, bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn mux_word(&mut self, sel: Bit, t: &[Bit], f: &[Bit]) -> Word {
+        assert_eq!(t.len(), f.len(), "mux_word requires equal widths");
+        t.iter().zip(f).map(|(&a, &b)| self.mux(sel, a, b)).collect()
+    }
+
+    /// Bitwise AND of two words.
+    pub fn and_words(&mut self, x: &[Bit], y: &[Bit]) -> Word {
+        assert_eq!(x.len(), y.len(), "and_words requires equal widths");
+        x.iter().zip(y).map(|(&a, &b)| self.and(a, b)).collect()
+    }
+
+    /// Bitwise XOR of two words.
+    pub fn xor_words(&mut self, x: &[Bit], y: &[Bit]) -> Word {
+        assert_eq!(x.len(), y.len(), "xor_words requires equal widths");
+        x.iter().zip(y).map(|(&a, &b)| self.xor(a, b)).collect()
+    }
+
+    /// Bitwise OR of two words.
+    pub fn or_words(&mut self, x: &[Bit], y: &[Bit]) -> Word {
+        assert_eq!(x.len(), y.len(), "or_words requires equal widths");
+        x.iter().zip(y).map(|(&a, &b)| self.or(a, b)).collect()
+    }
+
+    /// Bitwise NOT of a word.
+    pub fn not_word(&mut self, x: &[Bit]) -> Word {
+        x.iter().map(|&b| self.not(b)).collect()
+    }
+
+    /// Logical left shift by a constant (wire rerouting; zero gates).
+    pub fn shl_const(&self, x: &[Bit], amount: u32) -> Word {
+        let n = x.len();
+        let amount = amount as usize;
+        let mut out = vec![Bit::FALSE; n];
+        for i in amount.min(n)..n {
+            out[i] = x[i - amount];
+        }
+        out
+    }
+
+    /// Logical right shift by a constant (wire rerouting; zero gates).
+    pub fn shr_const(&self, x: &[Bit], amount: u32) -> Word {
+        let n = x.len();
+        let amount = amount as usize;
+        let mut out = vec![Bit::FALSE; n];
+        for i in 0..n.saturating_sub(amount) {
+            out[i] = x[i + amount];
+        }
+        out
+    }
+
+    /// Left rotation by a constant (wire rerouting; zero gates).
+    pub fn rotl_const(&self, x: &[Bit], amount: u32) -> Word {
+        let n = x.len();
+        let amount = amount as usize % n.max(1);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(x[(i + n - amount) % n]);
+        }
+        out
+    }
+
+    /// Barrel shifter: logical right shift by a secret amount.
+    ///
+    /// Shift amounts ≥ the word width produce zero. One mux level per
+    /// shift-amount bit.
+    pub fn shr_var(&mut self, x: &[Bit], amount: &[Bit]) -> Word {
+        let mut cur = x.to_vec();
+        for (stage, &bit) in amount.iter().enumerate() {
+            let shifted = if stage >= 64 {
+                self.const_word(0, cur.len() as u32)
+            } else {
+                self.shr_const(&cur, 1u32.checked_shl(stage as u32).unwrap_or(u32::MAX))
+            };
+            cur = self.mux_word(bit, &shifted, &cur);
+        }
+        cur
+    }
+
+    /// Barrel shifter: logical left shift by a secret amount.
+    ///
+    /// Shift amounts ≥ the word width produce zero.
+    pub fn shl_var(&mut self, x: &[Bit], amount: &[Bit]) -> Word {
+        let mut cur = x.to_vec();
+        for (stage, &bit) in amount.iter().enumerate() {
+            let shifted = if stage >= 64 {
+                self.const_word(0, cur.len() as u32)
+            } else {
+                self.shl_const(&cur, 1u32.checked_shl(stage as u32).unwrap_or(u32::MAX))
+            };
+            cur = self.mux_word(bit, &shifted, &cur);
+        }
+        cur
+    }
+
+    /// Schoolbook multiplication producing the full `x.len() + y.len()` bit
+    /// product.
+    ///
+    /// Multiplying by a public constant folds the absent partial products
+    /// away, yielding a shift-and-add constant multiplier for free.
+    pub fn mul_words(&mut self, x: &[Bit], y: &[Bit]) -> Word {
+        let out_width = x.len() + y.len();
+        let mut acc = self.const_word(0, out_width as u32);
+        for (i, &yb) in y.iter().enumerate() {
+            if yb == Bit::FALSE {
+                continue;
+            }
+            // Partial product: (x & y_i) << i, widened to out_width.
+            let mut pp = vec![Bit::FALSE; out_width];
+            for (j, &xb) in x.iter().enumerate() {
+                pp[i + j] = self.and(xb, yb);
+            }
+            acc = self.add_words(&acc, &pp).0;
+        }
+        acc
+    }
+
+    /// Schoolbook multiplication truncated to the width of `x` (wrapping,
+    /// like `u32::wrapping_mul`).
+    pub fn mul_words_trunc(&mut self, x: &[Bit], y: &[Bit]) -> Word {
+        let n = x.len();
+        let mut acc = self.const_word(0, n as u32);
+        for (i, &yb) in y.iter().enumerate().take(n) {
+            if yb == Bit::FALSE {
+                continue;
+            }
+            let mut pp = vec![Bit::FALSE; n];
+            for (j, &xb) in x.iter().enumerate().take(n - i) {
+                pp[i + j] = self.and(xb, yb);
+            }
+            acc = self.add_words(&acc, &pp).0;
+        }
+        acc
+    }
+
+    /// Restoring division; returns `(quotient, remainder)` of unsigned
+    /// `x / y`.
+    ///
+    /// Division by zero yields quotient all-ones and remainder `x`
+    /// (matching the hardware-style restoring divider the paper's deep
+    /// workloads imply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    pub fn udivmod(&mut self, x: &[Bit], y: &[Bit]) -> (Word, Word) {
+        assert_eq!(x.len(), y.len(), "udivmod requires equal widths");
+        let n = x.len();
+        let mut rem = self.const_word(0, n as u32);
+        let mut quotient = vec![Bit::FALSE; n];
+        for i in (0..n).rev() {
+            // rem = (rem << 1) | x[i]  — the dropped MSB is provably zero
+            // because rem < y <= 2^n - 1 keeps rem in n-1 bits... to stay
+            // exact we track the shifted-out bit explicitly.
+            let msb = *rem.last().unwrap();
+            let mut shifted = self.shl_const(&rem, 1);
+            shifted[0] = x[i];
+            // Compare (msb:shifted) >= y  <=>  msb | (shifted >= y).
+            let (diff, borrow) = self.sub_words(&shifted, y);
+            let ge = self.not(borrow);
+            let q = self.or(msb, ge);
+            rem = self.mux_word(q, &diff, &shifted);
+            quotient[i] = q;
+        }
+        (quotient, rem)
+    }
+
+    /// Population count: returns `ceil(log2(n+1))` bits counting the ones
+    /// in `bits`, built from a carry-save (3:2 compressor) tree.
+    pub fn popcount(&mut self, bits: &[Bit]) -> Word {
+        let n = bits.len();
+        if n == 0 {
+            return vec![Bit::FALSE];
+        }
+        let width = (usize::BITS - n.leading_zeros()) as usize;
+        // Buckets of bits by weight (power of two).
+        let mut buckets: Vec<Vec<Bit>> = vec![Vec::new(); width + 1];
+        buckets[0] = bits.to_vec();
+        let mut weight = 0;
+        while weight < buckets.len() {
+            while buckets[weight].len() >= 3 {
+                let a = buckets[weight].pop().unwrap();
+                let b = buckets[weight].pop().unwrap();
+                let c = buckets[weight].pop().unwrap();
+                let (s, carry) = self.full_adder(a, b, c);
+                buckets[weight].insert(0, s);
+                if weight + 1 >= buckets.len() {
+                    buckets.push(Vec::new());
+                }
+                buckets[weight + 1].push(carry);
+            }
+            weight += 1;
+        }
+        // Each bucket now has at most 2 bits; combine with one ripple add.
+        let out_width = buckets.len();
+        let mut first = vec![Bit::FALSE; out_width];
+        let mut second = vec![Bit::FALSE; out_width];
+        for (w, bucket) in buckets.iter().enumerate() {
+            if let Some(&b) = bucket.first() {
+                first[w] = b;
+            }
+            if let Some(&b) = bucket.get(1) {
+                second[w] = b;
+            }
+        }
+        self.add_words(&first, &second).0
+    }
+
+    /// Sums a list of equal-width words with a balanced adder tree,
+    /// producing a result wide enough to avoid overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word widths differ or the list is empty.
+    pub fn sum_words(&mut self, words: &[Word]) -> Word {
+        assert!(!words.is_empty(), "sum_words requires at least one word");
+        let base_width = words[0].len();
+        for w in words {
+            assert_eq!(w.len(), base_width, "sum_words requires equal widths");
+        }
+        let extra = (usize::BITS - (words.len() - 1).leading_zeros()) as usize;
+        let target = base_width + extra;
+        let mut level: Vec<Word> = words
+            .iter()
+            .map(|w| {
+                let mut wide = w.clone();
+                wide.resize(target, Bit::FALSE);
+                wide
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut iter = level.chunks(2);
+            for chunk in &mut iter {
+                match chunk {
+                    [a, b] => next.push(self.add_words(a, b).0),
+                    [a] => next.push(a.clone()),
+                    _ => unreachable!("chunks(2) yields 1 or 2 items"),
+                }
+            }
+            level = next;
+        }
+        level.pop().unwrap()
+    }
+
+    /// Leading-zero count of a word (counting from the MSB, i.e. the last
+    /// element of the little-endian word).
+    ///
+    /// Returns `(count, is_zero)`; for an all-zero input `count` equals the
+    /// word width.
+    pub fn leading_zeros(&mut self, x: &[Bit]) -> (Word, Bit) {
+        assert!(!x.is_empty(), "leading_zeros requires at least one bit");
+        // Pad at the LSB end up to a power of two: leading zeros (from the
+        // MSB) are unchanged and is_zero only weakens if padding were
+        // nonzero, which it is not.
+        let n = x.len().next_power_of_two();
+        let mut padded = vec![Bit::FALSE; n - x.len()];
+        padded.extend_from_slice(x);
+        let (count, is_zero) = self.lzc_rec(&padded);
+        // count is exact for the padded width; subtract nothing (padding
+        // was at the LSB side). For the all-zero case the padded count is
+        // n, but the caller expects x.len(); mux it. The count width must
+        // be able to represent x.len() itself.
+        let width = (usize::BITS - x.len().leading_zeros()) as usize;
+        let true_count = self.const_word(x.len() as u64, width as u32);
+        let mut count_w = count;
+        count_w.resize(width, Bit::FALSE);
+        let out = self.mux_word(is_zero, &true_count, &count_w);
+        (out, is_zero)
+    }
+
+    /// Recursive LZC over a power-of-two width; returns (count, is_zero).
+    fn lzc_rec(&mut self, x: &[Bit]) -> (Word, Bit) {
+        if x.len() == 1 {
+            let is_zero = self.not(x[0]);
+            return (vec![], is_zero);
+        }
+        let half = x.len() / 2;
+        let (lo, hi) = x.split_at(half);
+        let (count_hi, zero_hi) = self.lzc_rec(hi);
+        let (count_lo, zero_lo) = self.lzc_rec(lo);
+        let is_zero = self.and(zero_hi, zero_lo);
+        // If the high half is zero, the count is half + count_lo,
+        // otherwise count_hi. Since `half` is a power of two, the result is
+        // simply {zero_hi, mux(zero_hi, count_lo, count_hi)}.
+        let low_bits = self.mux_word(zero_hi, &count_lo, &count_hi);
+        let mut count = low_bits;
+        count.push(zero_hi);
+        (count, is_zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a circuit computing `f` over two w-bit secret words and
+    /// evaluates it on concrete values.
+    fn eval2(
+        w: u32,
+        x: u64,
+        y: u64,
+        f: impl Fn(&mut Builder, &[Bit], &[Bit]) -> Word,
+    ) -> u64 {
+        let mut b = Builder::new();
+        let xs = b.input_garbler(w);
+        let ys = b.input_evaluator(w);
+        let out = f(&mut b, &xs, &ys);
+        let c = b.finish(out).unwrap();
+        let gbits: Vec<bool> = (0..w).map(|i| (x >> i) & 1 == 1).collect();
+        let ebits: Vec<bool> = (0..w).map(|i| (y >> i) & 1 == 1).collect();
+        let out = c.eval(&gbits, &ebits).unwrap();
+        out.iter().enumerate().fold(0u64, |acc, (i, &bit)| acc | ((bit as u64) << i))
+    }
+
+    #[test]
+    fn add_small_exhaustive() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let got = eval2(4, x, y, |b, xs, ys| {
+                    let (sum, carry) = b.add_words(xs, ys);
+                    let mut out = sum;
+                    out.push(carry);
+                    out
+                });
+                assert_eq!(got, x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_and_borrow() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let got = eval2(4, x, y, |b, xs, ys| {
+                    let (diff, borrow) = b.sub_words(xs, ys);
+                    let mut out = diff;
+                    out.push(borrow);
+                    out
+                });
+                let diff = (x.wrapping_sub(y)) & 0xF;
+                let borrow = (x < y) as u64;
+                assert_eq!(got, diff | (borrow << 4), "{x} - {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let got = eval2(3, x, y, |b, xs, ys| {
+                    vec![b.lt_u(xs, ys), b.gt_u(xs, ys), b.le_u(xs, ys), b.ge_u(xs, ys), {
+                        
+                        b.eq_words(xs, ys)
+                    }]
+                });
+                let expect = (x < y) as u64
+                    | (((x > y) as u64) << 1)
+                    | (((x <= y) as u64) << 2)
+                    | (((x >= y) as u64) << 3)
+                    | (((x == y) as u64) << 4);
+                assert_eq!(got, expect, "cmp {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_less_than() {
+        for x in -4..4i64 {
+            for y in -4..4i64 {
+                let got = eval2(3, (x & 7) as u64, (y & 7) as u64, |b, xs, ys| {
+                    vec![b.lt_s(xs, ys)]
+                });
+                assert_eq!(got, (x < y) as u64, "signed {x} < {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_full_and_truncated() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let full = eval2(4, x, y, |b, xs, ys| b.mul_words(xs, ys));
+                assert_eq!(full, x * y, "{x} * {y} full");
+                let trunc = eval2(4, x, y, |b, xs, ys| b.mul_words_trunc(xs, ys));
+                assert_eq!(trunc, (x * y) & 0xF, "{x} * {y} trunc");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_by_constant_folds() {
+        let mut b = Builder::new();
+        let xs = b.input_garbler(8);
+        let c = b.const_word(0, 8);
+        let out = b.mul_words_trunc(&xs, &c);
+        assert_eq!(b.word_as_const(&out), Some(0));
+        assert_eq!(b.num_gates(), 0);
+    }
+
+    #[test]
+    fn division_exhaustive_small() {
+        for x in 0..32u64 {
+            for y in 1..32u64 {
+                let got = eval2(5, x, y, |b, xs, ys| {
+                    let (q, r) = b.udivmod(xs, ys);
+                    let mut out = q;
+                    out.extend(r);
+                    out
+                });
+                let expect = (x / y) | ((x % y) << 5);
+                assert_eq!(got, expect, "{x} / {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_convention() {
+        let got = eval2(4, 11, 0, |b, xs, ys| {
+            let (q, r) = b.udivmod(xs, ys);
+            let mut out = q;
+            out.extend(r);
+            out
+        });
+        assert_eq!(got & 0xF, 0xF, "quotient saturates");
+        assert_eq!(got >> 4, 11, "remainder is the dividend");
+    }
+
+    #[test]
+    fn shifts_const_and_var() {
+        for amount in 0..9u64 {
+            let got = eval2(8, 0b1011_0110, amount, |b, xs, ys| b.shr_var(xs, &ys[..4]));
+            assert_eq!(got, 0b1011_0110u64 >> amount.min(63), "shr {amount}");
+            let got = eval2(8, 0b1011_0110, amount, |b, xs, ys| b.shl_var(xs, &ys[..4]));
+            assert_eq!(got, (0b1011_0110u64 << amount.min(63)) & 0xFF, "shl {amount}");
+        }
+    }
+
+    #[test]
+    fn rotation() {
+        let mut b = Builder::new();
+        let xs = b.input_garbler(8);
+        let rot = b.rotl_const(&xs, 3);
+        let c = b.finish(rot).unwrap();
+        let x = 0b1100_1010u8;
+        let bits: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+        let out = c.eval(&bits, &[]).unwrap();
+        let got = out.iter().enumerate().fold(0u8, |acc, (i, &bit)| acc | ((bit as u8) << i));
+        assert_eq!(got, x.rotate_left(3));
+    }
+
+    #[test]
+    fn popcount_matches() {
+        for x in [0u64, 1, 0xFF, 0xAB, 0x5A, 0x80, 0x7F] {
+            let got = eval2(8, x, 0, |b, xs, _| b.popcount(xs));
+            assert_eq!(got, x.count_ones() as u64, "popcount {x:#x}");
+        }
+    }
+
+    #[test]
+    fn popcount_empty() {
+        let mut b = Builder::new();
+        let _ = b.input_garbler(1);
+        let out = b.popcount(&[]);
+        assert_eq!(b.word_as_const(&out), Some(0));
+    }
+
+    #[test]
+    fn sum_words_tree() {
+        let got = eval2(4, 0, 0, |b, _, _| {
+            let words: Vec<Word> =
+                (1..=9u64).map(|v| b.const_word(v, 4)).collect();
+            b.sum_words(&words)
+        });
+        assert_eq!(got, 45);
+    }
+
+    #[test]
+    fn leading_zeros_matches() {
+        for x in [0u64, 1, 2, 0x80, 0xFF, 0x40, 0x23] {
+            let got = eval2(8, x, 0, |b, xs, _| {
+                let (count, is_zero) = b.leading_zeros(xs);
+                let mut out = count;
+                out.push(is_zero);
+                out
+            });
+            let lz = (x as u8).leading_zeros() as u64;
+            let width = 4; // lzc of 8-bit value fits in 4 bits
+            assert_eq!(got & ((1 << width) - 1), lz, "lzc {x:#x}");
+            assert_eq!(got >> width, (x == 0) as u64, "is_zero {x:#x}");
+        }
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        for sel in [0u64, 1] {
+            let got = eval2(4, 0b1010, sel, |b, xs, ys| {
+                let f = b.const_word(0b0101, 4);
+                b.mux_word(ys[0], xs, &f)
+            });
+            assert_eq!(got, if sel == 1 { 0b1010 } else { 0b0101 });
+        }
+    }
+
+    #[test]
+    fn bitwise_words() {
+        let x = 0b1100u64;
+        let y = 0b1010u64;
+        let got = eval2(4, x, y, |b, xs, ys| {
+            let mut out = b.and_words(xs, ys);
+            let or = b.or_words(xs, ys);
+            let xor = b.xor_words(xs, ys);
+            let not = b.not_word(xs);
+            out.extend(or);
+            out.extend(xor);
+            out.extend(not);
+            out
+        });
+        let expect = (x & y) | ((x | y) << 4) | ((x ^ y) << 8) | ((!x & 0xF) << 12);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ripple_adder_uses_n_ands() {
+        let mut b = Builder::new();
+        let xs = b.input_garbler(32);
+        let ys = b.input_evaluator(32);
+        let before = b.num_gates();
+        let _ = b.add_words(&xs, &ys);
+        let ands = b
+            .snapshot_gates()
+            .iter()
+            .skip(before)
+            .filter(|g| g.op == crate::GateOp::And)
+            .count();
+        assert_eq!(ands, 32);
+    }
+}

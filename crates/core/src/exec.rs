@@ -1,0 +1,440 @@
+//! Functional execution of lowered HAAC programs (the correctness half
+//! of the paper's §5 "Correctness" methodology).
+//!
+//! The executor garbles or evaluates a circuit *through* the compiled
+//! instruction stream, obtaining every operand exclusively via the
+//! memory structures the hardware would use:
+//!
+//! - in-window reads come from the physical SWW slot (`addr % n`), with
+//!   a tag check that the slot still holds the expected wire;
+//! - sentinel operands pop the compiler-generated OoRW stream and fetch
+//!   from modeled DRAM, which only contains inputs and live-bit spills.
+//!
+//! Any compiler bug — wrong renaming, a wire marked spent while still
+//! needed, a missed OoR access — surfaces as an [`ExecError`] or as a
+//! decode mismatch against plaintext evaluation. This is the mechanism
+//! behind the integration tests asserting that reordering/renaming/ESW
+//! preserve GC semantics for every workload.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use haac_gc::{
+    eval_and, eval_inv, eval_xor, garble_and, garble_inv, garble_xor, Block, Delta, GateHash,
+    HashScheme,
+};
+use rand::Rng;
+
+use crate::compiler::LoweredProgram;
+use crate::isa::{Opcode, OOR_SENTINEL};
+use crate::window::WindowModel;
+
+/// Memory-discipline violations surfaced by the functional executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An in-window read found a different wire in the physical slot —
+    /// the SWW contract was violated (renaming or OoR-marking bug).
+    SlotTagMismatch {
+        /// Instruction index performing the read.
+        instruction: usize,
+        /// Address the instruction expected.
+        expected: u32,
+        /// Address actually resident in the slot.
+        found: u32,
+    },
+    /// An OoR read missed in DRAM — the wire was never spilled (ESW bug)
+    /// or the OoR stream is inconsistent.
+    MissingDramWire {
+        /// Instruction index performing the read.
+        instruction: usize,
+        /// The wire address that should have been in DRAM.
+        addr: u32,
+    },
+    /// The OoRW stream ran dry for an instruction with a sentinel
+    /// operand.
+    OorStreamUnderflow {
+        /// Instruction index performing the read.
+        instruction: usize,
+    },
+    /// The evaluator ran out of garbled tables.
+    TableUnderflow {
+        /// Instruction index needing a table.
+        instruction: usize,
+    },
+    /// Input label count didn't match the program.
+    InputCount {
+        /// Labels provided.
+        got: usize,
+        /// Labels required (one per input).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::SlotTagMismatch { instruction, expected, found } => write!(
+                f,
+                "instruction {instruction}: SWW slot holds wire {found}, expected {expected}"
+            ),
+            ExecError::MissingDramWire { instruction, addr } => {
+                write!(f, "instruction {instruction}: wire {addr} absent from DRAM")
+            }
+            ExecError::OorStreamUnderflow { instruction } => {
+                write!(f, "instruction {instruction}: OoRW stream underflow")
+            }
+            ExecError::TableUnderflow { instruction } => {
+                write!(f, "instruction {instruction}: table queue underflow")
+            }
+            ExecError::InputCount { got, expected } => {
+                write!(f, "got {got} input labels, program requires {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Traffic counters accumulated during functional execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemReport {
+    /// Reads served by the SWW.
+    pub sww_reads: u64,
+    /// Reads served by the OoRW queue (DRAM).
+    pub oor_reads: u64,
+    /// Live wires written back to DRAM.
+    pub live_writes: u64,
+}
+
+/// The modeled on-chip/off-chip wire memory shared by both roles.
+struct WireMemory {
+    window: WindowModel,
+    /// Physical SWW: (resident wire address, value) per slot.
+    slots: Vec<(u32, Block)>,
+    /// Modeled DRAM: inputs and spilled live wires.
+    dram: HashMap<u32, Block>,
+    report: MemReport,
+}
+
+impl WireMemory {
+    fn new(window: WindowModel, inputs: &[Block]) -> WireMemory {
+        // Input wire k lives at address k+1. All inputs start in DRAM;
+        // those inside the initial window are also preloaded into the SWW.
+        let mut slots = vec![(u32::MAX, Block::ZERO); window.sww_wires() as usize];
+        let mut dram = HashMap::new();
+        let num_inputs = inputs.len() as u32;
+        let first_frontier = num_inputs + 1;
+        let base0 = window.base_for_frontier(first_frontier);
+        for (k, &label) in inputs.iter().enumerate() {
+            let addr = k as u32 + 1;
+            dram.insert(addr, label);
+            if addr >= base0 {
+                slots[window.slot(addr) as usize] = (addr, label);
+            }
+        }
+        WireMemory { window, slots, dram, report: MemReport::default() }
+    }
+
+    fn read(
+        &mut self,
+        instruction: usize,
+        addr: u32,
+        oor_stream: &mut std::vec::IntoIter<u32>,
+    ) -> Result<Block, ExecError> {
+        if addr == OOR_SENTINEL {
+            let real = oor_stream
+                .next()
+                .ok_or(ExecError::OorStreamUnderflow { instruction })?;
+            self.report.oor_reads += 1;
+            return self
+                .dram
+                .get(&real)
+                .copied()
+                .ok_or(ExecError::MissingDramWire { instruction, addr: real });
+        }
+        let (tag, value) = self.slots[self.window.slot(addr) as usize];
+        if tag != addr {
+            return Err(ExecError::SlotTagMismatch { instruction, expected: addr, found: tag });
+        }
+        self.report.sww_reads += 1;
+        Ok(value)
+    }
+
+    fn write(&mut self, addr: u32, value: Block, live: bool) {
+        self.slots[self.window.slot(addr) as usize] = (addr, value);
+        if live {
+            self.dram.insert(addr, value);
+            self.report.live_writes += 1;
+        }
+    }
+}
+
+/// The Garbler's artifacts from stream execution.
+#[derive(Debug, Clone)]
+pub struct StreamGarbling {
+    /// The FreeXOR offset.
+    pub delta: Delta,
+    /// Zero labels for the program inputs (address order).
+    pub input_zero_labels: Vec<Block>,
+    /// Garbled tables in program order.
+    pub tables: Vec<[Block; 2]>,
+    /// Per-output decode bits.
+    pub output_decode: Vec<bool>,
+    /// Memory-discipline counters.
+    pub report: MemReport,
+}
+
+/// Garbles a circuit by executing its lowered HAAC program.
+///
+/// Tweaks are instruction indices, so the evaluator must run the *same*
+/// program (which is the protocol's reality: both parties compile
+/// deterministically).
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the compiled program violates the memory
+/// discipline (a compiler bug this executor exists to catch).
+pub fn garble_stream<R: Rng + ?Sized>(
+    lowered: &LoweredProgram,
+    window: WindowModel,
+    rng: &mut R,
+    scheme: HashScheme,
+) -> Result<StreamGarbling, ExecError> {
+    let program = &lowered.program;
+    let hash = GateHash::new(scheme);
+    let delta = Delta::random(rng);
+    let input_zero_labels: Vec<Block> =
+        (0..program.num_inputs).map(|_| Block::random(rng)).collect();
+
+    let mut memory = WireMemory::new(window, &input_zero_labels);
+    let mut tables = Vec::with_capacity(program.num_and());
+    for (i, instr) in program.instructions.iter().enumerate() {
+        let mut oor = lowered.oor_addrs[i].clone().into_iter();
+        let out_addr = program.output_addr(i);
+        let value = match instr.op {
+            Opcode::Nop => continue,
+            Opcode::Inv => {
+                let a = memory.read(i, instr.a, &mut oor)?;
+                garble_inv(delta, a)
+            }
+            Opcode::Xor => {
+                let a = memory.read(i, instr.a, &mut oor)?;
+                let b = memory.read(i, instr.b, &mut oor)?;
+                garble_xor(a, b)
+            }
+            Opcode::And => {
+                let a = memory.read(i, instr.a, &mut oor)?;
+                let b = memory.read(i, instr.b, &mut oor)?;
+                let (out, table) = garble_and(&hash, delta, i as u64, a, b);
+                tables.push(table);
+                out
+            }
+        };
+        memory.write(out_addr, value, instr.live);
+    }
+
+    // Outputs are always live, hence present in DRAM.
+    let mut output_decode = Vec::with_capacity(program.output_addrs.len());
+    for &addr in &program.output_addrs {
+        let label = memory
+            .dram
+            .get(&addr)
+            .copied()
+            .ok_or(ExecError::MissingDramWire { instruction: usize::MAX, addr })?;
+        output_decode.push(label.lsb());
+    }
+    Ok(StreamGarbling {
+        delta,
+        input_zero_labels,
+        tables,
+        output_decode,
+        report: memory.report,
+    })
+}
+
+/// Evaluates a garbled program by stream execution; returns the active
+/// output labels and the memory report.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on memory-discipline violations, input/table
+/// count mismatches, or missing output wires.
+pub fn evaluate_stream(
+    lowered: &LoweredProgram,
+    window: WindowModel,
+    tables: &[[Block; 2]],
+    input_labels: &[Block],
+    scheme: HashScheme,
+) -> Result<(Vec<Block>, MemReport), ExecError> {
+    let program = &lowered.program;
+    if input_labels.len() != program.num_inputs as usize {
+        return Err(ExecError::InputCount {
+            got: input_labels.len(),
+            expected: program.num_inputs as usize,
+        });
+    }
+    let hash = GateHash::new(scheme);
+    let mut memory = WireMemory::new(window, input_labels);
+    let mut next_table = 0usize;
+    for (i, instr) in program.instructions.iter().enumerate() {
+        let mut oor = lowered.oor_addrs[i].clone().into_iter();
+        let out_addr = program.output_addr(i);
+        let value = match instr.op {
+            Opcode::Nop => continue,
+            Opcode::Inv => {
+                let a = memory.read(i, instr.a, &mut oor)?;
+                eval_inv(a)
+            }
+            Opcode::Xor => {
+                let a = memory.read(i, instr.a, &mut oor)?;
+                let b = memory.read(i, instr.b, &mut oor)?;
+                eval_xor(a, b)
+            }
+            Opcode::And => {
+                let a = memory.read(i, instr.a, &mut oor)?;
+                let b = memory.read(i, instr.b, &mut oor)?;
+                let table =
+                    tables.get(next_table).ok_or(ExecError::TableUnderflow { instruction: i })?;
+                next_table += 1;
+                eval_and(&hash, i as u64, a, b, table)
+            }
+        };
+        memory.write(out_addr, value, instr.live);
+    }
+    let mut outputs = Vec::with_capacity(program.output_addrs.len());
+    for &addr in &program.output_addrs {
+        let label = memory
+            .dram
+            .get(&addr)
+            .copied()
+            .ok_or(ExecError::MissingDramWire { instruction: usize::MAX, addr })?;
+        outputs.push(label);
+    }
+    Ok((outputs, memory.report))
+}
+
+/// Convenience: compile-and-run a full garble → evaluate → decode round
+/// trip through HAAC streams, returning the decoded outputs.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from either role.
+pub fn run_gc_through_streams<R: Rng + ?Sized>(
+    lowered: &LoweredProgram,
+    window: WindowModel,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    rng: &mut R,
+    scheme: HashScheme,
+) -> Result<Vec<bool>, ExecError> {
+    let garbling = garble_stream(lowered, window, rng, scheme)?;
+    let delta = garbling.delta.block();
+    let bits: Vec<bool> = garbler_bits.iter().chain(evaluator_bits).copied().collect();
+    let active: Vec<Block> = garbling
+        .input_zero_labels
+        .iter()
+        .zip(&bits)
+        .map(|(&zero, &bit)| zero ^ delta.select(bit))
+        .collect();
+    let (out_labels, _) =
+        evaluate_stream(lowered, window, &garbling.tables, &active, scheme)?;
+    Ok(out_labels
+        .iter()
+        .zip(&garbling.output_decode)
+        .map(|(label, &d)| label.lsb() ^ d)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, ReorderKind};
+    use haac_circuit::Builder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mixed_circuit() -> haac_circuit::Circuit {
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.input_evaluator(8);
+        let (s, _) = b.add_words(&x, &y);
+        let p = b.mul_words_trunc(&x, &y);
+        let lt = b.lt_u(&x, &y);
+        let mut out = s;
+        out.extend(p);
+        out.push(lt);
+        b.finish(out).unwrap()
+    }
+
+    #[test]
+    fn streams_match_plaintext_across_windows_and_orders() {
+        let c = mixed_circuit();
+        let g_bits = haac_circuit::to_bits(173, 8);
+        let e_bits = haac_circuit::to_bits(99, 8);
+        let expect = c.eval(&g_bits, &e_bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for sww in [4u32, 8, 16, 64, 4096] {
+            let window = WindowModel::new(sww);
+            for kind in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
+                let (lowered, _) = compile(&c, kind, window);
+                let got = run_gc_through_streams(
+                    &lowered,
+                    window,
+                    &g_bits,
+                    &e_bits,
+                    &mut rng,
+                    HashScheme::Rekeyed,
+                )
+                .unwrap_or_else(|e| panic!("sww={sww} {kind:?}: {e}"));
+                assert_eq!(got, expect, "sww={sww} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_window_produces_oor_traffic() {
+        let c = mixed_circuit();
+        let window = WindowModel::new(4);
+        let (lowered, stats) = compile(&c, ReorderKind::Full, window);
+        assert!(stats.oor_count > 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = garble_stream(&lowered, window, &mut rng, HashScheme::Rekeyed).unwrap();
+        assert_eq!(g.report.oor_reads, stats.oor_count as u64);
+        assert_eq!(g.report.live_writes, stats.live_count as u64);
+    }
+
+    #[test]
+    fn corrupting_live_bits_is_detected() {
+        // Clearing a live bit that ESW kept must surface as a missing
+        // DRAM wire when the consumer reads it OoR.
+        let c = mixed_circuit();
+        let window = WindowModel::new(4);
+        let (mut lowered, _) = compile(&c, ReorderKind::Baseline, window);
+        let victim = lowered
+            .program
+            .instructions
+            .iter()
+            .position(|i| i.live)
+            .expect("some wire is live under a tiny window");
+        lowered.program.instructions[victim].live = false;
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = run_gc_through_streams(
+            &lowered,
+            window,
+            &haac_circuit::to_bits(1, 8),
+            &haac_circuit::to_bits(2, 8),
+            &mut rng,
+            HashScheme::Rekeyed,
+        );
+        assert!(result.is_err(), "ESW corruption must be caught");
+    }
+
+    #[test]
+    fn wrong_input_count_is_rejected() {
+        let c = mixed_circuit();
+        let window = WindowModel::new(64);
+        let (lowered, _) = compile(&c, ReorderKind::Baseline, window);
+        let result =
+            evaluate_stream(&lowered, window, &[], &[Block::ZERO; 3], HashScheme::Rekeyed);
+        assert!(matches!(result, Err(ExecError::InputCount { .. })));
+    }
+}

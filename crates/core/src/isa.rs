@@ -1,0 +1,405 @@
+//! The HAAC instruction set (paper §3.1.3).
+//!
+//! A HAAC program has no control flow and no explicit memory
+//! instructions: it is a straight-line stream of gate operations. Each
+//! instruction encodes:
+//!
+//! - the operation (2 bits: AND / XOR / INV / NOP),
+//! - two input wire addresses (17 bits each for a 2 MB SWW; the address
+//!   `0` is reserved as the *out-of-range sentinel*, telling the GE to
+//!   pop the operand from its OoRW queue instead of reading the SWW),
+//! - a *live* bit: whether the output wire must spill to DRAM
+//!   (set by the eliminating-spent-wires pass, §4.2.3).
+//!
+//! Output addresses are **not** encoded: after the renaming pass
+//! (§4.2.2) the i-th instruction writes wire address
+//! `num_inputs + 1 + i`, so hardware derives it from the program
+//! counter.
+
+use std::fmt;
+
+/// The wire-address sentinel meaning "read this operand from the OoRW
+/// queue".
+pub const OOR_SENTINEL: u32 = 0;
+
+/// HAAC opcode (2 bits in hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Half-gate AND: consumes a garbled table.
+    And,
+    /// FreeXOR: single-cycle, no table.
+    Xor,
+    /// Free inversion (label relabeling), executed by the FreeXOR unit.
+    Inv,
+    /// No-op (pipeline filler).
+    Nop,
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::And => f.write_str("AND"),
+            Opcode::Xor => f.write_str("XOR"),
+            Opcode::Inv => f.write_str("INV"),
+            Opcode::Nop => f.write_str("NOP"),
+        }
+    }
+}
+
+/// One HAAC instruction.
+///
+/// Operands are *program wire addresses*: inputs occupy `1..=num_inputs`
+/// and instruction `i` writes `num_inputs + 1 + i`. `OOR_SENTINEL` (0)
+/// marks an operand the compiler has routed through the OoRW queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// First input wire address (or [`OOR_SENTINEL`]).
+    pub a: u32,
+    /// Second input wire address (or [`OOR_SENTINEL`]); equals `a` for INV.
+    pub b: u32,
+    /// The operation.
+    pub op: Opcode,
+    /// Whether the output wire spills to DRAM (cleared by ESW when the
+    /// wire is provably spent within its SWW window).
+    pub live: bool,
+}
+
+impl Instruction {
+    /// Creates an instruction with the live bit set (the conservative
+    /// default before ESW runs).
+    pub fn new(op: Opcode, a: u32, b: u32) -> Instruction {
+        Instruction { a, b, op, live: true }
+    }
+
+    /// Number of operands actually read from wires (sentinel operands
+    /// still count — they are read from the OoRW queue).
+    pub fn num_operands(&self) -> usize {
+        match self.op {
+            Opcode::And | Opcode::Xor => 2,
+            Opcode::Inv => 1,
+            Opcode::Nop => 0,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}, {}{}", self.op, self.a, self.b, if self.live { " [live]" } else { "" })
+    }
+}
+
+/// A complete HAAC program: renamed, straight-line instructions plus the
+/// metadata needed to run and decode it.
+///
+/// Invariants (maintained by the compiler, checked by
+/// [`Program::validate`]):
+///
+/// - instruction `i`'s output address is `first_output_addr() + i`;
+/// - every non-sentinel operand is a previously defined address;
+/// - `source_gate[i]` maps instruction `i` back to the originating
+///   circuit gate (used to fetch gate semantics and for debugging).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The instruction stream in program (= execution = renamed) order.
+    pub instructions: Vec<Instruction>,
+    /// Number of primary inputs (addresses `1..=num_inputs`).
+    pub num_inputs: u32,
+    /// Program wire addresses of the circuit outputs, in output order.
+    pub output_addrs: Vec<u32>,
+    /// For each instruction, the index of the circuit gate it implements.
+    pub source_gate: Vec<u32>,
+}
+
+impl Program {
+    /// Address written by the first instruction.
+    #[inline]
+    pub fn first_output_addr(&self) -> u32 {
+        self.num_inputs + 1
+    }
+
+    /// Address written by instruction `i`.
+    #[inline]
+    pub fn output_addr(&self, i: usize) -> u32 {
+        self.first_output_addr() + i as u32
+    }
+
+    /// Total number of wire addresses (sentinel + inputs + outputs).
+    #[inline]
+    pub fn num_addrs(&self) -> u32 {
+        self.first_output_addr() + self.instructions.len() as u32
+    }
+
+    /// Number of AND instructions (= garbled tables consumed).
+    pub fn num_and(&self) -> usize {
+        self.instructions.iter().filter(|i| i.op == Opcode::And).count()
+    }
+
+    /// Fraction of instructions whose live bit is set.
+    pub fn live_fraction(&self) -> f64 {
+        if self.instructions.is_empty() {
+            return 0.0;
+        }
+        let live = self.instructions.iter().filter(|i| i.live).count();
+        live as f64 / self.instructions.len() as f64
+    }
+
+    /// Bits per encoded instruction for a given SWW capacity:
+    /// 2 (op) + 2 × address width + 1 (live), per §3.1.3.
+    pub fn instruction_bits(sww_wires: u32) -> u32 {
+        let addr_bits = 32 - (sww_wires.max(2) - 1).leading_zeros();
+        2 + 2 * addr_bits + 1
+    }
+
+    /// Bytes per encoded instruction (rounded up).
+    pub fn instruction_bytes(sww_wires: u32) -> u32 {
+        Program::instruction_bits(sww_wires).div_ceil(8)
+    }
+
+    /// Encodes the instruction stream into the hardware's bit format:
+    /// per instruction `op (2b) | a (addr bits) | b (addr bits) |
+    /// live (1b)`, packed little-endian, each instruction padded to a
+    /// whole byte (§3.1.3's 37 bits → 5 B for a 2 MB SWW).
+    ///
+    /// Operand fields hold the *distance from the instruction's own
+    /// output address* (`out - operand`), which the SWW window contract
+    /// bounds to `1..sww_wires` — so 17 bits suffice for a 2 MB SWW and
+    /// the value 0 remains free for the OoRW sentinel, exactly matching
+    /// the paper's field widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand lies outside its SWW window (i.e.
+    /// [`crate::compiler::mark_out_of_range`] has not been run for this
+    /// `sww_wires`).
+    pub fn encode(&self, sww_wires: u32) -> Vec<u8> {
+        let addr_bits = 32 - (sww_wires.max(2) - 1).leading_zeros();
+        let instr_bytes = Program::instruction_bytes(sww_wires) as usize;
+        let mut out = Vec::with_capacity(self.instructions.len() * instr_bytes);
+        for (i, instr) in self.instructions.iter().enumerate() {
+            let out_addr = self.output_addr(i);
+            let field = |operand: u32| -> u64 {
+                if operand == OOR_SENTINEL {
+                    return 0;
+                }
+                let distance = u64::from(out_addr - operand);
+                assert!(
+                    distance < u64::from(sww_wires),
+                    "operand {operand} of instruction {i} is outside the {sww_wires}-wire window"
+                );
+                distance
+            };
+            let op = match instr.op {
+                Opcode::And => 0u64,
+                Opcode::Xor => 1,
+                Opcode::Inv => 2,
+                Opcode::Nop => 3,
+            };
+            let word = op
+                | (field(instr.a) << 2)
+                | (field(instr.b) << (2 + addr_bits))
+                | ((instr.live as u64) << (2 + 2 * addr_bits));
+            out.extend_from_slice(&word.to_le_bytes()[..instr_bytes]);
+        }
+        out
+    }
+
+    /// Decodes a byte stream produced by [`Program::encode`] back into
+    /// instructions. `first_output_addr` anchors the frontier-relative
+    /// operand fields (`num_inputs + 1` for a whole program).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stream length is not a whole number of
+    /// instructions.
+    pub fn decode_instructions(
+        bytes: &[u8],
+        sww_wires: u32,
+        first_output_addr: u32,
+    ) -> Result<Vec<Instruction>, String> {
+        let addr_bits = 32 - (sww_wires.max(2) - 1).leading_zeros();
+        let instr_bytes = Program::instruction_bytes(sww_wires) as usize;
+        if !bytes.len().is_multiple_of(instr_bytes) {
+            return Err(format!(
+                "stream of {} bytes is not a multiple of the {instr_bytes}-byte encoding",
+                bytes.len()
+            ));
+        }
+        let mask = (1u64 << addr_bits) - 1;
+        let mut out = Vec::with_capacity(bytes.len() / instr_bytes);
+        for (i, chunk) in bytes.chunks(instr_bytes).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let word = u64::from_le_bytes(word);
+            let out_addr = first_output_addr + i as u32;
+            let op = match word & 3 {
+                0 => Opcode::And,
+                1 => Opcode::Xor,
+                2 => Opcode::Inv,
+                _ => Opcode::Nop,
+            };
+            let operand = |field: u64| -> u32 {
+                if field == 0 {
+                    OOR_SENTINEL
+                } else {
+                    out_addr - field as u32
+                }
+            };
+            let a = operand((word >> 2) & mask);
+            let b = operand((word >> (2 + addr_bits)) & mask);
+            let live = (word >> (2 + 2 * addr_bits)) & 1 == 1;
+            out.push(Instruction { a, b, op, live });
+        }
+        Ok(out)
+    }
+
+    /// Checks the program invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.source_gate.len() != self.instructions.len() {
+            return Err(format!(
+                "source_gate has {} entries for {} instructions",
+                self.source_gate.len(),
+                self.instructions.len()
+            ));
+        }
+        for (i, instr) in self.instructions.iter().enumerate() {
+            let out = self.output_addr(i);
+            for operand in [instr.a, instr.b].iter().take(instr.num_operands()) {
+                if *operand >= out && *operand != OOR_SENTINEL {
+                    return Err(format!(
+                        "instruction {i} ({instr}) reads address {operand} >= its output {out}"
+                    ));
+                }
+            }
+        }
+        for &out in &self.output_addrs {
+            if out == OOR_SENTINEL || out >= self.num_addrs() {
+                return Err(format!("output address {out} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        // inputs at 1,2; instrs write 3,4,5.
+        Program {
+            instructions: vec![
+                Instruction::new(Opcode::Xor, 1, 2),
+                Instruction::new(Opcode::And, 3, 1),
+                Instruction::new(Opcode::Inv, 4, 4),
+            ],
+            num_inputs: 2,
+            output_addrs: vec![5],
+            source_gate: vec![0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn addresses_are_sequential() {
+        let p = sample_program();
+        assert_eq!(p.first_output_addr(), 3);
+        assert_eq!(p.output_addr(2), 5);
+        assert_eq!(p.num_addrs(), 6);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_future_reads() {
+        let mut p = sample_program();
+        p.instructions[0] = Instruction::new(Opcode::Xor, 4, 2);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_outputs() {
+        let mut p = sample_program();
+        p.output_addrs = vec![99];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn encoding_width_matches_paper() {
+        // 2 MB SWW = 131072 wires → 17-bit addresses → 37 bits (§3.1.3).
+        assert_eq!(Program::instruction_bits(131_072), 2 + 2 * 17 + 1);
+        assert_eq!(Program::instruction_bytes(131_072), 5);
+    }
+
+    #[test]
+    fn live_fraction_counts() {
+        let mut p = sample_program();
+        assert_eq!(p.live_fraction(), 1.0);
+        p.instructions[0].live = false;
+        assert!((p.live_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_count() {
+        assert_eq!(sample_program().num_and(), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut p = sample_program();
+        p.instructions[1].live = false;
+        for sww in [8u32, 64, 131_072] {
+            let bytes = p.encode(sww);
+            assert_eq!(
+                bytes.len(),
+                p.instructions.len() * Program::instruction_bytes(sww) as usize
+            );
+            let decoded =
+                Program::decode_instructions(&bytes, sww, p.first_output_addr()).unwrap();
+            assert_eq!(decoded, p.instructions, "sww={sww}");
+        }
+    }
+
+    #[test]
+    fn encode_preserves_oor_sentinel() {
+        let mut p = sample_program();
+        p.instructions[1].a = OOR_SENTINEL;
+        let bytes = p.encode(64);
+        let decoded = Program::decode_instructions(&bytes, 64, p.first_output_addr()).unwrap();
+        assert_eq!(decoded[1].a, OOR_SENTINEL);
+        assert_eq!(decoded, p.instructions);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn encode_panics_on_unlowered_oor_operand() {
+        // Instruction 60 reading address 1 is far outside a 4-wire window.
+        let mut instructions = vec![Instruction::new(Opcode::Xor, 1, 2); 64];
+        for (i, instr) in instructions.iter_mut().enumerate().skip(1) {
+            instr.a = 2 + i as u32; // previous output
+        }
+        instructions[60].a = 1;
+        let p = Program {
+            instructions,
+            num_inputs: 2,
+            output_addrs: vec![3],
+            source_gate: vec![0; 64],
+        };
+        let _ = p.encode(4);
+    }
+
+    #[test]
+    fn decode_rejects_ragged_streams() {
+        let p = sample_program();
+        let mut bytes = p.encode(131_072);
+        bytes.pop();
+        assert!(Program::decode_instructions(&bytes, 131_072, p.first_output_addr()).is_err());
+    }
+
+    #[test]
+    fn encoding_is_dense_for_2mb_sww() {
+        // 3 instructions × 5 bytes (37 bits rounded up).
+        assert_eq!(sample_program().encode(131_072).len(), 15);
+    }
+}

@@ -1,0 +1,172 @@
+//! 128-bit blocks: wire labels, garbled-table rows, and AES states.
+//!
+//! Every GC object the paper counts bytes for — wire labels (16 B) and
+//! garbled tables (2 × 16 B per AND) — is a [`Block`].
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A 128-bit value: a wire label, a table row, or an AES block.
+///
+/// XOR is the workhorse operation (FreeXOR lives on it).
+///
+/// # Examples
+///
+/// ```
+/// use haac_gc::Block;
+/// let a = Block::from(0x1234u128);
+/// let b = Block::from(0x00FFu128);
+/// assert_eq!((a ^ b) ^ b, a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Block(u128);
+
+impl Block {
+    /// The all-zero block.
+    pub const ZERO: Block = Block(0);
+
+    /// Creates a block from raw bytes (little-endian).
+    #[inline]
+    pub fn from_bytes(bytes: [u8; 16]) -> Block {
+        Block(u128::from_le_bytes(bytes))
+    }
+
+    /// Returns the raw bytes (little-endian).
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// The least-significant bit — the *permute bit* in point-and-permute
+    /// garbling.
+    #[inline]
+    pub fn lsb(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Samples a uniformly random block.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Block {
+        Block(rng.gen())
+    }
+
+    /// Returns `self` if `cond` is true, otherwise zero.
+    ///
+    /// The branch-free select used throughout half-gate garbling
+    /// (`cond·X` in the paper's notation).
+    #[inline]
+    pub fn select(self, cond: bool) -> Block {
+        // Branch-free: mask with 0 or all-ones.
+        Block(self.0 & (0u128.wrapping_sub(cond as u128)))
+    }
+}
+
+impl From<u128> for Block {
+    fn from(v: u128) -> Block {
+        Block(v)
+    }
+}
+
+impl From<Block> for u128 {
+    fn from(b: Block) -> u128 {
+        b.0
+    }
+}
+
+impl std::ops::BitXor for Block {
+    type Output = Block;
+    #[inline]
+    fn bitxor(self, rhs: Block) -> Block {
+        Block(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::BitXorAssign for Block {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Block) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// The garbler's global FreeXOR offset Δ (`R` in the paper), with its
+/// least-significant bit forced to 1 so permute bits of a label pair
+/// always differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delta(Block);
+
+impl Delta {
+    /// Samples a fresh Δ (lsb forced to 1).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Delta {
+        Delta(Block(u128::from(Block::random(rng)) | 1))
+    }
+
+    /// Builds a Δ from a block, forcing the lsb to 1.
+    pub fn from_block(block: Block) -> Delta {
+        Delta(Block(u128::from(block) | 1))
+    }
+
+    /// The underlying block.
+    #[inline]
+    pub fn block(self) -> Block {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn xor_and_lsb() {
+        let a = Block::from(0b1010u128);
+        let b = Block::from(0b0110u128);
+        assert_eq!(u128::from(a ^ b), 0b1100);
+        assert!(!a.lsb());
+        assert!(Block::from(1u128).lsb());
+    }
+
+    #[test]
+    fn select_is_branch_free_mask() {
+        let a = Block::from(0xDEAD_BEEFu128);
+        assert_eq!(a.select(true), a);
+        assert_eq!(a.select(false), Block::ZERO);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let b = Block::random(&mut rng);
+            assert_eq!(Block::from_bytes(b.to_bytes()), b);
+        }
+    }
+
+    #[test]
+    fn delta_lsb_is_always_one() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert!(Delta::random(&mut rng).block().lsb());
+        }
+        assert!(Delta::from_block(Block::ZERO).block().lsb());
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let s = format!("{}", Block::from(0xABu128));
+        assert_eq!(s.len(), 32);
+        assert!(s.ends_with("ab"));
+    }
+}

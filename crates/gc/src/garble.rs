@@ -1,0 +1,249 @@
+//! Half-gate garbling (the Garbler's side of the protocol).
+//!
+//! Implements the Zahur–Rosulek–Evans half-gate AND (two 16-byte table
+//! rows, four hash calls) with FreeXOR labels and point-and-permute
+//! decoding — the exact computation HAAC's Garbler gate engine pipelines
+//! in hardware (paper Fig. 2). XOR costs one 128-bit XOR and INV is a
+//! relabeling; neither produces a table.
+
+use rand::Rng;
+
+use haac_circuit::{Circuit, GateOp};
+
+use crate::block::{Block, Delta};
+use crate::hash::{GateHash, HashScheme};
+
+/// The transferable garbling artifacts: what the Garbler sends to the
+/// Evaluator (plus, out of band, the input labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GarbledCircuit {
+    /// One two-row table per AND gate, in gate order.
+    pub tables: Vec<[Block; 2]>,
+    /// Per output wire: the permute bit of the zero label, used to decode
+    /// active output labels into cleartext bits.
+    pub output_decode: Vec<bool>,
+}
+
+impl GarbledCircuit {
+    /// Total bytes an Evaluator must receive (tables only).
+    pub fn table_bytes(&self) -> usize {
+        self.tables.len() * 32
+    }
+}
+
+/// The Garbler's complete state after garbling: Δ and the zero label of
+/// every wire (input encoding and output decoding derive from these).
+#[derive(Debug, Clone)]
+pub struct Garbling {
+    /// The global FreeXOR offset.
+    pub delta: Delta,
+    /// Zero label for every wire in the circuit.
+    pub wire_zero_labels: Vec<Block>,
+    /// The transferable part.
+    pub garbled: GarbledCircuit,
+}
+
+impl Garbling {
+    /// Encodes concrete input bits into active labels for all primary
+    /// inputs (garbler bits first, evaluator bits after — wire order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit counts do not match the circuit that produced
+    /// this garbling.
+    pub fn encode_inputs(
+        &self,
+        circuit: &Circuit,
+        garbler_bits: &[bool],
+        evaluator_bits: &[bool],
+    ) -> Vec<Block> {
+        assert_eq!(garbler_bits.len(), circuit.garbler_inputs() as usize, "garbler input width");
+        assert_eq!(
+            evaluator_bits.len(),
+            circuit.evaluator_inputs() as usize,
+            "evaluator input width"
+        );
+        garbler_bits
+            .iter()
+            .chain(evaluator_bits)
+            .enumerate()
+            .map(|(w, &bit)| self.wire_zero_labels[w] ^ self.delta.block().select(bit))
+            .collect()
+    }
+
+    /// The pair of labels (zero, one) for an input wire — what the OT
+    /// offers the Evaluator for its choice bits.
+    pub fn input_label_pair(&self, wire: u32) -> (Block, Block) {
+        let zero = self.wire_zero_labels[wire as usize];
+        (zero, zero ^ self.delta.block())
+    }
+}
+
+/// Garbles one AND gate; returns the output zero label and the two-row
+/// table.
+///
+/// `tweak_base` must uniquely identify the gate within the garbling
+/// session (the paper keys the A-side hashes with `2·i` and the B-side
+/// with `2·i + 1`).
+#[inline]
+pub fn garble_and(
+    hash: &GateHash,
+    delta: Delta,
+    tweak_base: u64,
+    w0a: Block,
+    w0b: Block,
+) -> (Block, [Block; 2]) {
+    let j0 = 2 * tweak_base;
+    let j1 = 2 * tweak_base + 1;
+    let pa = w0a.lsb();
+    let pb = w0b.lsb();
+    let ha0 = hash.hash(w0a, j0);
+    let ha1 = hash.hash(w0a ^ delta.block(), j0);
+    let hb0 = hash.hash(w0b, j1);
+    let hb1 = hash.hash(w0b ^ delta.block(), j1);
+    // Generator half-gate.
+    let tg = ha0 ^ ha1 ^ delta.block().select(pb);
+    let wg = ha0 ^ tg.select(pa);
+    // Evaluator half-gate.
+    let te = hb0 ^ hb1 ^ w0a;
+    let we = hb0 ^ (te ^ w0a).select(pb);
+    (wg ^ we, [tg, te])
+}
+
+/// Garbles an XOR gate (FreeXOR): zero labels simply XOR.
+#[inline]
+pub fn garble_xor(w0a: Block, w0b: Block) -> Block {
+    w0a ^ w0b
+}
+
+/// Garbles an INV gate: a free relabeling (`W⁰_c = W¹_a`).
+#[inline]
+pub fn garble_inv(delta: Delta, w0a: Block) -> Block {
+    w0a ^ delta.block()
+}
+
+/// Garbles an entire circuit.
+///
+/// Labels are sampled from `rng`; tables are emitted in gate order (the
+/// stream HAAC's table queues replay). The returned [`Garbling`] holds
+/// every wire's zero label; see [`garble_streaming`] when tables should
+/// be consumed on the fly instead of collected.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R, scheme: HashScheme) -> Garbling {
+    let mut tables = Vec::with_capacity(circuit.num_and_gates());
+    let garbling = garble_streaming(circuit, rng, scheme, |t| tables.push(t));
+    Garbling { garbled: GarbledCircuit { tables, ..garbling.garbled }, ..garbling }
+}
+
+/// Garbles an entire circuit, handing each AND table to `sink` instead of
+/// collecting them (constant memory for tables; used by throughput
+/// benchmarks and the streaming protocol).
+pub fn garble_streaming<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    rng: &mut R,
+    scheme: HashScheme,
+    mut sink: impl FnMut([Block; 2]),
+) -> Garbling {
+    let hash = GateHash::new(scheme);
+    let delta = Delta::random(rng);
+    let mut labels = vec![Block::ZERO; circuit.num_wires() as usize];
+    for slot in labels.iter_mut().take(circuit.num_inputs() as usize) {
+        *slot = Block::random(rng);
+    }
+    for (index, gate) in circuit.gates().iter().enumerate() {
+        let w0a = labels[gate.a as usize];
+        let out = match gate.op {
+            GateOp::Xor => garble_xor(w0a, labels[gate.b as usize]),
+            GateOp::Inv => garble_inv(delta, w0a),
+            GateOp::And => {
+                let (w0c, table) = garble_and(&hash, delta, index as u64, w0a, labels[gate.b as usize]);
+                sink(table);
+                w0c
+            }
+        };
+        labels[gate.out as usize] = out;
+    }
+    let output_decode = circuit.outputs().iter().map(|&w| labels[w as usize].lsb()).collect();
+    Garbling {
+        delta,
+        wire_zero_labels: labels,
+        garbled: GarbledCircuit { tables: Vec::new(), output_decode },
+    }
+}
+
+/// Decodes active output labels into cleartext bits using the garbler's
+/// decode string.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn decode_outputs(labels: &[Block], decode: &[bool]) -> Vec<bool> {
+    assert_eq!(labels.len(), decode.len(), "decode width mismatch");
+    labels.iter().zip(decode).map(|(l, &d)| l.lsb() ^ d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haac_circuit::{Builder, Circuit, Gate};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn and_circuit() -> Circuit {
+        Circuit::new(1, 1, vec![Gate::new(GateOp::And, 0, 1, 2)], vec![2]).unwrap()
+    }
+
+    #[test]
+    fn garbled_and_has_one_table() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = garble(&and_circuit(), &mut rng, HashScheme::Rekeyed);
+        assert_eq!(g.garbled.tables.len(), 1);
+        assert_eq!(g.garbled.table_bytes(), 32);
+        assert_eq!(g.garbled.output_decode.len(), 1);
+    }
+
+    #[test]
+    fn xor_circuit_has_no_tables() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(4);
+        let y = b.input_evaluator(4);
+        let out = b.xor_words(&x, &y);
+        let c = b.finish(out).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = garble(&c, &mut rng, HashScheme::Rekeyed);
+        assert!(g.garbled.tables.is_empty());
+    }
+
+    #[test]
+    fn label_pairs_differ_by_delta() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = garble(&and_circuit(), &mut rng, HashScheme::Rekeyed);
+        let (zero, one) = g.input_label_pair(0);
+        assert_eq!(zero ^ one, g.delta.block());
+        assert_ne!(zero.lsb(), one.lsb(), "permute bits must differ");
+    }
+
+    #[test]
+    fn encode_inputs_selects_by_bit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = and_circuit();
+        let g = garble(&c, &mut rng, HashScheme::Rekeyed);
+        let labels = g.encode_inputs(&c, &[true], &[false]);
+        assert_eq!(labels[0], g.wire_zero_labels[0] ^ g.delta.block());
+        assert_eq!(labels[1], g.wire_zero_labels[1]);
+    }
+
+    #[test]
+    fn streaming_matches_collected() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.input_evaluator(8);
+        let (s, _) = b.add_words(&x, &y);
+        let c = b.finish(s).unwrap();
+        let mut streamed = Vec::new();
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let g1 = garble_streaming(&c, &mut rng1, HashScheme::Rekeyed, |t| streamed.push(t));
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let g2 = garble(&c, &mut rng2, HashScheme::Rekeyed);
+        assert_eq!(streamed, g2.garbled.tables);
+        assert_eq!(g1.wire_zero_labels, g2.wire_zero_labels);
+    }
+}

@@ -1,0 +1,95 @@
+//! # haac-gc — garbled circuits cryptography
+//!
+//! The EMP-toolkit-equivalent substrate of the HAAC reproduction: the
+//! cryptographic machinery that HAAC's gate engines accelerate, in
+//! portable Rust. Implements exactly the construction the paper targets
+//! (§2.1):
+//!
+//! - **FreeXOR** [Kolesnikov & Schneider]: XOR gates cost one 128-bit
+//!   XOR; a global offset Δ ([`Delta`]) relates every label pair.
+//! - **Half-Gate AND** [Zahur, Rosulek & Evans]: two table rows per AND;
+//!   four hash calls to garble, two to evaluate.
+//! - **Re-keyed gate hash** [Guo et al.]: `H(x, i) = AES_i(x) ⊕ x` with a
+//!   full key expansion per hash — the secure construction HAAC chooses
+//!   over fixed-key AES (both are provided; see [`HashScheme`]).
+//! - **Point-and-permute** decoding via label least-significant bits.
+//!
+//! This crate doubles as the paper's "CPU GC" baseline: garbling and
+//! evaluating on the host CPU is what HAAC's speedups are measured
+//! against.
+//!
+//! # Examples
+//!
+//! ```
+//! use haac_circuit::Builder;
+//! use haac_gc::{garble, evaluate, decode_outputs, HashScheme};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Private AND of two bits.
+//! let mut b = Builder::new();
+//! let x = b.input_garbler(1);
+//! let y = b.input_evaluator(1);
+//! let z = b.and(x[0], y[0]);
+//! let circuit = b.finish(vec![z]).unwrap();
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let garbling = garble(&circuit, &mut rng, HashScheme::Rekeyed);
+//! let inputs = garbling.encode_inputs(&circuit, &[true], &[true]);
+//! let out = evaluate(&circuit, &garbling.garbled.tables, &inputs, HashScheme::Rekeyed);
+//! assert_eq!(decode_outputs(&out, &garbling.garbled.output_decode), vec![true]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aes;
+mod block;
+mod evaluate;
+mod garble;
+mod hash;
+pub mod ot;
+pub mod protocol;
+
+pub use block::{Block, Delta};
+pub use evaluate::{eval_and, eval_inv, eval_xor, evaluate};
+pub use garble::{
+    decode_outputs, garble, garble_and, garble_inv, garble_streaming, garble_xor, GarbledCircuit,
+    Garbling,
+};
+pub use hash::{GateHash, HashScheme};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haac_circuit::Builder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// The crate-level invariant: garble∘evaluate∘decode == plaintext, on
+    /// a circuit mixing every gate type.
+    #[test]
+    fn end_to_end_mixed_circuit() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.input_evaluator(8);
+        let (sum, _) = b.add_words(&x, &y);
+        let prod = b.mul_words_trunc(&x, &y);
+        let lt = b.lt_u(&x, &y);
+        let nx = b.not_word(&x);
+        let mut outs = sum;
+        outs.extend(prod);
+        outs.push(lt);
+        outs.extend(nx);
+        let c = b.finish(outs).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        for (xv, yv) in [(3u64, 5u64), (255, 255), (0, 17), (170, 85)] {
+            let gb = haac_circuit::to_bits(xv, 8);
+            let eb = haac_circuit::to_bits(yv, 8);
+            let g = garble(&c, &mut rng, HashScheme::Rekeyed);
+            let labels = g.encode_inputs(&c, &gb, &eb);
+            let out = evaluate(&c, &g.garbled.tables, &labels, HashScheme::Rekeyed);
+            let got = decode_outputs(&out, &g.garbled.output_decode);
+            assert_eq!(got, c.eval(&gb, &eb).unwrap(), "x={xv} y={yv}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! VIP-Bench Bubble Sort (`BubbSt`): the deepest, least parallel workload
+//! of Table 2 (paper-scale: >12M gates over ~40k compare-and-swap steps).
+//!
+//! Each compare-and-swap shares its comparator and swap network
+//! (one 32-bit unsigned compare + a paired mux), the synthesis EMP
+//! performs for `cond_swap`. The serial CAS chains are exactly what
+//! limits BubbSt's ILP (Table 2 reports 166) and makes full reordering
+//! the winning schedule (§6.2).
+
+use haac_circuit::{Bit, Builder, Word};
+
+use crate::rng::SplitMix64;
+use crate::{bits_to_u32s, u32s_to_bits, Scale, Workload, WorkloadKind};
+
+/// Element width in bits.
+pub const WIDTH: u32 = 32;
+
+/// Number of elements sorted at each scale.
+pub fn num_elements(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 280,
+        Scale::Small => 12,
+    }
+}
+
+/// Builds the workload with a deterministic sample input.
+pub fn build(scale: Scale) -> Workload {
+    let n = num_elements(scale);
+    let g_count = n / 2;
+    let mut rng = SplitMix64::new(0xB0BB1E);
+    let values: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let garbler_bits = u32s_to_bits(&values[..g_count]);
+    let evaluator_bits = u32s_to_bits(&values[g_count..]);
+
+    let mut b = Builder::new();
+    let g_in = b.input_garbler((g_count as u32) * WIDTH);
+    let e_in = b.input_evaluator(((n - g_count) as u32) * WIDTH);
+    let mut words: Vec<Word> = g_in
+        .chunks(WIDTH as usize)
+        .chain(e_in.chunks(WIDTH as usize))
+        .map(|c| c.to_vec())
+        .collect();
+
+    for pass in 0..n.saturating_sub(1) {
+        for j in 0..n - 1 - pass {
+            let (lo, hi) = compare_swap(&mut b, &words[j], &words[j + 1]);
+            words[j] = lo;
+            words[j + 1] = hi;
+        }
+    }
+
+    let outputs: Vec<Bit> = words.into_iter().flatten().collect();
+    let circuit = b.finish(outputs).expect("bubble sort circuit is valid");
+    let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
+    Workload {
+        kind: WorkloadKind::BubbleSort,
+        scale,
+        circuit,
+        garbler_bits,
+        evaluator_bits,
+        expected,
+    }
+}
+
+/// One compare-and-swap: returns `(min, max)`; the swap muxes share the
+/// XOR difference so the pair costs one comparator plus `width` ANDs.
+fn compare_swap(b: &mut Builder, x: &[Bit], y: &[Bit]) -> (Word, Word) {
+    let gt = b.gt_u(x, y);
+    let diff = b.xor_words(x, y);
+    let gated: Word = diff.iter().map(|&d| b.and(gt, d)).collect();
+    let lo = b.xor_words(x, &gated);
+    let hi = b.xor_words(y, &gated);
+    (lo, hi)
+}
+
+/// Plaintext reference: native sort.
+pub fn plaintext(_scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
+    let mut values = bits_to_u32s(garbler_bits);
+    values.extend(bits_to_u32s(evaluator_bits));
+    // The circuit is a sorting network; a native sort is the reference.
+    values.sort_unstable();
+    u32s_to_bits(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_sorts() {
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        assert_eq!(out, w.expected);
+        let sorted = bits_to_u32s(&out);
+        assert!(sorted.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn compare_swap_orders_pairs() {
+        for (x, y) in [(5u64, 9u64), (9, 5), (7, 7), (0, u32::MAX as u64)] {
+            let mut b = Builder::new();
+            let xs = b.input_garbler(32);
+            let ys = b.input_evaluator(32);
+            let (lo, hi) = compare_swap(&mut b, &xs, &ys);
+            let mut out = lo;
+            out.extend(hi);
+            let c = b.finish(out).unwrap();
+            let bits = c
+                .eval(&haac_circuit::to_bits(x, 32), &haac_circuit::to_bits(y, 32))
+                .unwrap();
+            let vals = bits_to_u32s(&bits);
+            assert_eq!(vals, vec![x.min(y) as u32, x.max(y) as u32]);
+        }
+    }
+
+    #[test]
+    fn deep_and_serial_structure() {
+        let w = build(Scale::Small);
+        let stats = haac_circuit::stats::CircuitStats::of(&w.circuit);
+        // Bubble sort must be far deeper than, say, a tree reduction:
+        // at least one comparator depth per CAS on the critical path.
+        assert!(stats.levels > 100, "expected deep circuit, got {} levels", stats.levels);
+    }
+}

@@ -1,0 +1,95 @@
+//! VIP-Bench Dot Product (`DotProd`): two 128-element 32-bit vectors
+//! (paper §5), wrapping arithmetic, balanced reduction tree — a shallow,
+//! high-ILP workload (Table 2: 277 levels, ILP 1376).
+
+use haac_circuit::{Builder, Word};
+
+use crate::rng::SplitMix64;
+use crate::{bits_to_u32s, u32s_to_bits, Scale, Workload, WorkloadKind};
+
+/// Element width in bits.
+pub const WIDTH: u32 = 32;
+
+/// Vector length at each scale.
+pub fn num_elements(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 128,
+        Scale::Small => 8,
+    }
+}
+
+/// Builds the workload with a deterministic sample input.
+pub fn build(scale: Scale) -> Workload {
+    let n = num_elements(scale);
+    let mut rng = SplitMix64::new(0xD07);
+    let xs: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let ys: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let garbler_bits = u32s_to_bits(&xs);
+    let evaluator_bits = u32s_to_bits(&ys);
+
+    let mut b = Builder::new();
+    let g_in = b.input_garbler((n as u32) * WIDTH);
+    let e_in = b.input_evaluator((n as u32) * WIDTH);
+    let products: Vec<Word> = g_in
+        .chunks(WIDTH as usize)
+        .zip(e_in.chunks(WIDTH as usize))
+        .map(|(x, y)| b.mul_words_trunc(x, y))
+        .collect();
+    let sum = b.sum_words(&products);
+    let circuit = b.finish(sum[..WIDTH as usize].to_vec()).expect("dot product circuit is valid");
+    let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
+    Workload {
+        kind: WorkloadKind::DotProduct,
+        scale,
+        circuit,
+        garbler_bits,
+        evaluator_bits,
+        expected,
+    }
+}
+
+/// Plaintext reference: wrapping 32-bit dot product.
+pub fn plaintext(_scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
+    let xs = bits_to_u32s(garbler_bits);
+    let ys = bits_to_u32s(evaluator_bits);
+    let dot = xs
+        .iter()
+        .zip(&ys)
+        .fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)));
+    u32s_to_bits(&[dot])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_matches_reference() {
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        assert_eq!(out, w.expected);
+    }
+
+    #[test]
+    fn known_small_dot_product() {
+        // Rebuild at small scale but feed simple inputs through the
+        // plaintext path and circuit alike.
+        let w = build(Scale::Small);
+        let n = num_elements(Scale::Small);
+        let xs: Vec<u32> = (1..=n as u32).collect();
+        let ys: Vec<u32> = vec![2; n];
+        let g = u32s_to_bits(&xs);
+        let e = u32s_to_bits(&ys);
+        let out = w.circuit.eval(&g, &e).unwrap();
+        let expect: u32 = xs.iter().map(|&x| 2 * x).sum();
+        assert_eq!(bits_to_u32s(&out), vec![expect]);
+        assert_eq!(out, plaintext(Scale::Small, &g, &e));
+    }
+
+    #[test]
+    fn is_shallow_and_parallel() {
+        let w = build(Scale::Small);
+        let stats = haac_circuit::stats::CircuitStats::of(&w.circuit);
+        assert!(stats.ilp > 10.0, "dot product should be highly parallel, ilp={}", stats.ilp);
+    }
+}

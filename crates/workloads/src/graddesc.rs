@@ -1,0 +1,159 @@
+//! VIP-Bench Linear Regression via Gradient Descent (`GradDesc`):
+//! 20 rounds of FP32 gradient descent (paper §5, "implemented with true
+//! floating point arithmetic").
+//!
+//! The FP32 add/mul circuits (deep barrel shifts + normalization) chained
+//! across serial rounds and serial accumulations make this the paper's
+//! pathological case: >100k levels, ILP 60, and the worst slowdown vs
+//! plaintext in Fig. 10. Gradient sums are deliberately accumulated
+//! serially (as straightforward EMP code would), not as trees.
+
+use haac_circuit::float::{fp32_add_ref, fp32_canon, fp32_mul_ref, fp32_sub_ref};
+use haac_circuit::{Builder, Word};
+
+use crate::rng::SplitMix64;
+use crate::{bits_to_u32s, u32s_to_bits, Scale, Workload, WorkloadKind};
+
+/// Data-set size (points) at each scale.
+pub fn num_points(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 20,
+        Scale::Small => 3,
+    }
+}
+
+/// Gradient-descent rounds at each scale.
+pub fn num_rounds(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 20,
+        Scale::Small => 2,
+    }
+}
+
+/// The learning rate divided by the dataset size, as an f32 constant.
+pub fn step(scale: Scale) -> f32 {
+    0.05 / num_points(scale) as f32
+}
+
+/// Builds the workload with a deterministic sample input.
+///
+/// Garbler holds the feature values `x_i`, evaluator the targets `y_i`
+/// (generated near `y = 2x + 1`); the circuit outputs the fitted
+/// `(w, b)` as two FP32 words.
+pub fn build(scale: Scale) -> Workload {
+    let m = num_points(scale);
+    let rounds = num_rounds(scale);
+    let mut rng = SplitMix64::new(0x6D);
+    let xs: Vec<u32> = (0..m).map(|_| fp32_canon(rng.f32_in(-2.0, 2.0))).collect();
+    let ys: Vec<u32> = xs
+        .iter()
+        .map(|&x| {
+            let noise = rng.f32_in(-0.1, 0.1);
+            fp32_canon(2.0 * f32::from_bits(x) + 1.0 + noise)
+        })
+        .collect();
+    let garbler_bits = u32s_to_bits(&xs);
+    let evaluator_bits = u32s_to_bits(&ys);
+
+    let mut b = Builder::new();
+    let g_in = b.input_garbler((m as u32) * 32);
+    let e_in = b.input_evaluator((m as u32) * 32);
+    let xs_w: Vec<Word> = g_in.chunks(32).map(|c| c.to_vec()).collect();
+    let ys_w: Vec<Word> = e_in.chunks(32).map(|c| c.to_vec()).collect();
+
+    let lr = b.fp_const(step(scale));
+    let mut w = b.fp_const(0.0);
+    let mut bias = b.fp_const(0.0);
+    for _ in 0..rounds {
+        let mut grad_w = b.fp_const(0.0);
+        let mut grad_b = b.fp_const(0.0);
+        for i in 0..m {
+            let wx = b.fp_mul(&w, &xs_w[i]);
+            let pred = b.fp_add(&wx, &bias);
+            let err = b.fp_sub(&pred, &ys_w[i]);
+            let err_x = b.fp_mul(&err, &xs_w[i]);
+            // Serial accumulation: the source of GradDesc's depth.
+            grad_w = b.fp_add(&grad_w, &err_x);
+            grad_b = b.fp_add(&grad_b, &err);
+        }
+        let step_w = b.fp_mul(&lr, &grad_w);
+        let step_b = b.fp_mul(&lr, &grad_b);
+        w = b.fp_sub(&w, &step_w);
+        bias = b.fp_sub(&bias, &step_b);
+    }
+    let mut outputs = w;
+    outputs.extend(bias);
+    let circuit = b.finish(outputs).expect("gradient descent circuit is valid");
+    let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
+    Workload {
+        kind: WorkloadKind::GradDesc,
+        scale,
+        circuit,
+        garbler_bits,
+        evaluator_bits,
+        expected,
+    }
+}
+
+/// Plaintext reference: the identical algorithm over the circuit-exact
+/// FP32 reference semantics ([`fp32_add_ref`]/[`fp32_mul_ref`]).
+pub fn plaintext(scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
+    let xs = bits_to_u32s(garbler_bits);
+    let ys = bits_to_u32s(evaluator_bits);
+    let m = num_points(scale);
+    let lr = fp32_canon(step(scale));
+    let mut w = 0u32;
+    let mut bias = 0u32;
+    for _ in 0..num_rounds(scale) {
+        let mut grad_w = 0u32;
+        let mut grad_b = 0u32;
+        for i in 0..m {
+            let wx = fp32_mul_ref(w, xs[i]);
+            let pred = fp32_add_ref(wx, bias);
+            let err = fp32_sub_ref(pred, ys[i]);
+            let err_x = fp32_mul_ref(err, xs[i]);
+            grad_w = fp32_add_ref(grad_w, err_x);
+            grad_b = fp32_add_ref(grad_b, err);
+        }
+        w = fp32_sub_ref(w, fp32_mul_ref(lr, grad_w));
+        bias = fp32_sub_ref(bias, fp32_mul_ref(lr, grad_b));
+    }
+    u32s_to_bits(&[w, bias])
+}
+
+/// Decodes the circuit output into `(w, b)` host floats.
+pub fn decode_model(output_bits: &[bool]) -> (f32, f32) {
+    let words = bits_to_u32s(output_bits);
+    (f32::from_bits(words[0]), f32::from_bits(words[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_matches_reference() {
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        assert_eq!(out, w.expected);
+    }
+
+    #[test]
+    fn descent_reduces_loss() {
+        // With more rounds at small scale, (w, b) should drift toward the
+        // generating model y = 2x + 1.
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        let (wv, bv) = decode_model(&out);
+        // Two rounds of descent from zero move in the right direction.
+        assert!(wv.is_finite() && bv.is_finite());
+        assert!(wv != 0.0 || bv != 0.0, "descent must move the model");
+    }
+
+    #[test]
+    fn is_deep_and_serial() {
+        let w = build(Scale::Small);
+        let stats = haac_circuit::stats::CircuitStats::of(&w.circuit);
+        assert!(stats.levels > 500, "GradDesc should be deep, got {}", stats.levels);
+    }
+}

@@ -1,0 +1,84 @@
+//! VIP-Bench Hamming Distance (`Hamm`): 40960-bit strings at paper scale
+//! (§5) — the shallowest workload (Table 2: 76 levels, ILP 4311): one
+//! XOR layer followed by a carry-save popcount tree.
+
+use haac_circuit::Builder;
+
+use crate::rng::SplitMix64;
+use crate::{Scale, Workload, WorkloadKind};
+
+/// Bit-string length at each scale.
+pub fn num_bits(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 40_960,
+        Scale::Small => 512,
+    }
+}
+
+/// Builds the workload with a deterministic sample input.
+pub fn build(scale: Scale) -> Workload {
+    let n = num_bits(scale);
+    let mut rng = SplitMix64::new(0x4A33);
+    let garbler_bits: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
+    let evaluator_bits: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
+
+    let mut b = Builder::new();
+    let x = b.input_garbler(n as u32);
+    let y = b.input_evaluator(n as u32);
+    let diff = b.xor_words(&x, &y);
+    let mut count = b.popcount(&diff);
+    // Clamp to a deterministic width (the count fits by construction).
+    let width = (usize::BITS - n.leading_zeros()) as usize + 1;
+    count.resize(width, haac_circuit::Bit::FALSE);
+    count.truncate(width);
+    let circuit = b.finish(count).expect("hamming circuit is valid");
+    let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
+    Workload { kind: WorkloadKind::Hamming, scale, circuit, garbler_bits, evaluator_bits, expected }
+}
+
+/// Plaintext reference: native popcount of the XOR.
+pub fn plaintext(scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
+    let count =
+        garbler_bits.iter().zip(evaluator_bits).filter(|(a, b)| a != b).count() as u64;
+    // Output width matches the circuit's popcount width.
+    let n = num_bits(scale);
+    let width = (usize::BITS - n.leading_zeros()) + 1;
+    haac_circuit::to_bits(count, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haac_circuit::from_bits;
+
+    #[test]
+    fn small_scale_matches_reference() {
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        assert_eq!(from_bits(&out), from_bits(&w.expected));
+    }
+
+    #[test]
+    fn identical_strings_have_distance_zero() {
+        let w = build(Scale::Small);
+        let bits = w.garbler_bits.clone();
+        let out = w.circuit.eval(&bits, &bits).unwrap();
+        assert_eq!(from_bits(&out), 0);
+    }
+
+    #[test]
+    fn complementary_strings_have_full_distance() {
+        let w = build(Scale::Small);
+        let bits = w.garbler_bits.clone();
+        let flipped: Vec<bool> = bits.iter().map(|&b| !b).collect();
+        let out = w.circuit.eval(&bits, &flipped).unwrap();
+        assert_eq!(from_bits(&out), num_bits(Scale::Small) as u64);
+    }
+
+    #[test]
+    fn is_the_shallowest_workload_class() {
+        let w = build(Scale::Small);
+        let stats = haac_circuit::stats::CircuitStats::of(&w.circuit);
+        assert!(stats.levels < 100, "hamming should be shallow, got {}", stats.levels);
+    }
+}

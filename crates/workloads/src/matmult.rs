@@ -1,0 +1,108 @@
+//! VIP-Bench Matrix Multiplication (`MatMult`): 8×8 32-bit integer
+//! matrices at paper scale (§5). The poster child for segment reordering
+//! (§6.2): enormous ILP (Table 2: 9649) that floods the SWW under full
+//! reordering.
+
+use haac_circuit::{Bit, Builder, Word};
+
+use crate::rng::SplitMix64;
+use crate::{bits_to_u32s, u32s_to_bits, Scale, Workload, WorkloadKind};
+
+/// Element width in bits.
+pub const WIDTH: u32 = 32;
+
+/// Matrix dimension at each scale.
+pub fn dimension(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 8,
+        Scale::Small => 3,
+    }
+}
+
+/// Builds the workload with a deterministic sample input.
+pub fn build(scale: Scale) -> Workload {
+    let n = dimension(scale);
+    let mut rng = SplitMix64::new(0x3A7);
+    let a: Vec<u32> = (0..n * n).map(|_| rng.next_u32()).collect();
+    let bm: Vec<u32> = (0..n * n).map(|_| rng.next_u32()).collect();
+    let garbler_bits = u32s_to_bits(&a);
+    let evaluator_bits = u32s_to_bits(&bm);
+
+    let mut b = Builder::new();
+    let g_in = b.input_garbler((n * n) as u32 * WIDTH);
+    let e_in = b.input_evaluator((n * n) as u32 * WIDTH);
+    let word = |bits: &[Bit], idx: usize| -> Word {
+        bits[idx * WIDTH as usize..(idx + 1) * WIDTH as usize].to_vec()
+    };
+
+    let mut outputs: Vec<Bit> = Vec::with_capacity(n * n * WIDTH as usize);
+    for i in 0..n {
+        for j in 0..n {
+            let products: Vec<Word> = (0..n)
+                .map(|k| {
+                    let x = word(&g_in, i * n + k);
+                    let y = word(&e_in, k * n + j);
+                    b.mul_words_trunc(&x, &y)
+                })
+                .collect();
+            let sum = b.sum_words(&products);
+            outputs.extend_from_slice(&sum[..WIDTH as usize]);
+        }
+    }
+    let circuit = b.finish(outputs).expect("matmul circuit is valid");
+    let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
+    Workload { kind: WorkloadKind::MatMult, scale, circuit, garbler_bits, evaluator_bits, expected }
+}
+
+/// Plaintext reference: wrapping 32-bit matrix product.
+pub fn plaintext(scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
+    let n = dimension(scale);
+    let a = bits_to_u32s(garbler_bits);
+    let b = bits_to_u32s(evaluator_bits);
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    u32s_to_bits(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_matches_reference() {
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        assert_eq!(out, w.expected);
+    }
+
+    #[test]
+    fn identity_matrix_is_neutral() {
+        let n = dimension(Scale::Small);
+        let w = build(Scale::Small);
+        let a: Vec<u32> = (1..=(n * n) as u32).collect();
+        let mut identity = vec![0u32; n * n];
+        for i in 0..n {
+            identity[i * n + i] = 1;
+        }
+        let out = w
+            .circuit
+            .eval(&u32s_to_bits(&a), &u32s_to_bits(&identity))
+            .unwrap();
+        assert_eq!(bits_to_u32s(&out), a);
+    }
+
+    #[test]
+    fn high_ilp_structure() {
+        let w = build(Scale::Small);
+        let stats = haac_circuit::stats::CircuitStats::of(&w.circuit);
+        assert!(stats.ilp > 20.0, "matmul should have high ILP, got {}", stats.ilp);
+    }
+}

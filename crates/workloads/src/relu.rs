@@ -1,0 +1,91 @@
+//! VIP-Bench ReLU (`ReLU`): 2048 independent 32-bit ReLUs at paper scale
+//! (§5). The extreme of Table 2: two dependence levels, 96.97% AND gates
+//! — each ReLU is a sign-controlled mask (32 ANDs + 1 INV), and nothing
+//! depends on anything else. Reordering cannot help it (§6.1); memory
+//! bandwidth limits it instead.
+
+use haac_circuit::{Bit, Builder};
+
+use crate::rng::SplitMix64;
+use crate::{bits_to_u32s, u32s_to_bits, Scale, Workload, WorkloadKind};
+
+/// Element width in bits.
+pub const WIDTH: u32 = 32;
+
+/// Number of ReLU evaluations at each scale.
+pub fn count(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 2048,
+        Scale::Small => 8,
+    }
+}
+
+/// Builds the workload with a deterministic sample input.
+pub fn build(scale: Scale) -> Workload {
+    let n = count(scale);
+    let g_count = n / 2;
+    let mut rng = SplitMix64::new(0x2E1);
+    let values: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let garbler_bits = u32s_to_bits(&values[..g_count]);
+    let evaluator_bits = u32s_to_bits(&values[g_count..]);
+
+    let mut b = Builder::new();
+    let g_in = b.input_garbler((g_count as u32) * WIDTH);
+    let e_in = b.input_evaluator(((n - g_count) as u32) * WIDTH);
+    let mut outputs: Vec<Bit> = Vec::with_capacity(n * WIDTH as usize);
+    for chunk in g_in.chunks(WIDTH as usize).chain(e_in.chunks(WIDTH as usize)) {
+        let sign = chunk[WIDTH as usize - 1];
+        let keep = b.not(sign);
+        for &bit in chunk {
+            let masked = b.and(bit, keep);
+            outputs.push(masked);
+        }
+    }
+    let circuit = b.finish(outputs).expect("relu circuit is valid");
+    let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
+    Workload { kind: WorkloadKind::Relu, scale, circuit, garbler_bits, evaluator_bits, expected }
+}
+
+/// Plaintext reference: `max(x, 0)` over i32 values.
+pub fn plaintext(_scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
+    let mut values = bits_to_u32s(garbler_bits);
+    values.extend(bits_to_u32s(evaluator_bits));
+    let relued: Vec<u32> = values.iter().map(|&v| if (v as i32) < 0 { 0 } else { v }).collect();
+    u32s_to_bits(&relued)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_matches_reference() {
+        let w = build(Scale::Small);
+        let out = w.circuit.eval(&w.garbler_bits, &w.evaluator_bits).unwrap();
+        assert_eq!(out, w.expected);
+    }
+
+    #[test]
+    fn negative_values_clamp_to_zero() {
+        let w = build(Scale::Small);
+        let n = count(Scale::Small);
+        let negatives = vec![(-5i32) as u32; n / 2];
+        let positives = vec![7u32; n - n / 2];
+        let out = w
+            .circuit
+            .eval(&u32s_to_bits(&negatives), &u32s_to_bits(&positives))
+            .unwrap();
+        let vals = bits_to_u32s(&out);
+        assert!(vals[..n / 2].iter().all(|&v| v == 0));
+        assert!(vals[n / 2..].iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn matches_paper_gate_profile() {
+        let w = build(Scale::Small);
+        let stats = haac_circuit::stats::CircuitStats::of(&w.circuit);
+        // Table 2: 96.97% AND, 2 levels.
+        assert!(stats.and_percent > 90.0, "AND% = {}", stats.and_percent);
+        assert!(stats.levels <= 2, "levels = {}", stats.levels);
+    }
+}

@@ -1,0 +1,79 @@
+//! Compiler explorer: watch the HAAC passes transform a program
+//! (the paper's Fig. 5, live).
+//!
+//! Prints the instruction stream of a small circuit after each compiler
+//! stage — baseline assembly, full reordering, renaming, ESW, and OoR
+//! marking — then shows how the choices change wire traffic.
+//!
+//! Run with: `cargo run --release --example compiler_explorer`
+
+use haac::core::compiler::{self, ReorderKind};
+use haac::core::sim::{map_and_simulate, HaacConfig};
+use haac::core::WindowModel;
+use haac::prelude::*;
+
+fn print_program(title: &str, p: &haac::core::Program) {
+    println!("--- {title} ---");
+    for (i, instr) in p.instructions.iter().enumerate() {
+        println!("  {:>2}: {} {:>2}, {:>2} -> {}{}",
+            i,
+            instr.op,
+            instr.a,
+            instr.b,
+            p.output_addr(i),
+            if instr.live { "  [live]" } else { "" },
+        );
+    }
+}
+
+fn main() {
+    // The example circuit of the paper's Fig. 4/5:
+    //   4 = 2 XOR 3; 5 = 2 AND 3; 6 = 1 XOR 4; 7 = 4 AND 5 (renumbered).
+    let mut b = Builder::new();
+    let inputs = b.input_garbler(3);
+    let (w1, w2, w3) = (inputs[0], inputs[1], inputs[2]);
+    let x = b.xor(w2, w3);
+    let a = b.and(w2, w3);
+    let y = b.xor(w1, x);
+    let z = b.and(x, a);
+    let circuit = b.finish(vec![y, z]).expect("example circuit is valid");
+
+    // A deliberately tiny SWW (4 wires) so the window actually slides.
+    let window = WindowModel::new(4);
+
+    let baseline = compiler::assemble(&circuit);
+    print_program("baseline (renamed, original order)", &baseline);
+
+    let full = compiler::full_reorder(&circuit);
+    print_program("full reorder + rename (level order)", &full);
+
+    let mut esw = full.clone();
+    compiler::eliminate_spent_wires(&mut esw, window);
+    print_program("after ESW (live bits minimized)", &esw);
+
+    let lowered = compiler::mark_out_of_range(&esw, window);
+    print_program("after OoR marking (0 = OoRW queue)", &lowered.program);
+    println!("OoR address streams per instruction: {:?}", lowered.oor_addrs);
+
+    // Now at benchmark scale: compare the three schedules on MatMult.
+    println!();
+    println!("schedule comparison on MatMult (small scale):");
+    let w = build_workload(WorkloadKind::MatMult, Scale::Small);
+    let config = HaacConfig { num_ges: 4, sww_bytes: 8192, ..HaacConfig::default() };
+    println!(
+        "  {:<10} {:>10} {:>10} {:>12} {:>10}",
+        "schedule", "cycles", "OoR", "live wires", "spent %"
+    );
+    for kind in [ReorderKind::Baseline, ReorderKind::Segment, ReorderKind::Full] {
+        let (lowered, stats) = compiler::compile(&w.circuit, kind, config.window());
+        let report = map_and_simulate(&lowered, &config);
+        println!(
+            "  {:<10} {:>10} {:>10} {:>12} {:>9.1}%",
+            kind.label(),
+            report.cycles,
+            stats.oor_count,
+            stats.live_count,
+            stats.spent_percent
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! # haac — a full reproduction of the HAAC garbled-circuits accelerator
+//!
+//! *HAAC: A Hardware-Software Co-Design to Accelerate Garbled Circuits*
+//! (Jianqiao Mo, Jayanth Gopinath, Brandon Reagen — ISCA 2023) proposes
+//! a compiler + ISA + accelerator that together speed garbled-circuit
+//! evaluation by 589× over a CPU with DDR4 (2,627× with HBM2) in
+//! 4.3 mm². This workspace rebuilds the complete system in Rust:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`circuit`] | Boolean circuit IR, synthesis frontend (EMP equivalent), Bristol I/O, AES/FP32 generators |
+//! | [`gc`] | Half-gate garbling with FreeXOR and re-keyed hashing (the "CPU GC" baseline) |
+//! | [`workloads`] | The eight VIP-Bench workloads + Table 5 microbenchmarks |
+//! | [`core`] | The HAAC ISA, optimizing compiler, cycle-level simulator, area/power/energy model |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results. The `haac-bench`
+//! crate regenerates every table and figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use haac::prelude::*;
+//!
+//! // 1. Write a private function as a circuit (millionaires' problem).
+//! let mut b = Builder::new();
+//! let alice = b.input_garbler(32);
+//! let bob = b.input_evaluator(32);
+//! let alice_richer = b.gt_u(&alice, &bob);
+//! let circuit = b.finish(vec![alice_richer]).unwrap();
+//!
+//! // 2. Run it as a real two-party GC protocol (CPU, like EMP).
+//! let run = run_two_party(&circuit, &to_bits(5_000_000, 32), &to_bits(3_141_592, 32), 42);
+//! assert_eq!(run.outputs, vec![true]);
+//!
+//! // 3. Compile it for HAAC and simulate the accelerator.
+//! let config = HaacConfig::default(); // 16 GEs, 2 MB SWW, DDR4
+//! let (lowered, _) = compile(&circuit, ReorderKind::Full, config.window());
+//! let report = map_and_simulate(&lowered, &config);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use haac_circuit as circuit;
+pub use haac_core as core;
+pub use haac_gc as gc;
+pub use haac_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use haac_circuit::{from_bits, to_bits, Bit, Builder, Circuit, GateOp, Word};
+    pub use haac_core::compiler::{compile, CompileStats, ReorderKind};
+    pub use haac_core::exec::run_gc_through_streams;
+    pub use haac_core::sim::{map_and_simulate, DramKind, HaacConfig, Role, SimReport};
+    pub use haac_core::WindowModel;
+    pub use haac_gc::protocol::run_two_party;
+    pub use haac_gc::{decode_outputs, evaluate, garble, HashScheme};
+    pub use haac_workloads::{build as build_workload, Scale, WorkloadKind};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_a_working_pipeline() {
+        let w = build_workload(WorkloadKind::DotProduct, Scale::Small);
+        let config = HaacConfig { num_ges: 2, sww_bytes: 4096, ..HaacConfig::default() };
+        let (lowered, _) = compile(&w.circuit, ReorderKind::Segment, config.window());
+        let report = map_and_simulate(&lowered, &config);
+        assert!(report.seconds > 0.0);
+    }
+}

@@ -31,9 +31,7 @@ fn bench_passes(c: &mut Criterion) {
     });
     let mut with_esw = program.clone();
     eliminate_spent_wires(&mut with_esw, window);
-    group.bench_function("mark_out_of_range", |b| {
-        b.iter(|| mark_out_of_range(&with_esw, window))
-    });
+    group.bench_function("mark_out_of_range", |b| b.iter(|| mark_out_of_range(&with_esw, window)));
     group.finish();
 }
 

@@ -13,9 +13,7 @@
 //! Run with: `cargo run --release -p haac-bench --bin ablations`
 
 use haac_bench::{compile_and_simulate, paper_config, save_result};
-use haac_core::compiler::{
-    eliminate_spent_wires, mark_out_of_range, segment_reorder, ReorderKind,
-};
+use haac_core::compiler::{eliminate_spent_wires, mark_out_of_range, segment_reorder, ReorderKind};
 use haac_core::sim::{map_and_simulate, DramKind, HaacConfig, Role};
 use haac_workloads::{build, Scale, WorkloadKind};
 use serde::Serialize;
@@ -37,7 +35,10 @@ fn main() {
     for banks in [1usize, 2, 4, 8] {
         let config = HaacConfig { banks_per_ge: banks, ..paper_config(DramKind::Ddr4) };
         let (_, report) = compile_and_simulate(&w, ReorderKind::Full, &config);
-        println!("  {banks} banks/GE: {} cycles ({} bank stalls)", report.cycles, report.stalls.bank);
+        println!(
+            "  {banks} banks/GE: {} cycles ({} bank stalls)",
+            report.cycles, report.stalls.bank
+        );
         results.push(Entry {
             study: "banks_per_ge",
             setting: banks.to_string(),
@@ -95,7 +96,9 @@ fn main() {
         let (_, report) = compile_and_simulate(&w, ReorderKind::Full, &config);
         println!(
             "  {depth:>3}-deep queues: {} cycles (instr/table/oorw stalls: {}/{}/{})",
-            report.cycles, report.stalls.instr_queue, report.stalls.table_queue,
+            report.cycles,
+            report.stalls.instr_queue,
+            report.stalls.table_queue,
             report.stalls.oorw_queue
         );
         results.push(Entry {

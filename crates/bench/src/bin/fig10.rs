@@ -25,10 +25,7 @@ fn main() {
     let scale = Scale::from_env();
     let cpu = cpu_baselines(scale);
     println!("Figure 10: slowdown vs plaintext = 1 (16 GEs, 2 MB SWW, optimal reorder, {scale:?})");
-    println!(
-        "{:<10} {:>12} {:>14} {:>14}",
-        "Benchmark", "CPU GC", "HAAC (DDR4)", "HAAC (HBM2)"
-    );
+    println!("{:<10} {:>12} {:>14} {:>14}", "Benchmark", "CPU GC", "HAAC (DDR4)", "HAAC (HBM2)");
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
         let w = build(kind, scale);
@@ -61,11 +58,8 @@ fn main() {
         geomean(&cpu_gc) / geomean(&ddr),
         geomean(&cpu_gc) / geomean(&hbm)
     );
-    let integer: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.bench != "GradDesc")
-        .map(|r| r.haac_hbm2_slowdown)
-        .collect();
+    let integer: Vec<f64> =
+        rows.iter().filter(|r| r.bench != "GradDesc").map(|r| r.haac_hbm2_slowdown).collect();
     println!(
         "integer-only HAAC/HBM2 slowdown vs plaintext: {:.1}× (paper: 23×)",
         geomean(&integer)

@@ -28,10 +28,7 @@ fn main() {
     let cpu = cpu_baselines(scale);
 
     println!("Figure 6: speedup over CPU GC (Evaluator, 16 GEs, 2 MB SWW, DDR4, scale {scale:?})");
-    println!(
-        "{:<10} {:>12} {:>12} {:>14}",
-        "Benchmark", "Baseline", "RO+RN", "RO+RN+ESW"
-    );
+    println!("{:<10} {:>12} {:>12} {:>14}", "Benchmark", "Baseline", "RO+RN", "RO+RN+ESW");
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
         let w = build(kind, scale);

@@ -41,14 +41,11 @@ fn main() {
                 let ddr = HaacConfig { sww_bytes, ..paper_config(DramKind::Ddr4) };
                 let (lowered, _) = compile(&w.circuit, schedule, ddr.window());
                 // Compute-only: replay with infinite bandwidth.
-                let compute = map_and_simulate(
-                    &lowered,
-                    &HaacConfig { dram: DramKind::Infinite, ..ddr },
-                );
+                let compute =
+                    map_and_simulate(&lowered, &HaacConfig { dram: DramKind::Infinite, ..ddr });
                 // Wire-traffic-only: bytes over peak DDR4 bandwidth.
                 let traffic = static_traffic(&lowered, &ddr);
-                let wire_ms =
-                    traffic.wire_bytes() as f64 / DramKind::Ddr4.bytes_per_second() * 1e3;
+                let wire_ms = traffic.wire_bytes() as f64 / DramKind::Ddr4.bytes_per_second() * 1e3;
                 let row = Row {
                     bench: kind.name(),
                     schedule: schedule.label(),

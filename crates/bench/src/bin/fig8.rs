@@ -8,7 +8,9 @@
 //!
 //! Run with: `HAAC_SCALE=paper cargo run --release -p haac-bench --bin fig8`
 
-use haac_bench::{best_of_reorders, compile_and_simulate, cpu_baselines, paper_config, save_result};
+use haac_bench::{
+    best_of_reorders, compile_and_simulate, cpu_baselines, paper_config, save_result,
+};
 use haac_core::compiler::ReorderKind;
 use haac_core::sim::{DramKind, HaacConfig};
 use haac_workloads::{build, Scale, WorkloadKind};

@@ -47,7 +47,12 @@ fn main() {
         };
         println!(
             "{:<10} {:>9} {:>11.0} {:>11.0} {:>7.2} {:>8.0} {:>12.2}%",
-            row.bench, row.levels, row.wires_k, row.gates_k, row.and_percent, row.ilp,
+            row.bench,
+            row.levels,
+            row.wires_k,
+            row.gates_k,
+            row.and_percent,
+            row.ilp,
             row.spent_wire_percent
         );
         rows.push(row);

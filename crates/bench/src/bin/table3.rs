@@ -26,7 +26,12 @@ fn main() {
     println!("Table 3: wire traffic, segment vs full reorder (scale {scale:?}, 2 MB SWW, ESW)");
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "Benchmark", "Live Seg(k)", "Live Full(k)", "OoRW Seg(k)", "OoRW Full(k)", "Tot Seg(k)",
+        "Benchmark",
+        "Live Seg(k)",
+        "Live Full(k)",
+        "OoRW Seg(k)",
+        "OoRW Full(k)",
+        "Tot Seg(k)",
         "Tot Full(k)"
     );
     let mut rows = Vec::new();
@@ -45,8 +50,13 @@ fn main() {
         };
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-            row.bench, row.live_seg_k, row.live_full_k, row.oorw_seg_k, row.oorw_full_k,
-            row.total_seg_k, row.total_full_k
+            row.bench,
+            row.live_seg_k,
+            row.live_full_k,
+            row.oorw_seg_k,
+            row.oorw_full_k,
+            row.total_seg_k,
+            row.total_full_k
         );
         rows.push(row);
     }

@@ -10,8 +10,11 @@ use haac_core::sim::DramKind;
 fn main() {
     let config = paper_config(DramKind::Hbm2);
     let breakdown = AreaPowerBreakdown::for_config(&config);
-    println!("Table 4: HAAC area and power ({} GEs, {} MB SWW)",
-        config.num_ges, config.sww_bytes / (1024 * 1024));
+    println!(
+        "Table 4: HAAC area and power ({} GEs, {} MB SWW)",
+        config.num_ges,
+        config.sww_bytes / (1024 * 1024)
+    );
     println!("{:<16} {:>12} {:>12}", "Component", "Area (mm²)", "Power (mW)");
     for c in &breakdown.components {
         println!("{:<16} {:>12.4} {:>12.3}", c.name, c.area_mm2, c.power_mw);

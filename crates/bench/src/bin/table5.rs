@@ -89,7 +89,11 @@ fn main() {
     let throughput = aes_gates / aes_us;
     println!(
         "{:<22} {:<12} {:>14} {:>12.1} {:>8.1}×",
-        "GPU [35]", "AES-128", "75 gates/µs", throughput, throughput / 75.0
+        "GPU [35]",
+        "AES-128",
+        "75 gates/µs",
+        throughput,
+        throughput / 75.0
     );
     haac_bench::save_result("table5", haac_workloads::Scale::Paper, &rows);
 }

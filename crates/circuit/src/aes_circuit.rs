@@ -98,8 +98,7 @@ fn gf16_inv_gates(b: &mut Builder, a: &[Bit]) -> Vec<Bit> {
     let lah2 = gf4_mul_lambda_gates(b, &ah2);
     let alah = gf4_mul_gates(b, ah, al);
     let al2 = gf4_sq_gates(b, al);
-    let delta =
-        vec![b.xor3(lah2[0], alah[0], al2[0]), b.xor3(lah2[1], alah[1], al2[1])];
+    let delta = vec![b.xor3(lah2[0], alah[0], al2[0]), b.xor3(lah2[1], alah[1], al2[1])];
     let delta_inv = gf4_sq_gates(b, &delta); // inverse == square in GF(2²)
     let hi = gf4_mul_gates(b, ah, &delta_inv);
     let sum = vec![b.xor(a[0], a[2]), b.xor(a[1], a[3])];
@@ -135,8 +134,7 @@ fn gf256_inv_gates(b: &mut Builder, a: &[Bit], big_lambda: u8) -> Vec<Bit> {
     let lah2 = gf16_mul_const_gates(b, &ah2, big_lambda);
     let alah = gf16_mul_gates(b, ah, al);
     let al2 = gf16_sq_gates(b, al);
-    let delta: Vec<Bit> =
-        (0..4).map(|i| b.xor3(lah2[i], alah[i], al2[i])).collect();
+    let delta: Vec<Bit> = (0..4).map(|i| b.xor3(lah2[i], alah[i], al2[i])).collect();
     let delta_inv = gf16_inv_gates(b, &delta);
     let hi = gf16_mul_gates(b, ah, &delta_inv);
     let sum: Vec<Bit> = (0..4).map(|i| b.xor(a[i], a[i + 4])).collect();
@@ -185,13 +183,7 @@ pub fn sbox_gates(b: &mut Builder, iso: &TowerIso, x: &[Bit]) -> Vec<Bit> {
     linear
         .iter()
         .enumerate()
-        .map(|(i, &bit)| {
-            if (0x63 >> i) & 1 != 0 {
-                b.not(bit)
-            } else {
-                bit
-            }
-        })
+        .map(|(i, &bit)| if (0x63 >> i) & 1 != 0 { b.not(bit) } else { bit })
         .collect()
 }
 
@@ -260,26 +252,18 @@ pub fn aes128_encrypt_gates(b: &mut Builder, key: &[Bit], plaintext: &[Bit]) -> 
         let temp: [Vec<Bit>; 4] = if i % 4 == 0 {
             // RotWord then SubWord then Rcon.
             let rot = [prev[1].clone(), prev[2].clone(), prev[3].clone(), prev[0].clone()];
-            let mut subbed: [Vec<Bit>; 4] =
-                core::array::from_fn(|k| sbox_gates(b, &iso, &rot[k]));
+            let mut subbed: [Vec<Bit>; 4] = core::array::from_fn(|k| sbox_gates(b, &iso, &rot[k]));
             let rcon = rcon_byte(i / 4);
             subbed[0] = (0..8)
-                .map(|k| {
-                    if (rcon >> k) & 1 != 0 {
-                        b.not(subbed[0][k])
-                    } else {
-                        subbed[0][k]
-                    }
-                })
+                .map(|k| if (rcon >> k) & 1 != 0 { b.not(subbed[0][k]) } else { subbed[0][k] })
                 .collect();
             subbed
         } else {
             prev
         };
         let base = w[i - 4].clone();
-        let next: [Vec<Bit>; 4] = core::array::from_fn(|k| {
-            (0..8).map(|j| b.xor(base[k][j], temp[k][j])).collect()
-        });
+        let next: [Vec<Bit>; 4] =
+            core::array::from_fn(|k| (0..8).map(|j| b.xor(base[k][j], temp[k][j])).collect());
         w.push(next);
     }
     let round_key = |w: &[[Vec<Bit>; 4]], round: usize| -> Vec<Vec<Bit>> {
@@ -395,10 +379,7 @@ mod tests {
         for v in 0..=255u8 {
             let bits: Vec<bool> = (0..8).map(|i| (v >> i) & 1 == 1).collect();
             let out = c.eval(&bits, &[]).unwrap();
-            let got = out
-                .iter()
-                .enumerate()
-                .fold(0u8, |acc, (i, &bit)| acc | ((bit as u8) << i));
+            let got = out.iter().enumerate().fold(0u8, |acc, (i, &bit)| acc | ((bit as u8) << i));
             assert_eq!(got, sbox[v as usize], "S-box({v:#04x})");
         }
     }
@@ -409,8 +390,7 @@ mod tests {
         let mut b = Builder::new();
         let x = b.input_garbler(8);
         let _ = sbox_gates(&mut b, &iso, &x);
-        let ands =
-            b.snapshot_gates().iter().filter(|g| g.op == crate::GateOp::And).count();
+        let ands = b.snapshot_gates().iter().filter(|g| g.op == crate::GateOp::And).count();
         assert!(ands <= 40, "S-box should cost ≈36 ANDs, got {ands}");
     }
 
@@ -437,10 +417,7 @@ mod tests {
     fn aes128_gate_budget() {
         let c = aes128_circuit().unwrap();
         let ands = c.num_and_gates();
-        assert!(
-            (6000..9000).contains(&ands),
-            "AES-128 should cost ~7k ANDs, got {ands}"
-        );
+        assert!((6000..9000).contains(&ands), "AES-128 should cost ~7k ANDs, got {ands}");
     }
 
     #[test]

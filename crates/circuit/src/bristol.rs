@@ -39,16 +39,12 @@ use crate::ir::{Circuit, CircuitError, Gate, GateOp, WireId};
 /// # Ok::<(), haac_circuit::CircuitError>(())
 /// ```
 pub fn parse(text: &str) -> Result<Circuit, CircuitError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.is_empty());
+    let mut lines =
+        text.lines().enumerate().map(|(i, l)| (i + 1, l.trim())).filter(|(_, l)| !l.is_empty());
 
-    let (line_no, header) = lines.next().ok_or_else(|| CircuitError::Parse {
-        line: 0,
-        message: "empty netlist".to_string(),
-    })?;
+    let (line_no, header) = lines
+        .next()
+        .ok_or_else(|| CircuitError::Parse { line: 0, message: "empty netlist".to_string() })?;
     let [num_gates, num_wires] = parse_fields::<2>(line_no, header)?;
 
     let (line_no, io_header) = lines.next().ok_or_else(|| CircuitError::Parse {
@@ -262,10 +258,9 @@ fn expect_op<'a>(
 ) -> Result<(), CircuitError> {
     match tokens.next() {
         Some(op) if op == expected => Ok(()),
-        Some(op) => Err(CircuitError::Parse {
-            line,
-            message: format!("expected {expected}, got {op:?}"),
-        }),
+        Some(op) => {
+            Err(CircuitError::Parse { line, message: format!("expected {expected}, got {op:?}") })
+        }
         None => Err(CircuitError::Parse { line, message: "missing gate kind".to_string() }),
     }
 }

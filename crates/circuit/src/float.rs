@@ -293,11 +293,7 @@ impl Builder {
 mod tests {
     use super::*;
 
-    fn eval_binop(
-        x: u32,
-        y: u32,
-        f: impl Fn(&mut Builder, &[Bit], &[Bit]) -> Word,
-    ) -> u32 {
+    fn eval_binop(x: u32, y: u32, f: impl Fn(&mut Builder, &[Bit], &[Bit]) -> Word) -> u32 {
         let mut b = Builder::new();
         let xs = b.input_garbler(32);
         let ys = b.input_evaluator(32);
@@ -309,8 +305,25 @@ mod tests {
     }
 
     const SAMPLES: &[f32] = &[
-        0.0, 1.0, -1.0, 0.5, -0.5, 2.0, 3.25, -3.25, 100.75, -0.015625, 1234.5678, -9999.25,
-        0.000_030_517_578, 3.4e37, -3.4e37, 1.1754944e-38, 7.0e-39, 0.1, -0.3,
+        0.0,
+        1.0,
+        -1.0,
+        0.5,
+        -0.5,
+        2.0,
+        3.25,
+        -3.25,
+        100.75,
+        -0.015625,
+        1234.5678,
+        -9999.25,
+        0.000_030_517_578,
+        3.4e37,
+        -3.4e37,
+        1.1754944e-38,
+        7.0e-39,
+        0.1,
+        -0.3,
     ];
 
     #[test]

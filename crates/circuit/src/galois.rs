@@ -132,8 +132,7 @@ pub fn gf16_mul(a: u8, b: u8) -> u8 {
 pub fn gf16_inv(a: u8) -> u8 {
     let (ah, al) = (a >> 2, a & 3);
     // Δ = ah²·λ + ah·al + al²   (norm of a)
-    let delta =
-        gf4_mul(gf4_mul(ah, ah), LAMBDA) ^ gf4_mul(ah, al) ^ gf4_mul(al, al);
+    let delta = gf4_mul(gf4_mul(ah, ah), LAMBDA) ^ gf4_mul(ah, al) ^ gf4_mul(al, al);
     let delta_inv = gf4_inv(delta);
     let hi = gf4_mul(ah, delta_inv);
     let lo = gf4_mul(ah ^ al, delta_inv);

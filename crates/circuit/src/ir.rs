@@ -369,11 +369,7 @@ mod tests {
         Circuit::new(
             1,
             1,
-            vec![
-                Gate::new(GateOp::Xor, 0, 1, 2),
-                Gate::new(GateOp::And, 0, 1, 3),
-                Gate::inv(0, 4),
-            ],
+            vec![Gate::new(GateOp::Xor, 0, 1, 2), Gate::new(GateOp::And, 0, 1, 3), Gate::inv(0, 4)],
             vec![2, 3, 4],
         )
         .unwrap()

@@ -62,7 +62,11 @@ pub fn prune(circuit: &Circuit) -> PruneReport {
             remap[gate.out as usize] = next;
             kept.push(Gate {
                 a: remap[gate.a as usize],
-                b: if gate.op == GateOp::Inv { remap[gate.a as usize] } else { remap[gate.b as usize] },
+                b: if gate.op == GateOp::Inv {
+                    remap[gate.a as usize]
+                } else {
+                    remap[gate.b as usize]
+                },
                 out: next,
                 op: gate.op,
             });

@@ -107,11 +107,7 @@ mod tests {
         let c = Circuit::new(
             1,
             1,
-            vec![
-                Gate::new(GateOp::Xor, 0, 1, 2),
-                Gate::new(GateOp::And, 2, 0, 3),
-                Gate::inv(3, 4),
-            ],
+            vec![Gate::new(GateOp::Xor, 0, 1, 2), Gate::new(GateOp::And, 2, 0, 3), Gate::inv(3, 4)],
             vec![4],
         )
         .unwrap();

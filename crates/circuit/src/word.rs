@@ -195,8 +195,8 @@ impl Builder {
         let n = x.len();
         let amount = amount as usize;
         let mut out = vec![Bit::FALSE; n];
-        for i in amount.min(n)..n {
-            out[i] = x[i - amount];
+        if amount < n {
+            out[amount..].copy_from_slice(&x[..n - amount]);
         }
         out
     }
@@ -206,8 +206,8 @@ impl Builder {
         let n = x.len();
         let amount = amount as usize;
         let mut out = vec![Bit::FALSE; n];
-        for i in 0..n.saturating_sub(amount) {
-            out[i] = x[i + amount];
+        if amount < n {
+            out[..n - amount].copy_from_slice(&x[amount..]);
         }
         out
     }
@@ -459,12 +459,7 @@ mod tests {
 
     /// Builds a circuit computing `f` over two w-bit secret words and
     /// evaluates it on concrete values.
-    fn eval2(
-        w: u32,
-        x: u64,
-        y: u64,
-        f: impl Fn(&mut Builder, &[Bit], &[Bit]) -> Word,
-    ) -> u64 {
+    fn eval2(w: u32, x: u64, y: u64, f: impl Fn(&mut Builder, &[Bit], &[Bit]) -> Word) -> u64 {
         let mut b = Builder::new();
         let xs = b.input_garbler(w);
         let ys = b.input_evaluator(w);
@@ -514,7 +509,6 @@ mod tests {
             for y in 0..8u64 {
                 let got = eval2(3, x, y, |b, xs, ys| {
                     vec![b.lt_u(xs, ys), b.gt_u(xs, ys), b.le_u(xs, ys), b.ge_u(xs, ys), {
-                        
                         b.eq_words(xs, ys)
                     }]
                 });
@@ -532,9 +526,8 @@ mod tests {
     fn signed_less_than() {
         for x in -4..4i64 {
             for y in -4..4i64 {
-                let got = eval2(3, (x & 7) as u64, (y & 7) as u64, |b, xs, ys| {
-                    vec![b.lt_s(xs, ys)]
-                });
+                let got =
+                    eval2(3, (x & 7) as u64, (y & 7) as u64, |b, xs, ys| vec![b.lt_s(xs, ys)]);
                 assert_eq!(got, (x < y) as u64, "signed {x} < {y}");
             }
         }
@@ -632,8 +625,7 @@ mod tests {
     #[test]
     fn sum_words_tree() {
         let got = eval2(4, 0, 0, |b, _, _| {
-            let words: Vec<Word> =
-                (1..=9u64).map(|v| b.const_word(v, 4)).collect();
+            let words: Vec<Word> = (1..=9u64).map(|v| b.const_word(v, 4)).collect();
             b.sum_words(&words)
         });
         assert_eq!(got, 45);
@@ -691,12 +683,8 @@ mod tests {
         let ys = b.input_evaluator(32);
         let before = b.num_gates();
         let _ = b.add_words(&xs, &ys);
-        let ands = b
-            .snapshot_gates()
-            .iter()
-            .skip(before)
-            .filter(|g| g.op == crate::GateOp::And)
-            .count();
+        let ands =
+            b.snapshot_gates().iter().skip(before).filter(|g| g.op == crate::GateOp::And).count();
         assert_eq!(ands, 32);
     }
 }

@@ -89,8 +89,7 @@ pub fn program_from_order(circuit: &Circuit, order: &[u32]) -> Program {
         };
         instructions.push(Instruction::new(op, a, b));
     }
-    let output_addrs =
-        circuit.outputs().iter().map(|&w| wire_to_addr[w as usize]).collect();
+    let output_addrs = circuit.outputs().iter().map(|&w| wire_to_addr[w as usize]).collect();
     Program { instructions, num_inputs, output_addrs, source_gate: order.to_vec() }
 }
 
@@ -134,8 +133,7 @@ pub fn reorder(circuit: &Circuit, kind: ReorderKind, window: WindowModel) -> Pro
 /// Stable counting sort of gates `[start, end)` by dependence level.
 fn level_sorted_order(circuit: &Circuit, levels: &[u32], start: usize, end: usize) -> Vec<u32> {
     let gates = circuit.gates();
-    let max_level =
-        (start..end).map(|g| levels[gates[g].out as usize]).max().unwrap_or(0) as usize;
+    let max_level = (start..end).map(|g| levels[gates[g].out as usize]).max().unwrap_or(0) as usize;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
     for g in start..end {
         buckets[levels[gates[g].out as usize] as usize].push(g as u32);
@@ -235,7 +233,11 @@ pub struct CompileStats {
 /// Compiles a circuit with the given strategy and SWW size, running
 /// reorder → rename → ESW → OoR marking; returns the lowered program and
 /// its statistics.
-pub fn compile(circuit: &Circuit, kind: ReorderKind, window: WindowModel) -> (LoweredProgram, CompileStats) {
+pub fn compile(
+    circuit: &Circuit,
+    kind: ReorderKind,
+    window: WindowModel,
+) -> (LoweredProgram, CompileStats) {
     let mut program = reorder(circuit, kind, window);
     eliminate_spent_wires(&mut program, window);
     let lowered = mark_out_of_range(&program, window);
@@ -327,11 +329,8 @@ mod tests {
         let mut p = assemble(&c);
         eliminate_spent_wires(&mut p, window);
         let live: usize = p.instructions.iter().filter(|i| i.live).count();
-        let outputs_produced = p
-            .output_addrs
-            .iter()
-            .filter(|&&o| o >= p.first_output_addr())
-            .count();
+        let outputs_produced =
+            p.output_addrs.iter().filter(|&&o| o >= p.first_output_addr()).count();
         assert_eq!(live, outputs_produced, "nothing is OoR under a huge window");
     }
 
@@ -392,10 +391,8 @@ mod tests {
         let levels = c.wire_levels();
         let gates = c.gates();
         // The first 4+ instructions must all be level-1 gates (one per adder).
-        let first_levels: Vec<u32> = p.source_gate[..4]
-            .iter()
-            .map(|&g| levels[gates[g as usize].out as usize])
-            .collect();
+        let first_levels: Vec<u32> =
+            p.source_gate[..4].iter().map(|&g| levels[gates[g as usize].out as usize]).collect();
         assert!(first_levels.iter().all(|&l| l == 1), "{first_levels:?}");
     }
 }

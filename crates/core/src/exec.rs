@@ -142,9 +142,7 @@ impl WireMemory {
         oor_stream: &mut std::vec::IntoIter<u32>,
     ) -> Result<Block, ExecError> {
         if addr == OOR_SENTINEL {
-            let real = oor_stream
-                .next()
-                .ok_or(ExecError::OorStreamUnderflow { instruction })?;
+            let real = oor_stream.next().ok_or(ExecError::OorStreamUnderflow { instruction })?;
             self.report.oor_reads += 1;
             return self
                 .dram
@@ -243,13 +241,7 @@ pub fn garble_stream<R: Rng + ?Sized>(
             .ok_or(ExecError::MissingDramWire { instruction: usize::MAX, addr })?;
         output_decode.push(label.lsb());
     }
-    Ok(StreamGarbling {
-        delta,
-        input_zero_labels,
-        tables,
-        output_decode,
-        report: memory.report,
-    })
+    Ok(StreamGarbling { delta, input_zero_labels, tables, output_decode, report: memory.report })
 }
 
 /// Evaluates a garbled program by stream execution; returns the active
@@ -336,13 +328,8 @@ pub fn run_gc_through_streams<R: Rng + ?Sized>(
         .zip(&bits)
         .map(|(&zero, &bit)| zero ^ delta.select(bit))
         .collect();
-    let (out_labels, _) =
-        evaluate_stream(lowered, window, &garbling.tables, &active, scheme)?;
-    Ok(out_labels
-        .iter()
-        .zip(&garbling.output_decode)
-        .map(|(label, &d)| label.lsb() ^ d)
-        .collect())
+    let (out_labels, _) = evaluate_stream(lowered, window, &garbling.tables, &active, scheme)?;
+    Ok(out_labels.iter().zip(&garbling.output_decode).map(|(label, &d)| label.lsb() ^ d).collect())
 }
 
 #[cfg(test)]
@@ -433,8 +420,7 @@ mod tests {
         let c = mixed_circuit();
         let window = WindowModel::new(64);
         let (lowered, _) = compile(&c, ReorderKind::Baseline, window);
-        let result =
-            evaluate_stream(&lowered, window, &[], &[Block::ZERO; 3], HashScheme::Rekeyed);
+        let result = evaluate_stream(&lowered, window, &[], &[Block::ZERO; 3], HashScheme::Rekeyed);
         assert!(matches!(result, Err(ExecError::InputCount { .. })));
     }
 }

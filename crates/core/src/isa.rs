@@ -355,8 +355,7 @@ mod tests {
                 bytes.len(),
                 p.instructions.len() * Program::instruction_bytes(sww) as usize
             );
-            let decoded =
-                Program::decode_instructions(&bytes, sww, p.first_output_addr()).unwrap();
+            let decoded = Program::decode_instructions(&bytes, sww, p.first_output_addr()).unwrap();
             assert_eq!(decoded, p.instructions, "sww={sww}");
         }
     }

@@ -52,23 +52,19 @@ impl AreaPowerBreakdown {
         let sww_scale = config.sww_bytes as f64 / REF_SWW_BYTES;
         let components = vec![
             Component { name: "Half-Gate", area_mm2: 2.15 * ge_scale, power_mw: 1253.0 * ge_scale },
-            Component {
-                name: "FreeXOR",
-                area_mm2: 9.51e-4 * ge_scale,
-                power_mw: 0.321 * ge_scale,
-            },
+            Component { name: "FreeXOR", area_mm2: 9.51e-4 * ge_scale, power_mw: 0.321 * ge_scale },
             Component { name: "FWD", area_mm2: 1.80e-3 * ge_scale, power_mw: 0.255 * ge_scale },
-            Component {
-                name: "Crossbar",
-                area_mm2: 7.27e-2 * ge_scale,
-                power_mw: 16.6 * ge_scale,
-            },
+            Component { name: "Crossbar", area_mm2: 7.27e-2 * ge_scale, power_mw: 16.6 * ge_scale },
             Component {
                 name: "SWW (SRAM)",
                 area_mm2: 1.94 * sww_scale,
                 power_mw: 196.0 * sww_scale,
             },
-            Component { name: "Queues (SRAM)", area_mm2: 0.173 * ge_scale, power_mw: 35.5 * ge_scale },
+            Component {
+                name: "Queues (SRAM)",
+                area_mm2: 0.173 * ge_scale,
+                power_mw: 35.5 * ge_scale,
+            },
         ];
         AreaPowerBreakdown {
             components,
@@ -117,8 +113,8 @@ impl EnergyBreakdown {
         let ge_scale = ges / REF_GES;
         let sww_scale = config.sww_bytes as f64 / REF_SWW_BYTES;
 
-        // Peak rates at this configuration.
-        let and_rate = ges * clock_hz; // one AND issue per GE per cycle
+        // Peak rates at this configuration: one AND issue per GE per cycle.
+        let and_rate = ges * clock_hz;
         // The banked SWW runs at 2 GHz (§5): peak rate is one access per
         // bank per SWW cycle.
         let sww_rate = config.num_banks() as f64 * 2.0 * clock_hz;
@@ -127,8 +123,8 @@ impl EnergyBreakdown {
         let e_free = (0.321e-3 * ge_scale) / and_rate;
         let e_xbar = (16.6e-3 * ge_scale) / sww_rate;
         let e_sww = (196.0e-3 * sww_scale) / sww_rate;
-        let e_queue_byte = (35.5e-3 * ge_scale)
-            / (config.dram.bytes_per_second().min(64.0 * clock_hz));
+        let e_queue_byte =
+            (35.5e-3 * ge_scale) / (config.dram.bytes_per_second().min(64.0 * clock_hz));
         let e_fwd = (0.255e-3 * ge_scale) / and_rate;
 
         let sww_accesses = (report.sww_reads + report.sww_writes) as f64;
@@ -139,8 +135,7 @@ impl EnergyBreakdown {
         let halfgate = report.and_count as f64 * e_and;
         let crossbar = sww_accesses * e_xbar;
         let sram = sww_accesses * e_sww + queued_bytes * e_queue_byte;
-        let others = report.free_count as f64 * e_free
-            + report.instructions as f64 * e_fwd;
+        let others = report.free_count as f64 * e_free + report.instructions as f64 * e_fwd;
         // PHY energy is activity-based: the 225 mW TDP at the PHY's peak
         // bandwidth gives a per-byte cost (0.44 pJ/B for HBM2), applied
         // to the bytes actually moved.
@@ -206,10 +201,8 @@ mod tests {
 
     #[test]
     fn area_scales_with_ges() {
-        let small = AreaPowerBreakdown::for_config(&HaacConfig {
-            num_ges: 4,
-            ..reference_config()
-        });
+        let small =
+            AreaPowerBreakdown::for_config(&HaacConfig { num_ges: 4, ..reference_config() });
         let big = AreaPowerBreakdown::for_config(&reference_config());
         let hg_small = small.components[0].area_mm2;
         let hg_big = big.components[0].area_mm2;

@@ -312,7 +312,11 @@ pub fn map_to_ges(lowered: &LoweredProgram, config: &HaacConfig) -> GeAssignment
 }
 
 /// Replays recorded streams against the full memory system.
-pub fn simulate(lowered: &LoweredProgram, config: &HaacConfig, assignment: &GeAssignment) -> SimReport {
+pub fn simulate(
+    lowered: &LoweredProgram,
+    config: &HaacConfig,
+    assignment: &GeAssignment,
+) -> SimReport {
     let engine = Engine::new(lowered, config, Some(assignment));
     engine.run().0
 }
@@ -400,7 +404,8 @@ impl<'a> Engine<'a> {
         let bytes_per_cycle = self.config.dram_bytes_per_cycle();
         let instr_bytes = Program::instruction_bytes(window.sww_wires()) as u64;
         let mut dram_credit = bytes_per_cycle;
-        let mut rr_start = 0usize; // round-robin arbitration pointer
+        // Round-robin arbitration pointer.
+        let mut rr_start = 0usize;
         // Outstanding live-wire write-backs in bytes.
         let mut write_backlog = 0u64;
         // Initial preload of in-window inputs competes for bandwidth too.
@@ -721,17 +726,15 @@ mod tests {
         let (lowered, _) = compile(&c, ReorderKind::Full, config.window());
         let report = map_and_simulate(&lowered, &config);
         assert_eq!(report.instructions as usize, c.num_gates());
-        assert_eq!(
-            report.per_ge_instructions.iter().sum::<u64>() as usize,
-            c.num_gates()
-        );
+        assert_eq!(report.per_ge_instructions.iter().sum::<u64>() as usize, c.num_gates());
         assert!(report.cycles > 0);
     }
 
     #[test]
     fn more_ges_do_not_slow_parallel_work() {
         let c = adder_tree_circuit(8, 16);
-        let mk = |ges: usize| HaacConfig { num_ges: ges, dram: DramKind::Infinite, ..small_config() };
+        let mk =
+            |ges: usize| HaacConfig { num_ges: ges, dram: DramKind::Infinite, ..small_config() };
         let window = mk(1).window();
         let (lowered, _) = compile(&c, ReorderKind::Full, window);
         let t1 = map_and_simulate(&lowered, &mk(1)).cycles;
@@ -745,11 +748,8 @@ mod tests {
         let config = small_config();
         let (lowered, _) = compile(&c, ReorderKind::Full, config.window());
         let ddr = map_and_simulate(&lowered, &config).cycles;
-        let inf = map_and_simulate(
-            &lowered,
-            &HaacConfig { dram: DramKind::Infinite, ..config },
-        )
-        .cycles;
+        let inf =
+            map_and_simulate(&lowered, &HaacConfig { dram: DramKind::Infinite, ..config }).cycles;
         assert!(inf <= ddr, "infinite bandwidth ({inf}) must not lose to DDR4 ({ddr})");
     }
 
@@ -764,8 +764,7 @@ mod tests {
         let config = HaacConfig { num_ges: 16, ..small_config() };
         let (lowered, _) = compile(&c, ReorderKind::Full, config.window());
         let ddr = map_and_simulate(&lowered, &config).cycles;
-        let hbm =
-            map_and_simulate(&lowered, &HaacConfig { dram: DramKind::Hbm2, ..config }).cycles;
+        let hbm = map_and_simulate(&lowered, &HaacConfig { dram: DramKind::Hbm2, ..config }).cycles;
         assert!(hbm < ddr, "HBM2 ({hbm}) should beat DDR4 ({ddr}) on a table-bound workload");
     }
 

@@ -92,7 +92,12 @@ impl Aes128 {
         for i in 4..44 {
             let mut temp = w[i - 1];
             if i % 4 == 0 {
-                temp = [sb[temp[1] as usize], sb[temp[2] as usize], sb[temp[3] as usize], sb[temp[0] as usize]];
+                temp = [
+                    sb[temp[1] as usize],
+                    sb[temp[2] as usize],
+                    sb[temp[3] as usize],
+                    sb[temp[0] as usize],
+                ];
                 temp[0] ^= rcon;
                 rcon = gf_mul(rcon as u16, 2);
             }
@@ -246,8 +251,8 @@ mod tests {
         assert_eq!(
             ct.to_bytes(),
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
     }

@@ -155,7 +155,8 @@ pub fn garble_streaming<R: Rng + ?Sized>(
             GateOp::Xor => garble_xor(w0a, labels[gate.b as usize]),
             GateOp::Inv => garble_inv(delta, w0a),
             GateOp::And => {
-                let (w0c, table) = garble_and(&hash, delta, index as u64, w0a, labels[gate.b as usize]);
+                let (w0c, table) =
+                    garble_and(&hash, delta, index as u64, w0a, labels[gate.b as usize]);
                 sink(table);
                 w0c
             }

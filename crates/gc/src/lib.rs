@@ -49,6 +49,7 @@ mod garble;
 mod hash;
 pub mod ot;
 pub mod protocol;
+pub mod stream;
 
 pub use block::{Block, Delta};
 pub use evaluate::{eval_and, eval_inv, eval_xor, evaluate};
@@ -57,6 +58,7 @@ pub use garble::{
     Garbling,
 };
 pub use hash::{GateHash, HashScheme};
+pub use stream::{EvaluatorFinish, GarblerFinish, Liveness, StreamingEvaluator, StreamingGarbler};
 
 #[cfg(test)]
 mod tests {

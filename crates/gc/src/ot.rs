@@ -1,12 +1,25 @@
-//! Oblivious transfer — simulated.
+//! Oblivious transfer: a Chou–Orlandi-style base OT plus a trusted-setup
+//! simulation.
 //!
 //! The real protocol delivers the Evaluator's input labels via 1-out-of-2
 //! OT so the Garbler learns nothing about Bob's bits (paper §2.1). HAAC
-//! accelerates gate processing, not OT, and the paper's evaluation
-//! excludes network transfer; per DESIGN.md we therefore *simulate* OT
-//! with a trusted-setup functionality that exercises the same protocol
-//! code path (label pairs in, chosen label out, choice hidden from the
-//! sender's view).
+//! accelerates gate processing, not OT, so the paper's evaluation excludes
+//! it — but a streaming runtime needs the message flow to exist. Two
+//! implementations are provided:
+//!
+//! - [`base`] (feature `insecure-ot`, on by default): the "simplest OT"
+//!   of Chou & Orlandi (LatinCrypt 2015), instantiated in the
+//!   multiplicative group mod the Mersenne prime `p = 2^127 − 1` instead
+//!   of an elliptic curve. The protocol *structure* is the real thing —
+//!   blinded DH key agreement, per-branch key derivation, encrypted label
+//!   pairs — and it is transport-agnostic (pure message-in/message-out
+//!   state machines that `haac-runtime` ships over its `Channel`s). A
+//!   127-bit discrete-log group is **far below any acceptable security
+//!   parameter**, hence the feature name: this is protocol plumbing you
+//!   can measure, not cryptography you can deploy.
+//! - [`SimulatedOt`]: the trusted-setup functionality used by the legacy
+//!   in-process protocol path ([`crate::protocol::run_two_party`]), with
+//!   transfer accounting.
 
 use crate::block::Block;
 
@@ -62,6 +75,346 @@ impl ObliviousTransfer for SimulatedOt {
     }
 }
 
+/// Chou–Orlandi-style base OT over the group `(Z/pZ)^*`, `p = 2^127 − 1`.
+///
+/// Message flow for a batch of `n` transfers (all messages are plain
+/// byte-serializable values; the caller owns the transport):
+///
+/// 1. Sender → Receiver: `S = g^y` ([`OtSender::public_point`]).
+/// 2. Receiver → Sender: `R_i = g^{x_i} · S^{c_i}` for each choice bit
+///    `c_i` ([`OtReceiver::blinded_points`]).
+/// 3. Sender → Receiver: `(e0_i, e1_i)` where `e_b = m_b ⊕ H(k_b, i)`
+///    with `k0 = R_i^y`, `k1 = (R_i/S)^y` ([`OtSender::encrypt`]).
+/// 4. Receiver: `m_{c_i} = e_{c_i} ⊕ H(S^{x_i}, i)` ([`OtReceiver::decrypt`]).
+///
+/// Key derivation reuses the re-keyed gate hash (`H(x, tweak) =
+/// AES_{K(tweak)}(x) ⊕ x`), with tweaks disjoint from any gate index by a
+/// high-bit namespace.
+#[cfg(feature = "insecure-ot")]
+pub mod base {
+    use super::ObliviousTransfer;
+    use crate::block::Block;
+    use crate::hash::{GateHash, HashScheme};
+    use rand::Rng;
+
+    /// The Mersenne prime `2^127 − 1`.
+    pub const P: u128 = (1u128 << 127) - 1;
+
+    /// A fixed generator of a large subgroup of `(Z/pZ)^*`.
+    pub const G: u128 = 3;
+
+    /// Tweak namespace for OT key derivation, disjoint from gate tweaks
+    /// (which are bounded by `2 · num_gates + 1`).
+    const OT_TWEAK_BASE: u64 = 1 << 62;
+
+    /// Reduces `x` modulo `p = 2^127 − 1`.
+    #[inline]
+    fn reduce(x: u128) -> u128 {
+        // x < 2^128 = 2·2^127, so one fold brings x below 2^127 + 1 and a
+        // second (conditional) fold below p.
+        let mut r = (x >> 127) + (x & P);
+        if r >= P {
+            r -= P;
+        }
+        r
+    }
+
+    /// Modular multiplication via 64-bit limbs: `2^128 ≡ 2 (mod p)`.
+    #[inline]
+    pub fn mul_mod(a: u128, b: u128) -> u128 {
+        let (a_lo, a_hi) = (a as u64 as u128, a >> 64);
+        let (b_lo, b_hi) = (b as u64 as u128, b >> 64);
+        // a·b = lo + mid·2^64 + hi·2^128, all pieces < 2^128.
+        let lo = a_lo * b_lo;
+        let mid1 = a_lo * b_hi;
+        let mid2 = a_hi * b_lo;
+        let hi = a_hi * b_hi;
+
+        // Accumulate into a 256-bit value (hi128, lo128).
+        let (lo128, carry1) = lo.overflowing_add(mid1 << 64);
+        let (lo128, carry2) = lo128.overflowing_add(mid2 << 64);
+        let hi128 = hi
+            .wrapping_add(mid1 >> 64)
+            .wrapping_add(mid2 >> 64)
+            .wrapping_add(carry1 as u128)
+            .wrapping_add(carry2 as u128);
+
+        // 2^128 ≡ 2 (mod 2^127 − 1): fold the high half in with weight 2.
+        // Reduce before doubling so the shift cannot overflow.
+        reduce_sum(reduce(lo128), reduce(reduce(hi128) << 1))
+    }
+
+    /// Adds two reduced residues.
+    #[inline]
+    fn reduce_sum(a: u128, b: u128) -> u128 {
+        // a, b < p < 2^127 so a + b < 2^128 never overflows.
+        reduce(a + b)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn pow_mod(mut base: u128, mut exp: u128) -> u128 {
+        let mut acc: u128 = 1;
+        base = reduce(base);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = mul_mod(acc, base);
+            }
+            base = mul_mod(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via Fermat: `a^(p−2) mod p`.
+    pub fn inv_mod(a: u128) -> u128 {
+        pow_mod(a, P - 2)
+    }
+
+    /// Whether a wire value denotes a usable group element (a nonzero
+    /// residue mod `p`).
+    ///
+    /// The identity-breaking value here is 0 (and anything ≡ 0 mod p): a
+    /// peer that sends it forces `x^y = 0` regardless of the secret
+    /// exponent, collapsing both branch keys to a publicly computable
+    /// value — the receiver would learn *both* labels (and hence Δ), or
+    /// the sender would learn the choice bits. Honest parties can never
+    /// produce 0 (`g^x` is a unit), so reject it at every trust boundary.
+    pub fn valid_point(x: u128) -> bool {
+        reduce(x) != 0
+    }
+
+    /// Derives the symmetric key block for transfer `index`, branch key
+    /// `point`.
+    fn derive_key(hash: &GateHash, point: u128, index: u64) -> Block {
+        hash.hash(Block::from(point), OT_TWEAK_BASE | index)
+    }
+
+    /// Samples a non-trivial exponent in `[1, p − 2]`.
+    fn sample_exponent<R: Rng + ?Sized>(rng: &mut R) -> u128 {
+        loop {
+            let candidate: u128 = rng.gen::<u128>() & ((1 << 127) - 1);
+            if (1..=P - 2).contains(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// The sender side of a batched base OT.
+    #[derive(Debug)]
+    pub struct OtSender {
+        y: u128,
+        s: u128,
+        hash: GateHash,
+    }
+
+    impl OtSender {
+        /// Samples the sender's secret and public point.
+        pub fn new<R: Rng + ?Sized>(rng: &mut R) -> OtSender {
+            let y = sample_exponent(rng);
+            OtSender { y, s: pow_mod(G, y), hash: GateHash::new(HashScheme::Rekeyed) }
+        }
+
+        /// `S = g^y`, sent to the receiver first.
+        pub fn public_point(&self) -> u128 {
+            self.s
+        }
+
+        /// Encrypts each message pair under the two candidate keys derived
+        /// from the receiver's blinded points.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `points` and `pairs` differ in length, or if a point
+        /// is not a valid group element (see [`valid_point`]) — callers
+        /// receiving points from a peer must validate first and fail
+        /// gracefully.
+        pub fn encrypt(&self, points: &[u128], pairs: &[(Block, Block)]) -> Vec<[Block; 2]> {
+            assert_eq!(points.len(), pairs.len(), "one blinded point per message pair");
+            assert!(points.iter().all(|&r| valid_point(r)), "blinded point outside the group");
+            let s_inv = inv_mod(self.s);
+            points
+                .iter()
+                .zip(pairs)
+                .enumerate()
+                .map(|(i, (&r, &(m0, m1)))| {
+                    let k0 = pow_mod(r, self.y);
+                    let k1 = pow_mod(mul_mod(r, s_inv), self.y);
+                    [
+                        m0 ^ derive_key(&self.hash, k0, 2 * i as u64),
+                        m1 ^ derive_key(&self.hash, k1, 2 * i as u64 + 1),
+                    ]
+                })
+                .collect()
+        }
+    }
+
+    /// The receiver side of a batched base OT.
+    #[derive(Debug)]
+    pub struct OtReceiver {
+        xs: Vec<u128>,
+        choices: Vec<bool>,
+        s: u128,
+        hash: GateHash,
+    }
+
+    impl OtReceiver {
+        /// Blinds one point per choice bit against the sender's public
+        /// point.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `sender_point` is not a valid group element (a zero
+        /// `S` would make `R_i = 0` exactly when `c_i = 1`, leaking every
+        /// choice bit) — callers receiving it from a peer must validate
+        /// first and fail gracefully.
+        pub fn new<R: Rng + ?Sized>(
+            rng: &mut R,
+            sender_point: u128,
+            choices: &[bool],
+        ) -> OtReceiver {
+            assert!(valid_point(sender_point), "sender point outside the group");
+            let xs: Vec<u128> = choices.iter().map(|_| sample_exponent(rng)).collect();
+            OtReceiver {
+                xs,
+                choices: choices.to_vec(),
+                s: sender_point,
+                hash: GateHash::new(HashScheme::Rekeyed),
+            }
+        }
+
+        /// `R_i = g^{x_i} · S^{c_i}`, sent to the sender.
+        pub fn blinded_points(&self) -> Vec<u128> {
+            self.xs
+                .iter()
+                .zip(&self.choices)
+                .map(|(&x, &c)| {
+                    let g_x = pow_mod(G, x);
+                    if c {
+                        mul_mod(g_x, self.s)
+                    } else {
+                        g_x
+                    }
+                })
+                .collect()
+        }
+
+        /// Decrypts the chosen branch of each ciphertext pair.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the ciphertext count does not match the choice count.
+        pub fn decrypt(&self, ciphertexts: &[[Block; 2]]) -> Vec<Block> {
+            assert_eq!(ciphertexts.len(), self.choices.len(), "one ciphertext pair per choice");
+            ciphertexts
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    let k = pow_mod(self.s, self.xs[i]);
+                    let branch = self.choices[i] as u64;
+                    e[self.choices[i] as usize] ^ derive_key(&self.hash, k, 2 * i as u64 + branch)
+                })
+                .collect()
+        }
+    }
+
+    /// Runs the whole protocol in-process (both roles): an
+    /// [`ObliviousTransfer`] for co-located tests and the legacy path.
+    #[derive(Debug)]
+    pub struct LocalBaseOt<R: Rng> {
+        rng: R,
+        transfers: u64,
+    }
+
+    impl<R: Rng> LocalBaseOt<R> {
+        /// Wraps an RNG that will drive both parties' sampling.
+        pub fn new(rng: R) -> LocalBaseOt<R> {
+            LocalBaseOt { rng, transfers: 0 }
+        }
+
+        /// Number of single transfers performed.
+        pub fn transfers(&self) -> u64 {
+            self.transfers
+        }
+    }
+
+    impl<R: Rng> ObliviousTransfer for LocalBaseOt<R> {
+        fn transfer(&mut self, zero: Block, one: Block, choice: bool) -> Block {
+            self.transfers += 1;
+            let sender = OtSender::new(&mut self.rng);
+            let receiver = OtReceiver::new(&mut self.rng, sender.public_point(), &[choice]);
+            let cts = sender.encrypt(&receiver.blinded_points(), &[(zero, one)]);
+            receiver.decrypt(&cts)[0]
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        #[test]
+        fn modular_arithmetic_identities() {
+            assert_eq!(mul_mod(P - 1, P - 1), 1); // (−1)² = 1
+            assert_eq!(mul_mod(1 << 126, 4), 2); // 2^128 ≡ 2
+            assert_eq!(pow_mod(G, 0), 1);
+            assert_eq!(pow_mod(G, 1), G);
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..32 {
+                let a = super::sample_exponent(&mut rng);
+                assert_eq!(mul_mod(a, inv_mod(a)), 1, "a·a⁻¹ = 1 for a = {a}");
+                // Fermat: a^(p−1) = 1.
+                assert_eq!(pow_mod(a, P - 1), 1);
+            }
+        }
+
+        #[test]
+        fn receiver_gets_exactly_the_chosen_message() {
+            let mut rng = StdRng::seed_from_u64(2);
+            let pairs: Vec<(Block, Block)> =
+                (0..16).map(|_| (Block::random(&mut rng), Block::random(&mut rng))).collect();
+            let choices: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+
+            let sender = OtSender::new(&mut rng);
+            let receiver = OtReceiver::new(&mut rng, sender.public_point(), &choices);
+            let cts = sender.encrypt(&receiver.blinded_points(), &pairs);
+            let got = receiver.decrypt(&cts);
+
+            for ((&(zero, one), &c), label) in pairs.iter().zip(&choices).zip(&got) {
+                assert_eq!(*label, if c { one } else { zero });
+                // And the unchosen message stays computationally hidden —
+                // at minimum, the ciphertexts are not the plaintexts.
+                assert_ne!(cts[0][0], pairs[0].0);
+            }
+        }
+
+        #[test]
+        fn wrong_choice_does_not_decrypt() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let pair = (Block::random(&mut rng), Block::random(&mut rng));
+            let sender = OtSender::new(&mut rng);
+            let receiver = OtReceiver::new(&mut rng, sender.public_point(), &[false]);
+            let cts = sender.encrypt(&receiver.blinded_points(), &[pair]);
+            // Flipping the choice after blinding yields garbage, not `one`.
+            let mut cheat = receiver;
+            cheat.choices[0] = true;
+            let got = cheat.decrypt(&cts);
+            assert_ne!(got[0], pair.1);
+            assert_ne!(got[0], pair.0);
+        }
+
+        #[test]
+        fn local_base_ot_implements_the_trait() {
+            let rng = StdRng::seed_from_u64(4);
+            let mut ot = LocalBaseOt::new(rng);
+            let zero = Block::from(11u128);
+            let one = Block::from(22u128);
+            assert_eq!(ot.transfer(zero, one, false), zero);
+            assert_eq!(ot.transfer(zero, one, true), one);
+            assert_eq!(ot.transfers(), 2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,7 +437,12 @@ mod tests {
         let got = ot.transfer_all(&pairs, &[true, false, true, false]);
         assert_eq!(
             got,
-            vec![Block::from(100u128), Block::from(1u128), Block::from(102u128), Block::from(3u128)]
+            vec![
+                Block::from(100u128),
+                Block::from(1u128),
+                Block::from(102u128),
+                Block::from(3u128)
+            ]
         );
         assert_eq!(ot.transfers(), 4);
     }

@@ -131,14 +131,19 @@ pub fn run_two_party(
         });
 
         // Bob: receive, evaluate, decode.
-        let bob = scope.spawn(move || {
-            let GarblerMessage::Payload { tables, garbler_labels, evaluator_labels, output_decode } =
-                from_alice.recv().expect("Alice hung up");
-            let mut input_labels = garbler_labels;
-            input_labels.extend(evaluator_labels);
-            let out_labels = evaluate(circuit, &tables, &input_labels, scheme);
-            decode_outputs(&out_labels, &output_decode)
-        });
+        let bob =
+            scope.spawn(move || {
+                let GarblerMessage::Payload {
+                    tables,
+                    garbler_labels,
+                    evaluator_labels,
+                    output_decode,
+                } = from_alice.recv().expect("Alice hung up");
+                let mut input_labels = garbler_labels;
+                input_labels.extend(evaluator_labels);
+                let out_labels = evaluate(circuit, &tables, &input_labels, scheme);
+                decode_outputs(&out_labels, &output_decode)
+            });
 
         let (sent_bytes, ot_transfers) = alice.join().expect("garbler thread panicked");
         let outputs = bob.join().expect("evaluator thread panicked");

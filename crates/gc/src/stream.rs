@@ -1,0 +1,623 @@
+//! Incremental garbling and evaluation with liveness-bounded memory.
+//!
+//! GCs are a *streaming* workload (paper §2.2): tables are produced in
+//! gate order, consumed exactly once, and never revisited, and a wire's
+//! label is dead the moment its last reader has fired. The monolithic
+//! [`garble`](crate::garble())/[`evaluate`](crate::evaluate()) entry
+//! points materialize every wire label (O(circuit) memory); the
+//! [`StreamingGarbler`] and [`StreamingEvaluator`] here instead advance
+//! one gate at a time, retire labels at their last use, and expose the
+//! table stream in caller-sized chunks — the software analogue of HAAC's
+//! sliding wire window, and the substrate `haac-runtime` ships over real
+//! channels.
+//!
+//! Peak live-wire counts are tracked so callers can verify the streaming
+//! discipline: for a renamed/reordered program the peak equals the SWW
+//! residency the compiler planned for, and for any circuit it is the
+//! max-cut of the wire dependence graph, not the wire count.
+
+use std::collections::HashMap;
+
+use haac_circuit::{Circuit, GateOp, WireId};
+use rand::Rng;
+
+use crate::block::{Block, Delta};
+use crate::evaluate::{eval_and, eval_inv, eval_xor};
+use crate::garble::{decode_outputs, garble_and, garble_inv, garble_xor};
+use crate::hash::{GateHash, HashScheme};
+
+/// Sentinel for "never dies" (circuit outputs live to the end).
+const LIVE_FOREVER: usize = usize::MAX;
+
+/// Per-wire last-use positions for a circuit.
+///
+/// `last_use[w]` is the index of the last gate that reads wire `w`
+/// (`LIVE_FOREVER` for circuit outputs, which the decode step reads after
+/// every gate). A gate-output wire nobody reads dies at its own index.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    last_use: Vec<usize>,
+    read: Vec<bool>,
+    is_output: Vec<bool>,
+}
+
+impl Liveness {
+    /// Analyzes a circuit's wire lifetimes.
+    pub fn analyze(circuit: &Circuit) -> Liveness {
+        let n = circuit.num_wires() as usize;
+        let mut last_use = vec![0usize; n];
+        let mut read = vec![false; n];
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            last_use[gate.a as usize] = i;
+            read[gate.a as usize] = true;
+            if gate.op != GateOp::Inv {
+                last_use[gate.b as usize] = i;
+                read[gate.b as usize] = true;
+            }
+        }
+        let mut is_output = vec![false; n];
+        for &w in circuit.outputs() {
+            is_output[w as usize] = true;
+            last_use[w as usize] = LIVE_FOREVER;
+        }
+        Liveness { last_use, read, is_output }
+    }
+
+    /// Whether wire `w` is dead once gate `index` has executed.
+    #[inline]
+    fn dies_at(&self, w: WireId, index: usize) -> bool {
+        self.last_use[w as usize] <= index
+    }
+
+    /// Whether a wire's label must be stored at all: some gate reads it
+    /// or it is a circuit output. Applies to both primary inputs and gate
+    /// outputs — topological order guarantees a produced wire's readers
+    /// all come later, so "read at all" means "still needed".
+    #[inline]
+    fn needed(&self, w: WireId) -> bool {
+        self.read[w as usize] || self.is_output[w as usize]
+    }
+
+    /// The peak number of simultaneously live wires across the circuit —
+    /// the minimum label storage an in-order streaming executor needs.
+    /// Mirrors [`StreamingGarbler`]/[`StreamingEvaluator`] exactly, so it
+    /// predicts their reported peaks without running them.
+    pub fn peak_live_wires(&self, circuit: &Circuit) -> usize {
+        let mut stored = vec![false; self.last_use.len()];
+        let mut live = 0usize;
+        for w in 0..circuit.num_inputs() {
+            if self.needed(w) {
+                stored[w as usize] = true;
+                live += 1;
+            }
+        }
+        let mut peak = live;
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            if self.needed(gate.out) {
+                stored[gate.out as usize] = true;
+                live += 1;
+                peak = peak.max(live);
+            }
+            for w in [gate.a, gate.b] {
+                let idx = w as usize;
+                if stored[idx] && self.last_use[idx] != LIVE_FOREVER && self.dies_at(w, i) {
+                    stored[idx] = false;
+                    live -= 1;
+                }
+            }
+        }
+        peak
+    }
+}
+
+/// A live-label store that retires entries at their last use and tracks
+/// its own high-water mark.
+#[derive(Debug)]
+struct LiveLabels {
+    labels: HashMap<WireId, Block>,
+    peak: usize,
+}
+
+impl LiveLabels {
+    fn new() -> LiveLabels {
+        LiveLabels { labels: HashMap::new(), peak: 0 }
+    }
+
+    #[inline]
+    fn insert(&mut self, w: WireId, label: Block) {
+        self.labels.insert(w, label);
+        self.peak = self.peak.max(self.labels.len());
+    }
+
+    #[inline]
+    fn get(&self, w: WireId) -> Block {
+        *self.labels.get(&w).unwrap_or_else(|| panic!("wire {w} read after retirement"))
+    }
+
+    #[inline]
+    fn retire_if_dead(&mut self, w: WireId, index: usize, liveness: &Liveness) {
+        if liveness.last_use[w as usize] != LIVE_FOREVER && liveness.dies_at(w, index) {
+            self.labels.remove(&w);
+        }
+    }
+}
+
+/// Result of a finished streaming garble: what the garbler must still
+/// send (the decode string) plus accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GarblerFinish {
+    /// Permute bits of the output wires' zero labels (the decode string).
+    pub output_decode: Vec<bool>,
+    /// High-water mark of simultaneously stored wire labels.
+    pub peak_live_wires: usize,
+}
+
+/// Result of a finished streaming evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluatorFinish {
+    /// The cleartext circuit outputs.
+    pub outputs: Vec<bool>,
+    /// The active output labels (before decoding).
+    pub output_labels: Vec<Block>,
+    /// High-water mark of simultaneously stored wire labels.
+    pub peak_live_wires: usize,
+}
+
+/// Gate-at-a-time garbler with liveness-bounded label storage.
+///
+/// Construction samples Δ and the input labels (same RNG draw order as
+/// [`garble`](crate::garble()), so a shared seed yields a bit-identical
+/// garbling). Input encoding and OT label pairs are served from a
+/// dedicated input-label table that is dropped when table production
+/// starts; thereafter memory is O(peak live wires).
+///
+/// # Examples
+///
+/// ```
+/// use haac_circuit::Builder;
+/// use haac_gc::{HashScheme, StreamingGarbler, StreamingEvaluator};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut b = Builder::new();
+/// let x = b.input_garbler(8);
+/// let y = b.input_evaluator(8);
+/// let (s, _) = b.add_words(&x, &y);
+/// let c = b.finish(s).unwrap();
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::Rekeyed);
+/// let inputs = garbler.encode_inputs(&haac_circuit::to_bits(20, 8), &haac_circuit::to_bits(22, 8));
+/// let mut evaluator = StreamingEvaluator::new(&c, inputs, HashScheme::Rekeyed);
+/// while let Some(chunk) = garbler.next_tables(4) {
+///     evaluator.feed(&chunk);
+/// }
+/// let decode = garbler.finish().output_decode;
+/// let out = evaluator.finish(&decode).outputs;
+/// assert_eq!(haac_circuit::from_bits(&out), 42);
+/// ```
+#[derive(Debug)]
+pub struct StreamingGarbler<'c> {
+    circuit: &'c Circuit,
+    liveness: Liveness,
+    hash: GateHash,
+    delta: Delta,
+    /// Zero labels of all primary inputs; present until streaming starts.
+    input_zero_labels: Option<Vec<Block>>,
+    live: LiveLabels,
+    next_gate: usize,
+}
+
+impl<'c> StreamingGarbler<'c> {
+    /// Samples a fresh garbling (Δ + input labels) for `circuit`.
+    pub fn new<R: Rng + ?Sized>(
+        circuit: &'c Circuit,
+        rng: &mut R,
+        scheme: HashScheme,
+    ) -> StreamingGarbler<'c> {
+        let delta = Delta::random(rng);
+        let input_zero_labels: Vec<Block> =
+            (0..circuit.num_inputs()).map(|_| Block::random(rng)).collect();
+        let liveness = Liveness::analyze(circuit);
+        let mut live = LiveLabels::new();
+        for (w, &label) in input_zero_labels.iter().enumerate() {
+            let w = w as WireId;
+            if liveness.needed(w) {
+                live.insert(w, label);
+            }
+        }
+        StreamingGarbler {
+            circuit,
+            liveness,
+            hash: GateHash::new(scheme),
+            delta,
+            input_zero_labels: Some(input_zero_labels),
+            live,
+            next_gate: 0,
+        }
+    }
+
+    /// The global FreeXOR offset of this garbling.
+    pub fn delta(&self) -> Delta {
+        self.delta
+    }
+
+    /// The `(zero, one)` label pair of a primary input wire — what the OT
+    /// offers the evaluator for its choice bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after table streaming has begun (the input table
+    /// is dropped to honor the memory bound) or for a non-input wire.
+    pub fn input_label_pair(&self, wire: WireId) -> (Block, Block) {
+        let inputs = self
+            .input_zero_labels
+            .as_ref()
+            .expect("input labels are only available before streaming starts");
+        let zero = inputs[wire as usize];
+        (zero, zero ^ self.delta.block())
+    }
+
+    /// Encodes both parties' cleartext bits into active input labels
+    /// (garbler bits first — the full label vector a co-located evaluator
+    /// needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths do not match the circuit, or if called after
+    /// streaming started.
+    pub fn encode_inputs(&self, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<Block> {
+        assert_eq!(
+            garbler_bits.len(),
+            self.circuit.garbler_inputs() as usize,
+            "garbler input width"
+        );
+        assert_eq!(
+            evaluator_bits.len(),
+            self.circuit.evaluator_inputs() as usize,
+            "evaluator input width"
+        );
+        garbler_bits
+            .iter()
+            .chain(evaluator_bits)
+            .enumerate()
+            .map(|(w, &bit)| {
+                let (zero, one) = self.input_label_pair(w as WireId);
+                if bit {
+                    one
+                } else {
+                    zero
+                }
+            })
+            .collect()
+    }
+
+    /// Active labels for the garbler's own input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is wrong or streaming has started.
+    pub fn garbler_input_labels(&self, garbler_bits: &[bool]) -> Vec<Block> {
+        assert_eq!(
+            garbler_bits.len(),
+            self.circuit.garbler_inputs() as usize,
+            "garbler input width"
+        );
+        garbler_bits
+            .iter()
+            .enumerate()
+            .map(|(w, &bit)| {
+                let (zero, one) = self.input_label_pair(w as WireId);
+                if bit {
+                    one
+                } else {
+                    zero
+                }
+            })
+            .collect()
+    }
+
+    /// Garbles forward until `max_tables` AND tables are produced or the
+    /// gate list ends. Returns `None` once the circuit is fully garbled
+    /// (a final, possibly short, chunk is returned first).
+    ///
+    /// The first call drops the input-label table: encoding and OT must
+    /// happen before streaming.
+    pub fn next_tables(&mut self, max_tables: usize) -> Option<Vec<[Block; 2]>> {
+        assert!(max_tables > 0, "chunk capacity must be positive");
+        if self.next_gate == self.circuit.num_gates() {
+            return None;
+        }
+        self.input_zero_labels = None;
+        let mut tables = Vec::new();
+        while self.next_gate < self.circuit.num_gates() && tables.len() < max_tables {
+            let index = self.next_gate;
+            let gate = self.circuit.gates()[index];
+            let w0a = self.live.get(gate.a);
+            let out = match gate.op {
+                GateOp::Xor => garble_xor(w0a, self.live.get(gate.b)),
+                GateOp::Inv => garble_inv(self.delta, w0a),
+                GateOp::And => {
+                    let (w0c, table) = garble_and(
+                        &self.hash,
+                        self.delta,
+                        index as u64,
+                        w0a,
+                        self.live.get(gate.b),
+                    );
+                    tables.push(table);
+                    w0c
+                }
+            };
+            if self.liveness.needed(gate.out) {
+                self.live.insert(gate.out, out);
+            }
+            self.live.retire_if_dead(gate.a, index, &self.liveness);
+            self.live.retire_if_dead(gate.b, index, &self.liveness);
+            self.next_gate += 1;
+        }
+        Some(tables)
+    }
+
+    /// Whether every gate has been garbled.
+    pub fn is_done(&self) -> bool {
+        self.next_gate == self.circuit.num_gates()
+    }
+
+    /// Total AND tables this garbling will emit.
+    pub fn total_tables(&self) -> usize {
+        self.circuit.num_and_gates()
+    }
+
+    /// Finishes the garbling, yielding the output-decode string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gates remain ungarbled.
+    pub fn finish(self) -> GarblerFinish {
+        assert!(self.is_done(), "finish() before all gates were garbled");
+        let output_decode =
+            self.circuit.outputs().iter().map(|&w| self.live.get(w).lsb()).collect();
+        GarblerFinish { output_decode, peak_live_wires: self.live.peak }
+    }
+}
+
+/// Gate-at-a-time evaluator with liveness-bounded label storage.
+///
+/// Tables are [`feed`](StreamingEvaluator::feed)-ed in garbling order, in
+/// chunks of any size; evaluation advances as far as the supplied tables
+/// allow. Memory holds the pending (unconsumed) tables of the current
+/// chunk plus O(peak live wires) labels — never O(circuit) of either.
+#[derive(Debug)]
+pub struct StreamingEvaluator<'c> {
+    circuit: &'c Circuit,
+    liveness: Liveness,
+    hash: GateHash,
+    live: LiveLabels,
+    pending: std::collections::VecDeque<[Block; 2]>,
+    next_gate: usize,
+    tables_consumed: u64,
+}
+
+impl<'c> StreamingEvaluator<'c> {
+    /// Starts an evaluation from the active labels of all primary inputs
+    /// (wire order: garbler inputs then evaluator inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count does not match the circuit.
+    pub fn new(
+        circuit: &'c Circuit,
+        input_labels: Vec<Block>,
+        scheme: HashScheme,
+    ) -> StreamingEvaluator<'c> {
+        assert_eq!(input_labels.len(), circuit.num_inputs() as usize, "input label count");
+        let liveness = Liveness::analyze(circuit);
+        let mut live = LiveLabels::new();
+        for (w, label) in input_labels.into_iter().enumerate() {
+            let w = w as WireId;
+            if liveness.needed(w) {
+                live.insert(w, label);
+            }
+        }
+        let mut evaluator = StreamingEvaluator {
+            circuit,
+            liveness,
+            hash: GateHash::new(scheme),
+            live,
+            pending: std::collections::VecDeque::new(),
+            next_gate: 0,
+            tables_consumed: 0,
+        };
+        // Table-free prefixes (XOR/INV) — and whole circuits without AND
+        // gates — evaluate before any chunk arrives.
+        evaluator.advance();
+        evaluator
+    }
+
+    /// Supplies the next chunk of AND tables (in garbling order) and
+    /// advances evaluation as far as possible.
+    pub fn feed(&mut self, tables: &[[Block; 2]]) {
+        self.pending.extend(tables.iter().copied());
+        self.advance();
+    }
+
+    fn advance(&mut self) {
+        while self.next_gate < self.circuit.num_gates() {
+            let index = self.next_gate;
+            let gate = self.circuit.gates()[index];
+            if gate.op == GateOp::And && self.pending.is_empty() {
+                break; // starved: wait for the next chunk
+            }
+            let wa = self.live.get(gate.a);
+            let out = match gate.op {
+                GateOp::Xor => eval_xor(wa, self.live.get(gate.b)),
+                GateOp::Inv => eval_inv(wa),
+                GateOp::And => {
+                    let table = self.pending.pop_front().expect("checked above");
+                    self.tables_consumed += 1;
+                    eval_and(&self.hash, index as u64, wa, self.live.get(gate.b), &table)
+                }
+            };
+            if self.liveness.needed(gate.out) {
+                self.live.insert(gate.out, out);
+            }
+            self.live.retire_if_dead(gate.a, index, &self.liveness);
+            self.live.retire_if_dead(gate.b, index, &self.liveness);
+            self.next_gate += 1;
+        }
+    }
+
+    /// Whether every gate has been evaluated.
+    pub fn is_done(&self) -> bool {
+        self.next_gate == self.circuit.num_gates()
+    }
+
+    /// Number of garbled tables consumed so far.
+    pub fn tables_consumed(&self) -> u64 {
+        self.tables_consumed
+    }
+
+    /// Finishes the evaluation, decoding outputs with the garbler's
+    /// decode string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gates remain unevaluated (tables missing) or the decode
+    /// width is wrong.
+    pub fn finish(self, output_decode: &[bool]) -> EvaluatorFinish {
+        assert!(self.is_done(), "finish() before all gates were evaluated");
+        let output_labels: Vec<Block> =
+            self.circuit.outputs().iter().map(|&w| self.live.get(w)).collect();
+        let outputs = decode_outputs(&output_labels, output_decode);
+        EvaluatorFinish { outputs, output_labels, peak_live_wires: self.live.peak }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use crate::garble::garble;
+    use haac_circuit::{to_bits, Builder};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn adder_circuit(width: u32) -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input_garbler(width);
+        let y = b.input_evaluator(width);
+        let (s, carry) = b.add_words(&x, &y);
+        let mut out = s;
+        out.push(carry);
+        b.finish(out).unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_monolithic_garbling_bit_for_bit() {
+        let c = adder_circuit(16);
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let mono = garble(&c, &mut rng1, HashScheme::Rekeyed);
+        let mut streaming = StreamingGarbler::new(&c, &mut rng2, HashScheme::Rekeyed);
+        assert_eq!(streaming.delta(), mono.delta);
+        let mut tables = Vec::new();
+        while let Some(chunk) = streaming.next_tables(3) {
+            assert!(chunk.len() <= 3);
+            tables.extend(chunk);
+        }
+        assert_eq!(tables, mono.garbled.tables);
+        assert_eq!(streaming.finish().output_decode, mono.garbled.output_decode);
+    }
+
+    #[test]
+    fn streaming_pipeline_is_correct_for_every_chunk_size() {
+        let c = adder_circuit(8);
+        for chunk in [1usize, 2, 7, 64, 1024] {
+            let mut rng = StdRng::seed_from_u64(chunk as u64);
+            let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::Rekeyed);
+            let inputs = garbler.encode_inputs(&to_bits(200, 8), &to_bits(55, 8));
+            let mut evaluator = StreamingEvaluator::new(&c, inputs, HashScheme::Rekeyed);
+            while let Some(tables) = garbler.next_tables(chunk) {
+                evaluator.feed(&tables);
+            }
+            let decode = garbler.finish().output_decode;
+            let got = evaluator.finish(&decode).outputs;
+            assert_eq!(haac_circuit::from_bits(&got), 255, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_agrees_with_monolithic_evaluate() {
+        let c = adder_circuit(12);
+        let g_bits = to_bits(3000, 12);
+        let e_bits = to_bits(1095, 12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mono = garble(&c, &mut rng, HashScheme::FixedKey);
+        let labels = mono.encode_inputs(&c, &g_bits, &e_bits);
+        let mono_out = evaluate(&c, &mono.garbled.tables, &labels, HashScheme::FixedKey);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::FixedKey);
+        let inputs = garbler.encode_inputs(&g_bits, &e_bits);
+        let mut evaluator = StreamingEvaluator::new(&c, inputs, HashScheme::FixedKey);
+        while let Some(tables) = garbler.next_tables(8) {
+            evaluator.feed(&tables);
+        }
+        let fin = evaluator.finish(&garbler.finish().output_decode);
+        assert_eq!(fin.output_labels, mono_out);
+    }
+
+    #[test]
+    fn deep_chain_runs_in_constant_live_memory() {
+        // A long dependency chain: w_{i+1} = w_i AND input — only a couple
+        // of wires are ever live, however long the chain.
+        let mut b = Builder::new();
+        let x = b.input_garbler(1);
+        let y = b.input_evaluator(1);
+        let mut acc = b.xor(x[0], y[0]);
+        for _ in 0..2000 {
+            acc = b.and(acc, x[0]);
+        }
+        let c = b.finish(vec![acc]).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::Rekeyed);
+        let inputs = garbler.encode_inputs(&[true], &[false]);
+        let mut evaluator = StreamingEvaluator::new(&c, inputs, HashScheme::Rekeyed);
+        while let Some(tables) = garbler.next_tables(16) {
+            evaluator.feed(&tables);
+        }
+        let gfin = garbler.finish();
+        let efin = evaluator.finish(&gfin.output_decode);
+        assert_eq!(efin.outputs, vec![true]);
+        assert!(gfin.peak_live_wires <= 4, "garbler peak {}", gfin.peak_live_wires);
+        assert!(efin.peak_live_wires <= 4, "evaluator peak {}", efin.peak_live_wires);
+        assert_eq!(c.num_wires(), 2003);
+    }
+
+    #[test]
+    fn peak_live_wires_analysis_matches_execution() {
+        let c = adder_circuit(8);
+        let analyzed = Liveness::analyze(&c).peak_live_wires(&c);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::Rekeyed);
+        let inputs = garbler.encode_inputs(&to_bits(1, 8), &to_bits(2, 8));
+        let mut evaluator = StreamingEvaluator::new(&c, inputs, HashScheme::Rekeyed);
+        while let Some(tables) = garbler.next_tables(4) {
+            evaluator.feed(&tables);
+        }
+        let gfin = garbler.finish();
+        let efin = evaluator.finish(&gfin.output_decode);
+        assert_eq!(gfin.peak_live_wires, analyzed);
+        assert_eq!(efin.peak_live_wires, analyzed);
+    }
+
+    #[test]
+    #[should_panic(expected = "before streaming starts")]
+    fn input_labels_unavailable_after_streaming_starts() {
+        let c = adder_circuit(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::Rekeyed);
+        let _ = garbler.next_tables(1);
+        let _ = garbler.input_label_pair(0);
+    }
+}

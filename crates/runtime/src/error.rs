@@ -1,0 +1,45 @@
+//! Runtime error type.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong driving a two-party session.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The transport failed (peer disconnected, socket error, ...).
+    Io(io::Error),
+    /// The peer violated the protocol (bad frame, wrong message order,
+    /// mismatched circuit parameters).
+    Protocol(String),
+}
+
+impl RuntimeError {
+    /// Builds a protocol-violation error.
+    pub fn protocol(message: impl Into<String>) -> RuntimeError {
+        RuntimeError::Protocol(message.into())
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "channel i/o error: {e}"),
+            RuntimeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for RuntimeError {
+    fn from(e: io::Error) -> RuntimeError {
+        RuntimeError::Io(e)
+    }
+}

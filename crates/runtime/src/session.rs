@@ -1,0 +1,624 @@
+//! End-to-end two-party sessions: handshake, input delivery, base OT,
+//! window-chunked table streaming, and output sharing.
+//!
+//! The garbler garbles *incrementally* and ships tables in chunks sized
+//! by the compiler's sliding-wire-window model ([`WindowModel`]): one
+//! chunk per half-window slide, the same granularity at which HAAC's SWW
+//! advances. The evaluator consumes each chunk as it lands and retires
+//! wire labels at their last use, so its live-label storage tracks the
+//! window — O(window), not O(circuit) — which each [`SessionReport`]
+//! records as `peak_live_wires`.
+
+use std::time::{Duration, Instant};
+
+use haac_circuit::Circuit;
+use haac_core::WindowModel;
+use haac_gc::stream::Liveness;
+use haac_gc::{HashScheme, StreamingEvaluator, StreamingGarbler};
+use rand::Rng;
+
+use crate::channel::Channel;
+use crate::error::RuntimeError;
+use crate::wire::{read_message, write_message, Message, SessionHeader};
+
+/// Which side of the protocol a report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionRole {
+    /// Alice: garbles and streams tables.
+    Garbler,
+    /// Bob: receives tables and evaluates.
+    Evaluator,
+}
+
+/// Everything a party chooses before a session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// The gate-hash construction (both parties must agree; the header
+    /// carries the garbler's choice and the evaluator validates it).
+    pub scheme: HashScheme,
+    /// The sliding-wire-window geometry streaming is planned around.
+    pub window: WindowModel,
+}
+
+impl SessionConfig {
+    /// A config with an explicit window.
+    pub fn new(scheme: HashScheme, window: WindowModel) -> SessionConfig {
+        SessionConfig { scheme, window }
+    }
+
+    /// Sizes the window to the circuit's own streaming requirement: the
+    /// smallest power-of-two window that holds the circuit's peak live
+    /// wires (what the compiler's renaming would provision as SWW
+    /// capacity for this program).
+    pub fn for_circuit(circuit: &Circuit) -> SessionConfig {
+        let peak = Liveness::analyze(circuit).peak_live_wires(circuit) as u32;
+        SessionConfig {
+            scheme: HashScheme::Rekeyed,
+            window: WindowModel::new(peak.max(2).next_power_of_two()),
+        }
+    }
+
+    /// Tables per streamed chunk: the window's slide granularity (half
+    /// the window), the rate at which HAAC retires SWW residency — capped
+    /// so a chunk frame (32 B/table) always fits the wire format's
+    /// per-frame payload limit.
+    pub fn chunk_tables(&self) -> usize {
+        const MAX_CHUNK_TABLES: usize = 1 << 20; // 32 MiB of tables per frame
+        (self.window.half() as usize).clamp(1, MAX_CHUNK_TABLES)
+    }
+}
+
+/// Outcome and accounting for one party's side of a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Which side this report describes.
+    pub role: SessionRole,
+    /// The circuit outputs (both parties learn them).
+    pub outputs: Vec<bool>,
+    /// Bytes this party sent.
+    pub bytes_sent: u64,
+    /// Bytes this party received.
+    pub bytes_received: u64,
+    /// Transport flushes this party performed.
+    pub flushes: u64,
+    /// Garbled-table chunks streamed.
+    pub table_chunks: u64,
+    /// Total AND tables streamed.
+    pub tables: u64,
+    /// High-water mark of simultaneously stored wire labels on this side.
+    pub peak_live_wires: usize,
+    /// Whether `peak_live_wires` fit within the announced window.
+    pub within_window: bool,
+    /// Base OTs performed (one per evaluator input bit).
+    pub ot_transfers: u64,
+    /// Wall-clock duration of this party's session.
+    pub elapsed: Duration,
+}
+
+fn expect_message<C: Channel + ?Sized>(
+    channel: &mut C,
+    expected: &'static str,
+) -> Result<Message, RuntimeError> {
+    let message = read_message(channel)?;
+    if message.name() != expected {
+        return Err(RuntimeError::protocol(format!(
+            "expected {expected}, received {}",
+            message.name()
+        )));
+    }
+    Ok(message)
+}
+
+/// Runs the garbler (Alice) side of a streaming session.
+///
+/// Blocks until the evaluator has shared the outputs back.
+///
+/// # Errors
+///
+/// Fails on transport errors, protocol violations, or input width
+/// mismatch.
+pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    rng: &mut R,
+    config: &SessionConfig,
+    channel: &mut C,
+) -> Result<SessionReport, RuntimeError> {
+    if garbler_bits.len() != circuit.garbler_inputs() as usize {
+        return Err(RuntimeError::protocol(format!(
+            "garbler input width {} does not match circuit ({})",
+            garbler_bits.len(),
+            circuit.garbler_inputs()
+        )));
+    }
+    let start = Instant::now();
+    let chunk_tables = config.chunk_tables();
+
+    write_message(
+        channel,
+        &Message::Header(SessionHeader {
+            garbler_inputs: circuit.garbler_inputs(),
+            evaluator_inputs: circuit.evaluator_inputs(),
+            num_gates: circuit.num_gates() as u64,
+            num_tables: circuit.num_and_gates() as u64,
+            scheme: config.scheme,
+            window_wires: config.window.sww_wires(),
+            chunk_tables: chunk_tables as u32,
+        }),
+    )?;
+
+    let mut garbler = StreamingGarbler::new(circuit, rng, config.scheme);
+    write_message(channel, &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)))?;
+
+    // Base OT for the evaluator's input labels.
+    let ot_transfers = ot_send(circuit, &garbler, rng, channel)?;
+
+    // Stream tables in window-sized chunks, one flush per chunk.
+    let mut table_chunks = 0u64;
+    let mut tables = 0u64;
+    while let Some(chunk) = garbler.next_tables(chunk_tables) {
+        if chunk.is_empty() {
+            continue;
+        }
+        tables += chunk.len() as u64;
+        table_chunks += 1;
+        write_message(channel, &Message::Tables(chunk))?;
+        channel.flush()?;
+    }
+
+    let finish = garbler.finish();
+    write_message(channel, &Message::OutputDecode(finish.output_decode))?;
+    channel.flush()?;
+
+    let Message::Outputs(outputs) = expect_message(channel, "Outputs")? else { unreachable!() };
+    if outputs.len() != circuit.outputs().len() {
+        return Err(RuntimeError::protocol(format!(
+            "evaluator shared {} outputs, circuit has {}",
+            outputs.len(),
+            circuit.outputs().len()
+        )));
+    }
+
+    let stats = channel.stats();
+    Ok(SessionReport {
+        role: SessionRole::Garbler,
+        outputs,
+        bytes_sent: stats.bytes_sent,
+        bytes_received: stats.bytes_received,
+        flushes: stats.flushes,
+        table_chunks,
+        tables,
+        peak_live_wires: finish.peak_live_wires,
+        within_window: finish.peak_live_wires <= config.window.sww_wires() as usize,
+        ot_transfers,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs the evaluator (Bob) side of a streaming session.
+///
+/// The evaluator learns the session parameters from the garbler's header
+/// and validates them against its own copy of the circuit.
+///
+/// # Errors
+///
+/// Fails on transport errors, protocol violations, or input width
+/// mismatch.
+pub fn run_evaluator<C: Channel + ?Sized, R: Rng + ?Sized>(
+    circuit: &Circuit,
+    evaluator_bits: &[bool],
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<SessionReport, RuntimeError> {
+    if evaluator_bits.len() != circuit.evaluator_inputs() as usize {
+        return Err(RuntimeError::protocol(format!(
+            "evaluator input width {} does not match circuit ({})",
+            evaluator_bits.len(),
+            circuit.evaluator_inputs()
+        )));
+    }
+    let start = Instant::now();
+
+    let Message::Header(header) = expect_message(channel, "Header")? else { unreachable!() };
+    validate_header(circuit, &header)?;
+
+    let Message::GarblerInputs(garbler_labels) = expect_message(channel, "GarblerInputs")? else {
+        unreachable!()
+    };
+    if garbler_labels.len() != circuit.garbler_inputs() as usize {
+        return Err(RuntimeError::protocol("garbler label count mismatch"));
+    }
+
+    let own_labels = ot_receive(evaluator_bits, rng, channel)?;
+
+    let mut input_labels = garbler_labels;
+    input_labels.extend(own_labels);
+    let mut evaluator = StreamingEvaluator::new(circuit, input_labels, header.scheme);
+
+    let mut table_chunks = 0u64;
+    let output_decode = loop {
+        match read_message(channel)? {
+            Message::Tables(chunk) => {
+                table_chunks += 1;
+                evaluator.feed(&chunk);
+            }
+            Message::OutputDecode(decode) => break decode,
+            other => {
+                return Err(RuntimeError::protocol(format!(
+                    "expected Tables or OutputDecode, received {}",
+                    other.name()
+                )))
+            }
+        }
+    };
+    if !evaluator.is_done() {
+        return Err(RuntimeError::protocol(format!(
+            "table stream ended early: consumed {} of {} tables",
+            evaluator.tables_consumed(),
+            header.num_tables
+        )));
+    }
+
+    let tables = evaluator.tables_consumed();
+    let finish = evaluator.finish(&output_decode);
+    write_message(channel, &Message::Outputs(finish.outputs.clone()))?;
+    channel.flush()?;
+
+    let stats = channel.stats();
+    Ok(SessionReport {
+        role: SessionRole::Evaluator,
+        outputs: finish.outputs,
+        bytes_sent: stats.bytes_sent,
+        bytes_received: stats.bytes_received,
+        flushes: stats.flushes,
+        table_chunks,
+        tables,
+        peak_live_wires: finish.peak_live_wires,
+        within_window: finish.peak_live_wires <= header.window_wires as usize,
+        ot_transfers: circuit.evaluator_inputs() as u64,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn validate_header(circuit: &Circuit, header: &SessionHeader) -> Result<(), RuntimeError> {
+    let mismatch = |what: &str, ours: u64, theirs: u64| {
+        Err(RuntimeError::protocol(format!(
+            "circuit mismatch: {what} is {theirs} on the garbler, {ours} here"
+        )))
+    };
+    if header.garbler_inputs != circuit.garbler_inputs() {
+        return mismatch(
+            "garbler_inputs",
+            circuit.garbler_inputs() as u64,
+            header.garbler_inputs as u64,
+        );
+    }
+    if header.evaluator_inputs != circuit.evaluator_inputs() {
+        return mismatch(
+            "evaluator_inputs",
+            circuit.evaluator_inputs() as u64,
+            header.evaluator_inputs as u64,
+        );
+    }
+    if header.num_gates != circuit.num_gates() as u64 {
+        return mismatch("num_gates", circuit.num_gates() as u64, header.num_gates);
+    }
+    if header.num_tables != circuit.num_and_gates() as u64 {
+        return mismatch("num_tables", circuit.num_and_gates() as u64, header.num_tables);
+    }
+    if header.chunk_tables == 0 {
+        return Err(RuntimeError::protocol("chunk_tables must be positive"));
+    }
+    Ok(())
+}
+
+#[cfg(feature = "insecure-ot")]
+fn ot_send<C: Channel + ?Sized, R: Rng + ?Sized>(
+    circuit: &Circuit,
+    garbler: &StreamingGarbler<'_>,
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<u64, RuntimeError> {
+    use haac_gc::ot::base::OtSender;
+
+    let sender = OtSender::new(rng);
+    write_message(channel, &Message::OtSetup(sender.public_point()))?;
+    channel.flush()?;
+
+    let Message::OtPoints(points) = expect_message(channel, "OtPoints")? else { unreachable!() };
+    if points.len() != circuit.evaluator_inputs() as usize {
+        return Err(RuntimeError::protocol("one OT point per evaluator input required"));
+    }
+    if !points.iter().all(|&r| haac_gc::ot::base::valid_point(r)) {
+        // A zero point would collapse both branch keys to a public value,
+        // handing the peer both labels (and Δ).
+        return Err(RuntimeError::protocol("OT blinded point outside the group"));
+    }
+    let pairs: Vec<_> = (0..circuit.evaluator_inputs())
+        .map(|i| garbler.input_label_pair(circuit.garbler_inputs() + i))
+        .collect();
+    write_message(channel, &Message::OtCiphertexts(sender.encrypt(&points, &pairs)))?;
+    Ok(points.len() as u64)
+}
+
+#[cfg(feature = "insecure-ot")]
+fn ot_receive<C: Channel + ?Sized, R: Rng + ?Sized>(
+    evaluator_bits: &[bool],
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<Vec<haac_gc::Block>, RuntimeError> {
+    use haac_gc::ot::base::OtReceiver;
+
+    let Message::OtSetup(point) = expect_message(channel, "OtSetup")? else { unreachable!() };
+    if !haac_gc::ot::base::valid_point(point) {
+        // A zero setup point would make R_i = 0 exactly when c_i = 1,
+        // leaking every choice bit to the sender.
+        return Err(RuntimeError::protocol("OT setup point outside the group"));
+    }
+    let receiver = OtReceiver::new(rng, point, evaluator_bits);
+    write_message(channel, &Message::OtPoints(receiver.blinded_points()))?;
+    channel.flush()?;
+
+    let Message::OtCiphertexts(pairs) = expect_message(channel, "OtCiphertexts")? else {
+        unreachable!()
+    };
+    if pairs.len() != evaluator_bits.len() {
+        return Err(RuntimeError::protocol("one OT ciphertext pair per choice bit required"));
+    }
+    Ok(receiver.decrypt(&pairs))
+}
+
+#[cfg(not(feature = "insecure-ot"))]
+fn ot_send<C: Channel + ?Sized, R: Rng + ?Sized>(
+    _circuit: &Circuit,
+    _garbler: &StreamingGarbler<'_>,
+    _rng: &mut R,
+    _channel: &mut C,
+) -> Result<u64, RuntimeError> {
+    Err(RuntimeError::protocol(
+        "two-party sessions need a base OT; enable the `insecure-ot` feature",
+    ))
+}
+
+#[cfg(not(feature = "insecure-ot"))]
+fn ot_receive<C: Channel + ?Sized, R: Rng + ?Sized>(
+    _evaluator_bits: &[bool],
+    _rng: &mut R,
+    _channel: &mut C,
+) -> Result<Vec<haac_gc::Block>, RuntimeError> {
+    Err(RuntimeError::protocol(
+        "two-party sessions need a base OT; enable the `insecure-ot` feature",
+    ))
+}
+
+/// Runs a complete session in-process: garbler and evaluator threads
+/// joined by a [`MemChannel`](crate::MemChannel) pair.
+///
+/// Returns `(garbler_report, evaluator_report)`.
+///
+/// # Errors
+///
+/// Propagates whichever party's error surfaced (if both failed, the
+/// garbler's).
+///
+/// # Panics
+///
+/// Panics if a party thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use haac_circuit::Builder;
+/// use haac_runtime::{run_local_session, SessionConfig};
+///
+/// let mut b = Builder::new();
+/// let alice = b.input_garbler(16);
+/// let bob = b.input_evaluator(16);
+/// let richer = b.gt_u(&alice, &bob);
+/// let c = b.finish(vec![richer]).unwrap();
+///
+/// let (g, e) = run_local_session(
+///     &c,
+///     &haac_circuit::to_bits(40_000, 16),
+///     &haac_circuit::to_bits(35_000, 16),
+///     7,
+///     &SessionConfig::for_circuit(&c),
+/// )
+/// .unwrap();
+/// assert_eq!(g.outputs, vec![true]);
+/// assert_eq!(e.outputs, vec![true]);
+/// ```
+pub fn run_local_session(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    seed: u64,
+    config: &SessionConfig,
+) -> Result<(SessionReport, SessionReport), RuntimeError> {
+    let (garbler_channel, evaluator_channel) = crate::channel::MemChannel::pair();
+    run_session_pair(
+        circuit,
+        garbler_bits,
+        evaluator_bits,
+        seed,
+        config,
+        garbler_channel,
+        evaluator_channel,
+    )
+}
+
+/// Runs a complete session over a real loopback TCP socket: an
+/// evaluator thread listens on an ephemeral `127.0.0.1` port, the
+/// garbler connects, and both run the full streamed protocol.
+///
+/// Returns `(garbler_report, evaluator_report)`.
+///
+/// # Errors
+///
+/// Propagates socket and session failures.
+///
+/// # Panics
+///
+/// Panics if a party thread panics.
+pub fn run_tcp_session(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    seed: u64,
+    config: &SessionConfig,
+) -> Result<(SessionReport, SessionReport), RuntimeError> {
+    use crate::channel::TcpChannel;
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    std::thread::scope(|scope| {
+        let accept = scope.spawn(move || -> Result<TcpChannel, RuntimeError> {
+            let (stream, _) = listener.accept()?;
+            Ok(TcpChannel::from_stream(stream)?)
+        });
+        let garbler_channel = TcpChannel::from_stream(TcpStream::connect(addr)?)?;
+        let evaluator_channel = accept.join().expect("accept thread panicked")?;
+        run_session_pair(
+            circuit,
+            garbler_bits,
+            evaluator_bits,
+            seed,
+            config,
+            garbler_channel,
+            evaluator_channel,
+        )
+    })
+}
+
+/// Drives both roles on scoped threads over an already-paired transport.
+fn run_session_pair<C: Channel + Send>(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    seed: u64,
+    config: &SessionConfig,
+    mut garbler_channel: C,
+    mut evaluator_channel: C,
+) -> Result<(SessionReport, SessionReport), RuntimeError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    std::thread::scope(|scope| {
+        let garbler = scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_garbler(circuit, garbler_bits, &mut rng, config, &mut garbler_channel)
+        });
+        let evaluator = scope.spawn(move || {
+            // Independent randomness for the receiver's OT blinding.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+            run_evaluator(circuit, evaluator_bits, &mut rng, &mut evaluator_channel)
+        });
+        let garbler_report = garbler.join().expect("garbler thread panicked");
+        let evaluator_report = evaluator.join().expect("evaluator thread panicked");
+        Ok((garbler_report?, evaluator_report?))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haac_circuit::{from_bits, to_bits, Builder};
+
+    fn adder(width: u32) -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input_garbler(width);
+        let y = b.input_evaluator(width);
+        let (s, _) = b.add_words(&x, &y);
+        b.finish(s).unwrap()
+    }
+
+    #[test]
+    fn local_session_computes_the_sum() {
+        let c = adder(16);
+        let config = SessionConfig::for_circuit(&c);
+        let (g, e) =
+            run_local_session(&c, &to_bits(1234, 16), &to_bits(4321, 16), 3, &config).unwrap();
+        assert_eq!(from_bits(&g.outputs), 5555);
+        assert_eq!(g.outputs, e.outputs);
+        assert_eq!(g.tables, c.num_and_gates() as u64);
+        assert_eq!(g.table_chunks, e.table_chunks);
+        assert!(g.table_chunks >= 1);
+        assert_eq!(e.ot_transfers, 16);
+        assert!(e.within_window, "peak {} window {}", e.peak_live_wires, config.window.sww_wires());
+        // Each side's sent bytes are the other side's received bytes.
+        assert_eq!(g.bytes_sent, e.bytes_received);
+        assert_eq!(e.bytes_sent, g.bytes_received);
+    }
+
+    #[test]
+    fn streaming_matches_monolithic_protocol() {
+        let c = adder(12);
+        for seed in 0..4 {
+            let g_bits = to_bits(1000 + seed, 12);
+            let e_bits = to_bits(2000 + seed, 12);
+            let config = SessionConfig::for_circuit(&c);
+            let (g, _) = run_local_session(&c, &g_bits, &e_bits, seed, &config).unwrap();
+            let legacy = haac_gc::protocol::run_two_party(&c, &g_bits, &e_bits, seed);
+            assert_eq!(g.outputs, legacy.outputs);
+            assert_eq!(g.outputs, c.eval(&g_bits, &e_bits).unwrap());
+        }
+    }
+
+    #[test]
+    fn tiny_window_still_completes_with_many_chunks() {
+        let c = adder(32);
+        let config = SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2));
+        let (g, e) = run_local_session(&c, &to_bits(7, 32), &to_bits(8, 32), 1, &config).unwrap();
+        assert_eq!(from_bits(&g.outputs), 15);
+        // chunk_tables = 1: one chunk (and one flush) per AND table.
+        assert_eq!(g.table_chunks, c.num_and_gates() as u64);
+        assert!(!e.within_window, "a 2-wire window cannot hold an adder's live set");
+    }
+
+    #[test]
+    fn wrong_input_width_is_rejected() {
+        let c = adder(8);
+        let config = SessionConfig::for_circuit(&c);
+        let err = run_local_session(&c, &to_bits(0, 4), &to_bits(0, 8), 1, &config).unwrap_err();
+        assert!(err.to_string().contains("garbler input width"));
+    }
+
+    #[test]
+    fn mismatched_circuits_fail_loudly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let big = adder(16);
+        let small = adder(8);
+        let (mut gc, mut ec) = crate::channel::MemChannel::pair();
+        std::thread::scope(|scope| {
+            let config = SessionConfig::for_circuit(&big);
+            let garbler = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1);
+                run_garbler(&big, &to_bits(1, 16), &mut rng, &config, &mut gc)
+            });
+            let evaluator = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(2);
+                run_evaluator(&small, &to_bits(1, 8), &mut rng, &mut ec)
+            });
+            let eval_err = evaluator.join().unwrap().unwrap_err();
+            assert!(eval_err.to_string().contains("circuit mismatch"), "{eval_err}");
+            // The garbler sees the evaluator hang up mid-protocol.
+            assert!(garbler.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn no_evaluator_inputs_skips_no_messages() {
+        // Garbler-only inputs: OT runs with an empty batch.
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.not_word(&x);
+        let c = b.finish(y).unwrap();
+        let config = SessionConfig::for_circuit(&c);
+        let (g, e) = run_local_session(&c, &to_bits(0b1010_1010, 8), &[], 9, &config).unwrap();
+        assert_eq!(from_bits(&g.outputs), 0b0101_0101);
+        assert_eq!(e.ot_transfers, 0);
+    }
+}

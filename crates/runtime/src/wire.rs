@@ -1,0 +1,366 @@
+//! Protocol framing: typed messages over a [`Channel`].
+//!
+//! Every message is one frame: a 1-byte tag, a 4-byte little-endian
+//! payload length, and the payload. Blocks and group elements are 16-byte
+//! little-endian; bit strings are count-prefixed and bit-packed. The
+//! framing is self-describing enough that a peer speaking a different
+//! protocol version fails loudly (unknown tag / length mismatch) instead
+//! of desynchronizing.
+
+use haac_gc::{Block, HashScheme};
+
+use crate::channel::Channel;
+use crate::error::RuntimeError;
+
+/// Upper bound on a single frame payload (64 MiB) — a corrupt or hostile
+/// length prefix must not drive allocation.
+const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Session parameters the garbler announces before streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionHeader {
+    /// Garbler input bits the circuit expects.
+    pub garbler_inputs: u32,
+    /// Evaluator input bits the circuit expects.
+    pub evaluator_inputs: u32,
+    /// Total gates (order-of-battle check between the two circuit copies).
+    pub num_gates: u64,
+    /// Total AND tables that will be streamed.
+    pub num_tables: u64,
+    /// The gate-hash construction in use.
+    pub scheme: HashScheme,
+    /// Sliding-wire-window capacity (in wire labels) the garbler planned
+    /// streaming around.
+    pub window_wires: u32,
+    /// Tables per streamed chunk (the window's slide granularity).
+    pub chunk_tables: u32,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Session parameters (garbler → evaluator, first).
+    Header(SessionHeader),
+    /// Active labels for the garbler's own inputs (garbler → evaluator).
+    GarblerInputs(Vec<Block>),
+    /// Base-OT sender public point `S` (garbler → evaluator).
+    OtSetup(u128),
+    /// Base-OT blinded points, one per evaluator input (evaluator → garbler).
+    OtPoints(Vec<u128>),
+    /// Base-OT ciphertext pairs (garbler → evaluator).
+    OtCiphertexts(Vec<[Block; 2]>),
+    /// One chunk of garbled AND tables, in gate order (garbler → evaluator).
+    Tables(Vec<[Block; 2]>),
+    /// Output decode string (garbler → evaluator, after the last chunk).
+    OutputDecode(Vec<bool>),
+    /// Decoded cleartext outputs (evaluator → garbler, output sharing).
+    Outputs(Vec<bool>),
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Header(_) => 1,
+            Message::GarblerInputs(_) => 2,
+            Message::OtSetup(_) => 3,
+            Message::OtPoints(_) => 4,
+            Message::OtCiphertexts(_) => 5,
+            Message::Tables(_) => 6,
+            Message::OutputDecode(_) => 7,
+            Message::Outputs(_) => 8,
+        }
+    }
+
+    /// A short human-readable name (for error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Header(_) => "Header",
+            Message::GarblerInputs(_) => "GarblerInputs",
+            Message::OtSetup(_) => "OtSetup",
+            Message::OtPoints(_) => "OtPoints",
+            Message::OtCiphertexts(_) => "OtCiphertexts",
+            Message::Tables(_) => "Tables",
+            Message::OutputDecode(_) => "OutputDecode",
+            Message::Outputs(_) => "Outputs",
+        }
+    }
+}
+
+fn scheme_tag(scheme: HashScheme) -> u8 {
+    match scheme {
+        HashScheme::Rekeyed => 0,
+        HashScheme::FixedKey => 1,
+    }
+}
+
+fn scheme_from_tag(tag: u8) -> Result<HashScheme, RuntimeError> {
+    match tag {
+        0 => Ok(HashScheme::Rekeyed),
+        1 => Ok(HashScheme::FixedKey),
+        other => Err(RuntimeError::protocol(format!("unknown hash scheme tag {other}"))),
+    }
+}
+
+fn push_blocks(payload: &mut Vec<u8>, blocks: &[Block]) {
+    payload.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for block in blocks {
+        payload.extend_from_slice(&block.to_bytes());
+    }
+}
+
+fn push_tables(payload: &mut Vec<u8>, tables: &[[Block; 2]]) {
+    payload.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for table in tables {
+        payload.extend_from_slice(&table[0].to_bytes());
+        payload.extend_from_slice(&table[1].to_bytes());
+    }
+}
+
+fn push_bits(payload: &mut Vec<u8>, bits: &[bool]) {
+    payload.extend_from_slice(&(bits.len() as u32).to_le_bytes());
+    let mut byte = 0u8;
+    for (i, &bit) in bits.iter().enumerate() {
+        byte |= (bit as u8) << (i % 8);
+        if i % 8 == 7 {
+            payload.push(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        payload.push(byte);
+    }
+}
+
+/// Serializes and sends one message. Does **not** flush — the session
+/// layer owns flush boundaries.
+///
+/// # Errors
+///
+/// Propagates channel I/O failures.
+pub fn write_message<C: Channel + ?Sized>(
+    channel: &mut C,
+    message: &Message,
+) -> Result<(), RuntimeError> {
+    let mut payload = Vec::new();
+    match message {
+        Message::Header(h) => {
+            payload.extend_from_slice(&h.garbler_inputs.to_le_bytes());
+            payload.extend_from_slice(&h.evaluator_inputs.to_le_bytes());
+            payload.extend_from_slice(&h.num_gates.to_le_bytes());
+            payload.extend_from_slice(&h.num_tables.to_le_bytes());
+            payload.push(scheme_tag(h.scheme));
+            payload.extend_from_slice(&h.window_wires.to_le_bytes());
+            payload.extend_from_slice(&h.chunk_tables.to_le_bytes());
+        }
+        Message::GarblerInputs(labels) => push_blocks(&mut payload, labels),
+        Message::OtSetup(point) => payload.extend_from_slice(&point.to_le_bytes()),
+        Message::OtPoints(points) => {
+            payload.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for point in points {
+                payload.extend_from_slice(&point.to_le_bytes());
+            }
+        }
+        Message::OtCiphertexts(pairs) => push_tables(&mut payload, pairs),
+        Message::Tables(tables) => push_tables(&mut payload, tables),
+        Message::OutputDecode(bits) | Message::Outputs(bits) => push_bits(&mut payload, bits),
+    }
+    if payload.len() > MAX_PAYLOAD {
+        // The receiver enforces the same bound; sending an oversized frame
+        // would be accepted by the transport and then kill the session at
+        // the peer (and beyond u32::MAX the length prefix would wrap).
+        return Err(RuntimeError::protocol(format!(
+            "{} frame of {} bytes exceeds the {} byte limit",
+            message.name(),
+            payload.len(),
+            MAX_PAYLOAD
+        )));
+    }
+    channel.send(&[message.tag()])?;
+    channel.send(&(payload.len() as u32).to_le_bytes())?;
+    channel.send(&payload)?;
+    Ok(())
+}
+
+struct PayloadReader {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+impl PayloadReader {
+    fn take(&mut self, n: usize) -> Result<&[u8], RuntimeError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| RuntimeError::protocol("frame payload truncated"))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, RuntimeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, RuntimeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn u128(&mut self) -> Result<u128, RuntimeError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    fn u8(&mut self) -> Result<u8, RuntimeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn block(&mut self) -> Result<Block, RuntimeError> {
+        Ok(Block::from_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    fn counted<T>(
+        &mut self,
+        per_item_bytes: usize,
+        read: impl Fn(&mut Self) -> Result<T, RuntimeError>,
+    ) -> Result<Vec<T>, RuntimeError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(per_item_bytes) > MAX_PAYLOAD {
+            return Err(RuntimeError::protocol(format!("count {count} exceeds frame limits")));
+        }
+        (0..count).map(|_| read(self)).collect()
+    }
+
+    fn bits(&mut self) -> Result<Vec<bool>, RuntimeError> {
+        let count = self.u32()? as usize;
+        if count > MAX_PAYLOAD * 8 {
+            return Err(RuntimeError::protocol("bit count exceeds frame limits"));
+        }
+        let bytes = self.take(count.div_ceil(8))?;
+        Ok((0..count).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect())
+    }
+
+    fn finish(self) -> Result<(), RuntimeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(RuntimeError::protocol("frame payload has trailing bytes"))
+        }
+    }
+}
+
+/// Receives and decodes one message (blocking).
+///
+/// # Errors
+///
+/// Propagates channel I/O failures and rejects malformed frames.
+pub fn read_message<C: Channel + ?Sized>(channel: &mut C) -> Result<Message, RuntimeError> {
+    let mut tag = [0u8; 1];
+    channel.recv_exact(&mut tag)?;
+    let mut len = [0u8; 4];
+    channel.recv_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(RuntimeError::protocol(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut bytes = vec![0u8; len];
+    channel.recv_exact(&mut bytes)?;
+    let mut r = PayloadReader { bytes, pos: 0 };
+
+    let message = match tag[0] {
+        1 => Message::Header(SessionHeader {
+            garbler_inputs: r.u32()?,
+            evaluator_inputs: r.u32()?,
+            num_gates: r.u64()?,
+            num_tables: r.u64()?,
+            scheme: scheme_from_tag(r.u8()?)?,
+            window_wires: r.u32()?,
+            chunk_tables: r.u32()?,
+        }),
+        2 => Message::GarblerInputs(r.counted(16, PayloadReader::block)?),
+        3 => Message::OtSetup(r.u128()?),
+        4 => Message::OtPoints(r.counted(16, PayloadReader::u128)?),
+        5 => Message::OtCiphertexts(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
+        6 => Message::Tables(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
+        7 => Message::OutputDecode(r.bits()?),
+        8 => Message::Outputs(r.bits()?),
+        other => return Err(RuntimeError::protocol(format!("unknown frame tag {other}"))),
+    };
+    r.finish()?;
+    Ok(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::MemChannel;
+
+    fn round_trip(message: Message) {
+        let (mut a, mut b) = MemChannel::pair();
+        write_message(&mut a, &message).unwrap();
+        a.flush().unwrap();
+        let got = read_message(&mut b).unwrap();
+        assert_eq!(got, message);
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        round_trip(Message::Header(SessionHeader {
+            garbler_inputs: 32,
+            evaluator_inputs: 32,
+            num_gates: 1234,
+            num_tables: 567,
+            scheme: HashScheme::Rekeyed,
+            window_wires: 4096,
+            chunk_tables: 2048,
+        }));
+        round_trip(Message::GarblerInputs(vec![Block::from(1u128), Block::from(2u128)]));
+        round_trip(Message::OtSetup(0xDEAD_BEEFu128));
+        round_trip(Message::OtPoints(vec![3, 5, 7]));
+        round_trip(Message::OtCiphertexts(vec![[Block::from(9u128), Block::from(10u128)]]));
+        round_trip(Message::Tables(vec![
+            [Block::from(11u128), Block::from(12u128)],
+            [Block::from(13u128), Block::from(14u128)],
+        ]));
+        round_trip(Message::OutputDecode(vec![
+            true, false, true, true, false, true, false, true, true,
+        ]));
+        round_trip(Message::Outputs(Vec::new()));
+    }
+
+    #[test]
+    fn bit_packing_handles_all_residues() {
+        for n in 0..20usize {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            round_trip(Message::Outputs(bits));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[250u8]).unwrap();
+        a.send(&0u32.to_le_bytes()).unwrap();
+        a.flush().unwrap();
+        let err = read_message(&mut b).unwrap_err();
+        assert!(err.to_string().contains("unknown frame tag"));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[6u8]).unwrap();
+        a.send(&u32::MAX.to_le_bytes()).unwrap();
+        a.flush().unwrap();
+        let err = read_message(&mut b).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[3u8]).unwrap(); // OtSetup: exactly 16 bytes expected
+        a.send(&17u32.to_le_bytes()).unwrap();
+        a.send(&[0u8; 17]).unwrap();
+        a.flush().unwrap();
+        let err = read_message(&mut b).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"));
+    }
+}

@@ -3,14 +3,22 @@ use haac_circuit::stats::CircuitStats;
 use haac_workloads::{build, Scale, WorkloadKind};
 
 fn main() {
-    println!("{:<10} {:>9} {:>12} {:>12} {:>7} {:>8}", "bench", "levels", "wires(k)", "gates(k)", "AND%", "ILP");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>7} {:>8}",
+        "bench", "levels", "wires(k)", "gates(k)", "AND%", "ILP"
+    );
     for kind in WorkloadKind::ALL {
         let start = std::time::Instant::now();
         let w = build(kind, Scale::Paper);
         let s = CircuitStats::of(&w.circuit);
         println!(
             "{:<10} {:>9} {:>12.0} {:>12.0} {:>7.2} {:>8.0}   (built in {:?})",
-            kind.name(), s.levels, s.wires as f64 / 1e3, s.gates as f64 / 1e3, s.and_percent, s.ilp,
+            kind.name(),
+            s.levels,
+            s.wires as f64 / 1e3,
+            s.gates as f64 / 1e3,
+            s.and_percent,
+            s.ilp,
             start.elapsed()
         );
     }

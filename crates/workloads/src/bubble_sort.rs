@@ -105,9 +105,8 @@ mod tests {
             let mut out = lo;
             out.extend(hi);
             let c = b.finish(out).unwrap();
-            let bits = c
-                .eval(&haac_circuit::to_bits(x, 32), &haac_circuit::to_bits(y, 32))
-                .unwrap();
+            let bits =
+                c.eval(&haac_circuit::to_bits(x, 32), &haac_circuit::to_bits(y, 32)).unwrap();
             let vals = bits_to_u32s(&bits);
             assert_eq!(vals, vec![x.min(y) as u32, x.max(y) as u32]);
         }

@@ -52,10 +52,7 @@ pub fn build(scale: Scale) -> Workload {
 pub fn plaintext(_scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
     let xs = bits_to_u32s(garbler_bits);
     let ys = bits_to_u32s(evaluator_bits);
-    let dot = xs
-        .iter()
-        .zip(&ys)
-        .fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)));
+    let dot = xs.iter().zip(&ys).fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)));
     u32s_to_bits(&[dot])
 }
 

@@ -38,8 +38,7 @@ pub fn build(scale: Scale) -> Workload {
 
 /// Plaintext reference: native popcount of the XOR.
 pub fn plaintext(scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
-    let count =
-        garbler_bits.iter().zip(evaluator_bits).filter(|(a, b)| a != b).count() as u64;
+    let count = garbler_bits.iter().zip(evaluator_bits).filter(|(a, b)| a != b).count() as u64;
     // Output width matches the circuit's popcount width.
     let n = num_bits(scale);
     let width = (usize::BITS - n.leading_zeros()) + 1;

@@ -38,6 +38,7 @@ pub mod micro;
 pub mod relu;
 pub mod rng;
 pub mod triangle;
+pub mod two_party;
 
 use haac_circuit::Circuit;
 

@@ -92,10 +92,7 @@ mod tests {
         for i in 0..n {
             identity[i * n + i] = 1;
         }
-        let out = w
-            .circuit
-            .eval(&u32s_to_bits(&a), &u32s_to_bits(&identity))
-            .unwrap();
+        let out = w.circuit.eval(&u32s_to_bits(&a), &u32s_to_bits(&identity)).unwrap();
         assert_eq!(bits_to_u32s(&out), a);
     }
 

@@ -40,8 +40,7 @@ pub fn build(scale: Scale) -> Workload {
     let mut b = Builder::new();
     let g_in = b.input_garbler((STATE_WORDS as u32) * 32);
     let e_in = b.input_evaluator(32);
-    let mut mt: Vec<Word> =
-        g_in.chunks(32).map(|c| c.to_vec()).collect();
+    let mut mt: Vec<Word> = g_in.chunks(32).map(|c| c.to_vec()).collect();
 
     twist_gates(&mut b, &mut mt);
 
@@ -106,15 +105,7 @@ fn xor_shift_masked(b: &mut Builder, v: &[Bit], shift: Shift, mask: u32) -> Word
         Shift::Left(k) => b.shl_const(v, k),
         Shift::Right(k) => b.shr_const(v, k),
     };
-    (0..32)
-        .map(|j| {
-            if (mask >> j) & 1 == 1 {
-                b.xor(v[j], shifted[j])
-            } else {
-                v[j]
-            }
-        })
-        .collect()
+    (0..32).map(|j| if (mask >> j) & 1 == 1 { b.xor(v[j], shifted[j]) } else { v[j] }).collect()
 }
 
 /// Plaintext reference: native MT19937 twist + temper + mod + checksum.
@@ -169,9 +160,8 @@ mod tests {
         let mut mt = vec![0u32; STATE_WORDS];
         mt[0] = 5489;
         for i in 1..STATE_WORDS {
-            mt[i] = 1812433253u32
-                .wrapping_mul(mt[i - 1] ^ (mt[i - 1] >> 30))
-                .wrapping_add(i as u32);
+            mt[i] =
+                1812433253u32.wrapping_mul(mt[i - 1] ^ (mt[i - 1] >> 30)).wrapping_add(i as u32);
         }
         twist_native(&mut mt);
         let first = temper_native(mt[0]);
@@ -194,11 +184,7 @@ mod tests {
         let g = b.input_garbler((STATE_WORDS as u32) * 32);
         let mut mt: Vec<Word> = g.chunks(32).map(|c| c.to_vec()).collect();
         twist_gates(&mut b, &mut mt);
-        let ands = b
-            .snapshot_gates()
-            .iter()
-            .filter(|g| g.op == haac_circuit::GateOp::And)
-            .count();
+        let ands = b.snapshot_gates().iter().filter(|g| g.op == haac_circuit::GateOp::And).count();
         assert_eq!(ands, 0, "the MT twist is free under FreeXOR");
     }
 }

@@ -162,10 +162,8 @@ mod tests {
     fn small_matmul_identity() {
         let m = matmul("3x3Matx-16", 3, 16);
         let a: Vec<bool> = (1..=9u64).flat_map(|v| to_bits(v, 16)).collect();
-        let identity: Vec<bool> = [1u64, 0, 0, 0, 1, 0, 0, 0, 1]
-            .iter()
-            .flat_map(|&v| to_bits(v, 16))
-            .collect();
+        let identity: Vec<bool> =
+            [1u64, 0, 0, 0, 1, 0, 0, 0, 1].iter().flat_map(|&v| to_bits(v, 16)).collect();
         let out = m.circuit.eval(&a, &identity).unwrap();
         let values: Vec<u64> = out.chunks(16).map(from_bits).collect();
         assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);

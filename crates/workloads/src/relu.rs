@@ -71,10 +71,7 @@ mod tests {
         let n = count(Scale::Small);
         let negatives = vec![(-5i32) as u32; n / 2];
         let positives = vec![7u32; n - n / 2];
-        let out = w
-            .circuit
-            .eval(&u32s_to_bits(&negatives), &u32s_to_bits(&positives))
-            .unwrap();
+        let out = w.circuit.eval(&u32s_to_bits(&negatives), &u32s_to_bits(&positives)).unwrap();
         let vals = bits_to_u32s(&out);
         assert!(vals[..n / 2].iter().all(|&v| v == 0));
         assert!(vals[n / 2..].iter().all(|&v| v == 7));

@@ -33,6 +33,7 @@ pub fn output_width(scale: Scale) -> usize {
 }
 
 /// Builds the workload with a deterministic sample input.
+#[allow(clippy::needless_range_loop)] // adjacency index math reads as written
 pub fn build(scale: Scale) -> Workload {
     let n = num_vertices(scale);
     let m = num_edge_bits(scale);
@@ -88,10 +89,18 @@ pub fn build(scale: Scale) -> Workload {
     trace.truncate(out_width);
     let circuit = b.finish(trace).expect("triangle circuit is valid");
     let expected = plaintext(scale, &garbler_bits, &evaluator_bits);
-    Workload { kind: WorkloadKind::Triangle, scale, circuit, garbler_bits, evaluator_bits, expected }
+    Workload {
+        kind: WorkloadKind::Triangle,
+        scale,
+        circuit,
+        garbler_bits,
+        evaluator_bits,
+        expected,
+    }
 }
 
 /// Plaintext reference: trace(A³) over the native adjacency matrix.
+#[allow(clippy::needless_range_loop)] // adjacency index math reads as written
 pub fn plaintext(scale: Scale, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<bool> {
     let n = num_vertices(scale);
     let edges: Vec<bool> = garbler_bits.iter().chain(evaluator_bits).copied().collect();

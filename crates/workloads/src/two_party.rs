@@ -1,0 +1,85 @@
+//! Workloads as genuine streaming two-party sessions.
+//!
+//! Every VIP-Bench workload carries sample inputs already split between
+//! garbler and evaluator, so each one can run end-to-end through
+//! `haac-runtime`'s streaming protocol with one call. This is the bridge
+//! the examples and benchmarks use: pick a workload, get back both
+//! parties' [`SessionReport`]s plus a reference check.
+
+use haac_runtime::{run_local_session, RuntimeError, SessionConfig, SessionReport};
+
+use crate::{build, Scale, Workload, WorkloadKind};
+
+/// Outcome of running a workload as a streaming two-party session.
+#[derive(Debug)]
+pub struct StreamingRun {
+    /// The workload that ran (circuit + sample inputs + reference).
+    pub workload: Workload,
+    /// The garbler's (Alice's) session report.
+    pub garbler: SessionReport,
+    /// The evaluator's (Bob's) session report.
+    pub evaluator: SessionReport,
+}
+
+impl StreamingRun {
+    /// Whether the session outputs match the independent plaintext
+    /// reference bit-for-bit.
+    pub fn matches_reference(&self) -> bool {
+        self.garbler.outputs == self.workload.expected
+            && self.evaluator.outputs == self.workload.expected
+    }
+}
+
+/// Runs a workload's sample inputs through a streaming two-party session
+/// over in-process channels, with the window sized to the circuit's
+/// streaming requirement.
+///
+/// # Errors
+///
+/// Propagates session failures (which, over in-process channels, would
+/// indicate a protocol bug rather than an environment problem).
+///
+/// # Examples
+///
+/// ```
+/// use haac_workloads::two_party::run_streaming;
+/// use haac_workloads::{Scale, WorkloadKind};
+///
+/// let run = run_streaming(WorkloadKind::Hamming, Scale::Small, 7).unwrap();
+/// assert!(run.matches_reference());
+/// assert!(run.evaluator.within_window);
+/// ```
+pub fn run_streaming(
+    kind: WorkloadKind,
+    scale: Scale,
+    seed: u64,
+) -> Result<StreamingRun, RuntimeError> {
+    let workload = build(kind, scale);
+    let config = SessionConfig::for_circuit(&workload.circuit);
+    let (garbler, evaluator) = run_local_session(
+        &workload.circuit,
+        &workload.garbler_bits,
+        &workload.evaluator_bits,
+        seed,
+        &config,
+    )?;
+    Ok(StreamingRun { workload, garbler, evaluator })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_streams_and_matches() {
+        let run = run_streaming(WorkloadKind::DotProduct, Scale::Small, 1).unwrap();
+        assert!(run.matches_reference());
+        assert_eq!(run.garbler.tables, run.workload.circuit.num_and_gates() as u64);
+        assert!(run.garbler.table_chunks >= 1);
+        assert!(run.evaluator.within_window);
+        assert!(
+            run.evaluator.peak_live_wires < run.workload.circuit.num_wires() as usize,
+            "streaming must not hold the whole wire space"
+        );
+    }
+}

@@ -15,7 +15,8 @@ use haac::prelude::*;
 fn print_program(title: &str, p: &haac::core::Program) {
     println!("--- {title} ---");
     for (i, instr) in p.instructions.iter().enumerate() {
-        println!("  {:>2}: {} {:>2}, {:>2} -> {}{}",
+        println!(
+            "  {:>2}: {} {:>2}, {:>2} -> {}{}",
             i,
             instr.op,
             instr.a,

@@ -2,8 +2,10 @@
 //! richer — and nothing else.
 //!
 //! This is the canonical two-party-computation demo (Yao 1986). The
-//! example runs the real protocol (two threads, simulated OT) and then
-//! shows what the HAAC accelerator would do with the same circuit.
+//! example runs the real streaming protocol — garbler and evaluator on
+//! separate threads joined by in-process channels, base OT for Bob's
+//! input labels, tables streamed in window-sized chunks — and then shows
+//! what the HAAC accelerator would do with the same circuit.
 //!
 //! Run with: `cargo run --release --example millionaires`
 
@@ -26,12 +28,15 @@ fn main() {
         circuit.num_and_gates()
     );
 
-    let run = run_two_party(
+    let config = SessionConfig::for_circuit(&circuit);
+    let (run, evaluator) = run_local_session(
         &circuit,
         &to_bits(alice_wealth, 64),
         &to_bits(bob_wealth, 64),
         2023,
-    );
+        &config,
+    )
+    .expect("in-process session");
     let (richer, equal) = (run.outputs[0], run.outputs[1]);
     println!(
         "verdict: {}",
@@ -44,14 +49,20 @@ fn main() {
         }
     );
     println!(
-        "protocol traffic: {} bytes of tables+labels, {} OTs — and neither party saw a number",
-        run.garbler_to_evaluator_bytes, run.ot_transfers
+        "streamed session: {} B sent / {} B received by Alice in {} chunks, {} OTs",
+        run.bytes_sent, run.bytes_received, run.table_chunks, evaluator.ot_transfers
+    );
+    println!(
+        "evaluator held at most {} live wires of {} total (window: {}) — and neither party saw a number",
+        evaluator.peak_live_wires,
+        circuit.num_wires(),
+        config.window.sww_wires()
     );
 
     // The HAAC view of the same computation.
-    let config = HaacConfig::default();
-    let (lowered, stats) = compile(&circuit, ReorderKind::Full, config.window());
-    let report = map_and_simulate(&lowered, &config);
+    let haac = HaacConfig::default();
+    let (lowered, stats) = compile(&circuit, ReorderKind::Full, haac.window());
+    let report = map_and_simulate(&lowered, &haac);
     println!(
         "on HAAC: {} instructions in {} cycles ({:.1} ns) — {} tables streamed",
         stats.instructions,

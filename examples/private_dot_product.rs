@@ -33,14 +33,22 @@ fn main() {
     let t_plain = t0.elapsed();
     println!("plaintext result: {} in {t_plain:?}", bits_to_u32s(&plain)[0]);
 
-    // Two-party GC.
+    // Two-party GC, streamed: garbler and evaluator threads joined by
+    // in-process channels, tables shipped in window-sized chunks.
     let t0 = Instant::now();
-    let run = run_two_party(&w.circuit, &g_bits, &e_bits, 99);
+    let config = SessionConfig::for_circuit(&w.circuit);
+    let (run, evaluator) =
+        run_local_session(&w.circuit, &g_bits, &e_bits, 99, &config).expect("session");
     let t_gc = t0.elapsed();
     assert_eq!(run.outputs, plain);
     println!(
-        "two-party GC: same result in {t_gc:?} ({:.0}× plaintext)",
-        t_gc.as_secs_f64() / t_plain.as_secs_f64().max(1e-9)
+        "streaming two-party GC: same result in {t_gc:?} ({:.0}× plaintext); \
+         {} chunks, {} B on the wire, peak {} live wires of {}",
+        t_gc.as_secs_f64() / t_plain.as_secs_f64().max(1e-9),
+        run.table_chunks,
+        run.bytes_sent,
+        evaluator.peak_live_wires,
+        w.circuit.num_wires(),
     );
 
     // HAAC, both memory systems.

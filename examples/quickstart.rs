@@ -29,9 +29,8 @@ fn main() {
     let bob = 7_891u64;
 
     // 2. Plaintext reference.
-    let plain = circuit
-        .eval(&to_bits(alice, 32), &to_bits(bob, 32))
-        .expect("inputs are the right width");
+    let plain =
+        circuit.eval(&to_bits(alice, 32), &to_bits(bob, 32)).expect("inputs are the right width");
     println!("plaintext: {alice} * {bob} = {}", from_bits(&plain));
 
     // 3. Real two-party GC protocol on the CPU (garbler and evaluator
@@ -61,10 +60,7 @@ fn main() {
         config.num_ges,
         config.dram.label(),
     );
-    println!(
-        "speedup over this machine's CPU GC: {:.0}×",
-        cpu_time.as_secs_f64() / report.seconds
-    );
+    println!("speedup over this machine's CPU GC: {:.0}×", cpu_time.as_secs_f64() / report.seconds);
 
     // 5. And prove the compiled program still computes the right thing,
     //    end to end through the modeled memory system.

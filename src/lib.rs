@@ -9,7 +9,8 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`circuit`] | Boolean circuit IR, synthesis frontend (EMP equivalent), Bristol I/O, AES/FP32 generators |
-//! | [`gc`] | Half-gate garbling with FreeXOR and re-keyed hashing (the "CPU GC" baseline) |
+//! | [`gc`] | Half-gate garbling with FreeXOR and re-keyed hashing (the "CPU GC" baseline), streaming garble/evaluate, base OT |
+//! | [`runtime`] | Streaming two-party execution: pluggable channels (in-memory, TCP), framed table streaming, sessions |
 //! | [`workloads`] | The eight VIP-Bench workloads + Table 5 microbenchmarks |
 //! | [`core`] | The HAAC ISA, optimizing compiler, cycle-level simulator, area/power/energy model |
 //!
@@ -29,8 +30,12 @@
 //! let alice_richer = b.gt_u(&alice, &bob);
 //! let circuit = b.finish(vec![alice_richer]).unwrap();
 //!
-//! // 2. Run it as a real two-party GC protocol (CPU, like EMP).
-//! let run = run_two_party(&circuit, &to_bits(5_000_000, 32), &to_bits(3_141_592, 32), 42);
+//! // 2. Run it as a real two-party GC protocol: a streaming session over
+//! //    paired in-process channels (swap in a TcpChannel for the network).
+//! let config = SessionConfig::for_circuit(&circuit);
+//! let (run, _) = run_local_session(
+//!     &circuit, &to_bits(5_000_000, 32), &to_bits(3_141_592, 32), 42, &config,
+//! ).unwrap();
 //! assert_eq!(run.outputs, vec![true]);
 //!
 //! // 3. Compile it for HAAC and simulate the accelerator.
@@ -45,6 +50,7 @@
 pub use haac_circuit as circuit;
 pub use haac_core as core;
 pub use haac_gc as gc;
+pub use haac_runtime as runtime;
 pub use haac_workloads as workloads;
 
 /// The most common imports in one place.
@@ -55,7 +61,13 @@ pub mod prelude {
     pub use haac_core::sim::{map_and_simulate, DramKind, HaacConfig, Role, SimReport};
     pub use haac_core::WindowModel;
     pub use haac_gc::protocol::run_two_party;
-    pub use haac_gc::{decode_outputs, evaluate, garble, HashScheme};
+    pub use haac_gc::{
+        decode_outputs, evaluate, garble, HashScheme, StreamingEvaluator, StreamingGarbler,
+    };
+    pub use haac_runtime::{
+        run_evaluator, run_garbler, run_local_session, run_tcp_session, Channel, MemChannel,
+        SessionConfig, SessionReport, TcpChannel,
+    };
     pub use haac_workloads::{build as build_workload, Scale, WorkloadKind};
 }
 

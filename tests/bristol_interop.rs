@@ -41,9 +41,8 @@ fn parsed_bristol_compiles_and_garbles_on_haac() {
         let g = vec![bits & 1 != 0, bits & 2 != 0];
         let e = vec![bits & 4 != 0, bits & 8 != 0];
         let expect = circuit.eval(&g, &e).unwrap();
-        let got =
-            run_gc_through_streams(&lowered, window, &g, &e, &mut rng, HashScheme::Rekeyed)
-                .unwrap();
+        let got = run_gc_through_streams(&lowered, window, &g, &e, &mut rng, HashScheme::Rekeyed)
+            .unwrap();
         assert_eq!(got, expect, "input pattern {bits:#06b}");
     }
 }
@@ -65,8 +64,11 @@ fn instruction_streams_roundtrip_through_binary_encoding() {
     let window = WindowModel::new(1024);
     let (lowered, _) = compile(&w.circuit, ReorderKind::Segment, window);
     let bytes = lowered.program.encode(window.sww_wires());
-    let decoded =
-        Program::decode_instructions(&bytes, window.sww_wires(), lowered.program.first_output_addr())
-            .unwrap();
+    let decoded = Program::decode_instructions(
+        &bytes,
+        window.sww_wires(),
+        lowered.program.first_output_addr(),
+    )
+    .unwrap();
     assert_eq!(decoded, lowered.program.instructions);
 }

@@ -55,7 +55,7 @@ fn wrong_input_label_corrupts_the_result() {
     let e_bits = to_bits(23, 8);
     let mut labels = garbling.encode_inputs(&c, &g_bits, &e_bits);
     // Flip evaluator bit 0 by switching to the complementary label.
-    labels[8] = labels[8] ^ garbling.delta.block();
+    labels[8] ^= garbling.delta.block();
     let out = evaluate(&c, &garbling.garbled.tables, &labels, HashScheme::Rekeyed);
     let decoded = decode_outputs(&out, &garbling.garbled.output_decode);
     assert_eq!(from_bits(&decoded), 100 + 22, "flipped input bit must flip the sum's lsb");

@@ -55,15 +55,8 @@ fn every_workload_survives_haac_compilation_at_multiple_sww_sizes() {
                     &mut rng,
                     HashScheme::Rekeyed,
                 )
-                .unwrap_or_else(|e| {
-                    panic!("{} sww={sww_wires} {strategy:?}: {e}", kind.name())
-                });
-                assert_eq!(
-                    got,
-                    w.expected,
-                    "{} sww={sww_wires} {strategy:?}",
-                    kind.name()
-                );
+                .unwrap_or_else(|e| panic!("{} sww={sww_wires} {strategy:?}: {e}", kind.name()));
+                assert_eq!(got, w.expected, "{} sww={sww_wires} {strategy:?}", kind.name());
             }
         }
     }

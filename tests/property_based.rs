@@ -10,8 +10,8 @@
 //!   arbitrary SWW sizes;
 //! - the SWW window math satisfies its residency contract.
 
-use haac::prelude::*;
 use haac::circuit::float::{fp32_add_ref, fp32_canon, fp32_mul_ref};
+use haac::prelude::*;
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 

@@ -1,0 +1,198 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Benchmarks compile and run against this crate without crates.io
+//! access. Measurement is a simple budgeted loop (warm-up + timed
+//! iterations, median-free mean) printing `ns/iter` and derived
+//! throughput — adequate for relative comparisons, without criterion's
+//! statistical machinery. Each `bench_function` is time-boxed so whole
+//! suites stay fast under `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(80);
+
+/// How batch setup costs are amortized (API compatibility only — the
+/// shim times routines individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declares what one "iteration" processes, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into(), None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// budget-based loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to drive timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the bencher's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(id: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: one iteration to size the budgeted loop.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 * 1e3 / per_iter_ns),
+        Throughput::Bytes(n) => {
+            format!(" ({:.1} MiB/s)", n as f64 * 1e9 / per_iter_ns / (1 << 20) as f64)
+        }
+    });
+    println!("bench {id:<48} {per_iter_ns:>14.1} ns/iter{}", rate.unwrap_or_default());
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes flags like `--test`;
+            // a listing request must print nothing and succeed.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(128));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 32], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

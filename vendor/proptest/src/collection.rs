@@ -1,0 +1,48 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy producing `Vec`s of values from an element strategy, with a
+/// length drawn uniformly from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+/// Builds a [`VecStrategy`]: `vec(element, min..max)`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "vec strategy needs a non-empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + (rng.rng.gen::<u64>() % span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_span_the_range() {
+        let strategy = vec(any::<u8>(), 1..5);
+        let mut rng = TestRng::for_test("vec_lengths");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            seen[v.len() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, [`Strategy`](strategy::Strategy)
+//! sampling for primitive `any::<T>()`, integer ranges, strategy tuples,
+//! and [`collection::vec`], plus `prop_assert*` / `prop_assume!`. Unlike
+//! the real proptest there is **no shrinking** and no failure-case
+//! persistence: each test runs a fixed number of deterministic random
+//! cases and panics with the sampled inputs' debug output on failure.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: `fn name(x in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(100).max(1000),
+                        "proptest shim: too many rejected cases in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {msg}\ninputs: {:?}",
+                                ($(&$arg,)*)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "{:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{:?} != {:?}: {}", left, right, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "{:?} == {:?}", left, right);
+    }};
+}
+
+/// Discards the current case (resampled, not counted) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(x in any::<u32>(), y in any::<u32>()) {
+            prop_assert_eq!(x as u64 + y as u64, y as u64 + x as u64);
+        }
+
+        #[test]
+        fn assume_filters_cases(x in any::<u8>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert!(x.is_multiple_of(2), "x={}", x);
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 1u16..) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y >= 1);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec((any::<u8>(), any::<u16>()), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in any::<u32>()) {
+                prop_assert!(x == u32::MAX && x == 0, "impossible");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,128 @@
+//! Value-generation strategies (sampling only — no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`" — uniform over the type's bit patterns.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns the [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool);
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        // Arbitrary bit patterns, like real proptest's full f32 domain
+        // (includes NaN and infinities; tests filter with prop_assume!).
+        f32::from_bits(rng.rng.gen::<u32>())
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.rng.gen::<u64>())
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.rng.gen::<u64>() % span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX - self.start) as u64 + 1;
+                if span == 0 {
+                    rng.rng.gen::<$t>()
+                } else {
+                    self.start + (rng.rng.gen::<u64>() % span) as $t
+                }
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                *self.start() + (rng.rng.gen::<u64>() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_from_covers_high_values_without_overflow() {
+        let mut rng = TestRng::for_test("range_from");
+        for _ in 0..100 {
+            let v = (1u16..).sample(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_samples_componentwise() {
+        let mut rng = TestRng::for_test("tuple");
+        let (a, b, c) = (any::<u8>(), 1u32..5, any::<bool>()).sample(&mut rng);
+        let _: (u8, bool) = (a, c);
+        assert!((1..5).contains(&b));
+    }
+}

@@ -1,0 +1,54 @@
+//! Test-runner configuration and per-case control flow.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a property test executes (mirrors `proptest::test_runner`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample, don't count the case.
+    Reject,
+    /// `prop_assert*` failed — the property is falsified.
+    Fail(String),
+}
+
+/// The deterministic RNG driving strategy sampling.
+///
+/// Seeded from the test's name, so every test sees a distinct but
+/// reproducible stream (there is no failure persistence to replay from).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for byte in name.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+}

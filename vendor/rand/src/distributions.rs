@@ -1,0 +1,136 @@
+//! Standard and uniform distributions (mirrors `rand::distributions`).
+
+use crate::RngCore;
+
+/// A distribution that can sample values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = Standard.sample(rng);
+        v as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 bits of precision (matches `rand`).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of precision (matches `rand`).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types that support uniform range sampling for
+/// [`crate::Rng::gen_range`].
+pub trait UniformSample: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Rejection sampling over the low bits to avoid modulo bias.
+                let zone = u128::MAX - (u128::MAX - span + 1) % span;
+                loop {
+                    let v: u128 = Standard.sample(rng);
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn uniform_hits_all_values_of_small_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u8::sample_range(&mut rng, 0, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

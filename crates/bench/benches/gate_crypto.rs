@@ -1,24 +1,44 @@
 //! Criterion micro-benchmarks for the gate-level cryptography — the
 //! per-gate costs behind the paper's §2.1 numbers, including the
 //! re-keying vs fixed-key overhead ("re-keying increases the Half-Gate
-//! cost by 27.5%") and the garbler/evaluator asymmetry.
+//! cost by 27.5%"), the garbler/evaluator asymmetry, and the AES
+//! backend dispatch (`halfgate/garble_and_Rekeyed` on the active
+//! backend vs `halfgate_portable/…` on the forced-portable fallback —
+//! the ≥5× AES-NI speedup the acceptance criteria name).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use haac_circuit::aes_circuit;
-use haac_gc::{eval_and, garble, garble_and, Block, Delta, GateHash, HashScheme};
+use haac_gc::aes::{active_backend, Aes128, AesBackend};
+use haac_gc::{
+    eval_and, garble, garble_and, garble_and_batch, Block, Delta, GateHash, HashScheme,
+    MAX_AND_BATCH,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn bench_aes_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aes");
     let key = [7u8; 16];
-    group.bench_function("key_expansion", |b| {
-        b.iter(|| haac_gc::aes::Aes128::new(std::hint::black_box(key)))
-    });
-    let aes = haac_gc::aes::Aes128::new(key);
-    group.bench_function("encrypt_block", |b| {
-        b.iter(|| aes.encrypt(std::hint::black_box([42u8; 16])))
-    });
-    group.finish();
+    for backend in AesBackend::ALL {
+        if !backend.is_available() {
+            continue;
+        }
+        let mut group = c.benchmark_group(format!("aes_{}", backend.name()));
+        group.bench_function("key_expansion", |b| {
+            b.iter(|| Aes128::with_backend(std::hint::black_box(key), backend))
+        });
+        let aes = Aes128::with_backend(key, backend);
+        group.bench_function("encrypt_block", |b| {
+            b.iter(|| aes.encrypt(std::hint::black_box([42u8; 16])))
+        });
+        let mut batch = [Block::from(3u128); 8];
+        group.throughput(Throughput::Elements(8));
+        group.bench_function("encrypt_blocks_x8", |b| {
+            b.iter(|| {
+                aes.encrypt_blocks(std::hint::black_box(&mut batch));
+                batch[0]
+            })
+        });
+        group.finish();
+    }
 }
 
 fn bench_gate_hash(c: &mut Criterion) {
@@ -26,19 +46,33 @@ fn bench_gate_hash(c: &mut Criterion) {
     let x = Block::from(0xABCDEFu128);
     let rekeyed = GateHash::new(HashScheme::Rekeyed);
     group.bench_function("rekeyed", |b| b.iter(|| rekeyed.hash(std::hint::black_box(x), 12345)));
+    group.bench_function("rekeyed_pair", |b| {
+        b.iter(|| rekeyed.pair(std::hint::black_box(x), x, 12345))
+    });
     let fixed = GateHash::new(HashScheme::FixedKey);
     group.bench_function("fixed_key", |b| b.iter(|| fixed.hash(std::hint::black_box(x), 12345)));
+    // The N-way batch API at the AND-gate shape (pairs of tweaks).
+    let xs = [x; 16];
+    let tweaks: [u64; 16] = std::array::from_fn(|i| (i as u64) / 2);
+    let mut out = [Block::ZERO; 16];
+    group.throughput(Throughput::Elements(16));
+    group.bench_function("rekeyed_hash_batch_x16", |b| {
+        b.iter(|| {
+            rekeyed.hash_batch(std::hint::black_box(&xs), &tweaks, &mut out);
+            out[0]
+        })
+    });
     group.finish();
 }
 
-fn bench_halfgate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("halfgate");
+fn bench_halfgate_for(c: &mut Criterion, group_name: &str, backend: AesBackend) {
+    let mut group = c.benchmark_group(group_name);
     let mut rng = StdRng::seed_from_u64(1);
     let delta = Delta::random(&mut rng);
     let w0a = Block::random(&mut rng);
     let w0b = Block::random(&mut rng);
     for scheme in [HashScheme::Rekeyed, HashScheme::FixedKey] {
-        let hash = GateHash::new(scheme);
+        let hash = GateHash::with_backend(scheme, backend);
         group.bench_function(format!("garble_and_{scheme:?}"), |b| {
             b.iter(|| garble_and(&hash, delta, 7, std::hint::black_box(w0a), w0b))
         });
@@ -47,7 +81,30 @@ fn bench_halfgate(c: &mut Criterion) {
             b.iter(|| eval_and(&hash, 7, std::hint::black_box(w0a), w0b, &table))
         });
     }
+    // Cross-gate batching: MAX_AND_BATCH independent ANDs per call.
+    let hash = GateHash::with_backend(HashScheme::Rekeyed, backend);
+    let gates: Vec<(u64, Block, Block)> = (0..MAX_AND_BATCH as u64)
+        .map(|i| (i, Block::random(&mut rng), Block::random(&mut rng)))
+        .collect();
+    let mut out = vec![(Block::ZERO, [Block::ZERO; 2]); MAX_AND_BATCH];
+    group.throughput(Throughput::Elements(MAX_AND_BATCH as u64));
+    group.bench_function("garble_and_batch_Rekeyed", |b| {
+        b.iter(|| {
+            garble_and_batch(&hash, delta, std::hint::black_box(&gates), &mut out);
+            out[0].0
+        })
+    });
     group.finish();
+}
+
+fn bench_halfgate(c: &mut Criterion) {
+    // `halfgate/…` runs the active (auto-detected) backend — the names
+    // the acceptance criteria reference — and `halfgate_portable/…`
+    // the forced software fallback for the speedup comparison.
+    bench_halfgate_for(c, "halfgate", active_backend());
+    if active_backend() != AesBackend::Portable {
+        bench_halfgate_for(c, "halfgate_portable", AesBackend::Portable);
+    }
 }
 
 fn bench_aes128_circuit_garbling(c: &mut Criterion) {

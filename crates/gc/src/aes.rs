@@ -1,117 +1,144 @@
-//! Software AES-128 (encryption only), the cryptographic core of
-//! half-gate garbling.
+//! AES-128 (encryption only), the cryptographic core of half-gate
+//! garbling, with runtime-dispatched hardware backends.
 //!
 //! The paper's CPU baseline uses AES-NI through EMP; HAAC's gate engines
-//! implement the same computation in custom logic. This reproduction uses
-//! a portable software implementation — slower in absolute terms, but the
-//! workload structure (2 key expansions + 4 AES calls per garbled AND,
-//! §2.1/Fig. 2) is identical. The S-box is computed from the field
-//! definition rather than embedded, and the implementation is validated
-//! against FIPS-197 and NIST SP 800-38A vectors.
+//! implement the same computation in custom logic. This module mirrors
+//! that split in software: a single [`Aes128`] facade dispatches to
+//!
+//! - **AES-NI** (`aesenc`/`aeskeygenassist`) on x86_64,
+//! - **ARMv8 crypto extensions** (`AESE`/`AESMC`) on aarch64,
+//! - a **portable** byte-oriented implementation everywhere — the
+//!   always-correct fallback, validated against FIPS-197 and NIST
+//!   SP 800-38A vectors, that every hardware backend must match
+//!   bit-for-bit.
+//!
+//! The backend is detected once at startup ([`active_backend`]); the
+//! `HAAC_AES_BACKEND` environment variable (`portable` / `aesni` /
+//! `neon`) forces a specific one, which CI uses to keep the fallback
+//! path exercised. Batch entry points ([`Aes128::encrypt_blocks`],
+//! [`encrypt_lanes`]) keep up to [`MAX_LANES`] independent blocks in
+//! flight so superscalar AES units pipeline the way HAAC's gate engines
+//! do. The workload structure (2 key expansions + 4 AES calls per
+//! garbled AND, §2.1/Fig. 2) is identical across backends.
 
 use std::sync::OnceLock;
 
 use crate::block::Block;
 
-/// Returns the AES S-box, computed once from GF(2⁸) arithmetic.
-pub fn sbox() -> &'static [u8; 256] {
-    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
-    SBOX.get_or_init(|| {
-        let mut table = [0u8; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            *slot = affine(inverse(i as u8));
-        }
-        table
-    })
+mod aesni;
+mod neon;
+mod portable;
+
+pub use portable::sbox;
+
+/// An expanded AES-128 key schedule: 11 × 16 bytes = 176 B — the "key
+/// expansion to 176 Byte" of paper §2.1.
+pub(crate) type RoundKeys = [[u8; 16]; 11];
+
+/// Maximum independent blocks a batch kernel keeps in flight.
+///
+/// Eight lanes cover the `aesenc` latency×throughput product of every
+/// AES-NI core shipped to date (latency ≤ 8 cycles, 1–2 issued/cycle).
+pub const MAX_LANES: usize = 8;
+
+/// An AES implementation the facade can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesBackend {
+    /// Byte-oriented software AES; compiled everywhere, always correct.
+    Portable,
+    /// x86_64 AES-NI (`aesenc` / `aeskeygenassist`).
+    AesNi,
+    /// aarch64 crypto extensions (`AESE` / `AESMC`).
+    Neon,
 }
 
-/// GF(2⁸) multiply modulo x⁸+x⁴+x³+x+1.
-fn gf_mul(mut a: u16, mut b: u16) -> u8 {
-    let mut acc = 0u16;
-    while b != 0 {
-        if b & 1 != 0 {
-            acc ^= a;
+impl AesBackend {
+    /// Every backend variant (available or not), for equivalence tests.
+    pub const ALL: [AesBackend; 3] = [AesBackend::Portable, AesBackend::AesNi, AesBackend::Neon];
+
+    /// A short stable name (used by `HAAC_AES_BACKEND` and bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            AesBackend::Portable => "portable",
+            AesBackend::AesNi => "aesni",
+            AesBackend::Neon => "neon",
         }
-        a <<= 1;
-        if a & 0x100 != 0 {
-            a ^= 0x11B;
-        }
-        b >>= 1;
     }
-    acc as u8
+
+    /// Whether this backend can run on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            AesBackend::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => aesni::available(),
+            #[cfg(not(target_arch = "x86_64"))]
+            AesBackend::AesNi => false,
+            #[cfg(target_arch = "aarch64")]
+            AesBackend::Neon => neon::available(),
+            #[cfg(not(target_arch = "aarch64"))]
+            AesBackend::Neon => false,
+        }
+    }
 }
 
-fn inverse(a: u8) -> u8 {
-    if a == 0 {
-        return 0;
-    }
-    let mut result = 1u8;
-    let mut base = a;
-    let mut exp = 254u32;
-    while exp != 0 {
-        if exp & 1 != 0 {
-            result = gf_mul(result as u16, base as u16);
+/// The fastest available backend, honoring `HAAC_AES_BACKEND`.
+fn detect_backend() -> AesBackend {
+    match std::env::var("HAAC_AES_BACKEND").as_deref() {
+        Ok("portable") => return AesBackend::Portable,
+        Ok("aesni") if AesBackend::AesNi.is_available() => return AesBackend::AesNi,
+        Ok("neon") | Ok("armv8") if AesBackend::Neon.is_available() => return AesBackend::Neon,
+        Ok(other) if other != "auto" => {
+            eprintln!("HAAC_AES_BACKEND={other} unknown or unavailable; auto-detecting");
         }
-        base = gf_mul(base as u16, base as u16);
-        exp >>= 1;
+        _ => {}
     }
-    result
+    if AesBackend::AesNi.is_available() {
+        AesBackend::AesNi
+    } else if AesBackend::Neon.is_available() {
+        AesBackend::Neon
+    } else {
+        AesBackend::Portable
+    }
 }
 
-fn affine(x: u8) -> u8 {
-    let mut out = 0u8;
-    for i in 0..8 {
-        let bit = ((x >> i) & 1)
-            ^ ((x >> ((i + 4) % 8)) & 1)
-            ^ ((x >> ((i + 5) % 8)) & 1)
-            ^ ((x >> ((i + 6) % 8)) & 1)
-            ^ ((x >> ((i + 7) % 8)) & 1)
-            ^ ((0x63 >> i) & 1);
-        out |= bit << i;
-    }
-    out
+/// The process-wide backend, selected once at first use.
+pub fn active_backend() -> AesBackend {
+    static ACTIVE: OnceLock<AesBackend> = OnceLock::new();
+    *ACTIVE.get_or_init(detect_backend)
 }
 
-/// Expanded AES-128 round keys (11 × 16 bytes = 176 B — the "key
-/// expansion to 176 Byte" of paper §2.1).
+/// Expanded AES-128 round keys plus the backend that will run them.
+///
+/// The schedule bytes are backend-independent (hardware and portable
+/// expansion produce the identical 176 B), so equality compares real
+/// cipher identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; 11],
+    round_keys: RoundKeys,
+    backend: AesBackend,
 }
 
 impl Aes128 {
     /// Runs the AES-128 key schedule — the `Key expand` box of the
-    /// paper's Fig. 2, performed per gate under re-keying.
+    /// paper's Fig. 2, performed per gate under re-keying — on the
+    /// [`active_backend`].
     pub fn new(key: [u8; 16]) -> Aes128 {
-        let sb = sbox();
-        let mut w = [[0u8; 4]; 44];
-        for i in 0..4 {
-            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
-        }
-        let mut rcon = 1u8;
-        for i in 4..44 {
-            let mut temp = w[i - 1];
-            if i % 4 == 0 {
-                temp = [
-                    sb[temp[1] as usize],
-                    sb[temp[2] as usize],
-                    sb[temp[3] as usize],
-                    sb[temp[0] as usize],
-                ];
-                temp[0] ^= rcon;
-                rcon = gf_mul(rcon as u16, 2);
-            }
-            for k in 0..4 {
-                w[i][k] = w[i - 4][k] ^ temp[k];
-            }
-        }
-        let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
-            for c in 0..4 {
-                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
-            }
-        }
-        Aes128 { round_keys }
+        Aes128::with_backend(key, active_backend())
+    }
+
+    /// Like [`Aes128::new`] but on an explicit backend (falling back to
+    /// portable if it is unavailable on this CPU). Benchmarks and the
+    /// equivalence tests use this to pin a backend.
+    pub fn with_backend(key: [u8; 16], backend: AesBackend) -> Aes128 {
+        let backend = if backend.is_available() { backend } else { AesBackend::Portable };
+        let round_keys = match backend {
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => unsafe { aesni::expand_key(key) },
+            // aarch64 has no key-schedule instructions; the portable
+            // schedule feeds the hardware rounds.
+            _ => portable::expand_key(key),
+        };
+        Aes128 { round_keys, backend }
     }
 
     /// Creates a cipher keyed by a [`Block`] (the per-gate tweak under
@@ -120,67 +147,130 @@ impl Aes128 {
         Aes128::new(key.to_bytes())
     }
 
+    /// The backend this cipher dispatches to.
+    #[inline]
+    pub fn backend(&self) -> AesBackend {
+        self.backend
+    }
+
+    pub(crate) fn round_keys(&self) -> &RoundKeys {
+        &self.round_keys
+    }
+
     /// Encrypts one 16-byte block.
     pub fn encrypt(&self, block: [u8; 16]) -> [u8; 16] {
-        let sb = sbox();
-        let mut state = block;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(&mut state, sb);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
-        }
-        sub_bytes(&mut state, sb);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[10]);
-        state
+        self.encrypt_block(Block::from_bytes(block)).to_bytes()
     }
 
     /// Encrypts a [`Block`].
     #[inline]
     pub fn encrypt_block(&self, block: Block) -> Block {
-        Block::from_bytes(self.encrypt(block.to_bytes()))
+        let mut one = [block];
+        self.encrypt_blocks(&mut one);
+        one[0]
     }
-}
 
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk) {
-        *s ^= k;
-    }
-}
-
-#[inline]
-fn sub_bytes(state: &mut [u8; 16], sb: &[u8; 256]) {
-    for s in state.iter_mut() {
-        *s = sb[*s as usize];
-    }
-}
-
-#[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    // state[r + 4c]; row r rotates left by r.
-    let old = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+    /// Encrypts a slice of blocks in place under this one key,
+    /// [`MAX_LANES`] independent blocks in flight at a time.
+    pub fn encrypt_blocks(&self, blocks: &mut [Block]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            AesBackend::AesNi => unsafe { aesni::encrypt_blocks(&self.round_keys, blocks) },
+            #[cfg(target_arch = "aarch64")]
+            AesBackend::Neon => unsafe { neon::encrypt_blocks(&self.round_keys, blocks) },
+            _ => {
+                for b in blocks.iter_mut() {
+                    *b = Block::from_bytes(portable::encrypt(&self.round_keys, b.to_bytes()));
+                }
+            }
         }
     }
 }
 
-#[inline]
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        let xt = |x: u8| -> u8 {
-            let shifted = (x as u16) << 1;
-            (if x & 0x80 != 0 { shifted ^ 0x11B } else { shifted }) as u8
-        };
-        for r in 0..4 {
-            let a = col[r];
-            let b = col[(r + 1) % 4];
-            state[r + 4 * c] = xt(a) ^ xt(b) ^ b ^ col[(r + 2) % 4] ^ col[(r + 3) % 4];
+/// Expands `keys[i]` into `out[i]` on `backend`. On AES-NI the
+/// schedules run **pairwise interleaved** ([`aesni::expand_key2`]):
+/// each schedule is a serial `aeskeygenassist` chain, so overlapping
+/// two chains — the j0/j1 tweak pair of one half-gate — nearly halves
+/// the re-keying latency the paper's Fig. 2 identifies as the dominant
+/// per-gate cost.
+pub(crate) fn expand_many(backend: AesBackend, keys: &[[u8; 16]], out: &mut [RoundKeys]) {
+    debug_assert_eq!(keys.len(), out.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        AesBackend::AesNi => {
+            let mut i = 0;
+            while i + 2 <= keys.len() {
+                let (a, b) = unsafe { aesni::expand_key2(keys[i], keys[i + 1]) };
+                out[i] = a;
+                out[i + 1] = b;
+                i += 2;
+            }
+            if i < keys.len() {
+                out[i] = unsafe { aesni::expand_key(keys[i]) };
+            }
+        }
+        _ => {
+            for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                *slot = portable::expand_key(*key);
+            }
+        }
+    }
+}
+
+/// Encrypts `blocks[i]` under `schedules[i]` in place, dispatching the
+/// whole group to one backend kernel. Groups larger than [`MAX_LANES`]
+/// are chunked.
+pub(crate) fn encrypt_lanes_rk(
+    backend: AesBackend,
+    schedules: &[&RoundKeys],
+    blocks: &mut [Block],
+) {
+    debug_assert_eq!(schedules.len(), blocks.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        AesBackend::AesNi => {
+            for (sched_group, block_group) in
+                schedules.chunks(MAX_LANES).zip(blocks.chunks_mut(MAX_LANES))
+            {
+                unsafe { aesni::encrypt_lanes(sched_group, block_group) };
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        AesBackend::Neon => {
+            for (sched_group, block_group) in
+                schedules.chunks(MAX_LANES).zip(blocks.chunks_mut(MAX_LANES))
+            {
+                unsafe { neon::encrypt_lanes(sched_group, block_group) };
+            }
+        }
+        _ => {
+            for (sched, block) in schedules.iter().zip(blocks.iter_mut()) {
+                *block = Block::from_bytes(portable::encrypt(sched, block.to_bytes()));
+            }
+        }
+    }
+}
+
+/// Encrypts `blocks[i]` under `keys[i]` in place — the N-way batch the
+/// re-keyed gate hash needs, where every lane carries a different key
+/// schedule. Lanes are pipelined [`MAX_LANES`] at a time when all keys
+/// share a hardware backend.
+///
+/// # Panics
+///
+/// Panics if `keys` and `blocks` lengths differ.
+pub fn encrypt_lanes(keys: &[&Aes128], blocks: &mut [Block]) {
+    assert_eq!(keys.len(), blocks.len(), "one key per block lane");
+    if keys.is_empty() {
+        return;
+    }
+    let backend = keys[0].backend;
+    if keys.iter().all(|k| k.backend == backend) {
+        let scheds: Vec<&RoundKeys> = keys.iter().map(|k| k.round_keys()).collect();
+        encrypt_lanes_rk(backend, &scheds, blocks);
+    } else {
+        for (key, block) in keys.iter().zip(blocks.iter_mut()) {
+            *block = key.encrypt_block(*block);
         }
     }
 }
@@ -255,5 +345,65 @@ mod tests {
                 0xc5, 0x5a
             ]
         );
+    }
+
+    #[test]
+    fn portable_backend_is_always_available() {
+        assert!(AesBackend::Portable.is_available());
+        let aes = Aes128::with_backend([9u8; 16], AesBackend::Portable);
+        assert_eq!(aes.backend(), AesBackend::Portable);
+    }
+
+    #[test]
+    fn unavailable_backend_falls_back_to_portable() {
+        // At most one hardware backend exists per architecture, so the
+        // other always exercises the fallback.
+        let missing =
+            if cfg!(target_arch = "x86_64") { AesBackend::Neon } else { AesBackend::AesNi };
+        let aes = Aes128::with_backend([3u8; 16], missing);
+        assert_eq!(aes.backend(), AesBackend::Portable);
+    }
+
+    #[test]
+    fn hardware_schedule_matches_portable_schedule() {
+        for backend in AesBackend::ALL {
+            if !backend.is_available() {
+                continue;
+            }
+            let hw = Aes128::with_backend([0x5Au8; 16], backend);
+            let sw = Aes128::with_backend([0x5Au8; 16], AesBackend::Portable);
+            assert_eq!(hw.round_keys(), sw.round_keys(), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn encrypt_blocks_matches_single_block_calls() {
+        for backend in AesBackend::ALL {
+            if !backend.is_available() {
+                continue;
+            }
+            let aes = Aes128::with_backend([0x17u8; 16], backend);
+            let mut batch: Vec<Block> = (0..21u128).map(Block::from).collect();
+            let singles: Vec<Block> = batch.iter().map(|&b| aes.encrypt_block(b)).collect();
+            aes.encrypt_blocks(&mut batch);
+            assert_eq!(batch, singles, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn encrypt_lanes_matches_per_key_encryption() {
+        for backend in AesBackend::ALL {
+            if !backend.is_available() {
+                continue;
+            }
+            let keys: Vec<Aes128> =
+                (0..13u8).map(|i| Aes128::with_backend([i; 16], backend)).collect();
+            let key_refs: Vec<&Aes128> = keys.iter().collect();
+            let mut batch: Vec<Block> = (100..113u128).map(Block::from).collect();
+            let singles: Vec<Block> =
+                keys.iter().zip(&batch).map(|(k, &b)| k.encrypt_block(b)).collect();
+            encrypt_lanes(&key_refs, &mut batch);
+            assert_eq!(batch, singles, "{}", backend.name());
+        }
     }
 }

@@ -1,0 +1,184 @@
+//! x86_64 AES-NI backend: `aeskeygenassist` key schedules and `aesenc`
+//! round pipelines.
+//!
+//! This is the software mirror of HAAC's gate-engine AES pipeline — and
+//! exactly what the paper's EMP/CPU baseline uses. One `aesenc` retires
+//! per cycle on every AES-NI core while its latency is ~3–4 cycles, so
+//! the kernels here keep several independent blocks in flight
+//! ([`encrypt_lanes`]/[`encrypt_blocks`]) the way HAAC keeps its gate
+//! engines fed.
+//!
+//! # Safety
+//!
+//! Every function is `#[target_feature(enable = "aes")]` and must only
+//! be called after `is_x86_feature_detected!("aes")` returned true —
+//! the facade's backend dispatch guarantees that.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_aeskeygenassist_si128, _mm_loadu_si128,
+    _mm_setzero_si128, _mm_shuffle_epi32, _mm_slli_si128, _mm_storeu_si128, _mm_xor_si128,
+};
+
+use super::RoundKeys;
+use crate::block::Block;
+
+/// Whether this backend can run on the current CPU.
+pub fn available() -> bool {
+    is_x86_feature_detected!("aes") && is_x86_feature_detected!("sse2")
+}
+
+#[inline(always)]
+unsafe fn load_rk(rks: &RoundKeys, round: usize) -> __m128i {
+    _mm_loadu_si128(rks[round].as_ptr() as *const __m128i)
+}
+
+#[inline(always)]
+unsafe fn load_block(block: &Block) -> __m128i {
+    _mm_loadu_si128(block as *const Block as *const __m128i)
+}
+
+#[inline(always)]
+unsafe fn store_block(block: &mut Block, state: __m128i) {
+    _mm_storeu_si128(block as *mut Block as *mut __m128i, state);
+}
+
+/// AES-128 key schedule via `aeskeygenassist` (the hardware `Key
+/// expand` of the paper's Fig. 2). Produces byte-identical round keys
+/// to the portable schedule.
+///
+/// # Safety
+///
+/// Requires AES-NI (`available()` must have returned true).
+#[target_feature(enable = "aes")]
+pub unsafe fn expand_key(key: [u8; 16]) -> RoundKeys {
+    let mut out = [[0u8; 16]; 11];
+    let mut k = _mm_loadu_si128(key.as_ptr() as *const __m128i);
+    _mm_storeu_si128(out[0].as_mut_ptr() as *mut __m128i, k);
+    macro_rules! round {
+        ($i:literal, $rcon:literal) => {{
+            let t = _mm_shuffle_epi32(_mm_aeskeygenassist_si128(k, $rcon), 0xFF);
+            k = _mm_xor_si128(k, _mm_slli_si128(k, 4));
+            k = _mm_xor_si128(k, _mm_slli_si128(k, 4));
+            k = _mm_xor_si128(k, _mm_slli_si128(k, 4));
+            k = _mm_xor_si128(k, t);
+            _mm_storeu_si128(out[$i].as_mut_ptr() as *mut __m128i, k);
+        }};
+    }
+    round!(1, 0x01);
+    round!(2, 0x02);
+    round!(3, 0x04);
+    round!(4, 0x08);
+    round!(5, 0x10);
+    round!(6, 0x20);
+    round!(7, 0x40);
+    round!(8, 0x80);
+    round!(9, 0x1B);
+    round!(10, 0x36);
+    out
+}
+
+/// Expands two independent keys at once. `aeskeygenassist` has a long
+/// latency and each schedule is a serial dependency chain, so
+/// interleaving the two chains (exactly the j0/j1 tweak pair of one
+/// half-gate) nearly halves the per-gate re-keying cost.
+///
+/// # Safety
+///
+/// Requires AES-NI.
+#[target_feature(enable = "aes")]
+pub unsafe fn expand_key2(key0: [u8; 16], key1: [u8; 16]) -> (RoundKeys, RoundKeys) {
+    let mut out0 = [[0u8; 16]; 11];
+    let mut out1 = [[0u8; 16]; 11];
+    let mut k0 = _mm_loadu_si128(key0.as_ptr() as *const __m128i);
+    let mut k1 = _mm_loadu_si128(key1.as_ptr() as *const __m128i);
+    _mm_storeu_si128(out0[0].as_mut_ptr() as *mut __m128i, k0);
+    _mm_storeu_si128(out1[0].as_mut_ptr() as *mut __m128i, k1);
+    macro_rules! round {
+        ($i:literal, $rcon:literal) => {{
+            let t0 = _mm_shuffle_epi32(_mm_aeskeygenassist_si128(k0, $rcon), 0xFF);
+            let t1 = _mm_shuffle_epi32(_mm_aeskeygenassist_si128(k1, $rcon), 0xFF);
+            k0 = _mm_xor_si128(k0, _mm_slli_si128(k0, 4));
+            k1 = _mm_xor_si128(k1, _mm_slli_si128(k1, 4));
+            k0 = _mm_xor_si128(k0, _mm_slli_si128(k0, 4));
+            k1 = _mm_xor_si128(k1, _mm_slli_si128(k1, 4));
+            k0 = _mm_xor_si128(k0, _mm_slli_si128(k0, 4));
+            k1 = _mm_xor_si128(k1, _mm_slli_si128(k1, 4));
+            k0 = _mm_xor_si128(k0, t0);
+            k1 = _mm_xor_si128(k1, t1);
+            _mm_storeu_si128(out0[$i].as_mut_ptr() as *mut __m128i, k0);
+            _mm_storeu_si128(out1[$i].as_mut_ptr() as *mut __m128i, k1);
+        }};
+    }
+    round!(1, 0x01);
+    round!(2, 0x02);
+    round!(3, 0x04);
+    round!(4, 0x08);
+    round!(5, 0x10);
+    round!(6, 0x20);
+    round!(7, 0x40);
+    round!(8, 0x80);
+    round!(9, 0x1B);
+    round!(10, 0x36);
+    (out0, out1)
+}
+
+/// Encrypts up to [`super::MAX_LANES`] independent blocks in place, each
+/// under its own schedule, with the round loop interleaved across lanes
+/// so the superscalar AES unit pipelines them.
+///
+/// # Safety
+///
+/// Requires AES-NI; `schedules.len()` must equal `blocks.len()` and be
+/// at most [`super::MAX_LANES`].
+#[target_feature(enable = "aes")]
+pub unsafe fn encrypt_lanes(schedules: &[&RoundKeys], blocks: &mut [Block]) {
+    debug_assert_eq!(schedules.len(), blocks.len());
+    debug_assert!(blocks.len() <= super::MAX_LANES);
+    let n = blocks.len();
+    let mut state = [_mm_setzero_si128(); super::MAX_LANES];
+    for lane in 0..n {
+        state[lane] = _mm_xor_si128(load_block(&blocks[lane]), load_rk(schedules[lane], 0));
+    }
+    for round in 1..10 {
+        for lane in 0..n {
+            state[lane] = _mm_aesenc_si128(state[lane], load_rk(schedules[lane], round));
+        }
+    }
+    for lane in 0..n {
+        state[lane] = _mm_aesenclast_si128(state[lane], load_rk(schedules[lane], 10));
+        store_block(&mut blocks[lane], state[lane]);
+    }
+}
+
+/// Encrypts a whole slice of blocks in place under one schedule,
+/// [`super::MAX_LANES`] at a time, loading each round key once per
+/// group.
+///
+/// # Safety
+///
+/// Requires AES-NI.
+#[target_feature(enable = "aes")]
+pub unsafe fn encrypt_blocks(rks: &RoundKeys, blocks: &mut [Block]) {
+    let mut keys = [load_rk(rks, 0); 11];
+    for (round, key) in keys.iter_mut().enumerate() {
+        *key = load_rk(rks, round);
+    }
+    for group in blocks.chunks_mut(super::MAX_LANES) {
+        let n = group.len();
+        let mut state = [keys[0]; super::MAX_LANES];
+        for lane in 0..n {
+            state[lane] = _mm_xor_si128(load_block(&group[lane]), keys[0]);
+        }
+        for key in &keys[1..10] {
+            for s in state.iter_mut().take(n) {
+                *s = _mm_aesenc_si128(*s, *key);
+            }
+        }
+        for lane in 0..n {
+            state[lane] = _mm_aesenclast_si128(state[lane], keys[10]);
+            store_block(&mut group[lane], state[lane]);
+        }
+    }
+}

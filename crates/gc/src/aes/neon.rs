@@ -1,0 +1,103 @@
+//! aarch64 crypto-extension backend: `AESE`/`AESMC` round pipelines.
+//!
+//! ARMv8's AES instructions factor the round differently from AES-NI:
+//! `AESE` performs AddRoundKey → SubBytes → ShiftRows and `AESMC` the
+//! MixColumns, so an AES-128 encryption is nine `AESE`+`AESMC` pairs, a
+//! final `AESE` with round key 9, and an XOR with round key 10. Key
+//! expansion has no hardware assist on aarch64; the portable schedule is
+//! used (it produces the identical 176-byte schedule either way).
+//!
+//! # Safety
+//!
+//! Every function is `#[target_feature(enable = "neon,aes")]` and must
+//! only be called after `is_aarch64_feature_detected!("aes")` returned
+//! true — the facade's backend dispatch guarantees that.
+
+#![cfg(target_arch = "aarch64")]
+
+use core::arch::aarch64::{
+    uint8x16_t, vaeseq_u8, vaesmcq_u8, vdupq_n_u8, veorq_u8, vld1q_u8, vst1q_u8,
+};
+
+use super::RoundKeys;
+use crate::block::Block;
+
+/// Whether this backend can run on the current CPU.
+pub fn available() -> bool {
+    std::arch::is_aarch64_feature_detected!("aes")
+}
+
+#[inline(always)]
+unsafe fn load_rk(rks: &RoundKeys, round: usize) -> uint8x16_t {
+    vld1q_u8(rks[round].as_ptr())
+}
+
+#[inline(always)]
+unsafe fn load_block(block: &Block) -> uint8x16_t {
+    vld1q_u8(block as *const Block as *const u8)
+}
+
+#[inline(always)]
+unsafe fn store_block(block: &mut Block, state: uint8x16_t) {
+    vst1q_u8(block as *mut Block as *mut u8, state);
+}
+
+/// Encrypts up to [`super::MAX_LANES`] independent blocks in place, each
+/// under its own schedule, rounds interleaved across lanes.
+///
+/// # Safety
+///
+/// Requires the aarch64 `aes` feature; `schedules.len()` must equal
+/// `blocks.len()` and be at most [`super::MAX_LANES`].
+#[target_feature(enable = "neon,aes")]
+pub unsafe fn encrypt_lanes(schedules: &[&RoundKeys], blocks: &mut [Block]) {
+    debug_assert_eq!(schedules.len(), blocks.len());
+    debug_assert!(blocks.len() <= super::MAX_LANES);
+    let n = blocks.len();
+    let mut state = [vdupq_n_u8(0); super::MAX_LANES];
+    for lane in 0..n {
+        state[lane] = load_block(&blocks[lane]);
+    }
+    for round in 0..9 {
+        for lane in 0..n {
+            state[lane] = vaesmcq_u8(vaeseq_u8(state[lane], load_rk(schedules[lane], round)));
+        }
+    }
+    for lane in 0..n {
+        state[lane] = veorq_u8(
+            vaeseq_u8(state[lane], load_rk(schedules[lane], 9)),
+            load_rk(schedules[lane], 10),
+        );
+        store_block(&mut blocks[lane], state[lane]);
+    }
+}
+
+/// Encrypts a whole slice of blocks in place under one schedule,
+/// [`super::MAX_LANES`] at a time.
+///
+/// # Safety
+///
+/// Requires the aarch64 `aes` feature.
+#[target_feature(enable = "neon,aes")]
+pub unsafe fn encrypt_blocks(rks: &RoundKeys, blocks: &mut [Block]) {
+    let mut keys = [vdupq_n_u8(0); 11];
+    for (round, key) in keys.iter_mut().enumerate() {
+        *key = load_rk(rks, round);
+    }
+    for group in blocks.chunks_mut(super::MAX_LANES) {
+        let n = group.len();
+        let mut state = [vdupq_n_u8(0); super::MAX_LANES];
+        for lane in 0..n {
+            state[lane] = load_block(&group[lane]);
+        }
+        for key in &keys[..9] {
+            for lane in 0..n {
+                state[lane] = vaesmcq_u8(vaeseq_u8(state[lane], *key));
+            }
+        }
+        for lane in 0..n {
+            state[lane] = veorq_u8(vaeseq_u8(state[lane], keys[9]), keys[10]);
+            store_block(&mut group[lane], state[lane]);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Portable software AES-128 — the always-correct fallback backend.
+//!
+//! Byte-oriented, table-free beyond the S-box (computed from the field
+//! definition), validated against FIPS-197 and NIST SP 800-38A vectors.
+//! Every other backend must agree with this one bit-for-bit; the
+//! equivalence tests in `crates/gc/tests/backend_equivalence.rs` enforce
+//! that on 10k random blocks.
+
+use std::sync::OnceLock;
+
+use super::RoundKeys;
+
+/// Returns the AES S-box, computed once from GF(2⁸) arithmetic.
+pub fn sbox() -> &'static [u8; 256] {
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = affine(inverse(i as u8));
+        }
+        table
+    })
+}
+
+/// GF(2⁸) multiply modulo x⁸+x⁴+x³+x+1.
+fn gf_mul(mut a: u16, mut b: u16) -> u8 {
+    let mut acc = 0u16;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= 0x11B;
+        }
+        b >>= 1;
+    }
+    acc as u8
+}
+
+fn inverse(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result as u16, base as u16);
+        }
+        base = gf_mul(base as u16, base as u16);
+        exp >>= 1;
+    }
+    result
+}
+
+fn affine(x: u8) -> u8 {
+    let mut out = 0u8;
+    for i in 0..8 {
+        let bit = ((x >> i) & 1)
+            ^ ((x >> ((i + 4) % 8)) & 1)
+            ^ ((x >> ((i + 5) % 8)) & 1)
+            ^ ((x >> ((i + 6) % 8)) & 1)
+            ^ ((x >> ((i + 7) % 8)) & 1)
+            ^ ((0x63 >> i) & 1);
+        out |= bit << i;
+    }
+    out
+}
+
+/// Runs the AES-128 key schedule — the `Key expand` box of the paper's
+/// Fig. 2, performed per gate under re-keying.
+pub fn expand_key(key: [u8; 16]) -> RoundKeys {
+    let sb = sbox();
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+    }
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp = [
+                sb[temp[1] as usize],
+                sb[temp[2] as usize],
+                sb[temp[3] as usize],
+                sb[temp[0] as usize],
+            ];
+            temp[0] ^= rcon;
+            rcon = gf_mul(rcon as u16, 2);
+        }
+        for k in 0..4 {
+            w[i][k] = w[i - 4][k] ^ temp[k];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for (r, rk) in round_keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    round_keys
+}
+
+/// Encrypts one 16-byte block under an expanded schedule.
+pub fn encrypt(round_keys: &RoundKeys, block: [u8; 16]) -> [u8; 16] {
+    let sb = sbox();
+    let mut state = block;
+    add_round_key(&mut state, &round_keys[0]);
+    for rk in &round_keys[1..10] {
+        sub_bytes(&mut state, sb);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, rk);
+    }
+    sub_bytes(&mut state, sb);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &round_keys[10]);
+    state
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16], sb: &[u8; 256]) {
+    for s in state.iter_mut() {
+        *s = sb[*s as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // state[r + 4c]; row r rotates left by r.
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let xt = |x: u8| -> u8 {
+            let shifted = (x as u16) << 1;
+            (if x & 0x80 != 0 { shifted ^ 0x11B } else { shifted }) as u8
+        };
+        for r in 0..4 {
+            let a = col[r];
+            let b = col[(r + 1) % 4];
+            state[r + 4 * c] = xt(a) ^ xt(b) ^ b ^ col[(r + 2) % 4] ^ col[(r + 3) % 4];
+        }
+    }
+}

@@ -20,6 +20,7 @@ use rand::Rng;
 /// assert_eq!((a ^ b) ^ b, a);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)] // layout = u128: the AES backends load/store it directly
 pub struct Block(u128);
 
 impl Block {

@@ -12,6 +12,8 @@ use crate::hash::{GateHash, HashScheme};
 /// Evaluates one AND gate from its garbled table.
 ///
 /// `tweak_base` must match the value used by the garbler for this gate.
+/// The two hashes run as one batched call so hardware backends keep
+/// both AES blocks in flight.
 #[inline]
 pub fn eval_and(
     hash: &GateHash,
@@ -24,9 +26,49 @@ pub fn eval_and(
     let j1 = 2 * tweak_base + 1;
     let sa = wa.lsb();
     let sb = wb.lsb();
-    let wg = hash.hash(wa, j0) ^ table[0].select(sa);
-    let we = hash.hash(wb, j1) ^ (table[1] ^ wa).select(sb);
+    let mut h = [Block::ZERO; 2];
+    hash.hash_batch(&[wa, wb], &[j0, j1], &mut h);
+    let wg = h[0] ^ table[0].select(sa);
+    let we = h[1] ^ (table[1] ^ wa).select(sb);
     wg ^ we
+}
+
+/// Evaluates up to [`crate::MAX_AND_BATCH`] *mutually
+/// independent* AND gates in one batched hash call (`2·k` blocks in
+/// flight). `gates[i]` is `(tweak_base, wa, wb)`; `tables[i]` the
+/// matching garbled table; `out[i]` receives the active output label.
+/// Bit-identical to calling [`eval_and`] per gate.
+///
+/// # Panics
+///
+/// Panics if `gates` exceeds the batch bound or the slices' lengths
+/// differ.
+pub fn eval_and_batch(
+    hash: &GateHash,
+    gates: &[(u64, Block, Block)],
+    tables: &[[Block; 2]],
+    out: &mut [Block],
+) {
+    use crate::garble::MAX_AND_BATCH;
+    assert!(gates.len() <= MAX_AND_BATCH, "batch of {} exceeds {MAX_AND_BATCH}", gates.len());
+    assert_eq!(gates.len(), tables.len(), "one table per gate");
+    assert_eq!(gates.len(), out.len(), "one output slot per gate");
+    let k = gates.len();
+    let mut xs = [Block::ZERO; 2 * MAX_AND_BATCH];
+    let mut tweaks = [0u64; 2 * MAX_AND_BATCH];
+    for (i, &(tweak_base, wa, wb)) in gates.iter().enumerate() {
+        xs[2 * i] = wa;
+        xs[2 * i + 1] = wb;
+        tweaks[2 * i] = 2 * tweak_base;
+        tweaks[2 * i + 1] = 2 * tweak_base + 1;
+    }
+    let mut hashes = [Block::ZERO; 2 * MAX_AND_BATCH];
+    hash.hash_batch(&xs[..2 * k], &tweaks[..2 * k], &mut hashes[..2 * k]);
+    for (i, (&(_, wa, wb), table)) in gates.iter().zip(tables).enumerate() {
+        let wg = hashes[2 * i] ^ table[0].select(wa.lsb());
+        let we = hashes[2 * i + 1] ^ (table[1] ^ wa).select(wb.lsb());
+        out[i] = wg ^ we;
+    }
 }
 
 /// Evaluates an XOR gate (FreeXOR).
@@ -152,6 +194,27 @@ mod tests {
     fn wrong_table_count_panics() {
         let c = Circuit::new(1, 1, vec![Gate::new(GateOp::And, 0, 1, 2)], vec![2]).unwrap();
         let _ = evaluate(&c, &[], &[Block::ZERO, Block::ZERO], HashScheme::Rekeyed);
+    }
+
+    #[test]
+    fn eval_and_batch_matches_sequential() {
+        use crate::block::Delta;
+        use crate::garble::{garble_and, MAX_AND_BATCH};
+        let mut rng = StdRng::seed_from_u64(31);
+        let hash = GateHash::new(HashScheme::Rekeyed);
+        let delta = Delta::random(&mut rng);
+        for k in 1..=MAX_AND_BATCH {
+            let gates: Vec<(u64, Block, Block)> = (0..k)
+                .map(|i| (50 + i as u64, Block::random(&mut rng), Block::random(&mut rng)))
+                .collect();
+            let tables: Vec<[Block; 2]> =
+                gates.iter().map(|&(t, a, b)| garble_and(&hash, delta, t, a, b).1).collect();
+            let mut batched = vec![Block::ZERO; k];
+            eval_and_batch(&hash, &gates, &tables, &mut batched);
+            for (i, (&(t, a, b), table)) in gates.iter().zip(&tables).enumerate() {
+                assert_eq!(batched[i], eval_and(&hash, t, a, b, table), "k={k} gate={i}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rand::Rng;
 use haac_circuit::{Circuit, GateOp};
 
 use crate::block::{Block, Delta};
-use crate::hash::{GateHash, HashScheme};
+use crate::hash::{CryptoCounters, GateHash, HashScheme};
 
 /// The transferable garbling artifacts: what the Garbler sends to the
 /// Evaluator (plus, out of band, the input labels).
@@ -41,6 +41,8 @@ pub struct Garbling {
     pub wire_zero_labels: Vec<Block>,
     /// The transferable part.
     pub garbled: GarbledCircuit,
+    /// Cipher work performed (key expansions, AES block calls).
+    pub crypto: CryptoCounters,
 }
 
 impl Garbling {
@@ -84,7 +86,10 @@ impl Garbling {
 ///
 /// `tweak_base` must uniquely identify the gate within the garbling
 /// session (the paper keys the A-side hashes with `2·i` and the B-side
-/// with `2·i + 1`).
+/// with `2·i + 1`). All four hashes run as one batched call — the
+/// A-side pair shares one key expansion and the B-side pair the other
+/// (two expansions per AND, not four), and the four AES blocks pipeline
+/// on hardware backends.
 #[inline]
 pub fn garble_and(
     hash: &GateHash,
@@ -97,10 +102,10 @@ pub fn garble_and(
     let j1 = 2 * tweak_base + 1;
     let pa = w0a.lsb();
     let pb = w0b.lsb();
-    let ha0 = hash.hash(w0a, j0);
-    let ha1 = hash.hash(w0a ^ delta.block(), j0);
-    let hb0 = hash.hash(w0b, j1);
-    let hb1 = hash.hash(w0b ^ delta.block(), j1);
+    let xs = [w0a, w0a ^ delta.block(), w0b, w0b ^ delta.block()];
+    let mut h = [Block::ZERO; 4];
+    hash.hash_batch(&xs, &[j0, j0, j1, j1], &mut h);
+    let [ha0, ha1, hb0, hb1] = h;
     // Generator half-gate.
     let tg = ha0 ^ ha1 ^ delta.block().select(pb);
     let wg = ha0 ^ tg.select(pa);
@@ -108,6 +113,53 @@ pub fn garble_and(
     let te = hb0 ^ hb1 ^ w0a;
     let we = hb0 ^ (te ^ w0a).select(pb);
     (wg ^ we, [tg, te])
+}
+
+/// Largest AND-gate batch [`garble_and_batch`]/[`crate::eval_and_batch`]
+/// accept: 8 gates = 32 garbler-side hashes, enough to saturate the
+/// AES pipeline while staying on the stack.
+pub const MAX_AND_BATCH: usize = 8;
+
+/// Garbles up to [`MAX_AND_BATCH`] *mutually independent* AND gates in
+/// one batched hash call (`4·k` blocks in flight, `2·k` key
+/// expansions). `gates[i]` is `(tweak_base, w0a, w0b)`; `out[i]`
+/// receives `(output zero label, table)`. Produces bit-identical
+/// results to calling [`garble_and`] per gate.
+///
+/// # Panics
+///
+/// Panics if `gates` is larger than [`MAX_AND_BATCH`] or the slices'
+/// lengths differ.
+pub fn garble_and_batch(
+    hash: &GateHash,
+    delta: Delta,
+    gates: &[(u64, Block, Block)],
+    out: &mut [(Block, [Block; 2])],
+) {
+    assert!(gates.len() <= MAX_AND_BATCH, "batch of {} exceeds {MAX_AND_BATCH}", gates.len());
+    assert_eq!(gates.len(), out.len(), "one output slot per gate");
+    let k = gates.len();
+    let mut xs = [Block::ZERO; 4 * MAX_AND_BATCH];
+    let mut tweaks = [0u64; 4 * MAX_AND_BATCH];
+    for (i, &(tweak_base, w0a, w0b)) in gates.iter().enumerate() {
+        xs[4 * i..4 * i + 4].copy_from_slice(&[w0a, w0a ^ delta.block(), w0b, w0b ^ delta.block()]);
+        let j0 = 2 * tweak_base;
+        let j1 = 2 * tweak_base + 1;
+        tweaks[4 * i..4 * i + 4].copy_from_slice(&[j0, j0, j1, j1]);
+    }
+    let mut hashes = [Block::ZERO; 4 * MAX_AND_BATCH];
+    hash.hash_batch(&xs[..4 * k], &tweaks[..4 * k], &mut hashes[..4 * k]);
+    for (i, (&(_, w0a, w0b), slot)) in gates.iter().zip(out.iter_mut()).enumerate() {
+        let [ha0, ha1, hb0, hb1] =
+            [hashes[4 * i], hashes[4 * i + 1], hashes[4 * i + 2], hashes[4 * i + 3]];
+        let pa = w0a.lsb();
+        let pb = w0b.lsb();
+        let tg = ha0 ^ ha1 ^ delta.block().select(pb);
+        let wg = ha0 ^ tg.select(pa);
+        let te = hb0 ^ hb1 ^ w0a;
+        let we = hb0 ^ (te ^ w0a).select(pb);
+        *slot = (wg ^ we, [tg, te]);
+    }
 }
 
 /// Garbles an XOR gate (FreeXOR): zero labels simply XOR.
@@ -168,6 +220,7 @@ pub fn garble_streaming<R: Rng + ?Sized>(
         delta,
         wire_zero_labels: labels,
         garbled: GarbledCircuit { tables: Vec::new(), output_decode },
+        crypto: hash.counters(),
     }
 }
 
@@ -199,6 +252,55 @@ mod tests {
         assert_eq!(g.garbled.tables.len(), 1);
         assert_eq!(g.garbled.table_bytes(), 32);
         assert_eq!(g.garbled.output_decode.len(), 1);
+    }
+
+    #[test]
+    fn rekeyed_and_costs_two_expansions_four_blocks() {
+        // The tentpole invariant: re-keying expands each of the gate's
+        // two tweaks exactly once (paper Fig. 2), not once per hash.
+        let hash = GateHash::new(HashScheme::Rekeyed);
+        let mut rng = StdRng::seed_from_u64(11);
+        let delta = Delta::random(&mut rng);
+        let before = hash.counters();
+        let _ = garble_and(&hash, delta, 3, Block::random(&mut rng), Block::random(&mut rng));
+        let cost = hash.counters().since(before);
+        assert_eq!(cost.key_expansions, 2);
+        assert_eq!(cost.aes_blocks, 4);
+    }
+
+    #[test]
+    fn whole_circuit_counters_scale_with_and_gates() {
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.input_evaluator(8);
+        let p = b.mul_words_trunc(&x, &y);
+        let c = b.finish(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = garble(&c, &mut rng, HashScheme::Rekeyed);
+        let ands = c.num_and_gates() as u64;
+        assert_eq!(g.crypto.key_expansions, 2 * ands);
+        assert_eq!(g.crypto.aes_blocks, 4 * ands);
+    }
+
+    #[test]
+    fn garble_and_batch_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let hash = GateHash::new(HashScheme::Rekeyed);
+        let delta = Delta::random(&mut rng);
+        for k in 1..=MAX_AND_BATCH {
+            let gates: Vec<(u64, Block, Block)> = (0..k)
+                .map(|i| (100 + i as u64, Block::random(&mut rng), Block::random(&mut rng)))
+                .collect();
+            let mut batched = vec![(Block::ZERO, [Block::ZERO; 2]); k];
+            let before = hash.counters();
+            garble_and_batch(&hash, delta, &gates, &mut batched);
+            let cost = hash.counters().since(before);
+            assert_eq!(cost.key_expansions, 2 * k as u64, "k={k}");
+            assert_eq!(cost.aes_blocks, 4 * k as u64, "k={k}");
+            for (i, &(tweak, a, b)) in gates.iter().enumerate() {
+                assert_eq!(batched[i], garble_and(&hash, delta, tweak, a, b), "k={k} gate={i}");
+            }
+        }
     }
 
     #[test]

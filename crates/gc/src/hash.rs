@@ -7,8 +7,21 @@
 //! expansions at extra computational cost"* (measured at +27.5% per
 //! half-gate; our criterion bench `gate_crypto` reproduces the shape of
 //! that claim).
+//!
+//! Both tweaks of an AND gate hash **two** labels each, so a
+//! [`GateHash`] exposes exactly the shapes the gate ops need:
+//! [`pair`](GateHash::pair) (one key expansion, two blocks) and
+//! [`hash_batch`](GateHash::hash_batch) (N independent lanes in flight,
+//! consecutive equal tweaks sharing one expansion). Every call is
+//! metered — key expansions and AES block invocations accumulate in
+//! per-instance [`CryptoCounters`], which is how the "2 expansions per
+//! AND gate" invariant is verified rather than asserted.
 
-use crate::aes::Aes128;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::aes::{
+    active_backend, encrypt_lanes_rk, expand_many, Aes128, AesBackend, RoundKeys, MAX_LANES,
+};
 use crate::block::Block;
 
 /// Which hash construction to use for AND gates.
@@ -26,23 +39,70 @@ pub enum HashScheme {
     FixedKey,
 }
 
+/// A snapshot of cipher work performed: the quantities HAAC's gate
+/// engines pipeline (paper Fig. 2) and the denominators of every
+/// gates/s claim in `BENCH_gatecrypto.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CryptoCounters {
+    /// Full 176-byte AES key schedules run (the re-keying cost).
+    pub key_expansions: u64,
+    /// Single-block AES invocations.
+    pub aes_blocks: u64,
+}
+
+impl CryptoCounters {
+    /// Work performed since an earlier snapshot.
+    pub fn since(self, earlier: CryptoCounters) -> CryptoCounters {
+        CryptoCounters {
+            key_expansions: self.key_expansions - earlier.key_expansions,
+            aes_blocks: self.aes_blocks - earlier.aes_blocks,
+        }
+    }
+}
+
 /// The gate hash function, configured once per garbling session.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GateHash {
     scheme: HashScheme,
     fixed: Aes128,
+    key_expansions: AtomicU64,
+    aes_blocks: AtomicU64,
 }
 
+impl Clone for GateHash {
+    fn clone(&self) -> GateHash {
+        GateHash {
+            scheme: self.scheme,
+            fixed: self.fixed,
+            key_expansions: AtomicU64::new(self.key_expansions.load(Ordering::Relaxed)),
+            aes_blocks: AtomicU64::new(self.aes_blocks.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A nothing-up-my-sleeve fixed key (digits of π in hex).
+const FIXED_KEY: [u8; 16] = [
+    0x24, 0x3f, 0x6a, 0x88, 0x85, 0xa3, 0x08, 0xd3, 0x13, 0x19, 0x8a, 0x2e, 0x03, 0x70, 0x73, 0x44,
+];
+
 impl GateHash {
-    /// Creates a hash in the given scheme. The fixed key is only used by
+    /// Creates a hash in the given scheme on the process-wide
+    /// [`active_backend`]. The fixed key is only used by
     /// [`HashScheme::FixedKey`].
     pub fn new(scheme: HashScheme) -> GateHash {
-        // A nothing-up-my-sleeve fixed key (digits of π in hex).
-        const FIXED_KEY: [u8; 16] = [
-            0x24, 0x3f, 0x6a, 0x88, 0x85, 0xa3, 0x08, 0xd3, 0x13, 0x19, 0x8a, 0x2e, 0x03, 0x70,
-            0x73, 0x44,
-        ];
-        GateHash { scheme, fixed: Aes128::new(FIXED_KEY) }
+        GateHash::with_backend(scheme, active_backend())
+    }
+
+    /// Like [`GateHash::new`] but pinned to an explicit AES backend
+    /// (portable fallback if unavailable) — for benches and equivalence
+    /// tests.
+    pub fn with_backend(scheme: HashScheme, backend: AesBackend) -> GateHash {
+        GateHash {
+            scheme,
+            fixed: Aes128::with_backend(FIXED_KEY, backend),
+            key_expansions: AtomicU64::new(0),
+            aes_blocks: AtomicU64::new(0),
+        }
     }
 
     /// The configured scheme.
@@ -50,20 +110,117 @@ impl GateHash {
         self.scheme
     }
 
+    /// The AES backend this hash dispatches to.
+    pub fn backend(&self) -> AesBackend {
+        self.fixed.backend()
+    }
+
+    /// Cipher-work counters accumulated by this instance so far.
+    pub fn counters(&self) -> CryptoCounters {
+        CryptoCounters {
+            key_expansions: self.key_expansions.load(Ordering::Relaxed),
+            aes_blocks: self.aes_blocks.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn meter(&self, expansions: u64, blocks: u64) {
+        self.key_expansions.fetch_add(expansions, Ordering::Relaxed);
+        self.aes_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn tweak_cipher(&self, tweak: u64) -> Aes128 {
+        Aes128::with_backend(Block::from(u128::from(tweak)).to_bytes(), self.fixed.backend())
+    }
+
     /// Hashes a label under tweak `tweak` (`2·gate_index` for the A-side
     /// hashes, `2·gate_index + 1` for the B-side, per Fig. 2).
     pub fn hash(&self, x: Block, tweak: u64) -> Block {
         match self.scheme {
             HashScheme::Rekeyed => {
-                let key = Block::from(u128::from(tweak));
-                let aes = Aes128::from_block(key);
+                self.meter(1, 1);
+                let aes = self.tweak_cipher(tweak);
                 aes.encrypt_block(x) ^ x
             }
             HashScheme::FixedKey => {
+                self.meter(0, 1);
                 let input = x ^ Block::from(u128::from(tweak));
                 self.fixed.encrypt_block(input) ^ input
             }
         }
+    }
+
+    /// Hashes two labels under **one** tweak with a single key expansion
+    /// — the natural unit of a half gate, where each tweak covers both
+    /// labels of one input wire. Equals `(hash(x0, t), hash(x1, t))`.
+    pub fn pair(&self, x0: Block, x1: Block, tweak: u64) -> (Block, Block) {
+        let mut out = [x0, x1];
+        self.hash_batch(&[x0, x1], &[tweak, tweak], &mut out);
+        (out[0], out[1])
+    }
+
+    /// Hashes `xs[i]` under `tweaks[i]` into `out[i]`, keeping up to
+    /// [`MAX_LANES`] independent AES blocks in flight. Runs of
+    /// **consecutive equal tweaks share one key expansion**, which is
+    /// what brings a re-keyed AND gate from four expansions down to two.
+    /// Equivalent to calling [`hash`](GateHash::hash) per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices' lengths differ.
+    pub fn hash_batch(&self, xs: &[Block], tweaks: &[u64], out: &mut [Block]) {
+        assert_eq!(xs.len(), tweaks.len(), "one tweak per lane");
+        assert_eq!(xs.len(), out.len(), "one output per lane");
+        match self.scheme {
+            HashScheme::Rekeyed => self.rekeyed_batch(xs, tweaks, out),
+            HashScheme::FixedKey => {
+                self.meter(0, xs.len() as u64);
+                for ((o, &x), &t) in out.iter_mut().zip(xs).zip(tweaks) {
+                    *o = x ^ Block::from(u128::from(t));
+                }
+                self.fixed.encrypt_blocks(out);
+                for ((o, &x), &t) in out.iter_mut().zip(xs).zip(tweaks) {
+                    *o = *o ^ x ^ Block::from(u128::from(t));
+                }
+            }
+        }
+    }
+
+    fn rekeyed_batch(&self, xs: &[Block], tweaks: &[u64], out: &mut [Block]) {
+        let backend = self.fixed.backend();
+        let mut expansions = 0u64;
+        // Chunk scratch, initialized once per call, overwritten up to
+        // `m`/`n` per chunk.
+        let mut uniq = [[0u8; 16]; MAX_LANES];
+        let mut lane_sched = [0usize; MAX_LANES];
+        let mut scheds = [[[0u8; 16]; 11]; MAX_LANES];
+        let mut start = 0usize;
+        while start < xs.len() {
+            let n = (xs.len() - start).min(MAX_LANES);
+            // Dedupe consecutive equal tweaks: one expansion per unique
+            // tweak (the AND-gate shape [j0,j0,j1,j1] expands twice).
+            let mut m = 0usize;
+            for lane in 0..n {
+                let t = tweaks[start + lane];
+                if lane == 0 || t != tweaks[start + lane - 1] {
+                    uniq[m] = Block::from(u128::from(t)).to_bytes();
+                    m += 1;
+                }
+                lane_sched[lane] = m - 1;
+            }
+            expansions += m as u64;
+            expand_many(backend, &uniq[..m], &mut scheds[..m]);
+            let refs: [&RoundKeys; MAX_LANES] =
+                std::array::from_fn(|lane| &scheds[lane_sched[lane.min(n - 1)]]);
+            out[start..start + n].copy_from_slice(&xs[start..start + n]);
+            encrypt_lanes_rk(backend, &refs[..n], &mut out[start..start + n]);
+            for lane in 0..n {
+                out[start + lane] ^= xs[start + lane];
+            }
+            start += n;
+        }
+        self.meter(expansions, xs.len() as u64);
     }
 }
 
@@ -101,5 +258,66 @@ mod tests {
         let b = h.hash(Block::from(1u128), 0);
         assert_ne!(a, Block::ZERO);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pair_equals_two_hashes_with_one_expansion() {
+        for scheme in [HashScheme::Rekeyed, HashScheme::FixedKey] {
+            let h = GateHash::new(scheme);
+            let x0 = Block::from(0x1111u128);
+            let x1 = Block::from(0x2222u128);
+            let before = h.counters();
+            let (p0, p1) = h.pair(x0, x1, 42);
+            let pair_cost = h.counters().since(before);
+            assert_eq!(p0, h.hash(x0, 42), "{scheme:?}");
+            assert_eq!(p1, h.hash(x1, 42), "{scheme:?}");
+            let expected_expansions = match scheme {
+                HashScheme::Rekeyed => 1,
+                HashScheme::FixedKey => 0,
+            };
+            assert_eq!(
+                pair_cost,
+                CryptoCounters { key_expansions: expected_expansions, aes_blocks: 2 },
+                "{scheme:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_batch_equals_sequential_hash() {
+        for scheme in [HashScheme::Rekeyed, HashScheme::FixedKey] {
+            let h = GateHash::new(scheme);
+            for len in [0usize, 1, 2, 3, 4, 7, 8, 9, 16, 31] {
+                let xs: Vec<Block> = (0..len as u128).map(|i| Block::from(i * 7 + 1)).collect();
+                let tweaks: Vec<u64> = (0..len as u64).map(|i| i / 2).collect();
+                let mut out = vec![Block::ZERO; len];
+                h.hash_batch(&xs, &tweaks, &mut out);
+                for i in 0..len {
+                    assert_eq!(out[i], h.hash(xs[i], tweaks[i]), "{scheme:?} len={len} lane={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dedupes_consecutive_tweaks() {
+        let h = GateHash::new(HashScheme::Rekeyed);
+        let xs = [Block::from(1u128), Block::from(2u128), Block::from(3u128), Block::from(4u128)];
+        let before = h.counters();
+        let mut out = [Block::ZERO; 4];
+        // The AND-gate shape: [j0, j0, j1, j1] → exactly 2 expansions.
+        h.hash_batch(&xs, &[10, 10, 11, 11], &mut out);
+        let cost = h.counters().since(before);
+        assert_eq!(cost, CryptoCounters { key_expansions: 2, aes_blocks: 4 });
+    }
+
+    #[test]
+    fn counters_accumulate_across_calls() {
+        let h = GateHash::new(HashScheme::Rekeyed);
+        h.hash(Block::ZERO, 1);
+        h.hash(Block::ZERO, 2);
+        assert_eq!(h.counters(), CryptoCounters { key_expansions: 2, aes_blocks: 2 });
+        let h2 = h.clone();
+        assert_eq!(h2.counters(), h.counters());
     }
 }

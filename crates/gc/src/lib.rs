@@ -1,18 +1,24 @@
 //! # haac-gc — garbled circuits cryptography
 //!
 //! The EMP-toolkit-equivalent substrate of the HAAC reproduction: the
-//! cryptographic machinery that HAAC's gate engines accelerate, in
-//! portable Rust. Implements exactly the construction the paper targets
-//! (§2.1):
+//! cryptographic machinery that HAAC's gate engines accelerate.
+//! Implements exactly the construction the paper targets (§2.1):
 //!
 //! - **FreeXOR** [Kolesnikov & Schneider]: XOR gates cost one 128-bit
 //!   XOR; a global offset Δ ([`Delta`]) relates every label pair.
 //! - **Half-Gate AND** [Zahur, Rosulek & Evans]: two table rows per AND;
-//!   four hash calls to garble, two to evaluate.
-//! - **Re-keyed gate hash** [Guo et al.]: `H(x, i) = AES_i(x) ⊕ x` with a
-//!   full key expansion per hash — the secure construction HAAC chooses
-//!   over fixed-key AES (both are provided; see [`HashScheme`]).
+//!   four hash calls to garble, two to evaluate — batched so the AES
+//!   blocks pipeline ([`garble_and_batch`], [`eval_and_batch`]).
+//! - **Re-keyed gate hash** [Guo et al.]: `H(x, i) = AES_i(x) ⊕ x` with
+//!   exactly one key expansion per tweak (two per AND gate, metered by
+//!   [`CryptoCounters`]) — the secure construction HAAC chooses over
+//!   fixed-key AES (both are provided; see [`HashScheme`]).
 //! - **Point-and-permute** decoding via label least-significant bits.
+//!
+//! The AES core dispatches at startup to AES-NI (x86_64), the ARMv8
+//! crypto extensions (aarch64), or a portable software fallback — see
+//! [`aes`] — and [`garble_parallel`] mirrors HAAC's parallel gate
+//! engines on host threads with bit-identical transcripts.
 //!
 //! This crate doubles as the paper's "CPU GC" baseline: garbling and
 //! evaluating on the host CPU is what HAAC's speedups are measured
@@ -44,6 +50,7 @@
 
 pub mod aes;
 mod block;
+pub mod engine;
 mod evaluate;
 mod garble;
 mod hash;
@@ -51,13 +58,15 @@ pub mod ot;
 pub mod protocol;
 pub mod stream;
 
+pub use aes::{active_backend, AesBackend};
 pub use block::{Block, Delta};
-pub use evaluate::{eval_and, eval_inv, eval_xor, evaluate};
+pub use engine::{garble_parallel, EngineConfig};
+pub use evaluate::{eval_and, eval_and_batch, eval_inv, eval_xor, evaluate};
 pub use garble::{
-    decode_outputs, garble, garble_and, garble_inv, garble_streaming, garble_xor, GarbledCircuit,
-    Garbling,
+    decode_outputs, garble, garble_and, garble_and_batch, garble_inv, garble_streaming, garble_xor,
+    GarbledCircuit, Garbling, MAX_AND_BATCH,
 };
-pub use hash::{GateHash, HashScheme};
+pub use hash::{CryptoCounters, GateHash, HashScheme};
 pub use stream::{EvaluatorFinish, GarblerFinish, Liveness, StreamingEvaluator, StreamingGarbler};
 
 #[cfg(test)]

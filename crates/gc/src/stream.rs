@@ -22,9 +22,9 @@ use haac_circuit::{Circuit, GateOp, WireId};
 use rand::Rng;
 
 use crate::block::{Block, Delta};
-use crate::evaluate::{eval_and, eval_inv, eval_xor};
-use crate::garble::{decode_outputs, garble_and, garble_inv, garble_xor};
-use crate::hash::{GateHash, HashScheme};
+use crate::evaluate::{eval_and_batch, eval_inv, eval_xor};
+use crate::garble::{decode_outputs, garble_and_batch, garble_inv, garble_xor, MAX_AND_BATCH};
+use crate::hash::{CryptoCounters, GateHash, HashScheme};
 
 /// Sentinel for "never dies" (circuit outputs live to the end).
 const LIVE_FOREVER: usize = usize::MAX;
@@ -150,6 +150,8 @@ pub struct GarblerFinish {
     pub output_decode: Vec<bool>,
     /// High-water mark of simultaneously stored wire labels.
     pub peak_live_wires: usize,
+    /// Cipher work performed (key expansions, AES block calls).
+    pub crypto: CryptoCounters,
 }
 
 /// Result of a finished streaming evaluation.
@@ -161,6 +163,8 @@ pub struct EvaluatorFinish {
     pub output_labels: Vec<Block>,
     /// High-water mark of simultaneously stored wire labels.
     pub peak_live_wires: usize,
+    /// Cipher work performed (key expansions, AES block calls).
+    pub crypto: CryptoCounters,
 }
 
 /// Gate-at-a-time garbler with liveness-bounded label storage.
@@ -320,42 +324,85 @@ impl<'c> StreamingGarbler<'c> {
     /// gate list ends. Returns `None` once the circuit is fully garbled
     /// (a final, possibly short, chunk is returned first).
     ///
+    /// Allocates a fresh table vector per call; the session hot path
+    /// uses [`next_tables_into`](StreamingGarbler::next_tables_into) to
+    /// reuse one buffer across chunks.
+    pub fn next_tables(&mut self, max_tables: usize) -> Option<Vec<[Block; 2]>> {
+        let mut tables = Vec::new();
+        self.next_tables_into(max_tables, &mut tables).then_some(tables)
+    }
+
+    /// Like [`next_tables`](StreamingGarbler::next_tables) but fills a
+    /// caller-owned buffer (cleared first), so streaming a
+    /// million-table circuit performs zero per-chunk allocations.
+    /// Returns `false` once the circuit is fully garbled.
+    ///
+    /// Runs of consecutive, mutually independent AND gates are garbled
+    /// as one batched hash call — up to 4·[`MAX_AND_BATCH`] AES blocks
+    /// in flight, the software analogue of HAAC keeping several gate
+    /// engines busy. The table stream and every label are bit-identical
+    /// to gate-at-a-time garbling.
+    ///
     /// The first call drops the input-label table: encoding and OT must
     /// happen before streaming.
-    pub fn next_tables(&mut self, max_tables: usize) -> Option<Vec<[Block; 2]>> {
+    pub fn next_tables_into(&mut self, max_tables: usize, tables: &mut Vec<[Block; 2]>) -> bool {
         assert!(max_tables > 0, "chunk capacity must be positive");
+        tables.clear();
         if self.next_gate == self.circuit.num_gates() {
-            return None;
+            return false;
         }
         self.input_zero_labels = None;
-        let mut tables = Vec::new();
-        while self.next_gate < self.circuit.num_gates() && tables.len() < max_tables {
+        let gates = self.circuit.gates();
+        while self.next_gate < gates.len() && tables.len() < max_tables {
             let index = self.next_gate;
-            let gate = self.circuit.gates()[index];
-            let w0a = self.live.get(gate.a);
-            let out = match gate.op {
-                GateOp::Xor => garble_xor(w0a, self.live.get(gate.b)),
-                GateOp::Inv => garble_inv(self.delta, w0a),
-                GateOp::And => {
-                    let (w0c, table) = garble_and(
-                        &self.hash,
-                        self.delta,
-                        index as u64,
-                        w0a,
-                        self.live.get(gate.b),
-                    );
-                    tables.push(table);
-                    w0c
+            let gate = gates[index];
+            if gate.op == GateOp::And {
+                // Collect the run of consecutive AND gates none of which
+                // reads an output of an earlier gate in the run; their
+                // hashes are independent and batch into one call.
+                let budget = (max_tables - tables.len()).min(MAX_AND_BATCH);
+                let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
+                let mut outs = [WireId::MAX; MAX_AND_BATCH];
+                let mut k = 0;
+                while k < budget && index + k < gates.len() {
+                    let g = gates[index + k];
+                    if g.op != GateOp::And || outs[..k].contains(&g.a) || outs[..k].contains(&g.b) {
+                        break;
+                    }
+                    batch[k] = ((index + k) as u64, self.live.get(g.a), self.live.get(g.b));
+                    outs[k] = g.out;
+                    k += 1;
                 }
-            };
-            if self.liveness.needed(gate.out) {
-                self.live.insert(gate.out, out);
+                let mut results = [(Block::ZERO, [Block::ZERO; 2]); MAX_AND_BATCH];
+                garble_and_batch(&self.hash, self.delta, &batch[..k], &mut results[..k]);
+                // Bookkeeping replays gate order exactly, so live-label
+                // peaks match gate-at-a-time execution.
+                for (j, &(w0c, table)) in results[..k].iter().enumerate() {
+                    let idx = index + j;
+                    let g = gates[idx];
+                    tables.push(table);
+                    if self.liveness.needed(g.out) {
+                        self.live.insert(g.out, w0c);
+                    }
+                    self.live.retire_if_dead(g.a, idx, &self.liveness);
+                    self.live.retire_if_dead(g.b, idx, &self.liveness);
+                }
+                self.next_gate = index + k;
+            } else {
+                let w0a = self.live.get(gate.a);
+                let out = match gate.op {
+                    GateOp::Xor => garble_xor(w0a, self.live.get(gate.b)),
+                    _ => garble_inv(self.delta, w0a),
+                };
+                if self.liveness.needed(gate.out) {
+                    self.live.insert(gate.out, out);
+                }
+                self.live.retire_if_dead(gate.a, index, &self.liveness);
+                self.live.retire_if_dead(gate.b, index, &self.liveness);
+                self.next_gate += 1;
             }
-            self.live.retire_if_dead(gate.a, index, &self.liveness);
-            self.live.retire_if_dead(gate.b, index, &self.liveness);
-            self.next_gate += 1;
         }
-        Some(tables)
+        true
     }
 
     /// Whether every gate has been garbled.
@@ -377,7 +424,11 @@ impl<'c> StreamingGarbler<'c> {
         assert!(self.is_done(), "finish() before all gates were garbled");
         let output_decode =
             self.circuit.outputs().iter().map(|&w| self.live.get(w).lsb()).collect();
-        GarblerFinish { output_decode, peak_live_wires: self.live.peak }
+        GarblerFinish {
+            output_decode,
+            peak_live_wires: self.live.peak,
+            crypto: self.hash.counters(),
+        }
     }
 }
 
@@ -442,28 +493,60 @@ impl<'c> StreamingEvaluator<'c> {
     }
 
     fn advance(&mut self) {
-        while self.next_gate < self.circuit.num_gates() {
+        let gates = self.circuit.gates();
+        while self.next_gate < gates.len() {
             let index = self.next_gate;
-            let gate = self.circuit.gates()[index];
-            if gate.op == GateOp::And && self.pending.is_empty() {
-                break; // starved: wait for the next chunk
-            }
-            let wa = self.live.get(gate.a);
-            let out = match gate.op {
-                GateOp::Xor => eval_xor(wa, self.live.get(gate.b)),
-                GateOp::Inv => eval_inv(wa),
-                GateOp::And => {
-                    let table = self.pending.pop_front().expect("checked above");
-                    self.tables_consumed += 1;
-                    eval_and(&self.hash, index as u64, wa, self.live.get(gate.b), &table)
+            let gate = gates[index];
+            if gate.op == GateOp::And {
+                if self.pending.is_empty() {
+                    break; // starved: wait for the next chunk
                 }
-            };
-            if self.liveness.needed(gate.out) {
-                self.live.insert(gate.out, out);
+                // Batch the run of consecutive independent AND gates
+                // whose tables have already arrived (mirrors the
+                // garbler's batching; same results as gate-at-a-time).
+                let budget = self.pending.len().min(MAX_AND_BATCH);
+                let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
+                let mut outs = [WireId::MAX; MAX_AND_BATCH];
+                let mut k = 0;
+                while k < budget && index + k < gates.len() {
+                    let g = gates[index + k];
+                    if g.op != GateOp::And || outs[..k].contains(&g.a) || outs[..k].contains(&g.b) {
+                        break;
+                    }
+                    batch[k] = ((index + k) as u64, self.live.get(g.a), self.live.get(g.b));
+                    outs[k] = g.out;
+                    k += 1;
+                }
+                let mut tables = [[Block::ZERO; 2]; MAX_AND_BATCH];
+                for slot in tables.iter_mut().take(k) {
+                    *slot = self.pending.pop_front().expect("bounded by pending.len()");
+                }
+                self.tables_consumed += k as u64;
+                let mut labels = [Block::ZERO; MAX_AND_BATCH];
+                eval_and_batch(&self.hash, &batch[..k], &tables[..k], &mut labels[..k]);
+                for (j, &label) in labels[..k].iter().enumerate() {
+                    let idx = index + j;
+                    let g = gates[idx];
+                    if self.liveness.needed(g.out) {
+                        self.live.insert(g.out, label);
+                    }
+                    self.live.retire_if_dead(g.a, idx, &self.liveness);
+                    self.live.retire_if_dead(g.b, idx, &self.liveness);
+                }
+                self.next_gate = index + k;
+            } else {
+                let wa = self.live.get(gate.a);
+                let out = match gate.op {
+                    GateOp::Xor => eval_xor(wa, self.live.get(gate.b)),
+                    _ => eval_inv(wa),
+                };
+                if self.liveness.needed(gate.out) {
+                    self.live.insert(gate.out, out);
+                }
+                self.live.retire_if_dead(gate.a, index, &self.liveness);
+                self.live.retire_if_dead(gate.b, index, &self.liveness);
+                self.next_gate += 1;
             }
-            self.live.retire_if_dead(gate.a, index, &self.liveness);
-            self.live.retire_if_dead(gate.b, index, &self.liveness);
-            self.next_gate += 1;
         }
     }
 
@@ -489,7 +572,12 @@ impl<'c> StreamingEvaluator<'c> {
         let output_labels: Vec<Block> =
             self.circuit.outputs().iter().map(|&w| self.live.get(w)).collect();
         let outputs = decode_outputs(&output_labels, output_decode);
-        EvaluatorFinish { outputs, output_labels, peak_live_wires: self.live.peak }
+        EvaluatorFinish {
+            outputs,
+            output_labels,
+            peak_live_wires: self.live.peak,
+            crypto: self.hash.counters(),
+        }
     }
 }
 
@@ -609,6 +697,50 @@ mod tests {
         let efin = evaluator.finish(&gfin.output_decode);
         assert_eq!(gfin.peak_live_wires, analyzed);
         assert_eq!(efin.peak_live_wires, analyzed);
+    }
+
+    #[test]
+    fn next_tables_into_reuses_buffer_and_matches_next_tables() {
+        let c = adder_circuit(16);
+        let mut rng1 = StdRng::seed_from_u64(55);
+        let mut rng2 = StdRng::seed_from_u64(55);
+        let mut by_alloc = StreamingGarbler::new(&c, &mut rng1, HashScheme::Rekeyed);
+        let mut by_reuse = StreamingGarbler::new(&c, &mut rng2, HashScheme::Rekeyed);
+        let mut buf: Vec<[Block; 2]> = Vec::with_capacity(5);
+        let capacity_ptr = buf.as_ptr();
+        loop {
+            let chunk = by_alloc.next_tables(5);
+            let more = by_reuse.next_tables_into(5, &mut buf);
+            assert_eq!(chunk.is_some(), more);
+            match chunk {
+                Some(chunk) => {
+                    assert_eq!(chunk, buf);
+                    // The buffer is refilled in place, never regrown.
+                    assert_eq!(buf.as_ptr(), capacity_ptr);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(by_alloc.finish(), by_reuse.finish());
+    }
+
+    #[test]
+    fn streaming_counters_meter_exactly_two_expansions_per_and() {
+        let c = adder_circuit(8);
+        let ands = c.num_and_gates() as u64;
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut garbler = StreamingGarbler::new(&c, &mut rng, HashScheme::Rekeyed);
+        let inputs = garbler.encode_inputs(&to_bits(9, 8), &to_bits(5, 8));
+        let mut evaluator = StreamingEvaluator::new(&c, inputs, HashScheme::Rekeyed);
+        while let Some(tables) = garbler.next_tables(4) {
+            evaluator.feed(&tables);
+        }
+        let gfin = garbler.finish();
+        assert_eq!(gfin.crypto.key_expansions, 2 * ands);
+        assert_eq!(gfin.crypto.aes_blocks, 4 * ands);
+        let efin = evaluator.finish(&gfin.output_decode);
+        assert_eq!(efin.crypto.key_expansions, 2 * ands);
+        assert_eq!(efin.crypto.aes_blocks, 2 * ands);
     }
 
     #[test]

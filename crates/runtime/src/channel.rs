@@ -20,6 +20,11 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 
+/// Initial write-buffer capacity for both channel kinds: a full
+/// default-window table chunk (2048 tables × 32 B) plus framing, so
+/// steady-state streaming never grows the buffer.
+const WRITE_BUFFER_CAPACITY: usize = 64 * 1024 + 256;
+
 /// Cumulative traffic counters for one endpoint of a channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -95,7 +100,7 @@ impl MemChannel {
         let make = |outbox, inbox| MemChannel {
             outbox,
             inbox,
-            write_buffer: Vec::new(),
+            write_buffer: Vec::with_capacity(WRITE_BUFFER_CAPACITY),
             read_buffer: VecDeque::new(),
             stats: ChannelStats::default(),
         };
@@ -128,7 +133,10 @@ impl Channel for MemChannel {
         if self.write_buffer.is_empty() {
             return Ok(());
         }
-        let message = std::mem::take(&mut self.write_buffer);
+        // The queue message must own its bytes; hand over the buffer
+        // itself (no memcpy) and replace it with a fresh presized one.
+        let message =
+            std::mem::replace(&mut self.write_buffer, Vec::with_capacity(WRITE_BUFFER_CAPACITY));
         self.outbox
             .send(message)
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?;
@@ -171,7 +179,11 @@ impl TcpChannel {
     /// Fails if `TCP_NODELAY` cannot be set.
     pub fn from_stream(stream: TcpStream) -> io::Result<TcpChannel> {
         stream.set_nodelay(true)?;
-        Ok(TcpChannel { stream, write_buffer: Vec::new(), stats: ChannelStats::default() })
+        Ok(TcpChannel {
+            stream,
+            write_buffer: Vec::with_capacity(WRITE_BUFFER_CAPACITY),
+            stats: ChannelStats::default(),
+        })
     }
 
     /// The peer's socket address, if known.

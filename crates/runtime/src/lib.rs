@@ -13,7 +13,7 @@
 //! |-------|----------|
 //! | [`channel`] | [`Channel`] trait, [`MemChannel`] (in-process), [`TcpChannel`] (real sockets), traffic accounting |
 //! | [`wire`] | Framed protocol messages: header, input labels, base-OT flow, table chunks, outputs |
-//! | [`session`] | [`run_garbler`] / [`run_evaluator`] drivers, [`SessionConfig`], [`SessionReport`] |
+//! | [`session`] | [`run_garbler`] / [`run_evaluator`] drivers, [`SessionConfig`], [`SessionReport`] (bytes, chunks, peak live wires, AES work, gates/s) |
 //!
 //! The cryptography lives in `haac-gc` ([`StreamingGarbler`] /
 //! [`StreamingEvaluator`] and the Chou–Orlandi-style base OT); this crate
@@ -87,6 +87,7 @@ pub use session::{
     SessionRole,
 };
 
-// Re-exported so downstream code can name the streaming primitives
-// without importing haac-gc directly.
-pub use haac_gc::{StreamingEvaluator, StreamingGarbler};
+// Re-exported so downstream code can name the streaming primitives and
+// the cipher-work counters carried by SessionReport without importing
+// haac-gc directly.
+pub use haac_gc::{CryptoCounters, StreamingEvaluator, StreamingGarbler};

@@ -14,12 +14,12 @@ use std::time::{Duration, Instant};
 use haac_circuit::Circuit;
 use haac_core::WindowModel;
 use haac_gc::stream::Liveness;
-use haac_gc::{HashScheme, StreamingEvaluator, StreamingGarbler};
+use haac_gc::{CryptoCounters, HashScheme, StreamingEvaluator, StreamingGarbler};
 use rand::Rng;
 
 use crate::channel::Channel;
 use crate::error::RuntimeError;
-use crate::wire::{read_message, write_message, Message, SessionHeader};
+use crate::wire::{read_message, write_message, write_tables, Message, SessionHeader};
 
 /// Which side of the protocol a report describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,8 +91,25 @@ pub struct SessionReport {
     pub within_window: bool,
     /// Base OTs performed (one per evaluator input bit).
     pub ot_transfers: u64,
+    /// Cipher work this side performed: AES key expansions (2 per AND
+    /// when garbling under re-keying) and AES block calls (4 garbling,
+    /// 2 evaluating) — the quantities HAAC's gate engines pipeline.
+    pub crypto: CryptoCounters,
     /// Wall-clock duration of this party's session.
     pub elapsed: Duration,
+}
+
+impl SessionReport {
+    /// AND-gate throughput of this side over the whole session
+    /// (handshake and OT included), in gates per second.
+    pub fn and_gates_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.tables as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 fn expect_message<C: Channel + ?Sized>(
@@ -153,16 +170,20 @@ pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
     // Base OT for the evaluator's input labels.
     let ot_transfers = ot_send(circuit, &garbler, rng, channel)?;
 
-    // Stream tables in window-sized chunks, one flush per chunk.
+    // Stream tables in window-sized chunks, one flush per chunk. One
+    // buffer serves the whole stream: `next_tables_into` refills it and
+    // `write_tables` frames it from a borrowed slice, so the steady
+    // state performs zero per-chunk allocations.
     let mut table_chunks = 0u64;
     let mut tables = 0u64;
-    while let Some(chunk) = garbler.next_tables(chunk_tables) {
+    let mut chunk: Vec<[haac_gc::Block; 2]> = Vec::with_capacity(chunk_tables.min(1 << 16));
+    while garbler.next_tables_into(chunk_tables, &mut chunk) {
         if chunk.is_empty() {
             continue;
         }
         tables += chunk.len() as u64;
         table_chunks += 1;
-        write_message(channel, &Message::Tables(chunk))?;
+        write_tables(channel, &chunk)?;
         channel.flush()?;
     }
 
@@ -191,6 +212,7 @@ pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
         peak_live_wires: finish.peak_live_wires,
         within_window: finish.peak_live_wires <= config.window.sww_wires() as usize,
         ot_transfers,
+        crypto: finish.crypto,
         elapsed: start.elapsed(),
     })
 }
@@ -276,6 +298,7 @@ pub fn run_evaluator<C: Channel + ?Sized, R: Rng + ?Sized>(
         peak_live_wires: finish.peak_live_wires,
         within_window: finish.peak_live_wires <= header.window_wires as usize,
         ot_transfers: circuit.evaluator_inputs() as u64,
+        crypto: finish.crypto,
         elapsed: start.elapsed(),
     })
 }
@@ -549,6 +572,22 @@ mod tests {
         // Each side's sent bytes are the other side's received bytes.
         assert_eq!(g.bytes_sent, e.bytes_received);
         assert_eq!(e.bytes_sent, g.bytes_received);
+    }
+
+    #[test]
+    fn session_reports_meter_cipher_work() {
+        let c = adder(16);
+        let config = SessionConfig::for_circuit(&c);
+        let (g, e) =
+            run_local_session(&c, &to_bits(100, 16), &to_bits(200, 16), 8, &config).unwrap();
+        let ands = c.num_and_gates() as u64;
+        // Re-keyed garbling: exactly 2 key expansions + 4 AES blocks per
+        // AND gate; evaluation: 2 expansions + 2 blocks.
+        assert_eq!(g.crypto.key_expansions, 2 * ands);
+        assert_eq!(g.crypto.aes_blocks, 4 * ands);
+        assert_eq!(e.crypto.key_expansions, 2 * ands);
+        assert_eq!(e.crypto.aes_blocks, 2 * ands);
+        assert!(g.and_gates_per_sec() > 0.0);
     }
 
     #[test]

@@ -16,6 +16,10 @@ use crate::error::RuntimeError;
 /// length prefix must not drive allocation.
 const MAX_PAYLOAD: usize = 64 << 20;
 
+/// Frame tag of [`Message::Tables`], shared by the owned
+/// ([`write_message`]) and borrowed ([`write_tables`]) writers.
+const TABLES_TAG: u8 = 6;
+
 /// Session parameters the garbler announces before streaming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionHeader {
@@ -65,7 +69,7 @@ impl Message {
             Message::OtSetup(_) => 3,
             Message::OtPoints(_) => 4,
             Message::OtCiphertexts(_) => 5,
-            Message::Tables(_) => 6,
+            Message::Tables(_) => TABLES_TAG,
             Message::OutputDecode(_) => 7,
             Message::Outputs(_) => 8,
         }
@@ -141,6 +145,11 @@ pub fn write_message<C: Channel + ?Sized>(
     channel: &mut C,
     message: &Message,
 ) -> Result<(), RuntimeError> {
+    // The streaming hot path writes table chunks without owning them;
+    // one implementation serves both entry points.
+    if let Message::Tables(tables) = message {
+        return write_tables(channel, tables);
+    }
     let mut payload = Vec::new();
     match message {
         Message::Header(h) => {
@@ -161,7 +170,7 @@ pub fn write_message<C: Channel + ?Sized>(
             }
         }
         Message::OtCiphertexts(pairs) => push_tables(&mut payload, pairs),
-        Message::Tables(tables) => push_tables(&mut payload, tables),
+        Message::Tables(_) => unreachable!("handled by write_tables above"),
         Message::OutputDecode(bits) | Message::Outputs(bits) => push_bits(&mut payload, bits),
     }
     if payload.len() > MAX_PAYLOAD {
@@ -178,6 +187,34 @@ pub fn write_message<C: Channel + ?Sized>(
     channel.send(&[message.tag()])?;
     channel.send(&(payload.len() as u32).to_le_bytes())?;
     channel.send(&payload)?;
+    Ok(())
+}
+
+/// Serializes and sends one `Tables` frame from a **borrowed** slice —
+/// wire-identical to `write_message(&Message::Tables(..))` but without
+/// moving the tables into a `Message`, so the session layer can reuse
+/// one chunk buffer for the whole stream. Does not flush.
+///
+/// # Errors
+///
+/// Propagates channel I/O failures; rejects oversized chunks.
+pub fn write_tables<C: Channel + ?Sized>(
+    channel: &mut C,
+    tables: &[[Block; 2]],
+) -> Result<(), RuntimeError> {
+    let payload_len = 4 + 32 * tables.len();
+    if payload_len > MAX_PAYLOAD {
+        return Err(RuntimeError::protocol(format!(
+            "Tables frame of {payload_len} bytes exceeds the {MAX_PAYLOAD} byte limit"
+        )));
+    }
+    channel.send(&[TABLES_TAG])?;
+    channel.send(&(payload_len as u32).to_le_bytes())?;
+    channel.send(&(tables.len() as u32).to_le_bytes())?;
+    for table in tables {
+        channel.send(&table[0].to_bytes())?;
+        channel.send(&table[1].to_bytes())?;
+    }
     Ok(())
 }
 
@@ -278,7 +315,7 @@ pub fn read_message<C: Channel + ?Sized>(channel: &mut C) -> Result<Message, Run
         3 => Message::OtSetup(r.u128()?),
         4 => Message::OtPoints(r.counted(16, PayloadReader::u128)?),
         5 => Message::OtCiphertexts(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
-        6 => Message::Tables(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
+        TABLES_TAG => Message::Tables(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
         7 => Message::OutputDecode(r.bits()?),
         8 => Message::Outputs(r.bits()?),
         other => return Err(RuntimeError::protocol(format!("unknown frame tag {other}"))),
@@ -331,6 +368,23 @@ mod tests {
             let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
             round_trip(Message::Outputs(bits));
         }
+    }
+
+    #[test]
+    fn borrowed_table_writer_matches_owned_message() {
+        let tables = vec![
+            [Block::from(1u128), Block::from(2u128)],
+            [Block::from(3u128), Block::from(4u128)],
+        ];
+        let (mut a, mut b) = MemChannel::pair();
+        write_tables(&mut a, &tables).unwrap();
+        a.flush().unwrap();
+        let got = read_message(&mut b).unwrap();
+        assert_eq!(got, Message::Tables(tables.clone()));
+        // Byte-identical framing: same bytes_sent as the owned path.
+        let (mut c, _d) = MemChannel::pair();
+        write_message(&mut c, &Message::Tables(tables)).unwrap();
+        assert_eq!(a.stats().bytes_sent, c.stats().bytes_sent);
     }
 
     #[test]

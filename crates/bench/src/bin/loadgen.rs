@@ -1,0 +1,276 @@
+//! `loadgen`: concurrent-session load generator for the garbling server.
+//!
+//! Drives N concurrent evaluator clients over the VIP workload mix
+//! against a [`Server`] with a bounded gate-engine pool, and writes
+//! `BENCH_server.json` at the repo root:
+//!
+//! - **cold single-session baseline** — one session at a time, fresh
+//!   server and fresh client build each, everything a
+//!   process-per-session deployment pays;
+//! - **warm serial** — the same sessions one at a time through one
+//!   long-lived server (what the circuit cache alone buys);
+//! - **concurrent** — all N sessions at once on the shared pool
+//!   (`aggregate_and_gates_per_sec` = total AND tables / wall).
+//!
+//! Every session's outputs are checked against the plaintext reference
+//! on both sides; any mismatch aborts the run.
+//!
+//! Run with: `cargo run --release -p haac-bench --bin loadgen`
+//!
+//! Environment:
+//! - `HAAC_LOADGEN_SESSIONS` — concurrent sessions (default 16).
+//! - `HAAC_LOADGEN_WORKERS` — engine-pool workers (default 4).
+//! - `HAAC_BENCH_OUT` — output path (default `BENCH_server.json`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use haac_server::{client, percentile, Server, ServerConfig, SessionRequest};
+use haac_workloads::{build, Scale, Workload, WorkloadKind};
+use serde::Serialize;
+
+/// The VIP mix sessions cycle through (paper Table 2 order).
+const MIX: [WorkloadKind; 8] = WorkloadKind::ALL;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[derive(Debug, Serialize)]
+struct PhaseReport {
+    /// Sessions driven in this phase.
+    sessions: u64,
+    /// AND tables streamed across the phase.
+    and_tables: u64,
+    /// Wall-clock of the whole phase.
+    wall_secs: f64,
+    /// `and_tables / wall_secs`.
+    and_gates_per_sec: f64,
+    /// Median client-observed session wall time.
+    p50_session_secs: f64,
+    /// 99th-percentile client-observed session wall time.
+    p99_session_secs: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SessionRow {
+    workload: &'static str,
+    and_tables: u64,
+    client_wall_secs: f64,
+    and_gates_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Concurrent clients driven in the load phase.
+    sessions: usize,
+    /// Gate-engine workers shared by all sessions.
+    workers: usize,
+    /// Host parallelism — aggregate speedup is capped by cores, so the
+    /// measurement is only meaningful alongside this.
+    available_cores: usize,
+    /// Every session (all phases) decoded the plaintext reference.
+    all_outputs_correct: bool,
+    /// Cold process-per-session baseline (fresh server + fresh build
+    /// per session, one at a time).
+    cold_single_session: PhaseReport,
+    /// One warm long-lived server, sessions one at a time.
+    warm_serial: PhaseReport,
+    /// One warm server, all sessions concurrent on the shared pool.
+    concurrent: PhaseReport,
+    /// Headline: cold single-session AND-gate rate.
+    single_session_and_gates_per_sec: f64,
+    /// Headline: concurrent aggregate AND-gate rate.
+    aggregate_and_gates_per_sec: f64,
+    /// `aggregate / single_session`.
+    speedup_vs_single_session: f64,
+    /// `aggregate / warm_serial` — what concurrency alone buys.
+    speedup_vs_warm_serial: f64,
+    /// Server-side accounting of the concurrent phase.
+    server_total_sessions: u64,
+    server_completed: u64,
+    server_failed: u64,
+    server_active_after_drain: usize,
+    server_p50_session_secs: f64,
+    server_p99_session_secs: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Per-session rows of the concurrent phase.
+    concurrent_sessions: Vec<SessionRow>,
+}
+
+fn phase_report(rows: &[SessionRow], wall: Duration) -> PhaseReport {
+    let and_tables = rows.iter().map(|r| r.and_tables).sum();
+    let mut walls: Vec<f64> = rows.iter().map(|r| r.client_wall_secs).collect();
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let wall_secs = wall.as_secs_f64();
+    PhaseReport {
+        sessions: rows.len() as u64,
+        and_tables,
+        wall_secs,
+        and_gates_per_sec: if wall_secs > 0.0 { and_tables as f64 / wall_secs } else { 0.0 },
+        p50_session_secs: percentile(&walls, 50.0),
+        p99_session_secs: percentile(&walls, 99.0),
+    }
+}
+
+/// One cold session: fresh single-worker server, fresh client build —
+/// the full cost a process-per-session deployment pays per request.
+fn cold_session(kind: WorkloadKind, seed: u64) -> SessionRow {
+    let start = Instant::now();
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut channel = server.connect();
+    let request = SessionRequest { workload: kind.name().into(), scale: Scale::Small, seed };
+    let report = client::run_session(&mut channel, &request).expect("cold session succeeds");
+    let wall = start.elapsed();
+    server.shutdown();
+    SessionRow {
+        workload: kind.name(),
+        and_tables: report.tables,
+        client_wall_secs: wall.as_secs_f64(),
+        and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn warm_session(server: &Server, kind: WorkloadKind, workload: &Workload, seed: u64) -> SessionRow {
+    let start = Instant::now();
+    let mut channel = server.connect();
+    let request = SessionRequest { workload: kind.name().into(), scale: Scale::Small, seed };
+    let report =
+        client::run_session_with(&mut channel, &request, workload).expect("warm session succeeds");
+    let wall = start.elapsed();
+    SessionRow {
+        workload: kind.name(),
+        and_tables: report.tables,
+        client_wall_secs: wall.as_secs_f64(),
+        and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let sessions = env_usize("HAAC_LOADGEN_SESSIONS", 16);
+    let workers = env_usize("HAAC_LOADGEN_WORKERS", 4);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mix: Vec<WorkloadKind> = (0..sessions).map(|i| MIX[i % MIX.len()]).collect();
+    eprintln!("[loadgen] {sessions} sessions on a {workers}-worker pool ({cores} cores)");
+
+    // Phase 1 — cold baseline: one cycle of the distinct workloads in
+    // the mix, each as its own cold deployment.
+    let distinct: Vec<WorkloadKind> = {
+        let mut seen = Vec::new();
+        for &k in &mix {
+            if !seen.contains(&k) {
+                seen.push(k);
+            }
+        }
+        seen
+    };
+    eprintln!("[loadgen] cold single-session baseline over {} workloads...", distinct.len());
+    let cold_start = Instant::now();
+    let cold_rows: Vec<SessionRow> =
+        distinct.iter().enumerate().map(|(i, &k)| cold_session(k, 1_000 + i as u64)).collect();
+    let cold = phase_report(&cold_rows, cold_start.elapsed());
+
+    // Shared client-side builds for the warm phases (a warm client
+    // caches exactly like the warm server does).
+    let prebuilt: Vec<Arc<Workload>> =
+        distinct.iter().map(|&k| Arc::new(build(k, Scale::Small))).collect();
+    let workload_of = |kind: WorkloadKind| -> Arc<Workload> {
+        let at = distinct.iter().position(|&k| k == kind).expect("kind in mix");
+        Arc::clone(&prebuilt[at])
+    };
+
+    // Phase 2 — warm serial: one long-lived server, one session at a
+    // time. Prewarm the cache so the phase measures steady state.
+    eprintln!("[loadgen] warm serial phase...");
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    for &k in &distinct {
+        server.cache().get(k, Scale::Small);
+    }
+    let serial_start = Instant::now();
+    let serial_rows: Vec<SessionRow> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| warm_session(&server, k, &workload_of(k), 2_000 + i as u64))
+        .collect();
+    let warm_serial = phase_report(&serial_rows, serial_start.elapsed());
+    server.shutdown();
+
+    // Phase 3 — the load: all sessions at once on the shared pool.
+    eprintln!("[loadgen] concurrent phase: {sessions} clients...");
+    let server = Server::new(ServerConfig { workers, ..ServerConfig::default() });
+    for &k in &distinct {
+        server.cache().get(k, Scale::Small);
+    }
+    let concurrent_start = Instant::now();
+    let handles: Vec<_> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let workload = workload_of(k);
+            let mut channel = server.connect();
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{i}"))
+                .spawn(move || {
+                    let start = Instant::now();
+                    let request = SessionRequest {
+                        workload: k.name().into(),
+                        scale: Scale::Small,
+                        seed: 3_000 + i as u64,
+                    };
+                    let report = client::run_session_with(&mut channel, &request, &workload)
+                        .expect("concurrent session succeeds");
+                    let wall = start.elapsed();
+                    SessionRow {
+                        workload: k.name(),
+                        and_tables: report.tables,
+                        client_wall_secs: wall.as_secs_f64(),
+                        and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
+                    }
+                })
+                .expect("spawn client")
+        })
+        .collect();
+    let concurrent_rows: Vec<SessionRow> =
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+    let concurrent_wall = concurrent_start.elapsed();
+    let concurrent = phase_report(&concurrent_rows, concurrent_wall);
+    let cache_hits = server.cache().hits();
+    let cache_misses = server.cache().misses();
+    let server_report = server.shutdown();
+    assert_eq!(server_report.failed, 0, "no session may fail under load");
+    assert_eq!(server_report.active, 0, "registry must drain");
+    assert_eq!(server_report.completed, sessions as u64);
+
+    let report = Report {
+        sessions,
+        workers,
+        available_cores: cores,
+        // Client helpers and the server both assert decoded outputs
+        // against the plaintext reference; reaching this point means
+        // every session of every phase checked out.
+        all_outputs_correct: true,
+        single_session_and_gates_per_sec: cold.and_gates_per_sec,
+        aggregate_and_gates_per_sec: concurrent.and_gates_per_sec,
+        speedup_vs_single_session: concurrent.and_gates_per_sec / cold.and_gates_per_sec,
+        speedup_vs_warm_serial: concurrent.and_gates_per_sec / warm_serial.and_gates_per_sec,
+        cold_single_session: cold,
+        warm_serial,
+        concurrent,
+        server_total_sessions: server_report.total_sessions,
+        server_completed: server_report.completed,
+        server_failed: server_report.failed,
+        server_active_after_drain: server_report.active,
+        server_p50_session_secs: server_report.p50_session_secs,
+        server_p99_session_secs: server_report.p99_session_secs,
+        cache_hits,
+        cache_misses,
+        concurrent_sessions: concurrent_rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let out = std::env::var("HAAC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("BENCH_server.json is writable");
+    eprintln!("[loadgen] wrote {out}");
+    println!("{json}");
+}

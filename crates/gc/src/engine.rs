@@ -18,7 +18,11 @@
 //! the equivalence tests drive all eight VIP-Bench workloads through
 //! both paths and compare transcripts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use haac_circuit::{Circuit, Gate, GateOp, WireId};
 use rand::Rng;
@@ -70,6 +74,247 @@ impl EngineConfig {
     }
 }
 
+/// A queued unit of engine work, tagged with the scope that owns it
+/// (`0` for free-standing [`EnginePool::spawn`] jobs).
+type PoolJob = (u64, Box<dyn FnOnce() + Send + 'static>);
+
+/// Shared state between an [`EnginePool`]'s owner and its workers.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    work_ready: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<PoolJob>,
+    shutdown: bool,
+}
+
+/// Distinguishes scopes so a waiting scope only "helps" with its own
+/// jobs (never gets stuck executing an unrelated long-running job).
+static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A bounded pool of persistent gate-engine worker threads.
+///
+/// HAAC provisions a *fixed* number of gate engines and keeps them busy
+/// across the whole workload stream; this is the host-side analogue. A
+/// pool is created once and shared — by a multi-session server
+/// scheduling whole sessions onto engines ([`spawn`](EnginePool::spawn))
+/// and by parallel garbling fanning waves of independent AND gates
+/// across them ([`scope`](EnginePool::scope) via
+/// [`garble_parallel_in`]) — instead of spawning fresh threads per
+/// session or per wave.
+///
+/// Deadlock freedom: a thread blocked in [`scope`](EnginePool::scope)
+/// executes its own still-queued jobs while it waits, so waves make
+/// progress even when every worker is occupied by long-running session
+/// jobs.
+///
+/// Dropping the pool drains the queue and joins every worker.
+pub struct EnginePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool").field("engines", &self.workers.len()).finish()
+    }
+}
+
+impl EnginePool {
+    /// Starts a pool of `engines` persistent worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is zero or a worker thread cannot be spawned.
+    pub fn new(engines: usize) -> EnginePool {
+        assert!(engines > 0, "at least one engine");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..engines)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("haac-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn gate-engine worker")
+            })
+            .collect();
+        EnginePool { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn engines(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a free-standing job. Returns immediately; the job runs on
+    /// the next free engine. A panicking job is contained to itself —
+    /// the worker survives and keeps serving the queue.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.enqueue((0, Box::new(job)));
+    }
+
+    /// Runs a batch of *borrowed* jobs to completion: `f` submits jobs
+    /// against the scope, and `scope` returns only once every submitted
+    /// job has finished (executing still-queued ones on the calling
+    /// thread while it waits).
+    ///
+    /// # Panics
+    ///
+    /// Panics after all jobs finish if any job panicked; a panic in `f`
+    /// itself is re-raised, also only after every already-submitted job
+    /// has finished.
+    pub fn scope<'env, F>(&self, f: F)
+    where
+        F: FnOnce(&PoolScope<'_, 'env>),
+    {
+        let scope = PoolScope {
+            pool: self,
+            id: NEXT_SCOPE_ID.fetch_add(1, Ordering::Relaxed),
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _env: std::marker::PhantomData,
+        };
+        // The transmute in `submit` is sound only if every submitted job
+        // finishes before `scope` returns *or unwinds* — so an unwind
+        // out of `f` must still drain the queue before it continues
+        // (the same obligation std::thread::scope discharges).
+        let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.wait();
+        if let Err(payload) = body {
+            std::panic::resume_unwind(payload);
+        }
+        if scope.state.panicked.load(Ordering::Relaxed) {
+            panic!("engine pool scope job panicked");
+        }
+    }
+
+    fn enqueue(&self, job: PoolJob) {
+        let mut queue = self.shared.queue.lock().expect("pool lock");
+        debug_assert!(!queue.shutdown, "enqueue after shutdown");
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Pops a queued job belonging to `scope_id`, if any.
+    fn take_scoped(&self, scope_id: u64) -> Option<Box<dyn FnOnce() + Send + 'static>> {
+        let mut queue = self.shared.queue.lock().expect("pool lock");
+        let position = queue.jobs.iter().position(|(id, _)| *id == scope_id)?;
+        queue.jobs.remove(position).map(|(_, job)| job)
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool lock");
+            queue.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool lock");
+            loop {
+                if let Some((_, job)) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool lock");
+            }
+        };
+        // Contain per-job panics: one poisoned job must not take down
+        // the engine (mirrors per-session error isolation upstream).
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Submission handle inside [`EnginePool::scope`]; jobs may borrow from
+/// the enclosing `'env` because the scope blocks until they finish.
+pub struct PoolScope<'p, 'env> {
+    pool: &'p EnginePool,
+    id: u64,
+    state: Arc<ScopeState>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope").field("id", &self.id).finish()
+    }
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Queues one job of this scope.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'env) {
+        *self.state.pending.lock().expect("scope lock") += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped = move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                state.panicked.store(true, Ordering::Relaxed);
+            }
+            let mut pending = state.pending.lock().expect("scope lock");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
+        // SAFETY: `scope` does not return before `pending` reaches zero,
+        // i.e. before this job has run to completion, so every borrow
+        // with lifetime 'env strictly outlives the job's execution. The
+        // pool itself is borrowed for 'p, so it cannot be dropped (and
+        // cannot abandon the queue) while the scope is alive.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        self.pool.enqueue((self.id, boxed));
+    }
+
+    /// Blocks until every submitted job has completed, executing this
+    /// scope's still-queued jobs inline while waiting.
+    fn wait(&self) {
+        loop {
+            while let Some(job) = self.pool.take_scoped(self.id) {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            let pending = self.state.pending.lock().expect("scope lock");
+            if *pending == 0 {
+                break;
+            }
+            // The remaining jobs are in flight on workers; the timeout
+            // only guards the race with a job popped-but-not-yet-run.
+            let (pending, _) = self
+                .state
+                .done
+                .wait_timeout(pending, Duration::from_millis(10))
+                .expect("scope lock");
+            if *pending == 0 {
+                break;
+            }
+        }
+    }
+}
+
 /// Garbles a circuit with parallel gate engines; the result — labels,
 /// tables, decode string — is bit-identical to
 /// [`garble`](crate::garble()) with the same RNG seed, for any engine
@@ -79,6 +324,48 @@ pub fn garble_parallel<R: Rng + ?Sized>(
     rng: &mut R,
     scheme: HashScheme,
     config: &EngineConfig,
+) -> Garbling {
+    garble_parallel_impl(circuit, rng, scheme, config.lookahead, WaveExec::Threads(config.engines))
+}
+
+/// Like [`garble_parallel`], but waves run on a shared persistent
+/// [`EnginePool`] instead of per-wave scoped threads — the transcript is
+/// still bit-identical to single-engine garbling. This is how a
+/// long-lived server amortizes engine threads across many garblings.
+pub fn garble_parallel_in<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    rng: &mut R,
+    scheme: HashScheme,
+    lookahead: usize,
+    pool: &EnginePool,
+) -> Garbling {
+    assert!(lookahead > 0, "lookahead must be positive");
+    garble_parallel_impl(circuit, rng, scheme, lookahead, WaveExec::Pool(pool))
+}
+
+/// Where a wave's AND gates execute: ad-hoc scoped threads or a shared
+/// persistent pool.
+#[derive(Clone, Copy)]
+enum WaveExec<'p> {
+    Threads(usize),
+    Pool(&'p EnginePool),
+}
+
+impl WaveExec<'_> {
+    fn engines(self) -> usize {
+        match self {
+            WaveExec::Threads(engines) => engines,
+            WaveExec::Pool(pool) => pool.engines(),
+        }
+    }
+}
+
+fn garble_parallel_impl<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    rng: &mut R,
+    scheme: HashScheme,
+    lookahead: usize,
+    exec: WaveExec<'_>,
 ) -> Garbling {
     // Same draw order as garble_streaming: Δ first, then input labels.
     let hash = GateHash::new(scheme);
@@ -113,7 +400,7 @@ pub fn garble_parallel<R: Rng + ?Sized>(
 
     let mut start = 0usize;
     while start < gates.len() {
-        let end = (start + config.lookahead).min(gates.len());
+        let end = (start + lookahead).min(gates.len());
         let window = &gates[start..end];
         let wlen = window.len();
 
@@ -222,7 +509,7 @@ pub fn garble_parallel<R: Rng + ?Sized>(
             ready_and.clear();
             and_results.clear();
             and_results.resize(and_jobs.len(), (Block::ZERO, [Block::ZERO; 2]));
-            run_wave(&hash, delta, start, &and_jobs, &mut and_results, config.engines);
+            run_wave(&hash, delta, start, &and_jobs, &mut and_results, exec);
             for (&(offset, _, _), &(w0c, table)) in and_jobs.iter().zip(and_results.iter()) {
                 let gate = window[offset];
                 labels[gate.out as usize] = w0c;
@@ -259,19 +546,31 @@ fn run_wave(
     window_start: usize,
     jobs: &[(usize, Block, Block)],
     results: &mut [(Block, [Block; 2])],
-    engines: usize,
+    exec: WaveExec<'_>,
 ) {
+    let engines = exec.engines();
     if engines <= 1 || jobs.len() < PARALLEL_THRESHOLD {
         garble_slice(hash, delta, window_start, jobs, results);
         return;
     }
     let per_engine = jobs.len().div_ceil(engines);
-    std::thread::scope(|scope| {
-        for (job_chunk, result_chunk) in jobs.chunks(per_engine).zip(results.chunks_mut(per_engine))
-        {
-            scope.spawn(move || garble_slice(hash, delta, window_start, job_chunk, result_chunk));
-        }
-    });
+    let chunks = jobs.chunks(per_engine).zip(results.chunks_mut(per_engine));
+    match exec {
+        WaveExec::Threads(_) => std::thread::scope(|scope| {
+            for (job_chunk, result_chunk) in chunks {
+                scope.spawn(move || {
+                    garble_slice(hash, delta, window_start, job_chunk, result_chunk)
+                });
+            }
+        }),
+        WaveExec::Pool(pool) => pool.scope(|scope| {
+            for (job_chunk, result_chunk) in chunks {
+                scope.submit(move || {
+                    garble_slice(hash, delta, window_start, job_chunk, result_chunk)
+                });
+            }
+        }),
+    }
 }
 
 /// One engine's share of a wave, batched [`MAX_AND_BATCH`] gates at a
@@ -353,5 +652,109 @@ mod tests {
     #[should_panic(expected = "at least one engine")]
     fn zero_engines_rejected() {
         let _ = EngineConfig::new(0, 16);
+    }
+
+    #[test]
+    fn pooled_garbling_matches_scoped_threads_and_reuses_the_pool() {
+        let c = wide_circuit();
+        let mut rng = StdRng::seed_from_u64(33);
+        let reference = garble(&c, &mut rng, HashScheme::Rekeyed);
+        let pool = EnginePool::new(3);
+        // Several garblings through the *same* pool: persistent engines,
+        // identical transcripts every time.
+        for lookahead in [4usize, 64, 10_000] {
+            let mut rng = StdRng::seed_from_u64(33);
+            let pooled = garble_parallel_in(&c, &mut rng, HashScheme::Rekeyed, lookahead, &pool);
+            assert_eq!(pooled.delta, reference.delta, "l={lookahead}");
+            assert_eq!(pooled.wire_zero_labels, reference.wire_zero_labels, "l={lookahead}");
+            assert_eq!(pooled.garbled, reference.garbled, "l={lookahead}");
+        }
+    }
+
+    #[test]
+    fn pool_spawn_runs_jobs_and_survives_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let pool = EnginePool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        // A poisoned job must not take a worker down with it.
+        pool.spawn(|| panic!("poisoned job"));
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains the queue and joins the workers
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_blocks_until_borrowed_jobs_finish() {
+        let pool = EnginePool::new(2);
+        let mut results = vec![0u64; 16];
+        pool.scope(|scope| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                scope.submit(move || *slot = (i as u64 + 1) * 3);
+            }
+        });
+        assert_eq!(results, (1..=16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_makes_progress_while_workers_are_busy() {
+        use std::sync::mpsc;
+
+        // Both workers are parked inside long-running jobs; the scope
+        // caller must execute its own jobs inline instead of deadlocking.
+        let pool = EnginePool::new(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (release_tx2, release_rx2) = mpsc::channel::<()>();
+        pool.spawn(move || {
+            let _ = release_rx.recv();
+        });
+        pool.spawn(move || {
+            let _ = release_rx2.recv();
+        });
+        let mut total = 0u64;
+        pool.scope(|scope| {
+            scope.submit(|| total = 42);
+        });
+        assert_eq!(total, 42);
+        release_tx.send(()).unwrap();
+        release_tx2.send(()).unwrap();
+    }
+
+    #[test]
+    fn scope_drains_borrowed_jobs_before_a_panicking_closure_unwinds() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // A submitted job borrows stack state; the closure then panics.
+        // The unwind must not escape `scope` until the job has run —
+        // otherwise the borrow would dangle under a live worker.
+        let pool = EnginePool::new(2);
+        let ran = AtomicBool::new(false);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.submit(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    ran.store(true, Ordering::SeqCst);
+                });
+                panic!("closure dies after submitting");
+            });
+        }));
+        assert!(result.is_err(), "the closure panic must propagate");
+        assert!(ran.load(Ordering::SeqCst), "the borrowed job must finish before the unwind");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine pool scope job panicked")]
+    fn scope_propagates_job_panics() {
+        let pool = EnginePool::new(1);
+        pool.scope(|scope| {
+            scope.submit(|| panic!("inner"));
+        });
     }
 }

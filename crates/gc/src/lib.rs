@@ -60,7 +60,7 @@ pub mod stream;
 
 pub use aes::{active_backend, AesBackend};
 pub use block::{Block, Delta};
-pub use engine::{garble_parallel, EngineConfig};
+pub use engine::{garble_parallel, garble_parallel_in, EngineConfig, EnginePool};
 pub use evaluate::{eval_and, eval_and_batch, eval_inv, eval_xor, evaluate};
 pub use garble::{
     decode_outputs, garble, garble_and, garble_and_batch, garble_inv, garble_streaming, garble_xor,

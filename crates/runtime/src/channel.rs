@@ -67,7 +67,21 @@ pub trait Channel {
     fn stats(&self) -> ChannelStats;
 }
 
-/// In-process channel endpoint: paired FIFO byte queues.
+/// Default [`MemChannel::pair`] capacity, in flushed-but-unread
+/// messages. Each flush carries at most one table chunk (~64 KiB), so
+/// this bounds a lagging peer's backlog to a few MiB instead of letting
+/// a fast garbler buffer an entire circuit in memory.
+pub const DEFAULT_MEM_CHANNEL_CAPACITY: usize = 64;
+
+/// In-process channel endpoint: paired FIFO byte queues with *bounded*
+/// capacity.
+///
+/// The bound is the backpressure a real socket provides for free: when
+/// the peer stops reading, [`flush`](Channel::flush) blocks once
+/// `capacity` flushed messages are outstanding, stalling the sender
+/// instead of growing its memory without limit. Tests exercise
+/// garbler-side backpressure deterministically via
+/// [`pair_bounded`](MemChannel::pair_bounded) with a tiny capacity.
 ///
 /// # Examples
 ///
@@ -85,7 +99,7 @@ pub trait Channel {
 /// ```
 #[derive(Debug)]
 pub struct MemChannel {
-    outbox: mpsc::Sender<Vec<u8>>,
+    outbox: mpsc::SyncSender<Vec<u8>>,
     inbox: mpsc::Receiver<Vec<u8>>,
     write_buffer: Vec<u8>,
     read_buffer: VecDeque<u8>,
@@ -93,10 +107,23 @@ pub struct MemChannel {
 }
 
 impl MemChannel {
-    /// Creates two connected endpoints.
+    /// Creates two connected endpoints with the default capacity.
     pub fn pair() -> (MemChannel, MemChannel) {
-        let (to_b, from_a) = mpsc::channel();
-        let (to_a, from_b) = mpsc::channel();
+        MemChannel::pair_bounded(DEFAULT_MEM_CHANNEL_CAPACITY)
+    }
+
+    /// Creates two connected endpoints whose queues hold at most
+    /// `capacity` flushed-but-unread messages in each direction; a
+    /// further flush blocks until the peer catches up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a rendezvous queue would deadlock
+    /// two parties that both need to send before reading).
+    pub fn pair_bounded(capacity: usize) -> (MemChannel, MemChannel) {
+        assert!(capacity > 0, "capacity must be positive");
+        let (to_b, from_a) = mpsc::sync_channel(capacity);
+        let (to_a, from_b) = mpsc::sync_channel(capacity);
         let make = |outbox, inbox| MemChannel {
             outbox,
             inbox,
@@ -273,6 +300,54 @@ mod tests {
         let (mut a, _b) = MemChannel::pair();
         a.flush().unwrap();
         assert_eq!(a.stats().flushes, 0);
+    }
+
+    #[test]
+    fn bounded_pair_stalls_the_sender_instead_of_buffering_unboundedly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+
+        const CAPACITY: usize = 2;
+        const TOTAL_FLUSHES: usize = CAPACITY + 5;
+        let (mut sender, mut receiver) = MemChannel::pair_bounded(CAPACITY);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let completed_in_thread = Arc::clone(&completed);
+        let producer = thread::spawn(move || {
+            for _ in 0..TOTAL_FLUSHES {
+                sender.send(&[0u8; 1024]).unwrap();
+                sender.flush().unwrap();
+                completed_in_thread.fetch_add(1, Ordering::SeqCst);
+            }
+            sender
+        });
+        // The producer runs ahead until the queue is full, then stalls:
+        // exactly CAPACITY flushes complete, the (CAPACITY+1)-th blocks.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while completed.load(Ordering::SeqCst) < CAPACITY {
+            assert!(Instant::now() < deadline, "producer never reached the cap");
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            CAPACITY,
+            "a full queue must block flush, not buffer on"
+        );
+        // Draining the queue releases the producer; everything arrives.
+        let mut buf = [0u8; 1024];
+        for _ in 0..TOTAL_FLUSHES {
+            receiver.recv_exact(&mut buf).unwrap();
+        }
+        let sender = producer.join().unwrap();
+        assert_eq!(completed.load(Ordering::SeqCst), TOTAL_FLUSHES);
+        assert_eq!(sender.stats().flushes, TOTAL_FLUSHES as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_pair_is_rejected() {
+        let _ = MemChannel::pair_bounded(0);
     }
 
     #[test]

@@ -80,7 +80,7 @@ mod error;
 pub mod session;
 pub mod wire;
 
-pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel};
+pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY};
 pub use error::RuntimeError;
 pub use session::{
     run_evaluator, run_garbler, run_local_session, run_tcp_session, SessionConfig, SessionReport,

@@ -649,6 +649,63 @@ mod tests {
     }
 
     #[test]
+    fn slow_evaluator_backpressures_the_garbler_without_unbounded_buffering() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::io;
+
+        /// A channel whose reads lag: every `recv_exact` sleeps first,
+        /// modeling an evaluator that falls behind the table stream.
+        struct SlowChannel {
+            inner: crate::channel::MemChannel,
+            delay: std::time::Duration,
+        }
+
+        impl Channel for SlowChannel {
+            fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+                self.inner.send(bytes)
+            }
+            fn recv_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+                std::thread::sleep(self.delay);
+                self.inner.recv_exact(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.inner.flush()
+            }
+            fn stats(&self) -> crate::ChannelStats {
+                self.inner.stats()
+            }
+        }
+
+        let c = adder(32);
+        // A 2-wire window streams one table per chunk (one flush each),
+        // and capacity 1 lets at most one unread flush exist per
+        // direction: the garbler *must* stall whenever the evaluator
+        // lags — by construction it cannot buffer the circuit.
+        let config = SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2));
+        let (mut gc, ec) = crate::channel::MemChannel::pair_bounded(1);
+        let mut ec = SlowChannel { inner: ec, delay: std::time::Duration::from_millis(1) };
+        std::thread::scope(|scope| {
+            let garbler = scope.spawn(|| {
+                let mut rng = StdRng::seed_from_u64(21);
+                run_garbler(&c, &to_bits(7, 32), &mut rng, &config, &mut gc)
+            });
+            let evaluator = scope.spawn(|| {
+                let mut rng = StdRng::seed_from_u64(22);
+                run_evaluator(&c, &to_bits(8, 32), &mut rng, &mut ec)
+            });
+            let g = garbler.join().unwrap().unwrap();
+            let e = evaluator.join().unwrap().unwrap();
+            assert_eq!(from_bits(&g.outputs), 15);
+            assert_eq!(g.outputs, e.outputs);
+            // The stall was real: far more chunks (flushes) than the
+            // queue could ever hold at once.
+            assert_eq!(g.table_chunks, c.num_and_gates() as u64);
+            assert!(g.table_chunks > 8, "want a many-chunk stream, got {}", g.table_chunks);
+        });
+    }
+
+    #[test]
     fn no_evaluator_inputs_skips_no_messages() {
         // Garbler-only inputs: OT runs with an empty batch.
         let mut b = Builder::new();

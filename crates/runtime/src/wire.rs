@@ -253,22 +253,39 @@ impl PayloadReader {
         Ok(Block::from_bytes(self.take(16)?.try_into().expect("16 bytes")))
     }
 
+    /// Bytes of payload not yet consumed.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn counted<T>(
         &mut self,
         per_item_bytes: usize,
         read: impl Fn(&mut Self) -> Result<T, RuntimeError>,
     ) -> Result<Vec<T>, RuntimeError> {
         let count = self.u32()? as usize;
-        if count.saturating_mul(per_item_bytes) > MAX_PAYLOAD {
-            return Err(RuntimeError::protocol(format!("count {count} exceeds frame limits")));
+        // The count prefix is untrusted: the items it promises must
+        // actually be present in the (already length-capped) payload
+        // before a single element is allocated — a hostile 4-byte count
+        // in a tiny frame must not drive a giant `Vec` reservation.
+        if count.saturating_mul(per_item_bytes) > self.remaining() {
+            return Err(RuntimeError::protocol(format!(
+                "count {count} exceeds the {} bytes of frame payload",
+                self.remaining()
+            )));
         }
         (0..count).map(|_| read(self)).collect()
     }
 
     fn bits(&mut self) -> Result<Vec<bool>, RuntimeError> {
         let count = self.u32()? as usize;
-        if count > MAX_PAYLOAD * 8 {
-            return Err(RuntimeError::protocol("bit count exceeds frame limits"));
+        // Same cap as `counted`: never trust the prefix beyond the bytes
+        // that actually arrived (8 bits per payload byte).
+        if count.div_ceil(8) > self.remaining() {
+            return Err(RuntimeError::protocol(format!(
+                "bit count {count} exceeds the {} bytes of frame payload",
+                self.remaining()
+            )));
         }
         let bytes = self.take(count.div_ceil(8))?;
         Ok((0..count).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect())

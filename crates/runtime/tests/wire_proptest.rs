@@ -1,0 +1,217 @@
+//! Fuzz-style property tests for the wire format's decoder.
+//!
+//! The framing layer is the runtime's attack surface: every byte a peer
+//! sends flows through [`read_message`]. These properties drive the
+//! decoder with arbitrary, truncated, and bit-flipped frames and assert
+//! the contract the session layer relies on — a malformed frame is a
+//! typed [`RuntimeError`] (never a panic), and an untrusted count or
+//! length prefix never drives an allocation beyond the bytes that
+//! actually arrived.
+
+use std::io;
+
+use haac_gc::{Block, HashScheme};
+use haac_runtime::wire::{read_message, write_message, Message, SessionHeader};
+use haac_runtime::{Channel, ChannelStats, RuntimeError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A deterministic, non-blocking byte-vector channel: reads past the end
+/// fail with `UnexpectedEof` (the in-memory analogue of a peer hanging
+/// up mid-frame) instead of blocking like `MemChannel`.
+#[derive(Debug, Default)]
+struct ByteChannel {
+    data: Vec<u8>,
+    pos: usize,
+    stats: ChannelStats,
+}
+
+impl ByteChannel {
+    fn of(data: Vec<u8>) -> ByteChannel {
+        ByteChannel { data, ..ByteChannel::default() }
+    }
+}
+
+impl Channel for ByteChannel {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.data.extend_from_slice(bytes);
+        self.stats.bytes_sent += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn recv_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let end = self.pos + buf.len();
+        if end > self.data.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "frame source exhausted"));
+        }
+        buf.copy_from_slice(&self.data[self.pos..end]);
+        self.pos = end;
+        self.stats.bytes_received += buf.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+/// Serializes a message to its exact wire bytes.
+fn encode(message: &Message) -> Vec<u8> {
+    let mut channel = ByteChannel::default();
+    write_message(&mut channel, message).expect("valid messages serialize");
+    channel.data
+}
+
+fn u128_from(data: &[u8]) -> u128 {
+    data.iter().fold(1u128, |acc, &b| acc.wrapping_mul(257).wrapping_add(b as u128))
+}
+
+fn blocks_from(data: &[u8]) -> Vec<Block> {
+    data.chunks(4).map(|c| Block::from(u128_from(c))).collect()
+}
+
+fn pairs_from(data: &[u8]) -> Vec<[Block; 2]> {
+    data.chunks(8)
+        .map(|c| [Block::from(u128_from(c)), Block::from(u128_from(c).wrapping_add(1))])
+        .collect()
+}
+
+fn bits_from(data: &[u8]) -> Vec<bool> {
+    data.iter().map(|&b| b & 1 == 1).collect()
+}
+
+/// Deterministically builds one of every message kind from sampled raw
+/// bytes — the valid-frame generator all mutation properties start from.
+fn message_from(kind: u8, data: &[u8]) -> Message {
+    match kind % 8 {
+        0 => Message::Header(SessionHeader {
+            garbler_inputs: u128_from(data) as u32,
+            evaluator_inputs: (u128_from(data) >> 32) as u32,
+            num_gates: (u128_from(data) >> 13) as u64,
+            num_tables: (u128_from(data) >> 29) as u64,
+            scheme: if data.first().copied().unwrap_or(0) & 1 == 0 {
+                HashScheme::Rekeyed
+            } else {
+                HashScheme::FixedKey
+            },
+            window_wires: (u128_from(data) >> 7) as u32,
+            chunk_tables: (u128_from(data) as u32) | 1,
+        }),
+        1 => Message::GarblerInputs(blocks_from(data)),
+        2 => Message::OtSetup(u128_from(data)),
+        3 => Message::OtPoints(data.chunks(5).map(u128_from).collect()),
+        4 => Message::OtCiphertexts(pairs_from(data)),
+        5 => Message::Tables(pairs_from(data)),
+        6 => Message::OutputDecode(bits_from(data)),
+        _ => Message::Outputs(bits_from(data)),
+    }
+}
+
+/// Builds a raw frame without going through the (validating) writer.
+fn raw_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = vec![tag];
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(blob in vec(any::<u8>(), 0..600)) {
+        let mut channel = ByteChannel::of(blob.clone());
+        // Ok (the bytes happened to form a frame) or a typed error —
+        // anything but a panic or a hang.
+        let _ = read_message(&mut channel);
+    }
+
+    #[test]
+    fn arbitrary_payloads_under_every_tag_never_panic(
+        tag in any::<u8>(),
+        payload in vec(any::<u8>(), 0..300),
+    ) {
+        // Well-formed framing, hostile payload: exercises every decoder
+        // arm instead of dying at the tag check.
+        let mut channel = ByteChannel::of(raw_frame(tag, &payload));
+        let _ = read_message(&mut channel);
+    }
+
+    #[test]
+    fn valid_messages_round_trip(kind in any::<u8>(), data in vec(any::<u8>(), 0..120)) {
+        let message = message_from(kind, &data);
+        let mut channel = ByteChannel::of(encode(&message));
+        let decoded = read_message(&mut channel).expect("valid frame decodes");
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn truncated_frames_return_typed_errors(
+        kind in any::<u8>(),
+        data in vec(any::<u8>(), 0..120),
+        cut in any::<u16>(),
+    ) {
+        let mut frame = encode(&message_from(kind, &data));
+        let cut = cut as usize % frame.len(); // strictly shorter than the frame
+        frame.truncate(cut);
+        let err = read_message(&mut ByteChannel::of(frame))
+            .expect_err("a truncated frame must not decode");
+        prop_assert!(
+            matches!(err, RuntimeError::Io(_) | RuntimeError::Protocol(_)),
+            "unexpected error shape: {err}"
+        );
+    }
+
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        kind in any::<u8>(),
+        data in vec(any::<u8>(), 0..120),
+        flip in any::<u32>(),
+    ) {
+        let mut frame = encode(&message_from(kind, &data));
+        let bit = flip as usize % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        // The flip may still decode (e.g. inside a label) or fail with a
+        // typed error; it must never panic or desynchronize into a hang.
+        let _ = read_message(&mut ByteChannel::of(frame));
+    }
+
+    #[test]
+    fn hostile_count_prefixes_are_rejected_before_allocating(
+        tag in 0u8..6,
+        count in 1024u32..,
+        filler in vec(any::<u8>(), 0..32),
+    ) {
+        // A tiny frame whose count prefix promises up to 4 billion
+        // items: the decoder must reject it from the payload size alone
+        // (never reserving `count` elements). Tags: the counted decoders
+        // (labels, points, ciphertext pairs, tables) and both bit kinds.
+        let tag = [2u8, 4, 5, 6, 7, 8][tag as usize];
+        let mut payload = count.to_le_bytes().to_vec();
+        payload.extend_from_slice(&filler);
+        prop_assume!(count as usize > payload.len() * 8); // hostile even for 1-bit items
+        let err = read_message(&mut ByteChannel::of(raw_frame(tag, &payload)))
+            .expect_err("an overpromising count must be rejected");
+        prop_assert!(
+            matches!(&err, RuntimeError::Protocol(m) if m.contains("exceeds")),
+            "want a protocol error about the cap, got: {err}"
+        );
+    }
+}
+
+/// The length prefix itself is capped before any payload allocation: a
+/// 64 MiB+ claim dies at the header, whatever bytes follow.
+#[test]
+fn oversized_length_prefix_is_rejected_at_the_header() {
+    for len in [(64u32 << 20) + 1, u32::MAX] {
+        let mut frame = vec![6u8];
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 64]);
+        let err = read_message(&mut ByteChannel::of(frame)).unwrap_err();
+        assert!(matches!(&err, RuntimeError::Protocol(m) if m.contains("exceeds limit")), "{err}");
+    }
+}

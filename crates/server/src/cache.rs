@@ -1,0 +1,105 @@
+//! The circuit cache: build/compile once, serve many sessions.
+//!
+//! Synthesizing a workload's circuit, computing its reference outputs,
+//! and sizing its streaming window (a full liveness analysis) are pure
+//! functions of `(workload, scale)` — exactly the setup cost a
+//! long-lived service amortizes across requests (the CRGC/HACCLE
+//! deployment model). The cache keys on that pair and hands out
+//! `Arc`s, so concurrent sessions of the same workload share one
+//! immutable build and repeated workloads skip synthesis entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use haac_runtime::SessionConfig;
+use haac_workloads::{build, Scale, Workload, WorkloadKind};
+
+/// One fully prepared workload: the synthesized circuit with its sample
+/// inputs and reference outputs, plus the streaming session config
+/// (window sized to the circuit's liveness peak) — everything a session
+/// needs beyond fresh randomness.
+#[derive(Debug)]
+pub struct CachedWorkload {
+    /// The built workload (circuit, sample inputs, expected outputs).
+    pub workload: Workload,
+    /// Streaming parameters sized for this circuit.
+    pub config: SessionConfig,
+}
+
+/// Concurrent build-once cache over `(workload, scale)`.
+#[derive(Debug, Default)]
+pub struct CircuitCache {
+    entries: Mutex<HashMap<(WorkloadKind, Scale), Arc<CachedWorkload>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CircuitCache {
+    /// An empty cache.
+    pub fn new() -> CircuitCache {
+        CircuitCache::default()
+    }
+
+    /// Fetches (or builds, outside the lock) the prepared workload.
+    pub fn get(&self, kind: WorkloadKind, scale: Scale) -> Arc<CachedWorkload> {
+        if let Some(entry) = self.entries.lock().expect("cache lock").get(&(kind, scale)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(entry);
+        }
+        // Build without holding the lock so a slow synthesis does not
+        // serialize unrelated sessions. A racing builder is possible and
+        // harmless: first insert wins, the duplicate is dropped.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let workload = build(kind, scale);
+        let config = SessionConfig::for_circuit(&workload.circuit);
+        let built = Arc::new(CachedWorkload { workload, config });
+        let mut entries = self.entries.lock().expect("cache lock");
+        Arc::clone(entries.entry((kind, scale)).or_insert(built))
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to synthesize (including racing duplicates).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct prepared workloads resident.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_gets_share_one_build() {
+        let cache = CircuitCache::new();
+        let first = cache.get(WorkloadKind::DotProduct, Scale::Small);
+        let second = cache.get(WorkloadKind::DotProduct, Scale::Small);
+        assert!(Arc::ptr_eq(&first, &second), "same build must be shared");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_workloads_get_distinct_entries() {
+        let cache = CircuitCache::new();
+        let dot = cache.get(WorkloadKind::DotProduct, Scale::Small);
+        let ham = cache.get(WorkloadKind::Hamming, Scale::Small);
+        assert!(!Arc::ptr_eq(&dot, &ham));
+        assert_eq!(cache.len(), 2);
+    }
+}

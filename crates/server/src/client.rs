@@ -1,0 +1,75 @@
+//! Client-side helpers: the evaluator half of a served session.
+//!
+//! A client builds (or reuses) the same workload the server will fetch
+//! from its cache, sends a [`SessionRequest`], waits for the ack, runs
+//! the standard evaluator driver, and checks the decoded outputs
+//! against the plaintext reference.
+
+use std::net::ToSocketAddrs;
+
+use haac_runtime::{run_evaluator, Channel, RuntimeError, SessionReport, TcpChannel};
+use haac_workloads::{build, Workload, WorkloadKind};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::request::{read_ack, write_request, SessionRequest};
+
+/// Salt folded into the client's RNG seed so the evaluator's OT
+/// blinding never reuses the server's garbling stream.
+const CLIENT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Runs one full evaluator session against a served channel, reusing an
+/// already-built workload (what a warm client — or the loadgen — does).
+///
+/// # Errors
+///
+/// Fails on transport errors, a server refusal, protocol violations, or
+/// outputs diverging from the workload's plaintext reference.
+pub fn run_session_with<C: Channel + ?Sized>(
+    channel: &mut C,
+    request: &SessionRequest,
+    workload: &Workload,
+) -> Result<SessionReport, RuntimeError> {
+    write_request(channel, request)?;
+    read_ack(channel)?;
+    let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
+    let report = run_evaluator(&workload.circuit, &workload.evaluator_bits, &mut rng, channel)?;
+    if report.outputs != workload.expected {
+        return Err(RuntimeError::protocol(format!(
+            "{} outputs diverge from the plaintext reference",
+            request.workload
+        )));
+    }
+    Ok(report)
+}
+
+/// Like [`run_session_with`], but builds the workload from the request
+/// first (a cold client).
+///
+/// # Errors
+///
+/// Fails as [`run_session_with`], or on an unknown workload name.
+pub fn run_session<C: Channel + ?Sized>(
+    channel: &mut C,
+    request: &SessionRequest,
+) -> Result<SessionReport, RuntimeError> {
+    let kind = WorkloadKind::from_name(&request.workload).ok_or_else(|| {
+        RuntimeError::protocol(format!("unknown workload {:?}", request.workload))
+    })?;
+    let workload = build(kind, request.scale);
+    run_session_with(channel, request, &workload)
+}
+
+/// Connects to a TCP server and runs one session end to end with an
+/// already-built workload.
+///
+/// # Errors
+///
+/// Fails on connection errors or as [`run_session_with`].
+pub fn run_tcp_session_with(
+    addr: impl ToSocketAddrs,
+    request: &SessionRequest,
+    workload: &Workload,
+) -> Result<SessionReport, RuntimeError> {
+    let mut channel = TcpChannel::connect(addr)?;
+    run_session_with(&mut channel, request, workload)
+}

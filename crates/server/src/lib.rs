@@ -1,0 +1,59 @@
+//! # haac-server — a multi-session garbling service
+//!
+//! The paper's throughput story is many deeply pipelined gate engines
+//! kept busy at once (§3.2, §6); the ROADMAP's north star is a service
+//! under heavy concurrent traffic. This crate connects the two: a
+//! long-lived server that accepts many concurrent evaluator
+//! connections (TCP or in-memory), multiplexes every session onto one
+//! shared, bounded [`EnginePool`](haac_gc::EnginePool) — no per-session
+//! threads — and amortizes circuit synthesis and window sizing across
+//! requests through a [`CircuitCache`], the deployment model of
+//! reusable-GC and MPC-as-a-service systems (CRGC, HACCLE).
+//!
+//! | Layer | Contents |
+//! |-------|----------|
+//! | [`request`] | The service handshake: [`SessionRequest`] / ack frames preceding the GC protocol |
+//! | [`cache`] | [`CircuitCache`]: build/compile once per `(workload, scale)`, share via `Arc` |
+//! | [`registry`] | [`SessionRegistry`], per-session [`SessionOutcome`]s, aggregate [`ServerReport`] (p50/p99, aggregate gates/s) |
+//! | [`server`] | [`Server`]: accept loops, pooled session jobs, per-session error isolation, graceful shutdown |
+//! | [`client`] | Evaluator-side drivers for tests and load generation |
+//!
+//! # Example: four engines, many concurrent sessions
+//!
+//! ```
+//! use haac_server::{client, Server, ServerConfig, SessionRequest};
+//! use haac_workloads::Scale;
+//!
+//! let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+//! // Two concurrent in-memory clients (real deployments use TCP).
+//! let handles: Vec<_> = ["DotProd", "Hamm"]
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, name)| {
+//!         let mut channel = server.connect();
+//!         let request =
+//!             SessionRequest { workload: name.into(), scale: Scale::Small, seed: i as u64 };
+//!         std::thread::spawn(move || client::run_session(&mut channel, &request).unwrap())
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     handle.join().unwrap();
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 2);
+//! assert_eq!(report.active, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod client;
+pub mod registry;
+pub mod request;
+pub mod server;
+
+pub use cache::{CachedWorkload, CircuitCache};
+pub use registry::{percentile, ServerReport, SessionId, SessionOutcome, SessionRegistry};
+pub use request::SessionRequest;
+pub use server::{Server, ServerConfig};

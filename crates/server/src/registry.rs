@@ -1,0 +1,246 @@
+//! The session registry: who is in flight, who finished, and how fast.
+//!
+//! Every accepted connection is registered before its job is queued and
+//! completed exactly once — success or failure — when the job ends
+//! (panics included; the server wraps session bodies in `catch_unwind`).
+//! Shutdown drains by waiting for the active set to empty, and the
+//! aggregate [`ServerReport`] is computed from the completed outcomes:
+//! total sessions, aggregate AND-gate throughput over the serving
+//! window, and p50/p99 session wall times.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use haac_runtime::SessionReport;
+
+/// Server-assigned identifier of one accepted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// The record of one finished session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The session's id.
+    pub id: SessionId,
+    /// Workload label (the request's workload once parsed, `"?"` if the
+    /// session died before naming one).
+    pub workload: String,
+    /// Server-side wall time from acceptance to completion (queue wait
+    /// included — what a client experiences under load).
+    pub elapsed: Duration,
+    /// The garbler-side report, or the failure rendered as a string.
+    pub result: Result<SessionReport, String>,
+}
+
+#[derive(Debug)]
+struct ActiveSession {
+    workload: String,
+    registered: Instant,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    next_id: u64,
+    active: HashMap<u64, ActiveSession>,
+    completed: Vec<SessionOutcome>,
+    /// When the first session was registered / the last one finished —
+    /// the serving window aggregate throughput is measured over.
+    first_registered: Option<Instant>,
+    last_finished: Option<Instant>,
+}
+
+/// Concurrent registry of in-flight and completed sessions.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    inner: Mutex<RegistryInner>,
+    drained: Condvar,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Registers a new in-flight session and returns its id.
+    pub fn register(&self, workload: &str) -> SessionId {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.next_id += 1;
+        let id = SessionId(inner.next_id);
+        let now = Instant::now();
+        inner.first_registered.get_or_insert(now);
+        inner
+            .active
+            .insert(id.0, ActiveSession { workload: workload.to_string(), registered: now });
+        id
+    }
+
+    /// Renames an in-flight session once its request names a workload.
+    pub fn set_workload(&self, id: SessionId, workload: &str) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(active) = inner.active.get_mut(&id.0) {
+            active.workload = workload.to_string();
+        }
+    }
+
+    /// Moves a session from active to completed (exactly once per id).
+    pub fn complete(&self, id: SessionId, result: Result<SessionReport, String>) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let Some(active) = inner.active.remove(&id.0) else {
+            debug_assert!(false, "{id} completed twice or never registered");
+            return;
+        };
+        let outcome = SessionOutcome {
+            id,
+            workload: active.workload,
+            elapsed: active.registered.elapsed(),
+            result,
+        };
+        inner.completed.push(outcome);
+        inner.last_finished = Some(Instant::now());
+        if inner.active.is_empty() {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Sessions currently in flight (queued or running).
+    pub fn active_sessions(&self) -> usize {
+        self.inner.lock().expect("registry lock").active.len()
+    }
+
+    /// Sessions registered so far, finished or not.
+    pub fn total_sessions(&self) -> u64 {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.completed.len() as u64 + inner.active.len() as u64
+    }
+
+    /// A snapshot of every finished session.
+    pub fn outcomes(&self) -> Vec<SessionOutcome> {
+        self.inner.lock().expect("registry lock").completed.clone()
+    }
+
+    /// Blocks until no session is in flight (or the deadline passes);
+    /// returns whether the registry drained.
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("registry lock");
+        while !inner.active.is_empty() {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self.drained.wait_timeout(inner, remaining).expect("registry lock");
+            inner = guard;
+        }
+        true
+    }
+
+    /// Aggregates the completed outcomes into a [`ServerReport`].
+    pub fn report(&self) -> ServerReport {
+        let inner = self.inner.lock().expect("registry lock");
+        let completed: Vec<&SessionOutcome> = inner.completed.iter().collect();
+        let succeeded: Vec<&SessionOutcome> =
+            completed.iter().copied().filter(|o| o.result.is_ok()).collect();
+        let total_and_tables: u64 =
+            succeeded.iter().map(|o| o.result.as_ref().map(|r| r.tables).unwrap_or(0)).sum();
+        let serving_secs = match (inner.first_registered, inner.last_finished) {
+            (Some(first), Some(last)) => last.saturating_duration_since(first).as_secs_f64(),
+            _ => 0.0,
+        };
+        let mut walls: Vec<f64> = succeeded.iter().map(|o| o.elapsed.as_secs_f64()).collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
+        ServerReport {
+            total_sessions: inner.completed.len() as u64 + inner.active.len() as u64,
+            completed: succeeded.len() as u64,
+            failed: (completed.len() - succeeded.len()) as u64,
+            active: inner.active.len(),
+            total_and_tables,
+            serving_secs,
+            aggregate_and_gates_per_sec: if serving_secs > 0.0 {
+                total_and_tables as f64 / serving_secs
+            } else {
+                0.0
+            },
+            p50_session_secs: percentile(&walls, 50.0),
+            p99_session_secs: percentile(&walls, 99.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending slice (0.0 when empty) —
+/// the definition behind every p50/p99 this workspace reports.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Aggregate accounting across every session a server has finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// Sessions ever registered (completed + failed + still active).
+    pub total_sessions: u64,
+    /// Sessions that finished successfully.
+    pub completed: u64,
+    /// Sessions that ended in an error (isolated; the server survived).
+    pub failed: u64,
+    /// Sessions still in flight when the report was taken.
+    pub active: usize,
+    /// AND tables streamed across all successful sessions.
+    pub total_and_tables: u64,
+    /// The serving window: first registration → last completion.
+    pub serving_secs: f64,
+    /// `total_and_tables / serving_secs` — the multiplexed throughput
+    /// the shared engine pool sustained across concurrent sessions.
+    pub aggregate_and_gates_per_sec: f64,
+    /// Median successful-session wall time (queue wait included).
+    pub p50_session_secs: f64,
+    /// 99th-percentile successful-session wall time.
+    pub p99_session_secs: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_moves_sessions_from_active_to_completed() {
+        let registry = SessionRegistry::new();
+        let a = registry.register("DotProd");
+        let b = registry.register("Hamm");
+        assert_eq!(registry.active_sessions(), 2);
+        registry.complete(a, Err("boom".into()));
+        assert_eq!(registry.active_sessions(), 1);
+        registry.complete(b, Err("also boom".into()));
+        assert!(registry.wait_drained(Duration::from_secs(1)));
+        let report = registry.report();
+        assert_eq!(report.total_sessions, 2);
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.active, 0);
+    }
+
+    #[test]
+    fn wait_drained_times_out_while_sessions_run() {
+        let registry = SessionRegistry::new();
+        let _id = registry.register("ReLU");
+        assert!(!registry.wait_drained(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let walls: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&walls, 50.0), 51.0);
+        assert_eq!(percentile(&walls, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The service-level handshake that precedes the GC protocol.
+//!
+//! A connecting evaluator first names the computation it wants — a VIP
+//! workload, a scale, and a garbling seed — and the server answers with
+//! an ack (or a refusal naming the reason). Only then does the standard
+//! streamed session (header, labels, OT, table chunks) begin, unchanged
+//! from `haac-runtime`.
+//!
+//! Frames reuse the wire discipline of the session layer: a 1-byte tag,
+//! explicit lengths, and hard caps on every untrusted length so a
+//! hostile request cannot drive allocation.
+
+use haac_runtime::{Channel, RuntimeError};
+use haac_workloads::Scale;
+
+/// Frame tag of a session request (client → server).
+const REQUEST_TAG: u8 = 0x71;
+/// Frame tag of the server's ack/refusal (server → client).
+const ACK_TAG: u8 = 0x61;
+
+/// Longest accepted workload name (the VIP names are all ≤ 8 bytes).
+const MAX_NAME: usize = 64;
+/// Longest refusal message shipped back to a client.
+const MAX_ACK_MESSAGE: usize = 512;
+
+/// What a connecting evaluator asks the server to compute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// VIP workload name (paper abbreviation, case-insensitive).
+    pub workload: String,
+    /// Workload scale to build/fetch.
+    pub scale: Scale,
+    /// Seed for the server's garbling randomness — deterministic
+    /// per-request transcripts, distinct across requests.
+    pub seed: u64,
+}
+
+fn scale_tag(scale: Scale) -> u8 {
+    match scale {
+        Scale::Small => 0,
+        Scale::Paper => 1,
+    }
+}
+
+fn scale_from_tag(tag: u8) -> Result<Scale, RuntimeError> {
+    match tag {
+        0 => Ok(Scale::Small),
+        1 => Ok(Scale::Paper),
+        other => Err(RuntimeError::protocol(format!("unknown scale tag {other}"))),
+    }
+}
+
+/// Sends a session request and flushes.
+///
+/// # Errors
+///
+/// Fails on transport errors or an over-long workload name.
+pub fn write_request<C: Channel + ?Sized>(
+    channel: &mut C,
+    request: &SessionRequest,
+) -> Result<(), RuntimeError> {
+    let name = request.workload.as_bytes();
+    if name.is_empty() || name.len() > MAX_NAME {
+        return Err(RuntimeError::protocol(format!(
+            "workload name must be 1..={MAX_NAME} bytes, got {}",
+            name.len()
+        )));
+    }
+    channel.send(&[REQUEST_TAG, name.len() as u8])?;
+    channel.send(name)?;
+    channel.send(&[scale_tag(request.scale)])?;
+    channel.send(&request.seed.to_le_bytes())?;
+    channel.flush()?;
+    Ok(())
+}
+
+/// Receives a session request (blocking).
+///
+/// # Errors
+///
+/// Fails on transport errors or malformed frames.
+pub fn read_request<C: Channel + ?Sized>(channel: &mut C) -> Result<SessionRequest, RuntimeError> {
+    let mut head = [0u8; 2];
+    channel.recv_exact(&mut head)?;
+    if head[0] != REQUEST_TAG {
+        return Err(RuntimeError::protocol(format!(
+            "expected a session request, received frame tag {}",
+            head[0]
+        )));
+    }
+    let name_len = head[1] as usize;
+    if name_len == 0 || name_len > MAX_NAME {
+        return Err(RuntimeError::protocol(format!(
+            "workload name length {name_len} out of range"
+        )));
+    }
+    let mut name = vec![0u8; name_len];
+    channel.recv_exact(&mut name)?;
+    let workload = String::from_utf8(name)
+        .map_err(|_| RuntimeError::protocol("workload name is not UTF-8"))?;
+    let mut tail = [0u8; 9];
+    channel.recv_exact(&mut tail)?;
+    let scale = scale_from_tag(tail[0])?;
+    let seed = u64::from_le_bytes(tail[1..9].try_into().expect("8 bytes"));
+    Ok(SessionRequest { workload, scale, seed })
+}
+
+/// Sends the server's answer to a request — `Ok` to proceed, `Err` with
+/// a reason to refuse — and flushes.
+///
+/// # Errors
+///
+/// Fails on transport errors.
+pub fn write_ack<C: Channel + ?Sized>(
+    channel: &mut C,
+    verdict: Result<(), &str>,
+) -> Result<(), RuntimeError> {
+    let message = match verdict {
+        Ok(()) => &[][..],
+        Err(reason) => {
+            let bytes = reason.as_bytes();
+            &bytes[..bytes.len().min(MAX_ACK_MESSAGE)]
+        }
+    };
+    channel.send(&[ACK_TAG, u8::from(verdict.is_err())])?;
+    channel.send(&(message.len() as u16).to_le_bytes())?;
+    channel.send(message)?;
+    channel.flush()?;
+    Ok(())
+}
+
+/// Receives the server's ack; a refusal becomes a protocol error
+/// carrying the server's reason.
+///
+/// # Errors
+///
+/// Fails on transport errors, malformed frames, or a server refusal.
+pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<(), RuntimeError> {
+    let mut head = [0u8; 4];
+    channel.recv_exact(&mut head)?;
+    if head[0] != ACK_TAG {
+        return Err(RuntimeError::protocol(format!(
+            "expected a session ack, received frame tag {}",
+            head[0]
+        )));
+    }
+    let len = u16::from_le_bytes([head[2], head[3]]) as usize;
+    if len > MAX_ACK_MESSAGE {
+        return Err(RuntimeError::protocol(format!("ack message length {len} out of range")));
+    }
+    let mut message = vec![0u8; len];
+    channel.recv_exact(&mut message)?;
+    match head[1] {
+        0 => Ok(()),
+        _ => Err(RuntimeError::protocol(format!(
+            "server refused the session: {}",
+            String::from_utf8_lossy(&message)
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haac_runtime::MemChannel;
+
+    #[test]
+    fn requests_round_trip() {
+        let (mut a, mut b) = MemChannel::pair();
+        let request =
+            SessionRequest { workload: "DotProd".into(), scale: Scale::Small, seed: 0xFEED };
+        write_request(&mut a, &request).unwrap();
+        assert_eq!(read_request(&mut b).unwrap(), request);
+    }
+
+    #[test]
+    fn acks_round_trip() {
+        let (mut a, mut b) = MemChannel::pair();
+        write_ack(&mut a, Ok(())).unwrap();
+        assert!(read_ack(&mut b).is_ok());
+        write_ack(&mut a, Err("no such workload")).unwrap();
+        let err = read_ack(&mut b).unwrap_err();
+        assert!(err.to_string().contains("no such workload"), "{err}");
+    }
+
+    #[test]
+    fn oversized_names_are_rejected_by_the_writer() {
+        let (mut a, _b) = MemChannel::pair();
+        let request = SessionRequest { workload: "x".repeat(65), scale: Scale::Small, seed: 0 };
+        assert!(write_request(&mut a, &request).is_err());
+    }
+
+    #[test]
+    fn wrong_tag_is_a_protocol_error() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[0xFFu8, 1]).unwrap();
+        a.send(b"x").unwrap();
+        a.send(&[0u8]).unwrap();
+        a.send(&0u64.to_le_bytes()).unwrap();
+        a.flush().unwrap();
+        assert!(read_request(&mut b).is_err());
+    }
+}

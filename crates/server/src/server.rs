@@ -1,0 +1,286 @@
+//! The multi-session garbling server.
+//!
+//! One [`Server`] owns a bounded [`EnginePool`] and multiplexes every
+//! accepted evaluator connection onto it: a connection is registered,
+//! its session job queued, and the next free gate-engine worker drives
+//! the whole garbler side ([`read_request`] → circuit-cache fetch → ack
+//! → [`run_garbler`]) over that connection's channel. Concurrency is
+//! bounded by the pool — 32 clients on a 4-engine pool run four at a
+//! time while the rest queue — and no thread is ever spawned per
+//! session.
+//!
+//! Failure is isolated per session: a malformed request, a hostile
+//! frame, a mid-protocol disconnect, or even a panic inside the session
+//! body is caught, recorded as a failed [`SessionOutcome`], and the
+//! worker moves on to the next queued session.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use haac_gc::EnginePool;
+use haac_runtime::{
+    run_garbler, Channel, MemChannel, RuntimeError, SessionReport, TcpChannel,
+    DEFAULT_MEM_CHANNEL_CAPACITY,
+};
+use haac_workloads::WorkloadKind;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::cache::CircuitCache;
+use crate::registry::{ServerReport, SessionId, SessionRegistry};
+use crate::request::{read_request, write_ack};
+
+/// Sizing and draining knobs for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Gate-engine worker threads shared by all sessions.
+    pub workers: usize,
+    /// Per-direction capacity (flushed messages) of in-memory client
+    /// channels created by [`Server::connect`].
+    pub mem_capacity: usize,
+    /// How long [`Server::shutdown`] waits for in-flight sessions.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            mem_capacity: DEFAULT_MEM_CHANNEL_CAPACITY,
+            drain_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Everything the accept loops and session jobs share.
+#[derive(Debug)]
+struct ServerShared {
+    registry: SessionRegistry,
+    cache: CircuitCache,
+    accepting: AtomicBool,
+}
+
+/// A long-lived garbling service multiplexing many two-party sessions
+/// over one shared gate-engine pool.
+///
+/// # Examples
+///
+/// ```
+/// use haac_server::{client, Server, ServerConfig, SessionRequest};
+/// use haac_workloads::Scale;
+///
+/// let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+/// let mut channel = server.connect();
+/// let request = SessionRequest { workload: "DotProd".into(), scale: Scale::Small, seed: 7 };
+/// let report = client::run_session(&mut channel, &request).unwrap();
+/// assert!(!report.outputs.is_empty());
+/// let report = server.shutdown();
+/// assert_eq!(report.completed, 1);
+/// assert_eq!(report.active, 0);
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    pool: Arc<EnginePool>,
+    shared: Arc<ServerShared>,
+    config: ServerConfig,
+    listeners: Vec<ListenerHandle>,
+}
+
+#[derive(Debug)]
+struct ListenerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Starts the engine pool; the server serves nothing until channels
+    /// are submitted ([`connect`](Server::connect) /
+    /// [`submit`](Server::submit)) or a listener is bound
+    /// ([`listen_tcp`](Server::listen_tcp)).
+    pub fn new(config: ServerConfig) -> Server {
+        Server {
+            pool: Arc::new(EnginePool::new(config.workers)),
+            shared: Arc::new(ServerShared {
+                registry: SessionRegistry::new(),
+                cache: CircuitCache::new(),
+                accepting: AtomicBool::new(true),
+            }),
+            config,
+            listeners: Vec::new(),
+        }
+    }
+
+    /// Gate-engine workers in the shared pool.
+    pub fn workers(&self) -> usize {
+        self.pool.engines()
+    }
+
+    /// The session registry (active counts, completed outcomes).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.shared.registry
+    }
+
+    /// The circuit cache (hit/miss counters, resident builds).
+    pub fn cache(&self) -> &CircuitCache {
+        &self.shared.cache
+    }
+
+    /// Accepts an already-connected evaluator channel: registers a
+    /// session and queues it on the engine pool. Returns immediately.
+    pub fn submit(&self, channel: Box<dyn Channel + Send>) -> SessionId {
+        submit_on(&self.pool, &self.shared, channel)
+    }
+
+    /// Connects an in-memory client: the server end becomes a queued
+    /// session, the returned end is the client's channel.
+    pub fn connect(&self) -> MemChannel {
+        let (client_end, server_end) = MemChannel::pair_bounded(self.config.mem_capacity);
+        self.submit(Box::new(server_end));
+        client_end
+    }
+
+    /// Binds a TCP listener and serves every accepted connection as a
+    /// session. Returns the bound address (use port 0 for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn listen_tcp(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let pool = Arc::clone(&self.pool);
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::Builder::new()
+            .name(format!("haac-accept-{local}"))
+            .spawn(move || accept_loop(&listener, &pool, &shared))
+            .expect("spawn accept thread");
+        self.listeners.push(ListenerHandle { addr: local, thread });
+        Ok(local)
+    }
+
+    /// The aggregate report over everything finished so far.
+    pub fn report(&self) -> ServerReport {
+        self.shared.registry.report()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight sessions (up
+    /// to `drain_timeout`), join the engine pool, and return the final
+    /// aggregate report. If sessions are still stuck past the deadline
+    /// the pool is leaked rather than hanging the caller; the report's
+    /// `active` field says so.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        for listener in self.listeners.drain(..) {
+            // Wake the blocking accept with a throwaway connection. A
+            // wildcard bind address (0.0.0.0 / ::) is not connectable
+            // on every platform, so route the wake via loopback.
+            let mut wake = listener.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake {
+                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+            let _ = listener.thread.join();
+        }
+        let drained = self.shared.registry.wait_drained(self.config.drain_timeout);
+        let report = self.shared.registry.report();
+        let pool = Arc::clone(&self.pool);
+        drop(self.pool);
+        if drained {
+            drop(pool); // joins the workers: the queue is empty
+        } else {
+            // Workers are stuck inside sessions (e.g. a client that
+            // connected and went silent); joining would hang forever.
+            std::mem::forget(pool);
+        }
+        report
+    }
+}
+
+fn accept_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => Some(stream),
+            // Transient accept failures (ECONNABORTED, fd exhaustion
+            // during a burst, ...) must not kill the listener; back off
+            // briefly so a persistent error cannot spin the thread.
+            Err(_) => None,
+        };
+        if !shared.accepting.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up (or anything racing it)
+        }
+        let Some(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        match TcpChannel::from_stream(stream) {
+            Ok(channel) => {
+                submit_on(pool, shared, Box::new(channel));
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn submit_on(
+    pool: &EnginePool,
+    shared: &Arc<ServerShared>,
+    channel: Box<dyn Channel + Send>,
+) -> SessionId {
+    let id = shared.registry.register("?");
+    let shared = Arc::clone(shared);
+    pool.spawn(move || {
+        let mut channel = channel;
+        // One poisoned session must not take down the server: protocol
+        // errors and panics alike end as a recorded failed outcome.
+        let outcome = catch_unwind(AssertUnwindSafe(|| session_body(&shared, id, &mut *channel)));
+        let result = match outcome {
+            Ok(result) => result.map_err(|e| e.to_string()),
+            Err(_) => Err("session panicked (contained by the worker)".to_string()),
+        };
+        shared.registry.complete(id, result);
+    });
+    id
+}
+
+/// One full garbler-side session: request → cache fetch → ack → GC.
+fn session_body(
+    shared: &ServerShared,
+    id: SessionId,
+    channel: &mut (dyn Channel + Send),
+) -> Result<SessionReport, RuntimeError> {
+    let request = read_request(channel)?;
+    let Some(kind) = WorkloadKind::from_name(&request.workload) else {
+        let reason = format!("unknown workload {:?}", request.workload);
+        let _ = write_ack(channel, Err(&reason));
+        return Err(RuntimeError::protocol(reason));
+    };
+    shared.registry.set_workload(id, kind.name());
+    let cached = shared.cache.get(kind, request.scale);
+    write_ack(channel, Ok(()))?;
+
+    let mut rng = StdRng::seed_from_u64(request.seed);
+    let report = run_garbler(
+        &cached.workload.circuit,
+        &cached.workload.garbler_bits,
+        &mut rng,
+        &cached.config,
+        channel,
+    )?;
+    // The service computes the canonical VIP sample: the outputs the
+    // evaluator shares back must decode to the plaintext reference, so
+    // every completed session doubles as an end-to-end correctness
+    // check.
+    if report.outputs != cached.workload.expected {
+        return Err(RuntimeError::protocol(format!(
+            "{} outputs diverge from the plaintext reference",
+            kind.name()
+        )));
+    }
+    Ok(report)
+}

@@ -1,0 +1,151 @@
+//! Integration tests: concurrent sessions, error isolation, the
+//! circuit cache, TCP serving, and graceful shutdown.
+
+use std::time::Duration;
+
+use haac_runtime::Channel;
+use haac_server::{client, Server, ServerConfig, SessionRequest};
+use haac_workloads::{build, Scale, WorkloadKind};
+
+fn request(name: &str, seed: u64) -> SessionRequest {
+    SessionRequest { workload: name.into(), scale: Scale::Small, seed }
+}
+
+#[test]
+fn concurrent_mem_sessions_share_the_pool_and_cache() {
+    // 8 concurrent clients, 2 engines: sessions queue and multiplex.
+    let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let names = ["DotProd", "Hamm", "DotProd", "ReLU", "Hamm", "DotProd", "ReLU", "Hamm"];
+    let handles: Vec<_> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut channel = server.connect();
+            let request = request(name, 100 + i as u64);
+            std::thread::spawn(move || client::run_session(&mut channel, &request))
+        })
+        .collect();
+    for handle in handles {
+        let report = handle.join().expect("client thread").expect("session succeeds");
+        assert!(report.tables > 0);
+    }
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    // 3 distinct workloads built once each; the other 5 were cache hits.
+    assert_eq!(server.cache().len(), 3);
+    assert_eq!(server.cache().misses(), 3);
+    assert_eq!(server.cache().hits(), 5);
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, 8);
+    assert_eq!(report.completed, 8);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.active, 0, "registry must end empty");
+    assert!(report.aggregate_and_gates_per_sec > 0.0);
+    assert!(report.p50_session_secs > 0.0);
+    assert!(report.p99_session_secs >= report.p50_session_secs);
+}
+
+#[test]
+fn tcp_sessions_run_end_to_end() {
+    let mut server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind ephemeral port");
+    let dot = build(WorkloadKind::DotProduct, Scale::Small);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let workload = &dot;
+            std::thread::spawn({
+                let workload = build(workload.kind, Scale::Small);
+                move || client::run_tcp_session_with(addr, &request("DotProd", i), &workload)
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread").expect("tcp session succeeds");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.active, 0);
+}
+
+#[test]
+fn poisoned_sessions_are_isolated_from_healthy_ones() {
+    let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+
+    // Session 1: a healthy client, before any poison.
+    let mut healthy = server.connect();
+    let first = client::run_session(&mut healthy, &request("DotProd", 1)).unwrap();
+
+    // Session 2: garbage instead of a request frame.
+    let mut garbage = server.connect();
+    garbage.send(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    garbage.flush().unwrap();
+    drop(garbage);
+
+    // Session 3: a valid request for a workload that does not exist —
+    // the server must refuse with a reason, not die.
+    let mut unknown = server.connect();
+    let err = client::run_session_with(
+        &mut unknown,
+        &request("NoSuchThing", 2),
+        &build(WorkloadKind::DotProduct, Scale::Small),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("refused"), "{err}");
+
+    // Session 4: hangs up mid-protocol (right after the request).
+    let mut quitter = server.connect();
+    haac_server::request::write_request(&mut quitter, &request("Hamm", 3)).unwrap();
+    drop(quitter);
+
+    // Session 5: healthy again — the server survived all of the above.
+    let mut healthy = server.connect();
+    let last = client::run_session(&mut healthy, &request("DotProd", 4)).unwrap();
+    assert_eq!(first.outputs, last.outputs, "same sample inputs, same outputs");
+
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, 5);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.failed, 3);
+    assert_eq!(report.active, 0);
+}
+
+#[test]
+fn outcomes_record_failures_with_reasons() {
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut unknown = server.connect();
+    let _ = client::run_session_with(
+        &mut unknown,
+        &request("Bogus", 0),
+        &build(WorkloadKind::DotProduct, Scale::Small),
+    );
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let outcomes = server.registry().outcomes();
+    assert_eq!(outcomes.len(), 1);
+    let failure = outcomes[0].result.as_ref().unwrap_err();
+    assert!(failure.contains("unknown workload"), "{failure}");
+    server.shutdown();
+}
+
+#[test]
+fn same_seed_same_transcript_distinct_seeds_distinct_bytes() {
+    // The service is deterministic per request: byte counts (and
+    // outputs) repeat for a repeated seed.
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut a = server.connect();
+    let ra = client::run_session(&mut a, &request("DotProd", 42)).unwrap();
+    let mut b = server.connect();
+    let rb = client::run_session(&mut b, &request("DotProd", 42)).unwrap();
+    assert_eq!(ra.outputs, rb.outputs);
+    assert_eq!(ra.bytes_received, rb.bytes_received);
+    assert_eq!(ra.tables, rb.tables);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_reports_even_with_no_sessions() {
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, 0);
+    assert_eq!(report.aggregate_and_gates_per_sec, 0.0);
+    assert_eq!(report.p99_session_secs, 0.0);
+}

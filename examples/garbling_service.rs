@@ -1,0 +1,71 @@
+//! A miniature deployment of the multi-session garbling service.
+//!
+//! Starts a server with a 4-engine pool serving TCP on an ephemeral
+//! loopback port, drives a burst of concurrent evaluator clients over
+//! the VIP workload mix (half over TCP, half in-process), then shuts
+//! down gracefully and prints the aggregate report.
+//!
+//! Run with: `cargo run --release --example garbling_service`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use haac::prelude::*;
+use haac::server::client;
+
+fn main() {
+    let mut server = Server::new(ServerConfig { workers: 4, ..ServerConfig::default() });
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind a loopback port");
+    println!("garbling service up: 4 engines, listening on {addr}");
+
+    // A burst of 12 concurrent clients cycling three workloads.
+    let mix = [WorkloadKind::DotProduct, WorkloadKind::Hamming, WorkloadKind::Relu];
+    let built: Vec<Arc<_>> =
+        mix.iter().map(|&k| Arc::new(build_workload(k, Scale::Small))).collect();
+    let start = Instant::now();
+    let clients: Vec<_> = (0..12)
+        .map(|i| {
+            let kind = mix[i % mix.len()];
+            let workload = Arc::clone(&built[i % mix.len()]);
+            let mem_channel = (i % 2 == 0).then(|| server.connect());
+            std::thread::spawn(move || {
+                let request = SessionRequest {
+                    workload: kind.name().into(),
+                    scale: Scale::Small,
+                    seed: i as u64,
+                };
+                let report = match mem_channel {
+                    Some(mut channel) => {
+                        client::run_session_with(&mut channel, &request, &workload)
+                    }
+                    None => client::run_tcp_session_with(addr, &request, &workload),
+                }
+                .expect("session succeeds");
+                (kind, report)
+            })
+        })
+        .collect();
+    for client in clients {
+        let (kind, report) = client.join().expect("client thread");
+        println!(
+            "  {:8} ✓ {:6} AND tables, {:9.0} gates/s (evaluator side)",
+            kind.name(),
+            report.tables,
+            report.and_gates_per_sec()
+        );
+    }
+    println!("burst completed in {:.1?}", start.elapsed());
+
+    let summary = server.shutdown();
+    println!(
+        "served {} sessions ({} ok, {} failed) · aggregate {:.0} AND-gates/s · p50 {:.1} ms · p99 {:.1} ms",
+        summary.total_sessions,
+        summary.completed,
+        summary.failed,
+        summary.aggregate_and_gates_per_sec,
+        summary.p50_session_secs * 1e3,
+        summary.p99_session_secs * 1e3,
+    );
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.active, 0);
+}

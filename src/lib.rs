@@ -11,6 +11,7 @@
 //! | [`circuit`] | Boolean circuit IR, synthesis frontend (EMP equivalent), Bristol I/O, AES/FP32 generators |
 //! | [`gc`] | Half-gate garbling with FreeXOR and re-keyed hashing (the "CPU GC" baseline), streaming garble/evaluate, base OT |
 //! | [`runtime`] | Streaming two-party execution: pluggable channels (in-memory, TCP), framed table streaming, sessions |
+//! | [`server`] | Multi-session garbling service: concurrent evaluator connections multiplexed over a shared gate-engine pool, with a circuit cache and session registry |
 //! | [`workloads`] | The eight VIP-Bench workloads + Table 5 microbenchmarks |
 //! | [`core`] | The HAAC ISA, optimizing compiler, cycle-level simulator, area/power/energy model |
 //!
@@ -51,6 +52,7 @@ pub use haac_circuit as circuit;
 pub use haac_core as core;
 pub use haac_gc as gc;
 pub use haac_runtime as runtime;
+pub use haac_server as server;
 pub use haac_workloads as workloads;
 
 /// The most common imports in one place.
@@ -68,6 +70,7 @@ pub mod prelude {
         run_evaluator, run_garbler, run_local_session, run_tcp_session, Channel, MemChannel,
         SessionConfig, SessionReport, TcpChannel,
     };
+    pub use haac_server::{Server, ServerConfig, ServerReport, SessionRequest};
     pub use haac_workloads::{build as build_workload, Scale, WorkloadKind};
 }
 

@@ -57,3 +57,30 @@ fn parallel_garbling_still_evaluates_correctly() {
     let decoded = haac::gc::decode_outputs(&out, &g.garbled.output_decode);
     assert_eq!(decoded, w.expected);
 }
+
+#[test]
+fn shared_pool_transcripts_match_single_engine_on_all_workloads() {
+    // One persistent EnginePool garbles every VIP workload in turn —
+    // the multi-session server's execution model — and each transcript
+    // must still be bit-identical to single-engine garbling.
+    let pool = haac::gc::EnginePool::new(4);
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, Scale::Small);
+        let seed = 0xE27 ^ kind.name().len() as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference = garble(&w.circuit, &mut rng, HashScheme::Rekeyed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lookahead = haac::core::WindowModel::new(4096).gate_lookahead();
+        let pooled = haac::gc::garble_parallel_in(
+            &w.circuit,
+            &mut rng,
+            HashScheme::Rekeyed,
+            lookahead,
+            &pool,
+        );
+        assert_eq!(pooled.delta, reference.delta, "{}", kind.name());
+        assert_eq!(pooled.wire_zero_labels, reference.wire_zero_labels, "{}", kind.name());
+        assert_eq!(pooled.garbled, reference.garbled, "{}", kind.name());
+        assert_eq!(pooled.crypto, reference.crypto, "{}", kind.name());
+    }
+}

@@ -1,0 +1,170 @@
+//! Stress/soak test: many concurrent mixed-workload sessions through
+//! the multi-session server on a deliberately small gate-engine pool.
+//!
+//! 32 clients (in-memory and TCP mixed) demand all eight VIP workloads
+//! at once from a 3-engine pool, so sessions queue, multiplex, and
+//! contend for the circuit cache. Every session must complete with
+//! outputs bit-identical to the plaintext reference (checked client-
+//! and server-side), and the registry must end empty. A second round
+//! mixes poisoned clients in and asserts they are isolated without
+//! disturbing a single healthy session.
+
+use std::time::Duration;
+
+use haac::server::{client, Server, ServerConfig, SessionRequest};
+use haac::workloads::{build, Scale, Workload, WorkloadKind};
+use haac_runtime::Channel;
+use std::sync::Arc;
+
+const SESSIONS: usize = 32;
+const WORKERS: usize = 3;
+
+fn prebuilt_mix() -> Vec<(WorkloadKind, Arc<Workload>)> {
+    WorkloadKind::ALL.iter().map(|&k| (k, Arc::new(build(k, Scale::Small)))).collect()
+}
+
+#[test]
+fn soak_32_mixed_sessions_on_a_3_engine_pool() {
+    let built = prebuilt_mix();
+    let mut server = Server::new(ServerConfig { workers: WORKERS, ..ServerConfig::default() });
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind ephemeral port");
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let (kind, workload) = &built[i % built.len()];
+            let kind = *kind;
+            let workload = Arc::clone(workload);
+            let request = SessionRequest {
+                workload: kind.name().into(),
+                scale: Scale::Small,
+                seed: 9_000 + i as u64,
+            };
+            // Alternate transports: even sessions in-memory, odd over
+            // real loopback TCP.
+            let mem_channel = (i % 2 == 0).then(|| server.connect());
+            std::thread::Builder::new()
+                .name(format!("stress-client-{i}"))
+                .spawn(move || match mem_channel {
+                    Some(mut channel) => {
+                        client::run_session_with(&mut channel, &request, &workload)
+                    }
+                    None => client::run_tcp_session_with(addr, &request, &workload),
+                })
+                .expect("spawn stress client")
+        })
+        .collect();
+
+    for (i, handle) in handles.into_iter().enumerate() {
+        let report = handle.join().expect("client thread survived");
+        let report = report.unwrap_or_else(|e| panic!("session {i} failed: {e}"));
+        // run_session_with already asserted outputs == plaintext
+        // reference; spot-check the accounting is real.
+        assert!(report.tables > 0, "session {i} streamed no tables");
+        assert!(report.bytes_received > 0, "session {i} received nothing");
+    }
+
+    assert!(
+        server.registry().wait_drained(Duration::from_secs(120)),
+        "registry failed to drain: {} still active",
+        server.registry().active_sessions()
+    );
+    assert_eq!(server.registry().active_sessions(), 0, "registry must end empty");
+    // Eight distinct builds, everything else served from the cache.
+    assert_eq!(server.cache().misses(), WorkloadKind::ALL.len() as u64);
+    assert_eq!(server.cache().hits(), (SESSIONS - WorkloadKind::ALL.len()) as u64);
+
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, SESSIONS as u64);
+    assert_eq!(report.completed, SESSIONS as u64);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.active, 0);
+    assert!(report.aggregate_and_gates_per_sec > 0.0);
+    assert!(
+        report.p99_session_secs >= report.p50_session_secs,
+        "p99 {} < p50 {}",
+        report.p99_session_secs,
+        report.p50_session_secs
+    );
+}
+
+#[test]
+fn soak_with_poisoned_clients_isolates_failures_under_load() {
+    const HEALTHY: usize = 12;
+    const POISONED: usize = 6;
+    let built = prebuilt_mix();
+    let server = Server::new(ServerConfig { workers: WORKERS, ..ServerConfig::default() });
+
+    // Poisoned clients: garbage frames, refusable requests, and
+    // mid-protocol hangups, interleaved with healthy load.
+    let mut poison_handles = Vec::new();
+    for i in 0..POISONED {
+        let mut channel = server.connect();
+        poison_handles.push(
+            std::thread::Builder::new()
+                .name(format!("poison-{i}"))
+                .spawn(move || match i % 3 {
+                    0 => {
+                        // Garbage instead of a request.
+                        channel.send(&[0xBA; 32]).unwrap();
+                        channel.flush().unwrap();
+                    }
+                    1 => {
+                        // A request the server must refuse.
+                        let request = SessionRequest {
+                            workload: "NotAWorkload".into(),
+                            scale: Scale::Small,
+                            seed: 0,
+                        };
+                        let _ = haac::server::request::write_request(&mut channel, &request);
+                    }
+                    _ => {
+                        // Valid request, then hang up before the OT.
+                        let request = SessionRequest {
+                            workload: "Hamm".into(),
+                            scale: Scale::Small,
+                            seed: 5,
+                        };
+                        let _ = haac::server::request::write_request(&mut channel, &request);
+                    }
+                })
+                .expect("spawn poison client"),
+        );
+    }
+
+    let healthy_handles: Vec<_> = (0..HEALTHY)
+        .map(|i| {
+            let (kind, workload) = &built[i % built.len()];
+            let kind = *kind;
+            let workload = Arc::clone(workload);
+            let mut channel = server.connect();
+            std::thread::Builder::new()
+                .name(format!("healthy-{i}"))
+                .spawn(move || {
+                    let request = SessionRequest {
+                        workload: kind.name().into(),
+                        scale: Scale::Small,
+                        seed: 7_000 + i as u64,
+                    };
+                    client::run_session_with(&mut channel, &request, &workload)
+                })
+                .expect("spawn healthy client")
+        })
+        .collect();
+
+    for handle in poison_handles {
+        handle.join().expect("poison client survived");
+    }
+    for (i, handle) in healthy_handles.into_iter().enumerate() {
+        handle
+            .join()
+            .expect("healthy client thread")
+            .unwrap_or_else(|e| panic!("healthy session {i} failed beside poison: {e}"));
+    }
+
+    assert!(server.registry().wait_drained(Duration::from_secs(120)));
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, (HEALTHY + POISONED) as u64);
+    assert_eq!(report.completed, HEALTHY as u64);
+    assert_eq!(report.failed, POISONED as u64);
+    assert_eq!(report.active, 0, "registry must end empty");
+}

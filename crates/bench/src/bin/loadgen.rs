@@ -25,8 +25,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use haac_runtime::SessionConfig;
 use haac_server::{client, percentile, Server, ServerConfig, SessionRequest};
-use haac_workloads::{build, Scale, Workload, WorkloadKind};
+use haac_workloads::{Scale, Workload, WorkloadKind};
 use serde::Serialize;
 
 /// The VIP mix sessions cycle through (paper Table 2 order).
@@ -132,12 +133,17 @@ fn cold_session(kind: WorkloadKind, seed: u64) -> SessionRow {
     }
 }
 
-fn warm_session(server: &Server, kind: WorkloadKind, workload: &Workload, seed: u64) -> SessionRow {
+fn warm_session(
+    server: &Server,
+    kind: WorkloadKind,
+    prepared: &(Workload, SessionConfig),
+    seed: u64,
+) -> SessionRow {
     let start = Instant::now();
     let mut channel = server.connect();
     let request = SessionRequest { workload: kind.name().into(), scale: Scale::Small, seed };
-    let report =
-        client::run_session_with(&mut channel, &request, workload).expect("warm session succeeds");
+    let report = client::run_session_with(&mut channel, &request, &prepared.0, &prepared.1)
+        .expect("warm session succeeds");
     let wall = start.elapsed();
     SessionRow {
         workload: kind.name(),
@@ -171,11 +177,12 @@ fn main() {
         distinct.iter().enumerate().map(|(i, &k)| cold_session(k, 1_000 + i as u64)).collect();
     let cold = phase_report(&cold_rows, cold_start.elapsed());
 
-    // Shared client-side builds for the warm phases (a warm client
-    // caches exactly like the warm server does).
-    let prebuilt: Vec<Arc<Workload>> =
-        distinct.iter().map(|&k| Arc::new(build(k, Scale::Small))).collect();
-    let workload_of = |kind: WorkloadKind| -> Arc<Workload> {
+    // Shared client-side builds + lowered plans for the warm phases (a
+    // warm client caches exactly like the warm server does: circuit,
+    // reference outputs, and the streaming plan, once per workload).
+    let prebuilt: Vec<Arc<(Workload, SessionConfig)>> =
+        distinct.iter().map(|&k| Arc::new(client::prepare(k, Scale::Small))).collect();
+    let workload_of = |kind: WorkloadKind| -> Arc<(Workload, SessionConfig)> {
         let at = distinct.iter().position(|&k| k == kind).expect("kind in mix");
         Arc::clone(&prebuilt[at])
     };
@@ -207,7 +214,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &k)| {
-            let workload = workload_of(k);
+            let prepared = workload_of(k);
             let mut channel = server.connect();
             std::thread::Builder::new()
                 .name(format!("loadgen-client-{i}"))
@@ -218,8 +225,9 @@ fn main() {
                         scale: Scale::Small,
                         seed: 3_000 + i as u64,
                     };
-                    let report = client::run_session_with(&mut channel, &request, &workload)
-                        .expect("concurrent session succeeds");
+                    let report =
+                        client::run_session_with(&mut channel, &request, &prepared.0, &prepared.1)
+                            .expect("concurrent session succeeds");
                     let wall = start.elapsed();
                     SessionRow {
                         workload: k.name(),

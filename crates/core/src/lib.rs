@@ -13,6 +13,9 @@
 //!   turns all off-chip traffic into compiler-known streams.
 //! - [`window`]: the sliding-wire-window address discipline shared by
 //!   every layer.
+//! - [`lower`]: [`lower_for_streaming`] — the reorder → rename →
+//!   window-size pipeline producing the cached [`StreamingPlan`] that
+//!   drives the gc layer's slot-slab streaming executors.
 //! - [`exec`]: functional execution of compiled programs through the
 //!   modeled memory system, validating compiler correctness against
 //!   plaintext/GC semantics.
@@ -54,12 +57,14 @@
 pub mod compiler;
 pub mod exec;
 pub mod isa;
+pub mod lower;
 pub mod model;
 pub mod sim;
 pub mod window;
 
 pub use compiler::{compile, ReorderKind};
 pub use isa::{Instruction, Opcode, Program};
+pub use lower::{lower_for_streaming, plan_from_program, slot_stream, StreamingPlan};
 pub use sim::{DramKind, HaacConfig, Role, SimReport};
 pub use window::WindowModel;
 

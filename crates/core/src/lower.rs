@@ -1,0 +1,220 @@
+//! Lowering circuits for slot-addressed streaming execution.
+//!
+//! The gc hot path historically ran on the raw netlist with a
+//! hash-mapped label store; the HAAC co-design says that is money left
+//! on the table — once the compiler has reordered and renamed a
+//! program, labels can live in a tagless scratchpad indexed by
+//! `addr % window` and the window size is a *static* property of the
+//! program. [`lower_for_streaming`] runs that pipeline once per
+//! circuit (reorder → rename → window-size) and returns a
+//! [`StreamingPlan`] that sessions reuse: the renamed instruction
+//! stream ([`haac_gc::SlotProgram`]), the [`WindowModel`] sized so
+//! every operand read is in-window (zero OoR traffic), and the static
+//! peak-live residency — so warm sessions skip the per-session
+//! liveness analysis entirely.
+//!
+//! The default lowering keeps the **baseline** gate order, which
+//! preserves table order and per-gate tweaks: transcripts are
+//! bit-identical to garbling the raw netlist. Reordered plans
+//! ([`plan_from_program`] over a [`crate::compiler`] reorder) are valid
+//! protocols when both parties lower identically, but change the
+//! transcript relative to the raw circuit.
+
+use haac_circuit::Circuit;
+use haac_gc::{SlotInstr, SlotOp, SlotProgram};
+
+use crate::compiler::assemble;
+use crate::isa::{Instruction, Opcode, Program, OOR_SENTINEL};
+use crate::window::WindowModel;
+
+/// A circuit lowered once for streaming execution: everything a session
+/// needs beyond fresh randomness, cacheable and shareable across
+/// sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingPlan {
+    /// The renamed instruction stream driving the slot-slab executors.
+    pub program: SlotProgram,
+    /// The window the slab is provisioned with — the smallest power of
+    /// two under which every read of this program hits the SWW.
+    pub window: WindowModel,
+}
+
+impl StreamingPlan {
+    /// Static peak-live residency of the renamed program (what the
+    /// liveness-retired store would measure dynamically).
+    #[inline]
+    pub fn peak_live(&self) -> usize {
+        self.program.peak_live()
+    }
+
+    /// AND instructions (= garbled tables a session streams).
+    #[inline]
+    pub fn and_count(&self) -> usize {
+        self.program.and_count()
+    }
+}
+
+/// Iterator adapting a renamed [`Program`]'s instructions into the gc
+/// layer's slot-instruction stream.
+///
+/// Yields an error for instructions a streaming executor cannot run:
+/// NOPs (pipeline filler has no streaming meaning) and OoR-sentinel
+/// operands (plans must be built *before* [`mark_out_of_range`]
+/// rewrites operands — the slab window is sized so nothing is OoR).
+///
+/// [`mark_out_of_range`]: crate::compiler::mark_out_of_range
+#[derive(Debug, Clone)]
+pub struct SlotStream<'p> {
+    instrs: std::slice::Iter<'p, Instruction>,
+    index: usize,
+}
+
+/// Adapts a renamed program's instruction stream for the slot-slab
+/// executors (one [`SlotInstr`] per instruction, in program order).
+pub fn slot_stream(program: &Program) -> SlotStream<'_> {
+    SlotStream { instrs: program.instructions.iter(), index: 0 }
+}
+
+impl Iterator for SlotStream<'_> {
+    type Item = Result<SlotInstr, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let instr = self.instrs.next()?;
+        let i = self.index;
+        self.index += 1;
+        let op = match instr.op {
+            Opcode::And => SlotOp::And,
+            Opcode::Xor => SlotOp::Xor,
+            Opcode::Inv => SlotOp::Inv,
+            Opcode::Nop => {
+                return Some(Err(format!("instruction {i} is a NOP; streaming has no filler")))
+            }
+        };
+        let operands = if op == SlotOp::Inv { 1 } else { 2 };
+        if [instr.a, instr.b].iter().take(operands).any(|&o| o == OOR_SENTINEL) {
+            return Some(Err(format!(
+                "instruction {i} carries the OoR sentinel; lower plans before OoR marking"
+            )));
+        }
+        Some(Ok(SlotInstr { a: instr.a, b: instr.b, op }))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.instrs.size_hint()
+    }
+}
+
+/// Builds a [`StreamingPlan`] from an already renamed (un-lowered)
+/// program — the hook for running reordered schedules through the
+/// slot-slab executors.
+///
+/// `garbler_inputs + evaluator_inputs` must equal the program's input
+/// count (the split is protocol metadata the ISA does not carry).
+///
+/// # Errors
+///
+/// Returns an error if the program contains NOPs or OoR sentinels, if
+/// the input split does not sum to the program's inputs, or if the
+/// stream violates a renaming invariant.
+pub fn plan_from_program(
+    program: &Program,
+    garbler_inputs: u32,
+    evaluator_inputs: u32,
+) -> Result<StreamingPlan, String> {
+    if garbler_inputs + evaluator_inputs != program.num_inputs {
+        return Err(format!(
+            "input split {garbler_inputs}+{evaluator_inputs} does not match the program's {}",
+            program.num_inputs
+        ));
+    }
+    let instrs = slot_stream(program).collect::<Result<Vec<_>, _>>()?;
+    let slots =
+        SlotProgram::new(instrs, garbler_inputs, evaluator_inputs, program.output_addrs.clone())?;
+    let window = WindowModel::new(slots.slot_wires());
+    Ok(StreamingPlan { program: slots, window })
+}
+
+/// Lowers a circuit for streaming execution: baseline reorder → rename
+/// (via [`assemble`]) → static window sizing. Run once per circuit and
+/// cache the plan; every session that reuses it skips the per-session
+/// liveness pass and runs on the tagless slab.
+///
+/// The baseline order preserves gate order and tweaks, so sessions
+/// driven by this plan produce **bit-identical transcripts** to the
+/// raw-netlist path.
+pub fn lower_for_streaming(circuit: &Circuit) -> StreamingPlan {
+    plan_from_program(&assemble(circuit), circuit.garbler_inputs(), circuit.evaluator_inputs())
+        .expect("assembled programs always lower")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{eliminate_spent_wires, mark_out_of_range};
+    use haac_circuit::Builder;
+    use haac_gc::stream::Liveness;
+
+    fn mixed_circuit() -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.input_evaluator(8);
+        let (s, _) = b.add_words(&x, &y);
+        let p = b.mul_words_trunc(&x, &y);
+        let lt = b.lt_u(&x, &y);
+        let mut out = s;
+        out.extend(p);
+        out.push(lt);
+        b.finish(out).unwrap()
+    }
+
+    #[test]
+    fn compiler_lowering_matches_the_gc_baseline_plan() {
+        // Two roads to the same renamed stream: the compiler pipeline
+        // here and haac-gc's inline baseline renaming must agree
+        // exactly — they are the same pass.
+        let c = mixed_circuit();
+        let plan = lower_for_streaming(&c);
+        assert_eq!(plan.program, haac_gc::baseline_plan(&c));
+    }
+
+    #[test]
+    fn plan_window_admits_every_read_and_bounds_peak_live() {
+        let c = mixed_circuit();
+        let plan = lower_for_streaming(&c);
+        assert!(plan.window.sww_wires() >= plan.program.max_operand_distance());
+        // Anything live at some instruction is within one window of it.
+        assert!(plan.peak_live() <= plan.window.sww_wires() as usize);
+        // The static peak equals the dynamic liveness analysis.
+        assert_eq!(plan.peak_live(), Liveness::analyze(&c).peak_live_wires(&c));
+        assert_eq!(plan.and_count(), c.num_and_gates());
+    }
+
+    #[test]
+    fn oor_lowered_programs_are_rejected() {
+        let c = mixed_circuit();
+        let window = WindowModel::new(4); // tiny SWW forces OoR rewrites
+        let mut program = assemble(&c);
+        eliminate_spent_wires(&mut program, window);
+        let lowered = mark_out_of_range(&program, window);
+        assert!(lowered.num_oor > 0);
+        let err = plan_from_program(&lowered.program, c.garbler_inputs(), c.evaluator_inputs())
+            .unwrap_err();
+        assert!(err.contains("OoR sentinel"), "{err}");
+    }
+
+    #[test]
+    fn wrong_input_split_is_rejected() {
+        let c = mixed_circuit();
+        let program = assemble(&c);
+        assert!(plan_from_program(&program, 1, 2).is_err());
+    }
+
+    #[test]
+    fn reordered_programs_also_lower() {
+        let c = mixed_circuit();
+        let program = crate::compiler::full_reorder(&c);
+        let plan = plan_from_program(&program, c.garbler_inputs(), c.evaluator_inputs()).unwrap();
+        assert_eq!(plan.and_count(), c.num_and_gates());
+        assert!(plan.window.sww_wires() >= plan.program.max_operand_distance());
+    }
+}

@@ -56,6 +56,7 @@ mod garble;
 mod hash;
 pub mod ot;
 pub mod protocol;
+pub mod slab;
 pub mod stream;
 
 pub use aes::{active_backend, AesBackend};
@@ -67,7 +68,10 @@ pub use garble::{
     GarbledCircuit, Garbling, MAX_AND_BATCH,
 };
 pub use hash::{CryptoCounters, GateHash, HashScheme};
-pub use stream::{EvaluatorFinish, GarblerFinish, Liveness, StreamingEvaluator, StreamingGarbler};
+pub use slab::{SlotInstr, SlotOp, SlotProgram};
+pub use stream::{
+    baseline_plan, EvaluatorFinish, GarblerFinish, Liveness, StreamingEvaluator, StreamingGarbler,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,351 @@
+//! The slot-renamed label store: HAAC's tagless SWW scratchpad in
+//! software (paper §3.1.1 / §4.2.2).
+//!
+//! The compiler's renaming pass makes every output address sequential,
+//! which is what lets the hardware keep wire labels in a plain
+//! scratchpad indexed by `addr % window` — no tags, no lookups, no
+//! per-wire retire bookkeeping, because overwriting a slot when the
+//! window slides *is* the retire. This module is the software analogue:
+//!
+//! - [`SlotProgram`] is a renamed, straight-line instruction stream
+//!   (produced by `haac-core`'s `lower_for_streaming`) whose window
+//!   size is computed **statically** from the maximum operand distance,
+//!   so every read provably hits a live slot;
+//! - [`SlabLabels`] is the flat `Vec<Block>` slab the streaming
+//!   garbler/evaluator index with a single mask — the replacement for
+//!   the `HashMap<WireId, Block>` live-label store.
+//!
+//! Safety of the tagless discipline: addresses are written in strictly
+//! ascending order (inputs `1..=n`, then one output per instruction),
+//! so slot `a % w` is clobbered exactly when address `a + w` is
+//! written. A read of `a` by the instruction writing `out` is therefore
+//! valid iff `out - a <= w` — which [`SlotProgram::new`] guarantees by
+//! sizing `w` to the maximum operand distance. The functional executor
+//! in `haac-core::exec` checks the same contract dynamically with slot
+//! tags; here it is discharged once at plan-construction time and the
+//! hot loop carries zero checks.
+
+use crate::block::Block;
+
+/// Operation of one renamed streaming instruction (no NOPs: the
+/// streaming lowering never emits pipeline filler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotOp {
+    /// Half-gate AND: consumes/produces one garbled table.
+    And,
+    /// FreeXOR.
+    Xor,
+    /// Free inversion (label relabeling); reads only `a`.
+    Inv,
+}
+
+/// One renamed streaming instruction. Operands are *program wire
+/// addresses* (inputs occupy `1..=num_inputs`, instruction `i` writes
+/// `num_inputs + 1 + i`); the output address is implicit in the
+/// instruction index, exactly as in the HAAC ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotInstr {
+    /// First operand address.
+    pub a: u32,
+    /// Second operand address (equals `a` for INV).
+    pub b: u32,
+    /// The operation.
+    pub op: SlotOp,
+}
+
+/// A circuit lowered for slot-addressed streaming: the renamed
+/// instruction stream plus the statically derived slab geometry.
+///
+/// Instruction order is the source circuit's gate order (the compiler's
+/// *baseline* schedule), so the table stream and per-gate tweaks are
+/// bit-identical to garbling the raw netlist — reordering strategies
+/// can be layered on by both parties symmetrically, but the default
+/// lowering preserves the legacy transcript exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotProgram {
+    instrs: Vec<SlotInstr>,
+    garbler_inputs: u32,
+    evaluator_inputs: u32,
+    output_addrs: Vec<u32>,
+    /// `(address, output position)` sorted by address — lets executors
+    /// snapshot output labels with one cursor as addresses are written
+    /// in ascending order.
+    outputs_by_addr: Vec<(u32, u32)>,
+    slot_wires: u32,
+    max_distance: u32,
+    and_count: usize,
+    peak_live: usize,
+}
+
+impl SlotProgram {
+    /// Builds a slot program from a renamed instruction stream.
+    ///
+    /// `instrs[i]` writes address `garbler_inputs + evaluator_inputs +
+    /// 1 + i`; `output_addrs` name the circuit outputs in output order.
+    /// The slab window is sized to the smallest power of two covering
+    /// the maximum operand distance, and the static peak-live residency
+    /// is computed here once (amortized across every session that
+    /// reuses the plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated renaming invariant:
+    /// an operand that is zero (the OoR sentinel — streaming plans must
+    /// be built *before* out-of-range marking), reads its own or a
+    /// future address, or an output address out of range.
+    pub fn new(
+        instrs: Vec<SlotInstr>,
+        garbler_inputs: u32,
+        evaluator_inputs: u32,
+        output_addrs: Vec<u32>,
+    ) -> Result<SlotProgram, String> {
+        let num_inputs = garbler_inputs + evaluator_inputs;
+        let first_out = num_inputs + 1;
+        let num_addrs = first_out + instrs.len() as u32;
+        let mut max_distance = 1u32;
+        let mut and_count = 0usize;
+        for (i, instr) in instrs.iter().enumerate() {
+            let out = first_out + i as u32;
+            let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
+            for &operand in [instr.a, instr.b].iter().take(operands) {
+                if operand == 0 {
+                    return Err(format!(
+                        "instruction {i} carries the OoR sentinel; streaming plans must be \
+                         lowered before out-of-range marking"
+                    ));
+                }
+                if operand >= out {
+                    return Err(format!(
+                        "instruction {i} reads address {operand} >= its output {out}"
+                    ));
+                }
+                max_distance = max_distance.max(out - operand);
+            }
+            if instr.op == SlotOp::And {
+                and_count += 1;
+            }
+        }
+        for &addr in &output_addrs {
+            if addr == 0 || addr >= num_addrs {
+                return Err(format!("output address {addr} out of range (1..{num_addrs})"));
+            }
+        }
+        let mut outputs_by_addr: Vec<(u32, u32)> =
+            output_addrs.iter().enumerate().map(|(pos, &addr)| (addr, pos as u32)).collect();
+        outputs_by_addr.sort_unstable();
+        let slot_wires = max_distance.max(2).next_power_of_two();
+        let peak_live = peak_live(&instrs, num_inputs, &output_addrs);
+        Ok(SlotProgram {
+            instrs,
+            garbler_inputs,
+            evaluator_inputs,
+            output_addrs,
+            outputs_by_addr,
+            slot_wires,
+            max_distance,
+            and_count,
+            peak_live,
+        })
+    }
+
+    /// The renamed instruction stream, in execution order.
+    #[inline]
+    pub fn instrs(&self) -> &[SlotInstr] {
+        &self.instrs
+    }
+
+    /// Garbler input bits (addresses `1..=garbler_inputs`).
+    #[inline]
+    pub fn garbler_inputs(&self) -> u32 {
+        self.garbler_inputs
+    }
+
+    /// Evaluator input bits (addresses after the garbler's).
+    #[inline]
+    pub fn evaluator_inputs(&self) -> u32 {
+        self.evaluator_inputs
+    }
+
+    /// Total primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> u32 {
+        self.garbler_inputs + self.evaluator_inputs
+    }
+
+    /// Address written by the first instruction.
+    #[inline]
+    pub fn first_output_addr(&self) -> u32 {
+        self.num_inputs() + 1
+    }
+
+    /// Program addresses of the circuit outputs, in output order.
+    #[inline]
+    pub fn output_addrs(&self) -> &[u32] {
+        &self.output_addrs
+    }
+
+    /// Output positions sorted by producing address (ascending).
+    #[inline]
+    pub(crate) fn outputs_by_addr(&self) -> &[(u32, u32)] {
+        &self.outputs_by_addr
+    }
+
+    /// Slab capacity in wire labels: the smallest power of two `>=` the
+    /// maximum operand distance, i.e. the SWW size under which **every**
+    /// read of this program is in-window (zero OoR traffic).
+    #[inline]
+    pub fn slot_wires(&self) -> u32 {
+        self.slot_wires
+    }
+
+    /// The largest `output_addr - operand_addr` across the program —
+    /// what the renaming compacted wire lifetimes down to.
+    #[inline]
+    pub fn max_operand_distance(&self) -> u32 {
+        self.max_distance
+    }
+
+    /// AND instructions (= garbled tables streamed).
+    #[inline]
+    pub fn and_count(&self) -> usize {
+        self.and_count
+    }
+
+    /// Peak simultaneously-live wire addresses, computed statically at
+    /// plan construction (identical to the dynamic liveness peak the
+    /// HashMap store used to measure per session).
+    #[inline]
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+}
+
+/// Static liveness peak over a renamed stream — the same quantity
+/// [`crate::stream::Liveness::peak_live_wires`] measures on the raw
+/// circuit, computed once per plan instead of once per session.
+fn peak_live(instrs: &[SlotInstr], num_inputs: u32, output_addrs: &[u32]) -> usize {
+    const FOREVER: u32 = u32::MAX;
+    let first_out = num_inputs + 1;
+    let num_addrs = first_out as usize + instrs.len();
+    let mut last_use = vec![0u32; num_addrs];
+    let mut read = vec![false; num_addrs];
+    for (i, instr) in instrs.iter().enumerate() {
+        let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
+        for &operand in [instr.a, instr.b].iter().take(operands) {
+            last_use[operand as usize] = i as u32;
+            read[operand as usize] = true;
+        }
+    }
+    for &addr in output_addrs {
+        last_use[addr as usize] = FOREVER;
+        read[addr as usize] = true;
+    }
+    let mut live = 0usize;
+    for addr in 1..=num_inputs {
+        if read[addr as usize] {
+            live += 1;
+        }
+    }
+    let mut peak = live;
+    for (i, instr) in instrs.iter().enumerate() {
+        let out = first_out + i as u32;
+        if read[out as usize] {
+            live += 1;
+            peak = peak.max(live);
+        }
+        let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
+        for &operand in [instr.a, instr.b].iter().take(operands).filter(|&&o| o != out) {
+            let idx = operand as usize;
+            if read[idx] && last_use[idx] == i as u32 {
+                read[idx] = false;
+                live -= 1;
+            }
+        }
+    }
+    peak
+}
+
+/// The flat label slab: one `Block` per SWW slot, indexed by a single
+/// mask — the entire label store of a slot-renamed streaming executor.
+#[derive(Debug)]
+pub(crate) struct SlabLabels {
+    slab: Vec<Block>,
+    mask: u32,
+}
+
+impl SlabLabels {
+    /// A zeroed slab for `slot_wires` slots (must be a power of two).
+    pub(crate) fn new(slot_wires: u32) -> SlabLabels {
+        debug_assert!(slot_wires.is_power_of_two(), "slab size must be a power of two");
+        SlabLabels { slab: vec![Block::ZERO; slot_wires as usize], mask: slot_wires - 1 }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, addr: u32) -> Block {
+        // No tag, no branch: the plan's distance bound proves the slot
+        // still holds `addr`'s label.
+        self.slab[(addr & self.mask) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, addr: u32, label: Block) {
+        self.slab[(addr & self.mask) as usize] = label;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor(a: u32, b: u32) -> SlotInstr {
+        SlotInstr { a, b, op: SlotOp::Xor }
+    }
+
+    fn and(a: u32, b: u32) -> SlotInstr {
+        SlotInstr { a, b, op: SlotOp::And }
+    }
+
+    #[test]
+    fn geometry_is_derived_from_operand_distances() {
+        // Inputs 1..=2; instrs write 3, 4, 5.
+        let p = SlotProgram::new(
+            vec![xor(1, 2), and(3, 1), SlotInstr { a: 4, b: 4, op: SlotOp::Inv }],
+            1,
+            1,
+            vec![5],
+        )
+        .unwrap();
+        assert_eq!(p.first_output_addr(), 3);
+        // Largest distance: instruction 1 (out 4) reading address 1.
+        assert_eq!(p.max_operand_distance(), 3);
+        assert_eq!(p.slot_wires(), 4);
+        assert_eq!(p.and_count(), 1);
+    }
+
+    #[test]
+    fn sentinel_and_future_reads_are_rejected() {
+        assert!(SlotProgram::new(vec![xor(0, 1)], 1, 1, vec![3]).is_err());
+        assert!(SlotProgram::new(vec![xor(3, 1)], 1, 1, vec![3]).is_err());
+        assert!(SlotProgram::new(vec![xor(1, 2)], 1, 1, vec![9]).is_err());
+    }
+
+    #[test]
+    fn peak_live_matches_hand_count() {
+        // xor(1,2) -> 3 ; xor(1,2) -> 4 ; xor(3,4) -> 5(out).
+        // Inputs 1,2 live until instr 1; 3,4 live until instr 2; 5 forever.
+        let p = SlotProgram::new(vec![xor(1, 2), xor(1, 2), xor(3, 4)], 1, 1, vec![5]).unwrap();
+        // At instr 1: {1,2,3,4} live -> peak 4.
+        assert_eq!(p.peak_live(), 4);
+    }
+
+    #[test]
+    fn slab_reads_back_through_the_mask() {
+        let mut slab = SlabLabels::new(8);
+        slab.set(3, Block::from(7u128));
+        slab.set(9, Block::from(9u128));
+        assert_eq!(slab.get(3), Block::from(7u128));
+        // Address 11 aliases slot 3 after the window slides twice.
+        slab.set(11, Block::from(11u128));
+        assert_eq!(slab.get(11), Block::from(11u128));
+    }
+}

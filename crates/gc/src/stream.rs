@@ -1,4 +1,4 @@
-//! Incremental garbling and evaluation with liveness-bounded memory.
+//! Incremental garbling and evaluation with window-bounded memory.
 //!
 //! GCs are a *streaming* workload (paper §2.2): tables are produced in
 //! gate order, consumed exactly once, and never revisited, and a wire's
@@ -6,15 +6,28 @@
 //! [`garble`](crate::garble())/[`evaluate`](crate::evaluate()) entry
 //! points materialize every wire label (O(circuit) memory); the
 //! [`StreamingGarbler`] and [`StreamingEvaluator`] here instead advance
-//! one gate at a time, retire labels at their last use, and expose the
-//! table stream in caller-sized chunks — the software analogue of HAAC's
-//! sliding wire window, and the substrate `haac-runtime` ships over real
-//! channels.
+//! one gate at a time and expose the table stream in caller-sized
+//! chunks — the software analogue of HAAC's sliding wire window, and
+//! the substrate `haac-runtime` ships over real channels.
 //!
-//! Peak live-wire counts are tracked so callers can verify the streaming
-//! discipline: for a renamed/reordered program the peak equals the SWW
-//! residency the compiler planned for, and for any circuit it is the
-//! max-cut of the wire dependence graph, not the wire count.
+//! Two label stores back the streaming executors:
+//!
+//! - **Slot slab** (the HAAC co-design path): construct
+//!   [`with_plan`](StreamingGarbler::with_plan) from a renamed
+//!   [`SlotProgram`] and labels live in a flat `Vec<Block>` indexed by
+//!   `addr & mask` — no hashing, no per-gate retire bookkeeping
+//!   (overwrite-on-rename *is* the retire), peak residency known
+//!   statically from the plan. This is what compiler renaming buys the
+//!   hardware, reproduced in software.
+//! - **Liveness-retired `HashMap`** (the CPU-baseline path): construct
+//!   [`new`](StreamingGarbler::new) from a raw [`Circuit`] and labels
+//!   are retired at their last use, with the high-water mark measured
+//!   dynamically. This is the reference the slab path is benchmarked
+//!   and equivalence-tested against.
+//!
+//! Both stores produce **bit-identical transcripts**: the default
+//! lowering preserves gate order and per-gate tweaks, so tables, decode
+//! strings, and every label agree byte for byte.
 
 use std::collections::HashMap;
 
@@ -25,6 +38,7 @@ use crate::block::{Block, Delta};
 use crate::evaluate::{eval_and_batch, eval_inv, eval_xor};
 use crate::garble::{decode_outputs, garble_and_batch, garble_inv, garble_xor, MAX_AND_BATCH};
 use crate::hash::{CryptoCounters, GateHash, HashScheme};
+use crate::slab::{SlabLabels, SlotInstr, SlotOp, SlotProgram};
 
 /// Sentinel for "never dies" (circuit outputs live to the end).
 const LIVE_FOREVER: usize = usize::MAX;
@@ -80,8 +94,9 @@ impl Liveness {
 
     /// The peak number of simultaneously live wires across the circuit —
     /// the minimum label storage an in-order streaming executor needs.
-    /// Mirrors [`StreamingGarbler`]/[`StreamingEvaluator`] exactly, so it
-    /// predicts their reported peaks without running them.
+    /// Mirrors the liveness-retired store exactly, so it predicts its
+    /// reported peaks without running it (and equals
+    /// [`SlotProgram::peak_live`] for the renamed program).
     pub fn peak_live_wires(&self, circuit: &Circuit) -> usize {
         let mut stored = vec![false; self.last_use.len()];
         let mut live = 0usize;
@@ -111,7 +126,7 @@ impl Liveness {
 }
 
 /// A live-label store that retires entries at their last use and tracks
-/// its own high-water mark.
+/// its own high-water mark (the CPU-baseline path).
 #[derive(Debug)]
 struct LiveLabels {
     labels: HashMap<WireId, Block>,
@@ -142,13 +157,72 @@ impl LiveLabels {
     }
 }
 
+/// The slot-slab execution state shared by both roles: the flat label
+/// slab plus an ascending cursor that snapshots output labels as their
+/// producing addresses stream past (outputs may be overwritten in the
+/// slab long before `finish`, so they are captured at write time).
+#[derive(Debug)]
+struct SlabState<'p> {
+    plan: &'p SlotProgram,
+    slab: SlabLabels,
+    output_labels: Vec<Block>,
+    next_output: usize,
+}
+
+impl<'p> SlabState<'p> {
+    fn new(plan: &'p SlotProgram) -> SlabState<'p> {
+        SlabState {
+            plan,
+            slab: SlabLabels::new(plan.slot_wires()),
+            output_labels: vec![Block::ZERO; plan.output_addrs().len()],
+            next_output: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, addr: u32) -> Block {
+        self.slab.get(addr)
+    }
+
+    /// Writes the label for `addr` (addresses arrive strictly
+    /// ascending: inputs first, then one output per instruction).
+    #[inline]
+    fn write(&mut self, addr: u32, label: Block) {
+        self.slab.set(addr, label);
+        let outs = self.plan.outputs_by_addr();
+        while self.next_output < outs.len() && outs[self.next_output].0 == addr {
+            self.output_labels[outs[self.next_output].1 as usize] = label;
+            self.next_output += 1;
+        }
+    }
+
+    fn into_output_labels(self) -> Vec<Block> {
+        debug_assert_eq!(
+            self.next_output,
+            self.plan.output_addrs().len(),
+            "every output address must have streamed past"
+        );
+        self.output_labels
+    }
+}
+
+/// Which label store an executor runs on.
+#[derive(Debug)]
+enum Store<'c> {
+    /// Raw circuit + liveness-retired HashMap (dynamic peak tracking).
+    Live { circuit: &'c Circuit, liveness: Liveness, live: LiveLabels },
+    /// Renamed program + tagless slot slab (static peak from the plan).
+    Slab(SlabState<'c>),
+}
+
 /// Result of a finished streaming garble: what the garbler must still
 /// send (the decode string) plus accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GarblerFinish {
     /// Permute bits of the output wires' zero labels (the decode string).
     pub output_decode: Vec<bool>,
-    /// High-water mark of simultaneously stored wire labels.
+    /// High-water mark of simultaneously stored wire labels — measured
+    /// on the liveness path, statically known on the slab path.
     pub peak_live_wires: usize,
     /// Cipher work performed (key expansions, AES block calls).
     pub crypto: CryptoCounters,
@@ -161,19 +235,20 @@ pub struct EvaluatorFinish {
     pub outputs: Vec<bool>,
     /// The active output labels (before decoding).
     pub output_labels: Vec<Block>,
-    /// High-water mark of simultaneously stored wire labels.
+    /// High-water mark of simultaneously stored wire labels — measured
+    /// on the liveness path, statically known on the slab path.
     pub peak_live_wires: usize,
     /// Cipher work performed (key expansions, AES block calls).
     pub crypto: CryptoCounters,
 }
 
-/// Gate-at-a-time garbler with liveness-bounded label storage.
+/// Gate-at-a-time garbler with window-bounded label storage.
 ///
 /// Construction samples Δ and the input labels (same RNG draw order as
 /// [`garble`](crate::garble()), so a shared seed yields a bit-identical
 /// garbling). Input encoding and OT label pairs are served from a
 /// dedicated input-label table that is dropped when table production
-/// starts; thereafter memory is O(peak live wires).
+/// starts; thereafter memory is the label store alone.
 ///
 /// # Examples
 ///
@@ -201,18 +276,21 @@ pub struct EvaluatorFinish {
 /// ```
 #[derive(Debug)]
 pub struct StreamingGarbler<'c> {
-    circuit: &'c Circuit,
-    liveness: Liveness,
+    store: Store<'c>,
     hash: GateHash,
     delta: Delta,
+    garbler_inputs: u32,
+    evaluator_inputs: u32,
+    num_gates: usize,
+    num_tables: usize,
     /// Zero labels of all primary inputs; present until streaming starts.
     input_zero_labels: Option<Vec<Block>>,
-    live: LiveLabels,
     next_gate: usize,
 }
 
 impl<'c> StreamingGarbler<'c> {
-    /// Samples a fresh garbling (Δ + input labels) for `circuit`.
+    /// Samples a fresh garbling (Δ + input labels) for `circuit`,
+    /// backed by the liveness-retired HashMap store.
     pub fn new<R: Rng + ?Sized>(
         circuit: &'c Circuit,
         rng: &mut R,
@@ -230,12 +308,46 @@ impl<'c> StreamingGarbler<'c> {
             }
         }
         StreamingGarbler {
-            circuit,
-            liveness,
+            store: Store::Live { circuit, liveness, live },
             hash: GateHash::new(scheme),
             delta,
+            garbler_inputs: circuit.garbler_inputs(),
+            evaluator_inputs: circuit.evaluator_inputs(),
+            num_gates: circuit.num_gates(),
+            num_tables: circuit.num_and_gates(),
             input_zero_labels: Some(input_zero_labels),
-            live,
+            next_gate: 0,
+        }
+    }
+
+    /// Samples a fresh garbling driven by a renamed [`SlotProgram`],
+    /// backed by the tagless slot slab — the HAAC co-design hot path.
+    ///
+    /// The RNG draw order matches [`new`](StreamingGarbler::new), and
+    /// the default (baseline-order) lowering preserves gate order and
+    /// tweaks, so the transcript is bit-identical to the HashMap path
+    /// for the same seed.
+    pub fn with_plan<R: Rng + ?Sized>(
+        plan: &'c SlotProgram,
+        rng: &mut R,
+        scheme: HashScheme,
+    ) -> StreamingGarbler<'c> {
+        let delta = Delta::random(rng);
+        let input_zero_labels: Vec<Block> =
+            (0..plan.num_inputs()).map(|_| Block::random(rng)).collect();
+        let mut state = SlabState::new(plan);
+        for (w, &label) in input_zero_labels.iter().enumerate() {
+            state.write(w as u32 + 1, label);
+        }
+        StreamingGarbler {
+            store: Store::Slab(state),
+            hash: GateHash::new(scheme),
+            delta,
+            garbler_inputs: plan.garbler_inputs(),
+            evaluator_inputs: plan.evaluator_inputs(),
+            num_gates: plan.instrs().len(),
+            num_tables: plan.and_count(),
+            input_zero_labels: Some(input_zero_labels),
             next_gate: 0,
         }
     }
@@ -270,16 +382,8 @@ impl<'c> StreamingGarbler<'c> {
     /// Panics if the widths do not match the circuit, or if called after
     /// streaming started.
     pub fn encode_inputs(&self, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<Block> {
-        assert_eq!(
-            garbler_bits.len(),
-            self.circuit.garbler_inputs() as usize,
-            "garbler input width"
-        );
-        assert_eq!(
-            evaluator_bits.len(),
-            self.circuit.evaluator_inputs() as usize,
-            "evaluator input width"
-        );
+        assert_eq!(garbler_bits.len(), self.garbler_inputs as usize, "garbler input width");
+        assert_eq!(evaluator_bits.len(), self.evaluator_inputs as usize, "evaluator input width");
         garbler_bits
             .iter()
             .chain(evaluator_bits)
@@ -301,11 +405,7 @@ impl<'c> StreamingGarbler<'c> {
     ///
     /// Panics if the width is wrong or streaming has started.
     pub fn garbler_input_labels(&self, garbler_bits: &[bool]) -> Vec<Block> {
-        assert_eq!(
-            garbler_bits.len(),
-            self.circuit.garbler_inputs() as usize,
-            "garbler input width"
-        );
+        assert_eq!(garbler_bits.len(), self.garbler_inputs as usize, "garbler input width");
         garbler_bits
             .iter()
             .enumerate()
@@ -348,58 +448,25 @@ impl<'c> StreamingGarbler<'c> {
     pub fn next_tables_into(&mut self, max_tables: usize, tables: &mut Vec<[Block; 2]>) -> bool {
         assert!(max_tables > 0, "chunk capacity must be positive");
         tables.clear();
-        if self.next_gate == self.circuit.num_gates() {
+        if self.next_gate == self.num_gates {
             return false;
         }
         self.input_zero_labels = None;
-        let gates = self.circuit.gates();
-        while self.next_gate < gates.len() && tables.len() < max_tables {
-            let index = self.next_gate;
-            let gate = gates[index];
-            if gate.op == GateOp::And {
-                // Collect the run of consecutive AND gates none of which
-                // reads an output of an earlier gate in the run; their
-                // hashes are independent and batch into one call.
-                let budget = (max_tables - tables.len()).min(MAX_AND_BATCH);
-                let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
-                let mut outs = [WireId::MAX; MAX_AND_BATCH];
-                let mut k = 0;
-                while k < budget && index + k < gates.len() {
-                    let g = gates[index + k];
-                    if g.op != GateOp::And || outs[..k].contains(&g.a) || outs[..k].contains(&g.b) {
-                        break;
-                    }
-                    batch[k] = ((index + k) as u64, self.live.get(g.a), self.live.get(g.b));
-                    outs[k] = g.out;
-                    k += 1;
-                }
-                let mut results = [(Block::ZERO, [Block::ZERO; 2]); MAX_AND_BATCH];
-                garble_and_batch(&self.hash, self.delta, &batch[..k], &mut results[..k]);
-                // Bookkeeping replays gate order exactly, so live-label
-                // peaks match gate-at-a-time execution.
-                for (j, &(w0c, table)) in results[..k].iter().enumerate() {
-                    let idx = index + j;
-                    let g = gates[idx];
-                    tables.push(table);
-                    if self.liveness.needed(g.out) {
-                        self.live.insert(g.out, w0c);
-                    }
-                    self.live.retire_if_dead(g.a, idx, &self.liveness);
-                    self.live.retire_if_dead(g.b, idx, &self.liveness);
-                }
-                self.next_gate = index + k;
-            } else {
-                let w0a = self.live.get(gate.a);
-                let out = match gate.op {
-                    GateOp::Xor => garble_xor(w0a, self.live.get(gate.b)),
-                    _ => garble_inv(self.delta, w0a),
-                };
-                if self.liveness.needed(gate.out) {
-                    self.live.insert(gate.out, out);
-                }
-                self.live.retire_if_dead(gate.a, index, &self.liveness);
-                self.live.retire_if_dead(gate.b, index, &self.liveness);
-                self.next_gate += 1;
+        match &mut self.store {
+            Store::Live { circuit, liveness, live } => {
+                garble_live(
+                    &self.hash,
+                    self.delta,
+                    circuit,
+                    liveness,
+                    live,
+                    &mut self.next_gate,
+                    max_tables,
+                    tables,
+                );
+            }
+            Store::Slab(state) => {
+                garble_slab(&self.hash, self.delta, state, &mut self.next_gate, max_tables, tables);
             }
         }
         true
@@ -407,12 +474,12 @@ impl<'c> StreamingGarbler<'c> {
 
     /// Whether every gate has been garbled.
     pub fn is_done(&self) -> bool {
-        self.next_gate == self.circuit.num_gates()
+        self.next_gate == self.num_gates
     }
 
     /// Total AND tables this garbling will emit.
     pub fn total_tables(&self) -> usize {
-        self.circuit.num_and_gates()
+        self.num_tables
     }
 
     /// Finishes the garbling, yielding the output-decode string.
@@ -422,36 +489,163 @@ impl<'c> StreamingGarbler<'c> {
     /// Panics if gates remain ungarbled.
     pub fn finish(self) -> GarblerFinish {
         assert!(self.is_done(), "finish() before all gates were garbled");
-        let output_decode =
-            self.circuit.outputs().iter().map(|&w| self.live.get(w).lsb()).collect();
-        GarblerFinish {
-            output_decode,
-            peak_live_wires: self.live.peak,
-            crypto: self.hash.counters(),
+        let (output_decode, peak_live_wires) = match self.store {
+            Store::Live { circuit, live, .. } => {
+                let decode = circuit.outputs().iter().map(|&w| live.get(w).lsb()).collect();
+                (decode, live.peak)
+            }
+            Store::Slab(state) => {
+                let peak = state.plan.peak_live();
+                let decode = state.into_output_labels().iter().map(|l| l.lsb()).collect();
+                (decode, peak)
+            }
+        };
+        GarblerFinish { output_decode, peak_live_wires, crypto: self.hash.counters() }
+    }
+}
+
+/// One chunk of liveness-store garbling (the CPU-baseline hot loop:
+/// HashMap get/insert/retire per operand).
+#[allow(clippy::too_many_arguments)]
+fn garble_live(
+    hash: &GateHash,
+    delta: Delta,
+    circuit: &Circuit,
+    liveness: &Liveness,
+    live: &mut LiveLabels,
+    next_gate: &mut usize,
+    max_tables: usize,
+    tables: &mut Vec<[Block; 2]>,
+) {
+    let gates = circuit.gates();
+    while *next_gate < gates.len() && tables.len() < max_tables {
+        let index = *next_gate;
+        let gate = gates[index];
+        if gate.op == GateOp::And {
+            // Collect the run of consecutive AND gates none of which
+            // reads an output of an earlier gate in the run; their
+            // hashes are independent and batch into one call.
+            let budget = (max_tables - tables.len()).min(MAX_AND_BATCH);
+            let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
+            let mut outs = [WireId::MAX; MAX_AND_BATCH];
+            let mut k = 0;
+            while k < budget && index + k < gates.len() {
+                let g = gates[index + k];
+                if g.op != GateOp::And || outs[..k].contains(&g.a) || outs[..k].contains(&g.b) {
+                    break;
+                }
+                batch[k] = ((index + k) as u64, live.get(g.a), live.get(g.b));
+                outs[k] = g.out;
+                k += 1;
+            }
+            let mut results = [(Block::ZERO, [Block::ZERO; 2]); MAX_AND_BATCH];
+            garble_and_batch(hash, delta, &batch[..k], &mut results[..k]);
+            // Bookkeeping replays gate order exactly, so live-label
+            // peaks match gate-at-a-time execution.
+            for (j, &(w0c, table)) in results[..k].iter().enumerate() {
+                let idx = index + j;
+                let g = gates[idx];
+                tables.push(table);
+                if liveness.needed(g.out) {
+                    live.insert(g.out, w0c);
+                }
+                live.retire_if_dead(g.a, idx, liveness);
+                live.retire_if_dead(g.b, idx, liveness);
+            }
+            *next_gate = index + k;
+        } else {
+            let w0a = live.get(gate.a);
+            let out = match gate.op {
+                GateOp::Xor => garble_xor(w0a, live.get(gate.b)),
+                _ => garble_inv(delta, w0a),
+            };
+            if liveness.needed(gate.out) {
+                live.insert(gate.out, out);
+            }
+            live.retire_if_dead(gate.a, index, liveness);
+            live.retire_if_dead(gate.b, index, liveness);
+            *next_gate += 1;
         }
     }
 }
 
-/// Gate-at-a-time evaluator with liveness-bounded label storage.
+/// One chunk of slab-store garbling — the per-gate hot loop is slab
+/// indexing only: no hash lookups, no retire bookkeeping, no liveness
+/// branches. An AND run is independent iff no operand address reaches
+/// into the run's own (contiguous, sequential) output range.
+fn garble_slab(
+    hash: &GateHash,
+    delta: Delta,
+    state: &mut SlabState<'_>,
+    next_gate: &mut usize,
+    max_tables: usize,
+    tables: &mut Vec<[Block; 2]>,
+) {
+    let instrs = state.plan.instrs();
+    let first_out = state.plan.first_output_addr();
+    while *next_gate < instrs.len() && tables.len() < max_tables {
+        let index = *next_gate;
+        let instr = instrs[index];
+        match instr.op {
+            SlotOp::And => {
+                // Renaming makes run outputs the contiguous range
+                // starting at `run_min`, so "reads an output of an
+                // earlier gate in the run" is a single compare.
+                let run_min = first_out + index as u32;
+                let budget = (max_tables - tables.len()).min(MAX_AND_BATCH);
+                let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
+                let mut k = 0;
+                while k < budget && index + k < instrs.len() {
+                    let g = instrs[index + k];
+                    if g.op != SlotOp::And || g.a >= run_min || g.b >= run_min {
+                        break;
+                    }
+                    batch[k] = ((index + k) as u64, state.get(g.a), state.get(g.b));
+                    k += 1;
+                }
+                let mut results = [(Block::ZERO, [Block::ZERO; 2]); MAX_AND_BATCH];
+                garble_and_batch(hash, delta, &batch[..k], &mut results[..k]);
+                for (j, &(w0c, table)) in results[..k].iter().enumerate() {
+                    tables.push(table);
+                    state.write(first_out + (index + j) as u32, w0c);
+                }
+                *next_gate = index + k;
+            }
+            SlotOp::Xor => {
+                let out = garble_xor(state.get(instr.a), state.get(instr.b));
+                state.write(first_out + index as u32, out);
+                *next_gate += 1;
+            }
+            SlotOp::Inv => {
+                let out = garble_inv(delta, state.get(instr.a));
+                state.write(first_out + index as u32, out);
+                *next_gate += 1;
+            }
+        }
+    }
+}
+
+/// Gate-at-a-time evaluator with window-bounded label storage.
 ///
 /// Tables are [`feed`](StreamingEvaluator::feed)-ed in garbling order, in
 /// chunks of any size; evaluation advances as far as the supplied tables
-/// allow. Memory holds the pending (unconsumed) tables of the current
-/// chunk plus O(peak live wires) labels — never O(circuit) of either.
+/// allow. Chunks are consumed **in place** — tables stream straight from
+/// the caller's slice into the batch scratch (reused stack arrays), so
+/// the feed path performs zero per-chunk allocations and never copies a
+/// table into an intermediate queue.
 #[derive(Debug)]
 pub struct StreamingEvaluator<'c> {
-    circuit: &'c Circuit,
-    liveness: Liveness,
+    store: Store<'c>,
     hash: GateHash,
-    live: LiveLabels,
-    pending: std::collections::VecDeque<[Block; 2]>,
+    num_gates: usize,
     next_gate: usize,
     tables_consumed: u64,
 }
 
 impl<'c> StreamingEvaluator<'c> {
     /// Starts an evaluation from the active labels of all primary inputs
-    /// (wire order: garbler inputs then evaluator inputs).
+    /// (wire order: garbler inputs then evaluator inputs), backed by the
+    /// liveness-retired HashMap store.
     ///
     /// # Panics
     ///
@@ -471,88 +665,61 @@ impl<'c> StreamingEvaluator<'c> {
             }
         }
         let mut evaluator = StreamingEvaluator {
-            circuit,
-            liveness,
+            store: Store::Live { circuit, liveness, live },
             hash: GateHash::new(scheme),
-            live,
-            pending: std::collections::VecDeque::new(),
+            num_gates: circuit.num_gates(),
             next_gate: 0,
             tables_consumed: 0,
         };
         // Table-free prefixes (XOR/INV) — and whole circuits without AND
         // gates — evaluate before any chunk arrives.
-        evaluator.advance();
+        evaluator.feed(&[]);
+        evaluator
+    }
+
+    /// Starts an evaluation driven by a renamed [`SlotProgram`], backed
+    /// by the tagless slot slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count does not match the plan.
+    pub fn with_plan(
+        plan: &'c SlotProgram,
+        input_labels: Vec<Block>,
+        scheme: HashScheme,
+    ) -> StreamingEvaluator<'c> {
+        assert_eq!(input_labels.len(), plan.num_inputs() as usize, "input label count");
+        let mut state = SlabState::new(plan);
+        for (w, label) in input_labels.into_iter().enumerate() {
+            state.write(w as u32 + 1, label);
+        }
+        let mut evaluator = StreamingEvaluator {
+            store: Store::Slab(state),
+            hash: GateHash::new(scheme),
+            num_gates: plan.instrs().len(),
+            next_gate: 0,
+            tables_consumed: 0,
+        };
+        evaluator.feed(&[]);
         evaluator
     }
 
     /// Supplies the next chunk of AND tables (in garbling order) and
-    /// advances evaluation as far as possible.
+    /// advances evaluation as far as possible, consuming tables directly
+    /// from the slice.
     pub fn feed(&mut self, tables: &[[Block; 2]]) {
-        self.pending.extend(tables.iter().copied());
-        self.advance();
-    }
-
-    fn advance(&mut self) {
-        let gates = self.circuit.gates();
-        while self.next_gate < gates.len() {
-            let index = self.next_gate;
-            let gate = gates[index];
-            if gate.op == GateOp::And {
-                if self.pending.is_empty() {
-                    break; // starved: wait for the next chunk
-                }
-                // Batch the run of consecutive independent AND gates
-                // whose tables have already arrived (mirrors the
-                // garbler's batching; same results as gate-at-a-time).
-                let budget = self.pending.len().min(MAX_AND_BATCH);
-                let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
-                let mut outs = [WireId::MAX; MAX_AND_BATCH];
-                let mut k = 0;
-                while k < budget && index + k < gates.len() {
-                    let g = gates[index + k];
-                    if g.op != GateOp::And || outs[..k].contains(&g.a) || outs[..k].contains(&g.b) {
-                        break;
-                    }
-                    batch[k] = ((index + k) as u64, self.live.get(g.a), self.live.get(g.b));
-                    outs[k] = g.out;
-                    k += 1;
-                }
-                let mut tables = [[Block::ZERO; 2]; MAX_AND_BATCH];
-                for slot in tables.iter_mut().take(k) {
-                    *slot = self.pending.pop_front().expect("bounded by pending.len()");
-                }
-                self.tables_consumed += k as u64;
-                let mut labels = [Block::ZERO; MAX_AND_BATCH];
-                eval_and_batch(&self.hash, &batch[..k], &tables[..k], &mut labels[..k]);
-                for (j, &label) in labels[..k].iter().enumerate() {
-                    let idx = index + j;
-                    let g = gates[idx];
-                    if self.liveness.needed(g.out) {
-                        self.live.insert(g.out, label);
-                    }
-                    self.live.retire_if_dead(g.a, idx, &self.liveness);
-                    self.live.retire_if_dead(g.b, idx, &self.liveness);
-                }
-                self.next_gate = index + k;
-            } else {
-                let wa = self.live.get(gate.a);
-                let out = match gate.op {
-                    GateOp::Xor => eval_xor(wa, self.live.get(gate.b)),
-                    _ => eval_inv(wa),
-                };
-                if self.liveness.needed(gate.out) {
-                    self.live.insert(gate.out, out);
-                }
-                self.live.retire_if_dead(gate.a, index, &self.liveness);
-                self.live.retire_if_dead(gate.b, index, &self.liveness);
-                self.next_gate += 1;
+        let consumed = match &mut self.store {
+            Store::Live { circuit, liveness, live } => {
+                eval_live(&self.hash, circuit, liveness, live, &mut self.next_gate, tables)
             }
-        }
+            Store::Slab(state) => eval_slab(&self.hash, state, &mut self.next_gate, tables),
+        };
+        self.tables_consumed += consumed as u64;
     }
 
     /// Whether every gate has been evaluated.
     pub fn is_done(&self) -> bool {
-        self.next_gate == self.circuit.num_gates()
+        self.next_gate == self.num_gates
     }
 
     /// Number of garbled tables consumed so far.
@@ -569,16 +736,175 @@ impl<'c> StreamingEvaluator<'c> {
     /// width is wrong.
     pub fn finish(self, output_decode: &[bool]) -> EvaluatorFinish {
         assert!(self.is_done(), "finish() before all gates were evaluated");
-        let output_labels: Vec<Block> =
-            self.circuit.outputs().iter().map(|&w| self.live.get(w)).collect();
+        let (output_labels, peak_live_wires): (Vec<Block>, usize) = match self.store {
+            Store::Live { circuit, live, .. } => {
+                let labels = circuit.outputs().iter().map(|&w| live.get(w)).collect();
+                (labels, live.peak)
+            }
+            Store::Slab(state) => {
+                let peak = state.plan.peak_live();
+                (state.into_output_labels(), peak)
+            }
+        };
         let outputs = decode_outputs(&output_labels, output_decode);
-        EvaluatorFinish {
-            outputs,
-            output_labels,
-            peak_live_wires: self.live.peak,
-            crypto: self.hash.counters(),
+        EvaluatorFinish { outputs, output_labels, peak_live_wires, crypto: self.hash.counters() }
+    }
+}
+
+/// Advances liveness-store evaluation as far as `tables` allows; returns
+/// the number of tables consumed (always the whole slice unless the gate
+/// list ends first).
+fn eval_live(
+    hash: &GateHash,
+    circuit: &Circuit,
+    liveness: &Liveness,
+    live: &mut LiveLabels,
+    next_gate: &mut usize,
+    tables: &[[Block; 2]],
+) -> usize {
+    let gates = circuit.gates();
+    let mut cursor = 0usize;
+    while *next_gate < gates.len() {
+        let index = *next_gate;
+        let gate = gates[index];
+        if gate.op == GateOp::And {
+            if cursor == tables.len() {
+                break; // starved: wait for the next chunk
+            }
+            // Batch the run of consecutive independent AND gates whose
+            // tables have already arrived (mirrors the garbler's
+            // batching; same results as gate-at-a-time).
+            let budget = (tables.len() - cursor).min(MAX_AND_BATCH);
+            let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
+            let mut outs = [WireId::MAX; MAX_AND_BATCH];
+            let mut k = 0;
+            while k < budget && index + k < gates.len() {
+                let g = gates[index + k];
+                if g.op != GateOp::And || outs[..k].contains(&g.a) || outs[..k].contains(&g.b) {
+                    break;
+                }
+                batch[k] = ((index + k) as u64, live.get(g.a), live.get(g.b));
+                outs[k] = g.out;
+                k += 1;
+            }
+            let mut labels = [Block::ZERO; MAX_AND_BATCH];
+            eval_and_batch(hash, &batch[..k], &tables[cursor..cursor + k], &mut labels[..k]);
+            cursor += k;
+            for (j, &label) in labels[..k].iter().enumerate() {
+                let idx = index + j;
+                let g = gates[idx];
+                if liveness.needed(g.out) {
+                    live.insert(g.out, label);
+                }
+                live.retire_if_dead(g.a, idx, liveness);
+                live.retire_if_dead(g.b, idx, liveness);
+            }
+            *next_gate = index + k;
+        } else {
+            let wa = live.get(gate.a);
+            let out = match gate.op {
+                GateOp::Xor => eval_xor(wa, live.get(gate.b)),
+                _ => eval_inv(wa),
+            };
+            if liveness.needed(gate.out) {
+                live.insert(gate.out, out);
+            }
+            live.retire_if_dead(gate.a, index, liveness);
+            live.retire_if_dead(gate.b, index, liveness);
+            *next_gate += 1;
         }
     }
+    cursor
+}
+
+/// Advances slab-store evaluation as far as `tables` allows; the hot
+/// loop is slab indexing only.
+fn eval_slab(
+    hash: &GateHash,
+    state: &mut SlabState<'_>,
+    next_gate: &mut usize,
+    tables: &[[Block; 2]],
+) -> usize {
+    let instrs = state.plan.instrs();
+    let first_out = state.plan.first_output_addr();
+    let mut cursor = 0usize;
+    while *next_gate < instrs.len() {
+        let index = *next_gate;
+        let instr = instrs[index];
+        match instr.op {
+            SlotOp::And => {
+                if cursor == tables.len() {
+                    break; // starved: wait for the next chunk
+                }
+                let run_min = first_out + index as u32;
+                let budget = (tables.len() - cursor).min(MAX_AND_BATCH);
+                let mut batch = [(0u64, Block::ZERO, Block::ZERO); MAX_AND_BATCH];
+                let mut k = 0;
+                while k < budget && index + k < instrs.len() {
+                    let g = instrs[index + k];
+                    if g.op != SlotOp::And || g.a >= run_min || g.b >= run_min {
+                        break;
+                    }
+                    batch[k] = ((index + k) as u64, state.get(g.a), state.get(g.b));
+                    k += 1;
+                }
+                let mut labels = [Block::ZERO; MAX_AND_BATCH];
+                eval_and_batch(hash, &batch[..k], &tables[cursor..cursor + k], &mut labels[..k]);
+                cursor += k;
+                for (j, &label) in labels[..k].iter().enumerate() {
+                    state.write(first_out + (index + j) as u32, label);
+                }
+                *next_gate = index + k;
+            }
+            SlotOp::Xor => {
+                let out = eval_xor(state.get(instr.a), state.get(instr.b));
+                state.write(first_out + index as u32, out);
+                *next_gate += 1;
+            }
+            SlotOp::Inv => {
+                let out = eval_inv(state.get(instr.a));
+                state.write(first_out + index as u32, out);
+                *next_gate += 1;
+            }
+        }
+    }
+    cursor
+}
+
+/// Lowers a circuit into the baseline-order [`SlotProgram`]: identity
+/// gate order, wires renamed to sequential addresses (input wire `w` →
+/// address `w + 1`, gate `i`'s output → `num_inputs + 1 + i`).
+///
+/// This is the renaming half of the HAAC compiler, inlined for callers
+/// that don't need the full pass pipeline; `haac-core`'s
+/// `lower_for_streaming` reaches the same program through the compiler
+/// proper and the two are equivalence-tested against each other.
+///
+/// # Panics
+///
+/// Panics only if the circuit violates its own SSA/topological
+/// invariants (impossible for `Circuit`s built through the public API).
+pub fn baseline_plan(circuit: &Circuit) -> SlotProgram {
+    let num_inputs = circuit.num_inputs();
+    let first_out = num_inputs + 1;
+    let mut addr = vec![0u32; circuit.num_wires() as usize];
+    for w in 0..num_inputs {
+        addr[w as usize] = w + 1;
+    }
+    let mut instrs = Vec::with_capacity(circuit.num_gates());
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        addr[gate.out as usize] = first_out + i as u32;
+        let a = addr[gate.a as usize];
+        let (op, b) = match gate.op {
+            GateOp::And => (SlotOp::And, addr[gate.b as usize]),
+            GateOp::Xor => (SlotOp::Xor, addr[gate.b as usize]),
+            GateOp::Inv => (SlotOp::Inv, a),
+        };
+        instrs.push(SlotInstr { a, b, op });
+    }
+    let output_addrs = circuit.outputs().iter().map(|&w| addr[w as usize]).collect();
+    SlotProgram::new(instrs, circuit.garbler_inputs(), circuit.evaluator_inputs(), output_addrs)
+        .expect("a valid circuit always lowers")
 }
 
 #[cfg(test)]
@@ -599,6 +925,21 @@ mod tests {
         b.finish(out).unwrap()
     }
 
+    fn mixed_circuit() -> Circuit {
+        let mut b = Builder::new();
+        let x = b.input_garbler(8);
+        let y = b.input_evaluator(8);
+        let (s, _) = b.add_words(&x, &y);
+        let p = b.mul_words_trunc(&x, &y);
+        let lt = b.lt_u(&x, &y);
+        let nx = b.not_word(&x);
+        let mut out = s;
+        out.extend(p);
+        out.push(lt);
+        out.extend(nx);
+        b.finish(out).unwrap()
+    }
+
     #[test]
     fn streaming_matches_monolithic_garbling_bit_for_bit() {
         let c = adder_circuit(16);
@@ -614,6 +955,76 @@ mod tests {
         }
         assert_eq!(tables, mono.garbled.tables);
         assert_eq!(streaming.finish().output_decode, mono.garbled.output_decode);
+    }
+
+    #[test]
+    fn slab_transcript_is_bit_identical_to_hashmap_store() {
+        for c in [adder_circuit(16), mixed_circuit()] {
+            let plan = baseline_plan(&c);
+            for chunk in [1usize, 3, 64, 1 << 14] {
+                let mut rng1 = StdRng::seed_from_u64(123);
+                let mut rng2 = StdRng::seed_from_u64(123);
+                let mut live = StreamingGarbler::new(&c, &mut rng1, HashScheme::Rekeyed);
+                let mut slab = StreamingGarbler::with_plan(&plan, &mut rng2, HashScheme::Rekeyed);
+                assert_eq!(live.delta(), slab.delta());
+                assert_eq!(live.total_tables(), slab.total_tables());
+                loop {
+                    let a = live.next_tables(chunk);
+                    let b = slab.next_tables(chunk);
+                    assert_eq!(a, b, "chunk={chunk}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                let lf = live.finish();
+                let sf = slab.finish();
+                assert_eq!(lf.output_decode, sf.output_decode, "chunk={chunk}");
+                assert_eq!(lf.crypto, sf.crypto, "chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_evaluator_agrees_with_hashmap_evaluator() {
+        let c = mixed_circuit();
+        let plan = baseline_plan(&c);
+        let g_bits = to_bits(173, 8);
+        let e_bits = to_bits(99, 8);
+        for chunk in [1usize, 5, 1024] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut garbler = StreamingGarbler::with_plan(&plan, &mut rng, HashScheme::Rekeyed);
+            let inputs = garbler.encode_inputs(&g_bits, &e_bits);
+            let mut live_eval = StreamingEvaluator::new(&c, inputs.clone(), HashScheme::Rekeyed);
+            let mut slab_eval = StreamingEvaluator::with_plan(&plan, inputs, HashScheme::Rekeyed);
+            while let Some(tables) = garbler.next_tables(chunk) {
+                live_eval.feed(&tables);
+                slab_eval.feed(&tables);
+            }
+            let decode = garbler.finish().output_decode;
+            let lf = live_eval.finish(&decode);
+            let sf = slab_eval.finish(&decode);
+            assert_eq!(lf.outputs, sf.outputs, "chunk={chunk}");
+            assert_eq!(lf.output_labels, sf.output_labels, "chunk={chunk}");
+            assert_eq!(lf.outputs, c.eval(&g_bits, &e_bits).unwrap(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn slab_peaks_are_static_and_match_liveness() {
+        let c = adder_circuit(8);
+        let plan = baseline_plan(&c);
+        assert_eq!(plan.peak_live(), Liveness::analyze(&c).peak_live_wires(&c));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut garbler = StreamingGarbler::with_plan(&plan, &mut rng, HashScheme::Rekeyed);
+        let inputs = garbler.encode_inputs(&to_bits(1, 8), &to_bits(2, 8));
+        let mut evaluator = StreamingEvaluator::with_plan(&plan, inputs, HashScheme::Rekeyed);
+        while let Some(tables) = garbler.next_tables(4) {
+            evaluator.feed(&tables);
+        }
+        let gfin = garbler.finish();
+        let efin = evaluator.finish(&gfin.output_decode);
+        assert_eq!(gfin.peak_live_wires, plan.peak_live());
+        assert_eq!(efin.peak_live_wires, plan.peak_live());
     }
 
     #[test]
@@ -741,6 +1152,41 @@ mod tests {
         let efin = evaluator.finish(&gfin.output_decode);
         assert_eq!(efin.crypto.key_expansions, 2 * ands);
         assert_eq!(efin.crypto.aes_blocks, 2 * ands);
+    }
+
+    #[test]
+    fn outputs_produced_early_survive_slab_overwrites() {
+        // The first XOR's result is a circuit output but its slab slot
+        // is overwritten many window-slides later; the snapshot cursor
+        // must have captured it at write time.
+        let mut b = Builder::new();
+        let x = b.input_garbler(1);
+        let y = b.input_evaluator(1);
+        let early = b.xor(x[0], y[0]);
+        let mut lo = early;
+        let mut hi = b.and(x[0], y[0]);
+        for _ in 0..200 {
+            // Rolling pair: operands are always recent wires, so the
+            // renamed distances (and the slab) stay small while the
+            // address stream runs far past the early output's slot.
+            let t = b.and(lo, hi);
+            let n = b.xor(t, hi);
+            lo = hi;
+            hi = n;
+        }
+        let c = b.finish(vec![early, hi]).unwrap();
+        let plan = baseline_plan(&c);
+        assert!(plan.slot_wires() < c.num_wires(), "the window must actually slide");
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut garbler = StreamingGarbler::with_plan(&plan, &mut rng, HashScheme::Rekeyed);
+        let inputs = garbler.encode_inputs(&[true], &[false]);
+        let mut evaluator = StreamingEvaluator::with_plan(&plan, inputs, HashScheme::Rekeyed);
+        while let Some(tables) = garbler.next_tables(7) {
+            evaluator.feed(&tables);
+        }
+        let fin = evaluator.finish(&garbler.finish().output_decode);
+        assert_eq!(fin.outputs, c.eval(&[true], &[false]).unwrap());
     }
 
     #[test]

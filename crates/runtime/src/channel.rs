@@ -303,6 +303,29 @@ mod tests {
     }
 
     #[test]
+    fn flushes_are_counted_on_both_bounded_and_unbounded_pairs() {
+        // The session layer's `io_ns`/`overlap_ratio` accounting hangs
+        // off flush boundaries, so MemChannel must meter them exactly
+        // like a real transport — one count per non-empty flush, on
+        // every pair flavor.
+        for (mut a, mut b) in [MemChannel::pair(), MemChannel::pair_bounded(3)] {
+            for round in 1..=3u64 {
+                a.send(&[round as u8; 16]).unwrap();
+                a.flush().unwrap();
+                assert_eq!(a.stats().flushes, round);
+                let mut buf = [0u8; 16];
+                b.recv_exact(&mut buf).unwrap();
+            }
+            // A flush with nothing buffered transmits nothing and
+            // counts nothing, so flush counts equal wire messages.
+            a.flush().unwrap();
+            assert_eq!(a.stats().flushes, 3);
+            assert_eq!(b.stats().flushes, 0, "the receiver never flushed");
+            assert_eq!(a.stats().bytes_sent, b.stats().bytes_received);
+        }
+    }
+
+    #[test]
     fn bounded_pair_stalls_the_sender_instead_of_buffering_unboundedly() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc;

@@ -83,9 +83,13 @@ pub mod wire;
 pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY};
 pub use error::RuntimeError;
 pub use session::{
-    run_evaluator, run_garbler, run_local_session, run_tcp_session, SessionConfig, SessionReport,
-    SessionRole,
+    run_evaluator, run_evaluator_with, run_garbler, run_local_session, run_tcp_session,
+    SessionConfig, SessionReport, SessionRole, PIPELINE_DEPTH,
 };
+
+// Re-exported so callers can cache lowered plans without importing
+// haac-core directly.
+pub use haac_core::lower::{lower_for_streaming, StreamingPlan};
 
 // Re-exported so downstream code can name the streaming primitives and
 // the cipher-work counters carried by SessionReport without importing

@@ -1,20 +1,35 @@
 //! End-to-end two-party sessions: handshake, input delivery, base OT,
 //! window-chunked table streaming, and output sharing.
 //!
-//! The garbler garbles *incrementally* and ships tables in chunks sized
-//! by the compiler's sliding-wire-window model ([`WindowModel`]): one
-//! chunk per half-window slide, the same granularity at which HAAC's SWW
-//! advances. The evaluator consumes each chunk as it lands and retires
-//! wire labels at their last use, so its live-label storage tracks the
-//! window — O(window), not O(circuit) — which each [`SessionReport`]
-//! records as `peak_live_wires`.
+//! Two co-design ideas from the paper meet in this module:
+//!
+//! - **Slot-renamed execution.** A session configured with a cached
+//!   [`StreamingPlan`] (the default — [`SessionConfig::for_circuit`]
+//!   lowers once, the server's circuit cache lowers once *per
+//!   workload*) drives the gc executors off the renamed instruction
+//!   stream: labels live in a flat slab indexed by window slot, with
+//!   zero per-gate hashing or retire bookkeeping and the peak residency
+//!   known statically from the plan.
+//! - **Decoupled access/execute.** The garbler splits into a compute
+//!   stage and an I/O stage joined by a bounded ring of
+//!   [`PIPELINE_DEPTH`] rotating chunk buffers:
+//!   garbling chunk N+1 overlaps the send/flush of chunk N, and
+//!   symmetrically the evaluator receives chunk N+1 while evaluating
+//!   chunk N. [`SessionReport`] meters both stages (`compute_ns`,
+//!   `io_ns`) and the achieved [`overlap_ratio`](SessionReport) so the
+//!   benefit is measurable per session.
+//!
+//! The pipelined, slab-backed path is byte-identical on the wire to the
+//! serial HashMap path — same frames, same flush boundaries, same
+//! tables — which the equivalence suite checks across every workload.
 
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use haac_circuit::Circuit;
+use haac_core::lower::{lower_for_streaming, StreamingPlan};
 use haac_core::WindowModel;
-use haac_gc::stream::Liveness;
-use haac_gc::{CryptoCounters, HashScheme, StreamingEvaluator, StreamingGarbler};
+use haac_gc::{Block, CryptoCounters, HashScheme, StreamingEvaluator, StreamingGarbler};
 use rand::Rng;
 
 use crate::channel::Channel;
@@ -31,45 +46,82 @@ pub enum SessionRole {
 }
 
 /// Everything a party chooses before a session.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// The gate-hash construction (both parties must agree; the header
     /// carries the garbler's choice and the evaluator validates it).
     pub scheme: HashScheme,
     /// The sliding-wire-window geometry streaming is planned around.
     pub window: WindowModel,
+    /// The circuit lowered once for slot-slab execution. `Some` (the
+    /// default from [`for_circuit`](SessionConfig::for_circuit)) drives
+    /// both roles off the renamed stream; `None` falls back to the
+    /// liveness-retired HashMap store on the raw circuit.
+    pub plan: Option<Arc<StreamingPlan>>,
+    /// Overrides the window-derived tables-per-chunk (tests and
+    /// benchmarks sweep this; `None` uses the window's slide
+    /// granularity).
+    pub chunk_override: Option<usize>,
+    /// Whether to overlap compute with channel I/O (decoupled stages
+    /// over a [`PIPELINE_DEPTH`]-buffer ring). `false` runs the legacy
+    /// strictly alternating loop; the wire bytes are identical either
+    /// way.
+    pub pipeline: bool,
 }
 
 impl SessionConfig {
-    /// A config with an explicit window.
+    /// A config with an explicit window and no streaming plan (the raw
+    /// circuit, HashMap-store path).
     pub fn new(scheme: HashScheme, window: WindowModel) -> SessionConfig {
-        SessionConfig { scheme, window }
+        SessionConfig { scheme, window, plan: None, chunk_override: None, pipeline: true }
     }
 
-    /// Sizes the window to the circuit's own streaming requirement: the
-    /// smallest power-of-two window that holds the circuit's peak live
-    /// wires (what the compiler's renaming would provision as SWW
-    /// capacity for this program).
+    /// Lowers the circuit once (reorder → rename → window-size) and
+    /// sizes the session around the resulting plan: the slab window
+    /// under which every read is in-window. Cache the returned config
+    /// (or its `plan`) to amortize the lowering across sessions.
     pub fn for_circuit(circuit: &Circuit) -> SessionConfig {
-        let peak = Liveness::analyze(circuit).peak_live_wires(circuit) as u32;
+        SessionConfig::from_plan(HashScheme::Rekeyed, Arc::new(lower_for_streaming(circuit)))
+    }
+
+    /// Builds a config around an already lowered plan (what a warm
+    /// server does on every cache hit — no per-session analysis pass).
+    pub fn from_plan(scheme: HashScheme, plan: Arc<StreamingPlan>) -> SessionConfig {
         SessionConfig {
-            scheme: HashScheme::Rekeyed,
-            window: WindowModel::new(peak.max(2).next_power_of_two()),
+            scheme,
+            window: plan.window,
+            plan: Some(plan),
+            chunk_override: None,
+            pipeline: true,
         }
+    }
+
+    /// Returns the config with the given tables-per-chunk override.
+    pub fn with_chunk_tables(mut self, chunk_tables: usize) -> SessionConfig {
+        assert!(chunk_tables > 0, "chunk size must be positive");
+        self.chunk_override = Some(chunk_tables);
+        self
+    }
+
+    /// Returns the config with compute/I/O overlap switched on or off.
+    pub fn with_pipeline(mut self, pipeline: bool) -> SessionConfig {
+        self.pipeline = pipeline;
+        self
     }
 
     /// Tables per streamed chunk: the window's slide granularity (half
     /// the window), the rate at which HAAC retires SWW residency — capped
     /// so a chunk frame (32 B/table) always fits the wire format's
-    /// per-frame payload limit.
+    /// per-frame payload limit. An explicit
+    /// [`chunk_override`](SessionConfig::chunk_override) wins.
     pub fn chunk_tables(&self) -> usize {
         const MAX_CHUNK_TABLES: usize = 1 << 20; // 32 MiB of tables per frame
-        (self.window.half() as usize).clamp(1, MAX_CHUNK_TABLES)
+        self.chunk_override.unwrap_or(self.window.half() as usize).clamp(1, MAX_CHUNK_TABLES)
     }
 }
 
 /// Outcome and accounting for one party's side of a session.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Which side this report describes.
     pub role: SessionRole,
@@ -85,7 +137,9 @@ pub struct SessionReport {
     pub table_chunks: u64,
     /// Total AND tables streamed.
     pub tables: u64,
-    /// High-water mark of simultaneously stored wire labels on this side.
+    /// High-water mark of simultaneously stored wire labels on this side
+    /// (measured on the HashMap path, static from the plan on the slab
+    /// path — the two agree for the default lowering).
     pub peak_live_wires: usize,
     /// Whether `peak_live_wires` fit within the announced window.
     pub within_window: bool,
@@ -95,6 +149,29 @@ pub struct SessionReport {
     /// when garbling under re-keying) and AES block calls (4 garbling,
     /// 2 evaluating) — the quantities HAAC's gate engines pipeline.
     pub crypto: CryptoCounters,
+    /// Nanoseconds the streaming phase spent garbling/evaluating gates.
+    pub compute_ns: u64,
+    /// Nanoseconds of the streaming phase's I/O stage: channel
+    /// send/flush time on the garbler; on the evaluator, time in
+    /// blocking receives (serial loop) or the receive stage's full span
+    /// (pipelined — network waits and prefetch stalls included).
+    pub io_ns: u64,
+    /// Wall-clock nanoseconds of the whole table-streaming phase
+    /// (compute and I/O together; handshake and OT excluded) — the
+    /// denominator for streaming-phase throughput.
+    pub stream_ns: u64,
+    /// How much of the smaller streaming stage was hidden behind the
+    /// larger one: `(compute_ns + io_ns - stream_wall) /
+    /// min(compute_ns, io_ns)`, clamped to `[0, 1]`. Zero for serial
+    /// sessions; approaches 1 when the stages overlap perfectly.
+    ///
+    /// Interpret per role: the garbler's is strict (its `io_ns` counts
+    /// only send/flush work, so overlap means garbling genuinely ran
+    /// under the writes). The pipelined evaluator's is coverage of the
+    /// receive *stage's span* by evaluation — the span includes
+    /// network waits and prefetch-full stalls, so it is an upper bound
+    /// on CPU-level overlap, not a measure of it.
+    pub overlap_ratio: f64,
     /// Wall-clock duration of this party's session.
     pub elapsed: Duration,
 }
@@ -112,6 +189,34 @@ impl SessionReport {
     }
 }
 
+/// Accounting for one side's table-streaming phase.
+#[derive(Debug, Default, Clone, Copy)]
+struct StreamStats {
+    chunks: u64,
+    tables: u64,
+    compute_ns: u64,
+    io_ns: u64,
+    wall_ns: u64,
+}
+
+impl StreamStats {
+    /// Fraction of the smaller stage hidden behind the larger one.
+    fn overlap_ratio(&self) -> f64 {
+        let serialized = self.compute_ns + self.io_ns;
+        let hidden = serialized.saturating_sub(self.wall_ns);
+        let denom = self.compute_ns.min(self.io_ns);
+        if denom == 0 {
+            0.0
+        } else {
+            (hidden as f64 / denom as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Steady-state chunk buffers are presized but capped (a huge window
+/// must not preallocate a huge buffer before any table exists).
+const CHUNK_BUFFER_CAP: usize = 1 << 16;
+
 fn expect_message<C: Channel + ?Sized>(
     channel: &mut C,
     expected: &'static str,
@@ -126,15 +231,56 @@ fn expect_message<C: Channel + ?Sized>(
     Ok(message)
 }
 
+/// A configured plan must describe the session's circuit — a mismatch
+/// would garble garbage rather than fail loudly.
+///
+/// Release builds check the aggregate counts plus the per-instruction
+/// opcode sequence (one allocation-free O(gates) pass): the session
+/// layer only supports transcript-preserving baseline-order plans, so
+/// any reordering — or wiring difference that changes which operation
+/// sits where — is caught. Two circuits with identical opcode
+/// sequences but different operand wiring still slip past the cheap
+/// check; debug builds close that gap with a full re-rename
+/// comparison, so the test suites enforce exact structural equality
+/// while warm release sessions keep the near-free check.
+fn check_plan(plan: &StreamingPlan, circuit: &Circuit) -> Result<(), RuntimeError> {
+    let p = &plan.program;
+    let mismatch = p.garbler_inputs() != circuit.garbler_inputs()
+        || p.evaluator_inputs() != circuit.evaluator_inputs()
+        || p.instrs().len() != circuit.num_gates()
+        || p.and_count() != circuit.num_and_gates()
+        || p.output_addrs().len() != circuit.outputs().len()
+        || p.instrs().iter().zip(circuit.gates()).any(|(instr, gate)| {
+            instr.op
+                != match gate.op {
+                    haac_circuit::GateOp::And => haac_gc::SlotOp::And,
+                    haac_circuit::GateOp::Xor => haac_gc::SlotOp::Xor,
+                    haac_circuit::GateOp::Inv => haac_gc::SlotOp::Inv,
+                }
+        });
+    if mismatch {
+        return Err(RuntimeError::protocol(
+            "session plan does not match the circuit (stale cache entry?)",
+        ));
+    }
+    #[cfg(debug_assertions)]
+    if *p != haac_gc::baseline_plan(circuit) {
+        return Err(RuntimeError::protocol(
+            "session plan does not match the circuit's wiring (stale cache entry?)",
+        ));
+    }
+    Ok(())
+}
+
 /// Runs the garbler (Alice) side of a streaming session.
 ///
 /// Blocks until the evaluator has shared the outputs back.
 ///
 /// # Errors
 ///
-/// Fails on transport errors, protocol violations, or input width
-/// mismatch.
-pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
+/// Fails on transport errors, protocol violations, input width
+/// mismatch, or a plan that does not describe `circuit`.
+pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     circuit: &Circuit,
     garbler_bits: &[bool],
     rng: &mut R,
@@ -147,6 +293,9 @@ pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
             garbler_bits.len(),
             circuit.garbler_inputs()
         )));
+    }
+    if let Some(plan) = &config.plan {
+        check_plan(plan, circuit)?;
     }
     let start = Instant::now();
     let chunk_tables = config.chunk_tables();
@@ -164,28 +313,26 @@ pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
         }),
     )?;
 
-    let mut garbler = StreamingGarbler::new(circuit, rng, config.scheme);
+    let plan = config.plan.clone();
+    let mut garbler = match &plan {
+        Some(plan) => StreamingGarbler::with_plan(&plan.program, rng, config.scheme),
+        None => StreamingGarbler::new(circuit, rng, config.scheme),
+    };
     write_message(channel, &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)))?;
 
     // Base OT for the evaluator's input labels.
     let ot_transfers = ot_send(circuit, &garbler, rng, channel)?;
 
-    // Stream tables in window-sized chunks, one flush per chunk. One
-    // buffer serves the whole stream: `next_tables_into` refills it and
-    // `write_tables` frames it from a borrowed slice, so the steady
-    // state performs zero per-chunk allocations.
-    let mut table_chunks = 0u64;
-    let mut tables = 0u64;
-    let mut chunk: Vec<[haac_gc::Block; 2]> = Vec::with_capacity(chunk_tables.min(1 << 16));
-    while garbler.next_tables_into(chunk_tables, &mut chunk) {
-        if chunk.is_empty() {
-            continue;
-        }
-        tables += chunk.len() as u64;
-        table_chunks += 1;
-        write_tables(channel, &chunk)?;
-        channel.flush()?;
-    }
+    // Stream tables in window-sized chunks, one flush per chunk. Two
+    // rotating buffers serve the whole stream — `next_tables_into`
+    // refills and `write_tables` frames from borrowed slices, so the
+    // steady state performs zero per-chunk allocations whether the I/O
+    // stage is overlapped or inline.
+    let stats = if config.pipeline {
+        stream_tables_pipelined(&mut garbler, channel, chunk_tables)?
+    } else {
+        stream_tables_serial(&mut garbler, channel, chunk_tables)?
+    };
 
     let finish = garbler.finish();
     write_message(channel, &Message::OutputDecode(finish.output_decode))?;
@@ -200,36 +347,159 @@ pub fn run_garbler<C: Channel + ?Sized, R: Rng + ?Sized>(
         )));
     }
 
-    let stats = channel.stats();
+    let channel_stats = channel.stats();
     Ok(SessionReport {
         role: SessionRole::Garbler,
         outputs,
-        bytes_sent: stats.bytes_sent,
-        bytes_received: stats.bytes_received,
-        flushes: stats.flushes,
-        table_chunks,
-        tables,
+        bytes_sent: channel_stats.bytes_sent,
+        bytes_received: channel_stats.bytes_received,
+        flushes: channel_stats.flushes,
+        table_chunks: stats.chunks,
+        tables: stats.tables,
         peak_live_wires: finish.peak_live_wires,
         within_window: finish.peak_live_wires <= config.window.sww_wires() as usize,
         ot_transfers,
         crypto: finish.crypto,
+        compute_ns: stats.compute_ns,
+        io_ns: stats.io_ns,
+        stream_ns: stats.wall_ns,
+        overlap_ratio: stats.overlap_ratio(),
         elapsed: start.elapsed(),
     })
 }
 
-/// Runs the evaluator (Bob) side of a streaming session.
+/// The legacy strictly alternating loop: garble a chunk, ship it, wait,
+/// repeat. Byte-identical output to the pipelined path.
+fn stream_tables_serial<C: Channel + ?Sized>(
+    garbler: &mut StreamingGarbler<'_>,
+    channel: &mut C,
+    chunk_tables: usize,
+) -> Result<StreamStats, RuntimeError> {
+    let start = Instant::now();
+    let mut stats = StreamStats::default();
+    let mut chunk: Vec<[Block; 2]> = Vec::with_capacity(chunk_tables.min(CHUNK_BUFFER_CAP));
+    loop {
+        let t = Instant::now();
+        let more = garbler.next_tables_into(chunk_tables, &mut chunk);
+        stats.compute_ns += t.elapsed().as_nanos() as u64;
+        if !more {
+            break;
+        }
+        if chunk.is_empty() {
+            continue;
+        }
+        stats.tables += chunk.len() as u64;
+        stats.chunks += 1;
+        let t = Instant::now();
+        write_tables(channel, &chunk)?;
+        channel.flush()?;
+        stats.io_ns += t.elapsed().as_nanos() as u64;
+    }
+    stats.wall_ns = start.elapsed().as_nanos() as u64;
+    Ok(stats)
+}
+
+/// Chunk buffers in flight between a pipelined session's compute and
+/// I/O stages. Two is the textbook double buffer but turns every
+/// handoff into a blocking rendezvous (the compute stage waits out a
+/// scheduler round trip per chunk); a third buffer lets the compute
+/// stage keep garbling while the I/O thread is being woken. The
+/// overlap pays off whenever the I/O stage genuinely waits (network
+/// serialization, a lagging peer, a second hardware thread to run on);
+/// on a single-CPU host against a pure loopback it degrades to roughly
+/// serial cost. Memory stays bounded at `PIPELINE_DEPTH` chunks.
 ///
-/// The evaluator learns the session parameters from the garbler's header
-/// and validates them against its own copy of the circuit.
+/// Public so benchmarks that model the pipeline schedule stay in sync
+/// with the driver.
+pub const PIPELINE_DEPTH: usize = 3;
+
+/// The decoupled access/execute pipeline: the calling thread garbles
+/// while a scoped I/O stage sends and flushes, joined by a bounded
+/// ring of [`PIPELINE_DEPTH`] rotating chunk buffers (chunk N+1 is
+/// garbled while chunk N is on the wire). Bounded by construction: at
+/// most [`PIPELINE_DEPTH`] chunks exist at once, so a slow evaluator
+/// still backpressures the garbler through the channel, exactly as in
+/// the serial loop.
+fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
+    garbler: &mut StreamingGarbler<'_>,
+    channel: &mut C,
+    chunk_tables: usize,
+) -> Result<StreamStats, RuntimeError> {
+    let start = Instant::now();
+    let capacity = chunk_tables.min(CHUNK_BUFFER_CAP);
+    // Full buffers travel compute → I/O; drained buffers travel back
+    // for refilling. The full queue holds every buffer without
+    // blocking, so the compute stage only stalls when the I/O stage is
+    // a full ring behind (genuine backpressure, not handoff latency).
+    let (full_tx, full_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(PIPELINE_DEPTH);
+    let (empty_tx, empty_rx) = mpsc::channel::<Vec<[Block; 2]>>();
+    for _ in 0..PIPELINE_DEPTH {
+        empty_tx.send(Vec::with_capacity(capacity)).expect("receiver held by this thread");
+    }
+
+    let mut stats = StreamStats::default();
+    let (io_ns, failure) = std::thread::scope(|scope| {
+        let io = scope.spawn(move || {
+            let mut io_ns = 0u64;
+            let mut failure = None;
+            while let Ok(chunk) = full_rx.recv() {
+                let t = Instant::now();
+                let shipped = write_tables(channel, &chunk)
+                    .and_then(|()| channel.flush().map_err(RuntimeError::from));
+                io_ns += t.elapsed().as_nanos() as u64;
+                if let Err(e) = shipped {
+                    failure = Some(e);
+                    break; // dropping the queues unblocks the compute stage
+                }
+                let _ = empty_tx.send(chunk);
+            }
+            (io_ns, failure)
+        });
+        // Compute stage, on the calling thread. A `None` buffer means
+        // the I/O stage died; its error surfaces after the join.
+        let mut stash: Option<Vec<[Block; 2]>> = None;
+        while let Some(mut chunk) = stash.take().or_else(|| empty_rx.recv().ok()) {
+            let t = Instant::now();
+            let more = garbler.next_tables_into(chunk_tables, &mut chunk);
+            stats.compute_ns += t.elapsed().as_nanos() as u64;
+            if !more {
+                break;
+            }
+            if chunk.is_empty() {
+                stash = Some(chunk); // table-free tail: nothing to ship
+                continue;
+            }
+            stats.tables += chunk.len() as u64;
+            stats.chunks += 1;
+            if full_tx.send(chunk).is_err() {
+                break;
+            }
+        }
+        drop(full_tx); // end of stream: the I/O stage drains and exits
+        io.join().expect("table I/O stage panicked")
+    });
+    stats.io_ns = io_ns;
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    stats.wall_ns = start.elapsed().as_nanos() as u64;
+    Ok(stats)
+}
+
+/// Runs the evaluator (Bob) side of a streaming session with explicit
+/// options: `config.plan`/`config.pipeline` select the label store and
+/// the receive/evaluate overlap (`config.scheme` and `config.window`
+/// are the garbler's choices and arrive via the header).
 ///
 /// # Errors
 ///
-/// Fails on transport errors, protocol violations, or input width
-/// mismatch.
-pub fn run_evaluator<C: Channel + ?Sized, R: Rng + ?Sized>(
+/// Fails on transport errors, protocol violations, input width
+/// mismatch, or a plan that does not describe `circuit`.
+pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     circuit: &Circuit,
     evaluator_bits: &[bool],
     rng: &mut R,
+    config: &SessionConfig,
     channel: &mut C,
 ) -> Result<SessionReport, RuntimeError> {
     if evaluator_bits.len() != circuit.evaluator_inputs() as usize {
@@ -238,6 +508,9 @@ pub fn run_evaluator<C: Channel + ?Sized, R: Rng + ?Sized>(
             evaluator_bits.len(),
             circuit.evaluator_inputs()
         )));
+    }
+    if let Some(plan) = &config.plan {
+        check_plan(plan, circuit)?;
     }
     let start = Instant::now();
 
@@ -255,23 +528,16 @@ pub fn run_evaluator<C: Channel + ?Sized, R: Rng + ?Sized>(
 
     let mut input_labels = garbler_labels;
     input_labels.extend(own_labels);
-    let mut evaluator = StreamingEvaluator::new(circuit, input_labels, header.scheme);
+    let plan = config.plan.clone();
+    let mut evaluator = match &plan {
+        Some(plan) => StreamingEvaluator::with_plan(&plan.program, input_labels, header.scheme),
+        None => StreamingEvaluator::new(circuit, input_labels, header.scheme),
+    };
 
-    let mut table_chunks = 0u64;
-    let output_decode = loop {
-        match read_message(channel)? {
-            Message::Tables(chunk) => {
-                table_chunks += 1;
-                evaluator.feed(&chunk);
-            }
-            Message::OutputDecode(decode) => break decode,
-            other => {
-                return Err(RuntimeError::protocol(format!(
-                    "expected Tables or OutputDecode, received {}",
-                    other.name()
-                )))
-            }
-        }
+    let (output_decode, stats) = if config.pipeline {
+        recv_tables_pipelined(&mut evaluator, channel)?
+    } else {
+        recv_tables_serial(&mut evaluator, channel)?
     };
     if !evaluator.is_done() {
         return Err(RuntimeError::protocol(format!(
@@ -286,21 +552,138 @@ pub fn run_evaluator<C: Channel + ?Sized, R: Rng + ?Sized>(
     write_message(channel, &Message::Outputs(finish.outputs.clone()))?;
     channel.flush()?;
 
-    let stats = channel.stats();
+    let channel_stats = channel.stats();
     Ok(SessionReport {
         role: SessionRole::Evaluator,
         outputs: finish.outputs,
-        bytes_sent: stats.bytes_sent,
-        bytes_received: stats.bytes_received,
-        flushes: stats.flushes,
-        table_chunks,
+        bytes_sent: channel_stats.bytes_sent,
+        bytes_received: channel_stats.bytes_received,
+        flushes: channel_stats.flushes,
+        table_chunks: stats.chunks,
         tables,
         peak_live_wires: finish.peak_live_wires,
         within_window: finish.peak_live_wires <= header.window_wires as usize,
         ot_transfers: circuit.evaluator_inputs() as u64,
         crypto: finish.crypto,
+        compute_ns: stats.compute_ns,
+        io_ns: stats.io_ns,
+        stream_ns: stats.wall_ns,
+        overlap_ratio: stats.overlap_ratio(),
         elapsed: start.elapsed(),
     })
+}
+
+/// Runs the evaluator (Bob) side of a streaming session with default
+/// options: the circuit is lowered on the spot (callers running many
+/// sessions should cache a plan and use
+/// [`run_evaluator_with`]/[`SessionConfig::from_plan`] instead).
+///
+/// The evaluator learns the session parameters from the garbler's header
+/// and validates them against its own copy of the circuit.
+///
+/// # Errors
+///
+/// Fails on transport errors, protocol violations, or input width
+/// mismatch.
+pub fn run_evaluator<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
+    circuit: &Circuit,
+    evaluator_bits: &[bool],
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<SessionReport, RuntimeError> {
+    let config = SessionConfig::for_circuit(circuit);
+    run_evaluator_with(circuit, evaluator_bits, rng, &config, channel)
+}
+
+/// Serial receive loop: block for a frame, evaluate it, repeat.
+fn recv_tables_serial<C: Channel + ?Sized>(
+    evaluator: &mut StreamingEvaluator<'_>,
+    channel: &mut C,
+) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
+    let start = Instant::now();
+    let mut stats = StreamStats::default();
+    let decode = loop {
+        let t = Instant::now();
+        let message = read_message(channel)?;
+        stats.io_ns += t.elapsed().as_nanos() as u64;
+        match message {
+            Message::Tables(chunk) => {
+                stats.chunks += 1;
+                stats.tables += chunk.len() as u64;
+                let t = Instant::now();
+                evaluator.feed(&chunk);
+                stats.compute_ns += t.elapsed().as_nanos() as u64;
+            }
+            Message::OutputDecode(decode) => break decode,
+            other => {
+                return Err(RuntimeError::protocol(format!(
+                    "expected Tables or OutputDecode, received {}",
+                    other.name()
+                )))
+            }
+        }
+    };
+    stats.wall_ns = start.elapsed().as_nanos() as u64;
+    Ok((decode, stats))
+}
+
+/// Pipelined receive: a scoped I/O stage blocks on the channel and
+/// hands table chunks to the calling thread, so the receive of chunk
+/// N+1 overlaps the evaluation of chunk N.
+///
+/// The receive stage's `io_ns` is its full span — first receive attempt
+/// until the decode message lands. That span covers both genuine
+/// network waits and stalls with the prefetch queue full (the stage ran
+/// *ahead* of evaluation); either way, every nanosecond of it that
+/// coincides with evaluation is receive work the serial loop would have
+/// paid inline, which is exactly what `overlap_ratio` reports.
+fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
+    evaluator: &mut StreamingEvaluator<'_>,
+    channel: &mut C,
+) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
+    let start = Instant::now();
+    let mut stats = StreamStats::default();
+    // Prefetch is bounded like the garbler's ring: at most
+    // PIPELINE_DEPTH chunks received-but-unevaluated at once.
+    let (chunk_tx, chunk_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(PIPELINE_DEPTH);
+    let (io_ns, outcome) = std::thread::scope(|scope| {
+        let io = scope.spawn(move || {
+            let span = Instant::now();
+            loop {
+                let message = read_message(channel);
+                let io_ns = span.elapsed().as_nanos() as u64;
+                match message {
+                    Ok(Message::Tables(chunk)) => {
+                        if chunk_tx.send(chunk).is_err() {
+                            let reason = "evaluation stage stopped mid-stream";
+                            return (io_ns, Err(RuntimeError::protocol(reason)));
+                        }
+                    }
+                    Ok(Message::OutputDecode(decode)) => return (io_ns, Ok(decode)),
+                    Ok(other) => {
+                        let reason =
+                            format!("expected Tables or OutputDecode, received {}", other.name());
+                        return (io_ns, Err(RuntimeError::protocol(reason)));
+                    }
+                    Err(e) => return (io_ns, Err(e)),
+                }
+            }
+        });
+        // Evaluation stage, on the calling thread. Drains everything
+        // the I/O stage queued even after it has exited.
+        while let Ok(chunk) = chunk_rx.recv() {
+            stats.chunks += 1;
+            stats.tables += chunk.len() as u64;
+            let t = Instant::now();
+            evaluator.feed(&chunk);
+            stats.compute_ns += t.elapsed().as_nanos() as u64;
+        }
+        io.join().expect("table receive stage panicked")
+    });
+    stats.io_ns = io_ns;
+    let decode = outcome?;
+    stats.wall_ns = start.elapsed().as_nanos() as u64;
+    Ok((decode, stats))
 }
 
 fn validate_header(circuit: &Circuit, header: &SessionHeader) -> Result<(), RuntimeError> {
@@ -515,6 +898,8 @@ pub fn run_tcp_session(
 }
 
 /// Drives both roles on scoped threads over an already-paired transport.
+/// The one `config` governs both sides (the evaluator shares the
+/// garbler's plan and pipeline mode — no second lowering).
 fn run_session_pair<C: Channel + Send>(
     circuit: &Circuit,
     garbler_bits: &[bool],
@@ -535,7 +920,7 @@ fn run_session_pair<C: Channel + Send>(
         let evaluator = scope.spawn(move || {
             // Independent randomness for the receiver's OT blinding.
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-            run_evaluator(circuit, evaluator_bits, &mut rng, &mut evaluator_channel)
+            run_evaluator_with(circuit, evaluator_bits, &mut rng, config, &mut evaluator_channel)
         });
         let garbler_report = garbler.join().expect("garbler thread panicked");
         let evaluator_report = evaluator.join().expect("evaluator thread panicked");
@@ -588,6 +973,8 @@ mod tests {
         assert_eq!(e.crypto.key_expansions, 2 * ands);
         assert_eq!(e.crypto.aes_blocks, 2 * ands);
         assert!(g.and_gates_per_sec() > 0.0);
+        // The streaming phase was metered on both sides.
+        assert!(g.compute_ns > 0 && e.compute_ns > 0);
     }
 
     #[test]
@@ -605,6 +992,37 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_pipelined_sessions_put_identical_bytes_on_the_wire() {
+        let c = adder(24);
+        let base = SessionConfig::for_circuit(&c).with_chunk_tables(3);
+        let serial = base.clone().with_pipeline(false);
+        let (gs, es) =
+            run_local_session(&c, &to_bits(77, 24), &to_bits(88, 24), 5, &serial).unwrap();
+        let (gp, ep) = run_local_session(&c, &to_bits(77, 24), &to_bits(88, 24), 5, &base).unwrap();
+        assert_eq!(gs.outputs, gp.outputs);
+        assert_eq!(gs.bytes_sent, gp.bytes_sent);
+        assert_eq!(gs.bytes_received, gp.bytes_received);
+        assert_eq!(gs.flushes, gp.flushes);
+        assert_eq!(gs.table_chunks, gp.table_chunks);
+        assert_eq!(es.bytes_received, ep.bytes_received);
+        assert_eq!(es.table_chunks, ep.table_chunks);
+        // Serial sessions never report overlap.
+        assert_eq!(gs.overlap_ratio, 0.0);
+        assert_eq!(es.overlap_ratio, 0.0);
+        assert!(gp.overlap_ratio >= 0.0 && gp.overlap_ratio <= 1.0);
+    }
+
+    #[test]
+    fn chunk_override_controls_the_stream_granularity() {
+        let c = adder(16);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2);
+        assert_eq!(config.chunk_tables(), 2);
+        let (g, e) = run_local_session(&c, &to_bits(1, 16), &to_bits(2, 16), 4, &config).unwrap();
+        assert_eq!(g.table_chunks, (c.num_and_gates() as u64).div_ceil(2));
+        assert_eq!(g.table_chunks, e.table_chunks);
+    }
+
+    #[test]
     fn tiny_window_still_completes_with_many_chunks() {
         let c = adder(32);
         let config = SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2));
@@ -616,11 +1034,42 @@ mod tests {
     }
 
     #[test]
+    fn planless_config_still_streams_on_the_hashmap_store() {
+        use haac_gc::stream::Liveness;
+
+        let c = adder(16);
+        let peak = Liveness::analyze(&c).peak_live_wires(&c) as u32;
+        let window = WindowModel::new(peak.max(2).next_power_of_two());
+        let config = SessionConfig::new(HashScheme::Rekeyed, window);
+        assert!(config.plan.is_none());
+        let (g, e) = run_local_session(&c, &to_bits(9, 16), &to_bits(6, 16), 2, &config).unwrap();
+        assert_eq!(from_bits(&g.outputs), 15);
+        assert!(e.within_window);
+    }
+
+    #[test]
     fn wrong_input_width_is_rejected() {
         let c = adder(8);
         let config = SessionConfig::for_circuit(&c);
         let err = run_local_session(&c, &to_bits(0, 4), &to_bits(0, 8), 1, &config).unwrap_err();
         assert!(err.to_string().contains("garbler input width"));
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected_before_any_traffic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let big = adder(16);
+        let small = adder(8);
+        let config = SessionConfig::from_plan(
+            HashScheme::Rekeyed,
+            std::sync::Arc::new(lower_for_streaming(&small)),
+        );
+        let (mut gc, _ec) = crate::channel::MemChannel::pair();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = run_garbler(&big, &to_bits(1, 16), &mut rng, &config, &mut gc).unwrap_err();
+        assert!(err.to_string().contains("plan does not match"), "{err}");
     }
 
     #[test]
@@ -681,7 +1130,9 @@ mod tests {
         // A 2-wire window streams one table per chunk (one flush each),
         // and capacity 1 lets at most one unread flush exist per
         // direction: the garbler *must* stall whenever the evaluator
-        // lags — by construction it cannot buffer the circuit.
+        // lags — by construction it cannot buffer the circuit (the
+        // pipelined I/O stage holds at most PIPELINE_DEPTH chunks
+        // beyond that).
         let config = SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2));
         let (mut gc, ec) = crate::channel::MemChannel::pair_bounded(1);
         let mut ec = SlowChannel { inner: ec, delay: std::time::Duration::from_millis(1) };

@@ -3,11 +3,16 @@
 //! A client builds (or reuses) the same workload the server will fetch
 //! from its cache, sends a [`SessionRequest`], waits for the ack, runs
 //! the standard evaluator driver, and checks the decoded outputs
-//! against the plaintext reference.
+//! against the plaintext reference. Warm clients pass the
+//! [`SessionConfig`] they prepared alongside the workload, so the
+//! lowering/analysis pass runs once per workload — never per session —
+//! on the client side too.
 
 use std::net::ToSocketAddrs;
 
-use haac_runtime::{run_evaluator, Channel, RuntimeError, SessionReport, TcpChannel};
+use haac_runtime::{
+    run_evaluator_with, Channel, RuntimeError, SessionConfig, SessionReport, TcpChannel,
+};
 use haac_workloads::{build, Workload, WorkloadKind};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -17,22 +22,34 @@ use crate::request::{read_ack, write_request, SessionRequest};
 /// blinding never reuses the server's garbling stream.
 const CLIENT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Builds everything a warm client reuses across sessions of one
+/// workload: the circuit + reference outputs and the session config
+/// carrying the lowered streaming plan.
+pub fn prepare(kind: WorkloadKind, scale: haac_workloads::Scale) -> (Workload, SessionConfig) {
+    let workload = build(kind, scale);
+    let config = SessionConfig::for_circuit(&workload.circuit);
+    (workload, config)
+}
+
 /// Runs one full evaluator session against a served channel, reusing an
-/// already-built workload (what a warm client — or the loadgen — does).
+/// already-built workload and its prepared config (what a warm client —
+/// or the loadgen — does; see [`prepare`]).
 ///
 /// # Errors
 ///
 /// Fails on transport errors, a server refusal, protocol violations, or
 /// outputs diverging from the workload's plaintext reference.
-pub fn run_session_with<C: Channel + ?Sized>(
+pub fn run_session_with<C: Channel + Send + ?Sized>(
     channel: &mut C,
     request: &SessionRequest,
     workload: &Workload,
+    config: &SessionConfig,
 ) -> Result<SessionReport, RuntimeError> {
     write_request(channel, request)?;
     read_ack(channel)?;
     let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
-    let report = run_evaluator(&workload.circuit, &workload.evaluator_bits, &mut rng, channel)?;
+    let report =
+        run_evaluator_with(&workload.circuit, &workload.evaluator_bits, &mut rng, config, channel)?;
     if report.outputs != workload.expected {
         return Err(RuntimeError::protocol(format!(
             "{} outputs diverge from the plaintext reference",
@@ -42,25 +59,25 @@ pub fn run_session_with<C: Channel + ?Sized>(
     Ok(report)
 }
 
-/// Like [`run_session_with`], but builds the workload from the request
-/// first (a cold client).
+/// Like [`run_session_with`], but builds the workload (and lowers its
+/// streaming plan) from the request first (a cold client).
 ///
 /// # Errors
 ///
 /// Fails as [`run_session_with`], or on an unknown workload name.
-pub fn run_session<C: Channel + ?Sized>(
+pub fn run_session<C: Channel + Send + ?Sized>(
     channel: &mut C,
     request: &SessionRequest,
 ) -> Result<SessionReport, RuntimeError> {
     let kind = WorkloadKind::from_name(&request.workload).ok_or_else(|| {
         RuntimeError::protocol(format!("unknown workload {:?}", request.workload))
     })?;
-    let workload = build(kind, request.scale);
-    run_session_with(channel, request, &workload)
+    let (workload, config) = prepare(kind, request.scale);
+    run_session_with(channel, request, &workload, &config)
 }
 
 /// Connects to a TCP server and runs one session end to end with an
-/// already-built workload.
+/// already-built workload and its prepared config.
 ///
 /// # Errors
 ///
@@ -69,7 +86,8 @@ pub fn run_tcp_session_with(
     addr: impl ToSocketAddrs,
     request: &SessionRequest,
     workload: &Workload,
+    config: &SessionConfig,
 ) -> Result<SessionReport, RuntimeError> {
     let mut channel = TcpChannel::connect(addr)?;
-    run_session_with(&mut channel, request, workload)
+    run_session_with(&mut channel, request, workload, config)
 }

@@ -155,6 +155,15 @@ impl SessionRegistry {
         };
         let mut walls: Vec<f64> = succeeded.iter().map(|o| o.elapsed.as_secs_f64()).collect();
         walls.sort_by(|a, b| a.total_cmp(b));
+        let mean_overlap_ratio = if succeeded.is_empty() {
+            0.0
+        } else {
+            succeeded
+                .iter()
+                .filter_map(|o| o.result.as_ref().ok().map(|r| r.overlap_ratio))
+                .sum::<f64>()
+                / succeeded.len() as f64
+        };
         ServerReport {
             total_sessions: inner.completed.len() as u64 + inner.active.len() as u64,
             completed: succeeded.len() as u64,
@@ -169,6 +178,7 @@ impl SessionRegistry {
             },
             p50_session_secs: percentile(&walls, 50.0),
             p99_session_secs: percentile(&walls, 99.0),
+            mean_overlap_ratio,
         }
     }
 }
@@ -205,6 +215,11 @@ pub struct ServerReport {
     pub p50_session_secs: f64,
     /// 99th-percentile successful-session wall time.
     pub p99_session_secs: f64,
+    /// Mean compute/I/O overlap across successful sessions. Server
+    /// sessions are garbler-side, so this aggregates the strict
+    /// send/flush-overlap metric (0 when every session ran serially;
+    /// see `SessionReport::overlap_ratio`).
+    pub mean_overlap_ratio: f64,
 }
 
 #[cfg(test)]

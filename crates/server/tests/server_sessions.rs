@@ -30,10 +30,15 @@ fn concurrent_mem_sessions_share_the_pool_and_cache() {
         assert!(report.tables > 0);
     }
     assert!(server.registry().wait_drained(Duration::from_secs(30)));
-    // 3 distinct workloads built once each; the other 5 were cache hits.
+    // 3 distinct workloads resident; every lookup either hit or built.
+    // Builds run outside the cache lock, so two concurrent first
+    // requests for the same workload may both count as misses (the
+    // documented, harmless race) — misses is a lower-bounded count,
+    // not an exact one.
     assert_eq!(server.cache().len(), 3);
-    assert_eq!(server.cache().misses(), 3);
-    assert_eq!(server.cache().hits(), 5);
+    assert!(server.cache().misses() >= 3, "three distinct workloads must build");
+    assert!(server.cache().hits() >= 1, "repeat workloads must hit");
+    assert_eq!(server.cache().hits() + server.cache().misses(), 8);
     let report = server.shutdown();
     assert_eq!(report.total_sessions, 8);
     assert_eq!(report.completed, 8);
@@ -53,8 +58,10 @@ fn tcp_sessions_run_end_to_end() {
         .map(|i| {
             let workload = &dot;
             std::thread::spawn({
-                let workload = build(workload.kind, Scale::Small);
-                move || client::run_tcp_session_with(addr, &request("DotProd", i), &workload)
+                let (workload, config) = client::prepare(workload.kind, Scale::Small);
+                move || {
+                    client::run_tcp_session_with(addr, &request("DotProd", i), &workload, &config)
+                }
             })
         })
         .collect();
@@ -83,10 +90,12 @@ fn poisoned_sessions_are_isolated_from_healthy_ones() {
     // Session 3: a valid request for a workload that does not exist —
     // the server must refuse with a reason, not die.
     let mut unknown = server.connect();
+    let (dot_workload, dot_config) = client::prepare(WorkloadKind::DotProduct, Scale::Small);
     let err = client::run_session_with(
         &mut unknown,
         &request("NoSuchThing", 2),
-        &build(WorkloadKind::DotProduct, Scale::Small),
+        &dot_workload,
+        &dot_config,
     )
     .unwrap_err();
     assert!(err.to_string().contains("refused"), "{err}");
@@ -113,11 +122,8 @@ fn poisoned_sessions_are_isolated_from_healthy_ones() {
 fn outcomes_record_failures_with_reasons() {
     let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
     let mut unknown = server.connect();
-    let _ = client::run_session_with(
-        &mut unknown,
-        &request("Bogus", 0),
-        &build(WorkloadKind::DotProduct, Scale::Small),
-    );
+    let (workload, config) = client::prepare(WorkloadKind::DotProduct, Scale::Small);
+    let _ = client::run_session_with(&mut unknown, &request("Bogus", 0), &workload, &config);
     assert!(server.registry().wait_drained(Duration::from_secs(30)));
     let outcomes = server.registry().outcomes();
     assert_eq!(outcomes.len(), 1);

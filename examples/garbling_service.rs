@@ -21,7 +21,7 @@ fn main() {
     // A burst of 12 concurrent clients cycling three workloads.
     let mix = [WorkloadKind::DotProduct, WorkloadKind::Hamming, WorkloadKind::Relu];
     let built: Vec<Arc<_>> =
-        mix.iter().map(|&k| Arc::new(build_workload(k, Scale::Small))).collect();
+        mix.iter().map(|&k| Arc::new(client::prepare(k, Scale::Small))).collect();
     let start = Instant::now();
     let clients: Vec<_> = (0..12)
         .map(|i| {
@@ -36,9 +36,9 @@ fn main() {
                 };
                 let report = match mem_channel {
                     Some(mut channel) => {
-                        client::run_session_with(&mut channel, &request, &workload)
+                        client::run_session_with(&mut channel, &request, &workload.0, &workload.1)
                     }
-                    None => client::run_tcp_session_with(addr, &request, &workload),
+                    None => client::run_tcp_session_with(addr, &request, &workload.0, &workload.1),
                 }
                 .expect("session succeeds");
                 (kind, report)

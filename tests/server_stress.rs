@@ -12,15 +12,15 @@
 use std::time::Duration;
 
 use haac::server::{client, Server, ServerConfig, SessionRequest};
-use haac::workloads::{build, Scale, Workload, WorkloadKind};
-use haac_runtime::Channel;
+use haac::workloads::{Scale, Workload, WorkloadKind};
+use haac_runtime::{Channel, SessionConfig};
 use std::sync::Arc;
 
 const SESSIONS: usize = 32;
 const WORKERS: usize = 3;
 
-fn prebuilt_mix() -> Vec<(WorkloadKind, Arc<Workload>)> {
-    WorkloadKind::ALL.iter().map(|&k| (k, Arc::new(build(k, Scale::Small)))).collect()
+fn prebuilt_mix() -> Vec<(WorkloadKind, Arc<(Workload, SessionConfig)>)> {
+    WorkloadKind::ALL.iter().map(|&k| (k, Arc::new(client::prepare(k, Scale::Small)))).collect()
 }
 
 #[test]
@@ -46,9 +46,9 @@ fn soak_32_mixed_sessions_on_a_3_engine_pool() {
                 .name(format!("stress-client-{i}"))
                 .spawn(move || match mem_channel {
                     Some(mut channel) => {
-                        client::run_session_with(&mut channel, &request, &workload)
+                        client::run_session_with(&mut channel, &request, &workload.0, &workload.1)
                     }
-                    None => client::run_tcp_session_with(addr, &request, &workload),
+                    None => client::run_tcp_session_with(addr, &request, &workload.0, &workload.1),
                 })
                 .expect("spawn stress client")
         })
@@ -145,7 +145,7 @@ fn soak_with_poisoned_clients_isolates_failures_under_load() {
                         scale: Scale::Small,
                         seed: 7_000 + i as u64,
                     };
-                    client::run_session_with(&mut channel, &request, &workload)
+                    client::run_session_with(&mut channel, &request, &workload.0, &workload.1)
                 })
                 .expect("spawn healthy client")
         })

@@ -26,6 +26,20 @@
 //!   counterpart of the projection: the decoupled stages demonstrably
 //!   overlap receive/flush waits with gate compute.
 //!
+//! Two further sections back the pooled/reordered unification:
+//!
+//! - **pooled-vs-single slab garbling** — a wide, AND-heavy,
+//!   high-ILP circuit garbled through the single-engine streaming slab
+//!   and through the pooled wave scheduler sharing the same plan;
+//!   regression-gated (pooled ≥ single) on hosts with ≥ 4 cores and
+//!   a multi-engine pool, skip-gated elsewhere (two of our threads
+//!   cannot genuinely run at once on a 1-core runner).
+//! - **reordered-vs-baseline sessions** — real serial sessions under
+//!   the negotiated `Full`/`Segment` plans vs the `Baseline` plan,
+//!   gates/s per workload; regression-floored (reordered ≥ 0.5× the
+//!   baseline rate — the schedules trade locality for ILP, and on a
+//!   CPU the floor catches pathological collapses, not missed wins).
+//!
 //! Run with: `cargo run --release -p haac-bench --bin bench_pipeline`
 //!
 //! Environment:
@@ -35,15 +49,19 @@
 //!   kept).
 //! - `HAAC_LINK_GBPS` — modeled link bandwidth (default 1.0).
 //! - `HAAC_LINK_LATENCY_US` — modeled per-flush latency (default 40).
+//! - `HAAC_ENGINES` — pooled-garbling engine count (default
+//!   `min(4, cores)`; the CI matrix sweeps {1, 4}).
+//! - `HAAC_REORDER=baseline|full|segment|all` — which reordered
+//!   session rows to measure (default `all`).
 //! - `HAAC_BENCH_OUT=<path>` overrides the output file.
 
 use std::time::Instant;
 
 use haac_circuit::{Builder, Circuit};
 use haac_core::lower_for_streaming;
-use haac_gc::{HashScheme, StreamingGarbler};
+use haac_gc::{garble_plan_in, EnginePool, HashScheme, StreamingGarbler};
 use haac_runtime::{
-    run_local_session, run_tcp_session, SessionConfig, SessionReport, PIPELINE_DEPTH,
+    run_local_session, run_tcp_session, ReorderKind, SessionConfig, SessionReport, PIPELINE_DEPTH,
 };
 use haac_workloads::{build, Scale, WorkloadKind};
 use rand::{rngs::StdRng, SeedableRng};
@@ -99,6 +117,40 @@ struct WorkloadBench {
     /// Garbler gates/s of the best pipelined TCP-loopback rep, for
     /// context.
     tcp_pipelined_gates_per_sec: f64,
+    /// Serial-session gates/s under each negotiated reorder, with its
+    /// ratio to the baseline rate (empty when `HAAC_REORDER=baseline`).
+    reordered: Vec<ReorderRow>,
+}
+
+/// One negotiated-schedule measurement for a workload.
+#[derive(Debug, Serialize)]
+struct ReorderRow {
+    reorder: &'static str,
+    /// Whole-session gates/s of the best real serial session under
+    /// this schedule.
+    session_gates_per_sec: f64,
+    /// `session_gates_per_sec / baseline session_gates_per_sec` —
+    /// regression-floored at 0.5.
+    vs_baseline: f64,
+}
+
+/// Pooled wave garbling vs the single-engine streaming slab, both
+/// driven by the same plan over a wide high-ILP circuit.
+#[derive(Debug, Serialize)]
+struct PooledBench {
+    /// Engines in the pool (`HAAC_ENGINES`, default `min(4, cores)`).
+    engines: usize,
+    /// AND gates in the reference circuit.
+    and_gates: usize,
+    /// Slab window (= wave-slice length) of the shared plan.
+    slot_wires: u32,
+    single_gates_per_sec: f64,
+    pooled_gates_per_sec: f64,
+    /// `pooled / single` — gated ≥ 1 on ≥ 4-core hosts with a
+    /// multi-engine pool, recorded (not gated) elsewhere.
+    speedup: f64,
+    /// Whether the ≥ 1 gate applied on this host.
+    gated: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -116,6 +168,7 @@ struct Report {
     /// The declared link the serial/pipelined schedules are built on.
     link_model: LinkModel,
     label_store: LabelStoreBench,
+    pooled: PooledBench,
     workloads: Vec<WorkloadBench>,
 }
 
@@ -183,6 +236,61 @@ fn label_store_bench() -> LabelStoreBench {
     }
 }
 
+/// A wide, AND-heavy layer circuit: `width` rolling wires where every
+/// layer ANDs each wire with its neighbour — `layers × width`
+/// independent AND gates per level, exactly the ILP profile HAAC's
+/// parallel gate engines (and our pooled waves) are built for.
+fn wide_and_circuit(width: usize, layers: usize) -> Circuit {
+    let mut b = Builder::new();
+    let x = b.input_garbler(width as u32);
+    let y = b.input_evaluator(width as u32);
+    let mut ring: Vec<_> = x.iter().zip(&y).map(|(&a, &c)| b.xor(a, c)).collect();
+    for _ in 0..layers {
+        let prev = ring.clone();
+        for i in 0..width {
+            ring[i] = b.and(prev[i], prev[(i + 1) % width]);
+        }
+    }
+    b.finish(ring).unwrap()
+}
+
+fn pooled_bench(engines: usize, available_cores: usize) -> PooledBench {
+    const WIDTH: usize = 512;
+    const LAYERS: usize = 96;
+    let circuit = wide_and_circuit(WIDTH, LAYERS);
+    let plan = lower_for_streaming(&circuit);
+    let ands = circuit.num_and_gates();
+    let pool = EnginePool::new(engines);
+
+    let mut single_ns = f64::INFINITY;
+    let mut pooled_ns = f64::INFINITY;
+    for rep in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(500 + rep);
+        let mut garbler = StreamingGarbler::with_plan(&plan.program, &mut rng, HashScheme::Rekeyed);
+        let mut tables = Vec::new();
+        let start = Instant::now();
+        while garbler.next_tables_into(1 << 20, &mut tables) {}
+        single_ns = single_ns.min(start.elapsed().as_nanos() as f64);
+        std::hint::black_box(garbler.finish());
+
+        let mut rng = StdRng::seed_from_u64(500 + rep);
+        let start = Instant::now();
+        let pooled = garble_plan_in(&plan.program, &mut rng, HashScheme::Rekeyed, &pool);
+        pooled_ns = pooled_ns.min(start.elapsed().as_nanos() as f64);
+        std::hint::black_box(pooled);
+    }
+    let rate = |ns: f64| ands as f64 / (ns / 1e9);
+    PooledBench {
+        engines,
+        and_gates: ands,
+        slot_wires: plan.program.slot_wires(),
+        single_gates_per_sec: rate(single_ns),
+        pooled_gates_per_sec: rate(pooled_ns),
+        speedup: single_ns / pooled_ns,
+        gated: engines > 1 && available_cores >= 4,
+    }
+}
+
 /// Walls of the serial loop and the depth-bounded pipeline for a
 /// uniform stream of `chunks` chunks costing `compute_ns` to garble and
 /// `io_ns` to transfer each. The pipeline schedule is the session
@@ -205,7 +313,12 @@ fn schedule_walls(chunks: u64, compute_ns: u64, io_ns: u64) -> (u64, u64) {
     (serial, *io_ends.last().unwrap_or(&0))
 }
 
-fn workload_bench(kind: WorkloadKind, reps: usize, link: &LinkModel) -> WorkloadBench {
+fn workload_bench(
+    kind: WorkloadKind,
+    reps: usize,
+    link: &LinkModel,
+    reorders: &[ReorderKind],
+) -> WorkloadBench {
     let w = build(kind, Scale::Small);
     // A many-chunk stream (~16 chunks) so overlap has room to show.
     let ands = w.circuit.num_and_gates();
@@ -217,7 +330,12 @@ fn workload_bench(kind: WorkloadKind, reps: usize, link: &LinkModel) -> Workload
 
     // Measure the real garbling compute with serial in-process
     // sessions (no pipeline threads anywhere near the measurement).
+    // Two selections over the same reps: minimum compute_ns feeds the
+    // link-model schedule, best whole-session rate is the baseline the
+    // reordered rows are compared against (they also take best-of-N,
+    // so the comparison is symmetric).
     let mut best: Option<SessionReport> = None;
+    let mut baseline_rate = 0.0f64;
     for rep in 0..reps as u64 {
         let (g, _) = run_local_session(
             &w.circuit,
@@ -228,6 +346,7 @@ fn workload_bench(kind: WorkloadKind, reps: usize, link: &LinkModel) -> Workload
         )
         .expect("serial session");
         assert_eq!(g.outputs, w.expected, "{}: serial outputs diverge", kind.name());
+        baseline_rate = baseline_rate.max(g.and_gates_per_sec());
         if best.as_ref().is_none_or(|b| g.compute_ns < b.compute_ns) {
             best = Some(g);
         }
@@ -275,6 +394,34 @@ fn workload_bench(kind: WorkloadKind, reps: usize, link: &LinkModel) -> Workload
     }
     let tcp_overlap = tcp_g_overlap.max(tcp_e_overlap);
 
+    // Negotiated-schedule sessions: same circuit, same chunking, the
+    // plan lowered with Full/Segment — what a client asking for the
+    // ILP-friendly orders actually gets.
+    let mut reordered = Vec::new();
+    for &reorder in reorders {
+        let config = SessionConfig::for_circuit_with(&w.circuit, reorder)
+            .with_chunk_tables(chunk)
+            .with_pipeline(false);
+        let mut best_rate = 0.0f64;
+        for rep in 0..reps as u64 {
+            let (g, _) = run_local_session(
+                &w.circuit,
+                &w.garbler_bits,
+                &w.evaluator_bits,
+                0x6EED + rep,
+                &config,
+            )
+            .expect("reordered session");
+            assert_eq!(g.outputs, w.expected, "{}: {reorder:?} outputs diverge", kind.name());
+            best_rate = best_rate.max(g.and_gates_per_sec());
+        }
+        reordered.push(ReorderRow {
+            reorder: reorder.label(),
+            session_gates_per_sec: best_rate,
+            vs_baseline: if baseline_rate > 0.0 { best_rate / baseline_rate } else { 0.0 },
+        });
+    }
+
     WorkloadBench {
         workload: kind.name(),
         and_gates: measured.tables,
@@ -289,14 +436,23 @@ fn workload_bench(kind: WorkloadKind, reps: usize, link: &LinkModel) -> Workload
         tcp_garbler_overlap_ratio: tcp_g_overlap,
         tcp_evaluator_overlap_ratio: tcp_e_overlap,
         tcp_pipelined_gates_per_sec: tcp_rate,
+        reordered,
     }
 }
 
 fn main() {
     let reps = env_u64("HAAC_PIPELINE_REPS", 3) as usize;
+    let available_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let link = LinkModel {
         bandwidth_gbps: env_f64("HAAC_LINK_GBPS", 1.0),
         flush_latency_us: env_u64("HAAC_LINK_LATENCY_US", 40),
+    };
+    let engines = env_u64("HAAC_ENGINES", available_cores.min(4) as u64).max(1) as usize;
+    let reorders: Vec<ReorderKind> = match std::env::var("HAAC_REORDER").as_deref() {
+        Ok("baseline") => vec![],
+        Ok("full") => vec![ReorderKind::Full],
+        Ok("segment") => vec![ReorderKind::Segment],
+        _ => vec![ReorderKind::Full, ReorderKind::Segment],
     };
 
     eprintln!("[bench_pipeline] label-store microbench (XOR ring)...");
@@ -306,27 +462,44 @@ fn main() {
         label_store.hashmap_ns_per_gate, label_store.slab_ns_per_gate, label_store.speedup
     );
 
+    eprintln!("[bench_pipeline] pooled-vs-single slab garbling ({engines} engines)...");
+    let pooled = pooled_bench(engines, available_cores);
+    eprintln!(
+        "[bench_pipeline]   single {:.0} -> pooled {:.0} gates/s (x{:.2}, gate {})",
+        pooled.single_gates_per_sec,
+        pooled.pooled_gates_per_sec,
+        pooled.speedup,
+        if pooled.gated { "armed" } else { "skipped" }
+    );
+
     let mut workloads = Vec::new();
     for kind in WorkloadKind::ALL {
         eprintln!(
-            "[bench_pipeline] {} measured compute + {}Gb/s schedule + tcp overlap...",
+            "[bench_pipeline] {} measured compute + {}Gb/s schedule + tcp overlap + reorders...",
             kind.name(),
             link.bandwidth_gbps
         );
-        let row = workload_bench(kind, reps, &link);
+        let row = workload_bench(kind, reps, &link, &reorders);
         eprintln!(
             "[bench_pipeline]   serial {:.0} -> pipelined {:.0} gates/s (x{:.2}), tcp overlap {:.2}",
             row.serial_gates_per_sec, row.pipelined_gates_per_sec, row.speedup, row.tcp_overlap_ratio
         );
+        for r in &row.reordered {
+            eprintln!(
+                "[bench_pipeline]   {} sessions: {:.0} gates/s ({:.2}x baseline)",
+                r.reorder, r.session_gates_per_sec, r.vs_baseline
+            );
+        }
         workloads.push(row);
     }
 
     let report = Report {
         scale: "small",
         aes_backend: haac_gc::active_backend().name(),
-        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        available_cores,
         link_model: link,
         label_store,
+        pooled,
         workloads,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -342,6 +515,30 @@ fn main() {
         "label-store regression: slab is only {:.2}x over the HashMap store",
         report.label_store.speedup
     );
+    // Pooled-slab gate: on a host that can genuinely run ≥ 4 of our
+    // threads, a multi-engine pool must at least match the
+    // single-engine slab on the high-ILP reference; 1-core runners
+    // (and forced single-engine runs) record the row without gating.
+    if report.pooled.gated {
+        assert!(
+            report.pooled.pooled_gates_per_sec >= report.pooled.single_gates_per_sec,
+            "pooled-slab regression: {} engines reach only {:.0} gates/s vs {:.0} single-engine",
+            report.pooled.engines,
+            report.pooled.pooled_gates_per_sec,
+            report.pooled.single_gates_per_sec
+        );
+    }
+    for row in &report.workloads {
+        for r in &row.reordered {
+            assert!(
+                r.vs_baseline >= 0.5,
+                "{}: {} sessions collapsed to {:.2}x of baseline",
+                row.workload,
+                r.reorder,
+                r.vs_baseline
+            );
+        }
+    }
     for row in &report.workloads {
         assert!(
             row.tcp_overlap_ratio > 0.0,

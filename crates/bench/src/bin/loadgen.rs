@@ -25,7 +25,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use haac_runtime::SessionConfig;
+use haac_runtime::{ReorderKind, SessionConfig};
 use haac_server::{client, percentile, Server, ServerConfig, SessionRequest};
 use haac_workloads::{Scale, Workload, WorkloadKind};
 use serde::Serialize;
@@ -121,7 +121,7 @@ fn cold_session(kind: WorkloadKind, seed: u64) -> SessionRow {
     let start = Instant::now();
     let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
     let mut channel = server.connect();
-    let request = SessionRequest { workload: kind.name().into(), scale: Scale::Small, seed };
+    let request = SessionRequest::new(kind.name(), Scale::Small, seed);
     let report = client::run_session(&mut channel, &request).expect("cold session succeeds");
     let wall = start.elapsed();
     server.shutdown();
@@ -141,7 +141,7 @@ fn warm_session(
 ) -> SessionRow {
     let start = Instant::now();
     let mut channel = server.connect();
-    let request = SessionRequest { workload: kind.name().into(), scale: Scale::Small, seed };
+    let request = SessionRequest::new(kind.name(), Scale::Small, seed);
     let report = client::run_session_with(&mut channel, &request, &prepared.0, &prepared.1)
         .expect("warm session succeeds");
     let wall = start.elapsed();
@@ -192,7 +192,7 @@ fn main() {
     eprintln!("[loadgen] warm serial phase...");
     let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
     for &k in &distinct {
-        server.cache().get(k, Scale::Small);
+        server.cache().get(k, Scale::Small, ReorderKind::Baseline);
     }
     let serial_start = Instant::now();
     let serial_rows: Vec<SessionRow> = mix
@@ -207,7 +207,7 @@ fn main() {
     eprintln!("[loadgen] concurrent phase: {sessions} clients...");
     let server = Server::new(ServerConfig { workers, ..ServerConfig::default() });
     for &k in &distinct {
-        server.cache().get(k, Scale::Small);
+        server.cache().get(k, Scale::Small, ReorderKind::Baseline);
     }
     let concurrent_start = Instant::now();
     let handles: Vec<_> = mix
@@ -220,11 +220,7 @@ fn main() {
                 .name(format!("loadgen-client-{i}"))
                 .spawn(move || {
                     let start = Instant::now();
-                    let request = SessionRequest {
-                        workload: k.name().into(),
-                        scale: Scale::Small,
-                        seed: 3_000 + i as u64,
-                    };
+                    let request = SessionRequest::new(k.name(), Scale::Small, 3_000 + i as u64);
                     let report =
                         client::run_session_with(&mut channel, &request, &prepared.0, &prepared.1)
                             .expect("concurrent session succeeds");

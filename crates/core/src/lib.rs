@@ -64,7 +64,10 @@ pub mod window;
 
 pub use compiler::{compile, ReorderKind};
 pub use isa::{Instruction, Opcode, Program};
-pub use lower::{lower_for_streaming, plan_from_program, slot_stream, StreamingPlan};
+pub use lower::{
+    lower_for_streaming, lower_with_reorder, lower_with_window, plan_from_program,
+    plan_from_program_with_window, slot_stream, StreamingPlan,
+};
 pub use sim::{DramKind, HaacConfig, Role, SimReport};
 pub use window::WindowModel;
 

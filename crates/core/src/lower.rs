@@ -16,14 +16,23 @@
 //! The default lowering keeps the **baseline** gate order, which
 //! preserves table order and per-gate tweaks: transcripts are
 //! bit-identical to garbling the raw netlist. Reordered plans
-//! ([`plan_from_program`] over a [`crate::compiler`] reorder) are valid
-//! protocols when both parties lower identically, but change the
-//! transcript relative to the raw circuit.
+//! ([`lower_with_reorder`] over a [`crate::compiler`] reorder) are
+//! valid protocols when both parties lower identically — the session
+//! layer negotiates the [`ReorderKind`] in its handshake so real
+//! sessions can run the ILP-friendly `Full`/`Segment` schedules — but
+//! change the transcript relative to the raw circuit.
+//!
+//! A plan may also be built against a **forced small window**
+//! ([`lower_with_window`]): reads farther than the window are rewritten
+//! to OoR-sentinel slots backed by the gc layer's software OoRW queue
+//! (enqueue at producer, drain at consumer), so adversarial
+//! wire-distance circuits stream O(window + queue) labels instead of
+//! forcing the slab up to the worst skip connection.
 
 use haac_circuit::Circuit;
 use haac_gc::{SlotInstr, SlotOp, SlotProgram};
 
-use crate::compiler::assemble;
+use crate::compiler::{assemble, full_reorder, segment_reorder, ReorderKind};
 use crate::isa::{Instruction, Opcode, Program, OOR_SENTINEL};
 use crate::window::WindowModel;
 
@@ -35,8 +44,15 @@ pub struct StreamingPlan {
     /// The renamed instruction stream driving the slot-slab executors.
     pub program: SlotProgram,
     /// The window the slab is provisioned with — the smallest power of
-    /// two under which every read of this program hits the SWW.
+    /// two under which every read of this program hits the SWW (or the
+    /// forced window of [`lower_with_window`], with the spill routed
+    /// through the OoRW queue).
     pub window: WindowModel,
+    /// The instruction schedule this plan was lowered with. Both
+    /// parties of a session must lower identically; the session header
+    /// carries this tag so a disagreement fails loudly instead of
+    /// diverging transcripts.
+    pub reorder: ReorderKind,
 }
 
 impl StreamingPlan {
@@ -106,7 +122,9 @@ impl Iterator for SlotStream<'_> {
 
 /// Builds a [`StreamingPlan`] from an already renamed (un-lowered)
 /// program — the hook for running reordered schedules through the
-/// slot-slab executors.
+/// slot-slab executors. `reorder` tags the plan with the schedule the
+/// program was built under (session negotiation compares tags, not
+/// instruction streams).
 ///
 /// `garbler_inputs + evaluator_inputs` must equal the program's input
 /// count (the split is protocol metadata the ISA does not carry).
@@ -120,6 +138,37 @@ pub fn plan_from_program(
     program: &Program,
     garbler_inputs: u32,
     evaluator_inputs: u32,
+    reorder: ReorderKind,
+) -> Result<StreamingPlan, String> {
+    plan_from_program_impl(program, garbler_inputs, evaluator_inputs, reorder, None)
+}
+
+/// Like [`plan_from_program`], but provisions the slab with a **forced
+/// window** (rounded up to a power of two, minimum 2) instead of the
+/// natural zero-OoR size: reads farther than the window are rewritten
+/// to OoR-sentinel slots served by the software OoRW queue, whose peak
+/// occupancy is computed statically
+/// ([`haac_gc::SlotProgram::oor_queue_bound`]).
+///
+/// # Errors
+///
+/// As [`plan_from_program`].
+pub fn plan_from_program_with_window(
+    program: &Program,
+    garbler_inputs: u32,
+    evaluator_inputs: u32,
+    reorder: ReorderKind,
+    window: WindowModel,
+) -> Result<StreamingPlan, String> {
+    plan_from_program_impl(program, garbler_inputs, evaluator_inputs, reorder, Some(window))
+}
+
+fn plan_from_program_impl(
+    program: &Program,
+    garbler_inputs: u32,
+    evaluator_inputs: u32,
+    reorder: ReorderKind,
+    window: Option<WindowModel>,
 ) -> Result<StreamingPlan, String> {
     if garbler_inputs + evaluator_inputs != program.num_inputs {
         return Err(format!(
@@ -128,23 +177,79 @@ pub fn plan_from_program(
         ));
     }
     let instrs = slot_stream(program).collect::<Result<Vec<_>, _>>()?;
-    let slots =
-        SlotProgram::new(instrs, garbler_inputs, evaluator_inputs, program.output_addrs.clone())?;
+    let outputs = program.output_addrs.clone();
+    let slots = match window {
+        Some(w) => SlotProgram::with_window(
+            instrs,
+            garbler_inputs,
+            evaluator_inputs,
+            outputs,
+            w.sww_wires(),
+        )?,
+        None => SlotProgram::new(instrs, garbler_inputs, evaluator_inputs, outputs)?,
+    };
     let window = WindowModel::new(slots.slot_wires());
-    Ok(StreamingPlan { program: slots, window })
+    Ok(StreamingPlan { program: slots, window, reorder })
 }
 
-/// Lowers a circuit for streaming execution: baseline reorder → rename
-/// (via [`assemble`]) → static window sizing. Run once per circuit and
-/// cache the plan; every session that reuses it skips the per-session
-/// liveness pass and runs on the tagless slab.
+/// The renamed program realizing `kind` for this circuit. The segment
+/// size of [`ReorderKind::Segment`] is half the circuit's *baseline*
+/// natural window — a pure function of the circuit, so both parties
+/// derive the same schedule independently.
+fn reorder_program(circuit: &Circuit, kind: ReorderKind) -> Program {
+    match kind {
+        ReorderKind::Baseline => assemble(circuit),
+        ReorderKind::Full => full_reorder(circuit),
+        ReorderKind::Segment => {
+            let segment = (haac_gc::baseline_plan(circuit).slot_wires() / 2).max(1) as usize;
+            segment_reorder(circuit, segment)
+        }
+    }
+}
+
+/// Lowers a circuit for streaming execution under the given schedule:
+/// reorder → rename → static window sizing. Run once per `(circuit,
+/// reorder)` and cache the plan; every session that reuses it skips the
+/// per-session analysis pass and runs on the tagless slab.
 ///
-/// The baseline order preserves gate order and tweaks, so sessions
-/// driven by this plan produce **bit-identical transcripts** to the
-/// raw-netlist path.
+/// [`ReorderKind::Baseline`] preserves gate order and tweaks, so
+/// sessions driven by it produce **bit-identical transcripts** to the
+/// raw-netlist path; `Full`/`Segment` change the transcript (both
+/// parties must lower identically — negotiated in the session header)
+/// but expose the ILP the multi-engine garbler feeds on.
+pub fn lower_with_reorder(circuit: &Circuit, kind: ReorderKind) -> StreamingPlan {
+    plan_from_program(
+        &reorder_program(circuit, kind),
+        circuit.garbler_inputs(),
+        circuit.evaluator_inputs(),
+        kind,
+    )
+    .expect("compiled programs always lower")
+}
+
+/// Lowers a circuit against a **forced window** (see
+/// [`plan_from_program_with_window`]): the OoRW-queue entry point for
+/// deliberately small slabs.
+pub fn lower_with_window(
+    circuit: &Circuit,
+    kind: ReorderKind,
+    window: WindowModel,
+) -> StreamingPlan {
+    plan_from_program_with_window(
+        &reorder_program(circuit, kind),
+        circuit.garbler_inputs(),
+        circuit.evaluator_inputs(),
+        kind,
+        window,
+    )
+    .expect("compiled programs always lower")
+}
+
+/// Lowers a circuit for streaming execution on the **baseline** order:
+/// [`lower_with_reorder`] with [`ReorderKind::Baseline`] — transcripts
+/// bit-identical to the raw-netlist path.
 pub fn lower_for_streaming(circuit: &Circuit) -> StreamingPlan {
-    plan_from_program(&assemble(circuit), circuit.garbler_inputs(), circuit.evaluator_inputs())
-        .expect("assembled programs always lower")
+    lower_with_reorder(circuit, ReorderKind::Baseline)
 }
 
 #[cfg(test)]
@@ -197,8 +302,13 @@ mod tests {
         eliminate_spent_wires(&mut program, window);
         let lowered = mark_out_of_range(&program, window);
         assert!(lowered.num_oor > 0);
-        let err = plan_from_program(&lowered.program, c.garbler_inputs(), c.evaluator_inputs())
-            .unwrap_err();
+        let err = plan_from_program(
+            &lowered.program,
+            c.garbler_inputs(),
+            c.evaluator_inputs(),
+            ReorderKind::Baseline,
+        )
+        .unwrap_err();
         assert!(err.contains("OoR sentinel"), "{err}");
     }
 
@@ -206,15 +316,57 @@ mod tests {
     fn wrong_input_split_is_rejected() {
         let c = mixed_circuit();
         let program = assemble(&c);
-        assert!(plan_from_program(&program, 1, 2).is_err());
+        assert!(plan_from_program(&program, 1, 2, ReorderKind::Baseline).is_err());
     }
 
     #[test]
     fn reordered_programs_also_lower() {
         let c = mixed_circuit();
         let program = crate::compiler::full_reorder(&c);
-        let plan = plan_from_program(&program, c.garbler_inputs(), c.evaluator_inputs()).unwrap();
+        let plan = plan_from_program(
+            &program,
+            c.garbler_inputs(),
+            c.evaluator_inputs(),
+            ReorderKind::Full,
+        )
+        .unwrap();
         assert_eq!(plan.and_count(), c.num_and_gates());
+        assert_eq!(plan.reorder, ReorderKind::Full);
         assert!(plan.window.sww_wires() >= plan.program.max_operand_distance());
+    }
+
+    #[test]
+    fn lower_with_reorder_tags_the_plan_and_keeps_the_gate_count() {
+        let c = mixed_circuit();
+        for kind in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
+            let plan = lower_with_reorder(&c, kind);
+            assert_eq!(plan.reorder, kind);
+            assert_eq!(plan.and_count(), c.num_and_gates());
+            assert!(!plan.program.has_oor(), "{kind:?}: natural windows never spill");
+            assert!(plan.window.sww_wires() >= plan.program.max_operand_distance());
+        }
+        assert_eq!(lower_for_streaming(&c), lower_with_reorder(&c, ReorderKind::Baseline));
+    }
+
+    #[test]
+    fn forced_windows_route_far_reads_through_the_oorw_queue() {
+        let c = mixed_circuit();
+        let natural = lower_for_streaming(&c);
+        let forced = WindowModel::new(4); // far below the natural window
+        let plan = lower_with_window(&c, ReorderKind::Baseline, forced);
+        assert!(natural.window.sww_wires() > 4, "the test needs a genuinely small window");
+        assert!(plan.program.has_oor(), "a tiny window must spill");
+        assert_eq!(plan.window.sww_wires(), 4);
+        assert!(plan.program.oor_queue_bound() > 0);
+        assert!(plan.program.oor_queue_bound() <= plan.program.oor_read_count());
+        // The instruction count, table count, and outputs are untouched
+        // by the rewrite: only operand *routing* changed.
+        assert_eq!(plan.and_count(), natural.and_count());
+        assert_eq!(plan.program.instrs().len(), natural.program.instrs().len());
+        assert_eq!(plan.program.output_addrs(), natural.program.output_addrs());
+        // A forced window at (or above) the natural size spills nothing
+        // and reproduces the natural plan exactly.
+        let roomy = lower_with_window(&c, ReorderKind::Baseline, natural.window);
+        assert_eq!(roomy.program, natural.program);
     }
 }

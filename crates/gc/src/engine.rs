@@ -11,6 +11,17 @@
 //! every wave's AND gates fan out across [`EngineConfig::engines`]
 //! scoped threads.
 //!
+//! Two wave schedulers coexist:
+//!
+//! - [`garble_parallel`] walks the **raw netlist** with an explicit
+//!   lookahead (the CPU-reference path, per-window `HashMap` producer
+//!   lookups and a full per-wire label vector);
+//! - [`garble_plan_in`] walks a **renamed [`SlotProgram`]** on a shared
+//!   [`EnginePool`]: the slice length is the plan's static window
+//!   bound (no per-call sizing), in-slice dependencies are pure
+//!   arithmetic over slab addresses, and all engines share one slot
+//!   slab — the co-design path the compiler's renaming pays for.
+//!
 //! Determinism is a hard contract, exactly as it is for HAAC's
 //! hardware: tables are emitted in gate order and every label is a pure
 //! function of (Δ, input labels, gate index), so the transcript is
@@ -31,7 +42,9 @@ use crate::block::{Block, Delta};
 use crate::garble::{
     garble_and_batch, garble_inv, garble_xor, GarbledCircuit, Garbling, MAX_AND_BATCH,
 };
-use crate::hash::{GateHash, HashScheme};
+use crate::hash::{CryptoCounters, GateHash, HashScheme};
+use crate::slab::{SlabState, SlotOp, SlotProgram};
+use crate::stream::baseline_plan;
 
 /// Geometry of a multi-engine garbling run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,19 +341,103 @@ pub fn garble_parallel<R: Rng + ?Sized>(
     garble_parallel_impl(circuit, rng, scheme, config.lookahead, WaveExec::Threads(config.engines))
 }
 
-/// Like [`garble_parallel`], but waves run on a shared persistent
-/// [`EnginePool`] instead of per-wave scoped threads — the transcript is
-/// still bit-identical to single-engine garbling. This is how a
-/// long-lived server amortizes engine threads across many garblings.
+/// A pooled garbling of a renamed [`SlotProgram`]: everything the
+/// protocol ships or keeps, without materializing per-wire labels
+/// (the slab forgets a label the moment its window slides past —
+/// exactly as the streaming executors do).
+///
+/// Bit-identical to driving [`crate::StreamingGarbler::with_plan`] to
+/// completion with the same seed: same Δ, same input labels, same table
+/// stream, same decode string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanGarbling {
+    /// The global FreeXOR offset.
+    pub delta: Delta,
+    /// Zero labels of all primary inputs (garbler inputs first).
+    pub input_zero_labels: Vec<Block>,
+    /// The garbled AND tables, in stream order.
+    pub tables: Vec<[Block; 2]>,
+    /// Permute bits of the output wires' zero labels.
+    pub output_decode: Vec<bool>,
+    /// Cipher work performed.
+    pub crypto: CryptoCounters,
+}
+
+impl PlanGarbling {
+    /// Encodes both parties' cleartext bits into active input labels
+    /// (garbler bits first), as [`crate::StreamingGarbler::encode_inputs`]
+    /// does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width does not match the garbling's input
+    /// count.
+    pub fn encode_inputs(&self, garbler_bits: &[bool], evaluator_bits: &[bool]) -> Vec<Block> {
+        assert_eq!(
+            garbler_bits.len() + evaluator_bits.len(),
+            self.input_zero_labels.len(),
+            "input width"
+        );
+        garbler_bits
+            .iter()
+            .chain(evaluator_bits)
+            .zip(&self.input_zero_labels)
+            .map(|(&bit, &zero)| if bit { zero ^ self.delta.block() } else { zero })
+            .collect()
+    }
+}
+
+/// Garbles a renamed [`SlotProgram`] with the engine pool's wave
+/// scheduler — the HAAC co-design hot path at full width.
+///
+/// The instruction stream is walked in slices of the plan's **static
+/// window bound** ([`SlotProgram::slot_wires`] — no per-call lookahead
+/// sizing), each slice is peeled into waves of mutually independent
+/// gates, and every wave's AND gates fan out across the pool's
+/// engines. Because renaming makes output addresses sequential, the
+/// in-slice dependency graph needs **no hash maps**: operand `addr`
+/// depends on in-slice producer `addr - slice_first` by arithmetic
+/// alone.
+///
+/// All engines share one [`SlabState`] slab. In-slice results are
+/// staged in a window-sized buffer and committed to the slab in
+/// ascending address order at the slice boundary, so out-of-order wave
+/// execution can never clobber a slot a logically earlier instruction
+/// still has to read (the write-after-read hazard the hardware's
+/// in-window issue rule prevents).
+///
+/// The transcript — Δ, input labels, every table, the decode string —
+/// is **bit-identical** to the single-engine slab path
+/// ([`crate::StreamingGarbler::with_plan`]) for any engine count.
+///
+/// # Panics
+///
+/// Panics if the plan routes reads through the OoRW queue
+/// ([`SlotProgram::has_oor`]): queue pops are ordered by the stream, so
+/// OoR plans must run on the in-order streaming executors.
+pub fn garble_plan_in<R: Rng + ?Sized>(
+    plan: &SlotProgram,
+    rng: &mut R,
+    scheme: HashScheme,
+    pool: &EnginePool,
+) -> PlanGarbling {
+    garble_plan_impl(plan, rng, scheme, WaveExec::Pool(pool))
+}
+
+/// Like [`garble_parallel`], but pooled **and plan-driven**: the
+/// circuit is lowered to its baseline-order [`SlotProgram`] and garbled
+/// through [`garble_plan_in`] — waves run on a shared persistent
+/// [`EnginePool`], labels live in the slab, and the table stream is
+/// bit-identical to single-engine garbling of the raw netlist. This is
+/// how a long-lived server amortizes engine threads across many
+/// garblings.
 pub fn garble_parallel_in<R: Rng + ?Sized>(
     circuit: &Circuit,
     rng: &mut R,
     scheme: HashScheme,
-    lookahead: usize,
     pool: &EnginePool,
-) -> Garbling {
-    assert!(lookahead > 0, "lookahead must be positive");
-    garble_parallel_impl(circuit, rng, scheme, lookahead, WaveExec::Pool(pool))
+) -> PlanGarbling {
+    garble_plan_in(&baseline_plan(circuit), rng, scheme, pool)
 }
 
 /// Where a wave's AND gates execute: ad-hoc scoped threads or a shared
@@ -536,6 +633,196 @@ fn gate_inputs(gate: &Gate) -> impl Iterator<Item = WireId> {
     std::iter::once(gate.a).chain(b)
 }
 
+/// The pooled wave scheduler over a renamed instruction stream (see
+/// [`garble_plan_in`] for the contract).
+fn garble_plan_impl<R: Rng + ?Sized>(
+    plan: &SlotProgram,
+    rng: &mut R,
+    scheme: HashScheme,
+    exec: WaveExec<'_>,
+) -> PlanGarbling {
+    assert!(
+        !plan.has_oor(),
+        "pooled garbling needs an in-window plan; OoRW plans run on the streaming executors"
+    );
+    // Same draw order as StreamingGarbler::with_plan: Δ first, then
+    // input labels — a shared seed yields a bit-identical garbling.
+    let hash = GateHash::new(scheme);
+    let delta = Delta::random(rng);
+    let input_zero_labels: Vec<Block> =
+        (0..plan.num_inputs()).map(|_| Block::random(rng)).collect();
+    let mut state = SlabState::new(plan);
+    for (w, &label) in input_zero_labels.iter().enumerate() {
+        state.write(w as u32 + 1, label);
+    }
+
+    let instrs = plan.instrs();
+    let first_out = plan.first_output_addr();
+    // Slice length = the plan's static window bound: every operand of a
+    // sliced instruction is either a slab-resident earlier address
+    // (distance ≤ window by the plan contract) or an in-slice output.
+    let slice_len = plan.slot_wires() as usize;
+    let mut tables: Vec<[Block; 2]> = Vec::with_capacity(plan.and_count());
+    let mut and_jobs: Vec<(usize, Block, Block)> = Vec::new();
+    let mut and_results: Vec<(Block, [Block; 2])> = Vec::new();
+    // In-slice output labels, staged here and committed to the slab in
+    // ascending order at the slice boundary (WAR-hazard free).
+    let mut out_labels: Vec<Block> = Vec::new();
+    // Tables of the current slice, slotted by AND position so emission
+    // order is stream order regardless of which wave computed each.
+    let mut window_tables: Vec<[Block; 2]> = Vec::new();
+    // Slice-local dependency graph, rebuilt (capacity reused) per
+    // slice: pending in-slice operand counts and a CSR consumer list.
+    // Unlike the raw-circuit scheduler there is no producer map —
+    // renaming made "who writes address a" pure arithmetic.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut slots: Vec<u32> = Vec::new();
+    let mut edge_start: Vec<u32> = Vec::new();
+    let mut edges: Vec<u32> = Vec::new();
+    let mut cursor: Vec<u32> = Vec::new();
+    let mut ready_free: Vec<u32> = Vec::new();
+    let mut ready_and: Vec<u32> = Vec::new();
+
+    let mut start = 0usize;
+    while start < instrs.len() {
+        let end = (start + slice_len).min(instrs.len());
+        let window = &instrs[start..end];
+        let wlen = window.len();
+        let slice_first = first_out + start as u32; // address written by window[0]
+
+        pending.clear();
+        pending.resize(wlen, 0);
+        slots.clear();
+        let mut and_count = 0u32;
+        for instr in window {
+            slots.push(and_count);
+            if instr.op == SlotOp::And {
+                and_count += 1;
+            }
+        }
+        window_tables.clear();
+        window_tables.resize(and_count as usize, [Block::ZERO; 2]);
+        out_labels.clear();
+        out_labels.resize(wlen, Block::ZERO);
+        edge_start.clear();
+        edge_start.resize(wlen + 1, 0);
+        for (offset, instr) in window.iter().enumerate() {
+            let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
+            for &addr in [instr.a, instr.b].iter().take(operands) {
+                if addr >= slice_first {
+                    let producer = (addr - slice_first) as usize;
+                    debug_assert!(producer < offset, "renaming forbids future reads");
+                    pending[offset] += 1;
+                    edge_start[producer + 1] += 1;
+                }
+            }
+        }
+        for p in 0..wlen {
+            edge_start[p + 1] += edge_start[p];
+        }
+        edges.clear();
+        edges.resize(edge_start[wlen] as usize, 0);
+        cursor.clear();
+        cursor.extend_from_slice(&edge_start[..wlen]);
+        for (offset, instr) in window.iter().enumerate() {
+            let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
+            for &addr in [instr.a, instr.b].iter().take(operands) {
+                if addr >= slice_first {
+                    let producer = (addr - slice_first) as usize;
+                    edges[cursor[producer] as usize] = offset as u32;
+                    cursor[producer] += 1;
+                }
+            }
+        }
+
+        ready_free.clear();
+        ready_and.clear();
+        for (offset, instr) in window.iter().enumerate() {
+            if pending[offset] == 0 {
+                match instr.op {
+                    SlotOp::And => ready_and.push(offset as u32),
+                    _ => ready_free.push(offset as u32),
+                }
+            }
+        }
+
+        // Worklist execution: free gates propagate eagerly; ready AND
+        // gates accumulate and run as one parallel wave. Every label is
+        // a pure function of (Δ, operand labels, instruction index), so
+        // the transcript is schedule-invariant.
+        let fetch = |out_labels: &[Block], state: &SlabState<'_>, addr: u32| -> Block {
+            if addr >= slice_first {
+                out_labels[(addr - slice_first) as usize]
+            } else {
+                state.get(addr)
+            }
+        };
+        let mut processed = 0usize;
+        macro_rules! complete {
+            ($offset:expr) => {{
+                let offset = $offset as usize;
+                processed += 1;
+                for e in edge_start[offset]..edge_start[offset + 1] {
+                    let consumer = edges[e as usize];
+                    pending[consumer as usize] -= 1;
+                    if pending[consumer as usize] == 0 {
+                        match window[consumer as usize].op {
+                            SlotOp::And => ready_and.push(consumer),
+                            _ => ready_free.push(consumer),
+                        }
+                    }
+                }
+            }};
+        }
+        while processed < wlen {
+            while let Some(offset) = ready_free.pop() {
+                let instr = window[offset as usize];
+                let w0a = fetch(&out_labels, &state, instr.a);
+                out_labels[offset as usize] = match instr.op {
+                    SlotOp::Xor => garble_xor(w0a, fetch(&out_labels, &state, instr.b)),
+                    _ => garble_inv(delta, w0a),
+                };
+                complete!(offset);
+            }
+            if ready_and.is_empty() {
+                assert_eq!(processed, wlen, "slice deadlocked: plan not topological");
+                break;
+            }
+            // Index order keeps engine splits cache-friendly; it does
+            // not affect the output.
+            ready_and.sort_unstable();
+            and_jobs.clear();
+            for &offset in &ready_and {
+                let instr = window[offset as usize];
+                and_jobs.push((
+                    offset as usize,
+                    fetch(&out_labels, &state, instr.a),
+                    fetch(&out_labels, &state, instr.b),
+                ));
+            }
+            ready_and.clear();
+            and_results.clear();
+            and_results.resize(and_jobs.len(), (Block::ZERO, [Block::ZERO; 2]));
+            run_wave(&hash, delta, start, &and_jobs, &mut and_results, exec);
+            for (&(offset, _, _), &(w0c, table)) in and_jobs.iter().zip(and_results.iter()) {
+                out_labels[offset] = w0c;
+                window_tables[slots[offset] as usize] = table;
+                complete!(offset as u32);
+            }
+        }
+        // Slice boundary: commit staged labels ascending (snapshotting
+        // any output addresses as they stream past).
+        for (i, &label) in out_labels.iter().enumerate() {
+            state.write(slice_first + i as u32, label);
+        }
+        tables.extend_from_slice(&window_tables);
+        start = end;
+    }
+
+    let output_decode = state.into_output_labels().iter().map(|l| l.lsb()).collect();
+    PlanGarbling { delta, input_zero_labels, tables, output_decode, crypto: hash.counters() }
+}
+
 /// Garbles one wave of mutually independent AND gates, splitting the
 /// wave across engines. `jobs[i]` is `(window offset, w0a, w0b)`; the
 /// tweak base is `window_start + offset`, identical to sequential
@@ -655,20 +942,66 @@ mod tests {
     }
 
     #[test]
-    fn pooled_garbling_matches_scoped_threads_and_reuses_the_pool() {
+    fn pooled_garbling_matches_the_raw_netlist_transcript_and_reuses_the_pool() {
         let c = wide_circuit();
         let mut rng = StdRng::seed_from_u64(33);
         let reference = garble(&c, &mut rng, HashScheme::Rekeyed);
         let pool = EnginePool::new(3);
         // Several garblings through the *same* pool: persistent engines,
-        // identical transcripts every time.
-        for lookahead in [4usize, 64, 10_000] {
+        // identical transcripts every time (baseline-order slab garbling
+        // is bit-identical to the raw netlist's table stream).
+        for rep in 0..3 {
             let mut rng = StdRng::seed_from_u64(33);
-            let pooled = garble_parallel_in(&c, &mut rng, HashScheme::Rekeyed, lookahead, &pool);
-            assert_eq!(pooled.delta, reference.delta, "l={lookahead}");
-            assert_eq!(pooled.wire_zero_labels, reference.wire_zero_labels, "l={lookahead}");
-            assert_eq!(pooled.garbled, reference.garbled, "l={lookahead}");
+            let pooled = garble_parallel_in(&c, &mut rng, HashScheme::Rekeyed, &pool);
+            assert_eq!(pooled.delta, reference.delta, "rep={rep}");
+            assert_eq!(pooled.tables, reference.garbled.tables, "rep={rep}");
+            assert_eq!(pooled.output_decode, reference.garbled.output_decode, "rep={rep}");
+            assert_eq!(pooled.crypto, reference.crypto, "rep={rep}");
         }
+    }
+
+    #[test]
+    fn plan_garbling_matches_the_streaming_slab_path_for_every_engine_count() {
+        use crate::stream::StreamingGarbler;
+
+        let c = wide_circuit();
+        let plan = baseline_plan(&c);
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut single = StreamingGarbler::with_plan(&plan, &mut rng, HashScheme::Rekeyed);
+        let mut reference_tables = Vec::new();
+        while let Some(chunk) = single.next_tables(777) {
+            reference_tables.extend(chunk);
+        }
+        let delta = single.delta();
+        let finish = single.finish();
+        for engines in [1usize, 2, 4] {
+            let pool = EnginePool::new(engines);
+            let mut rng = StdRng::seed_from_u64(91);
+            let pooled = garble_plan_in(&plan, &mut rng, HashScheme::Rekeyed, &pool);
+            assert_eq!(pooled.delta, delta, "e={engines}");
+            assert_eq!(pooled.tables, reference_tables, "e={engines}");
+            assert_eq!(pooled.output_decode, finish.output_decode, "e={engines}");
+            assert_eq!(pooled.crypto, finish.crypto, "e={engines}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in-window plan")]
+    fn plan_garbling_rejects_oor_plans() {
+        use crate::slab::{SlotInstr, SlotOp};
+
+        // A skip connection far beyond a forced 2-wire window.
+        let mut instrs = vec![SlotInstr { a: 1, b: 2, op: SlotOp::Xor }];
+        for i in 0..16u32 {
+            instrs.push(SlotInstr { a: 3 + i, b: 3 + i, op: SlotOp::Inv });
+        }
+        instrs.push(SlotInstr { a: 1, b: 19, op: SlotOp::And });
+        let last = 2 + instrs.len() as u32;
+        let plan = SlotProgram::with_window(instrs, 1, 1, vec![last], 2).unwrap();
+        assert!(plan.has_oor());
+        let pool = EnginePool::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = garble_plan_in(&plan, &mut rng, HashScheme::Rekeyed, &pool);
     }
 
     #[test]

@@ -61,14 +61,16 @@ pub mod stream;
 
 pub use aes::{active_backend, AesBackend};
 pub use block::{Block, Delta};
-pub use engine::{garble_parallel, garble_parallel_in, EngineConfig, EnginePool};
+pub use engine::{
+    garble_parallel, garble_parallel_in, garble_plan_in, EngineConfig, EnginePool, PlanGarbling,
+};
 pub use evaluate::{eval_and, eval_and_batch, eval_inv, eval_xor, evaluate};
 pub use garble::{
     decode_outputs, garble, garble_and, garble_and_batch, garble_inv, garble_streaming, garble_xor,
     GarbledCircuit, Garbling, MAX_AND_BATCH,
 };
 pub use hash::{CryptoCounters, GateHash, HashScheme};
-pub use slab::{SlotInstr, SlotOp, SlotProgram};
+pub use slab::{SlotInstr, SlotOp, SlotProgram, OOR_SLOT};
 pub use stream::{
     baseline_plan, EvaluatorFinish, GarblerFinish, Liveness, StreamingEvaluator, StreamingGarbler,
 };

@@ -24,8 +24,26 @@
 //! in `haac-core::exec` checks the same contract dynamically with slot
 //! tags; here it is discharged once at plan-construction time and the
 //! hot loop carries zero checks.
+//!
+//! **Out-of-range reads** (paper §3.1.4): a plan may instead be built
+//! against a *deliberately small* window with
+//! [`SlotProgram::with_window`]. Operands whose distance exceeds the
+//! window are rewritten to the [`OOR_SLOT`] sentinel and routed through
+//! a software OoRW queue: the producer enqueues the label into a
+//! bounded overflow map the moment the address is written (before its
+//! slot can be clobbered), and each consumer drains its entry in stream
+//! order, retiring it after its last OoR read. Memory is then
+//! O(window + queue) where the queue's peak occupancy is a **static**
+//! property of the plan ([`SlotProgram::oor_queue_bound`]) — adversarial
+//! wire-distance circuits stream through tiny slabs instead of forcing
+//! the window up to the worst skip connection.
 
 use crate::block::Block;
+
+/// The operand sentinel meaning "pop this label from the OoRW queue
+/// instead of reading the slab" (address 0 is reserved, matching the
+/// HAAC ISA's OoR encoding).
+pub const OOR_SLOT: u32 = 0;
 
 /// Operation of one renamed streaming instruction (no NOPs: the
 /// streaming lowering never emits pipeline filler).
@@ -75,6 +93,16 @@ pub struct SlotProgram {
     max_distance: u32,
     and_count: usize,
     peak_live: usize,
+    /// Original addresses of OoR-sentinel operands in consumption order
+    /// (instruction ascending, `a` before `b`) — the consumer drains
+    /// this stream with one cursor.
+    oor_reads: Vec<u32>,
+    /// `(address, read count)` sorted ascending by address — the
+    /// producer's enqueue points (writes arrive in ascending address
+    /// order, so one cursor serves the whole stream).
+    oor_sources: Vec<(u32, u32)>,
+    /// Static peak of simultaneously queued OoRW entries.
+    oor_queue_bound: usize,
 }
 
 impl SlotProgram {
@@ -83,7 +111,8 @@ impl SlotProgram {
     /// `instrs[i]` writes address `garbler_inputs + evaluator_inputs +
     /// 1 + i`; `output_addrs` name the circuit outputs in output order.
     /// The slab window is sized to the smallest power of two covering
-    /// the maximum operand distance, and the static peak-live residency
+    /// the maximum operand distance — **every** read is in-window and
+    /// the OoRW queue stays empty — and the static peak-live residency
     /// is computed here once (amortized across every session that
     /// reuses the plan).
     ///
@@ -91,13 +120,59 @@ impl SlotProgram {
     ///
     /// Returns a description of the first violated renaming invariant:
     /// an operand that is zero (the OoR sentinel — streaming plans must
-    /// be built *before* out-of-range marking), reads its own or a
-    /// future address, or an output address out of range.
+    /// be built from real addresses; OoR marking happens here), reads
+    /// its own or a future address, or an output address out of range.
     pub fn new(
         instrs: Vec<SlotInstr>,
         garbler_inputs: u32,
         evaluator_inputs: u32,
         output_addrs: Vec<u32>,
+    ) -> Result<SlotProgram, String> {
+        SlotProgram::build(instrs, garbler_inputs, evaluator_inputs, output_addrs, None)
+    }
+
+    /// Builds a slot program against a **forced** slab window: operands
+    /// whose distance exceeds the window (rounded up to the next power
+    /// of two, minimum 2) are rewritten to [`OOR_SLOT`] and served from
+    /// the software OoRW queue at execution time. The queue's peak
+    /// occupancy is computed statically ([`oor_queue_bound`]), so a
+    /// deliberately small window streams O(window + queue) labels
+    /// however adversarial the circuit's wire distances are.
+    ///
+    /// The instruction stream, tweaks, and labels are unchanged by the
+    /// rewrite, so executions against any window are **bit-identical**
+    /// on the wire to the naturally sized slab.
+    ///
+    /// `instrs` must carry real addresses (marking happens here, not in
+    /// the caller).
+    ///
+    /// # Errors
+    ///
+    /// As [`SlotProgram::new`].
+    ///
+    /// [`oor_queue_bound`]: SlotProgram::oor_queue_bound
+    pub fn with_window(
+        instrs: Vec<SlotInstr>,
+        garbler_inputs: u32,
+        evaluator_inputs: u32,
+        output_addrs: Vec<u32>,
+        window_wires: u32,
+    ) -> Result<SlotProgram, String> {
+        SlotProgram::build(
+            instrs,
+            garbler_inputs,
+            evaluator_inputs,
+            output_addrs,
+            Some(window_wires),
+        )
+    }
+
+    fn build(
+        mut instrs: Vec<SlotInstr>,
+        garbler_inputs: u32,
+        evaluator_inputs: u32,
+        output_addrs: Vec<u32>,
+        window_wires: Option<u32>,
     ) -> Result<SlotProgram, String> {
         let num_inputs = garbler_inputs + evaluator_inputs;
         let first_out = num_inputs + 1;
@@ -108,10 +183,10 @@ impl SlotProgram {
             let out = first_out + i as u32;
             let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
             for &operand in [instr.a, instr.b].iter().take(operands) {
-                if operand == 0 {
+                if operand == OOR_SLOT {
                     return Err(format!(
                         "instruction {i} carries the OoR sentinel; streaming plans must be \
-                         lowered before out-of-range marking"
+                         built from real addresses (OoR marking happens at plan construction)"
                     ));
                 }
                 if operand >= out {
@@ -133,8 +208,47 @@ impl SlotProgram {
         let mut outputs_by_addr: Vec<(u32, u32)> =
             output_addrs.iter().enumerate().map(|(pos, &addr)| (addr, pos as u32)).collect();
         outputs_by_addr.sort_unstable();
-        let slot_wires = max_distance.max(2).next_power_of_two();
+        // Liveness is a property of the original addresses; compute it
+        // before any OoR rewrite.
         let peak_live = peak_live(&instrs, num_inputs, &output_addrs);
+        let slot_wires = match window_wires {
+            Some(w) => w.max(2).next_power_of_two(),
+            None => max_distance.max(2).next_power_of_two(),
+        };
+        // Rewrite every read farther than the slab to the OoRW queue,
+        // recording the consumer stream (in consumption order) and the
+        // per-address read counts the producer enqueues with.
+        let mut oor_reads = Vec::new();
+        let mut reads_per_addr: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        if slot_wires < max_distance {
+            for (i, instr) in instrs.iter_mut().enumerate() {
+                let out = first_out + i as u32;
+                if instr.op == SlotOp::Inv {
+                    // INV reads only `a`; `b` mirrors it by convention.
+                    if out - instr.a > slot_wires {
+                        oor_reads.push(instr.a);
+                        *reads_per_addr.entry(instr.a).or_insert(0) += 1;
+                        instr.a = OOR_SLOT;
+                        instr.b = OOR_SLOT;
+                    }
+                    continue;
+                }
+                if out - instr.a > slot_wires {
+                    oor_reads.push(instr.a);
+                    *reads_per_addr.entry(instr.a).or_insert(0) += 1;
+                    instr.a = OOR_SLOT;
+                }
+                if out - instr.b > slot_wires {
+                    oor_reads.push(instr.b);
+                    *reads_per_addr.entry(instr.b).or_insert(0) += 1;
+                    instr.b = OOR_SLOT;
+                }
+            }
+        }
+        let mut oor_sources: Vec<(u32, u32)> = reads_per_addr.into_iter().collect();
+        oor_sources.sort_unstable();
+        let oor_queue_bound = oor_queue_bound(&instrs, num_inputs, &oor_reads, &oor_sources);
         Ok(SlotProgram {
             instrs,
             garbler_inputs,
@@ -145,6 +259,9 @@ impl SlotProgram {
             max_distance,
             and_count,
             peak_live,
+            oor_reads,
+            oor_sources,
+            oor_queue_bound,
         })
     }
 
@@ -218,6 +335,90 @@ impl SlotProgram {
     pub fn peak_live(&self) -> usize {
         self.peak_live
     }
+
+    /// Whether any read is routed through the OoRW queue (only possible
+    /// for plans built with [`with_window`](SlotProgram::with_window)).
+    #[inline]
+    pub fn has_oor(&self) -> bool {
+        !self.oor_reads.is_empty()
+    }
+
+    /// Total OoRW-queue reads in the program.
+    #[inline]
+    pub fn oor_read_count(&self) -> usize {
+        self.oor_reads.len()
+    }
+
+    /// Original addresses of the OoR-sentinel operands, in consumption
+    /// order (instruction ascending, `a` before `b`).
+    #[inline]
+    pub(crate) fn oor_reads(&self) -> &[u32] {
+        &self.oor_reads
+    }
+
+    /// `(address, read count)` of every OoRW-queue source, ascending by
+    /// address.
+    #[inline]
+    pub(crate) fn oor_sources(&self) -> &[(u32, u32)] {
+        &self.oor_sources
+    }
+
+    /// Static peak of simultaneously queued OoRW entries — the memory
+    /// bound of the overflow map, known at plan construction. Executors
+    /// never exceed it (asserted by the OoRW test suite).
+    #[inline]
+    pub fn oor_queue_bound(&self) -> usize {
+        self.oor_queue_bound
+    }
+}
+
+/// Simulates the OoRW queue over the (already rewritten) stream: an
+/// entry appears when its producing address is written and retires
+/// after its last OoR read. The peak is what a bounded overflow map
+/// must hold.
+fn oor_queue_bound(
+    instrs: &[SlotInstr],
+    num_inputs: u32,
+    oor_reads: &[u32],
+    oor_sources: &[(u32, u32)],
+) -> usize {
+    if oor_reads.is_empty() {
+        return 0;
+    }
+    let mut remaining: std::collections::HashMap<u32, u32> = oor_sources.iter().copied().collect();
+    let first_out = num_inputs + 1;
+    let mut src_cursor = 0usize;
+    let mut read_cursor = 0usize;
+    let mut occupancy = 0usize;
+    let mut peak = 0usize;
+    // Input addresses are written (ascending) before any instruction.
+    while src_cursor < oor_sources.len() && oor_sources[src_cursor].0 <= num_inputs {
+        occupancy += 1;
+        src_cursor += 1;
+    }
+    peak = peak.max(occupancy);
+    for (i, instr) in instrs.iter().enumerate() {
+        // Reads drain before the instruction's own write lands.
+        let operands = if instr.op == SlotOp::Inv { 1 } else { 2 };
+        for &operand in [instr.a, instr.b].iter().take(operands) {
+            if operand == OOR_SLOT {
+                let addr = oor_reads[read_cursor];
+                read_cursor += 1;
+                let left = remaining.get_mut(&addr).expect("every OoR read has a source");
+                *left -= 1;
+                if *left == 0 {
+                    occupancy -= 1;
+                }
+            }
+        }
+        let out = first_out + i as u32;
+        if src_cursor < oor_sources.len() && oor_sources[src_cursor].0 == out {
+            occupancy += 1;
+            src_cursor += 1;
+            peak = peak.max(occupancy);
+        }
+    }
+    peak
 }
 
 /// Static liveness peak over a renamed stream — the same quantity
@@ -290,6 +491,124 @@ impl SlabLabels {
     #[inline]
     pub(crate) fn set(&mut self, addr: u32, label: Block) {
         self.slab[(addr & self.mask) as usize] = label;
+    }
+}
+
+/// The slot-slab execution state shared by every slab-backed executor
+/// (streaming garbler/evaluator and the pooled wave garbler): the flat
+/// label slab, an ascending cursor that snapshots output labels as
+/// their producing addresses stream past (outputs may be overwritten in
+/// the slab long before `finish`, so they are captured at write time),
+/// and the bounded OoRW overflow map for plans whose window was forced
+/// below the worst operand distance.
+#[derive(Debug)]
+pub(crate) struct SlabState<'p> {
+    plan: &'p SlotProgram,
+    slab: SlabLabels,
+    output_labels: Vec<Block>,
+    next_output: usize,
+    /// OoRW queue: address → (label, remaining reads). Bounded by the
+    /// plan's static `oor_queue_bound`.
+    oor: std::collections::HashMap<u32, (Block, u32)>,
+    oor_src_cursor: usize,
+    oor_read_cursor: usize,
+    oor_peak: usize,
+}
+
+impl<'p> SlabState<'p> {
+    pub(crate) fn new(plan: &'p SlotProgram) -> SlabState<'p> {
+        SlabState {
+            plan,
+            slab: SlabLabels::new(plan.slot_wires()),
+            output_labels: vec![Block::ZERO; plan.output_addrs().len()],
+            next_output: 0,
+            oor: std::collections::HashMap::with_capacity(plan.oor_queue_bound()),
+            oor_src_cursor: 0,
+            oor_read_cursor: 0,
+            oor_peak: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn plan(&self) -> &'p SlotProgram {
+        self.plan
+    }
+
+    /// Reads an in-window address straight off the slab (no OoR check —
+    /// callers that can prove the operand is real use this).
+    #[inline]
+    pub(crate) fn get(&self, addr: u32) -> Block {
+        self.slab.get(addr)
+    }
+
+    /// Reads one operand: the slab for real addresses, the OoRW queue
+    /// for the sentinel. OoR reads **must** arrive in stream order
+    /// (instruction ascending, `a` before `b`) — exactly the order the
+    /// in-order executors fetch operands in.
+    #[inline]
+    pub(crate) fn read(&mut self, addr: u32) -> Block {
+        if addr == OOR_SLOT {
+            self.oor_next()
+        } else {
+            self.slab.get(addr)
+        }
+    }
+
+    /// Original address of the `lookahead`-th not-yet-drained OoRW
+    /// read (0 = the next one) — lets batch schedulers check whether a
+    /// sentinel operand's producer has already been written.
+    #[inline]
+    pub(crate) fn oor_pending_addr(&self, lookahead: usize) -> u32 {
+        self.plan.oor_reads()[self.oor_read_cursor + lookahead]
+    }
+
+    /// Drains the next OoRW-queue entry, retiring it after its last
+    /// read.
+    fn oor_next(&mut self) -> Block {
+        let addr = self.plan.oor_reads()[self.oor_read_cursor];
+        self.oor_read_cursor += 1;
+        let entry = self.oor.get_mut(&addr).expect("OoRW entry enqueued before its consumer");
+        entry.1 -= 1;
+        let label = entry.0;
+        if entry.1 == 0 {
+            self.oor.remove(&addr);
+        }
+        label
+    }
+
+    /// Writes the label for `addr` (addresses arrive strictly
+    /// ascending: inputs first, then one output per instruction),
+    /// snapshotting output labels and enqueueing OoRW sources.
+    #[inline]
+    pub(crate) fn write(&mut self, addr: u32, label: Block) {
+        self.slab.set(addr, label);
+        let outs = self.plan.outputs_by_addr();
+        while self.next_output < outs.len() && outs[self.next_output].0 == addr {
+            self.output_labels[outs[self.next_output].1 as usize] = label;
+            self.next_output += 1;
+        }
+        let sources = self.plan.oor_sources();
+        if self.oor_src_cursor < sources.len() && sources[self.oor_src_cursor].0 == addr {
+            self.oor.insert(addr, (label, sources[self.oor_src_cursor].1));
+            self.oor_src_cursor += 1;
+            self.oor_peak = self.oor_peak.max(self.oor.len());
+        }
+    }
+
+    /// High-water mark of queued OoRW entries this execution reached
+    /// (≤ the plan's static bound).
+    pub(crate) fn oor_peak(&self) -> usize {
+        self.oor_peak
+    }
+
+    pub(crate) fn into_output_labels(self) -> Vec<Block> {
+        debug_assert_eq!(
+            self.next_output,
+            self.plan.output_addrs().len(),
+            "every output address must have streamed past"
+        );
+        debug_assert!(self.oor.is_empty(), "every OoRW entry must have drained");
+        self.output_labels
     }
 }
 

@@ -38,7 +38,7 @@ use crate::block::{Block, Delta};
 use crate::evaluate::{eval_and_batch, eval_inv, eval_xor};
 use crate::garble::{decode_outputs, garble_and_batch, garble_inv, garble_xor, MAX_AND_BATCH};
 use crate::hash::{CryptoCounters, GateHash, HashScheme};
-use crate::slab::{SlabLabels, SlotInstr, SlotOp, SlotProgram};
+use crate::slab::{SlabState, SlotInstr, SlotOp, SlotProgram, OOR_SLOT};
 
 /// Sentinel for "never dies" (circuit outputs live to the end).
 const LIVE_FOREVER: usize = usize::MAX;
@@ -157,55 +157,6 @@ impl LiveLabels {
     }
 }
 
-/// The slot-slab execution state shared by both roles: the flat label
-/// slab plus an ascending cursor that snapshots output labels as their
-/// producing addresses stream past (outputs may be overwritten in the
-/// slab long before `finish`, so they are captured at write time).
-#[derive(Debug)]
-struct SlabState<'p> {
-    plan: &'p SlotProgram,
-    slab: SlabLabels,
-    output_labels: Vec<Block>,
-    next_output: usize,
-}
-
-impl<'p> SlabState<'p> {
-    fn new(plan: &'p SlotProgram) -> SlabState<'p> {
-        SlabState {
-            plan,
-            slab: SlabLabels::new(plan.slot_wires()),
-            output_labels: vec![Block::ZERO; plan.output_addrs().len()],
-            next_output: 0,
-        }
-    }
-
-    #[inline]
-    fn get(&self, addr: u32) -> Block {
-        self.slab.get(addr)
-    }
-
-    /// Writes the label for `addr` (addresses arrive strictly
-    /// ascending: inputs first, then one output per instruction).
-    #[inline]
-    fn write(&mut self, addr: u32, label: Block) {
-        self.slab.set(addr, label);
-        let outs = self.plan.outputs_by_addr();
-        while self.next_output < outs.len() && outs[self.next_output].0 == addr {
-            self.output_labels[outs[self.next_output].1 as usize] = label;
-            self.next_output += 1;
-        }
-    }
-
-    fn into_output_labels(self) -> Vec<Block> {
-        debug_assert_eq!(
-            self.next_output,
-            self.plan.output_addrs().len(),
-            "every output address must have streamed past"
-        );
-        self.output_labels
-    }
-}
-
 /// Which label store an executor runs on.
 #[derive(Debug)]
 enum Store<'c> {
@@ -224,6 +175,10 @@ pub struct GarblerFinish {
     /// High-water mark of simultaneously stored wire labels — measured
     /// on the liveness path, statically known on the slab path.
     pub peak_live_wires: usize,
+    /// High-water mark of queued OoRW entries (0 unless the plan was
+    /// built against a forced small window; always ≤ the plan's static
+    /// [`SlotProgram::oor_queue_bound`]).
+    pub oor_queue_peak: usize,
     /// Cipher work performed (key expansions, AES block calls).
     pub crypto: CryptoCounters,
 }
@@ -238,6 +193,10 @@ pub struct EvaluatorFinish {
     /// High-water mark of simultaneously stored wire labels — measured
     /// on the liveness path, statically known on the slab path.
     pub peak_live_wires: usize,
+    /// High-water mark of queued OoRW entries (0 unless the plan was
+    /// built against a forced small window; always ≤ the plan's static
+    /// [`SlotProgram::oor_queue_bound`]).
+    pub oor_queue_peak: usize,
     /// Cipher work performed (key expansions, AES block calls).
     pub crypto: CryptoCounters,
 }
@@ -489,18 +448,24 @@ impl<'c> StreamingGarbler<'c> {
     /// Panics if gates remain ungarbled.
     pub fn finish(self) -> GarblerFinish {
         assert!(self.is_done(), "finish() before all gates were garbled");
-        let (output_decode, peak_live_wires) = match self.store {
+        let (output_decode, peak_live_wires, oor_queue_peak) = match self.store {
             Store::Live { circuit, live, .. } => {
                 let decode = circuit.outputs().iter().map(|&w| live.get(w).lsb()).collect();
-                (decode, live.peak)
+                (decode, live.peak, 0)
             }
             Store::Slab(state) => {
-                let peak = state.plan.peak_live();
+                let peak = state.plan().peak_live();
+                let oor_peak = state.oor_peak();
                 let decode = state.into_output_labels().iter().map(|l| l.lsb()).collect();
-                (decode, peak)
+                (decode, peak, oor_peak)
             }
         };
-        GarblerFinish { output_decode, peak_live_wires, crypto: self.hash.counters() }
+        GarblerFinish {
+            output_decode,
+            peak_live_wires,
+            oor_queue_peak,
+            crypto: self.hash.counters(),
+        }
     }
 }
 
@@ -571,8 +536,15 @@ fn garble_live(
 
 /// One chunk of slab-store garbling — the per-gate hot loop is slab
 /// indexing only: no hash lookups, no retire bookkeeping, no liveness
-/// branches. An AND run is independent iff no operand address reaches
-/// into the run's own (contiguous, sequential) output range.
+/// branches (sentinel operands pop the OoRW queue instead). An AND run
+/// is independent iff no operand address reaches into the run's own
+/// (contiguous, sequential) output range. A sentinel operand (address
+/// 0) needs the same check against its *original* address: with a
+/// window smaller than the batch span, an OoR read's producer can sit
+/// inside the run itself, and popping the queue before that producer's
+/// write enqueues the label would be a use-before-def —
+/// [`oor_run_independent`] peeks the pending OoRW stream to break the
+/// run first.
 fn garble_slab(
     hash: &GateHash,
     delta: Delta,
@@ -581,8 +553,8 @@ fn garble_slab(
     max_tables: usize,
     tables: &mut Vec<[Block; 2]>,
 ) {
-    let instrs = state.plan.instrs();
-    let first_out = state.plan.first_output_addr();
+    let instrs = state.plan().instrs();
+    let first_out = state.plan().first_output_addr();
     while *next_gate < instrs.len() && tables.len() < max_tables {
         let index = *next_gate;
         let instr = instrs[index];
@@ -597,10 +569,16 @@ fn garble_slab(
                 let mut k = 0;
                 while k < budget && index + k < instrs.len() {
                     let g = instrs[index + k];
-                    if g.op != SlotOp::And || g.a >= run_min || g.b >= run_min {
+                    if g.op != SlotOp::And
+                        || g.a >= run_min
+                        || g.b >= run_min
+                        || !oor_run_independent(state, &g, run_min)
+                    {
                         break;
                     }
-                    batch[k] = ((index + k) as u64, state.get(g.a), state.get(g.b));
+                    let w0a = state.read(g.a);
+                    let w0b = state.read(g.b);
+                    batch[k] = ((index + k) as u64, w0a, w0b);
                     k += 1;
                 }
                 let mut results = [(Block::ZERO, [Block::ZERO; 2]); MAX_AND_BATCH];
@@ -612,13 +590,14 @@ fn garble_slab(
                 *next_gate = index + k;
             }
             SlotOp::Xor => {
-                let out = garble_xor(state.get(instr.a), state.get(instr.b));
-                state.write(first_out + index as u32, out);
+                let w0a = state.read(instr.a);
+                let w0b = state.read(instr.b);
+                state.write(first_out + index as u32, garble_xor(w0a, w0b));
                 *next_gate += 1;
             }
             SlotOp::Inv => {
-                let out = garble_inv(delta, state.get(instr.a));
-                state.write(first_out + index as u32, out);
+                let w0a = state.read(instr.a);
+                state.write(first_out + index as u32, garble_inv(delta, w0a));
                 *next_gate += 1;
             }
         }
@@ -736,18 +715,26 @@ impl<'c> StreamingEvaluator<'c> {
     /// width is wrong.
     pub fn finish(self, output_decode: &[bool]) -> EvaluatorFinish {
         assert!(self.is_done(), "finish() before all gates were evaluated");
-        let (output_labels, peak_live_wires): (Vec<Block>, usize) = match self.store {
-            Store::Live { circuit, live, .. } => {
-                let labels = circuit.outputs().iter().map(|&w| live.get(w)).collect();
-                (labels, live.peak)
-            }
-            Store::Slab(state) => {
-                let peak = state.plan.peak_live();
-                (state.into_output_labels(), peak)
-            }
-        };
+        let (output_labels, peak_live_wires, oor_queue_peak): (Vec<Block>, usize, usize) =
+            match self.store {
+                Store::Live { circuit, live, .. } => {
+                    let labels = circuit.outputs().iter().map(|&w| live.get(w)).collect();
+                    (labels, live.peak, 0)
+                }
+                Store::Slab(state) => {
+                    let peak = state.plan().peak_live();
+                    let oor_peak = state.oor_peak();
+                    (state.into_output_labels(), peak, oor_peak)
+                }
+            };
         let outputs = decode_outputs(&output_labels, output_decode);
-        EvaluatorFinish { outputs, output_labels, peak_live_wires, crypto: self.hash.counters() }
+        EvaluatorFinish {
+            outputs,
+            output_labels,
+            peak_live_wires,
+            oor_queue_peak,
+            crypto: self.hash.counters(),
+        }
     }
 }
 
@@ -817,6 +804,30 @@ fn eval_live(
     cursor
 }
 
+/// Whether an AND instruction's OoR-sentinel operands (if any) are
+/// independent of the batch run starting at output address `run_min`:
+/// an OoRW read whose *original* producer address lies inside the run
+/// has not been enqueued yet (its producing write is part of the batch
+/// itself), so the run must break before it. Peeks the pending OoRW
+/// stream in consumption order (`a` before `b`); instructions without
+/// sentinels return `true` on the first compare.
+#[inline]
+fn oor_run_independent(state: &SlabState<'_>, g: &SlotInstr, run_min: u32) -> bool {
+    if g.a != OOR_SLOT && g.b != OOR_SLOT {
+        return true;
+    }
+    let mut pending = 0usize;
+    for &operand in &[g.a, g.b] {
+        if operand == OOR_SLOT {
+            if state.oor_pending_addr(pending) >= run_min {
+                return false;
+            }
+            pending += 1;
+        }
+    }
+    true
+}
+
 /// Advances slab-store evaluation as far as `tables` allows; the hot
 /// loop is slab indexing only.
 fn eval_slab(
@@ -825,8 +836,8 @@ fn eval_slab(
     next_gate: &mut usize,
     tables: &[[Block; 2]],
 ) -> usize {
-    let instrs = state.plan.instrs();
-    let first_out = state.plan.first_output_addr();
+    let instrs = state.plan().instrs();
+    let first_out = state.plan().first_output_addr();
     let mut cursor = 0usize;
     while *next_gate < instrs.len() {
         let index = *next_gate;
@@ -842,10 +853,16 @@ fn eval_slab(
                 let mut k = 0;
                 while k < budget && index + k < instrs.len() {
                     let g = instrs[index + k];
-                    if g.op != SlotOp::And || g.a >= run_min || g.b >= run_min {
+                    if g.op != SlotOp::And
+                        || g.a >= run_min
+                        || g.b >= run_min
+                        || !oor_run_independent(state, &g, run_min)
+                    {
                         break;
                     }
-                    batch[k] = ((index + k) as u64, state.get(g.a), state.get(g.b));
+                    let wa = state.read(g.a);
+                    let wb = state.read(g.b);
+                    batch[k] = ((index + k) as u64, wa, wb);
                     k += 1;
                 }
                 let mut labels = [Block::ZERO; MAX_AND_BATCH];
@@ -857,13 +874,14 @@ fn eval_slab(
                 *next_gate = index + k;
             }
             SlotOp::Xor => {
-                let out = eval_xor(state.get(instr.a), state.get(instr.b));
-                state.write(first_out + index as u32, out);
+                let wa = state.read(instr.a);
+                let wb = state.read(instr.b);
+                state.write(first_out + index as u32, eval_xor(wa, wb));
                 *next_gate += 1;
             }
             SlotOp::Inv => {
-                let out = eval_inv(state.get(instr.a));
-                state.write(first_out + index as u32, out);
+                let wa = state.read(instr.a);
+                state.write(first_out + index as u32, eval_inv(wa));
                 *next_gate += 1;
             }
         }

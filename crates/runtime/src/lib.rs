@@ -84,12 +84,16 @@ pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHA
 pub use error::RuntimeError;
 pub use session::{
     run_evaluator, run_evaluator_with, run_garbler, run_local_session, run_tcp_session,
-    SessionConfig, SessionReport, SessionRole, PIPELINE_DEPTH,
+    SessionConfig, SessionReport, SessionRole, MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
 };
 
-// Re-exported so callers can cache lowered plans without importing
-// haac-core directly.
-pub use haac_core::lower::{lower_for_streaming, StreamingPlan};
+// Re-exported so callers can cache lowered plans — and negotiate the
+// schedule they were lowered with — without importing haac-core
+// directly.
+pub use haac_core::lower::{
+    lower_for_streaming, lower_with_reorder, lower_with_window, StreamingPlan,
+};
+pub use haac_core::ReorderKind;
 
 // Re-exported so downstream code can name the streaming primitives and
 // the cipher-work counters carried by SessionReport without importing

@@ -27,8 +27,8 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use haac_circuit::Circuit;
-use haac_core::lower::{lower_for_streaming, StreamingPlan};
-use haac_core::WindowModel;
+use haac_core::lower::{lower_with_reorder, StreamingPlan};
+use haac_core::{ReorderKind, WindowModel};
 use haac_gc::{Block, CryptoCounters, HashScheme, StreamingEvaluator, StreamingGarbler};
 use rand::Rng;
 
@@ -63,25 +63,59 @@ pub struct SessionConfig {
     /// granularity).
     pub chunk_override: Option<usize>,
     /// Whether to overlap compute with channel I/O (decoupled stages
-    /// over a [`PIPELINE_DEPTH`]-buffer ring). `false` runs the legacy
+    /// over a bounded ring of chunk buffers). `false` runs the legacy
     /// strictly alternating loop; the wire bytes are identical either
     /// way.
     pub pipeline: bool,
+    /// Buffers in the pipelined compute/I/O ring. `None` (the default)
+    /// starts at [`PIPELINE_DEPTH`] and **autotunes** from the first
+    /// ring's measured compute/I/O imbalance (widening toward
+    /// [`MAX_PIPELINE_DEPTH`] when the I/O stage dominates), unless the
+    /// `HAAC_PIPELINE_DEPTH` environment variable pins a depth.
+    /// `Some(n)` pins it explicitly. The chosen depth is reported in
+    /// [`SessionReport::pipeline_depth`].
+    ///
+    /// Caveat: the I/O measurement cannot distinguish a slow link from
+    /// a slow *peer* — channel backpressure from a compute-bound
+    /// evaluator also inflates `io_ns`, in which case the widened ring
+    /// buys nothing (memory stays bounded at the chosen depth either
+    /// way). Pin the depth when the peer is known to be the
+    /// bottleneck.
+    pub pipeline_depth: Option<usize>,
 }
 
 impl SessionConfig {
     /// A config with an explicit window and no streaming plan (the raw
     /// circuit, HashMap-store path).
     pub fn new(scheme: HashScheme, window: WindowModel) -> SessionConfig {
-        SessionConfig { scheme, window, plan: None, chunk_override: None, pipeline: true }
+        SessionConfig {
+            scheme,
+            window,
+            plan: None,
+            chunk_override: None,
+            pipeline: true,
+            pipeline_depth: None,
+        }
     }
 
-    /// Lowers the circuit once (reorder → rename → window-size) and
-    /// sizes the session around the resulting plan: the slab window
-    /// under which every read is in-window. Cache the returned config
-    /// (or its `plan`) to amortize the lowering across sessions.
+    /// Lowers the circuit once (baseline reorder → rename →
+    /// window-size) and sizes the session around the resulting plan:
+    /// the slab window under which every read is in-window. Cache the
+    /// returned config (or its `plan`) to amortize the lowering across
+    /// sessions.
     pub fn for_circuit(circuit: &Circuit) -> SessionConfig {
-        SessionConfig::from_plan(HashScheme::Rekeyed, Arc::new(lower_for_streaming(circuit)))
+        SessionConfig::for_circuit_with(circuit, ReorderKind::Baseline)
+    }
+
+    /// Like [`for_circuit`](SessionConfig::for_circuit) but lowers with
+    /// the given schedule. Both parties must use the same
+    /// [`ReorderKind`] — the session header carries the garbler's
+    /// choice and the evaluator refuses a disagreement.
+    pub fn for_circuit_with(circuit: &Circuit, reorder: ReorderKind) -> SessionConfig {
+        SessionConfig::from_plan(
+            HashScheme::Rekeyed,
+            Arc::new(lower_with_reorder(circuit, reorder)),
+        )
     }
 
     /// Builds a config around an already lowered plan (what a warm
@@ -93,7 +127,15 @@ impl SessionConfig {
             plan: Some(plan),
             chunk_override: None,
             pipeline: true,
+            pipeline_depth: None,
         }
+    }
+
+    /// The schedule this session lowers with: the plan's tag, or
+    /// baseline for the planless HashMap path (whose gate order *is*
+    /// the baseline).
+    pub fn reorder(&self) -> ReorderKind {
+        self.plan.as_ref().map_or(ReorderKind::Baseline, |p| p.reorder)
     }
 
     /// Returns the config with the given tables-per-chunk override.
@@ -107,6 +149,29 @@ impl SessionConfig {
     pub fn with_pipeline(mut self, pipeline: bool) -> SessionConfig {
         self.pipeline = pipeline;
         self
+    }
+
+    /// Returns the config with a pinned pipeline ring depth (clamped to
+    /// `1..=`[`MAX_PIPELINE_DEPTH`]), disabling the autotune.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> SessionConfig {
+        self.pipeline_depth = Some(depth.clamp(1, MAX_PIPELINE_DEPTH));
+        self
+    }
+
+    /// The ring depth a pipelined session starts with and whether it
+    /// may autotune wider: an explicit config depth wins, then the
+    /// `HAAC_PIPELINE_DEPTH` environment variable, then the
+    /// [`PIPELINE_DEPTH`] default with autotuning enabled.
+    fn resolved_pipeline_depth(&self) -> (usize, bool) {
+        if let Some(depth) = self.pipeline_depth {
+            return (depth.clamp(1, MAX_PIPELINE_DEPTH), false);
+        }
+        if let Some(depth) =
+            std::env::var("HAAC_PIPELINE_DEPTH").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            return (depth.clamp(1, MAX_PIPELINE_DEPTH), false);
+        }
+        (PIPELINE_DEPTH, true)
     }
 
     /// Tables per streamed chunk: the window's slide granularity (half
@@ -172,6 +237,9 @@ pub struct SessionReport {
     /// network waits and prefetch-full stalls, so it is an upper bound
     /// on CPU-level overlap, not a measure of it.
     pub overlap_ratio: f64,
+    /// Chunk buffers the pipelined ring settled on (after any
+    /// autotune); 0 for serial sessions.
+    pub pipeline_depth: usize,
     /// Wall-clock duration of this party's session.
     pub elapsed: Duration,
 }
@@ -197,6 +265,8 @@ struct StreamStats {
     compute_ns: u64,
     io_ns: u64,
     wall_ns: u64,
+    /// Ring depth the streaming phase ran (ended) with; 0 when serial.
+    depth: usize,
 }
 
 impl StreamStats {
@@ -234,15 +304,17 @@ fn expect_message<C: Channel + ?Sized>(
 /// A configured plan must describe the session's circuit — a mismatch
 /// would garble garbage rather than fail loudly.
 ///
-/// Release builds check the aggregate counts plus the per-instruction
-/// opcode sequence (one allocation-free O(gates) pass): the session
-/// layer only supports transcript-preserving baseline-order plans, so
-/// any reordering — or wiring difference that changes which operation
-/// sits where — is caught. Two circuits with identical opcode
-/// sequences but different operand wiring still slip past the cheap
-/// check; debug builds close that gap with a full re-rename
-/// comparison, so the test suites enforce exact structural equality
-/// while warm release sessions keep the near-free check.
+/// Release builds check the aggregate counts, plus — for baseline-order
+/// plans, whose instruction order equals the gate order — the
+/// per-instruction opcode sequence (one allocation-free O(gates)
+/// pass). Reordered plans permute the opcode sequence, so for them the
+/// cheap check stops at the aggregates. Debug builds additionally
+/// re-lower **baseline** plans (same window, so forced-window OoRW
+/// plans are covered) and require exact equality; reordered plans skip
+/// the rebuild — the tag names a schedule *family*, and
+/// `plan_from_program` explicitly supports custom orders within it, so
+/// a canonical rebuild would falsely reject valid mutually-agreed
+/// plans.
 fn check_plan(plan: &StreamingPlan, circuit: &Circuit) -> Result<(), RuntimeError> {
     let p = &plan.program;
     let mismatch = p.garbler_inputs() != circuit.garbler_inputs()
@@ -250,24 +322,34 @@ fn check_plan(plan: &StreamingPlan, circuit: &Circuit) -> Result<(), RuntimeErro
         || p.instrs().len() != circuit.num_gates()
         || p.and_count() != circuit.num_and_gates()
         || p.output_addrs().len() != circuit.outputs().len()
-        || p.instrs().iter().zip(circuit.gates()).any(|(instr, gate)| {
-            instr.op
-                != match gate.op {
-                    haac_circuit::GateOp::And => haac_gc::SlotOp::And,
-                    haac_circuit::GateOp::Xor => haac_gc::SlotOp::Xor,
-                    haac_circuit::GateOp::Inv => haac_gc::SlotOp::Inv,
-                }
-        });
+        || (plan.reorder == ReorderKind::Baseline
+            && p.instrs().iter().zip(circuit.gates()).any(|(instr, gate)| {
+                instr.op
+                    != match gate.op {
+                        haac_circuit::GateOp::And => haac_gc::SlotOp::And,
+                        haac_circuit::GateOp::Xor => haac_gc::SlotOp::Xor,
+                        haac_circuit::GateOp::Inv => haac_gc::SlotOp::Inv,
+                    }
+            }));
     if mismatch {
         return Err(RuntimeError::protocol(
             "session plan does not match the circuit (stale cache entry?)",
         ));
     }
     #[cfg(debug_assertions)]
-    if *p != haac_gc::baseline_plan(circuit) {
-        return Err(RuntimeError::protocol(
-            "session plan does not match the circuit's wiring (stale cache entry?)",
-        ));
+    if plan.reorder == ReorderKind::Baseline {
+        // Rebuild with the same slab window (a forced-window plan
+        // re-marks the same OoR reads) and require exact equality.
+        let rebuilt = haac_core::lower::lower_with_window(
+            circuit,
+            ReorderKind::Baseline,
+            WindowModel::new(plan.program.slot_wires()),
+        );
+        if *p != rebuilt.program {
+            return Err(RuntimeError::protocol(
+                "session plan does not match the circuit's wiring (stale cache entry?)",
+            ));
+        }
     }
     Ok(())
 }
@@ -310,6 +392,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
             scheme: config.scheme,
             window_wires: config.window.sww_wires(),
             chunk_tables: chunk_tables as u32,
+            reorder: config.reorder(),
         }),
     )?;
 
@@ -329,7 +412,8 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     // steady state performs zero per-chunk allocations whether the I/O
     // stage is overlapped or inline.
     let stats = if config.pipeline {
-        stream_tables_pipelined(&mut garbler, channel, chunk_tables)?
+        let (depth, autotune) = config.resolved_pipeline_depth();
+        stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune)?
     } else {
         stream_tables_serial(&mut garbler, channel, chunk_tables)?
     };
@@ -364,6 +448,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         io_ns: stats.io_ns,
         stream_ns: stats.wall_ns,
         overlap_ratio: stats.overlap_ratio(),
+        pipeline_depth: stats.depth,
         elapsed: start.elapsed(),
     })
 }
@@ -399,66 +484,109 @@ fn stream_tables_serial<C: Channel + ?Sized>(
     Ok(stats)
 }
 
-/// Chunk buffers in flight between a pipelined session's compute and
-/// I/O stages. Two is the textbook double buffer but turns every
-/// handoff into a blocking rendezvous (the compute stage waits out a
-/// scheduler round trip per chunk); a third buffer lets the compute
-/// stage keep garbling while the I/O thread is being woken. The
-/// overlap pays off whenever the I/O stage genuinely waits (network
-/// serialization, a lagging peer, a second hardware thread to run on);
-/// on a single-CPU host against a pure loopback it degrades to roughly
-/// serial cost. Memory stays bounded at `PIPELINE_DEPTH` chunks.
+/// Chunk buffers a pipelined session's compute/I-O ring *starts* with.
+/// Two is the textbook double buffer but turns every handoff into a
+/// blocking rendezvous (the compute stage waits out a scheduler round
+/// trip per chunk); a third buffer lets the compute stage keep garbling
+/// while the I/O thread is being woken. The overlap pays off whenever
+/// the I/O stage genuinely waits (network serialization, a lagging
+/// peer, a second hardware thread to run on); on a single-CPU host
+/// against a pure loopback it degrades to roughly serial cost.
+///
+/// When the I/O stage measurably dominates, the garbler **autotunes**
+/// the ring wider (up to [`MAX_PIPELINE_DEPTH`]) from the first ring's
+/// `compute_ns`/`io_ns` imbalance — see
+/// [`SessionConfig::pipeline_depth`]. Memory stays bounded at the
+/// chosen depth.
 ///
 /// Public so benchmarks that model the pipeline schedule stay in sync
 /// with the driver.
 pub const PIPELINE_DEPTH: usize = 3;
 
+/// Ceiling of the pipeline-depth autotune (and of explicit depth
+/// overrides): a deeper ring only buys anything while transfer beats
+/// compute by the same factor, and every buffer is a whole chunk of
+/// memory.
+pub const MAX_PIPELINE_DEPTH: usize = 8;
+
 /// The decoupled access/execute pipeline: the calling thread garbles
 /// while a scoped I/O stage sends and flushes, joined by a bounded
-/// ring of [`PIPELINE_DEPTH`] rotating chunk buffers (chunk N+1 is
-/// garbled while chunk N is on the wire). Bounded by construction: at
-/// most [`PIPELINE_DEPTH`] chunks exist at once, so a slow evaluator
-/// still backpressures the garbler through the channel, exactly as in
-/// the serial loop.
+/// ring of rotating chunk buffers (chunk N+1 is garbled while chunk N
+/// is on the wire). Bounded by construction: at most `depth` chunks
+/// exist at once, so a slow evaluator still backpressures the garbler
+/// through the channel, exactly as in the serial loop.
+///
+/// With `autotune` set, one ring of chunks is measured and the ring is
+/// widened once — to roughly the measured io/compute ratio, capped at
+/// [`MAX_PIPELINE_DEPTH`] — when the I/O stage dominates: extra depth
+/// only helps while transfers are the bottleneck, and the first-ring
+/// measurement is exactly the imbalance the widened ring must absorb.
 fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
     garbler: &mut StreamingGarbler<'_>,
     channel: &mut C,
     chunk_tables: usize,
+    depth: usize,
+    autotune: bool,
 ) -> Result<StreamStats, RuntimeError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
     let start = Instant::now();
     let capacity = chunk_tables.min(CHUNK_BUFFER_CAP);
     // Full buffers travel compute → I/O; drained buffers travel back
     // for refilling. The full queue holds every buffer without
     // blocking, so the compute stage only stalls when the I/O stage is
     // a full ring behind (genuine backpressure, not handoff latency).
-    let (full_tx, full_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(PIPELINE_DEPTH);
+    // Capacity is the ceiling, not the depth: only `depth` buffers
+    // circulate until the autotune injects more.
+    let (full_tx, full_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(MAX_PIPELINE_DEPTH);
     let (empty_tx, empty_rx) = mpsc::channel::<Vec<[Block; 2]>>();
-    for _ in 0..PIPELINE_DEPTH {
+    let mut depth = depth.clamp(1, MAX_PIPELINE_DEPTH);
+    for _ in 0..depth {
         empty_tx.send(Vec::with_capacity(capacity)).expect("receiver held by this thread");
     }
 
+    // Live I/O-stage accounting the compute stage reads at the
+    // autotune point (and that survives the stage's early death).
+    let shipped_ns = AtomicU64::new(0);
+    let shipped_chunks = AtomicU64::new(0);
+
     let mut stats = StreamStats::default();
-    let (io_ns, failure) = std::thread::scope(|scope| {
+    let failure = std::thread::scope(|scope| {
+        let io_stats = (&shipped_ns, &shipped_chunks);
         let io = scope.spawn(move || {
-            let mut io_ns = 0u64;
             let mut failure = None;
             while let Ok(chunk) = full_rx.recv() {
                 let t = Instant::now();
                 let shipped = write_tables(channel, &chunk)
                     .and_then(|()| channel.flush().map_err(RuntimeError::from));
-                io_ns += t.elapsed().as_nanos() as u64;
+                io_stats.0.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 if let Err(e) = shipped {
                     failure = Some(e);
                     break; // dropping the queues unblocks the compute stage
                 }
+                io_stats.1.fetch_add(1, Ordering::Relaxed);
                 let _ = empty_tx.send(chunk);
             }
-            (io_ns, failure)
+            failure
         });
         // Compute stage, on the calling thread. A `None` buffer means
         // the I/O stage died; its error surfaces after the join.
+        // `extra` is the widening budget the autotune granted: fresh
+        // buffers enter the ring here instead of blocking on a drained
+        // one (they return through `empty_rx` like any other).
+        let mut tuned = !autotune;
+        let mut extra = 0usize;
         let mut stash: Option<Vec<[Block; 2]>> = None;
-        while let Some(mut chunk) = stash.take().or_else(|| empty_rx.recv().ok()) {
+        while let Some(mut chunk) = stash
+            .take()
+            .or_else(|| {
+                (extra > 0).then(|| {
+                    extra -= 1;
+                    Vec::with_capacity(capacity)
+                })
+            })
+            .or_else(|| empty_rx.recv().ok())
+        {
             let t = Instant::now();
             let more = garbler.next_tables_into(chunk_tables, &mut chunk);
             stats.compute_ns += t.elapsed().as_nanos() as u64;
@@ -474,11 +602,26 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
             if full_tx.send(chunk).is_err() {
                 break;
             }
+            if !tuned && stats.chunks >= depth as u64 {
+                // First ring complete: widen once if transfers dominate.
+                let chunks_done = shipped_chunks.load(Ordering::Relaxed);
+                if let Some(io_avg) = shipped_ns.load(Ordering::Relaxed).checked_div(chunks_done) {
+                    tuned = true;
+                    let compute_avg = (stats.compute_ns / stats.chunks).max(1);
+                    if io_avg > compute_avg {
+                        let target =
+                            ((io_avg / compute_avg) as usize + 1).clamp(depth, MAX_PIPELINE_DEPTH);
+                        extra = target - depth;
+                        depth = target;
+                    }
+                }
+            }
         }
         drop(full_tx); // end of stream: the I/O stage drains and exits
         io.join().expect("table I/O stage panicked")
     });
-    stats.io_ns = io_ns;
+    stats.io_ns = shipped_ns.load(Ordering::Relaxed);
+    stats.depth = depth;
     if let Some(e) = failure {
         return Err(e);
     }
@@ -516,6 +659,15 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
 
     let Message::Header(header) = expect_message(channel, "Header")? else { unreachable!() };
     validate_header(circuit, &header)?;
+    if header.reorder != config.reorder() {
+        // Running anyway would not fail fast — it would desynchronize
+        // the table stream and surface as garbage labels much later.
+        return Err(RuntimeError::protocol(format!(
+            "reorder mismatch: the garbler lowered with {}, this side with {}",
+            header.reorder.label(),
+            config.reorder().label()
+        )));
+    }
 
     let Message::GarblerInputs(garbler_labels) = expect_message(channel, "GarblerInputs")? else {
         unreachable!()
@@ -535,7 +687,8 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     };
 
     let (output_decode, stats) = if config.pipeline {
-        recv_tables_pipelined(&mut evaluator, channel)?
+        let (depth, _) = config.resolved_pipeline_depth();
+        recv_tables_pipelined(&mut evaluator, channel, depth)?
     } else {
         recv_tables_serial(&mut evaluator, channel)?
     };
@@ -569,14 +722,18 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         io_ns: stats.io_ns,
         stream_ns: stats.wall_ns,
         overlap_ratio: stats.overlap_ratio(),
+        pipeline_depth: stats.depth,
         elapsed: start.elapsed(),
     })
 }
 
 /// Runs the evaluator (Bob) side of a streaming session with default
-/// options: the circuit is lowered on the spot (callers running many
-/// sessions should cache a plan and use
-/// [`run_evaluator_with`]/[`SessionConfig::from_plan`] instead).
+/// options: the circuit is lowered on the spot with the **baseline**
+/// schedule (callers running many sessions — or negotiating a
+/// reordered schedule — should cache a plan and use
+/// [`run_evaluator_with`]/[`SessionConfig::from_plan`] instead; a
+/// garbler announcing a non-baseline reorder is refused with a typed
+/// mismatch error).
 ///
 /// The evaluator learns the session parameters from the garbler's header
 /// and validates them against its own copy of the circuit.
@@ -640,12 +797,14 @@ fn recv_tables_serial<C: Channel + ?Sized>(
 fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
     evaluator: &mut StreamingEvaluator<'_>,
     channel: &mut C,
+    depth: usize,
 ) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
     let start = Instant::now();
-    let mut stats = StreamStats::default();
-    // Prefetch is bounded like the garbler's ring: at most
-    // PIPELINE_DEPTH chunks received-but-unevaluated at once.
-    let (chunk_tx, chunk_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(PIPELINE_DEPTH);
+    let mut stats =
+        StreamStats { depth: depth.clamp(1, MAX_PIPELINE_DEPTH), ..StreamStats::default() };
+    // Prefetch is bounded like the garbler's ring: at most `depth`
+    // chunks received-but-unevaluated at once.
+    let (chunk_tx, chunk_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(stats.depth);
     let (io_ns, outcome) = std::thread::scope(|scope| {
         let io = scope.spawn(move || {
             let span = Instant::now();
@@ -1064,7 +1223,7 @@ mod tests {
         let small = adder(8);
         let config = SessionConfig::from_plan(
             HashScheme::Rekeyed,
-            std::sync::Arc::new(lower_for_streaming(&small)),
+            std::sync::Arc::new(lower_with_reorder(&small, ReorderKind::Baseline)),
         );
         let (mut gc, _ec) = crate::channel::MemChannel::pair();
         let mut rng = StdRng::seed_from_u64(1);
@@ -1154,6 +1313,32 @@ mod tests {
             assert_eq!(g.table_chunks, c.num_and_gates() as u64);
             assert!(g.table_chunks > 8, "want a many-chunk stream, got {}", g.table_chunks);
         });
+    }
+
+    #[test]
+    fn pipeline_depth_is_reported_pinnable_and_bounded() {
+        let c = adder(24);
+        // Pinned: both sides run (and report) exactly the pinned ring.
+        let pinned = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_pipeline_depth(5);
+        let (g, e) = run_local_session(&c, &to_bits(3, 24), &to_bits(4, 24), 6, &pinned).unwrap();
+        assert_eq!(g.pipeline_depth, 5);
+        assert_eq!(e.pipeline_depth, 5);
+        // Serial sessions have no ring.
+        let serial = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_pipeline(false);
+        let (gs, es) = run_local_session(&c, &to_bits(3, 24), &to_bits(4, 24), 6, &serial).unwrap();
+        assert_eq!(gs.pipeline_depth, 0);
+        assert_eq!(es.pipeline_depth, 0);
+        // Autotuned: starts at the default and may only widen, bounded
+        // by the ceiling; the wire bytes are identical regardless.
+        let auto = SessionConfig::for_circuit(&c).with_chunk_tables(2);
+        let (ga, _) = run_local_session(&c, &to_bits(3, 24), &to_bits(4, 24), 6, &auto).unwrap();
+        assert!(
+            (PIPELINE_DEPTH..=MAX_PIPELINE_DEPTH).contains(&ga.pipeline_depth),
+            "autotuned depth {} outside [{PIPELINE_DEPTH}, {MAX_PIPELINE_DEPTH}]",
+            ga.pipeline_depth
+        );
+        assert_eq!(g.bytes_sent, ga.bytes_sent);
+        assert_eq!(g.bytes_sent, gs.bytes_sent);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! protocol version fails loudly (unknown tag / length mismatch) instead
 //! of desynchronizing.
 
+use haac_core::ReorderKind;
 use haac_gc::{Block, HashScheme};
 
 use crate::channel::Channel;
@@ -38,6 +39,11 @@ pub struct SessionHeader {
     pub window_wires: u32,
     /// Tables per streamed chunk (the window's slide granularity).
     pub chunk_tables: u32,
+    /// The instruction schedule the garbler lowered with. The evaluator
+    /// must have lowered identically — reordered transcripts are only a
+    /// valid protocol when both parties agree — so a mismatch is
+    /// refused before any table is streamed.
+    pub reorder: ReorderKind,
 }
 
 /// One protocol message.
@@ -105,6 +111,30 @@ fn scheme_from_tag(tag: u8) -> Result<HashScheme, RuntimeError> {
     }
 }
 
+/// Wire tag of a [`ReorderKind`] (shared by the session header and the
+/// server's request frame).
+pub fn reorder_tag(reorder: ReorderKind) -> u8 {
+    match reorder {
+        ReorderKind::Baseline => 0,
+        ReorderKind::Full => 1,
+        ReorderKind::Segment => 2,
+    }
+}
+
+/// Decodes a [`ReorderKind`] wire tag.
+///
+/// # Errors
+///
+/// Returns a protocol error for an unknown tag.
+pub fn reorder_from_tag(tag: u8) -> Result<ReorderKind, RuntimeError> {
+    match tag {
+        0 => Ok(ReorderKind::Baseline),
+        1 => Ok(ReorderKind::Full),
+        2 => Ok(ReorderKind::Segment),
+        other => Err(RuntimeError::protocol(format!("unknown reorder kind tag {other}"))),
+    }
+}
+
 fn push_blocks(payload: &mut Vec<u8>, blocks: &[Block]) {
     payload.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for block in blocks {
@@ -160,6 +190,7 @@ pub fn write_message<C: Channel + ?Sized>(
             payload.push(scheme_tag(h.scheme));
             payload.extend_from_slice(&h.window_wires.to_le_bytes());
             payload.extend_from_slice(&h.chunk_tables.to_le_bytes());
+            payload.push(reorder_tag(h.reorder));
         }
         Message::GarblerInputs(labels) => push_blocks(&mut payload, labels),
         Message::OtSetup(point) => payload.extend_from_slice(&point.to_le_bytes()),
@@ -327,6 +358,7 @@ pub fn read_message<C: Channel + ?Sized>(channel: &mut C) -> Result<Message, Run
             scheme: scheme_from_tag(r.u8()?)?,
             window_wires: r.u32()?,
             chunk_tables: r.u32()?,
+            reorder: reorder_from_tag(r.u8()?)?,
         }),
         2 => Message::GarblerInputs(r.counted(16, PayloadReader::block)?),
         3 => Message::OtSetup(r.u128()?),
@@ -356,15 +388,18 @@ mod tests {
 
     #[test]
     fn all_message_kinds_round_trip() {
-        round_trip(Message::Header(SessionHeader {
-            garbler_inputs: 32,
-            evaluator_inputs: 32,
-            num_gates: 1234,
-            num_tables: 567,
-            scheme: HashScheme::Rekeyed,
-            window_wires: 4096,
-            chunk_tables: 2048,
-        }));
+        for reorder in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
+            round_trip(Message::Header(SessionHeader {
+                garbler_inputs: 32,
+                evaluator_inputs: 32,
+                num_gates: 1234,
+                num_tables: 567,
+                scheme: HashScheme::Rekeyed,
+                window_wires: 4096,
+                chunk_tables: 2048,
+                reorder,
+            }));
+        }
         round_trip(Message::GarblerInputs(vec![Block::from(1u128), Block::from(2u128)]));
         round_trip(Message::OtSetup(0xDEAD_BEEFu128));
         round_trip(Message::OtPoints(vec![3, 5, 7]));

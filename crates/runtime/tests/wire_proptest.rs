@@ -12,7 +12,7 @@ use std::io;
 
 use haac_gc::{Block, HashScheme};
 use haac_runtime::wire::{read_message, write_message, Message, SessionHeader};
-use haac_runtime::{Channel, ChannelStats, RuntimeError};
+use haac_runtime::{Channel, ChannelStats, ReorderKind, RuntimeError};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -100,6 +100,11 @@ fn message_from(kind: u8, data: &[u8]) -> Message {
             },
             window_wires: (u128_from(data) >> 7) as u32,
             chunk_tables: (u128_from(data) as u32) | 1,
+            reorder: match data.first().copied().unwrap_or(0) % 3 {
+                0 => ReorderKind::Baseline,
+                1 => ReorderKind::Full,
+                _ => ReorderKind::Segment,
+            },
         }),
         1 => Message::GarblerInputs(blocks_from(data)),
         2 => Message::OtSetup(u128_from(data)),
@@ -178,6 +183,27 @@ proptest! {
         // The flip may still decode (e.g. inside a label) or fail with a
         // typed error; it must never panic or desynchronize into a hang.
         let _ = read_message(&mut ByteChannel::of(frame));
+    }
+
+    #[test]
+    fn unknown_reorder_tags_in_the_header_are_typed_errors(
+        kind in any::<u8>(),
+        data in vec(any::<u8>(), 0..120),
+        bad_tag in 3u8..,
+    ) {
+        // The header's trailing byte is the negotiated ReorderKind; a
+        // peer speaking a newer (or corrupted) schedule vocabulary must
+        // fail as a typed protocol error naming the field — never a
+        // panic, and never a silently-assumed Baseline.
+        let Message::Header(header) = message_from(0, &data) else { unreachable!() };
+        let mut frame = encode(&Message::Header(header));
+        *frame.last_mut().expect("headers have payload") = bad_tag;
+        let err = read_message(&mut ByteChannel::of(frame))
+            .expect_err("an unknown reorder tag must not decode");
+        prop_assert!(
+            matches!(&err, RuntimeError::Protocol(m) if m.contains("reorder")),
+            "want a protocol error naming the reorder tag, got: {err}"
+        );
     }
 
     #[test]

@@ -2,20 +2,23 @@
 //!
 //! Synthesizing a workload's circuit, computing its reference outputs,
 //! and lowering it for streaming (reorder → rename → window-size — the
-//! full [`StreamingPlan`]) are pure functions of `(workload, scale)` —
-//! exactly the setup cost a long-lived service amortizes across
-//! requests (the CRGC/HACCLE deployment model). The cache keys on that
-//! pair and hands out `Arc`s, so concurrent sessions of the same
-//! workload share one immutable build, repeated workloads skip
-//! synthesis entirely, and **warm sessions skip the per-circuit
-//! analysis pass**: the cached config carries the lowered plan, and
-//! `run_garbler` drives the slot-slab executors straight off it.
+//! full [`StreamingPlan`]) are pure functions of `(workload, scale,
+//! reorder)` — exactly the setup cost a long-lived service amortizes
+//! across requests (the CRGC/HACCLE deployment model). The cache keys
+//! on that triple and hands out `Arc`s, so concurrent sessions of the
+//! same workload-and-schedule share one immutable build, repeated
+//! requests skip synthesis entirely, and **warm sessions skip the
+//! per-circuit analysis pass**: the cached config carries the lowered
+//! plan, and `run_garbler` drives the slot-slab executors straight off
+//! it. Distinct [`ReorderKind`]s of one workload share nothing but the
+//! synthesis inputs — their plans (and transcripts) genuinely differ —
+//! so they are distinct entries.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use haac_runtime::{SessionConfig, StreamingPlan};
+use haac_runtime::{ReorderKind, SessionConfig, StreamingPlan};
 use haac_workloads::{build, Scale, Workload, WorkloadKind};
 
 /// One fully prepared workload: the synthesized circuit with its sample
@@ -38,10 +41,10 @@ impl CachedWorkload {
     }
 }
 
-/// Concurrent build-once cache over `(workload, scale)`.
+/// Concurrent build-once cache over `(workload, scale, reorder)`.
 #[derive(Debug, Default)]
 pub struct CircuitCache {
-    entries: Mutex<HashMap<(WorkloadKind, Scale), Arc<CachedWorkload>>>,
+    entries: Mutex<HashMap<(WorkloadKind, Scale, ReorderKind), Arc<CachedWorkload>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -52,9 +55,15 @@ impl CircuitCache {
         CircuitCache::default()
     }
 
-    /// Fetches (or builds, outside the lock) the prepared workload.
-    pub fn get(&self, kind: WorkloadKind, scale: Scale) -> Arc<CachedWorkload> {
-        if let Some(entry) = self.entries.lock().expect("cache lock").get(&(kind, scale)) {
+    /// Fetches (or builds, outside the lock) the prepared workload,
+    /// lowered with the requested schedule.
+    pub fn get(
+        &self,
+        kind: WorkloadKind,
+        scale: Scale,
+        reorder: ReorderKind,
+    ) -> Arc<CachedWorkload> {
+        if let Some(entry) = self.entries.lock().expect("cache lock").get(&(kind, scale, reorder)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(entry);
         }
@@ -63,10 +72,10 @@ impl CircuitCache {
         // harmless: first insert wins, the duplicate is dropped.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let workload = build(kind, scale);
-        let config = SessionConfig::for_circuit(&workload.circuit);
+        let config = SessionConfig::for_circuit_with(&workload.circuit, reorder);
         let built = Arc::new(CachedWorkload { workload, config });
         let mut entries = self.entries.lock().expect("cache lock");
-        Arc::clone(entries.entry((kind, scale)).or_insert(built))
+        Arc::clone(entries.entry((kind, scale, reorder)).or_insert(built))
     }
 
     /// Lookups served from the cache so far.
@@ -97,8 +106,8 @@ mod tests {
     #[test]
     fn repeated_gets_share_one_build() {
         let cache = CircuitCache::new();
-        let first = cache.get(WorkloadKind::DotProduct, Scale::Small);
-        let second = cache.get(WorkloadKind::DotProduct, Scale::Small);
+        let first = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+        let second = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
         assert!(Arc::ptr_eq(&first, &second), "same build must be shared");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
@@ -108,11 +117,12 @@ mod tests {
     #[test]
     fn cache_hits_reuse_the_lowered_plan_without_reanalysis() {
         // The satellite fix: window sizing / lowering runs once per
-        // (workload, scale) — a warm session gets the *same* plan Arc,
-        // so nothing is recomputed per session (visible as a hit).
+        // (workload, scale, reorder) — a warm session gets the *same*
+        // plan Arc, so nothing is recomputed per session (visible as a
+        // hit).
         let cache = CircuitCache::new();
-        let cold = cache.get(WorkloadKind::Hamming, Scale::Small);
-        let warm = cache.get(WorkloadKind::Hamming, Scale::Small);
+        let cold = cache.get(WorkloadKind::Hamming, Scale::Small, ReorderKind::Baseline);
+        let warm = cache.get(WorkloadKind::Hamming, Scale::Small, ReorderKind::Baseline);
         assert!(Arc::ptr_eq(cold.plan(), warm.plan()), "plan must be shared, not re-lowered");
         assert_eq!(cache.hits(), 1);
         // The plan actually describes the cached circuit.
@@ -123,9 +133,25 @@ mod tests {
     #[test]
     fn distinct_workloads_get_distinct_entries() {
         let cache = CircuitCache::new();
-        let dot = cache.get(WorkloadKind::DotProduct, Scale::Small);
-        let ham = cache.get(WorkloadKind::Hamming, Scale::Small);
+        let dot = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+        let ham = cache.get(WorkloadKind::Hamming, Scale::Small, ReorderKind::Baseline);
         assert!(!Arc::ptr_eq(&dot, &ham));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_reorders_of_one_workload_are_distinct_entries() {
+        let cache = CircuitCache::new();
+        let base = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+        let full = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Full);
+        let seg = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Segment);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        // Same circuit, genuinely different schedules.
+        assert_eq!(base.plan().and_count(), full.plan().and_count());
+        assert_eq!(base.plan().reorder, ReorderKind::Baseline);
+        assert_eq!(full.plan().reorder, ReorderKind::Full);
+        assert_eq!(seg.plan().reorder, ReorderKind::Segment);
+        assert_ne!(base.plan().program, full.plan().program, "Full must permute the stream");
     }
 }

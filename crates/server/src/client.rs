@@ -24,10 +24,22 @@ const CLIENT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Builds everything a warm client reuses across sessions of one
 /// workload: the circuit + reference outputs and the session config
-/// carrying the lowered streaming plan.
+/// carrying the streaming plan lowered with the **baseline** schedule.
 pub fn prepare(kind: WorkloadKind, scale: haac_workloads::Scale) -> (Workload, SessionConfig) {
+    prepare_with_reorder(kind, scale, haac_runtime::ReorderKind::Baseline)
+}
+
+/// Like [`prepare`], but lowers with the given schedule — pass the same
+/// [`ReorderKind`](haac_runtime::ReorderKind) in the
+/// [`SessionRequest`] so the server fetches the matching plan (a
+/// disagreement is refused in the session handshake).
+pub fn prepare_with_reorder(
+    kind: WorkloadKind,
+    scale: haac_workloads::Scale,
+    reorder: haac_runtime::ReorderKind,
+) -> (Workload, SessionConfig) {
     let workload = build(kind, scale);
-    let config = SessionConfig::for_circuit(&workload.circuit);
+    let config = SessionConfig::for_circuit_with(&workload.circuit, reorder);
     (workload, config)
 }
 
@@ -72,7 +84,7 @@ pub fn run_session<C: Channel + Send + ?Sized>(
     let kind = WorkloadKind::from_name(&request.workload).ok_or_else(|| {
         RuntimeError::protocol(format!("unknown workload {:?}", request.workload))
     })?;
-    let (workload, config) = prepare(kind, request.scale);
+    let (workload, config) = prepare_with_reorder(kind, request.scale, request.reorder);
     run_session_with(channel, request, &workload, &config)
 }
 

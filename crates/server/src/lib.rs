@@ -12,8 +12,8 @@
 //!
 //! | Layer | Contents |
 //! |-------|----------|
-//! | [`request`] | The service handshake: [`SessionRequest`] / ack frames preceding the GC protocol |
-//! | [`cache`] | [`CircuitCache`]: build/compile once per `(workload, scale)`, share via `Arc` |
+//! | [`request`] | The service handshake: [`SessionRequest`] (workload, scale, negotiated [`ReorderKind`](haac_runtime::ReorderKind), seed) / ack frames preceding the GC protocol |
+//! | [`cache`] | [`CircuitCache`]: build/compile once per `(workload, scale, reorder)`, share via `Arc` |
 //! | [`registry`] | [`SessionRegistry`], per-session [`SessionOutcome`]s, aggregate [`ServerReport`] (p50/p99, aggregate gates/s) |
 //! | [`server`] | [`Server`]: accept loops, pooled session jobs, per-session error isolation, graceful shutdown |
 //! | [`client`] | Evaluator-side drivers for tests and load generation |
@@ -31,8 +31,7 @@
 //!     .enumerate()
 //!     .map(|(i, name)| {
 //!         let mut channel = server.connect();
-//!         let request =
-//!             SessionRequest { workload: name.into(), scale: Scale::Small, seed: i as u64 };
+//!         let request = SessionRequest::new(name, Scale::Small, i as u64);
 //!         std::thread::spawn(move || client::run_session(&mut channel, &request).unwrap())
 //!     })
 //!     .collect();

@@ -1,16 +1,22 @@
 //! The service-level handshake that precedes the GC protocol.
 //!
 //! A connecting evaluator first names the computation it wants — a VIP
-//! workload, a scale, and a garbling seed — and the server answers with
-//! an ack (or a refusal naming the reason). Only then does the standard
-//! streamed session (header, labels, OT, table chunks) begin, unchanged
-//! from `haac-runtime`.
+//! workload, a scale, an instruction schedule ([`ReorderKind`]), and a
+//! garbling seed — and the server answers with an ack (or a refusal
+//! naming the reason). Only then does the standard streamed session
+//! (header, labels, OT, table chunks) begin, unchanged from
+//! `haac-runtime`. Carrying the reorder in the request is what lets
+//! both parties lower with the same `Full`/`Segment` schedule: the
+//! server fetches (or builds) the matching cached plan and the session
+//! header confirms the choice back, so a disagreement dies as a typed
+//! refusal instead of a diverged transcript.
 //!
 //! Frames reuse the wire discipline of the session layer: a 1-byte tag,
 //! explicit lengths, and hard caps on every untrusted length so a
 //! hostile request cannot drive allocation.
 
-use haac_runtime::{Channel, RuntimeError};
+use haac_runtime::wire::{reorder_from_tag, reorder_tag};
+use haac_runtime::{Channel, ReorderKind, RuntimeError};
 use haac_workloads::Scale;
 
 /// Frame tag of a session request (client → server).
@@ -30,9 +36,25 @@ pub struct SessionRequest {
     pub workload: String,
     /// Workload scale to build/fetch.
     pub scale: Scale,
+    /// Instruction schedule both parties lower with (the server's
+    /// circuit cache keys on it alongside workload and scale).
+    pub reorder: ReorderKind,
     /// Seed for the server's garbling randomness — deterministic
     /// per-request transcripts, distinct across requests.
     pub seed: u64,
+}
+
+impl SessionRequest {
+    /// A baseline-schedule request (the common case).
+    pub fn new(workload: impl Into<String>, scale: Scale, seed: u64) -> SessionRequest {
+        SessionRequest { workload: workload.into(), scale, reorder: ReorderKind::Baseline, seed }
+    }
+
+    /// Returns the request with the given instruction schedule.
+    pub fn with_reorder(mut self, reorder: ReorderKind) -> SessionRequest {
+        self.reorder = reorder;
+        self
+    }
 }
 
 fn scale_tag(scale: Scale) -> u8 {
@@ -68,7 +90,7 @@ pub fn write_request<C: Channel + ?Sized>(
     }
     channel.send(&[REQUEST_TAG, name.len() as u8])?;
     channel.send(name)?;
-    channel.send(&[scale_tag(request.scale)])?;
+    channel.send(&[scale_tag(request.scale), reorder_tag(request.reorder)])?;
     channel.send(&request.seed.to_le_bytes())?;
     channel.flush()?;
     Ok(())
@@ -98,11 +120,12 @@ pub fn read_request<C: Channel + ?Sized>(channel: &mut C) -> Result<SessionReque
     channel.recv_exact(&mut name)?;
     let workload = String::from_utf8(name)
         .map_err(|_| RuntimeError::protocol("workload name is not UTF-8"))?;
-    let mut tail = [0u8; 9];
+    let mut tail = [0u8; 10];
     channel.recv_exact(&mut tail)?;
     let scale = scale_from_tag(tail[0])?;
-    let seed = u64::from_le_bytes(tail[1..9].try_into().expect("8 bytes"));
-    Ok(SessionRequest { workload, scale, seed })
+    let reorder = reorder_from_tag(tail[1])?;
+    let seed = u64::from_le_bytes(tail[2..10].try_into().expect("8 bytes"));
+    Ok(SessionRequest { workload, scale, reorder, seed })
 }
 
 /// Sends the server's answer to a request — `Ok` to proceed, `Err` with
@@ -167,10 +190,24 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let (mut a, mut b) = MemChannel::pair();
-        let request =
-            SessionRequest { workload: "DotProd".into(), scale: Scale::Small, seed: 0xFEED };
-        write_request(&mut a, &request).unwrap();
-        assert_eq!(read_request(&mut b).unwrap(), request);
+        for reorder in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
+            let request =
+                SessionRequest::new("DotProd", Scale::Small, 0xFEED).with_reorder(reorder);
+            write_request(&mut a, &request).unwrap();
+            assert_eq!(read_request(&mut b).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn unknown_reorder_tags_are_typed_protocol_errors() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[REQUEST_TAG, 4]).unwrap();
+        a.send(b"Hamm").unwrap();
+        a.send(&[0u8, 9]).unwrap(); // scale Small, reorder tag 9: unknown
+        a.send(&7u64.to_le_bytes()).unwrap();
+        a.flush().unwrap();
+        let err = read_request(&mut b).unwrap_err();
+        assert!(err.to_string().contains("reorder"), "{err}");
     }
 
     #[test]
@@ -186,7 +223,7 @@ mod tests {
     #[test]
     fn oversized_names_are_rejected_by_the_writer() {
         let (mut a, _b) = MemChannel::pair();
-        let request = SessionRequest { workload: "x".repeat(65), scale: Scale::Small, seed: 0 };
+        let request = SessionRequest::new("x".repeat(65), Scale::Small, 0);
         assert!(write_request(&mut a, &request).is_err());
     }
 
@@ -195,7 +232,7 @@ mod tests {
         let (mut a, mut b) = MemChannel::pair();
         a.send(&[0xFFu8, 1]).unwrap();
         a.send(b"x").unwrap();
-        a.send(&[0u8]).unwrap();
+        a.send(&[0u8, 0]).unwrap();
         a.send(&0u64.to_le_bytes()).unwrap();
         a.flush().unwrap();
         assert!(read_request(&mut b).is_err());

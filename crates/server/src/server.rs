@@ -74,7 +74,7 @@ struct ServerShared {
 ///
 /// let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
 /// let mut channel = server.connect();
-/// let request = SessionRequest { workload: "DotProd".into(), scale: Scale::Small, seed: 7 };
+/// let request = SessionRequest::new("DotProd", Scale::Small, 7);
 /// let report = client::run_session(&mut channel, &request).unwrap();
 /// assert!(!report.outputs.is_empty());
 /// let report = server.shutdown();
@@ -261,7 +261,7 @@ fn session_body(
         return Err(RuntimeError::protocol(reason));
     };
     shared.registry.set_workload(id, kind.name());
-    let cached = shared.cache.get(kind, request.scale);
+    let cached = shared.cache.get(kind, request.scale, request.reorder);
     write_ack(channel, Ok(()))?;
 
     let mut rng = StdRng::seed_from_u64(request.seed);

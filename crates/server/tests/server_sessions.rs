@@ -1,14 +1,15 @@
 //! Integration tests: concurrent sessions, error isolation, the
-//! circuit cache, TCP serving, and graceful shutdown.
+//! circuit cache, reorder negotiation, TCP serving, and graceful
+//! shutdown.
 
 use std::time::Duration;
 
-use haac_runtime::Channel;
+use haac_runtime::{Channel, ReorderKind};
 use haac_server::{client, Server, ServerConfig, SessionRequest};
 use haac_workloads::{build, Scale, WorkloadKind};
 
 fn request(name: &str, seed: u64) -> SessionRequest {
-    SessionRequest { workload: name.into(), scale: Scale::Small, seed }
+    SessionRequest::new(name, Scale::Small, seed)
 }
 
 #[test]
@@ -116,6 +117,80 @@ fn poisoned_sessions_are_isolated_from_healthy_ones() {
     assert_eq!(report.completed, 2);
     assert_eq!(report.failed, 3);
     assert_eq!(report.active, 0);
+}
+
+#[test]
+fn negotiated_reorders_serve_end_to_end() {
+    // Clients asking for the ILP-friendly schedules get sessions whose
+    // transcripts both parties lower identically — the reorder rides
+    // the request, the cache keys on it, and the session header
+    // confirms it.
+    let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+    for reorder in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
+        let mut channel = server.connect();
+        let req = request("DotProd", 11).with_reorder(reorder);
+        let report =
+            client::run_session(&mut channel, &req).unwrap_or_else(|e| panic!("{reorder:?}: {e}"));
+        assert!(report.tables > 0, "{reorder:?}");
+    }
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    // Three schedules of one workload = three distinct cache entries.
+    assert_eq!(server.cache().len(), 3);
+    let report = server.shutdown();
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn reorder_disagreement_is_a_typed_refusal_not_a_hang() {
+    // The evaluator prepared a Baseline plan but asks the server for
+    // Full: the server garbles Full, the header announces it, and the
+    // evaluator refuses with a typed error before any table flows.
+    // The server records a failed outcome and keeps serving.
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let (workload, baseline_config) = client::prepare(WorkloadKind::DotProduct, Scale::Small);
+    let mut channel = server.connect();
+    let req = request("DotProd", 21).with_reorder(ReorderKind::Full);
+    let err = client::run_session_with(&mut channel, &req, &workload, &baseline_config)
+        .expect_err("a schedule disagreement must be refused");
+    assert!(err.to_string().contains("reorder mismatch"), "{err}");
+    drop(channel);
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+
+    // The server survived and still serves matched sessions.
+    let mut healthy = server.connect();
+    client::run_session(&mut healthy, &request("DotProd", 22)).expect("healthy session succeeds");
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, 2);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.active, 0);
+}
+
+#[test]
+fn unknown_reorder_tag_is_a_recorded_failure_not_a_hang() {
+    // A client speaking a newer schedule vocabulary (reorder tag 9):
+    // the request parser rejects it, the session ends as a typed failed
+    // outcome naming the field, and the client's ack read fails fast
+    // instead of hanging.
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut channel = server.connect();
+    channel.send(&[0x71, 4]).unwrap(); // request tag + name length
+    channel.send(b"Hamm").unwrap();
+    channel.send(&[0u8, 9]).unwrap(); // scale Small, reorder tag 9: unknown
+    channel.send(&33u64.to_le_bytes()).unwrap();
+    channel.flush().unwrap();
+    let err =
+        haac_server::request::read_ack(&mut channel).expect_err("the server must hang up, not ack");
+    drop(err);
+    drop(channel);
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let outcomes = server.registry().outcomes();
+    assert_eq!(outcomes.len(), 1);
+    let failure = outcomes[0].result.as_ref().unwrap_err();
+    assert!(failure.contains("reorder"), "{failure}");
+    server.shutdown();
 }
 
 #[test]

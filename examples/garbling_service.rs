@@ -29,11 +29,7 @@ fn main() {
             let workload = Arc::clone(&built[i % mix.len()]);
             let mem_channel = (i % 2 == 0).then(|| server.connect());
             std::thread::spawn(move || {
-                let request = SessionRequest {
-                    workload: kind.name().into(),
-                    scale: Scale::Small,
-                    seed: i as u64,
-                };
+                let request = SessionRequest::new(kind.name(), Scale::Small, i as u64);
                 let report = match mem_channel {
                     Some(mut channel) => {
                         client::run_session_with(&mut channel, &request, &workload.0, &workload.1)

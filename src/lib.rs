@@ -60,7 +60,9 @@ pub mod prelude {
     pub use haac_circuit::{from_bits, to_bits, Bit, Builder, Circuit, GateOp, Word};
     pub use haac_core::compiler::{compile, CompileStats, ReorderKind};
     pub use haac_core::exec::run_gc_through_streams;
-    pub use haac_core::lower::{lower_for_streaming, StreamingPlan};
+    pub use haac_core::lower::{
+        lower_for_streaming, lower_with_reorder, lower_with_window, StreamingPlan,
+    };
     pub use haac_core::sim::{map_and_simulate, DramKind, HaacConfig, Role, SimReport};
     pub use haac_core::WindowModel;
     pub use haac_gc::protocol::run_two_party;

@@ -62,7 +62,10 @@ fn parallel_garbling_still_evaluates_correctly() {
 fn shared_pool_transcripts_match_single_engine_on_all_workloads() {
     // One persistent EnginePool garbles every VIP workload in turn —
     // the multi-session server's execution model — and each transcript
-    // must still be bit-identical to single-engine garbling.
+    // must still be bit-identical to single-engine garbling of the raw
+    // netlist. The pool path is plan-driven now (baseline slab), whose
+    // slice length comes from the plan's static window bound: no
+    // per-call lookahead sizing.
     let pool = haac::gc::EnginePool::new(4);
     for kind in WorkloadKind::ALL {
         let w = build(kind, Scale::Small);
@@ -70,17 +73,12 @@ fn shared_pool_transcripts_match_single_engine_on_all_workloads() {
         let mut rng = StdRng::seed_from_u64(seed);
         let reference = garble(&w.circuit, &mut rng, HashScheme::Rekeyed);
         let mut rng = StdRng::seed_from_u64(seed);
-        let lookahead = haac::core::WindowModel::new(4096).gate_lookahead();
-        let pooled = haac::gc::garble_parallel_in(
-            &w.circuit,
-            &mut rng,
-            HashScheme::Rekeyed,
-            lookahead,
-            &pool,
-        );
+        let pooled = haac::gc::garble_parallel_in(&w.circuit, &mut rng, HashScheme::Rekeyed, &pool);
         assert_eq!(pooled.delta, reference.delta, "{}", kind.name());
-        assert_eq!(pooled.wire_zero_labels, reference.wire_zero_labels, "{}", kind.name());
-        assert_eq!(pooled.garbled, reference.garbled, "{}", kind.name());
+        assert_eq!(pooled.tables, reference.garbled.tables, "{}", kind.name());
+        assert_eq!(pooled.output_decode, reference.garbled.output_decode, "{}", kind.name());
         assert_eq!(pooled.crypto, reference.crypto, "{}", kind.name());
+        let input_zero = &reference.wire_zero_labels[..w.circuit.num_inputs() as usize];
+        assert_eq!(pooled.input_zero_labels, input_zero, "{}", kind.name());
     }
 }

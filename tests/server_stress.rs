@@ -34,11 +34,7 @@ fn soak_32_mixed_sessions_on_a_3_engine_pool() {
             let (kind, workload) = &built[i % built.len()];
             let kind = *kind;
             let workload = Arc::clone(workload);
-            let request = SessionRequest {
-                workload: kind.name().into(),
-                scale: Scale::Small,
-                seed: 9_000 + i as u64,
-            };
+            let request = SessionRequest::new(kind.name(), Scale::Small, 9_000 + i as u64);
             // Alternate transports: even sessions in-memory, odd over
             // real loopback TCP.
             let mem_channel = (i % 2 == 0).then(|| server.connect());
@@ -110,20 +106,12 @@ fn soak_with_poisoned_clients_isolates_failures_under_load() {
                     }
                     1 => {
                         // A request the server must refuse.
-                        let request = SessionRequest {
-                            workload: "NotAWorkload".into(),
-                            scale: Scale::Small,
-                            seed: 0,
-                        };
+                        let request = SessionRequest::new("NotAWorkload", Scale::Small, 0);
                         let _ = haac::server::request::write_request(&mut channel, &request);
                     }
                     _ => {
                         // Valid request, then hang up before the OT.
-                        let request = SessionRequest {
-                            workload: "Hamm".into(),
-                            scale: Scale::Small,
-                            seed: 5,
-                        };
+                        let request = SessionRequest::new("Hamm", Scale::Small, 5);
                         let _ = haac::server::request::write_request(&mut channel, &request);
                     }
                 })
@@ -140,11 +128,7 @@ fn soak_with_poisoned_clients_isolates_failures_under_load() {
             std::thread::Builder::new()
                 .name(format!("healthy-{i}"))
                 .spawn(move || {
-                    let request = SessionRequest {
-                        workload: kind.name().into(),
-                        scale: Scale::Small,
-                        seed: 7_000 + i as u64,
-                    };
+                    let request = SessionRequest::new(kind.name(), Scale::Small, 7_000 + i as u64);
                     client::run_session_with(&mut channel, &request, &workload.0, &workload.1)
                 })
                 .expect("spawn healthy client")

@@ -39,6 +39,12 @@
 //!   gates/s per workload; regression-floored (reordered ≥ 0.5× the
 //!   baseline rate — the schedules trade locality for ILP, and on a
 //!   CPU the floor catches pathological collapses, not missed wins).
+//! - **telemetry overhead smoke** — the same serial session with a
+//!   live [`SessionTelemetry`] attached and the global switch on vs
+//!   the kill switch off; the attached run must hold ≥ 0.95× the
+//!   disabled rate (the instruments are lock-free atomics, and the CI
+//!   job runs this under the portable AES backend so the gate covers
+//!   the slowest crypto path too).
 //!
 //! Run with: `cargo run --release -p haac-bench --bin bench_pipeline`
 //!
@@ -53,16 +59,20 @@
 //!   `min(4, cores)`; the CI matrix sweeps {1, 4}).
 //! - `HAAC_REORDER=baseline|full|segment|all` — which reordered
 //!   session rows to measure (default `all`).
+//! - `HAAC_QUIET=1` (or `--quiet`) — suppress progress events.
 //! - `HAAC_BENCH_OUT=<path>` overrides the output file.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use haac_circuit::{Builder, Circuit};
 use haac_core::lower_for_streaming;
 use haac_gc::{garble_plan_in, EnginePool, HashScheme, StreamingGarbler};
 use haac_runtime::{
-    run_local_session, run_tcp_session, ReorderKind, SessionConfig, SessionReport, PIPELINE_DEPTH,
+    run_local_session, run_tcp_session, ReorderKind, SessionConfig, SessionReport,
+    SessionTelemetry, PIPELINE_DEPTH,
 };
+use haac_telemetry::event;
 use haac_workloads::{build, Scale, WorkloadKind};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::Serialize;
@@ -153,6 +163,61 @@ struct PooledBench {
     gated: bool,
 }
 
+/// Cost of observing a session: the same serial session with a live
+/// [`SessionTelemetry`] attached and the global switch on, vs the kill
+/// switch off (the config stays attached in both runs, so the gate
+/// prices the instruments themselves, not the `Option` check).
+#[derive(Debug, Serialize)]
+struct TelemetryOverheadBench {
+    workload: &'static str,
+    /// Best gates/s with `haac_telemetry::set_enabled(false)`.
+    disabled_gates_per_sec: f64,
+    /// Best gates/s with the switch on: every chunk records spans,
+    /// histograms, OoRW occupancy, and the sliding gate rate.
+    enabled_gates_per_sec: f64,
+    /// `enabled / disabled` — regression-gated ≥ 0.95.
+    ratio: f64,
+}
+
+fn telemetry_overhead_bench(reps: usize) -> TelemetryOverheadBench {
+    let kind = WorkloadKind::MatMult;
+    let w = build(kind, Scale::Small);
+    let ands = w.circuit.num_and_gates();
+    let telemetry = Arc::new(SessionTelemetry::detached());
+    // Small chunks on purpose: per-chunk instruments fire often, so the
+    // measurement is an upper bound on real-stream overhead.
+    let config = SessionConfig::for_circuit(&w.circuit)
+        .with_chunk_tables((ands / 64).max(1))
+        .with_pipeline(false)
+        .with_telemetry(Arc::clone(&telemetry));
+    let measure = |enabled: bool, seed: u64| -> f64 {
+        haac_telemetry::set_enabled(enabled);
+        let mut best = 0.0f64;
+        for rep in 0..reps.max(3) as u64 {
+            let (g, _) = run_local_session(
+                &w.circuit,
+                &w.garbler_bits,
+                &w.evaluator_bits,
+                seed + rep,
+                &config,
+            )
+            .expect("overhead session");
+            assert_eq!(g.outputs, w.expected, "telemetry overhead outputs diverge");
+            best = best.max(g.and_gates_per_sec());
+        }
+        best
+    };
+    let disabled_gates_per_sec = measure(false, 0xD15);
+    let enabled_gates_per_sec = measure(true, 0x0B5);
+    haac_telemetry::set_enabled(true);
+    TelemetryOverheadBench {
+        workload: kind.name(),
+        disabled_gates_per_sec,
+        enabled_gates_per_sec,
+        ratio: enabled_gates_per_sec / disabled_gates_per_sec.max(f64::MIN_POSITIVE),
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct LinkModel {
     bandwidth_gbps: f64,
@@ -169,6 +234,8 @@ struct Report {
     link_model: LinkModel,
     label_store: LabelStoreBench,
     pooled: PooledBench,
+    /// Attached-vs-disabled telemetry cost (gated ≥ 0.95).
+    telemetry_overhead: TelemetryOverheadBench,
     workloads: Vec<WorkloadBench>,
 }
 
@@ -441,6 +508,9 @@ fn workload_bench(
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--quiet") {
+        haac_telemetry::events::set_quiet(true);
+    }
     let reps = env_u64("HAAC_PIPELINE_REPS", 3) as usize;
     let available_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let link = LinkModel {
@@ -455,39 +525,61 @@ fn main() {
         _ => vec![ReorderKind::Full, ReorderKind::Segment],
     };
 
-    eprintln!("[bench_pipeline] label-store microbench (XOR ring)...");
+    event!("bench_pipeline", "label-store microbench (XOR ring)...");
     let label_store = label_store_bench();
-    eprintln!(
-        "[bench_pipeline] hashmap {:.1} ns/gate, slab {:.1} ns/gate ({:.1}x)",
-        label_store.hashmap_ns_per_gate, label_store.slab_ns_per_gate, label_store.speedup
+    event!(
+        "bench_pipeline",
+        "hashmap {:.1} ns/gate, slab {:.1} ns/gate ({:.1}x)",
+        label_store.hashmap_ns_per_gate,
+        label_store.slab_ns_per_gate,
+        label_store.speedup
     );
 
-    eprintln!("[bench_pipeline] pooled-vs-single slab garbling ({engines} engines)...");
+    event!("bench_pipeline", "pooled-vs-single slab garbling ({engines} engines)...");
     let pooled = pooled_bench(engines, available_cores);
-    eprintln!(
-        "[bench_pipeline]   single {:.0} -> pooled {:.0} gates/s (x{:.2}, gate {})",
+    event!(
+        "bench_pipeline",
+        "  single {:.0} -> pooled {:.0} gates/s (x{:.2}, gate {})",
         pooled.single_gates_per_sec,
         pooled.pooled_gates_per_sec,
         pooled.speedup,
         if pooled.gated { "armed" } else { "skipped" }
     );
 
+    event!("bench_pipeline", "telemetry overhead smoke (attached vs kill switch)...");
+    let telemetry_overhead = telemetry_overhead_bench(reps);
+    event!(
+        "bench_pipeline",
+        "  disabled {:.0} -> enabled {:.0} gates/s ({:.3}x)",
+        telemetry_overhead.disabled_gates_per_sec,
+        telemetry_overhead.enabled_gates_per_sec,
+        telemetry_overhead.ratio
+    );
+
     let mut workloads = Vec::new();
     for kind in WorkloadKind::ALL {
-        eprintln!(
-            "[bench_pipeline] {} measured compute + {}Gb/s schedule + tcp overlap + reorders...",
+        event!(
+            "bench_pipeline",
+            "{} measured compute + {}Gb/s schedule + tcp overlap + reorders...",
             kind.name(),
             link.bandwidth_gbps
         );
         let row = workload_bench(kind, reps, &link, &reorders);
-        eprintln!(
-            "[bench_pipeline]   serial {:.0} -> pipelined {:.0} gates/s (x{:.2}), tcp overlap {:.2}",
-            row.serial_gates_per_sec, row.pipelined_gates_per_sec, row.speedup, row.tcp_overlap_ratio
+        event!(
+            "bench_pipeline",
+            "  serial {:.0} -> pipelined {:.0} gates/s (x{:.2}), tcp overlap {:.2}",
+            row.serial_gates_per_sec,
+            row.pipelined_gates_per_sec,
+            row.speedup,
+            row.tcp_overlap_ratio
         );
         for r in &row.reordered {
-            eprintln!(
-                "[bench_pipeline]   {} sessions: {:.0} gates/s ({:.2}x baseline)",
-                r.reorder, r.session_gates_per_sec, r.vs_baseline
+            event!(
+                "bench_pipeline",
+                "  {} sessions: {:.0} gates/s ({:.2}x baseline)",
+                r.reorder,
+                r.session_gates_per_sec,
+                r.vs_baseline
             );
         }
         workloads.push(row);
@@ -500,13 +592,14 @@ fn main() {
         link_model: link,
         label_store,
         pooled,
+        telemetry_overhead,
         workloads,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let out = std::env::var("HAAC_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, &json).expect("BENCH_pipeline.json is writable");
-    eprintln!("[bench_pipeline] wrote {out}");
+    event!("bench_pipeline", "wrote {out}");
     println!("{json}");
 
     // Regression gates — a failed bar fails the CI smoke job.
@@ -528,6 +621,13 @@ fn main() {
             report.pooled.single_gates_per_sec
         );
     }
+    // Observability must be close to free: an attached, enabled
+    // session may not fall below 0.95× the kill-switched rate.
+    assert!(
+        report.telemetry_overhead.ratio >= 0.95,
+        "telemetry overhead regression: enabled sessions reach only {:.3}x the disabled rate",
+        report.telemetry_overhead.ratio
+    );
     for row in &report.workloads {
         for r in &row.reordered {
             assert!(
@@ -564,5 +664,5 @@ fn main() {
             row.serial_gates_per_sec
         );
     }
-    eprintln!("[bench_pipeline] all regression gates passed");
+    event!("bench_pipeline", "all regression gates passed");
 }

@@ -11,6 +11,7 @@
 //! Environment:
 //! - `HAAC_AES_BACKEND=portable|aesni|neon` pins the active backend
 //!   (the CI smoke job forces `portable`).
+//! - `HAAC_QUIET=1` (or `--quiet`) — suppress progress events.
 //! - `HAAC_BENCH_OUT=<path>` overrides the output file.
 
 use std::time::Instant;
@@ -20,6 +21,7 @@ use haac_circuit::Circuit;
 use haac_gc::aes::{active_backend, AesBackend};
 use haac_gc::{garble_and, garble_parallel, Block, Delta, EngineConfig, GateHash, HashScheme};
 use haac_runtime::{run_local_session, SessionConfig};
+use haac_telemetry::event;
 use haac_workloads::{build, Scale, WorkloadKind};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::Serialize;
@@ -156,8 +158,11 @@ fn aes_workload_rate() -> WorkloadRate {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--quiet") {
+        haac_telemetry::events::set_quiet(true);
+    }
     let active = active_backend();
-    eprintln!("[bench_report] active backend: {}", active.name());
+    event!("bench_report", "active backend: {}", active.name());
 
     let mut backends = Vec::new();
     let mut portable_rate_v = 0.0f64;
@@ -166,7 +171,7 @@ fn main() {
         if !backend.is_available() {
             continue;
         }
-        eprintln!("[bench_report] measuring backend {}...", backend.name());
+        event!("bench_report", "measuring backend {}...", backend.name());
         let r = backend_rate(backend);
         if backend == AesBackend::Portable {
             portable_rate_v = r.garble_and_per_sec;
@@ -215,6 +220,6 @@ fn main() {
     let out = std::env::var("HAAC_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_gatecrypto.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, &json).expect("BENCH_gatecrypto.json is writable");
-    eprintln!("[bench_report] wrote {out}");
+    event!("bench_report", "wrote {out}");
     println!("{json}");
 }

@@ -6,11 +6,16 @@
 //!
 //! - **cold single-session baseline** — one session at a time, fresh
 //!   server and fresh client build each, everything a
-//!   process-per-session deployment pays;
+//!   process-per-session deployment pays; requests are **negotiated**
+//!   (the server's per-workload schedule policy picks the reorder and
+//!   the ack advertises it);
 //! - **warm serial** — the same sessions one at a time through one
-//!   long-lived server (what the circuit cache alone buys);
+//!   long-lived server (what the circuit cache alone buys), pinned to
+//!   Baseline so the phases stay comparable release-to-release;
 //! - **concurrent** — all N sessions at once on the shared pool
-//!   (`aggregate_and_gates_per_sec` = total AND tables / wall).
+//!   (`aggregate_and_gates_per_sec` = total AND tables / wall), with a
+//!   mid-load scrape of the server's live metrics snapshot and a
+//!   server-side stage/stall breakdown in the JSON.
 //!
 //! Every session's outputs are checked against the plaintext reference
 //! on both sides; any mismatch aborts the run.
@@ -21,12 +26,14 @@
 //! - `HAAC_LOADGEN_SESSIONS` — concurrent sessions (default 16).
 //! - `HAAC_LOADGEN_WORKERS` — engine-pool workers (default 4).
 //! - `HAAC_BENCH_OUT` — output path (default `BENCH_server.json`).
+//! - `HAAC_QUIET=1` (or `--quiet`) — suppress progress events.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use haac_runtime::{ReorderKind, SessionConfig};
-use haac_server::{client, percentile, Server, ServerConfig, SessionRequest};
+use haac_runtime::{ReorderKind, SessionConfig, SessionReport};
+use haac_server::{choose_reorder, client, percentile, Server, ServerConfig, SessionRequest};
+use haac_telemetry::event;
 use haac_workloads::{Scale, Workload, WorkloadKind};
 use serde::Serialize;
 
@@ -56,9 +63,72 @@ struct PhaseReport {
 #[derive(Debug, Serialize)]
 struct SessionRow {
     workload: &'static str,
+    /// The instruction schedule the session ran (explicitly pinned, or
+    /// the server's pick advertised in the ack).
+    reorder: &'static str,
     and_tables: u64,
     client_wall_secs: f64,
     and_gates_per_sec: f64,
+    /// Evaluator-side stage breakdown (nanoseconds).
+    compute_ns: u64,
+    io_ns: u64,
+    ot_ns: u64,
+    /// Evaluator-side stall attribution: receive stage blocked on a
+    /// full prefetch queue (ran ahead of evaluation)...
+    compute_stall_ns: u64,
+    /// ...vs evaluation blocked waiting for the next received chunk.
+    io_stall_ns: u64,
+}
+
+impl SessionRow {
+    fn new(
+        kind: WorkloadKind,
+        reorder: ReorderKind,
+        report: &SessionReport,
+        wall: Duration,
+    ) -> Self {
+        SessionRow {
+            workload: kind.name(),
+            reorder: reorder.label(),
+            and_tables: report.tables,
+            client_wall_secs: wall.as_secs_f64(),
+            and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
+            compute_ns: report.compute_ns,
+            io_ns: report.io_ns,
+            ot_ns: report.ot_ns,
+            compute_stall_ns: report.compute_stall_ns,
+            io_stall_ns: report.io_stall_ns,
+        }
+    }
+}
+
+/// Garbler-side totals over the concurrent phase, summed from the
+/// server's per-session outcomes — the stage/stall decomposition the
+/// single `overlap_ratio` scalar could not express.
+#[derive(Debug, Default, Serialize)]
+struct StageBreakdown {
+    compute_ns: u64,
+    io_ns: u64,
+    ot_ns: u64,
+    /// I/O stage idle waiting for garbling (compute-starved).
+    compute_stall_ns: u64,
+    /// Garbling idle waiting for the wire (I/O-starved).
+    io_stall_ns: u64,
+    /// Largest OoRW queue high-water across sessions.
+    oor_queue_peak_max: usize,
+}
+
+/// What a mid-load scrape of the live admin plane observed.
+#[derive(Debug, Serialize)]
+struct MidLoadSnapshot {
+    /// The Prometheus text parsed cleanly while sessions were running.
+    parsed: bool,
+    /// `haac_active_sessions` at scrape time.
+    active_sessions: f64,
+    /// `haac_gates_per_sec` (sliding window) at scrape time.
+    gates_per_sec: f64,
+    /// `haac_pool_utilization` at scrape time.
+    pool_utilization: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -70,6 +140,8 @@ struct Report {
     /// Host parallelism — aggregate speedup is capped by cores, so the
     /// measurement is only meaningful alongside this.
     available_cores: usize,
+    /// AES implementation the gate hash dispatched to.
+    aes_backend: &'static str,
     /// Every session (all phases) decoded the plaintext reference.
     all_outputs_correct: bool,
     /// Cold process-per-session baseline (fresh server + fresh build
@@ -96,6 +168,14 @@ struct Report {
     server_p99_session_secs: f64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Total ns in warm cache lookups (mean = hit_ns / hits).
+    cache_hit_ns: u64,
+    /// Total ns synthesizing + lowering on misses.
+    cache_miss_ns: u64,
+    /// Garbler-side stage/stall totals of the concurrent phase.
+    server_stage_breakdown: StageBreakdown,
+    /// What a scrape of the live metrics plane saw mid-load.
+    mid_load_snapshot: MidLoadSnapshot,
     /// Per-session rows of the concurrent phase.
     concurrent_sessions: Vec<SessionRow>,
 }
@@ -117,20 +197,18 @@ fn phase_report(rows: &[SessionRow], wall: Duration) -> PhaseReport {
 
 /// One cold session: fresh single-worker server, fresh client build —
 /// the full cost a process-per-session deployment pays per request.
+/// The request is **negotiated**: the server's policy picks the
+/// schedule and advertises it in the ack, and the cold client lowers
+/// with whatever came back.
 fn cold_session(kind: WorkloadKind, seed: u64) -> SessionRow {
     let start = Instant::now();
     let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
     let mut channel = server.connect();
-    let request = SessionRequest::new(kind.name(), Scale::Small, seed);
+    let request = SessionRequest::negotiated(kind.name(), Scale::Small, seed);
     let report = client::run_session(&mut channel, &request).expect("cold session succeeds");
     let wall = start.elapsed();
     server.shutdown();
-    SessionRow {
-        workload: kind.name(),
-        and_tables: report.tables,
-        client_wall_secs: wall.as_secs_f64(),
-        and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
-    }
+    SessionRow::new(kind, choose_reorder(kind), &report, wall)
 }
 
 fn warm_session(
@@ -144,21 +222,18 @@ fn warm_session(
     let request = SessionRequest::new(kind.name(), Scale::Small, seed);
     let report = client::run_session_with(&mut channel, &request, &prepared.0, &prepared.1)
         .expect("warm session succeeds");
-    let wall = start.elapsed();
-    SessionRow {
-        workload: kind.name(),
-        and_tables: report.tables,
-        client_wall_secs: wall.as_secs_f64(),
-        and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
-    }
+    SessionRow::new(kind, ReorderKind::Baseline, &report, start.elapsed())
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--quiet") {
+        haac_telemetry::events::set_quiet(true);
+    }
     let sessions = env_usize("HAAC_LOADGEN_SESSIONS", 16);
     let workers = env_usize("HAAC_LOADGEN_WORKERS", 4);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mix: Vec<WorkloadKind> = (0..sessions).map(|i| MIX[i % MIX.len()]).collect();
-    eprintln!("[loadgen] {sessions} sessions on a {workers}-worker pool ({cores} cores)");
+    event!("loadgen", "{sessions} sessions on a {workers}-worker pool ({cores} cores)");
 
     // Phase 1 — cold baseline: one cycle of the distinct workloads in
     // the mix, each as its own cold deployment.
@@ -171,7 +246,7 @@ fn main() {
         }
         seen
     };
-    eprintln!("[loadgen] cold single-session baseline over {} workloads...", distinct.len());
+    event!("loadgen", "cold single-session baseline over {} workloads...", distinct.len());
     let cold_start = Instant::now();
     let cold_rows: Vec<SessionRow> =
         distinct.iter().enumerate().map(|(i, &k)| cold_session(k, 1_000 + i as u64)).collect();
@@ -189,7 +264,7 @@ fn main() {
 
     // Phase 2 — warm serial: one long-lived server, one session at a
     // time. Prewarm the cache so the phase measures steady state.
-    eprintln!("[loadgen] warm serial phase...");
+    event!("loadgen", "warm serial phase...");
     let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
     for &k in &distinct {
         server.cache().get(k, Scale::Small, ReorderKind::Baseline);
@@ -204,7 +279,7 @@ fn main() {
     server.shutdown();
 
     // Phase 3 — the load: all sessions at once on the shared pool.
-    eprintln!("[loadgen] concurrent phase: {sessions} clients...");
+    event!("loadgen", "concurrent phase: {sessions} clients...");
     let server = Server::new(ServerConfig { workers, ..ServerConfig::default() });
     for &k in &distinct {
         server.cache().get(k, Scale::Small, ReorderKind::Baseline);
@@ -224,23 +299,56 @@ fn main() {
                     let report =
                         client::run_session_with(&mut channel, &request, &prepared.0, &prepared.1)
                             .expect("concurrent session succeeds");
-                    let wall = start.elapsed();
-                    SessionRow {
-                        workload: k.name(),
-                        and_tables: report.tables,
-                        client_wall_secs: wall.as_secs_f64(),
-                        and_gates_per_sec: report.tables as f64 / wall.as_secs_f64(),
-                    }
+                    SessionRow::new(k, ReorderKind::Baseline, &report, start.elapsed())
                 })
                 .expect("spawn client")
         })
         .collect();
+    // Scrape the live admin plane while the clients run: the snapshot
+    // must parse mid-load, and its gauges are the "is it alive" view a
+    // dashboard would poll.
+    let mid_load_snapshot = {
+        let gauge = |samples: &[haac_telemetry::Sample], name: &str| {
+            samples.iter().find(|s| s.name == name).map_or(0.0, |s| s.value)
+        };
+        let text = server.metrics_snapshot();
+        match haac_telemetry::parse(&text) {
+            Ok(samples) => MidLoadSnapshot {
+                parsed: true,
+                active_sessions: gauge(&samples, "haac_active_sessions"),
+                gates_per_sec: gauge(&samples, "haac_gates_per_sec"),
+                pool_utilization: gauge(&samples, "haac_pool_utilization"),
+            },
+            Err(_) => MidLoadSnapshot {
+                parsed: false,
+                active_sessions: 0.0,
+                gates_per_sec: 0.0,
+                pool_utilization: 0.0,
+            },
+        }
+    };
     let concurrent_rows: Vec<SessionRow> =
         handles.into_iter().map(|h| h.join().expect("client thread")).collect();
     let concurrent_wall = concurrent_start.elapsed();
     let concurrent = phase_report(&concurrent_rows, concurrent_wall);
+    assert!(mid_load_snapshot.parsed, "the mid-load metrics snapshot must parse");
     let cache_hits = server.cache().hits();
     let cache_misses = server.cache().misses();
+    let cache_hit_ns = server.cache().hit_ns();
+    let cache_miss_ns = server.cache().miss_ns();
+    // Garbler-side stage/stall totals from the server's outcomes.
+    let server_stage_breakdown =
+        server.registry().outcomes().iter().fold(StageBreakdown::default(), |mut acc, outcome| {
+            if let Ok(report) = &outcome.result {
+                acc.compute_ns += report.compute_ns;
+                acc.io_ns += report.io_ns;
+                acc.ot_ns += report.ot_ns;
+                acc.compute_stall_ns += report.compute_stall_ns;
+                acc.io_stall_ns += report.io_stall_ns;
+                acc.oor_queue_peak_max = acc.oor_queue_peak_max.max(report.oor_queue_peak);
+            }
+            acc
+        });
     let server_report = server.shutdown();
     assert_eq!(server_report.failed, 0, "no session may fail under load");
     assert_eq!(server_report.active, 0, "registry must drain");
@@ -250,6 +358,7 @@ fn main() {
         sessions,
         workers,
         available_cores: cores,
+        aes_backend: haac_gc::active_backend().name(),
         // Client helpers and the server both assert decoded outputs
         // against the plaintext reference; reaching this point means
         // every session of every phase checked out.
@@ -269,12 +378,16 @@ fn main() {
         server_p99_session_secs: server_report.p99_session_secs,
         cache_hits,
         cache_misses,
+        cache_hit_ns,
+        cache_miss_ns,
+        server_stage_breakdown,
+        mid_load_snapshot,
         concurrent_sessions: concurrent_rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let out = std::env::var("HAAC_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&out, &json).expect("BENCH_server.json is writable");
-    eprintln!("[loadgen] wrote {out}");
+    event!("loadgen", "wrote {out}");
     println!("{json}");
 }

@@ -95,6 +95,13 @@ type PoolJob = (u64, Box<dyn FnOnce() + Send + 'static>);
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     work_ready: Condvar,
+    /// Nanoseconds each worker has spent executing jobs (index =
+    /// worker). The gap to wall time is that engine's idle time — the
+    /// per-engine busy/idle split HAAC's evaluation plots.
+    worker_busy_ns: Vec<AtomicU64>,
+    /// Jobs completed on pool workers. Scope jobs a *waiting caller*
+    /// executed inline are not counted: they never occupied an engine.
+    jobs_executed: AtomicU64,
 }
 
 struct PoolQueue {
@@ -126,6 +133,7 @@ static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(1);
 pub struct EnginePool {
     shared: Arc<PoolShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    started: std::time::Instant,
 }
 
 impl std::fmt::Debug for EnginePool {
@@ -145,22 +153,44 @@ impl EnginePool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
+            worker_busy_ns: (0..engines).map(|_| AtomicU64::new(0)).collect(),
+            jobs_executed: AtomicU64::new(0),
         });
         let workers = (0..engines)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("haac-engine-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn gate-engine worker")
             })
             .collect();
-        EnginePool { shared, workers }
+        EnginePool { shared, workers, started: std::time::Instant::now() }
     }
 
     /// Number of worker threads in the pool.
     pub fn engines(&self) -> usize {
         self.workers.len()
+    }
+
+    /// A point-in-time utilization snapshot: per-engine busy time,
+    /// queued-but-unstarted jobs, and completed job count. Lock cost is
+    /// one queue-length peek; the rest reads relaxed atomics, so the
+    /// admin plane can poll this on a live pool.
+    pub fn stats(&self) -> PoolStats {
+        let queued_jobs = self.shared.queue.lock().expect("pool lock").jobs.len();
+        PoolStats {
+            engines: self.workers.len(),
+            queued_jobs,
+            jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
+            worker_busy_ns: self
+                .shared
+                .worker_busy_ns
+                .iter()
+                .map(|ns| ns.load(Ordering::Relaxed))
+                .collect(),
+            uptime: self.started.elapsed(),
+        }
     }
 
     /// Queues a free-standing job. Returns immediately; the job runs on
@@ -237,7 +267,7 @@ impl Drop for EnginePool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, worker: usize) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool lock");
@@ -253,7 +283,47 @@ fn worker_loop(shared: &PoolShared) {
         };
         // Contain per-job panics: one poisoned job must not take down
         // the engine (mirrors per-session error isolation upstream).
+        let busy = std::time::Instant::now();
         let _ = catch_unwind(AssertUnwindSafe(job));
+        shared.worker_busy_ns[worker]
+            .fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of an [`EnginePool`]'s occupancy — what
+/// [`EnginePool::stats`] returns and the serving layer's admin plane
+/// exports as pool gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub engines: usize,
+    /// Jobs queued but not yet picked up by a worker (the server's
+    /// accept-queue depth when sessions are the only spawners).
+    pub queued_jobs: usize,
+    /// Jobs completed on pool workers since the pool started.
+    pub jobs_executed: u64,
+    /// Nanoseconds each worker has spent executing jobs.
+    pub worker_busy_ns: Vec<u64>,
+    /// Wall time since the pool started.
+    pub uptime: Duration,
+}
+
+impl PoolStats {
+    /// Busy nanoseconds summed across all workers.
+    pub fn busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().sum()
+    }
+
+    /// Fraction of the pool's total engine-seconds spent executing
+    /// jobs, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.uptime.as_nanos() as f64 * self.engines as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_ns() as f64 / capacity).clamp(0.0, 1.0)
+        }
     }
 }
 

@@ -63,6 +63,7 @@ pub use aes::{active_backend, AesBackend};
 pub use block::{Block, Delta};
 pub use engine::{
     garble_parallel, garble_parallel_in, garble_plan_in, EngineConfig, EnginePool, PlanGarbling,
+    PoolStats,
 };
 pub use evaluate::{eval_and, eval_and_batch, eval_inv, eval_xor, evaluate};
 pub use garble::{

@@ -601,6 +601,12 @@ impl<'p> SlabState<'p> {
         self.oor_peak
     }
 
+    /// OoRW entries queued right now (labels written but not yet fully
+    /// consumed by their out-of-window readers).
+    pub(crate) fn oor_len(&self) -> usize {
+        self.oor.len()
+    }
+
     pub(crate) fn into_output_labels(self) -> Vec<Block> {
         debug_assert_eq!(
             self.next_output,

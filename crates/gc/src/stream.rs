@@ -441,6 +441,16 @@ impl<'c> StreamingGarbler<'c> {
         self.num_tables
     }
 
+    /// OoRW entries queued right now — the live occupancy the session
+    /// driver samples at chunk boundaries (0 on the HashMap path, which
+    /// has no queue).
+    pub fn oor_queue_len(&self) -> usize {
+        match &self.store {
+            Store::Live { .. } => 0,
+            Store::Slab(state) => state.oor_len(),
+        }
+    }
+
     /// Finishes the garbling, yielding the output-decode string.
     ///
     /// # Panics
@@ -704,6 +714,16 @@ impl<'c> StreamingEvaluator<'c> {
     /// Number of garbled tables consumed so far.
     pub fn tables_consumed(&self) -> u64 {
         self.tables_consumed
+    }
+
+    /// OoRW entries queued right now — the live occupancy the session
+    /// driver samples at chunk boundaries (0 on the HashMap path, which
+    /// has no queue).
+    pub fn oor_queue_len(&self) -> usize {
+        match &self.store {
+            Store::Live { .. } => 0,
+            Store::Slab(state) => state.oor_len(),
+        }
     }
 
     /// Finishes the evaluation, decoding outputs with the garbler's

@@ -84,7 +84,8 @@ pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHA
 pub use error::RuntimeError;
 pub use session::{
     run_evaluator, run_evaluator_with, run_garbler, run_local_session, run_tcp_session,
-    SessionConfig, SessionReport, SessionRole, MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
+    SessionConfig, SessionReport, SessionRole, SessionTelemetry, MAX_PIPELINE_DEPTH,
+    PIPELINE_DEPTH,
 };
 
 // Re-exported so callers can cache lowered plans — and negotiate the

@@ -30,6 +30,7 @@ use haac_circuit::Circuit;
 use haac_core::lower::{lower_with_reorder, StreamingPlan};
 use haac_core::{ReorderKind, WindowModel};
 use haac_gc::{Block, CryptoCounters, HashScheme, StreamingEvaluator, StreamingGarbler};
+use haac_telemetry::{Counter, Histogram, SlidingRate};
 use rand::Rng;
 
 use crate::channel::Channel;
@@ -82,6 +83,12 @@ pub struct SessionConfig {
     /// way). Pin the depth when the peer is known to be the
     /// bottleneck.
     pub pipeline_depth: Option<usize>,
+    /// Live instrument handles per-chunk stage spans stream into
+    /// *while the session runs* (a serving layer wires these into its
+    /// metrics registry; see [`SessionTelemetry`]). `None` — the
+    /// default — skips all live recording; the end-of-session
+    /// aggregates in [`SessionReport`] are collected either way.
+    pub telemetry: Option<Arc<SessionTelemetry>>,
 }
 
 impl SessionConfig {
@@ -95,6 +102,7 @@ impl SessionConfig {
             chunk_override: None,
             pipeline: true,
             pipeline_depth: None,
+            telemetry: None,
         }
     }
 
@@ -128,6 +136,7 @@ impl SessionConfig {
             chunk_override: None,
             pipeline: true,
             pipeline_depth: None,
+            telemetry: None,
         }
     }
 
@@ -158,6 +167,13 @@ impl SessionConfig {
         self
     }
 
+    /// Returns the config with live telemetry handles attached (shared
+    /// across every session run with this config).
+    pub fn with_telemetry(mut self, telemetry: Arc<SessionTelemetry>) -> SessionConfig {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// The ring depth a pipelined session starts with and whether it
     /// may autotune wider: an explicit config depth wins, then the
     /// `HAAC_PIPELINE_DEPTH` environment variable, then the
@@ -182,6 +198,56 @@ impl SessionConfig {
     pub fn chunk_tables(&self) -> usize {
         const MAX_CHUNK_TABLES: usize = 1 << 20; // 32 MiB of tables per frame
         self.chunk_override.unwrap_or(self.window.half() as usize).clamp(1, MAX_CHUNK_TABLES)
+    }
+}
+
+/// Live instrument handles the session driver records per-chunk stage
+/// spans into while a session runs.
+///
+/// The handles are plain lock-free `haac-telemetry` instruments shared
+/// by `Arc`, so a serving layer can register them once per workload in
+/// its metrics [`Registry`](haac_telemetry::Registry) and watch the
+/// stream mid-session: per-chunk compute/I-O latency histograms, OoRW
+/// queue occupancy sampled at chunk boundaries, OT phase timing, and a
+/// sliding-window table rate feeding an aggregate gates/s gauge.
+/// Recording is skipped entirely when
+/// [`haac_telemetry::enabled`] is off.
+#[derive(Debug, Clone)]
+pub struct SessionTelemetry {
+    /// Per-chunk garbling/evaluation span, in nanoseconds.
+    pub chunk_compute_ns: Arc<Histogram>,
+    /// Per-chunk I/O-stage span, in nanoseconds: send+flush on the
+    /// garbler, receive on the evaluator.
+    pub chunk_io_ns: Arc<Histogram>,
+    /// OoRW queue occupancy sampled at every chunk boundary (0 unless
+    /// the plan forced a window smaller than the circuit needs).
+    pub oor_occupancy: Arc<Histogram>,
+    /// OT phase wall time, in nanoseconds (one sample per session).
+    pub ot_ns: Arc<Histogram>,
+    /// AND tables shipped (garbler) / consumed (evaluator) so far.
+    pub tables: Arc<Counter>,
+    /// Sliding-window table rate — the live aggregate gates/s.
+    pub table_rate: Arc<SlidingRate>,
+}
+
+impl SessionTelemetry {
+    /// Fresh handles not registered anywhere — useful for tests and
+    /// one-off sessions that read the handles directly.
+    pub fn detached() -> SessionTelemetry {
+        SessionTelemetry {
+            chunk_compute_ns: Arc::new(Histogram::new()),
+            chunk_io_ns: Arc::new(Histogram::new()),
+            oor_occupancy: Arc::new(Histogram::new()),
+            ot_ns: Arc::new(Histogram::new()),
+            tables: Arc::new(Counter::new()),
+            table_rate: Arc::new(SlidingRate::new()),
+        }
+    }
+}
+
+impl Default for SessionTelemetry {
+    fn default() -> SessionTelemetry {
+        SessionTelemetry::detached()
     }
 }
 
@@ -240,6 +306,31 @@ pub struct SessionReport {
     /// Chunk buffers the pipelined ring settled on (after any
     /// autotune); 0 for serial sessions.
     pub pipeline_depth: usize,
+    /// Nanoseconds of the base-OT phase (setup, transfer, and the wait
+    /// for the peer's OT round trips).
+    pub ot_ns: u64,
+    /// Stall attribution, compute-bound side: nanoseconds the
+    /// streaming phase's I/O stage sat idle waiting for the compute
+    /// stage to hand it the next chunk. Pipelined sessions only (0
+    /// when serial — an inline stage never waits for itself). A large
+    /// value means the session was **compute-starved**: more engines
+    /// or a better schedule would help, a faster link would not.
+    pub compute_stall_ns: u64,
+    /// Stall attribution, I/O-bound side: nanoseconds the compute
+    /// stage sat idle waiting for the I/O stage — the garbler waiting
+    /// for a drained ring buffer, the evaluator waiting for the next
+    /// received chunk. Pipelined sessions only (0 when serial). A
+    /// large value means the session was **I/O-starved**: the link (or
+    /// the peer behind it) was the bottleneck.
+    ///
+    /// Together with `compute_ns` these decompose the streaming wall
+    /// clock: on the driving thread, `compute_ns + io_stall_ns` plus
+    /// loop overhead tiles `stream_ns` — the per-stage breakdown the
+    /// single `overlap_ratio` scalar cannot express.
+    pub io_stall_ns: u64,
+    /// High-water mark of the OoRW queue during streaming (0 unless
+    /// the plan was built against a forced small window).
+    pub oor_queue_peak: usize,
     /// Wall-clock duration of this party's session.
     pub elapsed: Duration,
 }
@@ -265,6 +356,12 @@ struct StreamStats {
     compute_ns: u64,
     io_ns: u64,
     wall_ns: u64,
+    /// I/O stage idle waiting for compute (see
+    /// [`SessionReport::compute_stall_ns`]).
+    compute_stall_ns: u64,
+    /// Compute stage idle waiting for the I/O stage (see
+    /// [`SessionReport::io_stall_ns`]).
+    io_stall_ns: u64,
     /// Ring depth the streaming phase ran (ended) with; 0 when serial.
     depth: usize,
 }
@@ -404,7 +501,13 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     write_message(channel, &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)))?;
 
     // Base OT for the evaluator's input labels.
+    let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
+    let t = Instant::now();
     let ot_transfers = ot_send(circuit, &garbler, rng, channel)?;
+    let ot_ns = t.elapsed().as_nanos() as u64;
+    if let Some(tel) = live {
+        tel.ot_ns.record(ot_ns);
+    }
 
     // Stream tables in window-sized chunks, one flush per chunk. Two
     // rotating buffers serve the whole stream — `next_tables_into`
@@ -413,9 +516,9 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     // stage is overlapped or inline.
     let stats = if config.pipeline {
         let (depth, autotune) = config.resolved_pipeline_depth();
-        stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune)?
+        stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune, live)?
     } else {
-        stream_tables_serial(&mut garbler, channel, chunk_tables)?
+        stream_tables_serial(&mut garbler, channel, chunk_tables, live)?
     };
 
     let finish = garbler.finish();
@@ -449,16 +552,22 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         stream_ns: stats.wall_ns,
         overlap_ratio: stats.overlap_ratio(),
         pipeline_depth: stats.depth,
+        ot_ns,
+        compute_stall_ns: stats.compute_stall_ns,
+        io_stall_ns: stats.io_stall_ns,
+        oor_queue_peak: finish.oor_queue_peak,
         elapsed: start.elapsed(),
     })
 }
 
 /// The legacy strictly alternating loop: garble a chunk, ship it, wait,
-/// repeat. Byte-identical output to the pipelined path.
+/// repeat. Byte-identical output to the pipelined path. Stall
+/// attribution stays zero — an inline stage never waits for itself.
 fn stream_tables_serial<C: Channel + ?Sized>(
     garbler: &mut StreamingGarbler<'_>,
     channel: &mut C,
     chunk_tables: usize,
+    live: Option<&SessionTelemetry>,
 ) -> Result<StreamStats, RuntimeError> {
     let start = Instant::now();
     let mut stats = StreamStats::default();
@@ -466,7 +575,8 @@ fn stream_tables_serial<C: Channel + ?Sized>(
     loop {
         let t = Instant::now();
         let more = garbler.next_tables_into(chunk_tables, &mut chunk);
-        stats.compute_ns += t.elapsed().as_nanos() as u64;
+        let compute_ns = t.elapsed().as_nanos() as u64;
+        stats.compute_ns += compute_ns;
         if !more {
             break;
         }
@@ -475,10 +585,20 @@ fn stream_tables_serial<C: Channel + ?Sized>(
         }
         stats.tables += chunk.len() as u64;
         stats.chunks += 1;
+        if let Some(tel) = live {
+            tel.chunk_compute_ns.record(compute_ns);
+            tel.oor_occupancy.record(garbler.oor_queue_len() as u64);
+        }
         let t = Instant::now();
         write_tables(channel, &chunk)?;
         channel.flush()?;
-        stats.io_ns += t.elapsed().as_nanos() as u64;
+        let io_ns = t.elapsed().as_nanos() as u64;
+        stats.io_ns += io_ns;
+        if let Some(tel) = live {
+            tel.chunk_io_ns.record(io_ns);
+            tel.tables.add(chunk.len() as u64);
+            tel.table_rate.add(chunk.len() as u64);
+        }
     }
     stats.wall_ns = start.elapsed().as_nanos() as u64;
     Ok(stats)
@@ -527,6 +647,7 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
     chunk_tables: usize,
     depth: usize,
     autotune: bool,
+    live: Option<&SessionTelemetry>,
 ) -> Result<StreamStats, RuntimeError> {
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -549,22 +670,36 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
     // autotune point (and that survives the stage's early death).
     let shipped_ns = AtomicU64::new(0);
     let shipped_chunks = AtomicU64::new(0);
+    // Compute-starved stall: ns the I/O stage spent blocked on
+    // `full_rx.recv` for a chunk that did arrive. The final recv — the
+    // one that observes end-of-stream — is excluded: that wait is the
+    // stream running out, not a chunk being late.
+    let starved_ns = AtomicU64::new(0);
 
     let mut stats = StreamStats::default();
     let failure = std::thread::scope(|scope| {
-        let io_stats = (&shipped_ns, &shipped_chunks);
+        let io_stats = (&shipped_ns, &shipped_chunks, &starved_ns);
         let io = scope.spawn(move || {
             let mut failure = None;
-            while let Ok(chunk) = full_rx.recv() {
+            loop {
+                let waited = Instant::now();
+                let Ok(chunk) = full_rx.recv() else { break };
+                io_stats.2.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 let t = Instant::now();
                 let shipped = write_tables(channel, &chunk)
                     .and_then(|()| channel.flush().map_err(RuntimeError::from));
-                io_stats.0.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let chunk_io_ns = t.elapsed().as_nanos() as u64;
+                io_stats.0.fetch_add(chunk_io_ns, Ordering::Relaxed);
                 if let Err(e) = shipped {
                     failure = Some(e);
                     break; // dropping the queues unblocks the compute stage
                 }
                 io_stats.1.fetch_add(1, Ordering::Relaxed);
+                if let Some(tel) = live {
+                    tel.chunk_io_ns.record(chunk_io_ns);
+                    tel.tables.add(chunk.len() as u64);
+                    tel.table_rate.add(chunk.len() as u64);
+                }
                 let _ = empty_tx.send(chunk);
             }
             failure
@@ -585,11 +720,19 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
                     Vec::with_capacity(capacity)
                 })
             })
-            .or_else(|| empty_rx.recv().ok())
+            .or_else(|| {
+                // Waiting for a drained buffer is the I/O stage being
+                // behind: the whole ring is on the wire.
+                let waited = Instant::now();
+                let got = empty_rx.recv().ok();
+                stats.io_stall_ns += waited.elapsed().as_nanos() as u64;
+                got
+            })
         {
             let t = Instant::now();
             let more = garbler.next_tables_into(chunk_tables, &mut chunk);
-            stats.compute_ns += t.elapsed().as_nanos() as u64;
+            let chunk_compute_ns = t.elapsed().as_nanos() as u64;
+            stats.compute_ns += chunk_compute_ns;
             if !more {
                 break;
             }
@@ -599,9 +742,15 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
             }
             stats.tables += chunk.len() as u64;
             stats.chunks += 1;
+            if let Some(tel) = live {
+                tel.chunk_compute_ns.record(chunk_compute_ns);
+                tel.oor_occupancy.record(garbler.oor_queue_len() as u64);
+            }
+            let waited = Instant::now();
             if full_tx.send(chunk).is_err() {
                 break;
             }
+            stats.io_stall_ns += waited.elapsed().as_nanos() as u64;
             if !tuned && stats.chunks >= depth as u64 {
                 // First ring complete: widen once if transfers dominate.
                 let chunks_done = shipped_chunks.load(Ordering::Relaxed);
@@ -621,6 +770,7 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
         io.join().expect("table I/O stage panicked")
     });
     stats.io_ns = shipped_ns.load(Ordering::Relaxed);
+    stats.compute_stall_ns = starved_ns.load(Ordering::Relaxed);
     stats.depth = depth;
     if let Some(e) = failure {
         return Err(e);
@@ -676,7 +826,13 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         return Err(RuntimeError::protocol("garbler label count mismatch"));
     }
 
+    let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
+    let t = Instant::now();
     let own_labels = ot_receive(evaluator_bits, rng, channel)?;
+    let ot_ns = t.elapsed().as_nanos() as u64;
+    if let Some(tel) = live {
+        tel.ot_ns.record(ot_ns);
+    }
 
     let mut input_labels = garbler_labels;
     input_labels.extend(own_labels);
@@ -688,9 +844,9 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
 
     let (output_decode, stats) = if config.pipeline {
         let (depth, _) = config.resolved_pipeline_depth();
-        recv_tables_pipelined(&mut evaluator, channel, depth)?
+        recv_tables_pipelined(&mut evaluator, channel, depth, live)?
     } else {
-        recv_tables_serial(&mut evaluator, channel)?
+        recv_tables_serial(&mut evaluator, channel, live)?
     };
     if !evaluator.is_done() {
         return Err(RuntimeError::protocol(format!(
@@ -723,6 +879,10 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         stream_ns: stats.wall_ns,
         overlap_ratio: stats.overlap_ratio(),
         pipeline_depth: stats.depth,
+        ot_ns,
+        compute_stall_ns: stats.compute_stall_ns,
+        io_stall_ns: stats.io_stall_ns,
+        oor_queue_peak: finish.oor_queue_peak,
         elapsed: start.elapsed(),
     })
 }
@@ -752,24 +912,35 @@ pub fn run_evaluator<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     run_evaluator_with(circuit, evaluator_bits, rng, &config, channel)
 }
 
-/// Serial receive loop: block for a frame, evaluate it, repeat.
+/// Serial receive loop: block for a frame, evaluate it, repeat. Stall
+/// attribution stays zero — an inline stage never waits for itself.
 fn recv_tables_serial<C: Channel + ?Sized>(
     evaluator: &mut StreamingEvaluator<'_>,
     channel: &mut C,
+    live: Option<&SessionTelemetry>,
 ) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
     let start = Instant::now();
     let mut stats = StreamStats::default();
     let decode = loop {
         let t = Instant::now();
         let message = read_message(channel)?;
-        stats.io_ns += t.elapsed().as_nanos() as u64;
+        let io_ns = t.elapsed().as_nanos() as u64;
+        stats.io_ns += io_ns;
         match message {
             Message::Tables(chunk) => {
                 stats.chunks += 1;
                 stats.tables += chunk.len() as u64;
                 let t = Instant::now();
                 evaluator.feed(&chunk);
-                stats.compute_ns += t.elapsed().as_nanos() as u64;
+                let compute_ns = t.elapsed().as_nanos() as u64;
+                stats.compute_ns += compute_ns;
+                if let Some(tel) = live {
+                    tel.chunk_io_ns.record(io_ns);
+                    tel.chunk_compute_ns.record(compute_ns);
+                    tel.oor_occupancy.record(evaluator.oor_queue_len() as u64);
+                    tel.tables.add(chunk.len() as u64);
+                    tel.table_rate.add(chunk.len() as u64);
+                }
             }
             Message::OutputDecode(decode) => break decode,
             other => {
@@ -798,25 +969,40 @@ fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
     evaluator: &mut StreamingEvaluator<'_>,
     channel: &mut C,
     depth: usize,
+    live: Option<&SessionTelemetry>,
 ) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
     let start = Instant::now();
     let mut stats =
         StreamStats { depth: depth.clamp(1, MAX_PIPELINE_DEPTH), ..StreamStats::default() };
     // Prefetch is bounded like the garbler's ring: at most `depth`
     // chunks received-but-unevaluated at once.
     let (chunk_tx, chunk_rx) = mpsc::sync_channel::<Vec<[Block; 2]>>(stats.depth);
+    // Compute-starved stall: ns the receive stage spent blocked on a
+    // full prefetch queue — it ran ahead of evaluation and had to wait
+    // for the evaluator to catch up.
+    let starved_ns = AtomicU64::new(0);
     let (io_ns, outcome) = std::thread::scope(|scope| {
+        let starved = &starved_ns;
         let io = scope.spawn(move || {
             let span = Instant::now();
             loop {
+                let t = Instant::now();
                 let message = read_message(channel);
+                let read_ns = t.elapsed().as_nanos() as u64;
                 let io_ns = span.elapsed().as_nanos() as u64;
                 match message {
                     Ok(Message::Tables(chunk)) => {
+                        if let Some(tel) = live {
+                            tel.chunk_io_ns.record(read_ns);
+                        }
+                        let waited = Instant::now();
                         if chunk_tx.send(chunk).is_err() {
                             let reason = "evaluation stage stopped mid-stream";
                             return (io_ns, Err(RuntimeError::protocol(reason)));
                         }
+                        starved.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     }
                     Ok(Message::OutputDecode(decode)) => return (io_ns, Ok(decode)),
                     Ok(other) => {
@@ -829,17 +1015,31 @@ fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
             }
         });
         // Evaluation stage, on the calling thread. Drains everything
-        // the I/O stage queued even after it has exited.
-        while let Ok(chunk) = chunk_rx.recv() {
+        // the I/O stage queued even after it has exited. Waiting for
+        // the next received chunk is the I/O-starved stall; the final
+        // recv (observing the closed queue) is excluded — that wait is
+        // the stream ending, not a chunk being late.
+        loop {
+            let waited = Instant::now();
+            let Ok(chunk) = chunk_rx.recv() else { break };
+            stats.io_stall_ns += waited.elapsed().as_nanos() as u64;
             stats.chunks += 1;
             stats.tables += chunk.len() as u64;
             let t = Instant::now();
             evaluator.feed(&chunk);
-            stats.compute_ns += t.elapsed().as_nanos() as u64;
+            let compute_ns = t.elapsed().as_nanos() as u64;
+            stats.compute_ns += compute_ns;
+            if let Some(tel) = live {
+                tel.chunk_compute_ns.record(compute_ns);
+                tel.oor_occupancy.record(evaluator.oor_queue_len() as u64);
+                tel.tables.add(chunk.len() as u64);
+                tel.table_rate.add(chunk.len() as u64);
+            }
         }
         io.join().expect("table receive stage panicked")
     });
     stats.io_ns = io_ns;
+    stats.compute_stall_ns = starved_ns.load(Ordering::Relaxed);
     let decode = outcome?;
     stats.wall_ns = start.elapsed().as_nanos() as u64;
     Ok((decode, stats))
@@ -1134,6 +1334,50 @@ mod tests {
         assert!(g.and_gates_per_sec() > 0.0);
         // The streaming phase was metered on both sides.
         assert!(g.compute_ns > 0 && e.compute_ns > 0);
+    }
+
+    #[test]
+    fn attached_telemetry_sees_the_stream_and_respects_the_kill_switch() {
+        let c = adder(16);
+        let ands = c.num_and_gates() as u64;
+        let tel = Arc::new(SessionTelemetry::detached());
+        let config = SessionConfig::for_circuit(&c).with_telemetry(Arc::clone(&tel));
+        let (g, e) = run_local_session(&c, &to_bits(3, 16), &to_bits(4, 16), 9, &config).unwrap();
+        assert_eq!(from_bits(&g.outputs), 7);
+        // Both sides share the handles: tables counted once per side.
+        assert_eq!(tel.tables.get(), 2 * ands);
+        assert_eq!(tel.chunk_compute_ns.count(), g.table_chunks + e.table_chunks);
+        assert_eq!(tel.chunk_io_ns.count(), g.table_chunks + e.table_chunks);
+        assert_eq!(tel.ot_ns.count(), 2, "one OT phase sample per side");
+        assert!(tel.table_rate.per_sec() > 0.0);
+        // In-window plan: the OoRW queue never held anything.
+        assert_eq!(tel.oor_occupancy.quantile(1.0), 0);
+        // The global kill switch turns recording off without touching
+        // the wire protocol or the report.
+        haac_telemetry::set_enabled(false);
+        let before = tel.tables.get();
+        let (g2, _) = run_local_session(&c, &to_bits(3, 16), &to_bits(4, 16), 9, &config).unwrap();
+        haac_telemetry::set_enabled(true);
+        assert_eq!(g2.outputs, g.outputs);
+        assert_eq!(tel.tables.get(), before, "disabled telemetry must not record");
+    }
+
+    #[test]
+    fn pipelined_reports_attribute_stalls() {
+        let c = adder(24);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2);
+        let (g, e) = run_local_session(&c, &to_bits(10, 24), &to_bits(20, 24), 6, &config).unwrap();
+        // Pipelined rings: stall attribution is measured, serial-only
+        // fields stay coherent with the stage totals.
+        assert!(g.pipeline_depth >= 1 && e.pipeline_depth >= 1);
+        assert!(g.ot_ns > 0 && e.ot_ns > 0);
+        // Serial sessions never attribute stalls.
+        let serial = config.clone().with_pipeline(false);
+        let (gs, es) =
+            run_local_session(&c, &to_bits(10, 24), &to_bits(20, 24), 6, &serial).unwrap();
+        assert_eq!((gs.compute_stall_ns, gs.io_stall_ns), (0, 0));
+        assert_eq!((es.compute_stall_ns, es.io_stall_ns), (0, 0));
+        assert_eq!(gs.oor_queue_peak, 0, "in-window plan never queues OoR reads");
     }
 
     #[test]

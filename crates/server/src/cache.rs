@@ -47,6 +47,8 @@ pub struct CircuitCache {
     entries: Mutex<HashMap<(WorkloadKind, Scale, ReorderKind), Arc<CachedWorkload>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    hit_ns: AtomicU64,
+    miss_ns: AtomicU64,
 }
 
 impl CircuitCache {
@@ -63,8 +65,10 @@ impl CircuitCache {
         scale: Scale,
         reorder: ReorderKind,
     ) -> Arc<CachedWorkload> {
+        let start = std::time::Instant::now();
         if let Some(entry) = self.entries.lock().expect("cache lock").get(&(kind, scale, reorder)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return Arc::clone(entry);
         }
         // Build without holding the lock so a slow synthesis does not
@@ -75,7 +79,10 @@ impl CircuitCache {
         let config = SessionConfig::for_circuit_with(&workload.circuit, reorder);
         let built = Arc::new(CachedWorkload { workload, config });
         let mut entries = self.entries.lock().expect("cache lock");
-        Arc::clone(entries.entry((kind, scale, reorder)).or_insert(built))
+        let entry = Arc::clone(entries.entry((kind, scale, reorder)).or_insert(built));
+        drop(entries);
+        self.miss_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        entry
     }
 
     /// Lookups served from the cache so far.
@@ -86,6 +93,23 @@ impl CircuitCache {
     /// Lookups that had to synthesize (including racing duplicates).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent in lookups served from the cache — the
+    /// warm half of the hit/miss latency split. Dividing by [`hits`]
+    /// gives the mean warm lookup, which should stay near lock-acquire
+    /// cost.
+    ///
+    /// [`hits`]: CircuitCache::hits
+    pub fn hit_ns(&self) -> u64 {
+        self.hit_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent in lookups that synthesized and lowered
+    /// a circuit — the cold half of the latency split (dominated by
+    /// `build` + plan lowering, orders of magnitude above a hit).
+    pub fn miss_ns(&self) -> u64 {
+        self.miss_ns.load(Ordering::Relaxed)
     }
 
     /// Number of distinct prepared workloads resident.
@@ -112,6 +136,9 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
+        // Latency split: the miss paid for synthesis, the hit did not.
+        assert!(cache.miss_ns() > 0);
+        assert!(cache.hit_ns() < cache.miss_ns(), "a warm lookup must be cheaper than a build");
     }
 
     #[test]

@@ -58,7 +58,16 @@ pub fn run_session_with<C: Channel + Send + ?Sized>(
     config: &SessionConfig,
 ) -> Result<SessionReport, RuntimeError> {
     write_request(channel, request)?;
-    read_ack(channel)?;
+    let chosen = read_ack(channel)?;
+    // The ack names the schedule the server will garble with; a warm
+    // client's pre-lowered plan must agree or the transcripts diverge.
+    if chosen != config.reorder() {
+        return Err(RuntimeError::protocol(format!(
+            "server chose the {} schedule, this client prepared {}",
+            chosen.label(),
+            config.reorder().label()
+        )));
+    }
     let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
     let report =
         run_evaluator_with(&workload.circuit, &workload.evaluator_bits, &mut rng, config, channel)?;
@@ -72,7 +81,10 @@ pub fn run_session_with<C: Channel + Send + ?Sized>(
 }
 
 /// Like [`run_session_with`], but builds the workload (and lowers its
-/// streaming plan) from the request first (a cold client).
+/// streaming plan) after the ack, from the schedule the server chose —
+/// a cold client, and the only way to run a
+/// [negotiated](SessionRequest::negotiated) request without guessing
+/// the server's policy.
 ///
 /// # Errors
 ///
@@ -84,8 +96,24 @@ pub fn run_session<C: Channel + Send + ?Sized>(
     let kind = WorkloadKind::from_name(&request.workload).ok_or_else(|| {
         RuntimeError::protocol(format!("unknown workload {:?}", request.workload))
     })?;
-    let (workload, config) = prepare_with_reorder(kind, request.scale, request.reorder);
-    run_session_with(channel, request, &workload, &config)
+    write_request(channel, request)?;
+    let chosen = read_ack(channel)?;
+    let (workload, config) = prepare_with_reorder(kind, request.scale, chosen);
+    let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
+    let report = run_evaluator_with(
+        &workload.circuit,
+        &workload.evaluator_bits,
+        &mut rng,
+        &config,
+        channel,
+    )?;
+    if report.outputs != workload.expected {
+        return Err(RuntimeError::protocol(format!(
+            "{} outputs diverge from the plaintext reference",
+            request.workload
+        )));
+    }
+    Ok(report)
 }
 
 /// Connects to a TCP server and runs one session end to end with an

@@ -12,10 +12,11 @@
 //!
 //! | Layer | Contents |
 //! |-------|----------|
-//! | [`request`] | The service handshake: [`SessionRequest`] (workload, scale, negotiated [`ReorderKind`](haac_runtime::ReorderKind), seed) / ack frames preceding the GC protocol |
-//! | [`cache`] | [`CircuitCache`]: build/compile once per `(workload, scale, reorder)`, share via `Arc` |
+//! | [`request`] | The service handshake: [`SessionRequest`] (workload, scale, an optional pinned [`ReorderKind`](haac_runtime::ReorderKind), seed); the ack advertises the schedule the server chose |
+//! | [`cache`] | [`CircuitCache`]: build/compile once per `(workload, scale, reorder)`, share via `Arc`, hit/miss latency split |
 //! | [`registry`] | [`SessionRegistry`], per-session [`SessionOutcome`]s, aggregate [`ServerReport`] (p50/p99, aggregate gates/s) |
-//! | [`server`] | [`Server`]: accept loops, pooled session jobs, per-session error isolation, graceful shutdown |
+//! | [`metrics`] | [`ServerMetrics`]: the live admin plane — lock-free instruments, per-workload stage histograms, Prometheus text snapshots |
+//! | [`server`] | [`Server`]: accept loops, pooled session jobs, per-session error isolation, [`choose_reorder`] policy, graceful shutdown |
 //! | [`client`] | Evaluator-side drivers for tests and load generation |
 //!
 //! # Example: four engines, many concurrent sessions
@@ -48,11 +49,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod server;
 
 pub use cache::{CachedWorkload, CircuitCache};
+pub use metrics::ServerMetrics;
 pub use registry::{percentile, ServerReport, SessionId, SessionOutcome, SessionRegistry};
 pub use request::SessionRequest;
-pub use server::{Server, ServerConfig};
+pub use server::{choose_reorder, Server, ServerConfig};

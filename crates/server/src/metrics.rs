@@ -1,0 +1,182 @@
+//! The server's live metrics plane.
+//!
+//! One [`ServerMetrics`] wraps a [`haac_telemetry::Registry`] and owns
+//! every instrument the serving layer exposes: service-level gauges
+//! (active sessions, accept-queue depth, pool utilization), the
+//! sliding-window aggregate gates/s, the circuit cache's hit/miss
+//! latency split, and — per `(workload, reorder)` — the session
+//! counters, wall-time histograms, and the per-chunk stage histograms a
+//! running session records into via [`SessionTelemetry`].
+//!
+//! Rendering follows the Prometheus collect model: point-in-time
+//! gauges are refreshed from their owners ([`SessionRegistry`],
+//! [`CircuitCache`], [`PoolStats`]) at snapshot time, while counters,
+//! rates, and histograms accumulate live from inside sessions. A
+//! snapshot is therefore consistent *enough* to scrape mid-load — every
+//! instrument is lock-free and a scrape never blocks a session.
+
+use std::sync::Arc;
+
+use haac_gc::PoolStats;
+use haac_runtime::{ReorderKind, SessionTelemetry};
+use haac_telemetry::{Gauge, GaugeF, Registry, SlidingRate};
+
+use crate::cache::CircuitCache;
+use crate::registry::SessionRegistry;
+
+/// Labels every per-workload instrument carries.
+fn workload_labels(workload: &str, reorder: ReorderKind) -> [(&str, &str); 2] {
+    [("workload", workload), ("reorder", reorder.label())]
+}
+
+/// All server-side instruments, backed by one metrics registry.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Registry,
+    active_sessions: Arc<Gauge>,
+    accept_queue_depth: Arc<Gauge>,
+    pool_utilization: Arc<GaugeF>,
+    sessions_completed: Arc<Gauge>,
+    sessions_failed: Arc<Gauge>,
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_hit_ns: Arc<Gauge>,
+    cache_miss_ns: Arc<Gauge>,
+    gates_rate: Arc<SlidingRate>,
+}
+
+impl ServerMetrics {
+    /// A fresh metrics plane with the service-level instruments
+    /// registered (per-workload instruments appear on first use).
+    pub fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        ServerMetrics {
+            active_sessions: registry.gauge("haac_active_sessions", &[]),
+            accept_queue_depth: registry.gauge("haac_accept_queue_depth", &[]),
+            pool_utilization: registry.gauge_f("haac_pool_utilization", &[]),
+            sessions_completed: registry.gauge("haac_sessions_completed", &[]),
+            sessions_failed: registry.gauge("haac_sessions_failed", &[]),
+            cache_hits: registry.gauge("haac_cache_hits", &[]),
+            cache_misses: registry.gauge("haac_cache_misses", &[]),
+            cache_hit_ns: registry.gauge("haac_cache_hit_ns_total", &[]),
+            cache_miss_ns: registry.gauge("haac_cache_miss_ns_total", &[]),
+            gates_rate: registry.rate("haac_gates_per_sec", &[]),
+            registry,
+        }
+    }
+
+    /// The underlying instrument registry (for tests and custom
+    /// exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The sliding-window aggregate AND-gate rate every session feeds.
+    pub fn gates_rate(&self) -> &Arc<SlidingRate> {
+        &self.gates_rate
+    }
+
+    /// Builds (or re-binds — the registry hands back the same
+    /// instruments for the same labels) the live handles one session
+    /// records into. Every `(workload, reorder)` pair gets its own
+    /// stage histograms; the table counter and gates/s rate are shared
+    /// service-wide aggregates.
+    pub fn session_telemetry(&self, workload: &str, reorder: ReorderKind) -> Arc<SessionTelemetry> {
+        let labels = workload_labels(workload, reorder);
+        Arc::new(SessionTelemetry {
+            chunk_compute_ns: self.registry.histogram("haac_chunk_compute_ns", &labels),
+            chunk_io_ns: self.registry.histogram("haac_chunk_io_ns", &labels),
+            oor_occupancy: self.registry.histogram("haac_oor_queue_occupancy", &labels),
+            ot_ns: self.registry.histogram("haac_ot_ns", &labels),
+            tables: self.registry.counter("haac_tables_total", &[]),
+            table_rate: Arc::clone(&self.gates_rate),
+        })
+    }
+
+    /// Per-workload session accounting, recorded when a served session
+    /// completes successfully.
+    pub fn record_session(&self, workload: &str, reorder: ReorderKind, wall_us: u64) {
+        let labels = workload_labels(workload, reorder);
+        self.registry.counter("haac_sessions_total", &labels).inc();
+        self.registry.histogram("haac_session_wall_us", &labels).record(wall_us);
+    }
+
+    /// Refreshes every point-in-time gauge from its owner. Called at
+    /// snapshot time (the Prometheus collect model).
+    pub fn refresh(&self, sessions: &SessionRegistry, cache: &CircuitCache, pool: &PoolStats) {
+        self.active_sessions.set(sessions.active_sessions() as i64);
+        self.accept_queue_depth.set(pool.queued_jobs as i64);
+        self.pool_utilization.set(pool.utilization());
+        let report = sessions.report();
+        self.sessions_completed.set(report.completed as i64);
+        self.sessions_failed.set(report.failed as i64);
+        self.cache_hits.set(cache.hits() as i64);
+        self.cache_misses.set(cache.misses() as i64);
+        self.cache_hit_ns.set(cache.hit_ns() as i64);
+        self.cache_miss_ns.set(cache.miss_ns() as i64);
+        for (worker, busy) in pool.worker_busy_ns.iter().enumerate() {
+            let worker = worker.to_string();
+            self.registry
+                .gauge("haac_pool_worker_busy_ns", &[("worker", worker.as_str())])
+                .set(*busy as i64);
+        }
+        // The standard info-metric idiom: environment facts as labels
+        // on a constant gauge.
+        let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+        let cores = cores.to_string();
+        self.registry
+            .gauge(
+                "haac_build_info",
+                &[("aes_backend", haac_gc::active_backend().name()), ("cores", cores.as_str())],
+            )
+            .set(1);
+    }
+
+    /// Renders the full Prometheus-style text snapshot. Refresh first
+    /// ([`refresh`](ServerMetrics::refresh)) for current gauge values.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> ServerMetrics {
+        ServerMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_telemetry_rebinds_to_the_same_instruments() {
+        let metrics = ServerMetrics::new();
+        let a = metrics.session_telemetry("DotProd", ReorderKind::Full);
+        let b = metrics.session_telemetry("DotProd", ReorderKind::Full);
+        assert!(Arc::ptr_eq(&a.chunk_compute_ns, &b.chunk_compute_ns));
+        assert!(Arc::ptr_eq(&a.table_rate, &b.table_rate));
+        let other = metrics.session_telemetry("DotProd", ReorderKind::Baseline);
+        assert!(
+            !Arc::ptr_eq(&a.chunk_compute_ns, &other.chunk_compute_ns),
+            "schedules are distinct series"
+        );
+        assert!(Arc::ptr_eq(&a.tables, &other.tables), "table counter is service-wide");
+    }
+
+    #[test]
+    fn snapshot_renders_recorded_sessions() {
+        let metrics = ServerMetrics::new();
+        metrics.record_session("Hamm", ReorderKind::Baseline, 1234);
+        metrics.record_session("Hamm", ReorderKind::Baseline, 2345);
+        let text = metrics.render();
+        let samples = haac_telemetry::parse(&text).expect("snapshot must parse");
+        let count = samples
+            .iter()
+            .find(|s| s.name == "haac_sessions_total" && s.label("workload") == Some("Hamm"))
+            .expect("per-workload session counter");
+        assert_eq!(count.value, 2.0);
+        assert_eq!(count.label("reorder"), Some("Baseline"));
+        assert!(samples.iter().any(|s| s.name == "haac_session_wall_us_count"));
+    }
+}

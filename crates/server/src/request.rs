@@ -28,6 +28,9 @@ const ACK_TAG: u8 = 0x61;
 const MAX_NAME: usize = 64;
 /// Longest refusal message shipped back to a client.
 const MAX_ACK_MESSAGE: usize = 512;
+/// Reorder byte of a request that leaves the schedule to the server
+/// (the session-layer tags 0/1/2 name concrete kinds).
+const AUTO_REORDER_TAG: u8 = 0xFF;
 
 /// What a connecting evaluator asks the server to compute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +41,11 @@ pub struct SessionRequest {
     pub scale: Scale,
     /// Instruction schedule both parties lower with (the server's
     /// circuit cache keys on it alongside workload and scale).
-    pub reorder: ReorderKind,
+    /// `None` delegates the choice to the server's per-workload policy
+    /// ([`choose_reorder`](crate::choose_reorder)); either way the ack
+    /// carries the schedule actually chosen, and the client lowers
+    /// with that.
+    pub reorder: Option<ReorderKind>,
     /// Seed for the server's garbling randomness — deterministic
     /// per-request transcripts, distinct across requests.
     pub seed: u64,
@@ -47,12 +54,23 @@ pub struct SessionRequest {
 impl SessionRequest {
     /// A baseline-schedule request (the common case).
     pub fn new(workload: impl Into<String>, scale: Scale, seed: u64) -> SessionRequest {
-        SessionRequest { workload: workload.into(), scale, reorder: ReorderKind::Baseline, seed }
+        SessionRequest {
+            workload: workload.into(),
+            scale,
+            reorder: Some(ReorderKind::Baseline),
+            seed,
+        }
     }
 
-    /// Returns the request with the given instruction schedule.
+    /// A request that lets the server pick the schedule: the client
+    /// learns the choice from the ack and lowers with it.
+    pub fn negotiated(workload: impl Into<String>, scale: Scale, seed: u64) -> SessionRequest {
+        SessionRequest { workload: workload.into(), scale, reorder: None, seed }
+    }
+
+    /// Returns the request pinned to the given instruction schedule.
     pub fn with_reorder(mut self, reorder: ReorderKind) -> SessionRequest {
-        self.reorder = reorder;
+        self.reorder = Some(reorder);
         self
     }
 }
@@ -90,7 +108,8 @@ pub fn write_request<C: Channel + ?Sized>(
     }
     channel.send(&[REQUEST_TAG, name.len() as u8])?;
     channel.send(name)?;
-    channel.send(&[scale_tag(request.scale), reorder_tag(request.reorder)])?;
+    let reorder = request.reorder.map_or(AUTO_REORDER_TAG, reorder_tag);
+    channel.send(&[scale_tag(request.scale), reorder])?;
     channel.send(&request.seed.to_le_bytes())?;
     channel.flush()?;
     Ok(())
@@ -123,12 +142,17 @@ pub fn read_request<C: Channel + ?Sized>(channel: &mut C) -> Result<SessionReque
     let mut tail = [0u8; 10];
     channel.recv_exact(&mut tail)?;
     let scale = scale_from_tag(tail[0])?;
-    let reorder = reorder_from_tag(tail[1])?;
+    let reorder = match tail[1] {
+        AUTO_REORDER_TAG => None,
+        tag => Some(reorder_from_tag(tag)?),
+    };
     let seed = u64::from_le_bytes(tail[2..10].try_into().expect("8 bytes"));
     Ok(SessionRequest { workload, scale, reorder, seed })
 }
 
-/// Sends the server's answer to a request — `Ok` to proceed, `Err` with
+/// Sends the server's answer to a request — `Ok` with the instruction
+/// schedule the session will run (the client's explicit choice echoed
+/// back, or the server's pick for a negotiated request), or `Err` with
 /// a reason to refuse — and flushes.
 ///
 /// # Errors
@@ -136,30 +160,31 @@ pub fn read_request<C: Channel + ?Sized>(channel: &mut C) -> Result<SessionReque
 /// Fails on transport errors.
 pub fn write_ack<C: Channel + ?Sized>(
     channel: &mut C,
-    verdict: Result<(), &str>,
+    verdict: Result<ReorderKind, &str>,
 ) -> Result<(), RuntimeError> {
-    let message = match verdict {
-        Ok(()) => &[][..],
+    let (reorder, message) = match verdict {
+        Ok(kind) => (reorder_tag(kind), &[][..]),
         Err(reason) => {
             let bytes = reason.as_bytes();
-            &bytes[..bytes.len().min(MAX_ACK_MESSAGE)]
+            (0, &bytes[..bytes.len().min(MAX_ACK_MESSAGE)])
         }
     };
-    channel.send(&[ACK_TAG, u8::from(verdict.is_err())])?;
+    channel.send(&[ACK_TAG, u8::from(verdict.is_err()), reorder])?;
     channel.send(&(message.len() as u16).to_le_bytes())?;
     channel.send(message)?;
     channel.flush()?;
     Ok(())
 }
 
-/// Receives the server's ack; a refusal becomes a protocol error
-/// carrying the server's reason.
+/// Receives the server's ack and returns the instruction schedule the
+/// session will run; a refusal becomes a protocol error carrying the
+/// server's reason.
 ///
 /// # Errors
 ///
 /// Fails on transport errors, malformed frames, or a server refusal.
-pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<(), RuntimeError> {
-    let mut head = [0u8; 4];
+pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<ReorderKind, RuntimeError> {
+    let mut head = [0u8; 5];
     channel.recv_exact(&mut head)?;
     if head[0] != ACK_TAG {
         return Err(RuntimeError::protocol(format!(
@@ -167,14 +192,14 @@ pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<(), RuntimeError
             head[0]
         )));
     }
-    let len = u16::from_le_bytes([head[2], head[3]]) as usize;
+    let len = u16::from_le_bytes([head[3], head[4]]) as usize;
     if len > MAX_ACK_MESSAGE {
         return Err(RuntimeError::protocol(format!("ack message length {len} out of range")));
     }
     let mut message = vec![0u8; len];
     channel.recv_exact(&mut message)?;
     match head[1] {
-        0 => Ok(()),
+        0 => reorder_from_tag(head[2]),
         _ => Err(RuntimeError::protocol(format!(
             "server refused the session: {}",
             String::from_utf8_lossy(&message)
@@ -199,6 +224,15 @@ mod tests {
     }
 
     #[test]
+    fn negotiated_requests_round_trip_as_auto() {
+        let (mut a, mut b) = MemChannel::pair();
+        let request = SessionRequest::negotiated("MatMult", Scale::Small, 0xBEEF);
+        assert_eq!(request.reorder, None);
+        write_request(&mut a, &request).unwrap();
+        assert_eq!(read_request(&mut b).unwrap(), request);
+    }
+
+    #[test]
     fn unknown_reorder_tags_are_typed_protocol_errors() {
         let (mut a, mut b) = MemChannel::pair();
         a.send(&[REQUEST_TAG, 4]).unwrap();
@@ -211,10 +245,12 @@ mod tests {
     }
 
     #[test]
-    fn acks_round_trip() {
+    fn acks_round_trip_with_the_chosen_schedule() {
         let (mut a, mut b) = MemChannel::pair();
-        write_ack(&mut a, Ok(())).unwrap();
-        assert!(read_ack(&mut b).is_ok());
+        for kind in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
+            write_ack(&mut a, Ok(kind)).unwrap();
+            assert_eq!(read_ack(&mut b).unwrap(), kind);
+        }
         write_ack(&mut a, Err("no such workload")).unwrap();
         let err = read_ack(&mut b).unwrap_err();
         assert!(err.to_string().contains("no such workload"), "{err}");

@@ -14,22 +14,23 @@
 //! body is caught, recorded as a failed [`SessionOutcome`], and the
 //! worker moves on to the next queued session.
 
-use std::io;
+use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use haac_gc::EnginePool;
 use haac_runtime::{
-    run_garbler, Channel, MemChannel, RuntimeError, SessionReport, TcpChannel,
+    run_garbler, Channel, MemChannel, ReorderKind, RuntimeError, SessionReport, TcpChannel,
     DEFAULT_MEM_CHANNEL_CAPACITY,
 };
 use haac_workloads::WorkloadKind;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::cache::CircuitCache;
+use crate::metrics::ServerMetrics;
 use crate::registry::{ServerReport, SessionId, SessionRegistry};
 use crate::request::{read_request, write_ack};
 
@@ -60,7 +61,30 @@ impl Default for ServerConfig {
 struct ServerShared {
     registry: SessionRegistry,
     cache: CircuitCache,
+    metrics: ServerMetrics,
     accepting: AtomicBool,
+}
+
+/// The server's per-workload schedule policy, applied when a client
+/// leaves the choice open ([`SessionRequest::negotiated`]): kernels
+/// with wide independent gate levels — the dense linear-algebra VIPs —
+/// gain ILP from the fully level-ordered stream, while the
+/// sequential/compare-heavy ones keep the baseline order and its wire
+/// locality. The chosen kind travels back in the ack, so both sides
+/// lower identically.
+///
+/// [`SessionRequest::negotiated`]: crate::SessionRequest::negotiated
+pub fn choose_reorder(kind: WorkloadKind) -> ReorderKind {
+    match kind {
+        WorkloadKind::DotProduct
+        | WorkloadKind::MatMult
+        | WorkloadKind::GradDesc
+        | WorkloadKind::Relu => ReorderKind::Full,
+        WorkloadKind::BubbleSort
+        | WorkloadKind::Mersenne
+        | WorkloadKind::Triangle
+        | WorkloadKind::Hamming => ReorderKind::Baseline,
+    }
 }
 
 /// A long-lived garbling service multiplexing many two-party sessions
@@ -106,6 +130,7 @@ impl Server {
             shared: Arc::new(ServerShared {
                 registry: SessionRegistry::new(),
                 cache: CircuitCache::new(),
+                metrics: ServerMetrics::new(),
                 accepting: AtomicBool::new(true),
             }),
             config,
@@ -126,6 +151,21 @@ impl Server {
     /// The circuit cache (hit/miss counters, resident builds).
     pub fn cache(&self) -> &CircuitCache {
         &self.shared.cache
+    }
+
+    /// The live metrics plane (instrument registry, per-workload
+    /// session telemetry).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Renders a point-in-time Prometheus-style text snapshot of every
+    /// server instrument: service gauges are refreshed from their
+    /// owners first, counters/histograms/rates read live. Safe to call
+    /// mid-load from any thread — nothing here blocks a session.
+    pub fn metrics_snapshot(&self) -> String {
+        self.shared.metrics.refresh(&self.shared.registry, &self.shared.cache, &self.pool.stats());
+        self.shared.metrics.render()
     }
 
     /// Accepts an already-connected evaluator channel: registers a
@@ -157,6 +197,29 @@ impl Server {
             .name(format!("haac-accept-{local}"))
             .spawn(move || accept_loop(&listener, &pool, &shared))
             .expect("spawn accept thread");
+        self.listeners.push(ListenerHandle { addr: local, thread });
+        Ok(local)
+    }
+
+    /// Binds the admin plane: a dedicated TCP listener answering every
+    /// connection with one HTTP response carrying the current
+    /// [`metrics_snapshot`](Server::metrics_snapshot) (Prometheus text
+    /// exposition). Independent of the session listeners — scraping
+    /// never competes with GC traffic for a gate-engine worker.
+    /// Returns the bound address (use port 0 for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn listen_metrics(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let pool = Arc::clone(&self.pool);
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::Builder::new()
+            .name(format!("haac-metrics-{local}"))
+            .spawn(move || metrics_loop(&listener, &pool, &shared))
+            .expect("spawn metrics thread");
         self.listeners.push(ListenerHandle { addr: local, thread });
         Ok(local)
     }
@@ -227,6 +290,34 @@ fn accept_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<Serv
     }
 }
 
+/// The admin-plane accept loop: one snapshot per connection, plain
+/// HTTP/1.0 so `curl` and a Prometheus scraper both work unmodified.
+fn metrics_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<ServerShared>) {
+    loop {
+        let stream = listener.accept().ok().map(|(stream, _)| stream);
+        if !shared.accepting.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up (or anything racing it)
+        }
+        let Some(mut stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        // Best-effort drain of the request head; the response is the
+        // same snapshot whatever was asked.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut head = [0u8; 1024];
+        let _ = stream.read(&mut head);
+        shared.metrics.refresh(&shared.registry, &shared.cache, &pool.stats());
+        let body = shared.metrics.render();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
 fn submit_on(
     pool: &EnginePool,
     shared: &Arc<ServerShared>,
@@ -261,15 +352,22 @@ fn session_body(
         return Err(RuntimeError::protocol(reason));
     };
     shared.registry.set_workload(id, kind.name());
-    let cached = shared.cache.get(kind, request.scale, request.reorder);
-    write_ack(channel, Ok(()))?;
+    // The schedule: the client's explicit choice, or this server's
+    // per-workload policy for a negotiated request. Either way the ack
+    // advertises what the session will actually run.
+    let reorder = request.reorder.unwrap_or_else(|| choose_reorder(kind));
+    let cached = shared.cache.get(kind, request.scale, reorder);
+    write_ack(channel, Ok(reorder))?;
 
+    let telemetry = shared.metrics.session_telemetry(kind.name(), reorder);
+    let config = cached.config.clone().with_telemetry(telemetry);
+    let session_start = Instant::now();
     let mut rng = StdRng::seed_from_u64(request.seed);
     let report = run_garbler(
         &cached.workload.circuit,
         &cached.workload.garbler_bits,
         &mut rng,
-        &cached.config,
+        &config,
         channel,
     )?;
     // The service computes the canonical VIP sample: the outputs the
@@ -282,5 +380,6 @@ fn session_body(
             kind.name()
         )));
     }
+    shared.metrics.record_session(kind.name(), reorder, session_start.elapsed().as_micros() as u64);
     Ok(report)
 }

@@ -1,0 +1,81 @@
+//! The single structured progress writer shared by the bench bins.
+//!
+//! Every human-facing progress line in the workspace goes through one
+//! sink with one shape — `[component +elapsed] message` on stderr — and
+//! one quiet switch (`--quiet` via [`set_quiet`], or the `HAAC_QUIET`
+//! environment variable), instead of per-binary `eprintln!` scattered
+//! through the harnesses. Lines are written with the stderr lock held,
+//! so concurrent components never interleave mid-line.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// 0 = not yet resolved from the environment, 1 = loud, 2 = quiet.
+static QUIET: AtomicU8 = AtomicU8::new(0);
+
+fn resolve_quiet() -> bool {
+    let quiet = matches!(std::env::var("HAAC_QUIET").as_deref(), Ok("1") | Ok("true") | Ok("on"));
+    QUIET.store(if quiet { 2 } else { 1 }, Ordering::Relaxed);
+    quiet
+}
+
+/// Whether event output is suppressed (`HAAC_QUIET=1` or
+/// [`set_quiet`]`(true)`).
+pub fn is_quiet() -> bool {
+    match QUIET.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => resolve_quiet(),
+    }
+}
+
+/// Switches event output off (or back on) process-wide — what a bin's
+/// `--quiet` flag should call.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(if quiet { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// When the sink first wrote (or was first asked to) — the `+elapsed`
+/// anchor, so a log line's age is readable without wall-clock stamps.
+fn sink_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Writes one event line unless quiet. Prefer the [`event!`](crate::event)
+/// macro, which formats lazily.
+pub fn emit(component: &str, args: std::fmt::Arguments<'_>) {
+    if is_quiet() {
+        return;
+    }
+    let elapsed = sink_start().elapsed();
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(out, "[{component} +{:.3}s] {args}", elapsed.as_secs_f64());
+}
+
+/// Emits one structured progress line: `event!("loadgen", "phase {n} done")`.
+/// Free under `--quiet`: the format arguments are only evaluated to a
+/// borrow here, and the sink drops them before formatting.
+#[macro_export]
+macro_rules! event {
+    ($component:expr, $($arg:tt)+) => {
+        $crate::events::emit($component, ::core::format_args!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_switch_round_trips() {
+        set_quiet(true);
+        assert!(is_quiet());
+        emit("test", format_args!("this line must not appear"));
+        set_quiet(false);
+        assert!(!is_quiet());
+    }
+}

@@ -1,0 +1,345 @@
+//! The named-metric registry and its text snapshot format.
+//!
+//! Registration (name + sorted label set → instrument) happens once per
+//! handle behind a mutex; after that every recording goes through the
+//! returned `Arc` and touches only relaxed atomics. The snapshot is the
+//! Prometheus text exposition style — `name{label="v"} value` lines,
+//! `# TYPE` comments, histograms flattened to `_count`/`_sum` plus
+//! `quantile="…"` series — and [`parse`] round-trips it so tests and
+//! in-process scrapers need no external tooling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, GaugeF, Histogram, SlidingRate};
+
+/// Identity of one instrument: name plus its label set, sorted by label
+/// key so `[("a","1"),("b","2")]` and `[("b","2"),("a","1")]` are the
+/// same metric.
+type Key = (String, Vec<(String, String)>);
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    GaugeF(Arc<GaugeF>),
+    Histogram(Arc<Histogram>),
+    Rate(Arc<SlidingRate>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) | Instrument::GaugeF(_) | Instrument::Rate(_) => "gauge",
+            Instrument::Histogram(_) => "summary",
+        }
+    }
+}
+
+/// A concurrent, labeled registry of instruments.
+///
+/// Handles are get-or-create: two callers asking for
+/// `("haac_sessions_total", workload="DotProd")` share one counter.
+/// Asking for an existing name+labels with a *different* instrument
+/// type panics — that is a programming error, not load-time input.
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<BTreeMap<Key, Instrument>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    debug_assert!(valid_name(name), "invalid metric name {name:?}");
+    let mut labels: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+macro_rules! get_or_create {
+    ($self:ident, $name:ident, $labels:ident, $variant:ident, $ty:ty) => {{
+        let mut instruments = $self.instruments.lock().expect("registry lock");
+        match instruments
+            .entry(key($name, $labels))
+            .or_insert_with(|| Instrument::$variant(Arc::new(<$ty>::new())))
+        {
+            Instrument::$variant(handle) => Arc::clone(handle),
+            other => panic!(
+                "metric {:?} already registered as a {}, requested as a {}",
+                $name,
+                other.type_name(),
+                stringify!($variant)
+            ),
+        }
+    }};
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` + `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        get_or_create!(self, name, labels, Counter, Counter)
+    }
+
+    /// The integer gauge registered under `name` + `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        get_or_create!(self, name, labels, Gauge, Gauge)
+    }
+
+    /// The fractional gauge registered under `name` + `labels`.
+    pub fn gauge_f(&self, name: &str, labels: &[(&str, &str)]) -> Arc<GaugeF> {
+        get_or_create!(self, name, labels, GaugeF, GaugeF)
+    }
+
+    /// The histogram registered under `name` + `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        get_or_create!(self, name, labels, Histogram, Histogram)
+    }
+
+    /// The sliding-window rate registered under `name` + `labels`.
+    pub fn rate(&self, name: &str, labels: &[(&str, &str)]) -> Arc<SlidingRate> {
+        get_or_create!(self, name, labels, Rate, SlidingRate)
+    }
+
+    /// Instruments registered so far.
+    pub fn len(&self) -> usize {
+        self.instruments.lock().expect("registry lock").len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the Prometheus-style text snapshot: deterministic order
+    /// (name, then labels), one `# TYPE` comment per metric name,
+    /// histograms as `_count`/`_sum`/`quantile` series.
+    pub fn render(&self) -> String {
+        let instruments = self.instruments.lock().expect("registry lock");
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, labels), instrument) in instruments.iter() {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} {}", instrument.type_name());
+                last_name = name;
+            }
+            match instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), g.get());
+                }
+                Instrument::GaugeF(g) => {
+                    let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), g.get());
+                }
+                Instrument::Rate(r) => {
+                    let _ =
+                        writeln!(out, "{}{} {}", name, render_labels(labels, None), r.per_sec());
+                }
+                Instrument::Histogram(h) => {
+                    let plain = render_labels(labels, None);
+                    let _ = writeln!(out, "{name}_count{plain} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum());
+                    for (q, v) in [(0.5, h.p50()), (0.99, h.p99()), (0.999, h.p999())] {
+                        let with_q = render_labels(labels, Some(q));
+                        let _ = writeln!(out, "{name}{with_q} {v}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))).collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// One parsed snapshot line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_count`/`_sum` suffix).
+    pub name: String,
+    /// Label pairs in snapshot order (`quantile` included).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a text snapshot back into samples, skipping `#` comments and
+/// blank lines. Errors carry the offending line — the admin-plane test
+/// uses this to prove the served snapshot is well-formed.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_line(line).ok_or_else(|| format!("malformed metric line {line:?}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_line(line: &str) -> Option<Sample> {
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match series.split_once('{') {
+        None => (series, Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            if !body.is_empty() {
+                for pair in split_label_pairs(body)? {
+                    let (k, v) = pair.split_once('=')?;
+                    let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                    labels.push((
+                        k.to_string(),
+                        v.replace("\\n", "\n").replace("\\\"", "\"").replace("\\\\", "\\"),
+                    ));
+                }
+            }
+            (name, labels)
+        }
+    };
+    if !valid_name(name) {
+        return None;
+    }
+    Some(Sample { name: name.to_string(), labels, value })
+}
+
+/// Splits `k1="v1",k2="v2"` on commas outside quotes.
+fn split_label_pairs(body: &str) -> Option<Vec<&str>> {
+    let mut pairs = Vec::new();
+    let (mut start, mut in_quotes, mut escaped) = (0usize, false, false);
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+                escaped = false;
+            }
+            _ => escaped = false,
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    pairs.push(&body[start..]);
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_identity() {
+        let registry = Registry::new();
+        let a = registry.counter("haac_sessions_total", &[("workload", "DotProd")]);
+        let b = registry.counter("haac_sessions_total", &[("workload", "DotProd")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3, "same name+labels must share one counter");
+        let other = registry.counter("haac_sessions_total", &[("workload", "Hamm")]);
+        assert_eq!(other.get(), 0);
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_identity() {
+        let registry = Registry::new();
+        let a = registry.gauge("depth", &[("a", "1"), ("b", "2")]);
+        let b = registry.gauge("depth", &[("b", "2"), ("a", "1")]);
+        a.set(9);
+        assert_eq!(b.get(), 9);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_is_a_programming_error() {
+        let registry = Registry::new();
+        let _ = registry.counter("x", &[]);
+        let _ = registry.gauge("x", &[]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_parse() {
+        let registry = Registry::new();
+        registry.counter("haac_sessions_total", &[("workload", "DotProd")]).add(7);
+        registry.gauge("haac_active_sessions", &[]).set(3);
+        registry.gauge_f("haac_pool_utilization", &[]).set(0.5);
+        let h = registry.histogram("haac_session_wall_us", &[("workload", "DotProd")]);
+        for v in [10u64, 20, 30, 40_000] {
+            h.record(v);
+        }
+        let text = registry.render();
+        let samples = parse(&text).expect("snapshot must parse");
+        let find = |name: &str| {
+            samples.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(find("haac_sessions_total").value, 7.0);
+        assert_eq!(find("haac_sessions_total").label("workload"), Some("DotProd"));
+        assert_eq!(find("haac_active_sessions").value, 3.0);
+        assert_eq!(find("haac_pool_utilization").value, 0.5);
+        assert_eq!(find("haac_session_wall_us_count").value, 4.0);
+        assert_eq!(find("haac_session_wall_us_sum").value, 40_060.0);
+        let p50 = samples
+            .iter()
+            .find(|s| s.name == "haac_session_wall_us" && s.label("quantile") == Some("0.5"))
+            .expect("p50 series");
+        assert!(p50.value >= 20.0 && p50.value < 40.0, "p50 {}", p50.value);
+        // Deterministic: rendering twice yields identical text.
+        assert_eq!(text, registry.render());
+    }
+
+    #[test]
+    fn labels_with_quotes_and_commas_survive() {
+        let registry = Registry::new();
+        registry.counter("c", &[("msg", "a,\"b\"\\c")]).inc();
+        let samples = parse(&registry.render()).unwrap();
+        assert_eq!(samples[0].label("msg"), Some("a,\"b\"\\c"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse("no_value_here").is_err());
+        assert!(parse("name{unterminated 1").is_err());
+        assert!(parse("1name 2").is_err());
+        assert!(parse("ok 1\n\n# comment\n").is_ok());
+    }
+}

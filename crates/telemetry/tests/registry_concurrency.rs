@@ -1,0 +1,84 @@
+//! Concurrency property tests: one registry hammered from N threads
+//! must lose nothing.
+//!
+//! The instruments claim exactness under concurrency for counters and
+//! histograms (relaxed `fetch_add` never drops an update); these
+//! properties drive randomized thread counts and per-thread workloads
+//! through one shared [`Registry`] and check the totals arithmetically.
+
+use std::sync::Arc;
+
+use haac_telemetry::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    #[test]
+    fn counters_are_exact_across_threads(
+        threads in 2usize..8,
+        ops_per_thread in 1u32..2_000,
+    ) {
+        let ops_per_thread = ops_per_thread as u64;
+        let registry = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    // Half the threads share one labeled counter, half
+                    // another: identity must hold under racing
+                    // get-or-create too.
+                    let label = if t % 2 == 0 { "even" } else { "odd" };
+                    let counter = registry.counter("ops_total", &[("side", label)]);
+                    for _ in 0..ops_per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        let even = registry.counter("ops_total", &[("side", "even")]).get();
+        let odd = registry.counter("ops_total", &[("side", "odd")]).get();
+        prop_assert_eq!(even + odd, threads as u64 * ops_per_thread);
+        prop_assert_eq!(even, threads.div_ceil(2) as u64 * ops_per_thread);
+    }
+
+    #[test]
+    fn histogram_totals_are_exact_across_threads(
+        threads in 2usize..8,
+        samples_per_thread in 1u32..1_000,
+        base in 1u32..1_000_000,
+    ) {
+        let (samples_per_thread, base) = (samples_per_thread as u64, base as u64);
+        let registry = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let h = registry.histogram("latency_ns", &[]);
+                    for i in 0..samples_per_thread {
+                        // Distinct deterministic values per thread so the
+                        // expected sum is computable exactly.
+                        h.record(base + t as u64 + i);
+                    }
+                });
+            }
+        });
+        let h = registry.histogram("latency_ns", &[]);
+        let expected_count = threads as u64 * samples_per_thread;
+        let per_thread_sum = samples_per_thread * base
+            + samples_per_thread * (samples_per_thread - 1) / 2;
+        let expected_sum: u64 = (0..threads as u64)
+            .map(|t| per_thread_sum + t * samples_per_thread)
+            .sum();
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.sum(), expected_sum);
+        // Bucket contents agree with the count once the dust settles.
+        let buckets: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(buckets, expected_count);
+        // And the snapshot renders/parses consistently mid-flight data.
+        let samples = haac_telemetry::parse(&registry.render())
+            .map_err(proptest::test_runner::TestCaseError::Fail)?;
+        let count = samples.iter().find(|s| s.name == "latency_ns_count").unwrap();
+        prop_assert_eq!(count.value, expected_count as f64);
+    }
+}

@@ -15,7 +15,12 @@
 //! - **concurrent** — all N sessions at once on the shared pool
 //!   (`aggregate_and_gates_per_sec` = total AND tables / wall), with a
 //!   mid-load scrape of the server's live metrics snapshot and a
-//!   server-side stage/stall breakdown in the JSON.
+//!   server-side stage/stall breakdown in the JSON;
+//! - **overload** — 2N retrying clients against a deliberately small
+//!   accept queue: admission control must shed with typed busy acks,
+//!   every client must still land within its retry budget, and the
+//!   admitted work must flow at ≥ 0.9× the no-overload aggregate rate
+//!   with the p99 (backoff included) inside the SLO.
 //!
 //! Every session's outputs are checked against the plaintext reference
 //! on both sides; any mismatch aborts the run.
@@ -118,6 +123,36 @@ struct StageBreakdown {
     oor_queue_peak_max: usize,
 }
 
+/// Admission control under deliberate overload: the server sheds with
+/// typed busy acks, retrying clients absorb the refusals, and the
+/// admitted work still flows at (nearly) the full no-overload rate —
+/// the operational meaning of "graceful degradation".
+#[derive(Debug, Serialize)]
+struct OverloadReport {
+    /// Retrying clients driven (2× the concurrent phase).
+    clients: usize,
+    /// Accept-queue bound that forces the shedding.
+    accept_queue_limit: usize,
+    /// The admitted work (every client eventually lands; p50/p99
+    /// include client-side backoff).
+    admitted: PhaseReport,
+    /// Typed busy refusals the server issued — must be > 0, or the
+    /// phase never actually overloaded anything.
+    server_busy_refusals: u64,
+    /// Sessions admission control let through.
+    server_admitted: u64,
+    /// Client-fleet retry telemetry, summed.
+    client_attempts: u64,
+    client_retries: u64,
+    client_busy_refusals: u64,
+    client_giveups: u64,
+    /// `admitted.and_gates_per_sec / concurrent.and_gates_per_sec`;
+    /// gated ≥ 0.9 — shedding must cost throughput almost nothing.
+    throughput_vs_no_overload: f64,
+    /// The p99 bound (seconds) the admitted p99 is asserted against.
+    p99_slo_secs: f64,
+}
+
 /// What a mid-load scrape of the live admin plane observed.
 #[derive(Debug, Serialize)]
 struct MidLoadSnapshot {
@@ -151,6 +186,8 @@ struct Report {
     warm_serial: PhaseReport,
     /// One warm server, all sessions concurrent on the shared pool.
     concurrent: PhaseReport,
+    /// 2× clients against a small accept queue: shedding + retries.
+    overload: OverloadReport,
     /// Headline: cold single-session AND-gate rate.
     single_session_and_gates_per_sec: f64,
     /// Headline: concurrent aggregate AND-gate rate.
@@ -354,6 +391,109 @@ fn main() {
     assert_eq!(server_report.active, 0, "registry must drain");
     assert_eq!(server_report.completed, sessions as u64);
 
+    // Phase 4 — overload: twice the clients against an accept queue
+    // sized well below the offered load. The server must refuse the
+    // excess with typed busy acks (never accept work it cannot queue),
+    // the retrying clients must absorb every refusal, and the admitted
+    // work must still flow at essentially the no-overload rate.
+    let overload_clients = sessions * 2;
+    // Deep enough that the pool never starves while slots recycle,
+    // shallow enough that 2× clients overrun it immediately.
+    let accept_queue_limit = (workers * 2).max(2);
+    event!(
+        "loadgen",
+        "overload phase: {overload_clients} retrying clients vs accept queue {accept_queue_limit}..."
+    );
+    let server = Server::new(ServerConfig {
+        workers,
+        accept_queue_limit,
+        // A tight retry hint keeps refused clients polling instead of
+        // idling — the phase measures shedding, not sleeping.
+        busy_retry_after: Duration::from_millis(5),
+        ..ServerConfig::default()
+    });
+    for &k in &distinct {
+        server.cache().get(k, Scale::Small, ReorderKind::Baseline);
+    }
+    let retry_registry = haac_telemetry::Registry::new();
+    let retry_telemetry = client::RetryTelemetry::register(&retry_registry);
+    let overload_start = Instant::now();
+    let outcomes: Vec<(SessionRow, client::RetryStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..overload_clients)
+            .map(|i| {
+                let k = MIX[i % MIX.len()];
+                let prepared = workload_of(k);
+                let server = &server;
+                let telemetry = &retry_telemetry;
+                scope.spawn(move || {
+                    // Small sleeps, big attempt budget: refused
+                    // attempts are cheap (one ack round trip), and a
+                    // short cap keeps stragglers from idling past the
+                    // moment a queue slot opens.
+                    let policy = client::RetryPolicy {
+                        max_attempts: 512,
+                        base: Duration::from_millis(2),
+                        cap: Duration::from_millis(10),
+                        seed: 0xC11E57 + i as u64,
+                    };
+                    let request = SessionRequest::new(k.name(), Scale::Small, 4_000 + i as u64);
+                    let start = Instant::now();
+                    let (result, stats) = client::run_session_retrying(
+                        || Ok(server.connect()),
+                        &request,
+                        &prepared.0,
+                        &prepared.1,
+                        &policy,
+                        Some(telemetry),
+                    );
+                    let report = result.expect("overloaded session lands within the retry budget");
+                    (SessionRow::new(k, ReorderKind::Baseline, &report, start.elapsed()), stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("overload client thread")).collect()
+    });
+    let overload_wall = overload_start.elapsed();
+    let (overload_rows, retry_stats): (Vec<SessionRow>, Vec<client::RetryStats>) =
+        outcomes.into_iter().unzip();
+    let admitted = phase_report(&overload_rows, overload_wall);
+    let server_busy_refusals = server.metrics().refusals();
+    let server_admitted = server.metrics().admitted();
+    let overload_server = server.shutdown();
+    assert_eq!(overload_server.completed, overload_clients as u64);
+    assert_eq!(overload_server.failed, 0, "admitted overload work must land");
+    assert_eq!(overload_server.active, 0, "registry must drain after overload");
+    assert!(server_busy_refusals > 0, "the overload phase must actually trigger shedding");
+    let client_giveups: u64 = retry_stats.iter().map(|s| u64::from(s.gave_up)).sum();
+    assert_eq!(client_giveups, 0, "no client may exhaust its retry budget");
+    let throughput_vs_no_overload = admitted.and_gates_per_sec / concurrent.and_gates_per_sec;
+    assert!(
+        throughput_vs_no_overload >= 0.9,
+        "graceful degradation: admitted throughput under overload ({:.0} gates/s) must stay \
+         >= 0.9x the no-overload aggregate ({:.0} gates/s)",
+        admitted.and_gates_per_sec,
+        concurrent.and_gates_per_sec,
+    );
+    let p99_slo_secs = 30.0;
+    assert!(
+        admitted.p99_session_secs < p99_slo_secs,
+        "overload p99 ({:.3}s, backoff included) must stay inside the {p99_slo_secs}s SLO",
+        admitted.p99_session_secs,
+    );
+    let overload = OverloadReport {
+        clients: overload_clients,
+        accept_queue_limit,
+        admitted,
+        server_busy_refusals,
+        server_admitted,
+        client_attempts: retry_stats.iter().map(|s| u64::from(s.attempts)).sum(),
+        client_retries: retry_stats.iter().map(|s| u64::from(s.retries)).sum(),
+        client_busy_refusals: retry_stats.iter().map(|s| u64::from(s.busy_refusals)).sum(),
+        client_giveups,
+        throughput_vs_no_overload,
+        p99_slo_secs,
+    };
+
     let report = Report {
         sessions,
         workers,
@@ -370,6 +510,7 @@ fn main() {
         cold_single_session: cold,
         warm_serial,
         concurrent,
+        overload,
         server_total_sessions: server_report.total_sessions,
         server_completed: server_report.completed,
         server_failed: server_report.failed,

@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Initial write-buffer capacity for both channel kinds: a full
 /// default-window table chunk (2048 tables × 32 B) plus framing, so
@@ -65,6 +66,24 @@ pub trait Channel {
 
     /// Traffic counters for this endpoint.
     fn stats(&self) -> ChannelStats;
+
+    /// Bounds every subsequent blocking operation (`recv_exact`,
+    /// `flush`) to `timeout`; `None` restores unbounded blocking. An
+    /// operation that cannot complete in time fails with
+    /// [`io::ErrorKind::TimedOut`] (or `WouldBlock` on transports whose
+    /// socket timeouts surface that way) — the session layer converts
+    /// either into a typed per-phase deadline error. The default
+    /// implementation ignores the deadline (a transport that cannot
+    /// time out simply keeps blocking; sessions over it fall back to
+    /// the pre-deadline behavior).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors from arming the timeout.
+    fn set_io_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let _ = timeout;
+        Ok(())
+    }
 }
 
 /// Default [`MemChannel::pair`] capacity, in flushed-but-unread
@@ -104,6 +123,9 @@ pub struct MemChannel {
     write_buffer: Vec<u8>,
     read_buffer: VecDeque<u8>,
     stats: ChannelStats,
+    /// Per-operation bound on blocking receives and backpressured
+    /// flushes (the in-process analogue of socket timeouts).
+    io_timeout: Option<Duration>,
 }
 
 impl MemChannel {
@@ -130,6 +152,7 @@ impl MemChannel {
             write_buffer: Vec::with_capacity(WRITE_BUFFER_CAPACITY),
             read_buffer: VecDeque::new(),
             stats: ChannelStats::default(),
+            io_timeout: None,
         };
         (make(to_b, from_b), make(to_a, from_a))
     }
@@ -143,10 +166,22 @@ impl Channel for MemChannel {
     }
 
     fn recv_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        // Like a socket read timeout, the bound is per operation: one
+        // recv_exact gets the whole budget, re-armed on the next call.
+        let deadline = self.io_timeout.map(|t| Instant::now() + t);
         while self.read_buffer.len() < buf.len() {
-            let message = self.inbox.recv().map_err(|_| {
-                io::Error::new(io::ErrorKind::UnexpectedEof, "peer disconnected mid-message")
-            })?;
+            let message = match deadline {
+                None => self.inbox.recv().map_err(|_| disconnected_mid_message())?,
+                Some(deadline) => {
+                    let remaining = deadline
+                        .checked_duration_since(Instant::now())
+                        .ok_or_else(recv_timed_out)?;
+                    self.inbox.recv_timeout(remaining).map_err(|e| match e {
+                        mpsc::RecvTimeoutError::Timeout => recv_timed_out(),
+                        mpsc::RecvTimeoutError::Disconnected => disconnected_mid_message(),
+                    })?
+                }
+            };
             self.read_buffer.extend(message);
         }
         for slot in buf.iter_mut() {
@@ -162,11 +197,41 @@ impl Channel for MemChannel {
         }
         // The queue message must own its bytes; hand over the buffer
         // itself (no memcpy) and replace it with a fresh presized one.
-        let message =
+        let mut message =
             std::mem::replace(&mut self.write_buffer, Vec::with_capacity(WRITE_BUFFER_CAPACITY));
-        self.outbox
-            .send(message)
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?;
+        match self.io_timeout {
+            None => self
+                .outbox
+                .send(message)
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?,
+            Some(timeout) => {
+                // SyncSender has no send_timeout; poll try_send against
+                // the deadline so a peer that stopped reading bounds
+                // the backpressure stall instead of wedging the sender.
+                let deadline = Instant::now() + timeout;
+                loop {
+                    match self.outbox.try_send(message) {
+                        Ok(()) => break,
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::BrokenPipe,
+                                "peer disconnected",
+                            ));
+                        }
+                        Err(mpsc::TrySendError::Full(returned)) => {
+                            if Instant::now() >= deadline {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::TimedOut,
+                                    "peer stopped draining the channel",
+                                ));
+                            }
+                            message = returned;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            }
+        }
         self.stats.flushes += 1;
         Ok(())
     }
@@ -174,6 +239,19 @@ impl Channel for MemChannel {
     fn stats(&self) -> ChannelStats {
         self.stats
     }
+
+    fn set_io_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.io_timeout = timeout;
+        Ok(())
+    }
+}
+
+fn disconnected_mid_message() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "peer disconnected mid-message")
+}
+
+fn recv_timed_out() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, "peer sent nothing within the deadline")
 }
 
 /// A real TCP transport with write buffering and `TCP_NODELAY`.
@@ -249,6 +327,15 @@ impl Channel for TcpChannel {
 
     fn stats(&self) -> ChannelStats {
         self.stats
+    }
+
+    fn set_io_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        // Genuine socket timeouts: a stalled peer surfaces as
+        // `WouldBlock`/`TimedOut` from the kernel, which the session
+        // layer types as a per-phase deadline. Timeouts are per socket
+        // operation, the same granularity MemChannel emulates.
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 }
 
@@ -371,6 +458,50 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_pair_is_rejected() {
         let _ = MemChannel::pair_bounded(0);
+    }
+
+    #[test]
+    fn mem_channel_read_deadline_times_out_against_a_silent_peer() {
+        let (mut a, _b) = MemChannel::pair();
+        a.set_io_deadline(Some(Duration::from_millis(20))).unwrap();
+        let mut buf = [0u8; 1];
+        let err = a.recv_exact(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Clearing the deadline restores unbounded blocking semantics
+        // (verified here only for the disconnect path, which must stay
+        // an EOF, not a timeout).
+        a.set_io_deadline(None).unwrap();
+        drop(_b);
+        let err = a.recv_exact(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn mem_channel_flush_deadline_bounds_backpressure() {
+        let (mut a, b) = MemChannel::pair_bounded(1);
+        a.set_io_deadline(Some(Duration::from_millis(20))).unwrap();
+        a.send(b"first").unwrap();
+        a.flush().unwrap(); // fills the queue: the peer reads nothing
+        a.send(b"second").unwrap();
+        let err = a.flush().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        drop(b);
+        a.send(b"third").unwrap();
+        let err = a.flush().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe, "disconnect beats timeout");
+    }
+
+    #[test]
+    fn tcp_channel_read_deadline_times_out_against_a_silent_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let keep_open = thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client = TcpChannel::connect(addr).unwrap();
+        client.set_io_deadline(Some(Duration::from_millis(30))).unwrap();
+        let mut buf = [0u8; 1];
+        let err = client.recv_exact(&mut buf).unwrap_err();
+        assert!(matches!(err.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock), "{err}");
+        drop(keep_open.join().unwrap());
     }
 
     #[test]

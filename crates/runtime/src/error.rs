@@ -1,7 +1,68 @@
 //! Runtime error type.
+//!
+//! Robustness work leans on two refinements over a bare I/O error:
+//! **phases** and **typed refusals**. Every failure a session driver
+//! surfaces is attributed to the protocol phase it happened in
+//! ([`SessionPhase`]), because the phase decides whether a client may
+//! safely retry: anything up to and including base OT can be re-run
+//! from scratch on a fresh connection, but once garbled tables have
+//! started flowing the wire labels are one-time-use and a retry would
+//! hand the evaluator a second transcript under the same garbling —
+//! so mid-stream failures are terminal. A peer that stops making
+//! progress inside a phase's deadline becomes a typed
+//! [`Deadline`](RuntimeError::Deadline) instead of a hung thread, and
+//! an overloaded server answers with a typed
+//! [`Busy`](RuntimeError::Busy) carrying the backoff hint it wants
+//! clients to honor.
 
 use std::fmt;
 use std::io;
+
+/// The protocol phase a session failure is attributed to.
+///
+/// Ordering is protocol order; everything strictly before
+/// [`Stream`](SessionPhase::Stream) happens before any garbled table is
+/// on the wire and is therefore safe to retry on a fresh connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SessionPhase {
+    /// Establishing the transport (dial/accept).
+    Connect,
+    /// Service request/ack plus the session header and input labels.
+    Handshake,
+    /// The base-OT exchange for the evaluator's input labels.
+    Ot,
+    /// The garbled-table stream.
+    Stream,
+    /// The output-decode / shared-outputs tail.
+    Output,
+}
+
+impl SessionPhase {
+    /// Stable lowercase label (metrics, log lines, error text).
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionPhase::Connect => "connect",
+            SessionPhase::Handshake => "handshake",
+            SessionPhase::Ot => "ot",
+            SessionPhase::Stream => "stream",
+            SessionPhase::Output => "output",
+        }
+    }
+
+    /// Whether a failure in this phase happened before any garbled
+    /// table flowed — the retry-safety boundary: wire labels are
+    /// one-time-use, so once the stream has started a session must
+    /// never be re-driven under the same garbling.
+    pub fn retry_safe(self) -> bool {
+        self < SessionPhase::Stream
+    }
+}
+
+impl fmt::Display for SessionPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Anything that can go wrong driving a two-party session.
 #[derive(Debug)]
@@ -11,12 +72,79 @@ pub enum RuntimeError {
     /// The peer violated the protocol (bad frame, wrong message order,
     /// mismatched circuit parameters).
     Protocol(String),
+    /// The peer stopped making progress inside the named phase's
+    /// deadline. The session was torn down cleanly instead of hanging.
+    Deadline {
+        /// The phase whose deadline expired.
+        phase: SessionPhase,
+    },
+    /// The server refused the session before any work was done because
+    /// it is at capacity (or draining); retry after the given backoff.
+    Busy {
+        /// The server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A failure attributed to the phase it happened in (what retry
+    /// policies branch on; the source carries the detail).
+    Phased {
+        /// The phase the failure happened in.
+        phase: SessionPhase,
+        /// The underlying failure.
+        source: Box<RuntimeError>,
+    },
 }
 
 impl RuntimeError {
     /// Builds a protocol-violation error.
     pub fn protocol(message: impl Into<String>) -> RuntimeError {
         RuntimeError::Protocol(message.into())
+    }
+
+    /// Builds a typed server-busy refusal with a backoff hint.
+    pub fn busy(retry_after_ms: u64) -> RuntimeError {
+        RuntimeError::Busy { retry_after_ms }
+    }
+
+    /// Attributes this error to a protocol phase. A timed-out I/O
+    /// operation (the kinds socket read/write timeouts produce) becomes
+    /// the typed [`Deadline`](RuntimeError::Deadline) for that phase;
+    /// anything else keeps its detail wrapped under the phase. Errors
+    /// already carrying a phase (or a typed refusal) pass through
+    /// unchanged, so the outermost attribution wins only when the inner
+    /// layer declined to assign one.
+    pub fn in_phase(self, phase: SessionPhase) -> RuntimeError {
+        match self {
+            RuntimeError::Io(e)
+                if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) =>
+            {
+                RuntimeError::Deadline { phase }
+            }
+            e @ (RuntimeError::Deadline { .. }
+            | RuntimeError::Busy { .. }
+            | RuntimeError::Phased { .. }) => e,
+            other => RuntimeError::Phased { phase, source: Box::new(other) },
+        }
+    }
+
+    /// The phase this error is attributed to, if any.
+    pub fn phase(&self) -> Option<SessionPhase> {
+        match self {
+            RuntimeError::Deadline { phase } | RuntimeError::Phased { phase, .. } => Some(*phase),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may retry the whole session on a fresh
+    /// connection after this failure. True for typed busy refusals and
+    /// for failures attributed to a phase before the table stream;
+    /// everything else — including unattributed failures — is treated
+    /// as mid-garbling and must not be retried (labels are
+    /// one-time-use).
+    pub fn retry_safe(&self) -> bool {
+        match self {
+            RuntimeError::Busy { .. } => true,
+            _ => self.phase().is_some_and(SessionPhase::retry_safe),
+        }
     }
 }
 
@@ -25,6 +153,13 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Io(e) => write!(f, "channel i/o error: {e}"),
             RuntimeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            RuntimeError::Deadline { phase } => {
+                write!(f, "deadline exceeded: peer made no progress in the {phase} phase")
+            }
+            RuntimeError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms}ms")
+            }
+            RuntimeError::Phased { phase, source } => write!(f, "{source} (in the {phase} phase)"),
         }
     }
 }
@@ -33,7 +168,8 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Io(e) => Some(e),
-            RuntimeError::Protocol(_) => None,
+            RuntimeError::Phased { source, .. } => Some(source),
+            _ => None,
         }
     }
 }
@@ -41,5 +177,44 @@ impl std::error::Error for RuntimeError {
 impl From<io::Error> for RuntimeError {
     fn from(e: io::Error) -> RuntimeError {
         RuntimeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeouts_become_typed_deadlines_in_their_phase() {
+        let e = RuntimeError::Io(io::Error::new(io::ErrorKind::TimedOut, "slow"));
+        match e.in_phase(SessionPhase::Ot) {
+            RuntimeError::Deadline { phase } => assert_eq!(phase, SessionPhase::Ot),
+            other => panic!("expected a deadline, got {other}"),
+        }
+        let e = RuntimeError::Io(io::Error::new(io::ErrorKind::WouldBlock, "slow"));
+        assert!(matches!(e.in_phase(SessionPhase::Stream), RuntimeError::Deadline { .. }));
+    }
+
+    #[test]
+    fn inner_phase_attribution_wins() {
+        let inner = RuntimeError::protocol("boom").in_phase(SessionPhase::Handshake);
+        let outer = inner.in_phase(SessionPhase::Stream);
+        assert_eq!(outer.phase(), Some(SessionPhase::Handshake));
+        assert!(outer.to_string().contains("boom"), "{outer}");
+        assert!(outer.to_string().contains("handshake"), "{outer}");
+    }
+
+    #[test]
+    fn retry_safety_follows_the_table_stream_boundary() {
+        assert!(RuntimeError::busy(250).retry_safe());
+        assert!(RuntimeError::protocol("x").in_phase(SessionPhase::Connect).retry_safe());
+        assert!(RuntimeError::protocol("x").in_phase(SessionPhase::Handshake).retry_safe());
+        assert!(RuntimeError::protocol("x").in_phase(SessionPhase::Ot).retry_safe());
+        assert!(!RuntimeError::protocol("x").in_phase(SessionPhase::Stream).retry_safe());
+        assert!(!RuntimeError::protocol("x").in_phase(SessionPhase::Output).retry_safe());
+        // Unattributed failures default to not-retryable: without a
+        // phase there is no proof the table stream never started.
+        assert!(!RuntimeError::protocol("x").retry_safe());
+        assert!(!RuntimeError::Io(io::Error::other("x")).retry_safe());
     }
 }

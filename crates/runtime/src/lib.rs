@@ -11,7 +11,8 @@
 //!
 //! | Layer | Contents |
 //! |-------|----------|
-//! | [`channel`] | [`Channel`] trait, [`MemChannel`] (in-process), [`TcpChannel`] (real sockets), traffic accounting |
+//! | [`channel`] | [`Channel`] trait, [`MemChannel`] (in-process), [`TcpChannel`] (real sockets), traffic accounting, per-operation I/O deadlines |
+//! | [`fault`] | [`FaultChannel`]: deterministic, seeded fault injection (delays, corruption, partial writes, disconnects, read stalls) for chaos testing |
 //! | [`wire`] | Framed protocol messages: header, input labels, base-OT flow, table chunks, outputs |
 //! | [`session`] | [`run_garbler`] / [`run_evaluator`] drivers, [`SessionConfig`], [`SessionReport`] (bytes, chunks, peak live wires, AES work, gates/s) |
 //!
@@ -77,15 +78,17 @@
 
 pub mod channel;
 mod error;
+pub mod fault;
 pub mod session;
 pub mod wire;
 
 pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY};
-pub use error::RuntimeError;
+pub use error::{RuntimeError, SessionPhase};
+pub use fault::{FaultChannel, FaultDelay, FaultSpec};
 pub use session::{
     run_evaluator, run_evaluator_with, run_garbler, run_local_session, run_tcp_session,
-    SessionConfig, SessionReport, SessionRole, SessionTelemetry, MAX_PIPELINE_DEPTH,
-    PIPELINE_DEPTH,
+    SessionConfig, SessionDeadlines, SessionReport, SessionRole, SessionTelemetry,
+    MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
 };
 
 // Re-exported so callers can cache lowered plans — and negotiate the

@@ -34,8 +34,64 @@ use haac_telemetry::{Counter, Histogram, SlidingRate};
 use rand::Rng;
 
 use crate::channel::Channel;
-use crate::error::RuntimeError;
+use crate::error::{RuntimeError, SessionPhase};
 use crate::wire::{read_message, write_message, write_tables, Message, SessionHeader};
+
+/// Per-phase progress deadlines a session enforces on its channel.
+///
+/// Each bound is per channel *operation* within the phase (the socket
+/// read/write-timeout model): the handshake budget covers each framed
+/// handshake read/write, the OT budget each OT round trip, and the
+/// chunk budget is the per-chunk progress requirement of the table
+/// stream and the output tail — a peer that ships nothing for a whole
+/// chunk interval is declared stalled. `None` (the default everywhere)
+/// means that phase may block forever, the pre-deadline behavior.
+///
+/// A tripped deadline surfaces as the typed
+/// [`RuntimeError::Deadline`]`{phase}` and the session tears down
+/// cleanly: half-finished slab and pipeline-ring state unwinds with the
+/// driver's early return, scoped stage threads join, and the channel is
+/// dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionDeadlines {
+    /// Budget for each handshake operation (header, input labels; on
+    /// the serving layer also the request/ack exchange).
+    pub handshake: Option<Duration>,
+    /// Budget for each base-OT exchange operation.
+    pub ot: Option<Duration>,
+    /// Per-chunk progress budget for the table stream and the output
+    /// tail.
+    pub chunk: Option<Duration>,
+}
+
+impl SessionDeadlines {
+    /// No deadlines anywhere: every phase may block forever.
+    pub fn none() -> SessionDeadlines {
+        SessionDeadlines::default()
+    }
+
+    /// The budget charged to operations in `phase`.
+    pub fn for_phase(&self, phase: SessionPhase) -> Option<Duration> {
+        match phase {
+            SessionPhase::Connect | SessionPhase::Handshake => self.handshake,
+            SessionPhase::Ot => self.ot,
+            SessionPhase::Stream | SessionPhase::Output => self.chunk,
+        }
+    }
+}
+
+/// Arms the channel's I/O deadline for `phase` (clears it when the
+/// phase has no budget). Arming failures are transport errors in that
+/// phase.
+fn arm_phase<C: Channel + ?Sized>(
+    channel: &mut C,
+    phase: SessionPhase,
+    deadlines: &SessionDeadlines,
+) -> Result<(), RuntimeError> {
+    channel
+        .set_io_deadline(deadlines.for_phase(phase))
+        .map_err(|e| RuntimeError::from(e).in_phase(phase))
+}
 
 /// Which side of the protocol a report describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +145,9 @@ pub struct SessionConfig {
     /// default — skips all live recording; the end-of-session
     /// aggregates in [`SessionReport`] are collected either way.
     pub telemetry: Option<Arc<SessionTelemetry>>,
+    /// Per-phase progress deadlines enforced on the channel (default:
+    /// none — every phase may block forever). See [`SessionDeadlines`].
+    pub deadlines: SessionDeadlines,
 }
 
 impl SessionConfig {
@@ -103,6 +162,7 @@ impl SessionConfig {
             pipeline: true,
             pipeline_depth: None,
             telemetry: None,
+            deadlines: SessionDeadlines::none(),
         }
     }
 
@@ -137,6 +197,7 @@ impl SessionConfig {
             pipeline: true,
             pipeline_depth: None,
             telemetry: None,
+            deadlines: SessionDeadlines::none(),
         }
     }
 
@@ -171,6 +232,13 @@ impl SessionConfig {
     /// across every session run with this config).
     pub fn with_telemetry(mut self, telemetry: Arc<SessionTelemetry>) -> SessionConfig {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Returns the config with per-phase progress deadlines enforced on
+    /// the channel.
+    pub fn with_deadlines(mut self, deadlines: SessionDeadlines) -> SessionConfig {
+        self.deadlines = deadlines;
         self
     }
 
@@ -479,6 +547,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     let start = Instant::now();
     let chunk_tables = config.chunk_tables();
 
+    arm_phase(channel, SessionPhase::Handshake, &config.deadlines)?;
     write_message(
         channel,
         &Message::Header(SessionHeader {
@@ -491,19 +560,23 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
             chunk_tables: chunk_tables as u32,
             reorder: config.reorder(),
         }),
-    )?;
+    )
+    .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
 
     let plan = config.plan.clone();
     let mut garbler = match &plan {
         Some(plan) => StreamingGarbler::with_plan(&plan.program, rng, config.scheme),
         None => StreamingGarbler::new(circuit, rng, config.scheme),
     };
-    write_message(channel, &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)))?;
+    write_message(channel, &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)))
+        .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
 
     // Base OT for the evaluator's input labels.
     let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
+    arm_phase(channel, SessionPhase::Ot, &config.deadlines)?;
     let t = Instant::now();
-    let ot_transfers = ot_send(circuit, &garbler, rng, channel)?;
+    let ot_transfers =
+        ot_send(circuit, &garbler, rng, channel).map_err(|e| e.in_phase(SessionPhase::Ot))?;
     let ot_ns = t.elapsed().as_nanos() as u64;
     if let Some(tel) = live {
         tel.ot_ns.record(ot_ns);
@@ -514,18 +587,29 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     // refills and `write_tables` frames from borrowed slices, so the
     // steady state performs zero per-chunk allocations whether the I/O
     // stage is overlapped or inline.
+    arm_phase(channel, SessionPhase::Stream, &config.deadlines)?;
     let stats = if config.pipeline {
         let (depth, autotune) = config.resolved_pipeline_depth();
-        stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune, live)?
+        stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune, live)
     } else {
-        stream_tables_serial(&mut garbler, channel, chunk_tables, live)?
-    };
+        stream_tables_serial(&mut garbler, channel, chunk_tables, live)
+    }
+    .map_err(|e| e.in_phase(SessionPhase::Stream))?;
 
     let finish = garbler.finish();
-    write_message(channel, &Message::OutputDecode(finish.output_decode))?;
-    channel.flush()?;
+    // The chunk budget stays armed: the output tail is the same
+    // per-operation progress requirement as the stream it follows.
+    (|| -> Result<(), RuntimeError> {
+        write_message(channel, &Message::OutputDecode(finish.output_decode))?;
+        Ok(channel.flush()?)
+    })()
+    .map_err(|e| e.in_phase(SessionPhase::Output))?;
 
-    let Message::Outputs(outputs) = expect_message(channel, "Outputs")? else { unreachable!() };
+    let Message::Outputs(outputs) =
+        expect_message(channel, "Outputs").map_err(|e| e.in_phase(SessionPhase::Output))?
+    else {
+        unreachable!()
+    };
     if outputs.len() != circuit.outputs().len() {
         return Err(RuntimeError::protocol(format!(
             "evaluator shared {} outputs, circuit has {}",
@@ -807,7 +891,12 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     }
     let start = Instant::now();
 
-    let Message::Header(header) = expect_message(channel, "Header")? else { unreachable!() };
+    arm_phase(channel, SessionPhase::Handshake, &config.deadlines)?;
+    let Message::Header(header) =
+        expect_message(channel, "Header").map_err(|e| e.in_phase(SessionPhase::Handshake))?
+    else {
+        unreachable!()
+    };
     validate_header(circuit, &header)?;
     if header.reorder != config.reorder() {
         // Running anyway would not fail fast — it would desynchronize
@@ -819,7 +908,9 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         )));
     }
 
-    let Message::GarblerInputs(garbler_labels) = expect_message(channel, "GarblerInputs")? else {
+    let Message::GarblerInputs(garbler_labels) = expect_message(channel, "GarblerInputs")
+        .map_err(|e| e.in_phase(SessionPhase::Handshake))?
+    else {
         unreachable!()
     };
     if garbler_labels.len() != circuit.garbler_inputs() as usize {
@@ -827,8 +918,10 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     }
 
     let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
+    arm_phase(channel, SessionPhase::Ot, &config.deadlines)?;
     let t = Instant::now();
-    let own_labels = ot_receive(evaluator_bits, rng, channel)?;
+    let own_labels =
+        ot_receive(evaluator_bits, rng, channel).map_err(|e| e.in_phase(SessionPhase::Ot))?;
     let ot_ns = t.elapsed().as_nanos() as u64;
     if let Some(tel) = live {
         tel.ot_ns.record(ot_ns);
@@ -842,24 +935,30 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         None => StreamingEvaluator::new(circuit, input_labels, header.scheme),
     };
 
+    arm_phase(channel, SessionPhase::Stream, &config.deadlines)?;
     let (output_decode, stats) = if config.pipeline {
         let (depth, _) = config.resolved_pipeline_depth();
-        recv_tables_pipelined(&mut evaluator, channel, depth, live)?
+        recv_tables_pipelined(&mut evaluator, channel, depth, live)
     } else {
-        recv_tables_serial(&mut evaluator, channel, live)?
-    };
+        recv_tables_serial(&mut evaluator, channel, live)
+    }
+    .map_err(|e| e.in_phase(SessionPhase::Stream))?;
     if !evaluator.is_done() {
         return Err(RuntimeError::protocol(format!(
             "table stream ended early: consumed {} of {} tables",
             evaluator.tables_consumed(),
             header.num_tables
-        )));
+        ))
+        .in_phase(SessionPhase::Stream));
     }
 
     let tables = evaluator.tables_consumed();
     let finish = evaluator.finish(&output_decode);
-    write_message(channel, &Message::Outputs(finish.outputs.clone()))?;
-    channel.flush()?;
+    (|| -> Result<(), RuntimeError> {
+        write_message(channel, &Message::Outputs(finish.outputs.clone()))?;
+        Ok(channel.flush()?)
+    })()
+    .map_err(|e| e.in_phase(SessionPhase::Output))?;
 
     let channel_stats = channel.stats();
     Ok(SessionReport {
@@ -1291,6 +1390,7 @@ fn run_session_pair<C: Channel + Send>(
 mod tests {
     use super::*;
     use haac_circuit::{from_bits, to_bits, Builder};
+    use rand::SeedableRng as _;
 
     fn adder(width: u32) -> Circuit {
         let mut b = Builder::new();
@@ -1298,6 +1398,65 @@ mod tests {
         let y = b.input_evaluator(width);
         let (s, _) = b.add_words(&x, &y);
         b.finish(s).unwrap()
+    }
+
+    #[test]
+    fn evaluator_deadline_types_a_silent_garbler() {
+        let c = adder(8);
+        let deadlines = SessionDeadlines {
+            handshake: Some(Duration::from_millis(40)),
+            ..SessionDeadlines::none()
+        };
+        let config = SessionConfig::for_circuit(&c).with_deadlines(deadlines);
+        let (mut ours, theirs) = crate::MemChannel::pair();
+        // The peer endpoint stays alive but sends nothing: a stall, not
+        // a disconnect. Without the deadline this would block forever.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let err = run_evaluator_with(&c, &to_bits(1, 8), &mut rng, &config, &mut ours).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Deadline { phase: SessionPhase::Handshake }),
+            "expected a handshake deadline, got {err}"
+        );
+        assert!(err.retry_safe(), "nothing flowed: a retry is safe");
+        drop(theirs);
+    }
+
+    #[test]
+    fn garbler_deadline_types_a_stalled_evaluator() {
+        let c = adder(8);
+        let deadlines = SessionDeadlines {
+            handshake: Some(Duration::from_millis(200)),
+            ot: Some(Duration::from_millis(40)),
+            chunk: Some(Duration::from_millis(40)),
+        };
+        let config = SessionConfig::for_circuit(&c).with_deadlines(deadlines);
+        let (mut ours, theirs) = crate::MemChannel::pair();
+        // The peer accepts the handshake traffic (buffered in the
+        // queue) but never answers the base-OT round trip.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let err = run_garbler(&c, &to_bits(1, 8), &mut rng, &config, &mut ours).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Deadline { phase: SessionPhase::Ot }),
+            "expected an OT deadline, got {err}"
+        );
+        drop(theirs);
+    }
+
+    #[test]
+    fn undeadlined_configs_compute_identically() {
+        // Deadlines generous enough never to trip must not change the
+        // transcript or the outputs.
+        let c = adder(16);
+        let deadlines = SessionDeadlines {
+            handshake: Some(Duration::from_secs(30)),
+            ot: Some(Duration::from_secs(30)),
+            chunk: Some(Duration::from_secs(30)),
+        };
+        let config = SessionConfig::for_circuit(&c).with_deadlines(deadlines);
+        let (g, e) =
+            run_local_session(&c, &to_bits(1234, 16), &to_bits(4321, 16), 3, &config).unwrap();
+        assert_eq!(from_bits(&g.outputs), 5555);
+        assert_eq!(g.outputs, e.outputs);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use haac_runtime::{ReorderKind, SessionConfig, StreamingPlan};
 use haac_workloads::{build, Scale, Workload, WorkloadKind};
@@ -57,6 +57,16 @@ impl CircuitCache {
         CircuitCache::default()
     }
 
+    /// The entry map, recovering from lock poisoning: entries are
+    /// inserted fully built (an `Arc` swap is the only mutation under
+    /// the lock), so a session that panicked while holding the guard
+    /// cannot have left a torn entry behind — serving must keep going.
+    fn entries(
+        &self,
+    ) -> MutexGuard<'_, HashMap<(WorkloadKind, Scale, ReorderKind), Arc<CachedWorkload>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Fetches (or builds, outside the lock) the prepared workload,
     /// lowered with the requested schedule.
     pub fn get(
@@ -66,7 +76,7 @@ impl CircuitCache {
         reorder: ReorderKind,
     ) -> Arc<CachedWorkload> {
         let start = std::time::Instant::now();
-        if let Some(entry) = self.entries.lock().expect("cache lock").get(&(kind, scale, reorder)) {
+        if let Some(entry) = self.entries().get(&(kind, scale, reorder)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.hit_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return Arc::clone(entry);
@@ -78,11 +88,18 @@ impl CircuitCache {
         let workload = build(kind, scale);
         let config = SessionConfig::for_circuit_with(&workload.circuit, reorder);
         let built = Arc::new(CachedWorkload { workload, config });
-        let mut entries = self.entries.lock().expect("cache lock");
+        let mut entries = self.entries();
         let entry = Arc::clone(entries.entry((kind, scale, reorder)).or_insert(built));
         drop(entries);
         self.miss_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         entry
+    }
+
+    /// Whether the triple is already resident — the admission layer's
+    /// cold/warm probe: answering never builds, so load-shed decisions
+    /// cost a lock acquire, not a synthesis.
+    pub fn contains(&self, kind: WorkloadKind, scale: Scale, reorder: ReorderKind) -> bool {
+        self.entries().contains_key(&(kind, scale, reorder))
     }
 
     /// Lookups served from the cache so far.
@@ -114,7 +131,7 @@ impl CircuitCache {
 
     /// Number of distinct prepared workloads resident.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.entries().len()
     }
 
     /// Whether nothing has been cached yet.
@@ -155,6 +172,22 @@ mod tests {
         // The plan actually describes the cached circuit.
         assert_eq!(cold.plan().and_count(), cold.workload.circuit.num_and_gates());
         assert_eq!(cold.config.window.sww_wires(), cold.plan().window.sww_wires());
+    }
+
+    #[test]
+    fn cache_survives_a_poisoned_lock() {
+        let cache = Arc::new(CircuitCache::new());
+        cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.entries.lock().unwrap();
+            panic!("die holding the cache lock");
+        })
+        .join();
+        assert!(cache.contains(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline));
+        let again = cache.get(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+        assert_eq!(again.plan().reorder, ReorderKind::Baseline);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod request;
 pub mod server;
 
 pub use cache::{CachedWorkload, CircuitCache};
-pub use metrics::ServerMetrics;
+pub use metrics::{RefusalReason, ServerMetrics};
 pub use registry::{percentile, ServerReport, SessionId, SessionOutcome, SessionRegistry};
 pub use request::SessionRequest;
 pub use server::{choose_reorder, Server, ServerConfig};

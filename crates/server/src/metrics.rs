@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use haac_gc::PoolStats;
 use haac_runtime::{ReorderKind, SessionTelemetry};
-use haac_telemetry::{Gauge, GaugeF, Registry, SlidingRate};
+use haac_telemetry::{Counter, Gauge, GaugeF, Registry, SlidingRate};
 
 use crate::cache::CircuitCache;
 use crate::registry::SessionRegistry;
@@ -43,6 +43,34 @@ pub struct ServerMetrics {
     cache_hit_ns: Arc<Gauge>,
     cache_miss_ns: Arc<Gauge>,
     gates_rate: Arc<SlidingRate>,
+    sessions_admitted: Arc<Counter>,
+    refusals_queue_full: Arc<Counter>,
+    refusals_cold_shed: Arc<Counter>,
+    refusals_draining: Arc<Counter>,
+}
+
+/// Why admission control turned a connection away — the label on the
+/// busy-refusal counter, and the reason the server logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The accept queue was at its hard limit.
+    QueueFull,
+    /// Overloaded and the request needed a cold synthesis — warm
+    /// (cache-resident) work is preferred under pressure.
+    ColdShed,
+    /// The server is draining toward shutdown.
+    Draining,
+}
+
+impl RefusalReason {
+    /// The metric-label spelling of the reason.
+    pub fn label(self) -> &'static str {
+        match self {
+            RefusalReason::QueueFull => "queue_full",
+            RefusalReason::ColdShed => "cold_shed",
+            RefusalReason::Draining => "draining",
+        }
+    }
 }
 
 impl ServerMetrics {
@@ -61,6 +89,13 @@ impl ServerMetrics {
             cache_hit_ns: registry.gauge("haac_cache_hit_ns_total", &[]),
             cache_miss_ns: registry.gauge("haac_cache_miss_ns_total", &[]),
             gates_rate: registry.rate("haac_gates_per_sec", &[]),
+            sessions_admitted: registry.counter("haac_sessions_admitted_total", &[]),
+            refusals_queue_full: registry
+                .counter("haac_busy_refusals_total", &[("reason", "queue_full")]),
+            refusals_cold_shed: registry
+                .counter("haac_busy_refusals_total", &[("reason", "cold_shed")]),
+            refusals_draining: registry
+                .counter("haac_busy_refusals_total", &[("reason", "draining")]),
             registry,
         }
     }
@@ -91,6 +126,32 @@ impl ServerMetrics {
             tables: self.registry.counter("haac_tables_total", &[]),
             table_rate: Arc::clone(&self.gates_rate),
         })
+    }
+
+    /// Records a connection that cleared admission control.
+    pub fn record_admission(&self) {
+        self.sessions_admitted.inc();
+    }
+
+    /// Records a busy refusal, labeled by the reason.
+    pub fn record_refusal(&self, reason: RefusalReason) {
+        match reason {
+            RefusalReason::QueueFull => self.refusals_queue_full.inc(),
+            RefusalReason::ColdShed => self.refusals_cold_shed.inc(),
+            RefusalReason::Draining => self.refusals_draining.inc(),
+        }
+    }
+
+    /// Connections that cleared admission control so far.
+    pub fn admitted(&self) -> u64 {
+        self.sessions_admitted.get()
+    }
+
+    /// Busy refusals so far, summed across reasons.
+    pub fn refusals(&self) -> u64 {
+        self.refusals_queue_full.get()
+            + self.refusals_cold_shed.get()
+            + self.refusals_draining.get()
     }
 
     /// Per-workload session accounting, recorded when a served session
@@ -162,6 +223,26 @@ mod tests {
             "schedules are distinct series"
         );
         assert!(Arc::ptr_eq(&a.tables, &other.tables), "table counter is service-wide");
+    }
+
+    #[test]
+    fn admission_counters_render_with_reason_labels() {
+        let metrics = ServerMetrics::new();
+        metrics.record_admission();
+        metrics.record_admission();
+        metrics.record_refusal(RefusalReason::QueueFull);
+        metrics.record_refusal(RefusalReason::ColdShed);
+        assert_eq!(metrics.admitted(), 2);
+        assert_eq!(metrics.refusals(), 2);
+        let samples = haac_telemetry::parse(&metrics.render()).expect("snapshot must parse");
+        let queue_full = samples
+            .iter()
+            .find(|s| {
+                s.name == "haac_busy_refusals_total" && s.label("reason") == Some("queue_full")
+            })
+            .expect("queue_full refusal series");
+        assert_eq!(queue_full.value, 1.0);
+        assert!(samples.iter().any(|s| s.name == "haac_sessions_admitted_total" && s.value == 2.0));
     }
 
     #[test]

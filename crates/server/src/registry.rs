@@ -9,7 +9,7 @@
 //! window, and p50/p99 session wall times.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use haac_runtime::SessionReport;
@@ -69,9 +69,19 @@ impl SessionRegistry {
         SessionRegistry::default()
     }
 
+    /// The registry state, recovering from lock poisoning. Every
+    /// mutation under this lock is a single-step insert/remove/push —
+    /// there is no multi-field invariant a mid-critical-section panic
+    /// could tear — so a session thread that dies while holding the
+    /// guard must not take accounting (and with it drain/shutdown)
+    /// down with it.
+    fn locked(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a new in-flight session and returns its id.
     pub fn register(&self, workload: &str) -> SessionId {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.locked();
         inner.next_id += 1;
         let id = SessionId(inner.next_id);
         let now = Instant::now();
@@ -84,7 +94,7 @@ impl SessionRegistry {
 
     /// Renames an in-flight session once its request names a workload.
     pub fn set_workload(&self, id: SessionId, workload: &str) {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.locked();
         if let Some(active) = inner.active.get_mut(&id.0) {
             active.workload = workload.to_string();
         }
@@ -92,7 +102,7 @@ impl SessionRegistry {
 
     /// Moves a session from active to completed (exactly once per id).
     pub fn complete(&self, id: SessionId, result: Result<SessionReport, String>) {
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.locked();
         let Some(active) = inner.active.remove(&id.0) else {
             debug_assert!(false, "{id} completed twice or never registered");
             return;
@@ -112,30 +122,31 @@ impl SessionRegistry {
 
     /// Sessions currently in flight (queued or running).
     pub fn active_sessions(&self) -> usize {
-        self.inner.lock().expect("registry lock").active.len()
+        self.locked().active.len()
     }
 
     /// Sessions registered so far, finished or not.
     pub fn total_sessions(&self) -> u64 {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = self.locked();
         inner.completed.len() as u64 + inner.active.len() as u64
     }
 
     /// A snapshot of every finished session.
     pub fn outcomes(&self) -> Vec<SessionOutcome> {
-        self.inner.lock().expect("registry lock").completed.clone()
+        self.locked().completed.clone()
     }
 
     /// Blocks until no session is in flight (or the deadline passes);
     /// returns whether the registry drained.
     pub fn wait_drained(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.locked();
         while !inner.active.is_empty() {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return false;
             };
-            let (guard, _) = self.drained.wait_timeout(inner, remaining).expect("registry lock");
+            let (guard, _) =
+                self.drained.wait_timeout(inner, remaining).unwrap_or_else(PoisonError::into_inner);
             inner = guard;
         }
         true
@@ -143,7 +154,7 @@ impl SessionRegistry {
 
     /// Aggregates the completed outcomes into a [`ServerReport`].
     pub fn report(&self) -> ServerReport {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = self.locked();
         let completed: Vec<&SessionOutcome> = inner.completed.iter().collect();
         let succeeded: Vec<&SessionOutcome> =
             completed.iter().copied().filter(|o| o.result.is_ok()).collect();
@@ -248,6 +259,25 @@ mod tests {
         let registry = SessionRegistry::new();
         let _id = registry.register("ReLU");
         assert!(!registry.wait_drained(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn accounting_survives_a_poisoned_lock() {
+        let registry = std::sync::Arc::new(SessionRegistry::new());
+        let id = registry.register("DotProd");
+        let poisoner = std::sync::Arc::clone(&registry);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("die holding the registry lock");
+        })
+        .join();
+        // Completion, queries, and drain all still work on the
+        // recovered guard — a dead session thread cannot wedge
+        // shutdown.
+        registry.complete(id, Err("peer vanished".into()));
+        assert_eq!(registry.active_sessions(), 0);
+        assert!(registry.wait_drained(Duration::from_secs(1)));
+        assert_eq!(registry.report().failed, 1);
     }
 
     #[test]

@@ -15,14 +15,24 @@
 //! explicit lengths, and hard caps on every untrusted length so a
 //! hostile request cannot drive allocation.
 
+use std::time::Instant;
+
 use haac_runtime::wire::{reorder_from_tag, reorder_tag};
-use haac_runtime::{Channel, ReorderKind, RuntimeError};
+use haac_runtime::{Channel, ReorderKind, RuntimeError, SessionPhase};
 use haac_workloads::Scale;
 
 /// Frame tag of a session request (client → server).
 const REQUEST_TAG: u8 = 0x71;
 /// Frame tag of the server's ack/refusal (server → client).
 const ACK_TAG: u8 = 0x61;
+
+/// Ack status byte: the session may proceed.
+const ACK_OK: u8 = 0;
+/// Ack status byte: refused with a reason message.
+const ACK_REFUSED: u8 = 1;
+/// Ack status byte: admission control turned the session away — the
+/// message carries a retry hint, and the refusal is always retry-safe.
+const ACK_BUSY: u8 = 2;
 
 /// Longest accepted workload name (the VIP names are all ≤ 8 bytes).
 const MAX_NAME: usize = 64;
@@ -115,14 +125,62 @@ pub fn write_request<C: Channel + ?Sized>(
     Ok(())
 }
 
-/// Receives a session request (blocking).
+/// Receives a session request (blocking, no deadline).
 ///
 /// # Errors
 ///
 /// Fails on transport errors or malformed frames.
 pub fn read_request<C: Channel + ?Sized>(channel: &mut C) -> Result<SessionRequest, RuntimeError> {
+    read_request_deadline(channel, None)
+}
+
+/// Re-arms the channel's I/O timeout with the budget left until
+/// `deadline`; an already-expired budget is itself a handshake
+/// deadline error.
+fn arm_remaining<C: Channel + ?Sized>(
+    channel: &mut C,
+    deadline: Option<Instant>,
+) -> Result<(), RuntimeError> {
+    let Some(deadline) = deadline else {
+        return Ok(());
+    };
+    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+        return Err(RuntimeError::Deadline { phase: SessionPhase::Handshake });
+    };
+    channel.set_io_deadline(Some(remaining))?;
+    Ok(())
+}
+
+/// Receives a session request under a whole-handshake wall-clock
+/// deadline.
+///
+/// The *remaining* budget is re-armed as the channel's I/O timeout
+/// before every read, so a peer dripping the request one frame at a
+/// time — each arriving just under a fixed per-read timeout — still
+/// cannot stretch the handshake past `deadline` (the slow-loris hole a
+/// plain socket timeout leaves open). On success the I/O timeout is
+/// disarmed again; the session layer re-arms its own per-phase
+/// deadlines from there.
+///
+/// # Errors
+///
+/// Fails on transport errors or malformed frames; with a deadline set,
+/// errors are attributed to [`SessionPhase::Handshake`] and an expired
+/// or overrun budget is a typed [`RuntimeError::Deadline`].
+pub fn read_request_deadline<C: Channel + ?Sized>(
+    channel: &mut C,
+    deadline: Option<Instant>,
+) -> Result<SessionRequest, RuntimeError> {
+    let wrap = move |e: RuntimeError| {
+        if deadline.is_some() {
+            e.in_phase(SessionPhase::Handshake)
+        } else {
+            e
+        }
+    };
+    arm_remaining(channel, deadline)?;
     let mut head = [0u8; 2];
-    channel.recv_exact(&mut head)?;
+    channel.recv_exact(&mut head).map_err(|e| wrap(e.into()))?;
     if head[0] != REQUEST_TAG {
         return Err(RuntimeError::protocol(format!(
             "expected a session request, received frame tag {}",
@@ -135,18 +193,23 @@ pub fn read_request<C: Channel + ?Sized>(channel: &mut C) -> Result<SessionReque
             "workload name length {name_len} out of range"
         )));
     }
+    arm_remaining(channel, deadline)?;
     let mut name = vec![0u8; name_len];
-    channel.recv_exact(&mut name)?;
+    channel.recv_exact(&mut name).map_err(|e| wrap(e.into()))?;
     let workload = String::from_utf8(name)
         .map_err(|_| RuntimeError::protocol("workload name is not UTF-8"))?;
+    arm_remaining(channel, deadline)?;
     let mut tail = [0u8; 10];
-    channel.recv_exact(&mut tail)?;
+    channel.recv_exact(&mut tail).map_err(|e| wrap(e.into()))?;
     let scale = scale_from_tag(tail[0])?;
     let reorder = match tail[1] {
         AUTO_REORDER_TAG => None,
         tag => Some(reorder_from_tag(tag)?),
     };
     let seed = u64::from_le_bytes(tail[2..10].try_into().expect("8 bytes"));
+    if deadline.is_some() {
+        channel.set_io_deadline(None)?;
+    }
     Ok(SessionRequest { workload, scale, reorder, seed })
 }
 
@@ -169,9 +232,29 @@ pub fn write_ack<C: Channel + ?Sized>(
             (0, &bytes[..bytes.len().min(MAX_ACK_MESSAGE)])
         }
     };
-    channel.send(&[ACK_TAG, u8::from(verdict.is_err()), reorder])?;
+    let status = if verdict.is_err() { ACK_REFUSED } else { ACK_OK };
+    channel.send(&[ACK_TAG, status, reorder])?;
     channel.send(&(message.len() as u16).to_le_bytes())?;
     channel.send(message)?;
+    channel.flush()?;
+    Ok(())
+}
+
+/// Sends a busy refusal — admission control turning a connection away
+/// before any handshake state exists — carrying the server's retry
+/// hint, and flushes. The client surfaces it as the always-retry-safe
+/// [`RuntimeError::Busy`].
+///
+/// # Errors
+///
+/// Fails on transport errors.
+pub fn write_busy<C: Channel + ?Sized>(
+    channel: &mut C,
+    retry_after_ms: u64,
+) -> Result<(), RuntimeError> {
+    channel.send(&[ACK_TAG, ACK_BUSY, 0])?;
+    channel.send(&8u16.to_le_bytes())?;
+    channel.send(&retry_after_ms.to_le_bytes())?;
     channel.flush()?;
     Ok(())
 }
@@ -199,7 +282,14 @@ pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<ReorderKind, Run
     let mut message = vec![0u8; len];
     channel.recv_exact(&mut message)?;
     match head[1] {
-        0 => reorder_from_tag(head[2]),
+        ACK_OK => reorder_from_tag(head[2]),
+        ACK_BUSY => {
+            let retry_after_ms = message
+                .get(..8)
+                .map(|bytes| u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+                .unwrap_or(0);
+            Err(RuntimeError::Busy { retry_after_ms })
+        }
         _ => Err(RuntimeError::protocol(format!(
             "server refused the session: {}",
             String::from_utf8_lossy(&message)
@@ -254,6 +344,59 @@ mod tests {
         write_ack(&mut a, Err("no such workload")).unwrap();
         let err = read_ack(&mut b).unwrap_err();
         assert!(err.to_string().contains("no such workload"), "{err}");
+    }
+
+    #[test]
+    fn busy_refusals_round_trip_with_the_retry_hint() {
+        let (mut a, mut b) = MemChannel::pair();
+        write_busy(&mut a, 250).unwrap();
+        let err = read_ack(&mut b).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Busy { retry_after_ms: 250 }),
+            "expected a typed busy refusal, got: {err}"
+        );
+        assert!(err.retry_safe(), "busy refusals precede all handshake state");
+    }
+
+    #[test]
+    fn handshake_deadline_cuts_off_a_silent_client() {
+        let (_a, mut b) = MemChannel::pair();
+        let deadline = Instant::now() + std::time::Duration::from_millis(40);
+        let err = read_request_deadline(&mut b, Some(deadline)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Deadline { phase: SessionPhase::Handshake }),
+            "expected a handshake deadline, got: {err}"
+        );
+    }
+
+    #[test]
+    fn handshake_deadline_cuts_off_a_slow_loris_drip() {
+        // The peer sends a valid head frame and then stalls forever:
+        // each *individual* read stays live, but the whole-handshake
+        // wall clock still expires because the remaining budget is
+        // re-armed before every read.
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[REQUEST_TAG, 4]).unwrap();
+        a.flush().unwrap();
+        let start = Instant::now();
+        let deadline = start + std::time::Duration::from_millis(60);
+        let err = read_request_deadline(&mut b, Some(deadline)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Deadline { phase: SessionPhase::Handshake }),
+            "expected a handshake deadline, got: {err}"
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "the drip must not stretch the handshake"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_reading() {
+        let (_a, mut b) = MemChannel::pair();
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let err = read_request_deadline(&mut b, Some(deadline)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Deadline { phase: SessionPhase::Handshake }));
     }
 
     #[test]

@@ -18,23 +18,23 @@ use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use haac_gc::EnginePool;
 use haac_runtime::{
-    run_garbler, Channel, MemChannel, ReorderKind, RuntimeError, SessionReport, TcpChannel,
-    DEFAULT_MEM_CHANNEL_CAPACITY,
+    run_garbler, Channel, MemChannel, ReorderKind, RuntimeError, SessionDeadlines, SessionReport,
+    TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
 };
 use haac_workloads::WorkloadKind;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::cache::CircuitCache;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{RefusalReason, ServerMetrics};
 use crate::registry::{ServerReport, SessionId, SessionRegistry};
-use crate::request::{read_request, write_ack};
+use crate::request::{read_request_deadline, write_ack, write_busy};
 
-/// Sizing and draining knobs for a [`Server`].
+/// Sizing, draining, and admission-control knobs for a [`Server`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Gate-engine worker threads shared by all sessions.
@@ -44,6 +44,25 @@ pub struct ServerConfig {
     pub mem_capacity: usize,
     /// How long [`Server::shutdown`] waits for in-flight sessions.
     pub drain_timeout: Duration,
+    /// Hard cap on queued (not yet running) sessions: a connection
+    /// arriving with the queue at this depth is refused pre-handshake
+    /// with a typed busy ack instead of being accepted into an
+    /// ever-growing backlog.
+    pub accept_queue_limit: usize,
+    /// Soft pressure threshold for graceful degradation: with at least
+    /// this many sessions queued, requests that would need a *cold*
+    /// circuit synthesis are shed (busy ack) while warm,
+    /// cache-resident work keeps being admitted. Synthesis is the
+    /// expensive, latency-unbounded part of a session; under pressure
+    /// the server keeps serving what it can serve fast.
+    pub shed_cold_above: usize,
+    /// The retry hint carried by every busy refusal.
+    pub busy_retry_after: Duration,
+    /// Per-phase I/O deadlines for every served session (and the
+    /// whole-handshake wall-clock budget for reading the request), so
+    /// one silent or dripping peer cannot pin a gate-engine worker
+    /// forever.
+    pub deadlines: SessionDeadlines,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +71,14 @@ impl Default for ServerConfig {
             workers: 4,
             mem_capacity: DEFAULT_MEM_CHANNEL_CAPACITY,
             drain_timeout: Duration::from_secs(120),
+            accept_queue_limit: 64,
+            shed_cold_above: 32,
+            busy_retry_after: Duration::from_millis(250),
+            deadlines: SessionDeadlines {
+                handshake: Some(Duration::from_secs(10)),
+                ot: Some(Duration::from_secs(60)),
+                chunk: Some(Duration::from_secs(60)),
+            },
         }
     }
 }
@@ -63,6 +90,11 @@ struct ServerShared {
     cache: CircuitCache,
     metrics: ServerMetrics,
     accepting: AtomicBool,
+    /// Drain-aware shutdown: set before the listeners stop, it turns
+    /// every *new* connection into a polite busy refusal while
+    /// in-flight sessions run to completion.
+    draining: AtomicBool,
+    config: ServerConfig,
 }
 
 /// The server's per-workload schedule policy, applied when a client
@@ -132,6 +164,8 @@ impl Server {
                 cache: CircuitCache::new(),
                 metrics: ServerMetrics::new(),
                 accepting: AtomicBool::new(true),
+                draining: AtomicBool::new(false),
+                config,
             }),
             config,
             listeners: Vec::new(),
@@ -169,13 +203,18 @@ impl Server {
     }
 
     /// Accepts an already-connected evaluator channel: registers a
-    /// session and queues it on the engine pool. Returns immediately.
-    pub fn submit(&self, channel: Box<dyn Channel + Send>) -> SessionId {
+    /// session and queues it on the engine pool. Returns immediately
+    /// with the session id, or `None` when admission control refused
+    /// the connection (queue at its hard limit, or the server is
+    /// draining) — the refusal has already been written onto the
+    /// channel as a typed busy ack, and nothing was registered.
+    pub fn submit(&self, channel: Box<dyn Channel + Send>) -> Option<SessionId> {
         submit_on(&self.pool, &self.shared, channel)
     }
 
     /// Connects an in-memory client: the server end becomes a queued
-    /// session, the returned end is the client's channel.
+    /// session, the returned end is the client's channel. If admission
+    /// control refuses, the returned channel yields the busy ack.
     pub fn connect(&self) -> MemChannel {
         let (client_end, server_end) = MemChannel::pair_bounded(self.config.mem_capacity);
         self.submit(Box::new(server_end));
@@ -229,12 +268,28 @@ impl Server {
         self.shared.registry.report()
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight sessions (up
-    /// to `drain_timeout`), join the engine pool, and return the final
-    /// aggregate report. If sessions are still stuck past the deadline
-    /// the pool is leaked rather than hanging the caller; the report's
-    /// `active` field says so.
+    /// Enters drain mode: every *new* connection is refused with a
+    /// typed busy ack (reason `draining`) while already-admitted
+    /// sessions run to completion. Idempotent;
+    /// [`shutdown`](Server::shutdown) calls it first, but callers can
+    /// drain early (e.g. on a deploy signal) and keep serving
+    /// in-flight work before actually shutting down.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the server is refusing new sessions ahead of shutdown.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admitting (drain mode), stop accepting,
+    /// drain in-flight sessions (up to `drain_timeout`), join the
+    /// engine pool, and return the final aggregate report. If sessions
+    /// are still stuck past the deadline the pool is leaked rather
+    /// than hanging the caller; the report's `active` field says so.
     pub fn shutdown(mut self) -> ServerReport {
+        self.begin_drain();
         self.shared.accepting.store(false, Ordering::SeqCst);
         for listener in self.listeners.drain(..) {
             // Wake the blocking accept with a throwaway connection. A
@@ -318,34 +373,67 @@ fn metrics_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<Ser
     }
 }
 
+/// Refuses a connection pre-registration: writes the typed busy ack
+/// (best-effort — the peer may already be gone) and counts it. The
+/// connection never enters the registry, so refusals cannot block
+/// drain and never show up as failed sessions.
+fn refuse(shared: &ServerShared, channel: &mut (dyn Channel + Send), reason: RefusalReason) {
+    shared.metrics.record_refusal(reason);
+    let _ = write_busy(channel, shared.config.busy_retry_after.as_millis() as u64);
+}
+
 fn submit_on(
-    pool: &EnginePool,
+    pool: &Arc<EnginePool>,
     shared: &Arc<ServerShared>,
     channel: Box<dyn Channel + Send>,
-) -> SessionId {
+) -> Option<SessionId> {
+    let mut channel = channel;
+    // Admission control, decided before any handshake state exists (the
+    // request has not been read — both checks are request-free), so a
+    // refusal costs one ack frame, not a worker.
+    if shared.draining.load(Ordering::SeqCst) {
+        refuse(shared, &mut *channel, RefusalReason::Draining);
+        return None;
+    }
+    if pool.stats().queued_jobs >= shared.config.accept_queue_limit {
+        refuse(shared, &mut *channel, RefusalReason::QueueFull);
+        return None;
+    }
+    shared.metrics.record_admission();
     let id = shared.registry.register("?");
     let shared = Arc::clone(shared);
+    // The job must not keep the pool alive (the queue holding a closure
+    // that owns the pool would be a cycle); it only needs the queue
+    // depth for the cold-shed probe, so a weak handle suffices.
+    let pool_probe = Arc::downgrade(pool);
     pool.spawn(move || {
         let mut channel = channel;
         // One poisoned session must not take down the server: protocol
         // errors and panics alike end as a recorded failed outcome.
-        let outcome = catch_unwind(AssertUnwindSafe(|| session_body(&shared, id, &mut *channel)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            session_body(&shared, &pool_probe, id, &mut *channel)
+        }));
         let result = match outcome {
             Ok(result) => result.map_err(|e| e.to_string()),
             Err(_) => Err("session panicked (contained by the worker)".to_string()),
         };
         shared.registry.complete(id, result);
     });
-    id
+    Some(id)
 }
 
 /// One full garbler-side session: request → cache fetch → ack → GC.
 fn session_body(
     shared: &ServerShared,
+    pool: &Weak<EnginePool>,
     id: SessionId,
     channel: &mut (dyn Channel + Send),
 ) -> Result<SessionReport, RuntimeError> {
-    let request = read_request(channel)?;
+    // The whole-handshake budget runs from job start: a connection that
+    // will not (or only drips) its request is cut off with a typed
+    // deadline instead of pinning this worker.
+    let handshake_deadline = shared.config.deadlines.handshake.map(|d| Instant::now() + d);
+    let request = read_request_deadline(channel, handshake_deadline)?;
     let Some(kind) = WorkloadKind::from_name(&request.workload) else {
         let reason = format!("unknown workload {:?}", request.workload);
         let _ = write_ack(channel, Err(&reason));
@@ -356,11 +444,26 @@ fn session_body(
     // per-workload policy for a negotiated request. Either way the ack
     // advertises what the session will actually run.
     let reorder = request.reorder.unwrap_or_else(|| choose_reorder(kind));
+    // Graceful degradation under pressure: when the backlog is deep,
+    // shed the requests that would pay a cold synthesis and keep
+    // serving warm cache-resident work at full speed. (The probe is
+    // request-aware, so it runs here — after the request is read — and
+    // not at admission time.)
+    let queued = pool.upgrade().map_or(0, |p| p.stats().queued_jobs);
+    if queued >= shared.config.shed_cold_above
+        && !shared.cache.contains(kind, request.scale, reorder)
+    {
+        shared.metrics.record_refusal(RefusalReason::ColdShed);
+        let retry_after_ms = shared.config.busy_retry_after.as_millis() as u64;
+        let _ = write_busy(channel, retry_after_ms);
+        return Err(RuntimeError::busy(retry_after_ms));
+    }
     let cached = shared.cache.get(kind, request.scale, reorder);
     write_ack(channel, Ok(reorder))?;
 
     let telemetry = shared.metrics.session_telemetry(kind.name(), reorder);
-    let config = cached.config.clone().with_telemetry(telemetry);
+    let config =
+        cached.config.clone().with_telemetry(telemetry).with_deadlines(shared.config.deadlines);
     let session_start = Instant::now();
     let mut rng = StdRng::seed_from_u64(request.seed);
     let report = run_garbler(

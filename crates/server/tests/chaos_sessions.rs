@@ -1,0 +1,239 @@
+//! Chaos and admission-control integration tests.
+//!
+//! The robustness contract of the serving layer, pinned end to end:
+//! a disconnect at *any* message boundary is a typed, prompt failure
+//! that leaves the registry drained and the pool serving; admission
+//! control refuses with typed busy acks (hard queue limit, cold-work
+//! shedding under pressure, drain mode) instead of accepting work it
+//! cannot finish; and a slow-loris handshake is cut by the wall-clock
+//! deadline rather than pinning a gate-engine worker.
+
+use std::time::{Duration, Instant};
+
+use haac_runtime::{Channel as _, FaultChannel, FaultSpec, RuntimeError, SessionDeadlines};
+use haac_server::{client, Server, ServerConfig, SessionRequest};
+use haac_workloads::Scale;
+
+fn request(name: &str, seed: u64) -> SessionRequest {
+    SessionRequest::new(name, Scale::Small, seed)
+}
+
+/// One server config used across the chaos tests: small pool, short
+/// handshake deadline so stalled sessions fail in test time.
+fn chaos_config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        deadlines: SessionDeadlines {
+            handshake: Some(Duration::from_secs(5)),
+            ot: Some(Duration::from_secs(5)),
+            chunk: Some(Duration::from_secs(5)),
+        },
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn disconnect_at_every_message_boundary_is_typed_and_drains() {
+    let server = Server::new(chaos_config(2));
+    let (workload, config) =
+        client::prepare(haac_workloads::WorkloadKind::DotProduct, Scale::Small);
+    let req = request("DotProd", 7);
+
+    // Calibrate: one clean run through a fault-free FaultChannel counts
+    // the client-side message boundaries (receives + non-empty
+    // flushes) the sweep below will cut at.
+    let mut clean = FaultChannel::new(server.connect(), FaultSpec::default(), 1);
+    client::run_session_with(&mut clean, &req, &workload, &config)
+        .expect("fault-free wrapper must be transparent");
+    let total_ops = clean.ops();
+    assert!(total_ops > 4, "a session must cross several message boundaries, got {total_ops}");
+
+    // Sweep the boundaries (strided to bound test time, endpoints
+    // always included): every cut must surface as a typed error
+    // promptly — never a hang, never a panic.
+    let stride = (total_ops / 32).max(1);
+    let mut cuts: Vec<u64> = (0..total_ops).step_by(stride as usize).collect();
+    cuts.extend([1, total_ops - 1]);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut healthy = 1u64; // the calibration session
+    for &cut in &cuts {
+        let start = Instant::now();
+        let mut faulty = FaultChannel::new(server.connect(), FaultSpec::cut_at_op(cut), cut);
+        let err = client::run_session_with(&mut faulty, &req, &workload, &config)
+            .expect_err("a cut session must fail");
+        assert!(faulty.is_cut(), "cut {cut} never fired (session has {total_ops} ops)");
+        assert!(!err.to_string().is_empty());
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "cut {cut} took {:?} — deadlines must bound the failure",
+            start.elapsed()
+        );
+    }
+
+    // The pool still serves after the whole sweep.
+    let mut channel = server.connect();
+    client::run_session_with(&mut channel, &req, &workload, &config)
+        .expect("the server must keep serving after the sweep");
+    healthy += 1;
+
+    assert!(
+        server.registry().wait_drained(Duration::from_secs(60)),
+        "every cut session must complete (as a failure), not linger"
+    );
+    for outcome in server.registry().outcomes() {
+        if let Err(failure) = &outcome.result {
+            assert!(!failure.contains("panicked"), "no session may panic: {failure}");
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.active, 0, "registry must drain empty");
+    assert_eq!(report.completed, healthy);
+    // A cut before the client's first flush can abort the session
+    // before any request reaches the server (the server then just sees
+    // a clean disconnect) — so failed is bounded by the sweep, not
+    // equal to it.
+    assert!(report.failed <= cuts.len() as u64);
+}
+
+#[test]
+fn hard_full_accept_queue_refuses_with_typed_busy() {
+    // accept_queue_limit 0: every connection is refused pre-handshake.
+    let server = Server::new(ServerConfig { accept_queue_limit: 0, ..chaos_config(1) });
+    let (workload, config) =
+        client::prepare(haac_workloads::WorkloadKind::DotProduct, Scale::Small);
+    let mut channel = server.connect();
+    let err = client::run_session_with(&mut channel, &request("DotProd", 1), &workload, &config)
+        .expect_err("a hard-full queue must refuse");
+    let RuntimeError::Busy { retry_after_ms } = err else {
+        panic!("expected a typed busy refusal, got: {err}");
+    };
+    assert_eq!(retry_after_ms, 250, "the default retry hint rides the ack");
+    assert!(RuntimeError::busy(retry_after_ms).retry_safe());
+
+    assert_eq!(server.metrics().refusals(), 1);
+    assert_eq!(server.metrics().admitted(), 0);
+    let snapshot = server.metrics_snapshot();
+    let samples = haac_telemetry::parse(&snapshot).expect("snapshot parses");
+    assert!(
+        samples.iter().any(|s| s.name == "haac_busy_refusals_total"
+            && s.label("reason") == Some("queue_full")
+            && s.value == 1.0),
+        "refusals must be labeled by reason:\n{snapshot}"
+    );
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, 0, "refused connections never register");
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn overload_sheds_cold_work_but_keeps_serving_warm() {
+    // shed_cold_above 0: the server acts permanently overloaded —
+    // requests needing a cold synthesis are shed, warm cache-resident
+    // work keeps flowing.
+    let server = Server::new(ServerConfig { shed_cold_above: 0, ..chaos_config(1) });
+    // Prewarm DotProd/Baseline directly in the cache.
+    server.cache().get(
+        haac_workloads::WorkloadKind::DotProduct,
+        Scale::Small,
+        haac_runtime::ReorderKind::Baseline,
+    );
+
+    // Warm workload: admitted and served.
+    let mut warm = server.connect();
+    client::run_session(&mut warm, &request("DotProd", 2))
+        .expect("warm work must keep being served under pressure");
+
+    // Cold workload: shed with a typed busy ack.
+    let (hamm, hamm_config) = client::prepare(haac_workloads::WorkloadKind::Hamming, Scale::Small);
+    let mut cold = server.connect();
+    let err = client::run_session_with(&mut cold, &request("Hamm", 3), &hamm, &hamm_config)
+        .expect_err("cold work must be shed under pressure");
+    assert!(matches!(err, RuntimeError::Busy { .. }), "expected busy, got: {err}");
+
+    assert_eq!(server.cache().len(), 1, "the shed request must not have built anything");
+    let samples = haac_telemetry::parse(&server.metrics_snapshot()).expect("snapshot parses");
+    assert!(samples.iter().any(|s| s.name == "haac_busy_refusals_total"
+        && s.label("reason") == Some("cold_shed")
+        && s.value == 1.0));
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 1, "the shed session is a recorded (typed) failure");
+    assert_eq!(report.active, 0);
+}
+
+#[test]
+fn drain_refuses_new_sessions_while_in_flight_work_finishes() {
+    let server = Server::new(chaos_config(1));
+    let (workload, config) =
+        client::prepare(haac_workloads::WorkloadKind::DotProduct, Scale::Small);
+
+    // In-flight session, admitted before the drain begins; its client
+    // only starts talking afterwards.
+    let mut admitted = server.connect();
+    let in_flight = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        client::run_session(&mut admitted, &request("DotProd", 4))
+    });
+
+    server.begin_drain();
+    assert!(server.is_draining());
+
+    // New connections are refused politely while the drain runs.
+    let mut late = server.connect();
+    let err = client::run_session_with(&mut late, &request("DotProd", 5), &workload, &config)
+        .expect_err("a draining server must refuse new sessions");
+    assert!(matches!(err, RuntimeError::Busy { .. }), "expected busy, got: {err}");
+
+    in_flight
+        .join()
+        .expect("client thread")
+        .expect("sessions admitted before the drain must run to completion");
+
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let samples = haac_telemetry::parse(&server.metrics_snapshot()).expect("snapshot parses");
+    assert!(samples.iter().any(|s| s.name == "haac_busy_refusals_total"
+        && s.label("reason") == Some("draining")
+        && s.value == 1.0));
+    let report = server.shutdown();
+    assert_eq!(report.total_sessions, 1, "the refused connection never registered");
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.active, 0);
+}
+
+#[test]
+fn slow_loris_handshake_is_cut_by_the_wall_clock_deadline() {
+    let mut config = chaos_config(1);
+    config.deadlines.handshake = Some(Duration::from_millis(300));
+    let server = Server::new(config);
+
+    // A hostile client sends a valid request head and then nothing: a
+    // per-read timeout alone would wait forever one frame at a time,
+    // but the whole-handshake budget cuts it off.
+    let mut loris = server.connect();
+    loris.send(&[0x71, 4]).unwrap(); // request tag + claimed name length
+    loris.flush().unwrap();
+    let start = Instant::now();
+    assert!(
+        server.registry().wait_drained(Duration::from_secs(10)),
+        "the stalled handshake must be reaped by the deadline"
+    );
+    assert!(start.elapsed() < Duration::from_secs(10));
+    let outcomes = server.registry().outcomes();
+    assert_eq!(outcomes.len(), 1);
+    let failure = outcomes[0].result.as_ref().expect_err("the loris session must fail");
+    assert!(
+        failure.contains("deadline") && failure.contains("handshake"),
+        "the failure must name the deadline and the phase: {failure}"
+    );
+    drop(loris);
+
+    // The worker the loris would have pinned is free again.
+    let mut healthy = server.connect();
+    client::run_session(&mut healthy, &request("DotProd", 6)).expect("server must keep serving");
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.active, 0);
+}

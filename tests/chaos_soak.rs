@@ -1,0 +1,159 @@
+//! Chaos soak: the serving stack under deterministic fault injection.
+//!
+//! The failure model is exercised end to end through [`FaultChannel`]:
+//! injected delays must be absorbed (sessions still succeed, outputs
+//! still bit-identical to the plaintext reference), corruption must
+//! fail *loudly* (the crypto or the reference check catches it — never
+//! a silently wrong answer), and disconnects at arbitrary message
+//! boundaries must end as typed, prompt failures that leave the
+//! registry drained and the pool serving. A proptest sweeps random cut
+//! points on top of the deterministic matrix.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use haac::server::{client, Server, ServerConfig, SessionRequest};
+use haac::workloads::{Scale, WorkloadKind};
+use haac_runtime::{FaultChannel, FaultSpec, SessionDeadlines};
+use proptest::prelude::*;
+
+/// The soak's workload mix: a linear-algebra VIP, a compare-heavy VIP,
+/// and a nonlinear one.
+const MATRIX: [WorkloadKind; 3] =
+    [WorkloadKind::DotProduct, WorkloadKind::Hamming, WorkloadKind::Relu];
+
+fn chaos_server(workers: usize) -> Server {
+    Server::new(ServerConfig {
+        workers,
+        deadlines: SessionDeadlines {
+            handshake: Some(Duration::from_secs(5)),
+            ot: Some(Duration::from_secs(5)),
+            chunk: Some(Duration::from_secs(5)),
+        },
+        ..ServerConfig::default()
+    })
+}
+
+/// Client-side message-boundary count of one clean session per matrix
+/// workload, calibrated once (the sessions are deterministic, so the
+/// count is a constant of the protocol, not of the run).
+fn clean_ops(kind: WorkloadKind) -> u64 {
+    static OPS: OnceLock<Vec<(WorkloadKind, u64)>> = OnceLock::new();
+    let table = OPS.get_or_init(|| {
+        let server = chaos_server(1);
+        let counted = MATRIX
+            .iter()
+            .map(|&kind| {
+                let (workload, config) = client::prepare(kind, Scale::Small);
+                let request = SessionRequest::new(kind.name(), Scale::Small, 1);
+                let mut channel = FaultChannel::new(server.connect(), FaultSpec::default(), 0);
+                client::run_session_with(&mut channel, &request, &workload, &config)
+                    .expect("calibration session must succeed");
+                (kind, channel.ops())
+            })
+            .collect();
+        server.shutdown();
+        counted
+    });
+    table.iter().find(|(k, _)| *k == kind).expect("matrix workload").1
+}
+
+#[test]
+fn chaos_matrix_delay_corrupt_disconnect_across_workloads() {
+    let server = chaos_server(2);
+    let mut expected_completed = 0u64;
+    for (i, &kind) in MATRIX.iter().enumerate() {
+        let (workload, config) = client::prepare(kind, Scale::Small);
+        let request = SessionRequest::new(kind.name(), Scale::Small, 40 + i as u64);
+        let ops = clean_ops(kind);
+
+        // Delays are benign: the protocol absorbs them and the outputs
+        // still match the plaintext reference.
+        let mut delayed =
+            FaultChannel::new(server.connect(), FaultSpec::delays(5, 2), 100 + i as u64);
+        client::run_session_with(&mut delayed, &request, &workload, &config)
+            .unwrap_or_else(|e| panic!("{kind:?}: delays must be absorbed, got {e}"));
+        expected_completed += 1;
+
+        // Corruption fails loudly: one flipped bit in the client's
+        // first OT flush must surface as a typed error somewhere in
+        // the session — never as a silently wrong answer.
+        let mut corrupted =
+            FaultChannel::new(server.connect(), FaultSpec::corrupt(1), 200 + i as u64);
+        let err = client::run_session_with(&mut corrupted, &request, &workload, &config)
+            .expect_err("corruption must be caught");
+        assert!(!err.to_string().is_empty(), "{kind:?}");
+
+        // A mid-session disconnect is a typed, prompt failure.
+        let start = Instant::now();
+        let mut cut =
+            FaultChannel::new(server.connect(), FaultSpec::cut_at_op(ops / 2), 300 + i as u64);
+        let err = client::run_session_with(&mut cut, &request, &workload, &config)
+            .expect_err("a cut session must fail");
+        assert!(cut.is_cut(), "{kind:?}: the cut never fired");
+        assert!(!err.to_string().is_empty(), "{kind:?}");
+        assert!(start.elapsed() < Duration::from_secs(20), "{kind:?}: failure must be prompt");
+    }
+
+    // After the full matrix: registry drained, no panics, and the
+    // server still serves every matrix workload cleanly.
+    assert!(server.registry().wait_drained(Duration::from_secs(60)));
+    for outcome in server.registry().outcomes() {
+        if let Err(failure) = &outcome.result {
+            assert!(!failure.contains("panicked"), "no session may panic: {failure}");
+        }
+    }
+    for (i, &kind) in MATRIX.iter().enumerate() {
+        let (workload, config) = client::prepare(kind, Scale::Small);
+        let request = SessionRequest::new(kind.name(), Scale::Small, 400 + i as u64);
+        let mut channel = server.connect();
+        client::run_session_with(&mut channel, &request, &workload, &config)
+            .unwrap_or_else(|e| panic!("{kind:?}: server must keep serving after chaos, got {e}"));
+        expected_completed += 1;
+    }
+    assert!(server.registry().wait_drained(Duration::from_secs(60)));
+    let report = server.shutdown();
+    assert_eq!(report.completed, expected_completed);
+    assert_eq!(report.active, 0, "registry must end empty");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Disconnect at a *random* message boundary of a random matrix
+    /// workload: always a typed error on the client, never a hang, and
+    /// the registry always drains empty.
+    #[test]
+    fn random_boundary_cuts_are_typed_and_drain(
+        kind_idx in 0usize..MATRIX.len(),
+        cut_pick in 0u32..10_000,
+        seed in any::<u64>(),
+    ) {
+        let kind = MATRIX[kind_idx];
+        let cut = u64::from(cut_pick) % clean_ops(kind);
+        let server = chaos_server(1);
+        let (workload, config) = client::prepare(kind, Scale::Small);
+        let request = SessionRequest::new(kind.name(), Scale::Small, seed);
+        let start = Instant::now();
+        let mut channel =
+            FaultChannel::new(server.connect(), FaultSpec::cut_at_op(cut), seed);
+        let result = client::run_session_with(&mut channel, &request, &workload, &config);
+        prop_assert!(result.is_err(), "cut {cut} must fail the session");
+        prop_assert!(channel.is_cut(), "cut {cut} never fired");
+        prop_assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "cut {cut} took {:?} — deadlines must bound the failure",
+            start.elapsed()
+        );
+        // Hang up the client end so the server sees the disconnect now
+        // rather than waiting out its per-phase deadline.
+        drop(channel);
+        prop_assert!(
+            server.registry().wait_drained(Duration::from_secs(30)),
+            "the cut session must be reaped"
+        );
+        let report = server.shutdown();
+        prop_assert_eq!(report.active, 0, "registry must drain empty");
+        prop_assert_eq!(report.completed, 0);
+    }
+}

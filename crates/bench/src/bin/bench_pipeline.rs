@@ -69,7 +69,7 @@ use haac_circuit::{Builder, Circuit};
 use haac_core::lower_for_streaming;
 use haac_gc::{garble_plan_in, EnginePool, HashScheme, StreamingGarbler};
 use haac_runtime::{
-    run_local_session, run_tcp_session, ReorderKind, SessionConfig, SessionReport,
+    run_local_session, run_tcp_session, OtMode, ReorderKind, SessionConfig, SessionReport,
     SessionTelemetry, PIPELINE_DEPTH,
 };
 use haac_telemetry::event;
@@ -218,6 +218,81 @@ fn telemetry_overhead_bench(reps: usize) -> TelemetryOverheadBench {
     }
 }
 
+/// The input phase priced both ways on a wide (≥ 4096 evaluator
+/// inputs) circuit: one Chou–Orlandi public-key OT per input vs the
+/// IKNP-style extension (a constant κ = 128 base OTs bootstrapping the
+/// rest through the AES engine). `ots_per_sec` counts choice labels
+/// delivered per second of OT-phase wall time, from the garbler's
+/// report of a serial in-process session (no pipeline threads near the
+/// measurement). The garbler's phase spans exactly the protocol
+/// rounds; the evaluator's would also count the wait for the masked
+/// labels, which ride the first table flush by design.
+#[derive(Debug, Serialize)]
+struct OtBench {
+    /// Evaluator inputs = OTs the input phase must deliver.
+    evaluator_inputs: usize,
+    /// Labels/s of the per-input Chou–Orlandi baseline.
+    base_ots_per_sec: f64,
+    /// Public-key OTs the baseline performed (= evaluator_inputs).
+    base_mode_base_ots: u64,
+    /// Labels/s of the extended input phase.
+    extended_ots_per_sec: f64,
+    /// Public-key OTs the extension performed — gated ≤ 256.
+    extended_base_ots: u64,
+    /// Symmetric-crypto OTs the extension delivered.
+    extended_ext_ots: u64,
+    /// `extended / base` labels/s — gated ≥ 10 on a native AES
+    /// backend (portable-AES runs record the row without gating: the
+    /// extension's symmetric work is exactly what bit-sliced software
+    /// AES makes slow).
+    speedup: f64,
+    /// Whether the 10× gate applied on this run.
+    gated: bool,
+}
+
+fn ot_bench(reps: usize) -> OtBench {
+    // 4096 evaluator inputs — 32× the extension's base-OT budget, so
+    // the public-key wall the extension removes is unmistakable.
+    const WIDTH: usize = 4096;
+    let circuit = wide_and_circuit(WIDTH, 2);
+    assert!(circuit.evaluator_inputs() as usize >= 4096);
+    let garbler_bits = vec![false; circuit.garbler_inputs() as usize];
+    let evaluator_bits: Vec<bool> =
+        (0..circuit.evaluator_inputs() as usize).map(|i| i % 3 == 0).collect();
+    let mut expected: Option<Vec<bool>> = None;
+
+    let mut measure = |mode: OtMode| -> (f64, SessionReport) {
+        let config = SessionConfig::for_circuit(&circuit).with_pipeline(false).with_ot_mode(mode);
+        let mut best_rate = 0.0f64;
+        let mut last = None;
+        for rep in 0..reps.max(3) as u64 {
+            let (g, _) =
+                run_local_session(&circuit, &garbler_bits, &evaluator_bits, 0x07E + rep, &config)
+                    .expect("ot bench session");
+            match &expected {
+                Some(out) => assert_eq!(&g.outputs, out, "{} outputs diverge", mode.label()),
+                None => expected = Some(g.outputs.clone()),
+            }
+            best_rate = best_rate.max(g.ots_per_sec());
+            last = Some(g);
+        }
+        (best_rate, last.expect("at least one rep"))
+    };
+
+    let (base_rate, base_report) = measure(OtMode::Base);
+    let (ext_rate, ext_report) = measure(OtMode::Extended);
+    OtBench {
+        evaluator_inputs: WIDTH,
+        base_ots_per_sec: base_rate,
+        base_mode_base_ots: base_report.base_ots,
+        extended_ots_per_sec: ext_rate,
+        extended_base_ots: ext_report.base_ots,
+        extended_ext_ots: ext_report.ext_ots,
+        speedup: ext_rate / base_rate.max(f64::MIN_POSITIVE),
+        gated: haac_gc::active_backend().name() != "portable",
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct LinkModel {
     bandwidth_gbps: f64,
@@ -236,6 +311,9 @@ struct Report {
     pooled: PooledBench,
     /// Attached-vs-disabled telemetry cost (gated ≥ 0.95).
     telemetry_overhead: TelemetryOverheadBench,
+    /// Base-OT vs IKNP-extension input phase (base-OT count gated
+    /// ≤ 256; ≥ 10× labels/s gated on native AES backends).
+    ot: OtBench,
     workloads: Vec<WorkloadBench>,
 }
 
@@ -556,6 +634,19 @@ fn main() {
         telemetry_overhead.ratio
     );
 
+    event!("bench_pipeline", "input phase: Chou-Orlandi vs IKNP extension (4096 inputs)...");
+    let ot = ot_bench(reps);
+    event!(
+        "bench_pipeline",
+        "  base {:.0} -> extended {:.0} labels/s (x{:.1}, {} -> {} public-key OTs, gate {})",
+        ot.base_ots_per_sec,
+        ot.extended_ots_per_sec,
+        ot.speedup,
+        ot.base_mode_base_ots,
+        ot.extended_base_ots,
+        if ot.gated { "armed" } else { "skipped" }
+    );
+
     let mut workloads = Vec::new();
     for kind in WorkloadKind::ALL {
         event!(
@@ -593,6 +684,7 @@ fn main() {
         label_store,
         pooled,
         telemetry_overhead,
+        ot,
         workloads,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -619,6 +711,27 @@ fn main() {
             report.pooled.engines,
             report.pooled.pooled_gates_per_sec,
             report.pooled.single_gates_per_sec
+        );
+    }
+    // The extension's whole point is killing the per-input public-key
+    // wall: a 4096-input session must stay within a 2× margin of the
+    // κ = 128 base-OT floor regardless of backend.
+    assert!(
+        report.ot.extended_base_ots <= 256,
+        "OT extension regression: a 4096-input session performed {} public-key OTs",
+        report.ot.extended_base_ots
+    );
+    assert_eq!(
+        report.ot.extended_ext_ots, report.ot.evaluator_inputs as u64,
+        "OT extension regression: not every input was served by the extension"
+    );
+    // And it must be fast where the AES engine is real hardware.
+    if report.ot.gated {
+        assert!(
+            report.ot.speedup >= 10.0,
+            "OT extension regression: extended input phase is only {:.1}x the \
+             Chou-Orlandi baseline on a native backend",
+            report.ot.speedup
         );
     }
     // Observability must be close to free: an attached, enabled

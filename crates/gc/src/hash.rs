@@ -24,6 +24,15 @@ use crate::aes::{
 };
 use crate::block::Block;
 
+/// Tweak namespace for **base-OT** key derivation. Gate tweaks are
+/// bounded by `2 · num_gates + 1 < 2^62`, so setting bit 62 keeps every
+/// OT-derived pad disjoint from every gate hash under the same scheme.
+pub const OT_BASE_TWEAK: u64 = 1 << 62;
+
+/// Tweak namespace for **OT-extension** row hashing, disjoint from both
+/// gate tweaks (< 2^62) and base-OT tweaks (bit 62): bit 63.
+pub const OT_EXT_TWEAK: u64 = 1 << 63;
+
 /// Which hash construction to use for AND gates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HashScheme {

@@ -55,6 +55,7 @@ mod evaluate;
 mod garble;
 mod hash;
 pub mod ot;
+pub mod ot_ext;
 pub mod protocol;
 pub mod slab;
 pub mod stream;
@@ -70,7 +71,9 @@ pub use garble::{
     decode_outputs, garble, garble_and, garble_and_batch, garble_inv, garble_streaming, garble_xor,
     GarbledCircuit, Garbling, MAX_AND_BATCH,
 };
-pub use hash::{CryptoCounters, GateHash, HashScheme};
+pub use hash::{CryptoCounters, GateHash, HashScheme, OT_BASE_TWEAK, OT_EXT_TWEAK};
+pub use ot::OtError;
+pub use ot_ext::{OtExtReceiver, OtExtSender, KAPPA as OT_EXT_KAPPA};
 pub use slab::{SlotInstr, SlotOp, SlotProgram, OOR_SLOT};
 pub use stream::{
     baseline_plan, EvaluatorFinish, GarblerFinish, Liveness, StreamingEvaluator, StreamingGarbler,

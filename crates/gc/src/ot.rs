@@ -20,8 +20,47 @@
 //! - [`SimulatedOt`]: the trusted-setup functionality used by the legacy
 //!   in-process protocol path ([`crate::protocol::run_two_party`]), with
 //!   transfer accounting.
+//!
+//! Base OTs are expensive (three ~127-squaring `pow_mod`s each); the
+//! [`crate::ot_ext`] module bootstraps unlimited cheap OTs from ~128 of
+//! them. Every peer-facing entry point here returns [`OtError`] instead
+//! of panicking — malformed points or mismatched counts are protocol
+//! violations a session must surface as typed errors, not aborts.
+
+use std::fmt;
 
 use crate::block::Block;
+
+/// A protocol violation observed inside an OT state machine: the peer
+/// sent something structurally invalid. These are trust-boundary errors —
+/// the session layer maps them to its typed protocol error, never a
+/// panic, because every one of these inputs is peer-controlled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OtError {
+    /// A group element was zero mod p (or otherwise outside the group) —
+    /// accepting it would collapse branch keys or leak choice bits.
+    InvalidPoint,
+    /// A batched message carried the wrong number of items.
+    CountMismatch {
+        /// How many items the state machine expected.
+        expected: usize,
+        /// How many the peer actually sent.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtError::InvalidPoint => write!(f, "OT point outside the group"),
+            OtError::CountMismatch { expected, got } => {
+                write!(f, "OT batch count mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OtError {}
 
 /// One 1-out-of-2 oblivious transfer: the receiver learns exactly one of
 /// the sender's two messages; the sender does not learn which.
@@ -80,21 +119,27 @@ impl ObliviousTransfer for SimulatedOt {
 /// Message flow for a batch of `n` transfers (all messages are plain
 /// byte-serializable values; the caller owns the transport):
 ///
-/// 1. Sender → Receiver: `S = g^y` ([`OtSender::public_point`]).
+/// 1. Sender → Receiver: `S = g^y` plus a fresh batch nonce
+///    ([`OtSender::public_point`], [`OtSender::nonce`]).
 /// 2. Receiver → Sender: `R_i = g^{x_i} · S^{c_i}` for each choice bit
 ///    `c_i` ([`OtReceiver::blinded_points`]).
-/// 3. Sender → Receiver: `(e0_i, e1_i)` where `e_b = m_b ⊕ H(k_b, i)`
+/// 3. Sender → Receiver: `(e0_i, e1_i)` where `e_b = m_b ⊕ H(k_b ⊕ nonce, i)`
 ///    with `k0 = R_i^y`, `k1 = (R_i/S)^y` ([`OtSender::encrypt`]).
-/// 4. Receiver: `m_{c_i} = e_{c_i} ⊕ H(S^{x_i}, i)` ([`OtReceiver::decrypt`]).
+/// 4. Receiver: `m_{c_i} = e_{c_i} ⊕ H(S^{x_i} ⊕ nonce, i)`
+///    ([`OtReceiver::decrypt`]).
 ///
 /// Key derivation reuses the re-keyed gate hash (`H(x, tweak) =
-/// AES_{K(tweak)}(x) ⊕ x`), with tweaks disjoint from any gate index by a
-/// high-bit namespace.
+/// AES_{K(tweak)}(x) ⊕ x`), with tweaks in the
+/// [`OT_BASE_TWEAK`](crate::OT_BASE_TWEAK) namespace, disjoint from
+/// any gate index. The per-batch nonce is folded into the hashed *input*
+/// (the tweak alone keys the cipher, and `index` restarts at 0 every
+/// batch): without it the pad would be fully determined by
+/// `(point, index)`, identical across sessions that ever repeat a point.
 #[cfg(feature = "insecure-ot")]
 pub mod base {
-    use super::ObliviousTransfer;
+    use super::{ObliviousTransfer, OtError};
     use crate::block::Block;
-    use crate::hash::{GateHash, HashScheme};
+    use crate::hash::{GateHash, HashScheme, OT_BASE_TWEAK};
     use rand::Rng;
 
     /// The Mersenne prime `2^127 − 1`.
@@ -102,10 +147,6 @@ pub mod base {
 
     /// A fixed generator of a large subgroup of `(Z/pZ)^*`.
     pub const G: u128 = 3;
-
-    /// Tweak namespace for OT key derivation, disjoint from gate tweaks
-    /// (which are bounded by `2 · num_gates + 1`).
-    const OT_TWEAK_BASE: u64 = 1 << 62;
 
     /// Reduces `x` modulo `p = 2^127 − 1`.
     #[inline]
@@ -184,9 +225,9 @@ pub mod base {
     }
 
     /// Derives the symmetric key block for transfer `index`, branch key
-    /// `point`.
-    fn derive_key(hash: &GateHash, point: u128, index: u64) -> Block {
-        hash.hash(Block::from(point), OT_TWEAK_BASE | index)
+    /// `point`, under the batch `nonce`.
+    fn derive_key(hash: &GateHash, nonce: Block, point: u128, index: u64) -> Block {
+        hash.hash(Block::from(point) ^ nonce, OT_BASE_TWEAK | index)
     }
 
     /// Samples a non-trivial exponent in `[1, p − 2]`.
@@ -204,14 +245,20 @@ pub mod base {
     pub struct OtSender {
         y: u128,
         s: u128,
+        nonce: Block,
         hash: GateHash,
     }
 
     impl OtSender {
-        /// Samples the sender's secret and public point.
+        /// Samples the sender's secret, public point, and batch nonce.
         pub fn new<R: Rng + ?Sized>(rng: &mut R) -> OtSender {
             let y = sample_exponent(rng);
-            OtSender { y, s: pow_mod(G, y), hash: GateHash::new(HashScheme::Rekeyed) }
+            OtSender {
+                y,
+                s: pow_mod(G, y),
+                nonce: Block::random(rng),
+                hash: GateHash::new(HashScheme::Rekeyed),
+            }
         }
 
         /// `S = g^y`, sent to the receiver first.
@@ -219,20 +266,35 @@ pub mod base {
             self.s
         }
 
+        /// The fresh per-batch nonce, shipped alongside `S`. Folded into
+        /// key derivation so pads never repeat across batches even when
+        /// `(point, index)` pairs do.
+        pub fn nonce(&self) -> Block {
+            self.nonce
+        }
+
         /// Encrypts each message pair under the two candidate keys derived
         /// from the receiver's blinded points.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if `points` and `pairs` differ in length, or if a point
-        /// is not a valid group element (see [`valid_point`]) — callers
-        /// receiving points from a peer must validate first and fail
-        /// gracefully.
-        pub fn encrypt(&self, points: &[u128], pairs: &[(Block, Block)]) -> Vec<[Block; 2]> {
-            assert_eq!(points.len(), pairs.len(), "one blinded point per message pair");
-            assert!(points.iter().all(|&r| valid_point(r)), "blinded point outside the group");
+        /// [`OtError::CountMismatch`] if `points` and `pairs` differ in
+        /// length; [`OtError::InvalidPoint`] if any point is not a valid
+        /// group element (see [`valid_point`]). Both inputs are
+        /// peer-controlled, so this never panics.
+        pub fn encrypt(
+            &self,
+            points: &[u128],
+            pairs: &[(Block, Block)],
+        ) -> Result<Vec<[Block; 2]>, OtError> {
+            if points.len() != pairs.len() {
+                return Err(OtError::CountMismatch { expected: pairs.len(), got: points.len() });
+            }
+            if !points.iter().all(|&r| valid_point(r)) {
+                return Err(OtError::InvalidPoint);
+            }
             let s_inv = inv_mod(self.s);
-            points
+            Ok(points
                 .iter()
                 .zip(pairs)
                 .enumerate()
@@ -240,11 +302,11 @@ pub mod base {
                     let k0 = pow_mod(r, self.y);
                     let k1 = pow_mod(mul_mod(r, s_inv), self.y);
                     [
-                        m0 ^ derive_key(&self.hash, k0, 2 * i as u64),
-                        m1 ^ derive_key(&self.hash, k1, 2 * i as u64 + 1),
+                        m0 ^ derive_key(&self.hash, self.nonce, k0, 2 * i as u64),
+                        m1 ^ derive_key(&self.hash, self.nonce, k1, 2 * i as u64 + 1),
                     ]
                 })
-                .collect()
+                .collect())
         }
     }
 
@@ -254,32 +316,37 @@ pub mod base {
         xs: Vec<u128>,
         choices: Vec<bool>,
         s: u128,
+        nonce: Block,
         hash: GateHash,
     }
 
     impl OtReceiver {
         /// Blinds one point per choice bit against the sender's public
-        /// point.
+        /// point, under the sender's batch nonce.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if `sender_point` is not a valid group element (a zero
-        /// `S` would make `R_i = 0` exactly when `c_i = 1`, leaking every
-        /// choice bit) — callers receiving it from a peer must validate
-        /// first and fail gracefully.
+        /// [`OtError::InvalidPoint`] if `sender_point` is not a valid
+        /// group element (a zero `S` would make `R_i = 0` exactly when
+        /// `c_i = 1`, leaking every choice bit). The point comes from the
+        /// peer, so this never panics.
         pub fn new<R: Rng + ?Sized>(
             rng: &mut R,
             sender_point: u128,
+            nonce: Block,
             choices: &[bool],
-        ) -> OtReceiver {
-            assert!(valid_point(sender_point), "sender point outside the group");
+        ) -> Result<OtReceiver, OtError> {
+            if !valid_point(sender_point) {
+                return Err(OtError::InvalidPoint);
+            }
             let xs: Vec<u128> = choices.iter().map(|_| sample_exponent(rng)).collect();
-            OtReceiver {
+            Ok(OtReceiver {
                 xs,
                 choices: choices.to_vec(),
                 s: sender_point,
+                nonce,
                 hash: GateHash::new(HashScheme::Rekeyed),
-            }
+            })
         }
 
         /// `R_i = g^{x_i} · S^{c_i}`, sent to the sender.
@@ -300,20 +367,27 @@ pub mod base {
 
         /// Decrypts the chosen branch of each ciphertext pair.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if the ciphertext count does not match the choice count.
-        pub fn decrypt(&self, ciphertexts: &[[Block; 2]]) -> Vec<Block> {
-            assert_eq!(ciphertexts.len(), self.choices.len(), "one ciphertext pair per choice");
-            ciphertexts
+        /// [`OtError::CountMismatch`] if the (peer-sent) ciphertext count
+        /// does not match the choice count.
+        pub fn decrypt(&self, ciphertexts: &[[Block; 2]]) -> Result<Vec<Block>, OtError> {
+            if ciphertexts.len() != self.choices.len() {
+                return Err(OtError::CountMismatch {
+                    expected: self.choices.len(),
+                    got: ciphertexts.len(),
+                });
+            }
+            Ok(ciphertexts
                 .iter()
                 .enumerate()
                 .map(|(i, e)| {
                     let k = pow_mod(self.s, self.xs[i]);
                     let branch = self.choices[i] as u64;
-                    e[self.choices[i] as usize] ^ derive_key(&self.hash, k, 2 * i as u64 + branch)
+                    e[self.choices[i] as usize]
+                        ^ derive_key(&self.hash, self.nonce, k, 2 * i as u64 + branch)
                 })
-                .collect()
+                .collect())
         }
     }
 
@@ -341,9 +415,13 @@ pub mod base {
         fn transfer(&mut self, zero: Block, one: Block, choice: bool) -> Block {
             self.transfers += 1;
             let sender = OtSender::new(&mut self.rng);
-            let receiver = OtReceiver::new(&mut self.rng, sender.public_point(), &[choice]);
-            let cts = sender.encrypt(&receiver.blinded_points(), &[(zero, one)]);
-            receiver.decrypt(&cts)[0]
+            let receiver =
+                OtReceiver::new(&mut self.rng, sender.public_point(), sender.nonce(), &[choice])
+                    .expect("honest sender point is a unit");
+            let cts = sender
+                .encrypt(&receiver.blinded_points(), &[(zero, one)])
+                .expect("honest receiver points are units");
+            receiver.decrypt(&cts).expect("one ciphertext per choice")[0]
         }
     }
 
@@ -375,16 +453,60 @@ pub mod base {
             let choices: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
 
             let sender = OtSender::new(&mut rng);
-            let receiver = OtReceiver::new(&mut rng, sender.public_point(), &choices);
-            let cts = sender.encrypt(&receiver.blinded_points(), &pairs);
-            let got = receiver.decrypt(&cts);
+            let receiver =
+                OtReceiver::new(&mut rng, sender.public_point(), sender.nonce(), &choices)
+                    .expect("valid sender point");
+            let cts =
+                sender.encrypt(&receiver.blinded_points(), &pairs).expect("valid blinded points");
+            let got = receiver.decrypt(&cts).expect("matching counts");
 
-            for ((&(zero, one), &c), label) in pairs.iter().zip(&choices).zip(&got) {
-                assert_eq!(*label, if c { one } else { zero });
+            for (i, ((&(zero, one), &c), label)) in pairs.iter().zip(&choices).zip(&got).enumerate()
+            {
+                assert_eq!(*label, if c { one } else { zero }, "transfer {i}");
                 // And the unchosen message stays computationally hidden —
-                // at minimum, the ciphertexts are not the plaintexts.
-                assert_ne!(cts[0][0], pairs[0].0);
+                // at minimum, no ciphertext branch equals its plaintext.
+                assert_ne!(cts[i][0], pairs[i].0, "transfer {i} branch 0");
+                assert_ne!(cts[i][1], pairs[i].1, "transfer {i} branch 1");
             }
+        }
+
+        #[test]
+        fn same_plaintexts_encrypt_differently_across_batches() {
+            // The nonce regression: two senders sharing the same secret
+            // (hence the same public point and the same branch keys) but
+            // different nonces must produce different ciphertexts for the
+            // same plaintext at the same index. Without the nonce the pad
+            // is a pure function of (point, index) and both batches would
+            // collide.
+            let mut rng = StdRng::seed_from_u64(5);
+            let first = OtSender::new(&mut rng);
+            let second = OtSender {
+                y: first.y,
+                s: first.s,
+                nonce: Block::random(&mut rng),
+                hash: GateHash::new(HashScheme::Rekeyed),
+            };
+            assert_ne!(first.nonce(), second.nonce(), "fresh nonce per batch");
+            let pair = (Block::from(0x1234u128), Block::from(0x5678u128));
+            let receiver = OtReceiver::new(&mut rng, first.public_point(), first.nonce(), &[false])
+                .expect("valid sender point");
+            let points = receiver.blinded_points();
+            let cts_a = first.encrypt(&points, &[pair]).expect("valid points");
+            let cts_b = second.encrypt(&points, &[pair]).expect("valid points");
+            assert_ne!(cts_a[0][0], cts_b[0][0], "branch-0 pad must differ across batches");
+            assert_ne!(cts_a[0][1], cts_b[0][1], "branch-1 pad must differ across batches");
+            // And the nonce-matched batch still decrypts correctly.
+            assert_eq!(receiver.decrypt(&cts_a).expect("matching counts")[0], pair.0);
+        }
+
+        #[test]
+        fn derive_key_depends_on_the_nonce() {
+            let hash = GateHash::new(HashScheme::Rekeyed);
+            let point = 0xABCDEFu128;
+            let a = derive_key(&hash, Block::from(1u128), point, 0);
+            let b = derive_key(&hash, Block::from(2u128), point, 0);
+            assert_ne!(a, b, "same (point, index), different nonce → different pad");
+            assert_eq!(a, derive_key(&hash, Block::from(1u128), point, 0), "deterministic");
         }
 
         #[test]
@@ -392,14 +514,43 @@ pub mod base {
             let mut rng = StdRng::seed_from_u64(3);
             let pair = (Block::random(&mut rng), Block::random(&mut rng));
             let sender = OtSender::new(&mut rng);
-            let receiver = OtReceiver::new(&mut rng, sender.public_point(), &[false]);
-            let cts = sender.encrypt(&receiver.blinded_points(), &[pair]);
+            let receiver =
+                OtReceiver::new(&mut rng, sender.public_point(), sender.nonce(), &[false])
+                    .expect("valid sender point");
+            let cts = sender.encrypt(&receiver.blinded_points(), &[pair]).expect("valid points");
             // Flipping the choice after blinding yields garbage, not `one`.
             let mut cheat = receiver;
             cheat.choices[0] = true;
-            let got = cheat.decrypt(&cts);
+            let got = cheat.decrypt(&cts).expect("matching counts");
             assert_ne!(got[0], pair.1);
             assert_ne!(got[0], pair.0);
+        }
+
+        #[test]
+        fn malformed_inputs_yield_typed_errors_not_panics() {
+            let mut rng = StdRng::seed_from_u64(6);
+            let sender = OtSender::new(&mut rng);
+            // Invalid sender point (0 and p are both ≡ 0 mod p).
+            for bad in [0u128, P, 2 * P] {
+                let err = OtReceiver::new(&mut rng, bad, sender.nonce(), &[true])
+                    .expect_err("zero point must be rejected");
+                assert_eq!(err, OtError::InvalidPoint);
+            }
+            // Invalid blinded point.
+            let pair = (Block::ZERO, Block::ZERO);
+            assert_eq!(sender.encrypt(&[0], &[pair]).expect_err("rejected"), OtError::InvalidPoint);
+            // Count mismatches on both sides.
+            assert_eq!(
+                sender.encrypt(&[G, G], &[pair]).expect_err("rejected"),
+                OtError::CountMismatch { expected: 1, got: 2 }
+            );
+            let receiver =
+                OtReceiver::new(&mut rng, sender.public_point(), sender.nonce(), &[true, false])
+                    .expect("valid sender point");
+            assert_eq!(
+                receiver.decrypt(&[[Block::ZERO; 2]]).expect_err("rejected"),
+                OtError::CountMismatch { expected: 2, got: 1 }
+            );
         }
 
         #[test]
@@ -452,5 +603,14 @@ mod tests {
     fn mismatched_batch_panics() {
         let mut ot = SimulatedOt::new();
         let _ = ot.transfer_all(&[(Block::ZERO, Block::ZERO)], &[]);
+    }
+
+    #[test]
+    fn ot_error_displays_both_variants() {
+        assert_eq!(OtError::InvalidPoint.to_string(), "OT point outside the group");
+        assert_eq!(
+            OtError::CountMismatch { expected: 2, got: 3 }.to_string(),
+            "OT batch count mismatch: expected 2, got 3"
+        );
     }
 }

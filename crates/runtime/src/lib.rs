@@ -90,6 +90,7 @@ pub use session::{
     SessionConfig, SessionDeadlines, SessionReport, SessionRole, SessionTelemetry,
     MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
 };
+pub use wire::OtMode;
 
 // Re-exported so callers can cache lowered plans — and negotiate the
 // schedule they were lowered with — without importing haac-core

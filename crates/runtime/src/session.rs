@@ -35,7 +35,7 @@ use rand::Rng;
 
 use crate::channel::Channel;
 use crate::error::{RuntimeError, SessionPhase};
-use crate::wire::{read_message, write_message, write_tables, Message, SessionHeader};
+use crate::wire::{read_message, write_message, write_tables, Message, OtMode, SessionHeader};
 
 /// Per-phase progress deadlines a session enforces on its channel.
 ///
@@ -148,6 +148,11 @@ pub struct SessionConfig {
     /// Per-phase progress deadlines enforced on the channel (default:
     /// none — every phase may block forever). See [`SessionDeadlines`].
     pub deadlines: SessionDeadlines,
+    /// How the evaluator's input labels are delivered (default:
+    /// [`OtMode::Base`], one public-key OT per input bit). Both parties
+    /// must agree — the header carries the garbler's choice and the
+    /// evaluator refuses a mismatch, exactly like `reorder`.
+    pub ot_mode: OtMode,
 }
 
 impl SessionConfig {
@@ -163,6 +168,7 @@ impl SessionConfig {
             pipeline_depth: None,
             telemetry: None,
             deadlines: SessionDeadlines::none(),
+            ot_mode: OtMode::Base,
         }
     }
 
@@ -198,6 +204,7 @@ impl SessionConfig {
             pipeline_depth: None,
             telemetry: None,
             deadlines: SessionDeadlines::none(),
+            ot_mode: OtMode::Base,
         }
     }
 
@@ -239,6 +246,14 @@ impl SessionConfig {
     /// the channel.
     pub fn with_deadlines(mut self, deadlines: SessionDeadlines) -> SessionConfig {
         self.deadlines = deadlines;
+        self
+    }
+
+    /// Returns the config with the given input-label delivery mode.
+    /// Both parties must run the same mode — the header announces the
+    /// garbler's and the evaluator refuses a disagreement.
+    pub fn with_ot_mode(mut self, ot_mode: OtMode) -> SessionConfig {
+        self.ot_mode = ot_mode;
         self
     }
 
@@ -296,6 +311,14 @@ pub struct SessionTelemetry {
     pub tables: Arc<Counter>,
     /// Sliding-window table rate — the live aggregate gates/s.
     pub table_rate: Arc<SlidingRate>,
+    /// Base (public-key) OTs performed: one per evaluator input in base
+    /// mode, the ~κ bootstrap in extended mode.
+    pub base_ots: Arc<Counter>,
+    /// Extension-protocol OTs performed (hash-evaluated rows; 0 in base
+    /// mode).
+    pub ext_ots: Arc<Counter>,
+    /// Sliding-window rate of input labels delivered by OT.
+    pub ot_rate: Arc<SlidingRate>,
 }
 
 impl SessionTelemetry {
@@ -309,6 +332,9 @@ impl SessionTelemetry {
             ot_ns: Arc::new(Histogram::new()),
             tables: Arc::new(Counter::new()),
             table_rate: Arc::new(SlidingRate::new()),
+            base_ots: Arc::new(Counter::new()),
+            ext_ots: Arc::new(Counter::new()),
+            ot_rate: Arc::new(SlidingRate::new()),
         }
     }
 }
@@ -374,9 +400,20 @@ pub struct SessionReport {
     /// Chunk buffers the pipelined ring settled on (after any
     /// autotune); 0 for serial sessions.
     pub pipeline_depth: usize,
-    /// Nanoseconds of the base-OT phase (setup, transfer, and the wait
-    /// for the peer's OT round trips).
+    /// Nanoseconds of the OT phase (setup, transfer, and the wait for
+    /// the peer's OT round trips), whichever mode ran.
     pub ot_ns: u64,
+    /// Base (public-key) OTs this side took part in: `ot_transfers` in
+    /// [`OtMode::Base`], the ~κ bootstrap OTs in [`OtMode::Extended`] —
+    /// the quantity the extension exists to keep constant.
+    pub base_ots: u64,
+    /// Extended (hash-evaluated) OTs: 0 in base mode, one per evaluator
+    /// input in extended mode.
+    pub ext_ots: u64,
+    /// Nanoseconds of `ot_ns` spent blocked waiting for the peer's
+    /// OT-phase messages — the input phase's I/O-stall attribution (the
+    /// rest of `ot_ns` is local crypto and sends).
+    pub ot_io_stall_ns: u64,
     /// Stall attribution, compute-bound side: nanoseconds the
     /// streaming phase's I/O stage sat idle waiting for the compute
     /// stage to hand it the next chunk. Pipelined sessions only (0
@@ -410,6 +447,18 @@ impl SessionReport {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             self.tables as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Input-label delivery throughput: evaluator-input labels
+    /// transferred per second of OT-phase wall clock — the number the
+    /// extension moves by orders of magnitude.
+    pub fn ots_per_sec(&self) -> f64 {
+        let secs = self.ot_ns as f64 / 1e9;
+        if secs > 0.0 {
+            self.ot_transfers as f64 / secs
         } else {
             0.0
         }
@@ -559,6 +608,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
             window_wires: config.window.sww_wires(),
             chunk_tables: chunk_tables as u32,
             reorder: config.reorder(),
+            ot_mode: config.ot_mode,
         }),
     )
     .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
@@ -571,15 +621,46 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     write_message(channel, &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)))
         .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
 
-    // Base OT for the evaluator's input labels.
+    // Input-label delivery for the evaluator: per-input base OTs, or ~κ
+    // base OTs bootstrapping an IKNP-style extension. The label pairs
+    // must be collected *before* any garbling starts — streaming
+    // consumes the input state they come from.
+    let evaluator_pairs: Vec<(Block, Block)> = (0..circuit.evaluator_inputs())
+        .map(|i| garbler.input_label_pair(circuit.garbler_inputs() + i))
+        .collect();
     let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
     arm_phase(channel, SessionPhase::Ot, &config.deadlines)?;
     let t = Instant::now();
-    let ot_transfers =
-        ot_send(circuit, &garbler, rng, channel).map_err(|e| e.in_phase(SessionPhase::Ot))?;
+    let mut prefill = PrefillStats::default();
+    let ot = match config.ot_mode {
+        OtMode::Base => {
+            ot_send(&evaluator_pairs, rng, channel).map_err(|e| e.in_phase(SessionPhase::Ot))?
+        }
+        OtMode::Extended => {
+            // The extension opens with a *receive* (the evaluator's
+            // OtSetup), so the queued header and garbler inputs must
+            // actually reach the peer before this side blocks.
+            channel.flush().map_err(|e| RuntimeError::from(e).in_phase(SessionPhase::Ot))?;
+            let depth = if config.pipeline { config.resolved_pipeline_depth().0 } else { 0 };
+            let (outcome, pre) = ot_send_extended_overlapped(
+                &mut garbler,
+                &evaluator_pairs,
+                rng,
+                channel,
+                chunk_tables,
+                depth,
+            )
+            .map_err(|e| e.in_phase(SessionPhase::Ot))?;
+            prefill = pre;
+            outcome
+        }
+    };
     let ot_ns = t.elapsed().as_nanos() as u64;
     if let Some(tel) = live {
         tel.ot_ns.record(ot_ns);
+        tel.base_ots.add(ot.base_ots);
+        tel.ext_ots.add(ot.ext_ots);
+        tel.ot_rate.add(ot.transfers);
     }
 
     // Stream tables in window-sized chunks, one flush per chunk. Two
@@ -588,13 +669,43 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     // steady state performs zero per-chunk allocations whether the I/O
     // stage is overlapped or inline.
     arm_phase(channel, SessionPhase::Stream, &config.deadlines)?;
-    let stats = if config.pipeline {
+    let stream_start = Instant::now();
+    // Chunks garbled under the OT wall (extended mode's overlap) ship
+    // first; the first flush here also carries the still-queued masked
+    // OT labels, mirroring the base path's unflushed ciphertexts.
+    let mut pre_stats = StreamStats { compute_ns: prefill.compute_ns, ..StreamStats::default() };
+    for chunk in &prefill.chunks {
+        pre_stats.chunks += 1;
+        pre_stats.tables += chunk.len() as u64;
+        if let Some(tel) = live {
+            tel.oor_occupancy.record(garbler.oor_queue_len() as u64);
+        }
+        let t = Instant::now();
+        (|| -> Result<(), RuntimeError> {
+            write_tables(channel, chunk)?;
+            Ok(channel.flush()?)
+        })()
+        .map_err(|e| e.in_phase(SessionPhase::Stream))?;
+        let io_ns = t.elapsed().as_nanos() as u64;
+        pre_stats.io_ns += io_ns;
+        if let Some(tel) = live {
+            tel.chunk_io_ns.record(io_ns);
+            tel.tables.add(chunk.len() as u64);
+            tel.table_rate.add(chunk.len() as u64);
+        }
+    }
+    let mut stats = if config.pipeline {
         let (depth, autotune) = config.resolved_pipeline_depth();
         stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune, live)
     } else {
         stream_tables_serial(&mut garbler, channel, chunk_tables, live)
     }
     .map_err(|e| e.in_phase(SessionPhase::Stream))?;
+    stats.chunks += pre_stats.chunks;
+    stats.tables += pre_stats.tables;
+    stats.compute_ns += pre_stats.compute_ns;
+    stats.io_ns += pre_stats.io_ns;
+    stats.wall_ns = stream_start.elapsed().as_nanos() as u64;
 
     let finish = garbler.finish();
     // The chunk budget stays armed: the output tail is the same
@@ -629,7 +740,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         tables: stats.tables,
         peak_live_wires: finish.peak_live_wires,
         within_window: finish.peak_live_wires <= config.window.sww_wires() as usize,
-        ot_transfers,
+        ot_transfers: ot.transfers,
         crypto: finish.crypto,
         compute_ns: stats.compute_ns,
         io_ns: stats.io_ns,
@@ -637,6 +748,9 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         overlap_ratio: stats.overlap_ratio(),
         pipeline_depth: stats.depth,
         ot_ns,
+        base_ots: ot.base_ots,
+        ext_ots: ot.ext_ots,
+        ot_io_stall_ns: ot.io_stall_ns,
         compute_stall_ns: stats.compute_stall_ns,
         io_stall_ns: stats.io_stall_ns,
         oor_queue_peak: finish.oor_queue_peak,
@@ -907,6 +1021,16 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
             config.reorder().label()
         )));
     }
+    if header.ot_mode != config.ot_mode {
+        // Same fail-fast rule as the schedule: the two modes speak
+        // different message sequences, so running on would deadlock or
+        // desynchronize inside the OT phase instead of failing here.
+        return Err(RuntimeError::protocol(format!(
+            "OT mode mismatch: the garbler negotiated {}, this side {}",
+            header.ot_mode.label(),
+            config.ot_mode.label()
+        )));
+    }
 
     let Message::GarblerInputs(garbler_labels) = expect_message(channel, "GarblerInputs")
         .map_err(|e| e.in_phase(SessionPhase::Handshake))?
@@ -920,11 +1044,17 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
     arm_phase(channel, SessionPhase::Ot, &config.deadlines)?;
     let t = Instant::now();
-    let own_labels =
-        ot_receive(evaluator_bits, rng, channel).map_err(|e| e.in_phase(SessionPhase::Ot))?;
+    let (own_labels, ot) = match header.ot_mode {
+        OtMode::Base => ot_receive(evaluator_bits, rng, channel),
+        OtMode::Extended => ot_receive_extended(evaluator_bits, rng, channel),
+    }
+    .map_err(|e| e.in_phase(SessionPhase::Ot))?;
     let ot_ns = t.elapsed().as_nanos() as u64;
     if let Some(tel) = live {
         tel.ot_ns.record(ot_ns);
+        tel.base_ots.add(ot.base_ots);
+        tel.ext_ots.add(ot.ext_ots);
+        tel.ot_rate.add(ot.transfers);
     }
 
     let mut input_labels = garbler_labels;
@@ -979,6 +1109,9 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         overlap_ratio: stats.overlap_ratio(),
         pipeline_depth: stats.depth,
         ot_ns,
+        base_ots: ot.base_ots,
+        ext_ots: ot.ext_ots,
+        ot_io_stall_ns: ot.io_stall_ns,
         compute_stall_ns: stats.compute_stall_ns,
         io_stall_ns: stats.io_stall_ns,
         oor_queue_peak: finish.oor_queue_peak,
@@ -1176,33 +1309,112 @@ fn validate_header(circuit: &Circuit, header: &SessionHeader) -> Result<(), Runt
     Ok(())
 }
 
-#[cfg(feature = "insecure-ot")]
-fn ot_send<C: Channel + ?Sized, R: Rng + ?Sized>(
-    circuit: &Circuit,
-    garbler: &StreamingGarbler<'_>,
+/// Accounting for the input-label OT phase, whichever mode ran.
+#[derive(Debug, Default, Clone, Copy)]
+struct OtOutcome {
+    /// Evaluator-input labels delivered.
+    transfers: u64,
+    /// Public-key OTs performed (per input in base mode, the ~κ
+    /// bootstrap in extended mode).
+    base_ots: u64,
+    /// Hash-evaluated extension OTs performed (0 in base mode).
+    ext_ots: u64,
+    /// Nanoseconds blocked waiting for the peer's OT messages.
+    io_stall_ns: u64,
+}
+
+/// Chunks the garbler produced ahead of the streaming phase, while the
+/// OT extension's round trips were in flight, plus the compute time
+/// they cost (spent under the OT wall, reported under the stream's
+/// compute budget).
+#[derive(Debug, Default)]
+struct PrefillStats {
+    chunks: Vec<Vec<[Block; 2]>>,
+    compute_ns: u64,
+}
+
+/// Drives the extended-OT rounds while a scoped stage garbles the first
+/// `depth` ring chunks: the extension's network round trips hide the
+/// stream's warm-up compute, so the input phase overlaps the first
+/// chunks of garbling instead of serializing in front of them. The
+/// prefilled chunks ship (in order) when the streaming phase opens.
+/// `depth == 0` (serial sessions) skips the overlap entirely.
+fn ot_send_extended_overlapped<C: Channel + ?Sized, R: Rng + ?Sized>(
+    garbler: &mut StreamingGarbler<'_>,
+    pairs: &[(Block, Block)],
     rng: &mut R,
     channel: &mut C,
-) -> Result<u64, RuntimeError> {
+    chunk_tables: usize,
+    depth: usize,
+) -> Result<(OtOutcome, PrefillStats), RuntimeError> {
+    if depth == 0 {
+        return Ok((ot_send_extended(pairs, rng, channel)?, PrefillStats::default()));
+    }
+    let mut prefill = PrefillStats::default();
+    let outcome = std::thread::scope(|scope| {
+        let stage = scope.spawn(|| {
+            let mut pre = PrefillStats::default();
+            while pre.chunks.len() < depth {
+                let mut chunk = Vec::with_capacity(chunk_tables.min(CHUNK_BUFFER_CAP));
+                let t = Instant::now();
+                let more = garbler.next_tables_into(chunk_tables, &mut chunk);
+                pre.compute_ns += t.elapsed().as_nanos() as u64;
+                if !more {
+                    break;
+                }
+                if !chunk.is_empty() {
+                    pre.chunks.push(chunk);
+                }
+            }
+            pre
+        });
+        let outcome = ot_send_extended(pairs, rng, channel);
+        prefill = stage.join().expect("prefill garbling stage panicked");
+        outcome
+    })?;
+    Ok((outcome, prefill))
+}
+
+/// Maps a typed OT-layer failure to the session's protocol error (it
+/// reached us from the trust boundary: every [`haac_gc::OtError`] here
+/// is caused by peer-sent bytes).
+#[cfg(feature = "insecure-ot")]
+fn ot_protocol_error(e: haac_gc::OtError) -> RuntimeError {
+    RuntimeError::protocol(format!("OT: {e}"))
+}
+
+#[cfg(feature = "insecure-ot")]
+fn ot_send<C: Channel + ?Sized, R: Rng + ?Sized>(
+    pairs: &[(Block, Block)],
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<OtOutcome, RuntimeError> {
     use haac_gc::ot::base::OtSender;
 
     let sender = OtSender::new(rng);
-    write_message(channel, &Message::OtSetup(sender.public_point()))?;
+    write_message(
+        channel,
+        &Message::OtSetup { point: sender.public_point(), nonce: sender.nonce().into() },
+    )?;
     channel.flush()?;
 
+    let waited = Instant::now();
     let Message::OtPoints(points) = expect_message(channel, "OtPoints")? else { unreachable!() };
-    if points.len() != circuit.evaluator_inputs() as usize {
+    let io_stall_ns = waited.elapsed().as_nanos() as u64;
+    if points.len() != pairs.len() {
         return Err(RuntimeError::protocol("one OT point per evaluator input required"));
     }
-    if !points.iter().all(|&r| haac_gc::ot::base::valid_point(r)) {
-        // A zero point would collapse both branch keys to a public value,
-        // handing the peer both labels (and Δ).
-        return Err(RuntimeError::protocol("OT blinded point outside the group"));
-    }
-    let pairs: Vec<_> = (0..circuit.evaluator_inputs())
-        .map(|i| garbler.input_label_pair(circuit.garbler_inputs() + i))
-        .collect();
-    write_message(channel, &Message::OtCiphertexts(sender.encrypt(&points, &pairs)))?;
-    Ok(points.len() as u64)
+    // `encrypt` rejects out-of-group points itself: a zero point would
+    // collapse both branch keys to a public value, handing the peer
+    // both labels (and Δ).
+    let cts = sender.encrypt(&points, pairs).map_err(ot_protocol_error)?;
+    write_message(channel, &Message::OtCiphertexts(cts))?;
+    Ok(OtOutcome {
+        transfers: pairs.len() as u64,
+        base_ots: pairs.len() as u64,
+        ext_ots: 0,
+        io_stall_ns,
+    })
 }
 
 #[cfg(feature = "insecure-ot")]
@@ -1210,35 +1422,148 @@ fn ot_receive<C: Channel + ?Sized, R: Rng + ?Sized>(
     evaluator_bits: &[bool],
     rng: &mut R,
     channel: &mut C,
-) -> Result<Vec<haac_gc::Block>, RuntimeError> {
+) -> Result<(Vec<Block>, OtOutcome), RuntimeError> {
     use haac_gc::ot::base::OtReceiver;
 
-    let Message::OtSetup(point) = expect_message(channel, "OtSetup")? else { unreachable!() };
-    if !haac_gc::ot::base::valid_point(point) {
-        // A zero setup point would make R_i = 0 exactly when c_i = 1,
-        // leaking every choice bit to the sender.
-        return Err(RuntimeError::protocol("OT setup point outside the group"));
-    }
-    let receiver = OtReceiver::new(rng, point, evaluator_bits);
+    let waited = Instant::now();
+    let Message::OtSetup { point, nonce } = expect_message(channel, "OtSetup")? else {
+        unreachable!()
+    };
+    let mut io_stall_ns = waited.elapsed().as_nanos() as u64;
+    // `new` rejects an out-of-group setup point itself: a zero S would
+    // make R_i = 0 exactly when c_i = 1, leaking every choice bit.
+    let receiver = OtReceiver::new(rng, point, Block::from(nonce), evaluator_bits)
+        .map_err(ot_protocol_error)?;
     write_message(channel, &Message::OtPoints(receiver.blinded_points()))?;
     channel.flush()?;
 
+    let waited = Instant::now();
     let Message::OtCiphertexts(pairs) = expect_message(channel, "OtCiphertexts")? else {
         unreachable!()
     };
-    if pairs.len() != evaluator_bits.len() {
-        return Err(RuntimeError::protocol("one OT ciphertext pair per choice bit required"));
+    io_stall_ns += waited.elapsed().as_nanos() as u64;
+    let labels = receiver.decrypt(&pairs).map_err(ot_protocol_error)?;
+    Ok((
+        labels,
+        OtOutcome {
+            transfers: evaluator_bits.len() as u64,
+            base_ots: evaluator_bits.len() as u64,
+            ext_ots: 0,
+            io_stall_ns,
+        },
+    ))
+}
+
+/// Garbler side of the IKNP-style extension: ~κ base OTs with the roles
+/// *reversed* (this side receives, choosing with its secret κ-bit
+/// string) bootstrap per-column PRG seeds, then every evaluator input
+/// label ships under one batched hash of a transposed matrix row — no
+/// public-key work scales with the input count.
+#[cfg(feature = "insecure-ot")]
+fn ot_send_extended<C: Channel + ?Sized, R: Rng + ?Sized>(
+    pairs: &[(Block, Block)],
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<OtOutcome, RuntimeError> {
+    use haac_gc::ot::base::OtReceiver;
+    use haac_gc::{OtExtSender, OT_EXT_KAPPA};
+
+    let ext = OtExtSender::new(rng);
+
+    // Base-OT bootstrap, reversed: the evaluator opens as base-OT
+    // sender and this side receives one PRG seed per extension column.
+    let waited = Instant::now();
+    let Message::OtSetup { point, nonce } = expect_message(channel, "OtSetup")? else {
+        unreachable!()
+    };
+    let mut io_stall_ns = waited.elapsed().as_nanos() as u64;
+    let receiver = OtReceiver::new(rng, point, Block::from(nonce), ext.choice_bits())
+        .map_err(ot_protocol_error)?;
+    write_message(channel, &Message::OtPoints(receiver.blinded_points()))?;
+    channel.flush()?;
+
+    let waited = Instant::now();
+    let Message::OtCiphertexts(cts) = expect_message(channel, "OtCiphertexts")? else {
+        unreachable!()
+    };
+    io_stall_ns += waited.elapsed().as_nanos() as u64;
+    if cts.len() != OT_EXT_KAPPA {
+        return Err(RuntimeError::protocol("one base-OT seed pair per extension column required"));
     }
-    Ok(receiver.decrypt(&pairs))
+    let seeds = receiver.decrypt(&cts).map_err(ot_protocol_error)?;
+
+    let waited = Instant::now();
+    let Message::OtExtMatrix(u_matrix) = expect_message(channel, "OtExtMatrix")? else {
+        unreachable!()
+    };
+    io_stall_ns += waited.elapsed().as_nanos() as u64;
+    let masked = ext.process(&seeds, &u_matrix, pairs).map_err(ot_protocol_error)?;
+    // Unflushed on purpose: the streaming phase's first flush carries
+    // the masked labels, exactly like the base path's ciphertexts.
+    write_message(channel, &Message::OtExtLabels(masked))?;
+    Ok(OtOutcome {
+        transfers: pairs.len() as u64,
+        base_ots: OT_EXT_KAPPA as u64,
+        ext_ots: pairs.len() as u64,
+        io_stall_ns,
+    })
+}
+
+/// Evaluator side of the extension: this side plays base-OT *sender*
+/// (delivering seed pairs), ships the masked choice matrix, and unmasks
+/// its chosen labels from one hash per input.
+#[cfg(feature = "insecure-ot")]
+fn ot_receive_extended<C: Channel + ?Sized, R: Rng + ?Sized>(
+    evaluator_bits: &[bool],
+    rng: &mut R,
+    channel: &mut C,
+) -> Result<(Vec<Block>, OtOutcome), RuntimeError> {
+    use haac_gc::ot::base::OtSender;
+    use haac_gc::{OtExtReceiver, OT_EXT_KAPPA};
+
+    let mut ext = OtExtReceiver::new(rng, evaluator_bits);
+
+    let sender = OtSender::new(rng);
+    write_message(
+        channel,
+        &Message::OtSetup { point: sender.public_point(), nonce: sender.nonce().into() },
+    )?;
+    channel.flush()?;
+
+    let waited = Instant::now();
+    let Message::OtPoints(points) = expect_message(channel, "OtPoints")? else { unreachable!() };
+    let mut io_stall_ns = waited.elapsed().as_nanos() as u64;
+    if points.len() != OT_EXT_KAPPA {
+        return Err(RuntimeError::protocol("one base-OT point per extension column required"));
+    }
+    let cts = sender.encrypt(&points, ext.seed_pairs()).map_err(ot_protocol_error)?;
+    write_message(channel, &Message::OtCiphertexts(cts))?;
+    write_message(channel, &Message::OtExtMatrix(ext.u_matrix()))?;
+    channel.flush()?;
+
+    let waited = Instant::now();
+    let Message::OtExtLabels(masked) = expect_message(channel, "OtExtLabels")? else {
+        unreachable!()
+    };
+    io_stall_ns += waited.elapsed().as_nanos() as u64;
+    let labels = ext.decrypt(&masked).map_err(ot_protocol_error)?;
+    Ok((
+        labels,
+        OtOutcome {
+            transfers: evaluator_bits.len() as u64,
+            base_ots: OT_EXT_KAPPA as u64,
+            ext_ots: evaluator_bits.len() as u64,
+            io_stall_ns,
+        },
+    ))
 }
 
 #[cfg(not(feature = "insecure-ot"))]
 fn ot_send<C: Channel + ?Sized, R: Rng + ?Sized>(
-    _circuit: &Circuit,
-    _garbler: &StreamingGarbler<'_>,
+    _pairs: &[(Block, Block)],
     _rng: &mut R,
     _channel: &mut C,
-) -> Result<u64, RuntimeError> {
+) -> Result<OtOutcome, RuntimeError> {
     Err(RuntimeError::protocol(
         "two-party sessions need a base OT; enable the `insecure-ot` feature",
     ))
@@ -1249,7 +1574,29 @@ fn ot_receive<C: Channel + ?Sized, R: Rng + ?Sized>(
     _evaluator_bits: &[bool],
     _rng: &mut R,
     _channel: &mut C,
-) -> Result<Vec<haac_gc::Block>, RuntimeError> {
+) -> Result<(Vec<Block>, OtOutcome), RuntimeError> {
+    Err(RuntimeError::protocol(
+        "two-party sessions need a base OT; enable the `insecure-ot` feature",
+    ))
+}
+
+#[cfg(not(feature = "insecure-ot"))]
+fn ot_send_extended<C: Channel + ?Sized, R: Rng + ?Sized>(
+    _pairs: &[(Block, Block)],
+    _rng: &mut R,
+    _channel: &mut C,
+) -> Result<OtOutcome, RuntimeError> {
+    Err(RuntimeError::protocol(
+        "two-party sessions need a base OT; enable the `insecure-ot` feature",
+    ))
+}
+
+#[cfg(not(feature = "insecure-ot"))]
+fn ot_receive_extended<C: Channel + ?Sized, R: Rng + ?Sized>(
+    _evaluator_bits: &[bool],
+    _rng: &mut R,
+    _channel: &mut C,
+) -> Result<(Vec<Block>, OtOutcome), RuntimeError> {
     Err(RuntimeError::protocol(
         "two-party sessions need a base OT; enable the `insecure-ot` feature",
     ))
@@ -1755,5 +2102,90 @@ mod tests {
         let (g, e) = run_local_session(&c, &to_bits(0b1010_1010, 8), &[], 9, &config).unwrap();
         assert_eq!(from_bits(&g.outputs), 0b0101_0101);
         assert_eq!(e.ot_transfers, 0);
+    }
+
+    #[test]
+    fn extended_sessions_compute_identically_and_bound_base_ots() {
+        let c = adder(16);
+        let base = SessionConfig::for_circuit(&c);
+        let ext = base.clone().with_ot_mode(OtMode::Extended);
+        let (gb, _) =
+            run_local_session(&c, &to_bits(1234, 16), &to_bits(4321, 16), 3, &base).unwrap();
+        let (ge, ee) =
+            run_local_session(&c, &to_bits(1234, 16), &to_bits(4321, 16), 3, &ext).unwrap();
+        assert_eq!(ge.outputs, gb.outputs, "extension must not change the computation");
+        assert_eq!(from_bits(&ge.outputs), 5555);
+        // The wall the extension tears down: base OTs stop scaling with
+        // the input count (κ = 128 bootstrap transfers, whatever m is).
+        assert_eq!(ge.base_ots, haac_gc::OT_EXT_KAPPA as u64);
+        assert_eq!(ge.ext_ots, 16);
+        assert_eq!(ee.base_ots, haac_gc::OT_EXT_KAPPA as u64);
+        assert_eq!(ee.ext_ots, 16);
+        assert_eq!(ee.ot_transfers, 16, "delivered labels are still one per input");
+        assert_eq!(ge.ot_transfers, 16);
+        // Base mode reports the legacy shape.
+        assert_eq!(gb.base_ots, 16);
+        assert_eq!(gb.ext_ots, 0);
+        // Both sides drained the full table stream despite the prefill.
+        assert_eq!(ge.tables, c.num_and_gates() as u64);
+        assert_eq!(ge.tables, ee.tables);
+    }
+
+    #[test]
+    fn extended_serial_and_pipelined_sessions_put_identical_bytes_on_the_wire() {
+        let c = adder(24);
+        let ext =
+            SessionConfig::for_circuit(&c).with_chunk_tables(3).with_ot_mode(OtMode::Extended);
+        let serial = ext.clone().with_pipeline(false);
+        let (gs, es) =
+            run_local_session(&c, &to_bits(77, 24), &to_bits(88, 24), 5, &serial).unwrap();
+        let (gp, ep) = run_local_session(&c, &to_bits(77, 24), &to_bits(88, 24), 5, &ext).unwrap();
+        assert_eq!(gs.outputs, gp.outputs);
+        assert_eq!(gs.bytes_sent, gp.bytes_sent);
+        assert_eq!(gs.bytes_received, gp.bytes_received);
+        assert_eq!(gs.table_chunks, gp.table_chunks);
+        assert_eq!(es.bytes_received, ep.bytes_received);
+        assert_eq!(es.table_chunks, ep.table_chunks);
+    }
+
+    #[test]
+    fn ot_mode_mismatch_is_refused_before_the_ot_phase() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let c = adder(8);
+        let c = &c;
+        let (mut gc, mut ec) = crate::channel::MemChannel::pair();
+        std::thread::scope(|scope| {
+            let ext = SessionConfig::for_circuit(c).with_ot_mode(OtMode::Extended);
+            let base = SessionConfig::for_circuit(c);
+            let garbler = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1);
+                run_garbler(c, &to_bits(1, 8), &mut rng, &ext, &mut gc)
+            });
+            let evaluator = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(2);
+                run_evaluator_with(c, &to_bits(2, 8), &mut rng, &base, &mut ec)
+            });
+            let eval_err = evaluator.join().unwrap().unwrap_err();
+            assert!(eval_err.to_string().contains("OT mode mismatch"), "{eval_err}");
+            // The evaluator hung up before answering the extension's
+            // opening message; the garbler must surface that, not hang.
+            assert!(garbler.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn telemetry_meters_the_ot_mode_split() {
+        let c = adder(16);
+        let tel = Arc::new(SessionTelemetry::detached());
+        let ext = SessionConfig::for_circuit(&c)
+            .with_telemetry(Arc::clone(&tel))
+            .with_ot_mode(OtMode::Extended);
+        run_local_session(&c, &to_bits(3, 16), &to_bits(4, 16), 9, &ext).unwrap();
+        // Both sides record: 2 × κ bootstrap OTs, 2 × 16 extended rows.
+        assert_eq!(tel.base_ots.get(), 2 * haac_gc::OT_EXT_KAPPA as u64);
+        assert_eq!(tel.ext_ots.get(), 2 * 16);
+        assert_eq!(tel.ot_ns.count(), 2, "one OT phase sample per side");
     }
 }

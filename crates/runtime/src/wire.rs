@@ -44,6 +44,54 @@ pub struct SessionHeader {
     /// valid protocol when both parties agree — so a mismatch is
     /// refused before any table is streamed.
     pub reorder: ReorderKind,
+    /// How evaluator-input labels are delivered. Both parties drive the
+    /// same OT message flow, so — like `reorder` — a mismatch is refused
+    /// before any OT round runs.
+    pub ot_mode: OtMode,
+}
+
+/// How a session delivers the evaluator's input labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OtMode {
+    /// One Chou–Orlandi base OT per evaluator input bit (three
+    /// public-key exponentiations each).
+    #[default]
+    Base,
+    /// IKNP-style OT extension: ~128 base OTs (roles reversed)
+    /// bootstrap one cheap AES-evaluated correlated OT per input bit.
+    Extended,
+}
+
+impl OtMode {
+    /// The human-readable spelling (error messages, metrics labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            OtMode::Base => "base",
+            OtMode::Extended => "extended",
+        }
+    }
+}
+
+/// Wire tag of an [`OtMode`] (shared by the session header and the
+/// server's request/ack frames).
+pub fn ot_mode_tag(mode: OtMode) -> u8 {
+    match mode {
+        OtMode::Base => 0,
+        OtMode::Extended => 1,
+    }
+}
+
+/// Decodes an [`OtMode`] wire tag.
+///
+/// # Errors
+///
+/// Returns a protocol error for an unknown tag.
+pub fn ot_mode_from_tag(tag: u8) -> Result<OtMode, RuntimeError> {
+    match tag {
+        0 => Ok(OtMode::Base),
+        1 => Ok(OtMode::Extended),
+        other => Err(RuntimeError::protocol(format!("unknown OT mode tag {other}"))),
+    }
 }
 
 /// One protocol message.
@@ -53,12 +101,26 @@ pub enum Message {
     Header(SessionHeader),
     /// Active labels for the garbler's own inputs (garbler → evaluator).
     GarblerInputs(Vec<Block>),
-    /// Base-OT sender public point `S` (garbler → evaluator).
-    OtSetup(u128),
-    /// Base-OT blinded points, one per evaluator input (evaluator → garbler).
+    /// Base-OT sender public point `S` plus the batch nonce folded into
+    /// key derivation. Garbler → evaluator in base mode; evaluator →
+    /// garbler in extended mode, where the base-OT roles reverse.
+    OtSetup {
+        /// The sender's public point `S = g^y`.
+        point: u128,
+        /// The sender-sampled per-batch nonce.
+        nonce: u128,
+    },
+    /// Base-OT blinded points, one per choice bit (base-OT receiver →
+    /// sender; the direction follows the mode, as with `OtSetup`).
     OtPoints(Vec<u128>),
-    /// Base-OT ciphertext pairs (garbler → evaluator).
+    /// Base-OT ciphertext pairs (base-OT sender → receiver).
     OtCiphertexts(Vec<[Block; 2]>),
+    /// OT extension `u` matrix: κ columns of `⌈m/κ⌉` packed bit blocks,
+    /// flattened column-major (evaluator → garbler).
+    OtExtMatrix(Vec<Block>),
+    /// OT extension masked label pairs, one per evaluator input
+    /// (garbler → evaluator).
+    OtExtLabels(Vec<[Block; 2]>),
     /// One chunk of garbled AND tables, in gate order (garbler → evaluator).
     Tables(Vec<[Block; 2]>),
     /// Output decode string (garbler → evaluator, after the last chunk).
@@ -72,12 +134,14 @@ impl Message {
         match self {
             Message::Header(_) => 1,
             Message::GarblerInputs(_) => 2,
-            Message::OtSetup(_) => 3,
+            Message::OtSetup { .. } => 3,
             Message::OtPoints(_) => 4,
             Message::OtCiphertexts(_) => 5,
             Message::Tables(_) => TABLES_TAG,
             Message::OutputDecode(_) => 7,
             Message::Outputs(_) => 8,
+            Message::OtExtMatrix(_) => 9,
+            Message::OtExtLabels(_) => 10,
         }
     }
 
@@ -86,12 +150,14 @@ impl Message {
         match self {
             Message::Header(_) => "Header",
             Message::GarblerInputs(_) => "GarblerInputs",
-            Message::OtSetup(_) => "OtSetup",
+            Message::OtSetup { .. } => "OtSetup",
             Message::OtPoints(_) => "OtPoints",
             Message::OtCiphertexts(_) => "OtCiphertexts",
             Message::Tables(_) => "Tables",
             Message::OutputDecode(_) => "OutputDecode",
             Message::Outputs(_) => "Outputs",
+            Message::OtExtMatrix(_) => "OtExtMatrix",
+            Message::OtExtLabels(_) => "OtExtLabels",
         }
     }
 }
@@ -191,16 +257,23 @@ pub fn write_message<C: Channel + ?Sized>(
             payload.extend_from_slice(&h.window_wires.to_le_bytes());
             payload.extend_from_slice(&h.chunk_tables.to_le_bytes());
             payload.push(reorder_tag(h.reorder));
+            payload.push(ot_mode_tag(h.ot_mode));
         }
         Message::GarblerInputs(labels) => push_blocks(&mut payload, labels),
-        Message::OtSetup(point) => payload.extend_from_slice(&point.to_le_bytes()),
+        Message::OtSetup { point, nonce } => {
+            payload.extend_from_slice(&point.to_le_bytes());
+            payload.extend_from_slice(&nonce.to_le_bytes());
+        }
         Message::OtPoints(points) => {
             payload.extend_from_slice(&(points.len() as u32).to_le_bytes());
             for point in points {
                 payload.extend_from_slice(&point.to_le_bytes());
             }
         }
-        Message::OtCiphertexts(pairs) => push_tables(&mut payload, pairs),
+        Message::OtCiphertexts(pairs) | Message::OtExtLabels(pairs) => {
+            push_tables(&mut payload, pairs)
+        }
+        Message::OtExtMatrix(blocks) => push_blocks(&mut payload, blocks),
         Message::Tables(_) => unreachable!("handled by write_tables above"),
         Message::OutputDecode(bits) | Message::Outputs(bits) => push_bits(&mut payload, bits),
     }
@@ -359,14 +432,17 @@ pub fn read_message<C: Channel + ?Sized>(channel: &mut C) -> Result<Message, Run
             window_wires: r.u32()?,
             chunk_tables: r.u32()?,
             reorder: reorder_from_tag(r.u8()?)?,
+            ot_mode: ot_mode_from_tag(r.u8()?)?,
         }),
         2 => Message::GarblerInputs(r.counted(16, PayloadReader::block)?),
-        3 => Message::OtSetup(r.u128()?),
+        3 => Message::OtSetup { point: r.u128()?, nonce: r.u128()? },
         4 => Message::OtPoints(r.counted(16, PayloadReader::u128)?),
         5 => Message::OtCiphertexts(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
         TABLES_TAG => Message::Tables(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
         7 => Message::OutputDecode(r.bits()?),
         8 => Message::Outputs(r.bits()?),
+        9 => Message::OtExtMatrix(r.counted(16, PayloadReader::block)?),
+        10 => Message::OtExtLabels(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
         other => return Err(RuntimeError::protocol(format!("unknown frame tag {other}"))),
     };
     r.finish()?;
@@ -389,21 +465,26 @@ mod tests {
     #[test]
     fn all_message_kinds_round_trip() {
         for reorder in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
-            round_trip(Message::Header(SessionHeader {
-                garbler_inputs: 32,
-                evaluator_inputs: 32,
-                num_gates: 1234,
-                num_tables: 567,
-                scheme: HashScheme::Rekeyed,
-                window_wires: 4096,
-                chunk_tables: 2048,
-                reorder,
-            }));
+            for ot_mode in [OtMode::Base, OtMode::Extended] {
+                round_trip(Message::Header(SessionHeader {
+                    garbler_inputs: 32,
+                    evaluator_inputs: 32,
+                    num_gates: 1234,
+                    num_tables: 567,
+                    scheme: HashScheme::Rekeyed,
+                    window_wires: 4096,
+                    chunk_tables: 2048,
+                    reorder,
+                    ot_mode,
+                }));
+            }
         }
         round_trip(Message::GarblerInputs(vec![Block::from(1u128), Block::from(2u128)]));
-        round_trip(Message::OtSetup(0xDEAD_BEEFu128));
+        round_trip(Message::OtSetup { point: 0xDEAD_BEEFu128, nonce: 0xFACEu128 });
         round_trip(Message::OtPoints(vec![3, 5, 7]));
         round_trip(Message::OtCiphertexts(vec![[Block::from(9u128), Block::from(10u128)]]));
+        round_trip(Message::OtExtMatrix(vec![Block::from(21u128), Block::from(22u128)]));
+        round_trip(Message::OtExtLabels(vec![[Block::from(31u128), Block::from(32u128)]]));
         round_trip(Message::Tables(vec![
             [Block::from(11u128), Block::from(12u128)],
             [Block::from(13u128), Block::from(14u128)],
@@ -462,11 +543,19 @@ mod tests {
     #[test]
     fn trailing_bytes_are_rejected() {
         let (mut a, mut b) = MemChannel::pair();
-        a.send(&[3u8]).unwrap(); // OtSetup: exactly 16 bytes expected
-        a.send(&17u32.to_le_bytes()).unwrap();
-        a.send(&[0u8; 17]).unwrap();
+        a.send(&[3u8]).unwrap(); // OtSetup: exactly 32 bytes expected
+        a.send(&33u32.to_le_bytes()).unwrap();
+        a.send(&[0u8; 33]).unwrap();
         a.flush().unwrap();
         let err = read_message(&mut b).unwrap_err();
         assert!(err.to_string().contains("trailing bytes"));
+    }
+
+    #[test]
+    fn ot_mode_tags_round_trip_and_reject_unknowns() {
+        for mode in [OtMode::Base, OtMode::Extended] {
+            assert_eq!(ot_mode_from_tag(ot_mode_tag(mode)).unwrap(), mode);
+        }
+        assert!(ot_mode_from_tag(9).is_err());
     }
 }

@@ -11,7 +11,7 @@
 use std::io;
 
 use haac_gc::{Block, HashScheme};
-use haac_runtime::wire::{read_message, write_message, Message, SessionHeader};
+use haac_runtime::wire::{read_message, write_message, Message, OtMode, SessionHeader};
 use haac_runtime::{Channel, ChannelStats, ReorderKind, RuntimeError};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -87,7 +87,7 @@ fn bits_from(data: &[u8]) -> Vec<bool> {
 /// Deterministically builds one of every message kind from sampled raw
 /// bytes — the valid-frame generator all mutation properties start from.
 fn message_from(kind: u8, data: &[u8]) -> Message {
-    match kind % 8 {
+    match kind % 10 {
         0 => Message::Header(SessionHeader {
             garbler_inputs: u128_from(data) as u32,
             evaluator_inputs: (u128_from(data) >> 32) as u32,
@@ -105,14 +105,21 @@ fn message_from(kind: u8, data: &[u8]) -> Message {
                 1 => ReorderKind::Full,
                 _ => ReorderKind::Segment,
             },
+            ot_mode: if data.first().copied().unwrap_or(0) & 2 == 0 {
+                OtMode::Base
+            } else {
+                OtMode::Extended
+            },
         }),
         1 => Message::GarblerInputs(blocks_from(data)),
-        2 => Message::OtSetup(u128_from(data)),
+        2 => Message::OtSetup { point: u128_from(data), nonce: u128_from(data).wrapping_mul(31) },
         3 => Message::OtPoints(data.chunks(5).map(u128_from).collect()),
         4 => Message::OtCiphertexts(pairs_from(data)),
         5 => Message::Tables(pairs_from(data)),
         6 => Message::OutputDecode(bits_from(data)),
-        _ => Message::Outputs(bits_from(data)),
+        7 => Message::Outputs(bits_from(data)),
+        8 => Message::OtExtMatrix(blocks_from(data)),
+        _ => Message::OtExtLabels(pairs_from(data)),
     }
 }
 
@@ -191,13 +198,14 @@ proptest! {
         data in vec(any::<u8>(), 0..120),
         bad_tag in 3u8..,
     ) {
-        // The header's trailing byte is the negotiated ReorderKind; a
-        // peer speaking a newer (or corrupted) schedule vocabulary must
-        // fail as a typed protocol error naming the field — never a
-        // panic, and never a silently-assumed Baseline.
+        // The header's second-to-last byte is the negotiated
+        // ReorderKind; a peer speaking a newer (or corrupted) schedule
+        // vocabulary must fail as a typed protocol error naming the
+        // field — never a panic, and never a silently-assumed Baseline.
         let Message::Header(header) = message_from(0, &data) else { unreachable!() };
         let mut frame = encode(&Message::Header(header));
-        *frame.last_mut().expect("headers have payload") = bad_tag;
+        let reorder_at = frame.len() - 2;
+        frame[reorder_at] = bad_tag;
         let err = read_message(&mut ByteChannel::of(frame))
             .expect_err("an unknown reorder tag must not decode");
         prop_assert!(
@@ -207,16 +215,36 @@ proptest! {
     }
 
     #[test]
+    fn unknown_ot_mode_tags_in_the_header_are_typed_errors(
+        kind in any::<u8>(),
+        data in vec(any::<u8>(), 0..120),
+        bad_tag in 2u8..,
+    ) {
+        // Same contract for the trailing OtMode byte: an unknown OT
+        // vocabulary is a typed refusal, never a silently-assumed Base.
+        let Message::Header(header) = message_from(0, &data) else { unreachable!() };
+        let mut frame = encode(&Message::Header(header));
+        *frame.last_mut().expect("headers have payload") = bad_tag;
+        let err = read_message(&mut ByteChannel::of(frame))
+            .expect_err("an unknown OT mode tag must not decode");
+        prop_assert!(
+            matches!(&err, RuntimeError::Protocol(m) if m.contains("OT mode")),
+            "want a protocol error naming the OT mode tag, got: {err}"
+        );
+    }
+
+    #[test]
     fn hostile_count_prefixes_are_rejected_before_allocating(
-        tag in 0u8..6,
+        tag in 0u8..8,
         count in 1024u32..,
         filler in vec(any::<u8>(), 0..32),
     ) {
         // A tiny frame whose count prefix promises up to 4 billion
         // items: the decoder must reject it from the payload size alone
         // (never reserving `count` elements). Tags: the counted decoders
-        // (labels, points, ciphertext pairs, tables) and both bit kinds.
-        let tag = [2u8, 4, 5, 6, 7, 8][tag as usize];
+        // (labels, points, ciphertext pairs, tables, the OT-extension
+        // matrix and label pairs) and both bit kinds.
+        let tag = [2u8, 4, 5, 6, 7, 8, 9, 10][tag as usize];
         let mut payload = count.to_le_bytes().to_vec();
         payload.extend_from_slice(&filler);
         prop_assume!(count as usize > payload.len() * 8); // hostile even for 1-bit items

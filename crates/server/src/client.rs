@@ -88,14 +88,22 @@ pub fn run_session_with<C: Channel + Send + ?Sized>(
     // label has crossed the wire yet, so they are retry-safe (a typed
     // busy refusal passes through `in_phase` untouched).
     write_request(channel, request).map_err(|e| busy_or(channel, e))?;
-    let chosen = read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
-    // The ack names the schedule the server will garble with; a warm
-    // client's pre-lowered plan must agree or the transcripts diverge.
+    let (chosen, ot_chosen) = read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+    // The ack names the schedule and OT mode the server will garble
+    // with; a warm client's pre-lowered plan and prepared config must
+    // agree or the transcripts diverge.
     if chosen != config.reorder() {
         return Err(RuntimeError::protocol(format!(
             "server chose the {} schedule, this client prepared {}",
             chosen.label(),
             config.reorder().label()
+        )));
+    }
+    if ot_chosen != config.ot_mode {
+        return Err(RuntimeError::protocol(format!(
+            "server chose {} OT, this client prepared {}",
+            ot_chosen.label(),
+            config.ot_mode.label()
         )));
     }
     let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
@@ -127,8 +135,9 @@ pub fn run_session<C: Channel + Send + ?Sized>(
         RuntimeError::protocol(format!("unknown workload {:?}", request.workload))
     })?;
     write_request(channel, request).map_err(|e| busy_or(channel, e))?;
-    let chosen = read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+    let (chosen, ot_chosen) = read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
     let (workload, config) = prepare_with_reorder(kind, request.scale, chosen);
+    let config = config.with_ot_mode(ot_chosen);
     let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
     let report = run_evaluator_with(
         &workload.circuit,

@@ -58,4 +58,4 @@ pub use cache::{CachedWorkload, CircuitCache};
 pub use metrics::{RefusalReason, ServerMetrics};
 pub use registry::{percentile, ServerReport, SessionId, SessionOutcome, SessionRegistry};
 pub use request::SessionRequest;
-pub use server::{choose_reorder, Server, ServerConfig};
+pub use server::{choose_ot_mode, choose_reorder, Server, ServerConfig};

@@ -43,6 +43,7 @@ pub struct ServerMetrics {
     cache_hit_ns: Arc<Gauge>,
     cache_miss_ns: Arc<Gauge>,
     gates_rate: Arc<SlidingRate>,
+    ot_rate: Arc<SlidingRate>,
     sessions_admitted: Arc<Counter>,
     refusals_queue_full: Arc<Counter>,
     refusals_cold_shed: Arc<Counter>,
@@ -89,6 +90,7 @@ impl ServerMetrics {
             cache_hit_ns: registry.gauge("haac_cache_hit_ns_total", &[]),
             cache_miss_ns: registry.gauge("haac_cache_miss_ns_total", &[]),
             gates_rate: registry.rate("haac_gates_per_sec", &[]),
+            ot_rate: registry.rate("haac_ots_per_sec", &[]),
             sessions_admitted: registry.counter("haac_sessions_admitted_total", &[]),
             refusals_queue_full: registry
                 .counter("haac_busy_refusals_total", &[("reason", "queue_full")]),
@@ -125,6 +127,9 @@ impl ServerMetrics {
             ot_ns: self.registry.histogram("haac_ot_ns", &labels),
             tables: self.registry.counter("haac_tables_total", &[]),
             table_rate: Arc::clone(&self.gates_rate),
+            base_ots: self.registry.counter("haac_base_ots_total", &labels),
+            ext_ots: self.registry.counter("haac_ext_ots_total", &labels),
+            ot_rate: Arc::clone(&self.ot_rate),
         })
     }
 
@@ -223,6 +228,12 @@ mod tests {
             "schedules are distinct series"
         );
         assert!(Arc::ptr_eq(&a.tables, &other.tables), "table counter is service-wide");
+        assert!(Arc::ptr_eq(&a.base_ots, &b.base_ots));
+        assert!(
+            !Arc::ptr_eq(&a.base_ots, &other.base_ots),
+            "OT counters are per (workload, reorder) series"
+        );
+        assert!(Arc::ptr_eq(&a.ot_rate, &other.ot_rate), "OT rate is service-wide");
     }
 
     #[test]

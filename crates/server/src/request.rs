@@ -17,8 +17,8 @@
 
 use std::time::Instant;
 
-use haac_runtime::wire::{reorder_from_tag, reorder_tag};
-use haac_runtime::{Channel, ReorderKind, RuntimeError, SessionPhase};
+use haac_runtime::wire::{ot_mode_from_tag, ot_mode_tag, reorder_from_tag, reorder_tag};
+use haac_runtime::{Channel, OtMode, ReorderKind, RuntimeError, SessionPhase};
 use haac_workloads::Scale;
 
 /// Frame tag of a session request (client → server).
@@ -41,6 +41,9 @@ const MAX_ACK_MESSAGE: usize = 512;
 /// Reorder byte of a request that leaves the schedule to the server
 /// (the session-layer tags 0/1/2 name concrete kinds).
 const AUTO_REORDER_TAG: u8 = 0xFF;
+/// OT-mode byte of a request that leaves the input-label delivery mode
+/// to the server (the session-layer tags 0/1 name concrete modes).
+const AUTO_OT_TAG: u8 = 0xFF;
 
 /// What a connecting evaluator asks the server to compute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +59,12 @@ pub struct SessionRequest {
     /// carries the schedule actually chosen, and the client lowers
     /// with that.
     pub reorder: Option<ReorderKind>,
+    /// Input-label delivery mode ([`OtMode::Base`] per-input public-key
+    /// OTs, or the IKNP-style extension). `None` delegates to the
+    /// server's per-workload policy
+    /// ([`choose_ot_mode`](crate::choose_ot_mode)); the ack carries the
+    /// mode actually chosen and the client configures with that.
+    pub ot_mode: Option<OtMode>,
     /// Seed for the server's garbling randomness — deterministic
     /// per-request transcripts, distinct across requests.
     pub seed: u64,
@@ -68,19 +77,28 @@ impl SessionRequest {
             workload: workload.into(),
             scale,
             reorder: Some(ReorderKind::Baseline),
+            ot_mode: Some(OtMode::Base),
             seed,
         }
     }
 
-    /// A request that lets the server pick the schedule: the client
-    /// learns the choice from the ack and lowers with it.
+    /// A request that lets the server pick the schedule and the OT
+    /// mode: the client learns both choices from the ack and configures
+    /// with them.
     pub fn negotiated(workload: impl Into<String>, scale: Scale, seed: u64) -> SessionRequest {
-        SessionRequest { workload: workload.into(), scale, reorder: None, seed }
+        SessionRequest { workload: workload.into(), scale, reorder: None, ot_mode: None, seed }
     }
 
     /// Returns the request pinned to the given instruction schedule.
     pub fn with_reorder(mut self, reorder: ReorderKind) -> SessionRequest {
         self.reorder = Some(reorder);
+        self
+    }
+
+    /// Returns the request pinned to the given input-label delivery
+    /// mode.
+    pub fn with_ot_mode(mut self, ot_mode: OtMode) -> SessionRequest {
+        self.ot_mode = Some(ot_mode);
         self
     }
 }
@@ -119,7 +137,8 @@ pub fn write_request<C: Channel + ?Sized>(
     channel.send(&[REQUEST_TAG, name.len() as u8])?;
     channel.send(name)?;
     let reorder = request.reorder.map_or(AUTO_REORDER_TAG, reorder_tag);
-    channel.send(&[scale_tag(request.scale), reorder])?;
+    let ot_mode = request.ot_mode.map_or(AUTO_OT_TAG, ot_mode_tag);
+    channel.send(&[scale_tag(request.scale), reorder, ot_mode])?;
     channel.send(&request.seed.to_le_bytes())?;
     channel.flush()?;
     Ok(())
@@ -199,41 +218,45 @@ pub fn read_request_deadline<C: Channel + ?Sized>(
     let workload = String::from_utf8(name)
         .map_err(|_| RuntimeError::protocol("workload name is not UTF-8"))?;
     arm_remaining(channel, deadline)?;
-    let mut tail = [0u8; 10];
+    let mut tail = [0u8; 11];
     channel.recv_exact(&mut tail).map_err(|e| wrap(e.into()))?;
     let scale = scale_from_tag(tail[0])?;
     let reorder = match tail[1] {
         AUTO_REORDER_TAG => None,
         tag => Some(reorder_from_tag(tag)?),
     };
-    let seed = u64::from_le_bytes(tail[2..10].try_into().expect("8 bytes"));
+    let ot_mode = match tail[2] {
+        AUTO_OT_TAG => None,
+        tag => Some(ot_mode_from_tag(tag)?),
+    };
+    let seed = u64::from_le_bytes(tail[3..11].try_into().expect("8 bytes"));
     if deadline.is_some() {
         channel.set_io_deadline(None)?;
     }
-    Ok(SessionRequest { workload, scale, reorder, seed })
+    Ok(SessionRequest { workload, scale, reorder, ot_mode, seed })
 }
 
 /// Sends the server's answer to a request — `Ok` with the instruction
-/// schedule the session will run (the client's explicit choice echoed
-/// back, or the server's pick for a negotiated request), or `Err` with
-/// a reason to refuse — and flushes.
+/// schedule and OT mode the session will run (the client's explicit
+/// choices echoed back, or the server's picks for a negotiated
+/// request), or `Err` with a reason to refuse — and flushes.
 ///
 /// # Errors
 ///
 /// Fails on transport errors.
 pub fn write_ack<C: Channel + ?Sized>(
     channel: &mut C,
-    verdict: Result<ReorderKind, &str>,
+    verdict: Result<(ReorderKind, OtMode), &str>,
 ) -> Result<(), RuntimeError> {
-    let (reorder, message) = match verdict {
-        Ok(kind) => (reorder_tag(kind), &[][..]),
+    let (reorder, ot_mode, message) = match verdict {
+        Ok((kind, mode)) => (reorder_tag(kind), ot_mode_tag(mode), &[][..]),
         Err(reason) => {
             let bytes = reason.as_bytes();
-            (0, &bytes[..bytes.len().min(MAX_ACK_MESSAGE)])
+            (0, 0, &bytes[..bytes.len().min(MAX_ACK_MESSAGE)])
         }
     };
     let status = if verdict.is_err() { ACK_REFUSED } else { ACK_OK };
-    channel.send(&[ACK_TAG, status, reorder])?;
+    channel.send(&[ACK_TAG, status, reorder, ot_mode])?;
     channel.send(&(message.len() as u16).to_le_bytes())?;
     channel.send(message)?;
     channel.flush()?;
@@ -252,22 +275,24 @@ pub fn write_busy<C: Channel + ?Sized>(
     channel: &mut C,
     retry_after_ms: u64,
 ) -> Result<(), RuntimeError> {
-    channel.send(&[ACK_TAG, ACK_BUSY, 0])?;
+    channel.send(&[ACK_TAG, ACK_BUSY, 0, 0])?;
     channel.send(&8u16.to_le_bytes())?;
     channel.send(&retry_after_ms.to_le_bytes())?;
     channel.flush()?;
     Ok(())
 }
 
-/// Receives the server's ack and returns the instruction schedule the
-/// session will run; a refusal becomes a protocol error carrying the
-/// server's reason.
+/// Receives the server's ack and returns the instruction schedule and
+/// OT mode the session will run; a refusal becomes a protocol error
+/// carrying the server's reason.
 ///
 /// # Errors
 ///
 /// Fails on transport errors, malformed frames, or a server refusal.
-pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<ReorderKind, RuntimeError> {
-    let mut head = [0u8; 5];
+pub fn read_ack<C: Channel + ?Sized>(
+    channel: &mut C,
+) -> Result<(ReorderKind, OtMode), RuntimeError> {
+    let mut head = [0u8; 6];
     channel.recv_exact(&mut head)?;
     if head[0] != ACK_TAG {
         return Err(RuntimeError::protocol(format!(
@@ -275,14 +300,14 @@ pub fn read_ack<C: Channel + ?Sized>(channel: &mut C) -> Result<ReorderKind, Run
             head[0]
         )));
     }
-    let len = u16::from_le_bytes([head[3], head[4]]) as usize;
+    let len = u16::from_le_bytes([head[4], head[5]]) as usize;
     if len > MAX_ACK_MESSAGE {
         return Err(RuntimeError::protocol(format!("ack message length {len} out of range")));
     }
     let mut message = vec![0u8; len];
     channel.recv_exact(&mut message)?;
     match head[1] {
-        ACK_OK => reorder_from_tag(head[2]),
+        ACK_OK => Ok((reorder_from_tag(head[2])?, ot_mode_from_tag(head[3])?)),
         ACK_BUSY => {
             let retry_after_ms = message
                 .get(..8)
@@ -306,10 +331,13 @@ mod tests {
     fn requests_round_trip() {
         let (mut a, mut b) = MemChannel::pair();
         for reorder in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
-            let request =
-                SessionRequest::new("DotProd", Scale::Small, 0xFEED).with_reorder(reorder);
-            write_request(&mut a, &request).unwrap();
-            assert_eq!(read_request(&mut b).unwrap(), request);
+            for ot_mode in [OtMode::Base, OtMode::Extended] {
+                let request = SessionRequest::new("DotProd", Scale::Small, 0xFEED)
+                    .with_reorder(reorder)
+                    .with_ot_mode(ot_mode);
+                write_request(&mut a, &request).unwrap();
+                assert_eq!(read_request(&mut b).unwrap(), request);
+            }
         }
     }
 
@@ -318,6 +346,7 @@ mod tests {
         let (mut a, mut b) = MemChannel::pair();
         let request = SessionRequest::negotiated("MatMult", Scale::Small, 0xBEEF);
         assert_eq!(request.reorder, None);
+        assert_eq!(request.ot_mode, None);
         write_request(&mut a, &request).unwrap();
         assert_eq!(read_request(&mut b).unwrap(), request);
     }
@@ -327,7 +356,7 @@ mod tests {
         let (mut a, mut b) = MemChannel::pair();
         a.send(&[REQUEST_TAG, 4]).unwrap();
         a.send(b"Hamm").unwrap();
-        a.send(&[0u8, 9]).unwrap(); // scale Small, reorder tag 9: unknown
+        a.send(&[0u8, 9, 0]).unwrap(); // scale Small, reorder tag 9: unknown
         a.send(&7u64.to_le_bytes()).unwrap();
         a.flush().unwrap();
         let err = read_request(&mut b).unwrap_err();
@@ -335,11 +364,25 @@ mod tests {
     }
 
     #[test]
+    fn unknown_ot_mode_tags_are_typed_protocol_errors() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[REQUEST_TAG, 4]).unwrap();
+        a.send(b"Hamm").unwrap();
+        a.send(&[0u8, 0, 9]).unwrap(); // scale Small, baseline, OT tag 9: unknown
+        a.send(&7u64.to_le_bytes()).unwrap();
+        a.flush().unwrap();
+        let err = read_request(&mut b).unwrap_err();
+        assert!(err.to_string().contains("OT mode"), "{err}");
+    }
+
+    #[test]
     fn acks_round_trip_with_the_chosen_schedule() {
         let (mut a, mut b) = MemChannel::pair();
         for kind in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
-            write_ack(&mut a, Ok(kind)).unwrap();
-            assert_eq!(read_ack(&mut b).unwrap(), kind);
+            for mode in [OtMode::Base, OtMode::Extended] {
+                write_ack(&mut a, Ok((kind, mode))).unwrap();
+                assert_eq!(read_ack(&mut b).unwrap(), (kind, mode));
+            }
         }
         write_ack(&mut a, Err("no such workload")).unwrap();
         let err = read_ack(&mut b).unwrap_err();
@@ -411,7 +454,7 @@ mod tests {
         let (mut a, mut b) = MemChannel::pair();
         a.send(&[0xFFu8, 1]).unwrap();
         a.send(b"x").unwrap();
-        a.send(&[0u8, 0]).unwrap();
+        a.send(&[0u8, 0, 0]).unwrap();
         a.send(&0u64.to_le_bytes()).unwrap();
         a.flush().unwrap();
         assert!(read_request(&mut b).is_err());

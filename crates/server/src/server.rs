@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 
 use haac_gc::EnginePool;
 use haac_runtime::{
-    run_garbler, Channel, MemChannel, ReorderKind, RuntimeError, SessionDeadlines, SessionReport,
-    TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
+    run_garbler, Channel, MemChannel, OtMode, ReorderKind, RuntimeError, SessionDeadlines,
+    SessionReport, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
 };
 use haac_workloads::WorkloadKind;
 use rand::{rngs::StdRng, SeedableRng};
@@ -116,6 +116,23 @@ pub fn choose_reorder(kind: WorkloadKind) -> ReorderKind {
         | WorkloadKind::Mersenne
         | WorkloadKind::Triangle
         | WorkloadKind::Hamming => ReorderKind::Baseline,
+    }
+}
+
+/// The server's input-label delivery policy, applied when a client
+/// leaves the OT mode open ([`SessionRequest::negotiated`]): the
+/// IKNP-style extension pays a fixed ~κ base-OT bootstrap, so it wins
+/// exactly when the circuit has at least κ evaluator inputs — below
+/// that, per-input base OTs are strictly fewer public-key operations.
+/// The chosen mode travels back in the ack, so both sides configure
+/// identically.
+///
+/// [`SessionRequest::negotiated`]: crate::SessionRequest::negotiated
+pub fn choose_ot_mode(evaluator_inputs: u32) -> OtMode {
+    if evaluator_inputs as usize >= haac_gc::OT_EXT_KAPPA {
+        OtMode::Extended
+    } else {
+        OtMode::Base
     }
 }
 
@@ -459,11 +476,21 @@ fn session_body(
         return Err(RuntimeError::busy(retry_after_ms));
     }
     let cached = shared.cache.get(kind, request.scale, reorder);
-    write_ack(channel, Ok(reorder))?;
+    // The OT mode: explicit client choice, or sized from the circuit
+    // the cache just produced (extension iff the input count amortizes
+    // its κ-OT bootstrap).
+    let ot_mode = request
+        .ot_mode
+        .unwrap_or_else(|| choose_ot_mode(cached.workload.circuit.evaluator_inputs()));
+    write_ack(channel, Ok((reorder, ot_mode)))?;
 
     let telemetry = shared.metrics.session_telemetry(kind.name(), reorder);
-    let config =
-        cached.config.clone().with_telemetry(telemetry).with_deadlines(shared.config.deadlines);
+    let config = cached
+        .config
+        .clone()
+        .with_telemetry(telemetry)
+        .with_deadlines(shared.config.deadlines)
+        .with_ot_mode(ot_mode);
     let session_start = Instant::now();
     let mut rng = StdRng::seed_from_u64(request.seed);
     let report = run_garbler(

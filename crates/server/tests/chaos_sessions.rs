@@ -10,7 +10,9 @@
 
 use std::time::{Duration, Instant};
 
-use haac_runtime::{Channel as _, FaultChannel, FaultSpec, RuntimeError, SessionDeadlines};
+use haac_runtime::{
+    Channel as _, FaultChannel, FaultSpec, OtMode, RuntimeError, SessionDeadlines, SessionPhase,
+};
 use haac_server::{client, Server, ServerConfig, SessionRequest};
 use haac_workloads::Scale;
 
@@ -94,6 +96,68 @@ fn disconnect_at_every_message_boundary_is_typed_and_drains() {
     // a clean disconnect) — so failed is bounded by the sweep, not
     // equal to it.
     assert!(report.failed <= cuts.len() as u64);
+}
+
+#[test]
+fn extension_round_cuts_are_typed_ot_phase_failures_and_retry_safe() {
+    // The extension adds wire rounds (base-OT bootstrap, matrix,
+    // masked labels) before any garbled table ships. A disconnect in
+    // any of them must surface as a typed error; the ones attributed
+    // to the OT phase stay retry-safe — the free-XOR label space is
+    // untouched until the table stream starts, so a fresh session
+    // replays nothing.
+    let server = Server::new(chaos_config(2));
+    let (workload, config) =
+        client::prepare(haac_workloads::WorkloadKind::DotProduct, Scale::Small);
+    let config = config.with_ot_mode(OtMode::Extended);
+    let req = request("DotProd", 13).with_ot_mode(OtMode::Extended);
+
+    // Calibrate the op count of a clean extended session.
+    let mut clean = FaultChannel::new(server.connect(), FaultSpec::default(), 1);
+    client::run_session_with(&mut clean, &req, &workload, &config)
+        .expect("fault-free extended session must succeed");
+    let total_ops = clean.ops();
+
+    let stride = (total_ops / 48).max(1);
+    let mut cuts: Vec<u64> = (0..total_ops).step_by(stride as usize).collect();
+    cuts.extend([1, total_ops - 1]);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut ot_phase_cuts = 0usize;
+    for &cut in &cuts {
+        let start = Instant::now();
+        let mut faulty = FaultChannel::new(server.connect(), FaultSpec::cut_at_op(cut), cut);
+        let err = client::run_session_with(&mut faulty, &req, &workload, &config)
+            .expect_err("a cut extended session must fail");
+        assert!(faulty.is_cut(), "cut {cut} never fired ({total_ops} ops)");
+        assert!(start.elapsed() < Duration::from_secs(20), "cut {cut} must be deadline-bounded");
+        if err.phase() == Some(SessionPhase::Ot) {
+            ot_phase_cuts += 1;
+            assert!(
+                err.retry_safe(),
+                "an OT-phase failure precedes the retry-safety boundary: {err}"
+            );
+        }
+    }
+    assert!(
+        ot_phase_cuts >= 1,
+        "the sweep must land at least one cut inside the extension rounds \
+         ({} cuts over {total_ops} ops)",
+        cuts.len()
+    );
+
+    // The pool still serves extended sessions after the sweep.
+    let mut channel = server.connect();
+    client::run_session_with(&mut channel, &req, &workload, &config)
+        .expect("the server must keep serving after the sweep");
+    assert!(server.registry().wait_drained(Duration::from_secs(60)));
+    for outcome in server.registry().outcomes() {
+        if let Err(failure) = &outcome.result {
+            assert!(!failure.contains("panicked"), "no session may panic: {failure}");
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.active, 0);
 }
 
 #[test]

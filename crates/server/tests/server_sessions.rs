@@ -279,6 +279,46 @@ fn stall_attribution_reconciles_with_the_streaming_wall_clock() {
 }
 
 #[test]
+fn negotiated_sessions_get_extension_above_the_kappa_threshold() {
+    // The server's OT policy: extension when the workload has at least
+    // κ = 128 evaluator inputs (DotProd Small: 256), the per-input
+    // base OT below it (Triangle Small: 23) — the fixed bootstrap cost
+    // must not dominate tiny input phases. Cold negotiated clients
+    // follow whatever the ack says, and the garbler-side reports in
+    // the registry pin the resulting cost split.
+    let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut big = server.connect();
+    client::run_session(&mut big, &SessionRequest::negotiated("DotProd", Scale::Small, 41))
+        .expect("negotiated extended session succeeds");
+    let mut small = server.connect();
+    client::run_session(&mut small, &SessionRequest::negotiated("Triangle", Scale::Small, 42))
+        .expect("negotiated base session succeeds");
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let outcomes = server.registry().outcomes();
+    let report_for = |workload: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.workload == workload)
+            .and_then(|o| o.result.as_ref().ok())
+            .expect("completed garbler report")
+    };
+    let dot = report_for("DotProd");
+    assert_eq!(dot.base_ots, haac_gc::OT_EXT_KAPPA as u64);
+    assert_eq!(dot.ext_ots, 256);
+    let tri = report_for("Triangle");
+    assert_eq!(tri.base_ots, 23);
+    assert_eq!(tri.ext_ots, 0);
+    // The metrics plane splits the same counts by mode.
+    let samples = haac_telemetry::parse(&server.metrics_snapshot()).expect("snapshot parses");
+    assert!(samples.iter().any(|s| s.name == "haac_base_ots_total"
+        && s.label("workload") == Some("DotProd")
+        && s.value == haac_gc::OT_EXT_KAPPA as f64));
+    assert!(samples.iter().any(|s| s.name == "haac_ext_ots_total" && s.value == 256.0));
+    assert!(samples.iter().any(|s| s.name == "haac_ots_per_sec"));
+    server.shutdown();
+}
+
+#[test]
 fn unknown_reorder_tag_is_a_recorded_failure_not_a_hang() {
     // A client speaking a newer schedule vocabulary (reorder tag 9):
     // the request parser rejects it, the session ends as a typed failed
@@ -288,7 +328,7 @@ fn unknown_reorder_tag_is_a_recorded_failure_not_a_hang() {
     let mut channel = server.connect();
     channel.send(&[0x71, 4]).unwrap(); // request tag + name length
     channel.send(b"Hamm").unwrap();
-    channel.send(&[0u8, 9]).unwrap(); // scale Small, reorder tag 9: unknown
+    channel.send(&[0u8, 9, 0]).unwrap(); // scale Small, reorder tag 9: unknown, OT base
     channel.send(&33u64.to_le_bytes()).unwrap();
     channel.flush().unwrap();
     let err =

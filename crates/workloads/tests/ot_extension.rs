@@ -1,0 +1,64 @@
+//! OT extension ≡ base OT, pinned on every VIP workload.
+//!
+//! The IKNP-style extension changes the input phase's wire protocol and
+//! cost model but must never change the computation: both modes deliver
+//! the evaluator the exact same choice labels, so the session outputs
+//! are bit-identical to each other and to the plaintext reference.
+//! These tests run all eight VIP workloads through both modes — the
+//! suite spans both `m < κ` (Triangle, Mersenne, GradDesc at small
+//! scale) and `m ≥ κ`, where extension actually saves public-key work.
+
+use haac_gc::OT_EXT_KAPPA;
+use haac_runtime::{run_local_session, OtMode, SessionConfig, SessionReport};
+use haac_workloads::{build, Scale, Workload, WorkloadKind};
+
+fn run(workload: &Workload, seed: u64, mode: OtMode) -> (SessionReport, SessionReport) {
+    let config = SessionConfig::for_circuit(&workload.circuit).with_ot_mode(mode);
+    run_local_session(
+        &workload.circuit,
+        &workload.garbler_bits,
+        &workload.evaluator_bits,
+        seed,
+        &config,
+    )
+    .expect("in-process sessions only fail on protocol bugs")
+}
+
+#[test]
+fn extension_matches_base_ot_on_every_vip_workload() {
+    for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+        let workload = build(kind, Scale::Small);
+        let seed = 0xA11C_E000 + i as u64;
+        let (base_g, base_e) = run(&workload, seed, OtMode::Base);
+        let (ext_g, ext_e) = run(&workload, seed, OtMode::Extended);
+
+        // Both modes agree with each other and with the reference.
+        assert_eq!(base_e.outputs, workload.expected, "{kind:?}: base mode diverges");
+        assert_eq!(ext_e.outputs, workload.expected, "{kind:?}: extended mode diverges");
+        assert_eq!(base_g.outputs, ext_g.outputs, "{kind:?}: garbler decode differs");
+        assert_eq!(base_e.outputs, ext_e.outputs, "{kind:?}: evaluator outputs differ");
+
+        // The cost split is the whole point: base mode pays one
+        // public-key OT per evaluator input, extension pays a constant
+        // κ base OTs and finishes the rest with symmetric crypto.
+        let m = workload.circuit.evaluator_inputs() as u64;
+        assert_eq!(base_g.base_ots, m, "{kind:?}");
+        assert_eq!(base_g.ext_ots, 0, "{kind:?}");
+        assert_eq!(ext_g.base_ots, OT_EXT_KAPPA as u64, "{kind:?}");
+        assert_eq!(ext_g.ext_ots, m, "{kind:?}");
+        assert_eq!(ext_e.base_ots, OT_EXT_KAPPA as u64, "{kind:?}");
+        assert_eq!(ext_e.ext_ots, m, "{kind:?}");
+        // Labels delivered is mode-independent.
+        assert_eq!(base_g.ot_transfers, m, "{kind:?}");
+        assert_eq!(ext_g.ot_transfers, m, "{kind:?}");
+    }
+}
+
+#[test]
+fn extension_rate_metering_is_populated() {
+    let workload = build(WorkloadKind::Hamming, Scale::Small);
+    let (g, e) = run(&workload, 7, OtMode::Extended);
+    assert!(g.ot_ns > 0 && e.ot_ns > 0, "the OT phase must be timed");
+    assert!(g.ots_per_sec() > 0.0, "the garbler meters labels/s");
+    assert!(e.ots_per_sec() > 0.0, "the evaluator meters labels/s");
+}

@@ -101,9 +101,11 @@ fn tiny_window_streams_are_wire_identical_to_the_big_slab() {
 #[test]
 fn vip_workloads_stream_through_forced_small_windows() {
     // Real workloads, windows forced to an eighth of natural: the OoRW
-    // queue keeps transcripts identical and outputs correct.
+    // queue keeps transcripts identical and outputs correct. Scale
+    // follows `HAAC_SCALE`, so the CI paper-scale smoke reruns this
+    // exact invariant at millions of gates without a second test body.
     for kind in [WorkloadKind::Hamming, WorkloadKind::DotProduct, WorkloadKind::BubbleSort] {
-        let w = build_workload(kind, Scale::Small);
+        let w = build_workload(kind, Scale::from_env());
         let natural = lower_for_streaming(&w.circuit);
         let forced = WindowModel::new((natural.window.sww_wires() / 8).max(2));
         let plan = lower_with_window(&w.circuit, ReorderKind::Baseline, forced);

@@ -36,7 +36,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use haac_runtime::{ReorderKind, SessionConfig, SessionReport};
+use haac_runtime::{FaultChannel, FaultSpec, ReorderKind, SessionConfig, SessionReport};
 use haac_server::{choose_reorder, client, percentile, Server, ServerConfig, SessionRequest};
 use haac_telemetry::event;
 use haac_workloads::{Scale, Workload, WorkloadKind};
@@ -151,6 +151,39 @@ struct OverloadReport {
     throughput_vs_no_overload: f64,
     /// The p99 bound (seconds) the admitted p99 is asserted against.
     p99_slo_secs: f64,
+    /// Worst per-workload p999 of the server's `haac_session_wall_us`
+    /// histogram (factor-2 bucket resolution) — the *serve*-side tail,
+    /// queue wait and client backoff excluded.
+    server_p999_session_wall_us: u64,
+    /// The bound `server_p999_session_wall_us` is gated against: even
+    /// the 1-in-1000 session must serve inside this.
+    p999_wall_slo_us: u64,
+}
+
+/// Mid-stream chaos under concurrent load: a slice of the fleet has its
+/// first connection cut inside the table stream, and every cut session
+/// must come back through the resume path (same session instance, byte
+/// replay) at nearly the uncut aggregate rate.
+#[derive(Debug, Serialize)]
+struct ChaosReport {
+    /// Clients driven (same mix as the concurrent phase).
+    clients: usize,
+    /// Clients whose first link was cut mid-stream.
+    cut_clients: usize,
+    /// The completed work (every client lands; resumes included).
+    completed: PhaseReport,
+    /// Suspended sessions the server successfully resumed — must cover
+    /// the cut clients that took the resume leg, and equal the
+    /// client-side count exactly.
+    server_resumes: u64,
+    /// Suspended sessions the server gave up on (TTL or eviction).
+    server_resume_evictions: u64,
+    /// Client-fleet resume telemetry, summed.
+    client_resumes: u64,
+    client_resume_failures: u64,
+    /// `completed.and_gates_per_sec / concurrent.and_gates_per_sec`;
+    /// gated ≥ 0.95 — surviving cuts must cost almost nothing.
+    throughput_vs_uncut: f64,
 }
 
 /// What a mid-load scrape of the live admin plane observed.
@@ -188,6 +221,8 @@ struct Report {
     concurrent: PhaseReport,
     /// 2× clients against a small accept queue: shedding + retries.
     overload: OverloadReport,
+    /// Mid-stream cuts under load: resume keeps the fleet whole.
+    chaos: ChaosReport,
     /// Headline: cold single-session AND-gate rate.
     single_session_and_gates_per_sec: f64,
     /// Headline: concurrent aggregate AND-gate rate.
@@ -435,6 +470,7 @@ fn main() {
                         base: Duration::from_millis(2),
                         cap: Duration::from_millis(10),
                         seed: 0xC11E57 + i as u64,
+                        resume_attempts: 2,
                     };
                     let request = SessionRequest::new(k.name(), Scale::Small, 4_000 + i as u64);
                     let start = Instant::now();
@@ -459,6 +495,21 @@ fn main() {
     let admitted = phase_report(&overload_rows, overload_wall);
     let server_busy_refusals = server.metrics().refusals();
     let server_admitted = server.metrics().admitted();
+    // The serve-side tail from the live per-workload histograms, read
+    // before the registry goes away with the server: worst p999 across
+    // the mix (factor-2 bucket resolution; queue wait and client
+    // backoff excluded — this bounds how long the server *served*).
+    let server_p999_session_wall_us = distinct.iter().fold(0u64, |acc, &k| {
+        let histogram = server.metrics().registry().histogram(
+            "haac_session_wall_us",
+            &[("workload", k.name()), ("reorder", ReorderKind::Baseline.label())],
+        );
+        if histogram.count() > 0 {
+            acc.max(histogram.p999())
+        } else {
+            acc
+        }
+    });
     let overload_server = server.shutdown();
     assert_eq!(overload_server.completed, overload_clients as u64);
     assert_eq!(overload_server.failed, 0, "admitted overload work must land");
@@ -480,6 +531,19 @@ fn main() {
         "overload p99 ({:.3}s, backoff included) must stay inside the {p99_slo_secs}s SLO",
         admitted.p99_session_secs,
     );
+    // The p99 SLO's sharper sibling: even the 1-in-1000 *served*
+    // session must land inside the bound, measured by the server's own
+    // wall histogram rather than client clocks.
+    let p999_wall_slo_us = 10_000_000u64;
+    assert!(
+        server_p999_session_wall_us > 0,
+        "the overload phase must have populated haac_session_wall_us"
+    );
+    assert!(
+        server_p999_session_wall_us < p999_wall_slo_us,
+        "server-side p999 session wall ({server_p999_session_wall_us}us) must stay inside \
+         the {p999_wall_slo_us}us SLO",
+    );
     let overload = OverloadReport {
         clients: overload_clients,
         accept_queue_limit,
@@ -492,6 +556,164 @@ fn main() {
         client_giveups,
         throughput_vs_no_overload,
         p99_slo_secs,
+        server_p999_session_wall_us,
+        p999_wall_slo_us,
+    };
+
+    // Phase 5 — chaos: the concurrent mix again, but a slice of the
+    // fleet has its first link cut inside the table stream. The cut
+    // sessions must come back through the resume path — the *same*
+    // session instance continued over a reconnect with the garbler
+    // replaying buffered bytes — and the fleet's aggregate rate must
+    // stay within 5% of the uncut concurrent phase.
+    let cut_clients = (sessions / 4).clamp(1, workers.saturating_sub(1));
+    event!(
+        "loadgen",
+        "chaos phase: {sessions} clients, {cut_clients} cut mid-stream and resumed..."
+    );
+    // Calibrate each workload's channel-op count on a throwaway server
+    // so the cut lands late in the table stream.
+    let cut_op_of: Vec<u64> = {
+        let calibration = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+        let ops = distinct
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut clean = FaultChannel::new(calibration.connect(), FaultSpec::default(), 1);
+                let prepared = workload_of(k);
+                let request = SessionRequest::new(k.name(), Scale::Small, 5_000 + i as u64);
+                client::run_session_with(&mut clean, &request, &prepared.0, &prepared.1)
+                    .expect("calibration session succeeds");
+                clean.ops().saturating_sub(4)
+            })
+            .collect();
+        calibration.shutdown();
+        ops
+    };
+    let server = Server::new(ServerConfig {
+        workers,
+        // A parked session must never wait out a long TTL in a bench
+        // run, and enough sessions may suspend at once to cover every
+        // cut client.
+        max_suspended: workers.saturating_sub(1),
+        resume_ttl: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    for &k in &distinct {
+        server.cache().get(k, Scale::Small, ReorderKind::Baseline);
+    }
+    // Each client runs several sessions back to back; the cut clients
+    // lose their link inside round 0's table stream. A cut is a
+    // one-time cost (reconnect + handoff) against a steady-state fleet,
+    // so the phase has to run long enough for the aggregate rate to
+    // mean something — single-session walls here are ~tens of ms,
+    // comparable to the recovery itself.
+    const CHAOS_ROUNDS: usize = 4;
+    let chaos_registry = haac_telemetry::Registry::new();
+    let chaos_telemetry = client::RetryTelemetry::register(&chaos_registry);
+    let chaos_start = Instant::now();
+    let outcomes: Vec<(Vec<SessionRow>, client::RetryStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let k = mix[i];
+                let cut_op = cut_op_of[distinct.iter().position(|&d| d == k).expect("in mix")];
+                let cut = i < cut_clients;
+                let prepared = workload_of(k);
+                let server = &server;
+                let telemetry = &chaos_telemetry;
+                scope.spawn(move || {
+                    let policy = client::RetryPolicy {
+                        max_attempts: 8,
+                        base: Duration::from_millis(2),
+                        cap: Duration::from_millis(50),
+                        seed: 0xC4A05 + i as u64,
+                        resume_attempts: 4,
+                    };
+                    let mut rows = Vec::with_capacity(CHAOS_ROUNDS);
+                    let mut totals = client::RetryStats::default();
+                    for round in 0..CHAOS_ROUNDS {
+                        let request = SessionRequest::new(
+                            k.name(),
+                            Scale::Small,
+                            6_000 + (i * CHAOS_ROUNDS + round) as u64,
+                        );
+                        let mut first = true;
+                        let start = Instant::now();
+                        let (result, stats) = client::run_session_retrying(
+                            || {
+                                let spec = if cut && round == 0 && first {
+                                    FaultSpec::cut_at_op(cut_op)
+                                } else {
+                                    FaultSpec::default()
+                                };
+                                first = false;
+                                Ok(FaultChannel::new(server.connect(), spec, 7_000 + i as u64))
+                            },
+                            &request,
+                            &prepared.0,
+                            &prepared.1,
+                            &policy,
+                            Some(telemetry),
+                        );
+                        let report =
+                            result.expect("a cut session must land through the resume path");
+                        rows.push(SessionRow::new(
+                            k,
+                            ReorderKind::Baseline,
+                            &report,
+                            start.elapsed(),
+                        ));
+                        totals.attempts += stats.attempts;
+                        totals.retries += stats.retries;
+                        totals.busy_refusals += stats.busy_refusals;
+                        totals.resumes += stats.resumes;
+                        totals.resume_failures += stats.resume_failures;
+                    }
+                    (rows, totals)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("chaos client thread")).collect()
+    });
+    let chaos_wall = chaos_start.elapsed();
+    let (row_groups, chaos_stats): (Vec<Vec<SessionRow>>, Vec<client::RetryStats>) =
+        outcomes.into_iter().unzip();
+    let chaos_rows: Vec<SessionRow> = row_groups.into_iter().flatten().collect();
+    let completed = phase_report(&chaos_rows, chaos_wall);
+    let server_resumes = server.metrics().resumed();
+    let server_resume_evictions = server.metrics().resume_evictions();
+    let client_resumes: u64 = chaos_stats.iter().map(|s| u64::from(s.resumes)).sum();
+    let client_resume_failures: u64 =
+        chaos_stats.iter().map(|s| u64::from(s.resume_failures)).sum();
+    let chaos_server = server.shutdown();
+    assert_eq!(chaos_server.active, 0, "registry must drain after chaos");
+    assert!(
+        chaos_server.completed >= (sessions * CHAOS_ROUNDS) as u64,
+        "every chaos client must land all of its sessions"
+    );
+    assert!(server_resumes >= 1, "the chaos phase must actually resume a cut session");
+    assert_eq!(
+        server_resumes, client_resumes,
+        "server and client fleets must agree on the resume count"
+    );
+    assert_eq!(client_resume_failures, 0, "no resume attempt may die in the chaos phase");
+    let throughput_vs_uncut = completed.and_gates_per_sec / concurrent.and_gates_per_sec;
+    assert!(
+        throughput_vs_uncut >= 0.95,
+        "resume under load: chaos throughput ({:.0} gates/s) must stay >= 0.95x the uncut \
+         aggregate ({:.0} gates/s)",
+        completed.and_gates_per_sec,
+        concurrent.and_gates_per_sec,
+    );
+    let chaos = ChaosReport {
+        clients: sessions,
+        cut_clients,
+        completed,
+        server_resumes,
+        server_resume_evictions,
+        client_resumes,
+        client_resume_failures,
+        throughput_vs_uncut,
     };
 
     let report = Report {
@@ -511,6 +733,7 @@ fn main() {
         warm_serial,
         concurrent,
         overload,
+        chaos,
         server_total_sessions: server_report.total_sessions,
         server_completed: server_report.completed,
         server_failed: server_report.failed,

@@ -146,6 +146,23 @@ impl RuntimeError {
             _ => self.phase().is_some_and(SessionPhase::retry_safe),
         }
     }
+
+    /// Whether this failure may be survived by **resuming** the same
+    /// session instance over a fresh connection (byte replay from the
+    /// last acknowledged stream cursor — never a retry, which would
+    /// re-garble). True only for transport-shaped failures (I/O errors
+    /// and deadlines) attributed to the `Stream` or `Output` phase: a
+    /// dead wire is recoverable, a protocol violation mid-stream means
+    /// the peer is broken and the session is fatal.
+    pub fn resume_safe(&self) -> bool {
+        match self {
+            RuntimeError::Deadline { phase } => !phase.retry_safe(),
+            RuntimeError::Phased { phase, source } => {
+                !phase.retry_safe() && matches!(**source, RuntimeError::Io(_))
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -216,5 +233,21 @@ mod tests {
         // phase there is no proof the table stream never started.
         assert!(!RuntimeError::protocol("x").retry_safe());
         assert!(!RuntimeError::Io(io::Error::other("x")).retry_safe());
+    }
+
+    #[test]
+    fn resume_safety_covers_transport_failures_past_the_stream_boundary() {
+        // Dead wire mid-stream / mid-output: resumable, not retryable.
+        let cut = RuntimeError::Io(io::Error::other("reset")).in_phase(SessionPhase::Stream);
+        assert!(cut.resume_safe() && !cut.retry_safe());
+        let cut = RuntimeError::Io(io::Error::other("reset")).in_phase(SessionPhase::Output);
+        assert!(cut.resume_safe());
+        assert!(RuntimeError::Deadline { phase: SessionPhase::Stream }.resume_safe());
+        // Pre-stream failures are retryable, never resumable.
+        assert!(!RuntimeError::Io(io::Error::other("x")).in_phase(SessionPhase::Ot).resume_safe());
+        assert!(!RuntimeError::busy(250).resume_safe());
+        // A protocol violation mid-stream is fatal either way.
+        assert!(!RuntimeError::protocol("x").in_phase(SessionPhase::Stream).resume_safe());
+        assert!(!RuntimeError::protocol("x").resume_safe());
     }
 }

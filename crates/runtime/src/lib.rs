@@ -86,9 +86,9 @@ pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHA
 pub use error::{RuntimeError, SessionPhase};
 pub use fault::{FaultChannel, FaultDelay, FaultSpec};
 pub use session::{
-    run_evaluator, run_evaluator_with, run_garbler, run_local_session, run_tcp_session,
-    SessionConfig, SessionDeadlines, SessionReport, SessionRole, SessionTelemetry,
-    MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
+    run_evaluator, run_evaluator_resumable, run_evaluator_with, run_garbler, run_garbler_resumable,
+    run_local_session, run_tcp_session, SessionConfig, SessionDeadlines, SessionReport,
+    SessionRole, SessionTelemetry, DEFAULT_ACK_INTERVAL, MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
 };
 pub use wire::OtMode;
 

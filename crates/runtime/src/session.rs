@@ -23,6 +23,7 @@
 //! serial HashMap path — same frames, same flush boundaries, same
 //! tables — which the equivalence suite checks across every workload.
 
+use std::collections::VecDeque;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -33,9 +34,18 @@ use haac_gc::{Block, CryptoCounters, HashScheme, StreamingEvaluator, StreamingGa
 use haac_telemetry::{Counter, Histogram, SlidingRate};
 use rand::Rng;
 
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelStats};
 use crate::error::{RuntimeError, SessionPhase};
-use crate::wire::{read_message, write_message, write_tables, Message, OtMode, SessionHeader};
+use crate::wire::{
+    encode_frame, encode_tables_frame, read_message, write_message, write_tables, Message, OtMode,
+    SessionHeader,
+};
+
+/// Default cumulative-ack cadence for resumable sessions: the evaluator
+/// acknowledges the stream cursor after every this-many table chunks,
+/// and the garbler's replay buffer is bounded at twice this many
+/// frames. Non-resumable sessions announce an interval of 0 (no acks).
+pub const DEFAULT_ACK_INTERVAL: u32 = 16;
 
 /// Per-phase progress deadlines a session enforces on its channel.
 ///
@@ -153,6 +163,13 @@ pub struct SessionConfig {
     /// must agree — the header carries the garbler's choice and the
     /// evaluator refuses a mismatch, exactly like `reorder`.
     pub ot_mode: OtMode,
+    /// Cumulative-ack cadence a **resumable** garbler announces in its
+    /// header (clamped to at least 1 there): the evaluator acks the
+    /// stream cursor every `ack_interval` chunks, and the garbler keeps
+    /// at most `2 × ack_interval` unacked frames of replay bytes before
+    /// backpressuring on the next ack. The non-resumable drivers ignore
+    /// this and announce 0 (no acks, no replay buffer).
+    pub ack_interval: u32,
 }
 
 impl SessionConfig {
@@ -169,6 +186,7 @@ impl SessionConfig {
             telemetry: None,
             deadlines: SessionDeadlines::none(),
             ot_mode: OtMode::Base,
+            ack_interval: DEFAULT_ACK_INTERVAL,
         }
     }
 
@@ -205,6 +223,7 @@ impl SessionConfig {
             telemetry: None,
             deadlines: SessionDeadlines::none(),
             ot_mode: OtMode::Base,
+            ack_interval: DEFAULT_ACK_INTERVAL,
         }
     }
 
@@ -254,6 +273,13 @@ impl SessionConfig {
     /// garbler's and the evaluator refuses a disagreement.
     pub fn with_ot_mode(mut self, ot_mode: OtMode) -> SessionConfig {
         self.ot_mode = ot_mode;
+        self
+    }
+
+    /// Returns the config with the given cumulative-ack cadence for
+    /// resumable sessions (clamped to at least 1 when used).
+    pub fn with_ack_interval(mut self, ack_interval: u32) -> SessionConfig {
+        self.ack_interval = ack_interval.max(1);
         self
     }
 
@@ -436,6 +462,14 @@ pub struct SessionReport {
     /// High-water mark of the OoRW queue during streaming (0 unless
     /// the plan was built against a forced small window).
     pub oor_queue_peak: usize,
+    /// Times this session survived a mid-stream connection loss by
+    /// resuming onto a fresh channel (0 for non-resumable drivers and
+    /// uncut sessions).
+    pub resumes: u64,
+    /// Stream frames re-sent from the garbler's replay buffer across
+    /// all resumes — every one of them was a byte replay, never a
+    /// re-garble (0 on the evaluator side).
+    pub replayed_frames: u64,
     /// Wall-clock duration of this party's session.
     pub elapsed: Duration,
 }
@@ -609,6 +643,9 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
             chunk_tables: chunk_tables as u32,
             reorder: config.reorder(),
             ot_mode: config.ot_mode,
+            // No acks, no replay buffer: this driver cannot resume, so
+            // asking the evaluator to ack would only add traffic.
+            ack_interval: 0,
         }),
     )
     .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
@@ -675,6 +712,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     // OT labels, mirroring the base path's unflushed ciphertexts.
     let mut pre_stats = StreamStats { compute_ns: prefill.compute_ns, ..StreamStats::default() };
     for chunk in &prefill.chunks {
+        let seq = pre_stats.chunks;
         pre_stats.chunks += 1;
         pre_stats.tables += chunk.len() as u64;
         if let Some(tel) = live {
@@ -682,7 +720,7 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         }
         let t = Instant::now();
         (|| -> Result<(), RuntimeError> {
-            write_tables(channel, chunk)?;
+            write_tables(channel, seq, chunk)?;
             Ok(channel.flush()?)
         })()
         .map_err(|e| e.in_phase(SessionPhase::Stream))?;
@@ -696,9 +734,17 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     }
     let mut stats = if config.pipeline {
         let (depth, autotune) = config.resolved_pipeline_depth();
-        stream_tables_pipelined(&mut garbler, channel, chunk_tables, depth, autotune, live)
+        stream_tables_pipelined(
+            &mut garbler,
+            channel,
+            chunk_tables,
+            depth,
+            autotune,
+            pre_stats.chunks,
+            live,
+        )
     } else {
-        stream_tables_serial(&mut garbler, channel, chunk_tables, live)
+        stream_tables_serial(&mut garbler, channel, chunk_tables, pre_stats.chunks, live)
     }
     .map_err(|e| e.in_phase(SessionPhase::Stream))?;
     stats.chunks += pre_stats.chunks;
@@ -754,6 +800,8 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         compute_stall_ns: stats.compute_stall_ns,
         io_stall_ns: stats.io_stall_ns,
         oor_queue_peak: finish.oor_queue_peak,
+        resumes: 0,
+        replayed_frames: 0,
         elapsed: start.elapsed(),
     })
 }
@@ -765,10 +813,12 @@ fn stream_tables_serial<C: Channel + ?Sized>(
     garbler: &mut StreamingGarbler<'_>,
     channel: &mut C,
     chunk_tables: usize,
+    start_seq: u64,
     live: Option<&SessionTelemetry>,
 ) -> Result<StreamStats, RuntimeError> {
     let start = Instant::now();
     let mut stats = StreamStats::default();
+    let mut next_seq = start_seq;
     let mut chunk: Vec<[Block; 2]> = Vec::with_capacity(chunk_tables.min(CHUNK_BUFFER_CAP));
     loop {
         let t = Instant::now();
@@ -788,7 +838,8 @@ fn stream_tables_serial<C: Channel + ?Sized>(
             tel.oor_occupancy.record(garbler.oor_queue_len() as u64);
         }
         let t = Instant::now();
-        write_tables(channel, &chunk)?;
+        write_tables(channel, next_seq, &chunk)?;
+        next_seq += 1;
         channel.flush()?;
         let io_ns = t.elapsed().as_nanos() as u64;
         stats.io_ns += io_ns;
@@ -845,6 +896,7 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
     chunk_tables: usize,
     depth: usize,
     autotune: bool,
+    start_seq: u64,
     live: Option<&SessionTelemetry>,
 ) -> Result<StreamStats, RuntimeError> {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -879,13 +931,15 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
         let io_stats = (&shipped_ns, &shipped_chunks, &starved_ns);
         let io = scope.spawn(move || {
             let mut failure = None;
+            let mut next_seq = start_seq;
             loop {
                 let waited = Instant::now();
                 let Ok(chunk) = full_rx.recv() else { break };
                 io_stats.2.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 let t = Instant::now();
-                let shipped = write_tables(channel, &chunk)
+                let shipped = write_tables(channel, next_seq, &chunk)
                     .and_then(|()| channel.flush().map_err(RuntimeError::from));
+                next_seq += 1;
                 let chunk_io_ns = t.elapsed().as_nanos() as u64;
                 io_stats.0.fetch_add(chunk_io_ns, Ordering::Relaxed);
                 if let Err(e) = shipped {
@@ -1068,9 +1122,9 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     arm_phase(channel, SessionPhase::Stream, &config.deadlines)?;
     let (output_decode, stats) = if config.pipeline {
         let (depth, _) = config.resolved_pipeline_depth();
-        recv_tables_pipelined(&mut evaluator, channel, depth, live)
+        recv_tables_pipelined(&mut evaluator, channel, depth, header.ack_interval, live)
     } else {
-        recv_tables_serial(&mut evaluator, channel, live)
+        recv_tables_serial(&mut evaluator, channel, header.ack_interval, live)
     }
     .map_err(|e| e.in_phase(SessionPhase::Stream))?;
     if !evaluator.is_done() {
@@ -1115,6 +1169,8 @@ pub fn run_evaluator_with<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
         compute_stall_ns: stats.compute_stall_ns,
         io_stall_ns: stats.io_stall_ns,
         oor_queue_peak: finish.oor_queue_peak,
+        resumes: 0,
+        replayed_frames: 0,
         elapsed: start.elapsed(),
     })
 }
@@ -1144,11 +1200,40 @@ pub fn run_evaluator<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     run_evaluator_with(circuit, evaluator_bits, rng, &config, channel)
 }
 
+/// A received chunk's sequence number must continue the stream exactly
+/// — a gap or repeat means the transports desynchronized (or a resume
+/// replayed from the wrong cursor), and evaluating on would produce
+/// garbage labels much later instead of failing here.
+fn check_seq(seq: u64, expected: u64) -> Result<(), RuntimeError> {
+    if seq != expected {
+        return Err(RuntimeError::protocol(format!(
+            "table stream out of sequence: received chunk {seq}, expected {expected}"
+        )));
+    }
+    Ok(())
+}
+
+/// Sends the cumulative ack the garbler's replay buffer trims on, if
+/// the announced cadence says this cursor is an ack point. Flushes —
+/// an unflushed ack would let the garbler's bounded buffer deadlock.
+fn maybe_ack<C: Channel + ?Sized>(
+    channel: &mut C,
+    ack_interval: u32,
+    next_seq: u64,
+) -> Result<(), RuntimeError> {
+    if ack_interval > 0 && next_seq.is_multiple_of(u64::from(ack_interval)) {
+        write_message(channel, &Message::ChunkAck { upto_seq: next_seq })?;
+        channel.flush()?;
+    }
+    Ok(())
+}
+
 /// Serial receive loop: block for a frame, evaluate it, repeat. Stall
 /// attribution stays zero — an inline stage never waits for itself.
 fn recv_tables_serial<C: Channel + ?Sized>(
     evaluator: &mut StreamingEvaluator<'_>,
     channel: &mut C,
+    ack_interval: u32,
     live: Option<&SessionTelemetry>,
 ) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
     let start = Instant::now();
@@ -1159,7 +1244,8 @@ fn recv_tables_serial<C: Channel + ?Sized>(
         let io_ns = t.elapsed().as_nanos() as u64;
         stats.io_ns += io_ns;
         match message {
-            Message::Tables(chunk) => {
+            Message::Tables { seq, tables: chunk } => {
+                check_seq(seq, stats.chunks)?;
                 stats.chunks += 1;
                 stats.tables += chunk.len() as u64;
                 let t = Instant::now();
@@ -1173,6 +1259,7 @@ fn recv_tables_serial<C: Channel + ?Sized>(
                     tel.tables.add(chunk.len() as u64);
                     tel.table_rate.add(chunk.len() as u64);
                 }
+                maybe_ack(channel, ack_interval, stats.chunks)?;
             }
             Message::OutputDecode(decode) => break decode,
             other => {
@@ -1201,6 +1288,7 @@ fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
     evaluator: &mut StreamingEvaluator<'_>,
     channel: &mut C,
     depth: usize,
+    ack_interval: u32,
     live: Option<&SessionTelemetry>,
 ) -> Result<(Vec<bool>, StreamStats), RuntimeError> {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -1219,13 +1307,20 @@ fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
         let starved = &starved_ns;
         let io = scope.spawn(move || {
             let span = Instant::now();
+            // Acks are written from this stage: it owns the channel, and
+            // the ack cadence tracks receive order, not evaluation order.
+            let mut expected_seq = 0u64;
             loop {
                 let t = Instant::now();
                 let message = read_message(channel);
                 let read_ns = t.elapsed().as_nanos() as u64;
                 let io_ns = span.elapsed().as_nanos() as u64;
                 match message {
-                    Ok(Message::Tables(chunk)) => {
+                    Ok(Message::Tables { seq, tables: chunk }) => {
+                        if let Err(e) = check_seq(seq, expected_seq) {
+                            return (io_ns, Err(e));
+                        }
+                        expected_seq += 1;
                         if let Some(tel) = live {
                             tel.chunk_io_ns.record(read_ns);
                         }
@@ -1235,6 +1330,9 @@ fn recv_tables_pipelined<C: Channel + Send + ?Sized>(
                             return (io_ns, Err(RuntimeError::protocol(reason)));
                         }
                         starved.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        if let Err(e) = maybe_ack(channel, ack_interval, expected_seq) {
+                            return (io_ns, Err(e));
+                        }
                     }
                     Ok(Message::OutputDecode(decode)) => return (io_ns, Ok(decode)),
                     Ok(other) => {
@@ -1733,6 +1831,773 @@ fn run_session_pair<C: Channel + Send>(
     })
 }
 
+/// Bounded store of the framed wire bytes of every
+/// not-yet-acknowledged stream frame (table chunks and the
+/// output-decode tail), addressed by sequence number. Resume is **byte
+/// replay** out of this buffer: the exact bytes are re-sent and labels
+/// are never re-derived, so the one-time-label invariant holds by
+/// construction.
+struct ReplayBuffer {
+    frames: VecDeque<(u64, Vec<u8>)>,
+    /// Sequence number the next pushed frame gets.
+    next_seq: u64,
+    /// Cumulative ack cursor: every frame below it has been released.
+    acked: u64,
+}
+
+impl ReplayBuffer {
+    fn new() -> ReplayBuffer {
+        ReplayBuffer { frames: VecDeque::new(), next_seq: 0, acked: 0 }
+    }
+
+    /// Stores a frame's wire bytes under the next sequence number.
+    fn push(&mut self, bytes: Vec<u8>) {
+        self.frames.push_back((self.next_seq, bytes));
+        self.next_seq += 1;
+    }
+
+    /// Applies a cumulative (exclusive) ack: frames below `upto` are
+    /// released. Stale cursors are ignored; a cursor past everything
+    /// produced is a protocol violation.
+    fn ack(&mut self, upto: u64) -> Result<(), RuntimeError> {
+        if upto > self.next_seq {
+            return Err(RuntimeError::protocol(format!(
+                "peer acknowledged stream cursor {upto} but only {} frames were produced",
+                self.next_seq
+            )));
+        }
+        if upto > self.acked {
+            self.acked = upto;
+            while self.frames.front().is_some_and(|(seq, _)| *seq < upto) {
+                self.frames.pop_front();
+            }
+        }
+        Ok(())
+    }
+
+    /// Frames produced but not yet acknowledged.
+    fn unacked(&self) -> u64 {
+        self.next_seq - self.acked
+    }
+}
+
+/// Counters a resumable driver accumulates across reconnects.
+#[derive(Debug, Default, Clone, Copy)]
+struct ResumeCounters {
+    resumes: u64,
+    replayed_frames: u64,
+}
+
+/// Folds one connection's traffic counters into a running total, so a
+/// resumed session's report covers every channel it ran over.
+fn absorb_stats(total: &mut ChannelStats, stats: &ChannelStats) {
+    total.bytes_sent += stats.bytes_sent;
+    total.bytes_received += stats.bytes_received;
+    total.flushes += stats.flushes;
+}
+
+/// Recovers the garbler side of a resumable session after a transport
+/// failure: the dead channel is dropped first (its traffic folded into
+/// `carried`; the peer only observes the disconnect once the channel is
+/// gone), then the `resume` callback is asked for a fresh channel plus
+/// the evaluator's requested cursor, and every buffered frame at or
+/// past that cursor is replayed byte-for-byte. Failures during the
+/// replay re-consult the callback; the callback returning `None` makes
+/// the pending failure terminal, as does any non-resumable failure.
+#[allow(clippy::too_many_arguments)]
+fn garbler_recover<C, F>(
+    dead: C,
+    err: RuntimeError,
+    phase: SessionPhase,
+    buffer: &mut ReplayBuffer,
+    deadlines: &SessionDeadlines,
+    carried: &mut ChannelStats,
+    counters: &mut ResumeCounters,
+    resume: &mut F,
+) -> Result<C, RuntimeError>
+where
+    C: Channel,
+    F: FnMut(&RuntimeError, u64) -> Option<(C, u64)>,
+{
+    let mut err = err.in_phase(phase);
+    absorb_stats(carried, &dead.stats());
+    drop(dead);
+    loop {
+        if !err.resume_safe() {
+            return Err(err);
+        }
+        let Some((mut channel, next_seq)) = resume(&err, buffer.next_seq) else {
+            return Err(err);
+        };
+        match garbler_replay(&mut channel, next_seq, buffer, deadlines, counters) {
+            Ok(()) => return Ok(channel),
+            Err(replay_err) => {
+                absorb_stats(carried, &channel.stats());
+                drop(channel);
+                err = replay_err;
+            }
+        }
+    }
+}
+
+/// Confirms the evaluator's cursor with a `ResumeAck` on a fresh
+/// channel and replays every buffered frame at or past it. Frames below
+/// the cursor are implicitly acknowledged — the evaluator vouching for
+/// them is as good as an ack. The stream deadline is re-armed on the
+/// new channel, so the per-chunk progress budget is per connection, not
+/// cumulative across reconnects.
+fn garbler_replay<C: Channel>(
+    channel: &mut C,
+    next_seq: u64,
+    buffer: &mut ReplayBuffer,
+    deadlines: &SessionDeadlines,
+    counters: &mut ResumeCounters,
+) -> Result<(), RuntimeError> {
+    if next_seq > buffer.next_seq {
+        return Err(RuntimeError::protocol(format!(
+            "resume cursor {next_seq} is past the {} frames produced",
+            buffer.next_seq
+        ))
+        .in_phase(SessionPhase::Stream));
+    }
+    if next_seq < buffer.acked {
+        return Err(RuntimeError::protocol(format!(
+            "resume cursor {next_seq} is below the acknowledged cursor {}: those bytes were \
+             released and cannot be replayed",
+            buffer.acked
+        ))
+        .in_phase(SessionPhase::Stream));
+    }
+    arm_phase(channel, SessionPhase::Stream, deadlines)?;
+    (|| -> Result<(), RuntimeError> {
+        write_message(channel, &Message::ResumeAck { from_seq: next_seq })?;
+        buffer.ack(next_seq)?;
+        for (seq, bytes) in &buffer.frames {
+            debug_assert!(*seq >= next_seq);
+            channel.send(bytes)?;
+            counters.replayed_frames += 1;
+        }
+        Ok(channel.flush()?)
+    })()
+    .map_err(|e| e.in_phase(SessionPhase::Stream))?;
+    counters.resumes += 1;
+    Ok(())
+}
+
+/// Buffers a frame's bytes in the replay buffer, then sends and flushes
+/// them — recovering through the resume callback on a transport
+/// failure. After a successful recovery the frame has already been
+/// replayed out of the buffer, so the send is not repeated.
+#[allow(clippy::too_many_arguments)]
+fn ship_frame<C, F>(
+    mut channel: C,
+    frame: Vec<u8>,
+    phase: SessionPhase,
+    buffer: &mut ReplayBuffer,
+    deadlines: &SessionDeadlines,
+    carried: &mut ChannelStats,
+    counters: &mut ResumeCounters,
+    resume: &mut F,
+) -> Result<C, RuntimeError>
+where
+    C: Channel,
+    F: FnMut(&RuntimeError, u64) -> Option<(C, u64)>,
+{
+    buffer.push(frame);
+    let sent = {
+        let (_, bytes) = buffer.frames.back().expect("frame was just pushed");
+        channel.send(bytes).and_then(|()| channel.flush())
+    };
+    match sent {
+        Ok(()) => Ok(channel),
+        Err(e) => {
+            garbler_recover(channel, e.into(), phase, buffer, deadlines, carried, counters, resume)
+        }
+    }
+}
+
+/// Runs the garbler side of a **resumable** streaming session.
+///
+/// Every stream frame's wire bytes (table chunks and the output-decode
+/// tail, in one sequence space) are retained in a bounded replay buffer
+/// until the evaluator's periodic cumulative `ChunkAck` releases them;
+/// the buffer is capped at two ack windows (`2 × ack_interval` frames)
+/// and a garbler that outruns the acks blocks on the next one —
+/// backpressure, not growth. A transport failure past the retry-safety
+/// boundary ([`RuntimeError::resume_safe`]) consults the `resume`
+/// callback instead of tearing down: the callback receives the failure
+/// and the number of frames produced so far, and returns a reconnected
+/// channel plus the evaluator's requested cursor (learned from the
+/// peer's `Resume` frame, which the callback — not this driver — is
+/// expected to have consumed), or `None` to give up. Resume is byte
+/// replay: unacknowledged frames are re-sent verbatim and nothing is
+/// ever re-garbled, so the one-time-label invariant holds by
+/// construction.
+///
+/// Streaming is serial (no compute/I-O overlap): the replay-buffer
+/// invariant — bytes are buffered before they are sent — stays
+/// trivially true without threading frames through the pipeline ring,
+/// at the cost of the overlap the pipelined driver buys.
+///
+/// # Errors
+///
+/// Fails on pre-stream failures (which are retry-safe, never resumed),
+/// on protocol violations, and on resumable failures once the callback
+/// declines to provide a new channel.
+pub fn run_garbler_resumable<C, R, F>(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    rng: &mut R,
+    config: &SessionConfig,
+    mut channel: C,
+    mut resume: F,
+) -> Result<SessionReport, RuntimeError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(&RuntimeError, u64) -> Option<(C, u64)>,
+{
+    if garbler_bits.len() != circuit.garbler_inputs() as usize {
+        return Err(RuntimeError::protocol(format!(
+            "garbler input width {} does not match circuit ({})",
+            garbler_bits.len(),
+            circuit.garbler_inputs()
+        )));
+    }
+    if let Some(plan) = &config.plan {
+        check_plan(plan, circuit)?;
+    }
+    let start = Instant::now();
+    let chunk_tables = config.chunk_tables();
+    let ack_interval = config.ack_interval.max(1);
+    let buffer_cap = u64::from(ack_interval) * 2;
+
+    arm_phase(&mut channel, SessionPhase::Handshake, &config.deadlines)?;
+    write_message(
+        &mut channel,
+        &Message::Header(SessionHeader {
+            garbler_inputs: circuit.garbler_inputs(),
+            evaluator_inputs: circuit.evaluator_inputs(),
+            num_gates: circuit.num_gates() as u64,
+            num_tables: circuit.num_and_gates() as u64,
+            scheme: config.scheme,
+            window_wires: config.window.sww_wires(),
+            chunk_tables: chunk_tables as u32,
+            reorder: config.reorder(),
+            ot_mode: config.ot_mode,
+            ack_interval,
+        }),
+    )
+    .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+
+    let plan = config.plan.clone();
+    let mut garbler = match &plan {
+        Some(plan) => StreamingGarbler::with_plan(&plan.program, rng, config.scheme),
+        None => StreamingGarbler::new(circuit, rng, config.scheme),
+    };
+    write_message(
+        &mut channel,
+        &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)),
+    )
+    .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+
+    let evaluator_pairs: Vec<(Block, Block)> = (0..circuit.evaluator_inputs())
+        .map(|i| garbler.input_label_pair(circuit.garbler_inputs() + i))
+        .collect();
+    let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
+    arm_phase(&mut channel, SessionPhase::Ot, &config.deadlines)?;
+    let t = Instant::now();
+    let ot = match config.ot_mode {
+        OtMode::Base => ot_send(&evaluator_pairs, rng, &mut channel)
+            .map_err(|e| e.in_phase(SessionPhase::Ot))?,
+        OtMode::Extended => {
+            // The extension opens with a receive (the evaluator's
+            // OtSetup), so the queued header must actually go out.
+            channel.flush().map_err(|e| RuntimeError::from(e).in_phase(SessionPhase::Ot))?;
+            ot_send_extended(&evaluator_pairs, rng, &mut channel)
+                .map_err(|e| e.in_phase(SessionPhase::Ot))?
+        }
+    };
+    let ot_ns = t.elapsed().as_nanos() as u64;
+    if let Some(tel) = live {
+        tel.ot_ns.record(ot_ns);
+        tel.base_ots.add(ot.base_ots);
+        tel.ext_ots.add(ot.ext_ots);
+        tel.ot_rate.add(ot.transfers);
+    }
+
+    arm_phase(&mut channel, SessionPhase::Stream, &config.deadlines)?;
+    let stream_start = Instant::now();
+    let mut stats = StreamStats::default();
+    let mut buffer = ReplayBuffer::new();
+    let mut counters = ResumeCounters::default();
+    let mut carried = ChannelStats::default();
+    let mut chunk: Vec<[Block; 2]> = Vec::with_capacity(chunk_tables.min(CHUNK_BUFFER_CAP));
+    loop {
+        // Bounded replay buffer: block for acks before garbling on.
+        while buffer.unacked() >= buffer_cap {
+            match read_message(&mut channel) {
+                Ok(Message::ChunkAck { upto_seq }) => {
+                    buffer.ack(upto_seq).map_err(|e| e.in_phase(SessionPhase::Stream))?;
+                }
+                Ok(other) => {
+                    return Err(RuntimeError::protocol(format!(
+                        "expected ChunkAck, received {}",
+                        other.name()
+                    ))
+                    .in_phase(SessionPhase::Stream));
+                }
+                Err(e) => {
+                    channel = garbler_recover(
+                        channel,
+                        e,
+                        SessionPhase::Stream,
+                        &mut buffer,
+                        &config.deadlines,
+                        &mut carried,
+                        &mut counters,
+                        &mut resume,
+                    )?;
+                }
+            }
+        }
+        let t = Instant::now();
+        let more = garbler.next_tables_into(chunk_tables, &mut chunk);
+        let compute_ns = t.elapsed().as_nanos() as u64;
+        stats.compute_ns += compute_ns;
+        if !more {
+            break;
+        }
+        if chunk.is_empty() {
+            continue;
+        }
+        stats.tables += chunk.len() as u64;
+        stats.chunks += 1;
+        if let Some(tel) = live {
+            tel.chunk_compute_ns.record(compute_ns);
+            tel.oor_occupancy.record(garbler.oor_queue_len() as u64);
+        }
+        let frame = encode_tables_frame(buffer.next_seq, &chunk)
+            .map_err(|e| e.in_phase(SessionPhase::Stream))?;
+        let t = Instant::now();
+        channel = ship_frame(
+            channel,
+            frame,
+            SessionPhase::Stream,
+            &mut buffer,
+            &config.deadlines,
+            &mut carried,
+            &mut counters,
+            &mut resume,
+        )?;
+        let io_ns = t.elapsed().as_nanos() as u64;
+        stats.io_ns += io_ns;
+        if let Some(tel) = live {
+            tel.chunk_io_ns.record(io_ns);
+            tel.tables.add(chunk.len() as u64);
+            tel.table_rate.add(chunk.len() as u64);
+        }
+    }
+    stats.wall_ns = stream_start.elapsed().as_nanos() as u64;
+
+    // The output-decode tail rides in the same sequence space (cursor =
+    // chunk count), so a cut between the last chunk and the decode — or
+    // between the decode and the shared outputs — replays exactly the
+    // frames the evaluator is missing.
+    let finish = garbler.finish();
+    let decode_frame = encode_frame(&Message::OutputDecode(finish.output_decode))
+        .map_err(|e| e.in_phase(SessionPhase::Output))?;
+    channel = ship_frame(
+        channel,
+        decode_frame,
+        SessionPhase::Output,
+        &mut buffer,
+        &config.deadlines,
+        &mut carried,
+        &mut counters,
+        &mut resume,
+    )?;
+
+    let outputs = loop {
+        match read_message(&mut channel) {
+            // Late acks from the stream's tail are still applied — they
+            // release replay bytes held for a resume that never came.
+            Ok(Message::ChunkAck { upto_seq }) => {
+                buffer.ack(upto_seq).map_err(|e| e.in_phase(SessionPhase::Output))?;
+            }
+            Ok(Message::Outputs(outputs)) => break outputs,
+            Ok(other) => {
+                return Err(RuntimeError::protocol(format!(
+                    "expected Outputs, received {}",
+                    other.name()
+                ))
+                .in_phase(SessionPhase::Output));
+            }
+            Err(e) => {
+                channel = garbler_recover(
+                    channel,
+                    e,
+                    SessionPhase::Output,
+                    &mut buffer,
+                    &config.deadlines,
+                    &mut carried,
+                    &mut counters,
+                    &mut resume,
+                )?;
+            }
+        }
+    };
+    if outputs.len() != circuit.outputs().len() {
+        return Err(RuntimeError::protocol(format!(
+            "evaluator shared {} outputs, circuit has {}",
+            outputs.len(),
+            circuit.outputs().len()
+        )));
+    }
+
+    let mut channel_stats = channel.stats();
+    absorb_stats(&mut channel_stats, &carried);
+    Ok(SessionReport {
+        role: SessionRole::Garbler,
+        outputs,
+        bytes_sent: channel_stats.bytes_sent,
+        bytes_received: channel_stats.bytes_received,
+        flushes: channel_stats.flushes,
+        table_chunks: stats.chunks,
+        tables: stats.tables,
+        peak_live_wires: finish.peak_live_wires,
+        within_window: finish.peak_live_wires <= config.window.sww_wires() as usize,
+        ot_transfers: ot.transfers,
+        crypto: finish.crypto,
+        compute_ns: stats.compute_ns,
+        io_ns: stats.io_ns,
+        stream_ns: stats.wall_ns,
+        overlap_ratio: stats.overlap_ratio(),
+        pipeline_depth: stats.depth,
+        ot_ns,
+        base_ots: ot.base_ots,
+        ext_ots: ot.ext_ots,
+        ot_io_stall_ns: ot.io_stall_ns,
+        compute_stall_ns: stats.compute_stall_ns,
+        io_stall_ns: stats.io_stall_ns,
+        oor_queue_peak: finish.oor_queue_peak,
+        resumes: counters.resumes,
+        replayed_frames: counters.replayed_frames,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Recovers the evaluator side of a resumable session: the dead channel
+/// is dropped first (its traffic folded into `carried`; the peer only
+/// observes the disconnect once the channel is gone), then the `resume`
+/// callback is asked for a fresh raw connection and the resume
+/// handshake runs on it — this side sends `Resume{ticket, next_seq}`
+/// and requires the garbler's `ResumeAck` to confirm exactly that
+/// cursor; anything else means the replay would not continue
+/// bit-identically and is fatal. Handshake failures re-consult the
+/// callback; `None` makes the pending failure terminal.
+#[allow(clippy::too_many_arguments)]
+fn evaluator_recover<C, F>(
+    dead: C,
+    err: RuntimeError,
+    phase: SessionPhase,
+    ticket: u128,
+    next_seq: u64,
+    deadlines: &SessionDeadlines,
+    carried: &mut ChannelStats,
+    resumes: &mut u64,
+    resume: &mut F,
+) -> Result<C, RuntimeError>
+where
+    C: Channel,
+    F: FnMut(&RuntimeError, u64) -> Option<C>,
+{
+    let mut err = err.in_phase(phase);
+    absorb_stats(carried, &dead.stats());
+    drop(dead);
+    loop {
+        if !err.resume_safe() {
+            return Err(err);
+        }
+        let Some(mut channel) = resume(&err, next_seq) else {
+            return Err(err);
+        };
+        let hello = (|| -> Result<(), RuntimeError> {
+            // The chunk budget restarts with the connection.
+            arm_phase(&mut channel, SessionPhase::Stream, deadlines)?;
+            write_message(&mut channel, &Message::Resume { ticket, next_seq })?;
+            channel.flush()?;
+            let Message::ResumeAck { from_seq } = expect_message(&mut channel, "ResumeAck")? else {
+                unreachable!()
+            };
+            if from_seq != next_seq {
+                return Err(RuntimeError::protocol(format!(
+                    "garbler resumed from cursor {from_seq}, this side asked for {next_seq}"
+                )));
+            }
+            Ok(())
+        })()
+        .map_err(|e| e.in_phase(SessionPhase::Stream));
+        match hello {
+            Ok(()) => {
+                *resumes += 1;
+                return Ok(channel);
+            }
+            Err(hello_err) => {
+                absorb_stats(carried, &channel.stats());
+                drop(channel);
+                err = hello_err;
+            }
+        }
+    }
+}
+
+/// Runs the evaluator side of a **resumable** streaming session.
+///
+/// The slab/OoRW evaluation state lives on this side of the channel, so
+/// it survives a transport swap by construction; what this driver adds
+/// is the cursor protocol around it. Every `ack_interval` chunks (the
+/// cadence the garbler announces in its header) the evaluator sends a
+/// cumulative `ChunkAck` releasing the garbler's replay bytes. On a
+/// resumable transport failure ([`RuntimeError::resume_safe`]) the
+/// `resume` callback is asked for a fresh raw connection — it owns
+/// reconnect policy and backoff, returning `None` to give up — and the
+/// driver runs the resume handshake itself: `Resume{ticket, next_seq}`
+/// out, `ResumeAck` back confirming the exact cursor, after which the
+/// replayed bytes continue the stream bit-identically (the sequence
+/// check fails loudly if they do not).
+///
+/// `ticket` is the opaque resume token the serving layer issued with
+/// the session; pure-runtime peers just agree on a value out of band.
+///
+/// # Errors
+///
+/// Fails on pre-stream failures (retry-safe, never resumed), protocol
+/// violations — including a garbler that announces `ack_interval` 0,
+/// i.e. one that cannot resume — and resumable failures once the
+/// callback declines to reconnect.
+pub fn run_evaluator_resumable<C, R, F>(
+    circuit: &Circuit,
+    evaluator_bits: &[bool],
+    rng: &mut R,
+    config: &SessionConfig,
+    mut channel: C,
+    ticket: u128,
+    mut resume: F,
+) -> Result<SessionReport, RuntimeError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(&RuntimeError, u64) -> Option<C>,
+{
+    if evaluator_bits.len() != circuit.evaluator_inputs() as usize {
+        return Err(RuntimeError::protocol(format!(
+            "evaluator input width {} does not match circuit ({})",
+            evaluator_bits.len(),
+            circuit.evaluator_inputs()
+        )));
+    }
+    if let Some(plan) = &config.plan {
+        check_plan(plan, circuit)?;
+    }
+    let start = Instant::now();
+
+    arm_phase(&mut channel, SessionPhase::Handshake, &config.deadlines)?;
+    let Message::Header(header) =
+        expect_message(&mut channel, "Header").map_err(|e| e.in_phase(SessionPhase::Handshake))?
+    else {
+        unreachable!()
+    };
+    validate_header(circuit, &header)?;
+    if header.reorder != config.reorder() {
+        return Err(RuntimeError::protocol(format!(
+            "reorder mismatch: the garbler lowered with {}, this side with {}",
+            header.reorder.label(),
+            config.reorder().label()
+        )));
+    }
+    if header.ot_mode != config.ot_mode {
+        return Err(RuntimeError::protocol(format!(
+            "OT mode mismatch: the garbler negotiated {}, this side {}",
+            header.ot_mode.label(),
+            config.ot_mode.label()
+        )));
+    }
+    if header.ack_interval == 0 {
+        // Fail fast instead of discovering at the first cut that the
+        // peer kept no replay bytes.
+        return Err(RuntimeError::protocol(
+            "the garbler announced no ack interval: this session cannot be resumed",
+        ));
+    }
+
+    let Message::GarblerInputs(garbler_labels) = expect_message(&mut channel, "GarblerInputs")
+        .map_err(|e| e.in_phase(SessionPhase::Handshake))?
+    else {
+        unreachable!()
+    };
+    if garbler_labels.len() != circuit.garbler_inputs() as usize {
+        return Err(RuntimeError::protocol("garbler label count mismatch"));
+    }
+
+    let live = config.telemetry.as_deref().filter(|_| haac_telemetry::enabled());
+    arm_phase(&mut channel, SessionPhase::Ot, &config.deadlines)?;
+    let t = Instant::now();
+    let (own_labels, ot) = match header.ot_mode {
+        OtMode::Base => ot_receive(evaluator_bits, rng, &mut channel),
+        OtMode::Extended => ot_receive_extended(evaluator_bits, rng, &mut channel),
+    }
+    .map_err(|e| e.in_phase(SessionPhase::Ot))?;
+    let ot_ns = t.elapsed().as_nanos() as u64;
+    if let Some(tel) = live {
+        tel.ot_ns.record(ot_ns);
+        tel.base_ots.add(ot.base_ots);
+        tel.ext_ots.add(ot.ext_ots);
+        tel.ot_rate.add(ot.transfers);
+    }
+
+    let mut input_labels = garbler_labels;
+    input_labels.extend(own_labels);
+    let plan = config.plan.clone();
+    let mut evaluator = match &plan {
+        Some(plan) => StreamingEvaluator::with_plan(&plan.program, input_labels, header.scheme),
+        None => StreamingEvaluator::new(circuit, input_labels, header.scheme),
+    };
+
+    arm_phase(&mut channel, SessionPhase::Stream, &config.deadlines)?;
+    let stream_start = Instant::now();
+    let mut stats = StreamStats::default();
+    let mut carried = ChannelStats::default();
+    let mut resumes = 0u64;
+    let output_decode = loop {
+        let t = Instant::now();
+        match read_message(&mut channel) {
+            Ok(Message::Tables { seq, tables: chunk }) => {
+                let io_ns = t.elapsed().as_nanos() as u64;
+                stats.io_ns += io_ns;
+                check_seq(seq, stats.chunks).map_err(|e| e.in_phase(SessionPhase::Stream))?;
+                stats.chunks += 1;
+                stats.tables += chunk.len() as u64;
+                let t = Instant::now();
+                evaluator.feed(&chunk);
+                let compute_ns = t.elapsed().as_nanos() as u64;
+                stats.compute_ns += compute_ns;
+                if let Some(tel) = live {
+                    tel.chunk_io_ns.record(io_ns);
+                    tel.chunk_compute_ns.record(compute_ns);
+                    tel.oor_occupancy.record(evaluator.oor_queue_len() as u64);
+                    tel.tables.add(chunk.len() as u64);
+                    tel.table_rate.add(chunk.len() as u64);
+                }
+                if let Err(e) = maybe_ack(&mut channel, header.ack_interval, stats.chunks) {
+                    // A failed ack is recovered like a failed receive:
+                    // the resume implicitly acknowledges the cursor.
+                    channel = evaluator_recover(
+                        channel,
+                        e,
+                        SessionPhase::Stream,
+                        ticket,
+                        stats.chunks,
+                        &config.deadlines,
+                        &mut carried,
+                        &mut resumes,
+                        &mut resume,
+                    )?;
+                }
+            }
+            Ok(Message::OutputDecode(decode)) => break decode,
+            Ok(other) => {
+                return Err(RuntimeError::protocol(format!(
+                    "expected Tables or OutputDecode, received {}",
+                    other.name()
+                ))
+                .in_phase(SessionPhase::Stream));
+            }
+            Err(e) => {
+                channel = evaluator_recover(
+                    channel,
+                    e,
+                    SessionPhase::Stream,
+                    ticket,
+                    stats.chunks,
+                    &config.deadlines,
+                    &mut carried,
+                    &mut resumes,
+                    &mut resume,
+                )?;
+            }
+        }
+    };
+    stats.wall_ns = stream_start.elapsed().as_nanos() as u64;
+    if !evaluator.is_done() {
+        return Err(RuntimeError::protocol(format!(
+            "table stream ended early: consumed {} of {} tables",
+            evaluator.tables_consumed(),
+            header.num_tables
+        ))
+        .in_phase(SessionPhase::Stream));
+    }
+
+    let tables = evaluator.tables_consumed();
+    let finish = evaluator.finish(&output_decode);
+    // Cursor past the decode frame: on a resume here the garbler
+    // replays nothing and just re-awaits the shared outputs.
+    let final_cursor = stats.chunks + 1;
+    loop {
+        let sent = (|| -> Result<(), RuntimeError> {
+            write_message(&mut channel, &Message::Outputs(finish.outputs.clone()))?;
+            Ok(channel.flush()?)
+        })();
+        match sent {
+            Ok(()) => break,
+            Err(e) => {
+                channel = evaluator_recover(
+                    channel,
+                    e,
+                    SessionPhase::Output,
+                    ticket,
+                    final_cursor,
+                    &config.deadlines,
+                    &mut carried,
+                    &mut resumes,
+                    &mut resume,
+                )?;
+            }
+        }
+    }
+
+    let mut channel_stats = channel.stats();
+    absorb_stats(&mut channel_stats, &carried);
+    Ok(SessionReport {
+        role: SessionRole::Evaluator,
+        outputs: finish.outputs,
+        bytes_sent: channel_stats.bytes_sent,
+        bytes_received: channel_stats.bytes_received,
+        flushes: channel_stats.flushes,
+        table_chunks: stats.chunks,
+        tables,
+        peak_live_wires: finish.peak_live_wires,
+        within_window: finish.peak_live_wires <= header.window_wires as usize,
+        ot_transfers: circuit.evaluator_inputs() as u64,
+        crypto: finish.crypto,
+        compute_ns: stats.compute_ns,
+        io_ns: stats.io_ns,
+        stream_ns: stats.wall_ns,
+        overlap_ratio: stats.overlap_ratio(),
+        pipeline_depth: stats.depth,
+        ot_ns,
+        base_ots: ot.base_ots,
+        ext_ots: ot.ext_ots,
+        ot_io_stall_ns: ot.io_stall_ns,
+        compute_stall_ns: stats.compute_stall_ns,
+        io_stall_ns: stats.io_stall_ns,
+        oor_queue_peak: finish.oor_queue_peak,
+        resumes,
+        replayed_frames: 0,
+        elapsed: start.elapsed(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2187,5 +3052,302 @@ mod tests {
         assert_eq!(tel.base_ots.get(), 2 * haac_gc::OT_EXT_KAPPA as u64);
         assert_eq!(tel.ext_ots.get(), 2 * 16);
         assert_eq!(tel.ot_ns.count(), 2, "one OT phase sample per side");
+    }
+
+    type DynChannel = Box<dyn Channel + Send>;
+
+    /// Drives one resumable session pair, optionally cutting the
+    /// evaluator's first connection at the given channel operation. Both
+    /// resume callbacks reconnect through a shared rendezvous: the
+    /// evaluator's makes a fresh `MemChannel` pair and hands the garbler
+    /// its end; the garbler's consumes the peer's `Resume` frame off the
+    /// new channel, exactly as the serving layer's handoff job does when
+    /// routing by ticket. `wrap` intercepts every *resumed* channel end
+    /// (tests use it to observe deadline re-arming).
+    fn run_resumable_pair(
+        circuit: &Circuit,
+        seed: u64,
+        config: &SessionConfig,
+        garbler_bits: &[bool],
+        evaluator_bits: &[bool],
+        cut_at_op: Option<u64>,
+        wrap: &(dyn Fn(crate::channel::MemChannel) -> DynChannel + Sync),
+    ) -> Result<(SessionReport, SessionReport), RuntimeError> {
+        use crate::channel::MemChannel;
+        use crate::fault::{FaultChannel, FaultSpec};
+        use rand::rngs::StdRng;
+
+        let (g_end, e_end) = MemChannel::pair();
+        let garbler_channel: DynChannel = Box::new(g_end);
+        let evaluator_channel: DynChannel = match cut_at_op {
+            Some(op) => Box::new(FaultChannel::new(e_end, FaultSpec::cut_at_op(op), seed)),
+            None => Box::new(e_end),
+        };
+        let (handoff_tx, handoff_rx) = mpsc::channel::<MemChannel>();
+        let ticket = 0xC0FF_EE00_D00D_u128;
+
+        std::thread::scope(|scope| {
+            let garbler = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                run_garbler_resumable(
+                    circuit,
+                    garbler_bits,
+                    &mut rng,
+                    config,
+                    garbler_channel,
+                    |_err, _produced| {
+                        let mut channel = wrap(handoff_rx.recv().ok()?);
+                        let Ok(Message::Resume { ticket: got, next_seq }) =
+                            read_message(&mut channel)
+                        else {
+                            return None;
+                        };
+                        assert_eq!(got, ticket, "resume routed to the wrong session");
+                        Some((channel, next_seq))
+                    },
+                )
+            });
+            let evaluator = scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+                run_evaluator_resumable(
+                    circuit,
+                    evaluator_bits,
+                    &mut rng,
+                    config,
+                    evaluator_channel,
+                    ticket,
+                    |_err, _next_seq| {
+                        let (g_end, e_end) = MemChannel::pair();
+                        handoff_tx.send(g_end).ok()?;
+                        Some(wrap(e_end))
+                    },
+                )
+            });
+            let g = garbler.join().expect("garbler thread panicked");
+            let e = evaluator.join().expect("evaluator thread panicked");
+            Ok((g?, e?))
+        })
+    }
+
+    #[test]
+    fn resumable_drivers_match_the_plain_transcript_when_nothing_fails() {
+        let c = adder(32);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_ack_interval(2);
+        let gb = to_bits(123_456, 32);
+        let eb = to_bits(654_321, 32);
+        let (g, e) = run_resumable_pair(&c, 7, &config, &gb, &eb, None, &|ch| Box::new(ch))
+            .expect("fault-free resumable session");
+        assert_eq!(from_bits(&g.outputs), 777_777);
+        assert_eq!(g.outputs, e.outputs);
+        assert_eq!((g.resumes, g.replayed_frames), (0, 0));
+        assert_eq!(e.resumes, 0);
+        // Same computation as the plain drivers.
+        let (pg, _) = run_local_session(&c, &gb, &eb, 7, &config).unwrap();
+        assert_eq!(pg.outputs, g.outputs);
+        assert_eq!(pg.tables, g.tables);
+    }
+
+    #[test]
+    fn cut_sweep_resumes_to_the_uncut_outputs_without_regarbling() {
+        // Cut the evaluator's connection at every early channel
+        // operation. Each cut must end in exactly one of two sanctioned
+        // ways: a pre-stream failure the retry layer owns (retry-safe),
+        // or a resumed session whose outputs equal the uncut run's —
+        // with the replayed bytes coming out of the garbler's buffer
+        // (replayed_frames > 0), never from a second garbling.
+        let c = adder(32);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_ack_interval(2);
+        let gb = to_bits(123_456, 32);
+        let eb = to_bits(654_321, 32);
+        let (baseline, _) =
+            run_resumable_pair(&c, 7, &config, &gb, &eb, None, &|ch| Box::new(ch)).unwrap();
+
+        let (mut resumed, mut retry_safe) = (0u64, 0u64);
+        for op in 1..60 {
+            match run_resumable_pair(&c, 7, &config, &gb, &eb, Some(op), &|ch| Box::new(ch)) {
+                Ok((g, e)) => {
+                    assert_eq!(g.outputs, baseline.outputs, "cut at op {op}");
+                    assert_eq!(e.outputs, baseline.outputs, "cut at op {op}");
+                    assert_eq!(e.tables, baseline.tables, "cut at op {op}");
+                    if e.resumes > 0 {
+                        resumed += 1;
+                        assert!(g.resumes > 0, "cut at op {op}: evaluator resumed alone");
+                        assert!(
+                            g.replayed_frames > 0,
+                            "cut at op {op}: a resume must replay buffered bytes"
+                        );
+                    }
+                }
+                Err(err) => {
+                    // A pre-stream cut is the retry layer's problem. The
+                    // two sides may even disagree about the boundary
+                    // (the evaluator dies in its OT phase while the
+                    // garbler is already streaming): the evaluator gives
+                    // up retry-safe, and the garbler's resume-safe error
+                    // surfaces once its callback finds no peer. Only an
+                    // error that is *neither* would mean the resume
+                    // machinery corrupted a session.
+                    assert!(
+                        err.retry_safe() || err.resume_safe(),
+                        "cut at op {op}: failure is neither resumed nor retry-safe: {err}"
+                    );
+                    retry_safe += 1;
+                }
+            }
+        }
+        assert!(resumed > 0, "the sweep never exercised a resume");
+        assert!(retry_safe > 0, "the sweep never hit the retry-safe region");
+    }
+
+    #[test]
+    fn resumed_connections_rearm_the_stream_deadline() {
+        use std::io;
+        use std::sync::Mutex;
+
+        // Regression: a freshly reconnected channel starts with no I/O
+        // deadline armed — the drivers must re-arm the chunk budget on
+        // it, making the stream's progress requirement per-connection
+        // rather than cumulative across reconnects.
+        let c = adder(32);
+        let chunk_budget = Duration::from_secs(5);
+        let config = SessionConfig::for_circuit(&c)
+            .with_chunk_tables(2)
+            .with_ack_interval(2)
+            .with_deadlines(SessionDeadlines {
+                handshake: None,
+                ot: None,
+                chunk: Some(chunk_budget),
+            });
+
+        #[derive(Debug)]
+        struct ArmRecorder {
+            inner: crate::channel::MemChannel,
+            armed: Arc<Mutex<Vec<Option<Duration>>>>,
+        }
+        impl Channel for ArmRecorder {
+            fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+                self.inner.send(bytes)
+            }
+            fn recv_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+                self.inner.recv_exact(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.inner.flush()
+            }
+            fn stats(&self) -> ChannelStats {
+                self.inner.stats()
+            }
+            fn set_io_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+                self.armed.lock().unwrap().push(timeout);
+                self.inner.set_io_deadline(timeout)
+            }
+        }
+
+        let armed: Arc<Mutex<Vec<Option<Duration>>>> = Arc::new(Mutex::new(Vec::new()));
+        let record = armed.clone();
+        let wrap = move |ch: crate::channel::MemChannel| -> DynChannel {
+            Box::new(ArmRecorder { inner: ch, armed: record.clone() })
+        };
+        // Scan for a cut that lands mid-stream (early ops hit the
+        // retry-safe handshake/OT region, whose exact width is a wire
+        // detail this test must not encode).
+        let mut resumed = false;
+        for op in 10..60 {
+            armed.lock().unwrap().clear();
+            let Ok((g, e)) = run_resumable_pair(
+                &c,
+                7,
+                &config,
+                &to_bits(123_456, 32),
+                &to_bits(654_321, 32),
+                Some(op),
+                &wrap,
+            ) else {
+                continue;
+            };
+            if e.resumes == 0 {
+                continue;
+            }
+            resumed = true;
+            assert!(g.resumes >= 1);
+            let armed = armed.lock().unwrap();
+            // Both resumed ends re-armed the chunk budget (the recorder
+            // only wraps resumed channels, so every entry is
+            // post-resume).
+            assert!(
+                armed.iter().filter(|t| **t == Some(chunk_budget)).count() >= 2,
+                "cut at op {op}: resumed channels were not re-armed: {armed:?}"
+            );
+            break;
+        }
+        assert!(resumed, "no cut in the scanned range produced a resume");
+    }
+
+    #[test]
+    fn resumable_evaluator_refuses_a_garbler_without_acks() {
+        use rand::rngs::StdRng;
+
+        // The plain garbler announces ack_interval 0 — no acks, no
+        // replay buffer. A resumable evaluator must refuse at the
+        // header instead of discovering at the first cut that the peer
+        // kept no replay bytes.
+        let c = adder(16);
+        let config = SessionConfig::for_circuit(&c);
+        let (mut g_end, e_end) = crate::channel::MemChannel::pair();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                // Fails when the evaluator hangs up; that is the point.
+                let _ = run_garbler(&c, &to_bits(1, 16), &mut rng, &config, &mut g_end);
+            });
+            let mut rng = StdRng::seed_from_u64(2);
+            let err = run_evaluator_resumable(
+                &c,
+                &to_bits(2, 16),
+                &mut rng,
+                &config,
+                e_end,
+                9,
+                |_, _| None,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(&err, RuntimeError::Protocol(m) if m.contains("cannot be resumed")),
+                "{err}"
+            );
+        });
+    }
+
+    #[test]
+    fn resumable_garbler_streams_to_the_plain_evaluator() {
+        use rand::rngs::StdRng;
+
+        // Mixed pairing: the resumable garbler announces an ack cadence
+        // and the plain evaluator honors it from the header — the
+        // garbler's replay buffer drains through the acks and the wire
+        // computation is unchanged.
+        let c = adder(32);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_ack_interval(2);
+        let (g_end, mut e_end) = crate::channel::MemChannel::pair();
+        let (g, e) = std::thread::scope(|scope| {
+            let garbler = scope.spawn(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                run_garbler_resumable(
+                    &c,
+                    &to_bits(40_000, 32),
+                    &mut rng,
+                    &config,
+                    g_end,
+                    |_err, _produced| None::<(crate::channel::MemChannel, u64)>,
+                )
+            });
+            let mut rng = StdRng::seed_from_u64(5 ^ 0x9E37_79B9_7F4A_7C15);
+            let e = run_evaluator_with(&c, &to_bits(2_000, 32), &mut rng, &config, &mut e_end);
+            (garbler.join().expect("garbler thread panicked"), e)
+        });
+        let (g, e) = (g.unwrap(), e.unwrap());
+        assert_eq!(from_bits(&g.outputs), 42_000);
+        assert_eq!(g.outputs, e.outputs);
+        assert_eq!(g.resumes, 0);
     }
 }

@@ -21,6 +21,11 @@ const MAX_PAYLOAD: usize = 64 << 20;
 /// ([`write_message`]) and borrowed ([`write_tables`]) writers.
 const TABLES_TAG: u8 = 6;
 
+/// Frame tag of [`Message::Resume`]. Public because a server dispatches
+/// on the first byte of a fresh connection: a service request opens with
+/// its own request tag, a reconnect opens with a raw `Resume` frame.
+pub const RESUME_TAG: u8 = 11;
+
 /// Session parameters the garbler announces before streaming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionHeader {
@@ -48,6 +53,10 @@ pub struct SessionHeader {
     /// same OT message flow, so — like `reorder` — a mismatch is refused
     /// before any OT round runs.
     pub ot_mode: OtMode,
+    /// Cumulative-ack cadence: the evaluator sends a [`Message::ChunkAck`]
+    /// after every `ack_interval` table chunks. The garbler's replay
+    /// buffer (and therefore its backpressure point) is sized from this.
+    pub ack_interval: u32,
 }
 
 /// How a session delivers the evaluator's input labels.
@@ -122,11 +131,40 @@ pub enum Message {
     /// (garbler → evaluator).
     OtExtLabels(Vec<[Block; 2]>),
     /// One chunk of garbled AND tables, in gate order (garbler → evaluator).
-    Tables(Vec<[Block; 2]>),
+    Tables {
+        /// Position of this frame in the session's stream-frame sequence
+        /// (table chunks first, then the output-decode frame). Resume is
+        /// byte replay addressed by this cursor.
+        seq: u64,
+        /// The chunk's garbled tables.
+        tables: Vec<[Block; 2]>,
+    },
     /// Output decode string (garbler → evaluator, after the last chunk).
     OutputDecode(Vec<bool>),
     /// Decoded cleartext outputs (evaluator → garbler, output sharing).
     Outputs(Vec<bool>),
+    /// Cumulative stream acknowledgement (evaluator → garbler): every
+    /// frame with `seq < upto_seq` has been received and fed, so the
+    /// garbler may drop it from its replay buffer.
+    ChunkAck {
+        /// Exclusive upper bound of the acknowledged prefix.
+        upto_seq: u64,
+    },
+    /// Reconnect hello (evaluator → garbler on a **fresh** connection):
+    /// resume the suspended session identified by `ticket` from stream
+    /// frame `next_seq`.
+    Resume {
+        /// Opaque ticket issued with the original session ack.
+        ticket: u128,
+        /// First stream frame the evaluator has not yet received.
+        next_seq: u64,
+    },
+    /// Resume acceptance (garbler → evaluator): replay starts at
+    /// `from_seq`, which must equal the requested `next_seq`.
+    ResumeAck {
+        /// First frame the garbler will (re)send.
+        from_seq: u64,
+    },
 }
 
 impl Message {
@@ -137,11 +175,14 @@ impl Message {
             Message::OtSetup { .. } => 3,
             Message::OtPoints(_) => 4,
             Message::OtCiphertexts(_) => 5,
-            Message::Tables(_) => TABLES_TAG,
+            Message::Tables { .. } => TABLES_TAG,
             Message::OutputDecode(_) => 7,
             Message::Outputs(_) => 8,
             Message::OtExtMatrix(_) => 9,
             Message::OtExtLabels(_) => 10,
+            Message::Resume { .. } => RESUME_TAG,
+            Message::ResumeAck { .. } => 12,
+            Message::ChunkAck { .. } => 13,
         }
     }
 
@@ -153,11 +194,14 @@ impl Message {
             Message::OtSetup { .. } => "OtSetup",
             Message::OtPoints(_) => "OtPoints",
             Message::OtCiphertexts(_) => "OtCiphertexts",
-            Message::Tables(_) => "Tables",
+            Message::Tables { .. } => "Tables",
             Message::OutputDecode(_) => "OutputDecode",
             Message::Outputs(_) => "Outputs",
             Message::OtExtMatrix(_) => "OtExtMatrix",
             Message::OtExtLabels(_) => "OtExtLabels",
+            Message::Resume { .. } => "Resume",
+            Message::ResumeAck { .. } => "ResumeAck",
+            Message::ChunkAck { .. } => "ChunkAck",
         }
     }
 }
@@ -243,9 +287,30 @@ pub fn write_message<C: Channel + ?Sized>(
 ) -> Result<(), RuntimeError> {
     // The streaming hot path writes table chunks without owning them;
     // one implementation serves both entry points.
-    if let Message::Tables(tables) = message {
-        return write_tables(channel, tables);
+    if let Message::Tables { seq, tables } = message {
+        return write_tables(channel, *seq, tables);
     }
+    let payload = encode_payload(message);
+    if payload.len() > MAX_PAYLOAD {
+        // The receiver enforces the same bound; sending an oversized frame
+        // would be accepted by the transport and then kill the session at
+        // the peer (and beyond u32::MAX the length prefix would wrap).
+        return Err(RuntimeError::protocol(format!(
+            "{} frame of {} bytes exceeds the {} byte limit",
+            message.name(),
+            payload.len(),
+            MAX_PAYLOAD
+        )));
+    }
+    channel.send(&[message.tag()])?;
+    channel.send(&(payload.len() as u32).to_le_bytes())?;
+    channel.send(&payload)?;
+    Ok(())
+}
+
+/// Serializes every non-`Tables` message's payload (the `Tables` hot
+/// path streams straight to the channel and never builds this `Vec`).
+fn encode_payload(message: &Message) -> Vec<u8> {
     let mut payload = Vec::new();
     match message {
         Message::Header(h) => {
@@ -256,6 +321,7 @@ pub fn write_message<C: Channel + ?Sized>(
             payload.push(scheme_tag(h.scheme));
             payload.extend_from_slice(&h.window_wires.to_le_bytes());
             payload.extend_from_slice(&h.chunk_tables.to_le_bytes());
+            payload.extend_from_slice(&h.ack_interval.to_le_bytes());
             payload.push(reorder_tag(h.reorder));
             payload.push(ot_mode_tag(h.ot_mode));
         }
@@ -274,13 +340,31 @@ pub fn write_message<C: Channel + ?Sized>(
             push_tables(&mut payload, pairs)
         }
         Message::OtExtMatrix(blocks) => push_blocks(&mut payload, blocks),
-        Message::Tables(_) => unreachable!("handled by write_tables above"),
+        Message::Tables { seq, tables } => {
+            payload.extend_from_slice(&seq.to_le_bytes());
+            push_tables(&mut payload, tables);
+        }
         Message::OutputDecode(bits) | Message::Outputs(bits) => push_bits(&mut payload, bits),
+        Message::Resume { ticket, next_seq } => {
+            payload.extend_from_slice(&ticket.to_le_bytes());
+            payload.extend_from_slice(&next_seq.to_le_bytes());
+        }
+        Message::ResumeAck { from_seq } => payload.extend_from_slice(&from_seq.to_le_bytes()),
+        Message::ChunkAck { upto_seq } => payload.extend_from_slice(&upto_seq.to_le_bytes()),
     }
+    payload
+}
+
+/// Serializes one message into its exact wire frame (tag + length +
+/// payload) — the bytes a resumable garbler stashes in its replay
+/// buffer so that resume is byte replay, never re-encoding.
+///
+/// # Errors
+///
+/// Rejects oversized payloads (same bound the channel writers enforce).
+pub fn encode_frame(message: &Message) -> Result<Vec<u8>, RuntimeError> {
+    let payload = encode_payload(message);
     if payload.len() > MAX_PAYLOAD {
-        // The receiver enforces the same bound; sending an oversized frame
-        // would be accepted by the transport and then kill the session at
-        // the peer (and beyond u32::MAX the length prefix would wrap).
         return Err(RuntimeError::protocol(format!(
             "{} frame of {} bytes exceeds the {} byte limit",
             message.name(),
@@ -288,10 +372,37 @@ pub fn write_message<C: Channel + ?Sized>(
             MAX_PAYLOAD
         )));
     }
-    channel.send(&[message.tag()])?;
-    channel.send(&(payload.len() as u32).to_le_bytes())?;
-    channel.send(&payload)?;
-    Ok(())
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(message.tag());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Serializes one `Tables` frame from a borrowed slice into its exact
+/// wire bytes — byte-identical to [`write_tables`], allocation-owned so
+/// the caller can both send and stash the same buffer.
+///
+/// # Errors
+///
+/// Rejects oversized chunks.
+pub fn encode_tables_frame(seq: u64, tables: &[[Block; 2]]) -> Result<Vec<u8>, RuntimeError> {
+    let payload_len = 8 + 4 + 32 * tables.len();
+    if payload_len > MAX_PAYLOAD {
+        return Err(RuntimeError::protocol(format!(
+            "Tables frame of {payload_len} bytes exceeds the {MAX_PAYLOAD} byte limit"
+        )));
+    }
+    let mut frame = Vec::with_capacity(5 + payload_len);
+    frame.push(TABLES_TAG);
+    frame.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for table in tables {
+        frame.extend_from_slice(&table[0].to_bytes());
+        frame.extend_from_slice(&table[1].to_bytes());
+    }
+    Ok(frame)
 }
 
 /// Serializes and sends one `Tables` frame from a **borrowed** slice —
@@ -304,9 +415,10 @@ pub fn write_message<C: Channel + ?Sized>(
 /// Propagates channel I/O failures; rejects oversized chunks.
 pub fn write_tables<C: Channel + ?Sized>(
     channel: &mut C,
+    seq: u64,
     tables: &[[Block; 2]],
 ) -> Result<(), RuntimeError> {
-    let payload_len = 4 + 32 * tables.len();
+    let payload_len = 8 + 4 + 32 * tables.len();
     if payload_len > MAX_PAYLOAD {
         return Err(RuntimeError::protocol(format!(
             "Tables frame of {payload_len} bytes exceeds the {MAX_PAYLOAD} byte limit"
@@ -314,6 +426,7 @@ pub fn write_tables<C: Channel + ?Sized>(
     }
     channel.send(&[TABLES_TAG])?;
     channel.send(&(payload_len as u32).to_le_bytes())?;
+    channel.send(&seq.to_le_bytes())?;
     channel.send(&(tables.len() as u32).to_le_bytes())?;
     for table in tables {
         channel.send(&table[0].to_bytes())?;
@@ -431,6 +544,7 @@ pub fn read_message<C: Channel + ?Sized>(channel: &mut C) -> Result<Message, Run
             scheme: scheme_from_tag(r.u8()?)?,
             window_wires: r.u32()?,
             chunk_tables: r.u32()?,
+            ack_interval: r.u32()?,
             reorder: reorder_from_tag(r.u8()?)?,
             ot_mode: ot_mode_from_tag(r.u8()?)?,
         }),
@@ -438,11 +552,17 @@ pub fn read_message<C: Channel + ?Sized>(channel: &mut C) -> Result<Message, Run
         3 => Message::OtSetup { point: r.u128()?, nonce: r.u128()? },
         4 => Message::OtPoints(r.counted(16, PayloadReader::u128)?),
         5 => Message::OtCiphertexts(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
-        TABLES_TAG => Message::Tables(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
+        TABLES_TAG => Message::Tables {
+            seq: r.u64()?,
+            tables: r.counted(32, |r| Ok([r.block()?, r.block()?]))?,
+        },
         7 => Message::OutputDecode(r.bits()?),
         8 => Message::Outputs(r.bits()?),
         9 => Message::OtExtMatrix(r.counted(16, PayloadReader::block)?),
         10 => Message::OtExtLabels(r.counted(32, |r| Ok([r.block()?, r.block()?]))?),
+        RESUME_TAG => Message::Resume { ticket: r.u128()?, next_seq: r.u64()? },
+        12 => Message::ResumeAck { from_seq: r.u64()? },
+        13 => Message::ChunkAck { upto_seq: r.u64()? },
         other => return Err(RuntimeError::protocol(format!("unknown frame tag {other}"))),
     };
     r.finish()?;
@@ -476,6 +596,7 @@ mod tests {
                     chunk_tables: 2048,
                     reorder,
                     ot_mode,
+                    ack_interval: 16,
                 }));
             }
         }
@@ -485,14 +606,20 @@ mod tests {
         round_trip(Message::OtCiphertexts(vec![[Block::from(9u128), Block::from(10u128)]]));
         round_trip(Message::OtExtMatrix(vec![Block::from(21u128), Block::from(22u128)]));
         round_trip(Message::OtExtLabels(vec![[Block::from(31u128), Block::from(32u128)]]));
-        round_trip(Message::Tables(vec![
-            [Block::from(11u128), Block::from(12u128)],
-            [Block::from(13u128), Block::from(14u128)],
-        ]));
+        round_trip(Message::Tables {
+            seq: 42,
+            tables: vec![
+                [Block::from(11u128), Block::from(12u128)],
+                [Block::from(13u128), Block::from(14u128)],
+            ],
+        });
         round_trip(Message::OutputDecode(vec![
             true, false, true, true, false, true, false, true, true,
         ]));
         round_trip(Message::Outputs(Vec::new()));
+        round_trip(Message::Resume { ticket: 0x0123_4567_89AB_CDEFu128, next_seq: 77 });
+        round_trip(Message::ResumeAck { from_seq: 77 });
+        round_trip(Message::ChunkAck { upto_seq: u64::MAX });
     }
 
     #[test]
@@ -510,14 +637,42 @@ mod tests {
             [Block::from(3u128), Block::from(4u128)],
         ];
         let (mut a, mut b) = MemChannel::pair();
-        write_tables(&mut a, &tables).unwrap();
+        write_tables(&mut a, 9, &tables).unwrap();
         a.flush().unwrap();
         let got = read_message(&mut b).unwrap();
-        assert_eq!(got, Message::Tables(tables.clone()));
+        assert_eq!(got, Message::Tables { seq: 9, tables: tables.clone() });
         // Byte-identical framing: same bytes_sent as the owned path.
         let (mut c, _d) = MemChannel::pair();
-        write_message(&mut c, &Message::Tables(tables)).unwrap();
+        write_message(&mut c, &Message::Tables { seq: 9, tables }).unwrap();
         assert_eq!(a.stats().bytes_sent, c.stats().bytes_sent);
+    }
+
+    #[test]
+    fn encoded_frames_match_the_channel_writers_byte_for_byte() {
+        let tables = vec![
+            [Block::from(5u128), Block::from(6u128)],
+            [Block::from(7u128), Block::from(8u128)],
+        ];
+        // The replay-buffer encoder must produce exactly what the live
+        // writers put on the wire — resume correctness is byte replay.
+        let frame = encode_tables_frame(3, &tables).unwrap();
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&frame).unwrap();
+        a.flush().unwrap();
+        assert_eq!(
+            read_message(&mut b).unwrap(),
+            Message::Tables { seq: 3, tables: tables.clone() }
+        );
+        let (mut c, _d) = MemChannel::pair();
+        write_tables(&mut c, 3, &tables).unwrap();
+        assert_eq!(frame.len() as u64, c.stats().bytes_sent);
+
+        let decode = Message::OutputDecode(vec![true, false, true]);
+        let frame = encode_frame(&decode).unwrap();
+        let (mut e, mut f) = MemChannel::pair();
+        e.send(&frame).unwrap();
+        e.flush().unwrap();
+        assert_eq!(read_message(&mut f).unwrap(), decode);
     }
 
     #[test]

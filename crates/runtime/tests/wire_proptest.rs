@@ -87,7 +87,7 @@ fn bits_from(data: &[u8]) -> Vec<bool> {
 /// Deterministically builds one of every message kind from sampled raw
 /// bytes — the valid-frame generator all mutation properties start from.
 fn message_from(kind: u8, data: &[u8]) -> Message {
-    match kind % 10 {
+    match kind % 13 {
         0 => Message::Header(SessionHeader {
             garbler_inputs: u128_from(data) as u32,
             evaluator_inputs: (u128_from(data) >> 32) as u32,
@@ -100,6 +100,7 @@ fn message_from(kind: u8, data: &[u8]) -> Message {
             },
             window_wires: (u128_from(data) >> 7) as u32,
             chunk_tables: (u128_from(data) as u32) | 1,
+            ack_interval: (u128_from(data) >> 40) as u32,
             reorder: match data.first().copied().unwrap_or(0) % 3 {
                 0 => ReorderKind::Baseline,
                 1 => ReorderKind::Full,
@@ -115,11 +116,14 @@ fn message_from(kind: u8, data: &[u8]) -> Message {
         2 => Message::OtSetup { point: u128_from(data), nonce: u128_from(data).wrapping_mul(31) },
         3 => Message::OtPoints(data.chunks(5).map(u128_from).collect()),
         4 => Message::OtCiphertexts(pairs_from(data)),
-        5 => Message::Tables(pairs_from(data)),
+        5 => Message::Tables { seq: (u128_from(data) >> 64) as u64, tables: pairs_from(data) },
         6 => Message::OutputDecode(bits_from(data)),
         7 => Message::Outputs(bits_from(data)),
         8 => Message::OtExtMatrix(blocks_from(data)),
-        _ => Message::OtExtLabels(pairs_from(data)),
+        9 => Message::OtExtLabels(pairs_from(data)),
+        10 => Message::Resume { ticket: u128_from(data), next_seq: (u128_from(data) >> 17) as u64 },
+        11 => Message::ResumeAck { from_seq: (u128_from(data) >> 23) as u64 },
+        _ => Message::ChunkAck { upto_seq: (u128_from(data) >> 11) as u64 },
     }
 }
 
@@ -245,7 +249,13 @@ proptest! {
         // (labels, points, ciphertext pairs, tables, the OT-extension
         // matrix and label pairs) and both bit kinds.
         let tag = [2u8, 4, 5, 6, 7, 8, 9, 10][tag as usize];
-        let mut payload = count.to_le_bytes().to_vec();
+        let mut payload = Vec::new();
+        if tag == 6 {
+            // Table frames carry an 8-byte stream cursor ahead of the
+            // count prefix.
+            payload.extend_from_slice(&7u64.to_le_bytes());
+        }
+        payload.extend_from_slice(&count.to_le_bytes());
         payload.extend_from_slice(&filler);
         prop_assume!(count as usize > payload.len() * 8); // hostile even for 1-bit items
         let err = read_message(&mut ByteChannel::of(raw_frame(tag, &payload)))

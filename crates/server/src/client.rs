@@ -24,8 +24,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use haac_runtime::{
-    run_evaluator_with, Channel, RuntimeError, SessionConfig, SessionPhase, SessionReport,
-    TcpChannel,
+    run_evaluator_resumable, run_evaluator_with, Channel, RuntimeError, SessionConfig,
+    SessionPhase, SessionReport, TcpChannel,
 };
 use haac_telemetry::{Counter, Registry};
 use haac_workloads::{build, Workload, WorkloadKind};
@@ -47,6 +47,31 @@ fn busy_or<C: Channel + ?Sized>(channel: &mut C, write_err: RuntimeError) -> Run
         Err(busy @ RuntimeError::Busy { .. }) => busy,
         _ => write_err.in_phase(SessionPhase::Handshake),
     }
+}
+
+/// The ack names the schedule and OT mode the server will garble with;
+/// a warm client's pre-lowered plan and prepared config must agree or
+/// the transcripts diverge.
+fn check_ack_matches(
+    config: &SessionConfig,
+    chosen: haac_runtime::ReorderKind,
+    ot_chosen: haac_runtime::OtMode,
+) -> Result<(), RuntimeError> {
+    if chosen != config.reorder() {
+        return Err(RuntimeError::protocol(format!(
+            "server chose the {} schedule, this client prepared {}",
+            chosen.label(),
+            config.reorder().label()
+        )));
+    }
+    if ot_chosen != config.ot_mode {
+        return Err(RuntimeError::protocol(format!(
+            "server chose {} OT, this client prepared {}",
+            ot_chosen.label(),
+            config.ot_mode.label()
+        )));
+    }
+    Ok(())
 }
 
 /// Builds everything a warm client reuses across sessions of one
@@ -88,24 +113,12 @@ pub fn run_session_with<C: Channel + Send + ?Sized>(
     // label has crossed the wire yet, so they are retry-safe (a typed
     // busy refusal passes through `in_phase` untouched).
     write_request(channel, request).map_err(|e| busy_or(channel, e))?;
-    let (chosen, ot_chosen) = read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+    let (chosen, ot_chosen, _ticket) =
+        read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
     // The ack names the schedule and OT mode the server will garble
     // with; a warm client's pre-lowered plan and prepared config must
     // agree or the transcripts diverge.
-    if chosen != config.reorder() {
-        return Err(RuntimeError::protocol(format!(
-            "server chose the {} schedule, this client prepared {}",
-            chosen.label(),
-            config.reorder().label()
-        )));
-    }
-    if ot_chosen != config.ot_mode {
-        return Err(RuntimeError::protocol(format!(
-            "server chose {} OT, this client prepared {}",
-            ot_chosen.label(),
-            config.ot_mode.label()
-        )));
-    }
+    check_ack_matches(config, chosen, ot_chosen)?;
     let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
     let report =
         run_evaluator_with(&workload.circuit, &workload.evaluator_bits, &mut rng, config, channel)?;
@@ -135,7 +148,8 @@ pub fn run_session<C: Channel + Send + ?Sized>(
         RuntimeError::protocol(format!("unknown workload {:?}", request.workload))
     })?;
     write_request(channel, request).map_err(|e| busy_or(channel, e))?;
-    let (chosen, ot_chosen) = read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+    let (chosen, ot_chosen, _ticket) =
+        read_ack(channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
     let (workload, config) = prepare_with_reorder(kind, request.scale, chosen);
     let config = config.with_ot_mode(ot_chosen);
     let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
@@ -183,12 +197,20 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Smallest sleep between attempts, and the jitter lower bound.
     pub base: Duration,
-    /// Largest jittered sleep (a server's retry hint may still exceed
-    /// it).
+    /// Largest sleep between attempts — it bounds the jitter draw *and*
+    /// the honored server retry hint, so no peer can command an
+    /// unbounded client sleep.
     pub cap: Duration,
     /// Seed for the jitter stream — deterministic retry schedules in
     /// tests, distinct per client in fleets.
     pub seed: u64,
+    /// Reconnect attempts the **resume** leg may spend when the table
+    /// stream cuts out mid-session. This budget is separate from
+    /// `max_attempts`: a resume continues the same session instance
+    /// (byte replay from the acked cursor) while a retry starts a new
+    /// one, and a failed resume is mid-stream and therefore never
+    /// retried. 0 disables resuming.
+    pub resume_attempts: u32,
 }
 
 impl Default for RetryPolicy {
@@ -198,6 +220,7 @@ impl Default for RetryPolicy {
             base: Duration::from_millis(50),
             cap: Duration::from_secs(2),
             seed: 0x5EED,
+            resume_attempts: 2,
         }
     }
 }
@@ -216,6 +239,13 @@ pub struct RetryStats {
     /// Whether a retry-safe error ran out of attempts (a non-retryable
     /// error leaves this `false`: retrying was never on the table).
     pub gave_up: bool,
+    /// Mid-stream cuts survived by resuming the same session instance
+    /// (summed across attempts; reported by the completed sessions).
+    pub resumes: u32,
+    /// Sessions that died mid-stream with the resume leg unable to
+    /// revive them (no ticket, reconnects refused, or the budget ran
+    /// out).
+    pub resume_failures: u32,
 }
 
 /// Live retry counters, shared across a fleet of retrying clients and
@@ -230,6 +260,10 @@ pub struct RetryTelemetry {
     pub busy_refusals: Arc<Counter>,
     /// Retryable failures that exhausted their attempt budget.
     pub giveups: Arc<Counter>,
+    /// Mid-stream cuts survived by resuming the session.
+    pub resumes: Arc<Counter>,
+    /// Sessions the resume leg could not revive.
+    pub resume_failures: Arc<Counter>,
 }
 
 impl RetryTelemetry {
@@ -241,6 +275,96 @@ impl RetryTelemetry {
             retries: registry.counter("haac_client_retries_total", &[]),
             busy_refusals: registry.counter("haac_client_busy_refusals_total", &[]),
             giveups: registry.counter("haac_client_giveups_total", &[]),
+            resumes: registry.counter("haac_client_resumes_total", &[]),
+            resume_failures: registry.counter("haac_client_resume_failures_total", &[]),
+        }
+    }
+}
+
+/// Runs one warm session on an already-connected channel, surviving
+/// mid-stream cuts by resuming: when the server's ack carries a resume
+/// ticket, the evaluator runs the resumable driver and answers each
+/// resumable transport failure with up to `policy.resume_attempts`
+/// reconnects through `connect`, continuing the same session instance
+/// from its acked stream cursor (never re-running it — the garbling is
+/// one-time). Without a ticket this is exactly [`run_session_with`].
+#[allow(clippy::too_many_arguments)]
+fn run_session_resuming<C, F>(
+    mut channel: C,
+    request: &SessionRequest,
+    workload: &Workload,
+    config: &SessionConfig,
+    policy: &RetryPolicy,
+    telemetry: Option<&RetryTelemetry>,
+    connect: &mut F,
+    stats: &mut RetryStats,
+) -> Result<SessionReport, RuntimeError>
+where
+    C: Channel + Send,
+    F: FnMut() -> Result<C, RuntimeError>,
+{
+    write_request(&mut channel, request).map_err(|e| busy_or(&mut channel, e))?;
+    let (chosen, ot_chosen, ticket) =
+        read_ack(&mut channel).map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+    check_ack_matches(config, chosen, ot_chosen)?;
+    let mut rng = StdRng::seed_from_u64(request.seed ^ CLIENT_SEED_SALT);
+    let result = match ticket.filter(|_| policy.resume_attempts > 0) {
+        None => run_evaluator_with(
+            &workload.circuit,
+            &workload.evaluator_bits,
+            &mut rng,
+            config,
+            &mut channel,
+        ),
+        Some(ticket) => {
+            let mut budget = policy.resume_attempts;
+            run_evaluator_resumable(
+                &workload.circuit,
+                &workload.evaluator_bits,
+                &mut rng,
+                config,
+                channel,
+                ticket,
+                |_err, _next_seq| {
+                    // The suspended server side is already parked and
+                    // waiting, so the first reconnect goes out
+                    // immediately; only a failed dial backs off.
+                    while budget > 0 {
+                        budget -= 1;
+                        match connect() {
+                            Ok(fresh) => return Some(fresh),
+                            Err(_) => std::thread::sleep(policy.base),
+                        }
+                    }
+                    None
+                },
+            )
+        }
+    };
+    match result {
+        Ok(report) => {
+            stats.resumes += report.resumes as u32;
+            if let Some(t) = telemetry {
+                t.resumes.add(report.resumes);
+            }
+            if report.outputs != workload.expected {
+                return Err(RuntimeError::protocol(format!(
+                    "{} outputs diverge from the plaintext reference",
+                    request.workload
+                )));
+            }
+            Ok(report)
+        }
+        Err(err) => {
+            if err.resume_safe() {
+                // A mid-stream transport failure the resume leg could
+                // not (or was not allowed to) revive.
+                stats.resume_failures += 1;
+                if let Some(t) = telemetry {
+                    t.resume_failures.inc();
+                }
+            }
+            Err(err)
         }
     }
 }
@@ -251,8 +375,12 @@ impl RetryTelemetry {
 /// Only retry-safe errors are retried ([`RuntimeError::retry_safe`]):
 /// busy refusals, and connect/handshake/OT failures — phases where no
 /// garbled table has crossed the wire, so a fresh session replays
-/// nothing. The first mid-stream or unattributed error is final.
-/// Returns the last result plus the [`RetryStats`] of the whole call.
+/// nothing. Mid-stream transport failures take the **resume** leg
+/// instead (separate `resume_attempts` budget; see
+/// [`RetryPolicy::resume_attempts`]): the same session instance is
+/// continued over a reconnect, and only if that fails does the error
+/// surface — as final, since the garbling is spent. Returns the last
+/// result plus the [`RetryStats`] of the whole call.
 pub fn run_session_retrying<C, F>(
     mut connect: F,
     request: &SessionRequest,
@@ -273,9 +401,18 @@ where
         if let Some(t) = telemetry {
             t.attempts.inc();
         }
-        let result = connect()
-            .map_err(|e| e.in_phase(SessionPhase::Connect))
-            .and_then(|mut channel| run_session_with(&mut channel, request, workload, config));
+        let result = connect().map_err(|e| e.in_phase(SessionPhase::Connect)).and_then(|channel| {
+            run_session_resuming(
+                channel,
+                request,
+                workload,
+                config,
+                policy,
+                telemetry,
+                &mut connect,
+                &mut stats,
+            )
+        });
         let err = match result {
             Ok(report) => return (Ok(report), stats),
             Err(err) => err,
@@ -304,13 +441,15 @@ where
             t.retries.inc();
         }
         // Decorrelated jitter: draw from [base, 3 × previous], clamp to
-        // the cap, then respect the server's retry hint as a floor.
+        // the cap, then respect the server's retry hint as a floor —
+        // itself capped at the policy's max delay, so a hostile or
+        // misconfigured server cannot command an unbounded sleep.
         let base_us = policy.base.as_micros() as u64;
         let upper_us = (prev_sleep.as_micros() as u64).saturating_mul(3).max(base_us + 1);
         let sleep_us = base_us + rng.gen_range(0..(upper_us - base_us).max(1));
         let mut sleep = Duration::from_micros(sleep_us).min(policy.cap);
         if let Some(floor) = busy_floor {
-            sleep = sleep.max(floor);
+            sleep = sleep.max(floor.min(policy.cap));
         }
         prev_sleep = sleep;
         std::thread::sleep(sleep);
@@ -331,6 +470,7 @@ mod tests {
             base: Duration::from_millis(1),
             cap: Duration::from_millis(4),
             seed: 11,
+            resume_attempts: 2,
         }
     }
 
@@ -364,7 +504,10 @@ mod tests {
             Some(&telemetry),
         );
         result.expect("the second attempt must succeed");
-        assert_eq!(stats, RetryStats { attempts: 2, retries: 1, busy_refusals: 1, gave_up: false });
+        assert_eq!(
+            stats,
+            RetryStats { attempts: 2, retries: 1, busy_refusals: 1, ..RetryStats::default() }
+        );
         assert_eq!(telemetry.attempts.get(), 2);
         assert_eq!(telemetry.retries.get(), 1);
         assert_eq!(telemetry.busy_refusals.get(), 1);
@@ -396,8 +539,47 @@ mod tests {
         );
         let err = result.expect_err("every attempt was refused");
         assert!(matches!(err, RuntimeError::Busy { .. }), "final error stays typed: {err}");
-        assert_eq!(stats, RetryStats { attempts: 3, retries: 2, busy_refusals: 3, gave_up: true });
+        assert_eq!(
+            stats,
+            RetryStats {
+                attempts: 3,
+                retries: 2,
+                busy_refusals: 3,
+                gave_up: true,
+                ..RetryStats::default()
+            }
+        );
         assert_eq!(telemetry.giveups.get(), 1);
+    }
+
+    #[test]
+    fn a_hostile_retry_hint_cannot_command_an_unbounded_sleep() {
+        // The server's retry_after_ms is honored as a sleep floor, but
+        // only up to the policy cap: a refusal claiming "retry after an
+        // hour" must not stall the client past its own max delay.
+        let (workload, config) = prepare(WorkloadKind::DotProduct, Scale::Small);
+        let request = SessionRequest::new("DotProd", Scale::Small, 1);
+        let mut parked = Vec::new();
+        let start = std::time::Instant::now();
+        let (result, stats) = run_session_retrying(
+            || {
+                let (client_end, mut server_end) = MemChannel::pair();
+                write_busy(&mut server_end, 3_600_000)?; // one hour
+                parked.push(server_end);
+                Ok(client_end)
+            },
+            &request,
+            &workload,
+            &config,
+            &fast_policy(3),
+            None,
+        );
+        result.expect_err("every attempt was refused");
+        assert_eq!(stats.busy_refusals, 3);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "the hour-long hint must be clamped to the policy cap (4ms here)"
+        );
     }
 
     #[test]

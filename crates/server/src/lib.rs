@@ -16,6 +16,7 @@
 //! | [`cache`] | [`CircuitCache`]: build/compile once per `(workload, scale, reorder)`, share via `Arc`, hit/miss latency split |
 //! | [`registry`] | [`SessionRegistry`], per-session [`SessionOutcome`]s, aggregate [`ServerReport`] (p50/p99, aggregate gates/s) |
 //! | [`metrics`] | [`ServerMetrics`]: the live admin plane — lock-free instruments, per-workload stage histograms, Prometheus text snapshots |
+//! | [`resume`] | [`ResumeStore`]: the bounded, TTL-evicting suspended-session store behind mid-stream reconnects, plus the [`TicketForge`] issuing opaque resume tickets |
 //! | [`server`] | [`Server`]: accept loops, pooled session jobs, per-session error isolation, [`choose_reorder`] policy, graceful shutdown |
 //! | [`client`] | Evaluator-side drivers for tests and load generation |
 //!
@@ -52,10 +53,12 @@ pub mod client;
 pub mod metrics;
 pub mod registry;
 pub mod request;
+pub mod resume;
 pub mod server;
 
 pub use cache::{CachedWorkload, CircuitCache};
 pub use metrics::{RefusalReason, ServerMetrics};
 pub use registry::{percentile, ServerReport, SessionId, SessionOutcome, SessionRegistry};
-pub use request::SessionRequest;
+pub use request::{SessionHello, SessionRequest};
+pub use resume::{ResumeHandoff, ResumeStore, ResumeWait, TicketForge};
 pub use server::{choose_ot_mode, choose_reorder, Server, ServerConfig};

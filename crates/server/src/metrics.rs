@@ -48,6 +48,10 @@ pub struct ServerMetrics {
     refusals_queue_full: Arc<Counter>,
     refusals_cold_shed: Arc<Counter>,
     refusals_draining: Arc<Counter>,
+    sessions_suspended: Arc<Gauge>,
+    sessions_resumed: Arc<Counter>,
+    resume_evictions: Arc<Counter>,
+    resume_failures: Arc<Counter>,
 }
 
 /// Why admission control turned a connection away — the label on the
@@ -98,6 +102,10 @@ impl ServerMetrics {
                 .counter("haac_busy_refusals_total", &[("reason", "cold_shed")]),
             refusals_draining: registry
                 .counter("haac_busy_refusals_total", &[("reason", "draining")]),
+            sessions_suspended: registry.gauge("haac_sessions_suspended", &[]),
+            sessions_resumed: registry.counter("haac_sessions_resumed_total", &[]),
+            resume_evictions: registry.counter("haac_resume_evictions_total", &[]),
+            resume_failures: registry.counter("haac_resume_failures_total", &[]),
             registry,
         }
     }
@@ -159,6 +167,41 @@ impl ServerMetrics {
             + self.refusals_draining.get()
     }
 
+    /// Records one successful session resume and the suspension's
+    /// latency — the wall time the session spent parked waiting for its
+    /// client to reconnect.
+    pub fn record_resume(&self, suspended_us: u64) {
+        self.sessions_resumed.inc();
+        self.registry.histogram("haac_resume_latency_us", &[]).record(suspended_us);
+    }
+
+    /// Records a suspended session the store gave up on: the TTL
+    /// expired, or the slot was evicted for a newer suspension.
+    pub fn record_resume_eviction(&self) {
+        self.resume_evictions.inc();
+    }
+
+    /// Records a reconnect that presented a ticket nobody was parked
+    /// under (expired, evicted, or never issued).
+    pub fn record_resume_failure(&self) {
+        self.resume_failures.inc();
+    }
+
+    /// Sessions successfully resumed so far.
+    pub fn resumed(&self) -> u64 {
+        self.sessions_resumed.get()
+    }
+
+    /// Suspended sessions given up on so far (TTL or eviction).
+    pub fn resume_evictions(&self) -> u64 {
+        self.resume_evictions.get()
+    }
+
+    /// Failed resume attempts so far.
+    pub fn resume_failures(&self) -> u64 {
+        self.resume_failures.get()
+    }
+
     /// Per-workload session accounting, recorded when a served session
     /// completes successfully.
     pub fn record_session(&self, workload: &str, reorder: ReorderKind, wall_us: u64) {
@@ -169,7 +212,14 @@ impl ServerMetrics {
 
     /// Refreshes every point-in-time gauge from its owner. Called at
     /// snapshot time (the Prometheus collect model).
-    pub fn refresh(&self, sessions: &SessionRegistry, cache: &CircuitCache, pool: &PoolStats) {
+    pub fn refresh(
+        &self,
+        sessions: &SessionRegistry,
+        cache: &CircuitCache,
+        pool: &PoolStats,
+        suspended: usize,
+    ) {
+        self.sessions_suspended.set(suspended as i64);
         self.active_sessions.set(sessions.active_sessions() as i64);
         self.accept_queue_depth.set(pool.queued_jobs as i64);
         self.pool_utilization.set(pool.utilization());
@@ -254,6 +304,23 @@ mod tests {
             .expect("queue_full refusal series");
         assert_eq!(queue_full.value, 1.0);
         assert!(samples.iter().any(|s| s.name == "haac_sessions_admitted_total" && s.value == 2.0));
+    }
+
+    #[test]
+    fn resume_instruments_render_and_count() {
+        let metrics = ServerMetrics::new();
+        metrics.record_resume(1500);
+        metrics.record_resume(2500);
+        metrics.record_resume_eviction();
+        metrics.record_resume_failure();
+        assert_eq!(metrics.resumed(), 2);
+        assert_eq!(metrics.resume_evictions(), 1);
+        assert_eq!(metrics.resume_failures(), 1);
+        let samples = haac_telemetry::parse(&metrics.render()).expect("snapshot must parse");
+        assert!(samples.iter().any(|s| s.name == "haac_sessions_resumed_total" && s.value == 2.0));
+        assert!(samples.iter().any(|s| s.name == "haac_resume_evictions_total" && s.value == 1.0));
+        assert!(samples.iter().any(|s| s.name == "haac_resume_failures_total" && s.value == 1.0));
+        assert!(samples.iter().any(|s| s.name == "haac_resume_latency_us_count" && s.value == 2.0));
     }
 
     #[test]

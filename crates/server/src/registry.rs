@@ -120,6 +120,17 @@ impl SessionRegistry {
         }
     }
 
+    /// Removes an in-flight session without recording an outcome — for
+    /// connections that turn out not to be sessions of their own (a
+    /// resume handoff whose channel now belongs to the suspended
+    /// session it revived reports through *that* session's outcome).
+    pub fn discard(&self, id: SessionId) {
+        let mut inner = self.locked();
+        if inner.active.remove(&id.0).is_some() && inner.active.is_empty() {
+            self.drained.notify_all();
+        }
+    }
+
     /// Sessions currently in flight (queued or running).
     pub fn active_sessions(&self) -> usize {
         self.locked().active.len()
@@ -252,6 +263,18 @@ mod tests {
         assert_eq!(report.failed, 2);
         assert_eq!(report.completed, 0);
         assert_eq!(report.active, 0);
+    }
+
+    #[test]
+    fn discarded_sessions_leave_no_outcome_and_unblock_drain() {
+        let registry = SessionRegistry::new();
+        let id = registry.register("?");
+        registry.discard(id);
+        assert_eq!(registry.active_sessions(), 0);
+        assert!(registry.wait_drained(Duration::from_secs(1)));
+        let report = registry.report();
+        assert_eq!(report.total_sessions, 0);
+        assert_eq!(report.failed, 0);
     }
 
     #[test]

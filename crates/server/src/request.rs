@@ -17,7 +17,9 @@
 
 use std::time::Instant;
 
-use haac_runtime::wire::{ot_mode_from_tag, ot_mode_tag, reorder_from_tag, reorder_tag};
+use haac_runtime::wire::{
+    ot_mode_from_tag, ot_mode_tag, reorder_from_tag, reorder_tag, RESUME_TAG,
+};
 use haac_runtime::{Channel, OtMode, ReorderKind, RuntimeError, SessionPhase};
 use haac_workloads::Scale;
 
@@ -170,6 +172,21 @@ fn arm_remaining<C: Channel + ?Sized>(
     Ok(())
 }
 
+/// What a freshly accepted connection opens with: a new session
+/// request, or a `Resume` frame reviving a suspended one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionHello {
+    /// A new session: the standard [`SessionRequest`].
+    Request(SessionRequest),
+    /// A reconnect reviving a suspended session.
+    Resume {
+        /// The opaque ticket the original session's ack carried.
+        ticket: u128,
+        /// The evaluator's next expected stream sequence number.
+        next_seq: u64,
+    },
+}
+
 /// Receives a session request under a whole-handshake wall-clock
 /// deadline.
 ///
@@ -190,6 +207,27 @@ pub fn read_request_deadline<C: Channel + ?Sized>(
     channel: &mut C,
     deadline: Option<Instant>,
 ) -> Result<SessionRequest, RuntimeError> {
+    match read_hello_deadline(channel, deadline)? {
+        SessionHello::Request(request) => Ok(request),
+        SessionHello::Resume { .. } => {
+            Err(RuntimeError::protocol("expected a session request, received a resume frame"))
+        }
+    }
+}
+
+/// Receives a connection's opening frame — a session request or a
+/// `Resume` — under the same whole-handshake wall-clock deadline as
+/// [`read_request_deadline`]. The two vocabularies share one dispatch
+/// byte: a fresh request opens with the request tag, a reconnect with
+/// the session layer's `Resume` frame tag.
+///
+/// # Errors
+///
+/// As [`read_request_deadline`].
+pub fn read_hello_deadline<C: Channel + ?Sized>(
+    channel: &mut C,
+    deadline: Option<Instant>,
+) -> Result<SessionHello, RuntimeError> {
     let wrap = move |e: RuntimeError| {
         if deadline.is_some() {
             e.in_phase(SessionPhase::Handshake)
@@ -200,6 +238,28 @@ pub fn read_request_deadline<C: Channel + ?Sized>(
     arm_remaining(channel, deadline)?;
     let mut head = [0u8; 2];
     channel.recv_exact(&mut head).map_err(|e| wrap(e.into()))?;
+    if head[0] == RESUME_TAG {
+        // The tail of a session-layer Resume frame: the 2-byte head
+        // already consumed its tag and the first length byte.
+        arm_remaining(channel, deadline)?;
+        let mut rest = [0u8; 3];
+        channel.recv_exact(&mut rest).map_err(|e| wrap(e.into()))?;
+        let len = u32::from_le_bytes([head[1], rest[0], rest[1], rest[2]]) as usize;
+        if len != 24 {
+            return Err(RuntimeError::protocol(format!(
+                "resume frame payload must be 24 bytes, got {len}"
+            )));
+        }
+        arm_remaining(channel, deadline)?;
+        let mut payload = [0u8; 24];
+        channel.recv_exact(&mut payload).map_err(|e| wrap(e.into()))?;
+        let ticket = u128::from_le_bytes(payload[..16].try_into().expect("16 bytes"));
+        let next_seq = u64::from_le_bytes(payload[16..].try_into().expect("8 bytes"));
+        if deadline.is_some() {
+            channel.set_io_deadline(None)?;
+        }
+        return Ok(SessionHello::Resume { ticket, next_seq });
+    }
     if head[0] != REQUEST_TAG {
         return Err(RuntimeError::protocol(format!(
             "expected a session request, received frame tag {}",
@@ -233,23 +293,35 @@ pub fn read_request_deadline<C: Channel + ?Sized>(
     if deadline.is_some() {
         channel.set_io_deadline(None)?;
     }
-    Ok(SessionRequest { workload, scale, reorder, ot_mode, seed })
+    Ok(SessionHello::Request(SessionRequest { workload, scale, reorder, ot_mode, seed }))
 }
 
 /// Sends the server's answer to a request — `Ok` with the instruction
 /// schedule and OT mode the session will run (the client's explicit
 /// choices echoed back, or the server's picks for a negotiated
-/// request), or `Err` with a reason to refuse — and flushes.
+/// request) plus an optional resume ticket (carried as the ack's
+/// 16-byte message; a server that cannot suspend sessions sends none),
+/// or `Err` with a reason to refuse — and flushes.
 ///
 /// # Errors
 ///
 /// Fails on transport errors.
 pub fn write_ack<C: Channel + ?Sized>(
     channel: &mut C,
-    verdict: Result<(ReorderKind, OtMode), &str>,
+    verdict: Result<(ReorderKind, OtMode, Option<u128>), &str>,
 ) -> Result<(), RuntimeError> {
+    let ticket_bytes;
     let (reorder, ot_mode, message) = match verdict {
-        Ok((kind, mode)) => (reorder_tag(kind), ot_mode_tag(mode), &[][..]),
+        Ok((kind, mode, ticket)) => {
+            let message = match ticket {
+                Some(ticket) => {
+                    ticket_bytes = ticket.to_le_bytes();
+                    &ticket_bytes[..]
+                }
+                None => &[][..],
+            };
+            (reorder_tag(kind), ot_mode_tag(mode), message)
+        }
         Err(reason) => {
             let bytes = reason.as_bytes();
             (0, 0, &bytes[..bytes.len().min(MAX_ACK_MESSAGE)])
@@ -283,15 +355,16 @@ pub fn write_busy<C: Channel + ?Sized>(
 }
 
 /// Receives the server's ack and returns the instruction schedule and
-/// OT mode the session will run; a refusal becomes a protocol error
-/// carrying the server's reason.
+/// OT mode the session will run, plus the resume ticket if the server
+/// issued one; a refusal becomes a protocol error carrying the
+/// server's reason.
 ///
 /// # Errors
 ///
 /// Fails on transport errors, malformed frames, or a server refusal.
 pub fn read_ack<C: Channel + ?Sized>(
     channel: &mut C,
-) -> Result<(ReorderKind, OtMode), RuntimeError> {
+) -> Result<(ReorderKind, OtMode, Option<u128>), RuntimeError> {
     let mut head = [0u8; 6];
     channel.recv_exact(&mut head)?;
     if head[0] != ACK_TAG {
@@ -307,7 +380,18 @@ pub fn read_ack<C: Channel + ?Sized>(
     let mut message = vec![0u8; len];
     channel.recv_exact(&mut message)?;
     match head[1] {
-        ACK_OK => Ok((reorder_from_tag(head[2])?, ot_mode_from_tag(head[3])?)),
+        ACK_OK => {
+            let ticket = match message.len() {
+                0 => None,
+                16 => Some(u128::from_le_bytes(message[..].try_into().expect("16 bytes"))),
+                other => {
+                    return Err(RuntimeError::protocol(format!(
+                        "ack ticket must be absent or 16 bytes, got {other}"
+                    )))
+                }
+            };
+            Ok((reorder_from_tag(head[2])?, ot_mode_from_tag(head[3])?, ticket))
+        }
         ACK_BUSY => {
             let retry_after_ms = message
                 .get(..8)
@@ -380,13 +464,60 @@ mod tests {
         let (mut a, mut b) = MemChannel::pair();
         for kind in [ReorderKind::Baseline, ReorderKind::Full, ReorderKind::Segment] {
             for mode in [OtMode::Base, OtMode::Extended] {
-                write_ack(&mut a, Ok((kind, mode))).unwrap();
-                assert_eq!(read_ack(&mut b).unwrap(), (kind, mode));
+                write_ack(&mut a, Ok((kind, mode, None))).unwrap();
+                assert_eq!(read_ack(&mut b).unwrap(), (kind, mode, None));
             }
         }
         write_ack(&mut a, Err("no such workload")).unwrap();
         let err = read_ack(&mut b).unwrap_err();
         assert!(err.to_string().contains("no such workload"), "{err}");
+    }
+
+    #[test]
+    fn acks_round_trip_the_resume_ticket() {
+        let (mut a, mut b) = MemChannel::pair();
+        let ticket = 0xDEAD_BEEF_0123_4567_89AB_CDEF_FEED_FACEu128;
+        write_ack(&mut a, Ok((ReorderKind::Full, OtMode::Base, Some(ticket)))).unwrap();
+        assert_eq!(read_ack(&mut b).unwrap(), (ReorderKind::Full, OtMode::Base, Some(ticket)));
+    }
+
+    #[test]
+    fn malformed_ticket_lengths_are_typed_protocol_errors() {
+        let (mut a, mut b) = MemChannel::pair();
+        a.send(&[ACK_TAG, ACK_OK, 0, 0]).unwrap();
+        a.send(&5u16.to_le_bytes()).unwrap();
+        a.send(&[1, 2, 3, 4, 5]).unwrap();
+        a.flush().unwrap();
+        let err = read_ack(&mut b).unwrap_err();
+        assert!(err.to_string().contains("ticket"), "{err}");
+    }
+
+    #[test]
+    fn resume_hellos_dispatch_from_the_request_path() {
+        // A reconnecting evaluator opens with the session layer's
+        // Resume frame; the hello reader must route it, and the
+        // request-only reader must refuse it as a typed error.
+        use haac_runtime::wire::{write_message, Message};
+        let (mut a, mut b) = MemChannel::pair();
+        let ticket = 0xC0FF_EE00_D00Du128;
+        write_message(&mut a, &Message::Resume { ticket, next_seq: 42 }).unwrap();
+        a.flush().unwrap();
+        assert_eq!(
+            read_hello_deadline(&mut b, None).unwrap(),
+            SessionHello::Resume { ticket, next_seq: 42 }
+        );
+        write_message(&mut a, &Message::Resume { ticket, next_seq: 7 }).unwrap();
+        a.flush().unwrap();
+        let err = read_request(&mut b).unwrap_err();
+        assert!(err.to_string().contains("resume"), "{err}");
+    }
+
+    #[test]
+    fn request_hellos_still_parse_through_the_hello_reader() {
+        let (mut a, mut b) = MemChannel::pair();
+        let request = SessionRequest::new("DotProd", Scale::Small, 3);
+        write_request(&mut a, &request).unwrap();
+        assert_eq!(read_hello_deadline(&mut b, None).unwrap(), SessionHello::Request(request));
     }
 
     #[test]

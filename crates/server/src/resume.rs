@@ -1,0 +1,330 @@
+//! The suspended-session store behind resumable serving.
+//!
+//! A garbler session that loses its transport mid-stream is not dead:
+//! the runtime's replay buffer still holds every unacknowledged frame,
+//! and a reconnecting evaluator presenting the session's ticket can
+//! continue the stream byte-identically. This module owns the rendezvous
+//! between the two halves of that story. The suspended session **parks**
+//! under its ticket and waits (bounded by a TTL) for a fresh channel;
+//! the connection that arrives with a `Resume` hello **resumes** the
+//! ticket, handing its channel across; and the store stays **bounded**
+//! by evicting the oldest parked session when a new one would exceed
+//! capacity — a suspended session holds a gate-engine worker hostage,
+//! so the store must never be allowed to park more sessions than the
+//! pool can spare (capacity is clamped below the worker count by the
+//! server, or the last live worker could park with nobody left to run
+//! the handoff job that would wake it).
+//!
+//! Tickets come from [`TicketForge`]: 128-bit values from a
+//! splitmix-seeded generator mixing the wall clock and ASLR. They are
+//! unguessable enough to stop a stray client resuming someone else's
+//! session by accident; they are **not** a cryptographic credential —
+//! the threat model here is fault tolerance, not an adversarial
+//! network, which already owns the (plaintext) transport.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use haac_runtime::Channel;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Everything a resuming connection hands to the parked session it
+/// wakes: the fresh channel (the `Resume` hello already consumed) and
+/// the stream cursor the evaluator asked to continue from.
+pub struct ResumeHandoff {
+    /// The reconnected transport, ready for the `ResumeAck` + replay.
+    pub channel: Box<dyn Channel + Send>,
+    /// The evaluator's next expected sequence number.
+    pub next_seq: u64,
+}
+
+impl std::fmt::Debug for ResumeHandoff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResumeHandoff").field("next_seq", &self.next_seq).finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    slots: HashMap<u128, SyncSender<ResumeHandoff>>,
+    /// Park order, for oldest-first capacity eviction. May hold stale
+    /// tickets (already resumed or abandoned); eviction skips them.
+    order: VecDeque<u128>,
+}
+
+/// A bounded rendezvous between suspended sessions and the reconnecting
+/// clients that revive them.
+#[derive(Debug, Default)]
+pub struct ResumeStore {
+    inner: Mutex<StoreInner>,
+    capacity: usize,
+    suspended: AtomicUsize,
+}
+
+/// How one parked session's wait ended.
+#[derive(Debug)]
+pub enum ResumeWait {
+    /// A reconnecting client presented the ticket in time.
+    Resumed(ResumeHandoff),
+    /// The TTL passed with no reconnect; the ticket is dead.
+    Expired,
+    /// The store evicted this slot to make room for a newer suspension
+    /// (or the store dropped); the ticket is dead.
+    Evicted,
+}
+
+/// One parked suspended session: dropped (after [`wait`](Parked::wait)
+/// or on an early exit) it unregisters itself, so the suspended count
+/// and the ticket slot can never leak past the session that owned them.
+#[derive(Debug)]
+pub struct Parked<'a> {
+    store: &'a ResumeStore,
+    ticket: u128,
+    rx: Receiver<ResumeHandoff>,
+}
+
+impl ResumeStore {
+    /// A store parking at most `capacity` sessions (0 disables
+    /// suspension entirely: every `park` is refused).
+    pub fn new(capacity: usize) -> ResumeStore {
+        ResumeStore { inner: Mutex::default(), capacity, suspended: AtomicUsize::new(0) }
+    }
+
+    /// The store state, recovering from lock poisoning: every mutation
+    /// under this lock is a single insert/remove, so a thread that dies
+    /// holding the guard cannot tear an invariant — and one poisoned
+    /// session must not wedge every future suspend/resume.
+    fn locked(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sessions currently parked.
+    pub fn suspended(&self) -> usize {
+        self.suspended.load(Ordering::SeqCst)
+    }
+
+    /// Whether this store can park anything at all.
+    pub fn capacity_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Parks a suspended session under `ticket` and returns the handle
+    /// to wait on. Returns `Err(evicted_count)` context via the return:
+    /// `None` when the store's capacity is 0. When the store is full,
+    /// the **oldest** parked session is evicted (its wait ends
+    /// [`Evicted`](ResumeWait::Evicted)) to make room — recent
+    /// suspensions are the ones whose clients are most likely still
+    /// around to reconnect.
+    pub fn park(&self, ticket: u128) -> Option<Parked<'_>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let (tx, rx) = sync_channel(1);
+        {
+            let mut inner = self.locked();
+            while inner.slots.len() >= self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break; // stale-order underflow: slots were abandoned
+                };
+                // Dropping the sender wakes the evicted session's
+                // recv with Disconnected.
+                inner.slots.remove(&oldest);
+            }
+            inner.slots.insert(ticket, tx);
+            inner.order.push_back(ticket);
+        }
+        self.suspended.fetch_add(1, Ordering::SeqCst);
+        Some(Parked { store: self, ticket, rx })
+    }
+
+    /// Wakes the session parked under `ticket` with a fresh channel.
+    /// Returns the handoff back when no such session is waiting (never
+    /// parked, expired, or evicted) so the caller can fail the resume
+    /// and drop the connection.
+    pub fn resume(&self, ticket: u128, handoff: ResumeHandoff) -> Result<(), ResumeHandoff> {
+        let Some(tx) = self.locked().slots.remove(&ticket) else {
+            return Err(handoff);
+        };
+        // The slot existed, but the parked side may have timed out
+        // between our lookup and this send. The buffered (capacity-1)
+        // channel means a send that beats the receiver's drop is still
+        // delivered — the parked side's final `try_recv` grace pass
+        // picks it up.
+        tx.send(handoff).map_err(|e| e.0)
+    }
+}
+
+impl Parked<'_> {
+    /// The ticket this session is parked under.
+    pub fn ticket(&self) -> u128 {
+        self.ticket
+    }
+
+    /// Blocks until a reconnect arrives, the `ttl` passes, or the slot
+    /// is evicted.
+    pub fn wait(self, ttl: Duration) -> ResumeWait {
+        match self.rx.recv_timeout(ttl) {
+            Ok(handoff) => ResumeWait::Resumed(handoff),
+            Err(RecvTimeoutError::Disconnected) => ResumeWait::Evicted,
+            Err(RecvTimeoutError::Timeout) => {
+                // Grace pass for the send/timeout race: a resume that
+                // removed the slot just before the deadline has already
+                // committed its handoff into the buffer, and dropping
+                // it here would strand a live reconnected client.
+                match self.rx.try_recv() {
+                    Ok(handoff) => ResumeWait::Resumed(handoff),
+                    Err(TryRecvError::Disconnected) => ResumeWait::Evicted,
+                    Err(TryRecvError::Empty) => ResumeWait::Expired,
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Parked<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.store.locked();
+        inner.slots.remove(&self.ticket);
+        // The stale order entry is skipped at eviction time.
+        drop(inner);
+        self.store.suspended.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Generates opaque 128-bit resume tickets. Seeded once per server from
+/// the wall clock and stack ASLR through splitmix — collision-free in
+/// practice and unguessable by accident, but **not** a cryptographic
+/// secret (see the module docs for the threat model).
+#[derive(Debug)]
+pub struct TicketForge {
+    state: Mutex<StdRng>,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TicketForge {
+    /// A forge with a fresh per-process seed.
+    pub fn new() -> TicketForge {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let stack = 0u8;
+        let aslr = std::ptr::addr_of!(stack) as u64;
+        let seed = splitmix(clock) ^ splitmix(aslr.rotate_left(32));
+        TicketForge { state: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The next ticket.
+    pub fn next(&self) -> u128 {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).gen()
+    }
+}
+
+impl Default for TicketForge {
+    fn default() -> TicketForge {
+        TicketForge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haac_runtime::MemChannel;
+
+    fn handoff(next_seq: u64) -> ResumeHandoff {
+        let (a, _b) = MemChannel::pair();
+        ResumeHandoff { channel: Box::new(a), next_seq }
+    }
+
+    #[test]
+    fn park_then_resume_hands_the_channel_across() {
+        let store = ResumeStore::new(2);
+        let parked = store.park(77).expect("capacity 2 admits a park");
+        assert_eq!(store.suspended(), 1);
+        store.resume(77, handoff(9)).expect("the parked slot accepts the handoff");
+        match parked.wait(Duration::from_secs(5)) {
+            ResumeWait::Resumed(h) => assert_eq!(h.next_seq, 9),
+            other => panic!("expected a resume, got {other:?}"),
+        }
+        assert_eq!(store.suspended(), 0, "the wait's drop unregistered the park");
+    }
+
+    #[test]
+    fn unknown_tickets_fail_the_resume_and_return_the_handoff() {
+        let store = ResumeStore::new(2);
+        let returned = store.resume(123, handoff(4)).expect_err("nobody is parked");
+        assert_eq!(returned.next_seq, 4);
+    }
+
+    #[test]
+    fn the_ttl_expires_a_park_and_kills_its_ticket() {
+        let store = ResumeStore::new(2);
+        let parked = store.park(5).unwrap();
+        assert!(matches!(parked.wait(Duration::from_millis(10)), ResumeWait::Expired));
+        assert_eq!(store.suspended(), 0);
+        // The ticket died with the wait: a late reconnect is refused.
+        assert!(store.resume(5, handoff(0)).is_err());
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_parked_session() {
+        let store = ResumeStore::new(1);
+        let oldest = store.park(1).unwrap();
+        let newest = store.park(2).unwrap();
+        assert_eq!(store.suspended(), 2, "eviction wakes, the evictee unparks itself");
+        assert!(matches!(oldest.wait(Duration::from_secs(5)), ResumeWait::Evicted));
+        store.resume(2, handoff(1)).expect("the newest park survived");
+        assert!(matches!(newest.wait(Duration::from_secs(5)), ResumeWait::Resumed(_)));
+    }
+
+    #[test]
+    fn zero_capacity_refuses_every_park() {
+        let store = ResumeStore::new(0);
+        assert!(store.park(9).is_none());
+        assert_eq!(store.suspended(), 0);
+    }
+
+    #[test]
+    fn a_resume_racing_the_ttl_is_caught_by_the_grace_pass() {
+        // Deterministic stand-in for the race: the handoff is committed
+        // before the (already-expired) wait runs, so recv_timeout sees
+        // Timeout only if the send lost the race — either way the grace
+        // try_recv must deliver it.
+        let store = ResumeStore::new(1);
+        let parked = store.park(8).unwrap();
+        store.resume(8, handoff(2)).unwrap();
+        assert!(matches!(parked.wait(Duration::ZERO), ResumeWait::Resumed(_)));
+    }
+
+    #[test]
+    fn the_store_survives_a_poisoned_lock() {
+        let store = std::sync::Arc::new(ResumeStore::new(2));
+        let poisoner = std::sync::Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("die holding the store lock");
+        })
+        .join();
+        let parked = store.park(3).expect("a poisoned lock must not wedge parking");
+        store.resume(3, handoff(0)).expect("nor resuming");
+        assert!(matches!(parked.wait(Duration::from_secs(5)), ResumeWait::Resumed(_)));
+    }
+
+    #[test]
+    fn tickets_are_distinct() {
+        let forge = TicketForge::new();
+        let a = forge.next();
+        let b = forge.next();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+}

@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 
 use haac_gc::EnginePool;
 use haac_runtime::{
-    run_garbler, Channel, MemChannel, OtMode, ReorderKind, RuntimeError, SessionDeadlines,
-    SessionReport, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
+    run_garbler_resumable, Channel, MemChannel, OtMode, ReorderKind, RuntimeError,
+    SessionDeadlines, SessionReport, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
 };
 use haac_workloads::WorkloadKind;
 use rand::{rngs::StdRng, SeedableRng};
@@ -32,7 +32,8 @@ use rand::{rngs::StdRng, SeedableRng};
 use crate::cache::CircuitCache;
 use crate::metrics::{RefusalReason, ServerMetrics};
 use crate::registry::{ServerReport, SessionId, SessionRegistry};
-use crate::request::{read_request_deadline, write_ack, write_busy};
+use crate::request::{read_hello_deadline, write_ack, write_busy, SessionHello};
+use crate::resume::{ResumeHandoff, ResumeStore, ResumeWait, TicketForge};
 
 /// Sizing, draining, and admission-control knobs for a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +64,19 @@ pub struct ServerConfig {
     /// one silent or dripping peer cannot pin a gate-engine worker
     /// forever.
     pub deadlines: SessionDeadlines,
+    /// Most sessions allowed to sit suspended (parked mid-stream,
+    /// waiting for their evaluator to reconnect) at once. A suspended
+    /// session holds its gate-engine worker, so the effective store
+    /// capacity is clamped below `workers` — the last live worker must
+    /// stay available to run the handoff job a reconnect needs. 0
+    /// disables suspension: mid-stream cuts become fatal session
+    /// errors and no resume tickets are issued.
+    pub max_suspended: usize,
+    /// How long a suspended session waits for its evaluator to
+    /// reconnect before giving up (counted as a resume eviction). Keep
+    /// this well under `drain_timeout`, or shutdown can stall on parked
+    /// sessions.
+    pub resume_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +93,8 @@ impl Default for ServerConfig {
                 ot: Some(Duration::from_secs(60)),
                 chunk: Some(Duration::from_secs(60)),
             },
+            max_suspended: 2,
+            resume_ttl: Duration::from_secs(30),
         }
     }
 }
@@ -92,8 +108,13 @@ struct ServerShared {
     accepting: AtomicBool,
     /// Drain-aware shutdown: set before the listeners stop, it turns
     /// every *new* connection into a polite busy refusal while
-    /// in-flight sessions run to completion.
+    /// in-flight sessions run to completion. Reconnects for suspended
+    /// sessions stay admitted (drain finishes suspended work), but no
+    /// *new* suspension is granted once draining.
     draining: AtomicBool,
+    /// Suspended sessions parked mid-stream, keyed by resume ticket.
+    resume: ResumeStore,
+    tickets: TicketForge,
     config: ServerConfig,
 }
 
@@ -174,6 +195,10 @@ impl Server {
     /// [`submit`](Server::submit)) or a listener is bound
     /// ([`listen_tcp`](Server::listen_tcp)).
     pub fn new(config: ServerConfig) -> Server {
+        // A parked session occupies a pool worker; leaving at least one
+        // worker un-parkable guarantees the handoff job a reconnect
+        // queues can always eventually run.
+        let suspend_capacity = config.max_suspended.min(config.workers.saturating_sub(1));
         Server {
             pool: Arc::new(EnginePool::new(config.workers)),
             shared: Arc::new(ServerShared {
@@ -182,6 +207,8 @@ impl Server {
                 metrics: ServerMetrics::new(),
                 accepting: AtomicBool::new(true),
                 draining: AtomicBool::new(false),
+                resume: ResumeStore::new(suspend_capacity),
+                tickets: TicketForge::new(),
                 config,
             }),
             config,
@@ -215,8 +242,19 @@ impl Server {
     /// owners first, counters/histograms/rates read live. Safe to call
     /// mid-load from any thread — nothing here blocks a session.
     pub fn metrics_snapshot(&self) -> String {
-        self.shared.metrics.refresh(&self.shared.registry, &self.shared.cache, &self.pool.stats());
+        self.shared.metrics.refresh(
+            &self.shared.registry,
+            &self.shared.cache,
+            &self.pool.stats(),
+            self.shared.resume.suspended(),
+        );
         self.shared.metrics.render()
+    }
+
+    /// Sessions currently suspended mid-stream, waiting for their
+    /// evaluator to reconnect.
+    pub fn suspended(&self) -> usize {
+        self.shared.resume.suspended()
     }
 
     /// Accepts an already-connected evaluator channel: registers a
@@ -379,7 +417,12 @@ fn metrics_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<Ser
         let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
         let mut head = [0u8; 1024];
         let _ = stream.read(&mut head);
-        shared.metrics.refresh(&shared.registry, &shared.cache, &pool.stats());
+        shared.metrics.refresh(
+            &shared.registry,
+            &shared.cache,
+            &pool.stats(),
+            shared.resume.suspended(),
+        );
         let body = shared.metrics.render();
         let response = format!(
             "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
@@ -406,13 +449,19 @@ fn submit_on(
 ) -> Option<SessionId> {
     let mut channel = channel;
     // Admission control, decided before any handshake state exists (the
-    // request has not been read — both checks are request-free), so a
-    // refusal costs one ack frame, not a worker.
-    if shared.draining.load(Ordering::SeqCst) {
+    // request has not been read — all checks are request-free), so a
+    // refusal costs one ack frame, not a worker. While draining, the
+    // door stays open only as long as suspended sessions might still be
+    // waiting on a reconnect — the session body turns any *fresh*
+    // request arriving through that gap away itself.
+    let admitted_while_draining = shared.draining.load(Ordering::SeqCst);
+    if admitted_while_draining && shared.resume.suspended() == 0 {
         refuse(shared, &mut *channel, RefusalReason::Draining);
         return None;
     }
-    if pool.stats().queued_jobs >= shared.config.accept_queue_limit {
+    // Suspended sessions count against admission: each one pins a
+    // worker just like a queued job, so backlog pressure includes them.
+    if pool.stats().queued_jobs + shared.resume.suspended() >= shared.config.accept_queue_limit {
         refuse(shared, &mut *channel, RefusalReason::QueueFull);
         return None;
     }
@@ -424,36 +473,92 @@ fn submit_on(
     // depth for the cold-shed probe, so a weak handle suffices.
     let pool_probe = Arc::downgrade(pool);
     pool.spawn(move || {
-        let mut channel = channel;
         // One poisoned session must not take down the server: protocol
         // errors and panics alike end as a recorded failed outcome.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            session_body(&shared, &pool_probe, id, &mut *channel)
+            session_body(&shared, &pool_probe, id, channel, admitted_while_draining)
         }));
-        let result = match outcome {
-            Ok(result) => result.map_err(|e| e.to_string()),
-            Err(_) => Err("session panicked (contained by the worker)".to_string()),
-        };
-        shared.registry.complete(id, result);
+        match outcome {
+            Ok(Ok(SessionVerdict::Completed(report))) => {
+                shared.registry.complete(id, Ok(report));
+            }
+            // Not a session of its own (a resume handoff, or a refusal
+            // inside the draining window): leaves no outcome.
+            Ok(Ok(SessionVerdict::Detached)) => shared.registry.discard(id),
+            Ok(Err(e)) => shared.registry.complete(id, Err(e.to_string())),
+            Err(_) => shared
+                .registry
+                .complete(id, Err("session panicked (contained by the worker)".to_string())),
+        }
     });
     Some(id)
 }
 
-/// One full garbler-side session: request → cache fetch → ack → GC.
+/// How one accepted connection's job ended when it did not fail.
+// The report variant dwarfing `Detached` is fine: exactly one verdict
+// lives at a time, at the tail of a session job.
+#[allow(clippy::large_enum_variant)]
+enum SessionVerdict {
+    /// A full garbler session ran to completion on this connection.
+    Completed(SessionReport),
+    /// The connection was not a session of its own: a resume handoff
+    /// (the channel now belongs to the suspended session it revived —
+    /// or was dropped when the ticket was unknown), or a fresh request
+    /// refused inside the draining window.
+    Detached,
+}
+
+/// One full garbler-side session: hello → cache fetch → ack (with a
+/// resume ticket) → resumable GC — or, for a `Resume` hello, the
+/// handoff delivering this connection to the suspended session it
+/// revives.
 fn session_body(
     shared: &ServerShared,
     pool: &Weak<EnginePool>,
     id: SessionId,
-    channel: &mut (dyn Channel + Send),
-) -> Result<SessionReport, RuntimeError> {
+    mut channel: Box<dyn Channel + Send>,
+    admitted_while_draining: bool,
+) -> Result<SessionVerdict, RuntimeError> {
     // The whole-handshake budget runs from job start: a connection that
     // will not (or only drips) its request is cut off with a typed
     // deadline instead of pinning this worker.
     let handshake_deadline = shared.config.deadlines.handshake.map(|d| Instant::now() + d);
-    let request = read_request_deadline(channel, handshake_deadline)?;
+    let request = match read_hello_deadline(&mut *channel, handshake_deadline)? {
+        SessionHello::Resume { ticket, next_seq } => {
+            // A reconnect reviving a suspended session: hand the whole
+            // channel to the parked job and step aside. A fast client
+            // can dial back before the cut session has even noticed its
+            // dead channel and parked, so an unmatched ticket gets a
+            // short grace window before it is declared unknown
+            // (expired, evicted, never issued) — at which point this
+            // job just hangs up, and the client sees EOF on its resume
+            // hello.
+            let mut handoff = ResumeHandoff { channel, next_seq };
+            for _ in 0..40 {
+                handoff = match shared.resume.resume(ticket, handoff) {
+                    Ok(()) => return Ok(SessionVerdict::Detached),
+                    Err(handoff) => handoff,
+                };
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            shared.metrics.record_resume_failure();
+            return Ok(SessionVerdict::Detached);
+        }
+        SessionHello::Request(request) => request,
+    };
+    if admitted_while_draining {
+        // Admission stays open while suspended sessions wait on their
+        // reconnects; a *fresh* request slipping through that gap is
+        // still turned away. Sessions admitted *before* the drain began
+        // run to completion — only connections that entered through the
+        // reconnect window are refused here.
+        shared.metrics.record_refusal(RefusalReason::Draining);
+        let _ = write_busy(&mut *channel, shared.config.busy_retry_after.as_millis() as u64);
+        return Ok(SessionVerdict::Detached);
+    }
     let Some(kind) = WorkloadKind::from_name(&request.workload) else {
         let reason = format!("unknown workload {:?}", request.workload);
-        let _ = write_ack(channel, Err(&reason));
+        let _ = write_ack(&mut *channel, Err(&reason));
         return Err(RuntimeError::protocol(reason));
     };
     shared.registry.set_workload(id, kind.name());
@@ -472,7 +577,7 @@ fn session_body(
     {
         shared.metrics.record_refusal(RefusalReason::ColdShed);
         let retry_after_ms = shared.config.busy_retry_after.as_millis() as u64;
-        let _ = write_busy(channel, retry_after_ms);
+        let _ = write_busy(&mut *channel, retry_after_ms);
         return Err(RuntimeError::busy(retry_after_ms));
     }
     let cached = shared.cache.get(kind, request.scale, reorder);
@@ -482,7 +587,11 @@ fn session_body(
     let ot_mode = request
         .ot_mode
         .unwrap_or_else(|| choose_ot_mode(cached.workload.circuit.evaluator_inputs()));
-    write_ack(channel, Ok((reorder, ot_mode)))?;
+    // The resume ticket rides in the ack; issuing one costs nothing
+    // until a cut actually suspends the session. None means this
+    // server cannot suspend (store disabled).
+    let ticket = shared.resume.capacity_enabled().then(|| shared.tickets.next());
+    write_ack(&mut *channel, Ok((reorder, ot_mode, ticket)))?;
 
     let telemetry = shared.metrics.session_telemetry(kind.name(), reorder);
     let config = cached
@@ -493,12 +602,35 @@ fn session_body(
         .with_ot_mode(ot_mode);
     let session_start = Instant::now();
     let mut rng = StdRng::seed_from_u64(request.seed);
-    let report = run_garbler(
+    let report = run_garbler_resumable(
         &cached.workload.circuit,
         &cached.workload.garbler_bits,
         &mut rng,
         &config,
         channel,
+        |_err, _produced| {
+            // Only resume-safe mid-stream failures reach here. Park
+            // under the session's ticket and wait (bounded) for the
+            // evaluator to reconnect — unless the ticket was never
+            // issued or the server is draining (no *new* suspensions
+            // once drain starts).
+            let ticket = ticket?;
+            if shared.draining.load(Ordering::SeqCst) {
+                return None;
+            }
+            let parked = shared.resume.park(ticket)?;
+            let parked_at = Instant::now();
+            match parked.wait(shared.config.resume_ttl) {
+                ResumeWait::Resumed(handoff) => {
+                    shared.metrics.record_resume(parked_at.elapsed().as_micros() as u64);
+                    Some((handoff.channel, handoff.next_seq))
+                }
+                ResumeWait::Expired | ResumeWait::Evicted => {
+                    shared.metrics.record_resume_eviction();
+                    None
+                }
+            }
+        },
     )?;
     // The service computes the canonical VIP sample: the outputs the
     // evaluator shares back must decode to the plaintext reference, so
@@ -511,5 +643,5 @@ fn session_body(
         )));
     }
     shared.metrics.record_session(kind.name(), reorder, session_start.elapsed().as_micros() as u64);
-    Ok(report)
+    Ok(SessionVerdict::Completed(report))
 }

@@ -5,13 +5,19 @@
 //! that leaves the registry drained and the pool serving; admission
 //! control refuses with typed busy acks (hard queue limit, cold-work
 //! shedding under pressure, drain mode) instead of accepting work it
-//! cannot finish; and a slow-loris handshake is cut by the wall-clock
-//! deadline rather than pinning a gate-engine worker.
+//! cannot finish; a slow-loris handshake is cut by the wall-clock
+//! deadline rather than pinning a gate-engine worker; and a session
+//! cut *mid-stream* — at any message boundary or any byte offset —
+//! comes back through the resume path bit-identical to the uncut run,
+//! with every replayed chunk coming out of the garbler's buffer rather
+//! than a second garbling.
 
+use std::io;
 use std::time::{Duration, Instant};
 
 use haac_runtime::{
-    Channel as _, FaultChannel, FaultSpec, OtMode, RuntimeError, SessionDeadlines, SessionPhase,
+    Channel, ChannelStats, FaultChannel, FaultSpec, OtMode, RuntimeError, SessionDeadlines,
+    SessionPhase,
 };
 use haac_server::{client, Server, ServerConfig, SessionRequest};
 use haac_workloads::Scale;
@@ -300,4 +306,263 @@ fn slow_loris_handshake_is_cut_by_the_wall_clock_deadline() {
     assert_eq!(report.completed, 1);
     assert_eq!(report.failed, 1);
     assert_eq!(report.active, 0);
+}
+
+/// One retrying-client policy for the resume sweeps: tight sleeps so
+/// the sweep runs in test time, a resume budget big enough that a
+/// reconnect racing the garbler's park never exhausts it.
+fn resume_policy(seed: u64) -> client::RetryPolicy {
+    client::RetryPolicy {
+        max_attempts: 8,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed,
+        resume_attempts: 4,
+    }
+}
+
+#[test]
+fn mid_stream_cuts_resume_to_the_uncut_outputs_across_workloads() {
+    // The tentpole contract, end to end: cut the evaluator's link at
+    // *every* channel operation of the session — a superset of every
+    // table-chunk boundary — across three workloads, and every session
+    // must still land with the uncut run's outputs. Pre-stream cuts go
+    // through the retry leg (nothing garbled yet); mid-stream cuts go
+    // through the resume leg — the *same* session instance continues
+    // over the reconnect, the garbler replays bytes from its buffer
+    // (never garbling a table twice), and both sides' table counts
+    // match the uncut baseline exactly.
+    for kind in [
+        haac_workloads::WorkloadKind::DotProduct,
+        haac_workloads::WorkloadKind::BubbleSort,
+        haac_workloads::WorkloadKind::Hamming,
+    ] {
+        let mut config = chaos_config(2);
+        // Evictions (a park whose evaluator retried instead of
+        // resuming) must free their worker in test time.
+        config.resume_ttl = Duration::from_secs(2);
+        let server = Server::new(config);
+        let (workload, session_config) = client::prepare(kind, Scale::Small);
+        let req = request(kind.name(), 21);
+
+        // Baseline: one clean run through a transparent fault wrapper
+        // pins the op count, the chunk count, and the reference report.
+        let mut clean = FaultChannel::new(server.connect(), FaultSpec::default(), 1);
+        let baseline = client::run_session_with(&mut clean, &req, &workload, &session_config)
+            .expect("fault-free baseline must succeed");
+        let total_ops = clean.ops();
+        assert!(baseline.table_chunks >= 1);
+
+        let mut resumed_cuts = 0u64;
+        for cut in 0..total_ops {
+            let start = Instant::now();
+            let mut first = true;
+            let policy = resume_policy(0xC0DE + cut);
+            let (result, stats) = client::run_session_retrying(
+                || {
+                    let spec = if first { FaultSpec::cut_at_op(cut) } else { FaultSpec::default() };
+                    first = false;
+                    Ok(FaultChannel::new(server.connect(), spec, cut))
+                },
+                &req,
+                &workload,
+                &session_config,
+                &policy,
+                None,
+            );
+            let report = result
+                .unwrap_or_else(|e| panic!("cut at op {cut}/{total_ops} must land, got: {e}"));
+            assert_eq!(
+                report.tables, baseline.tables,
+                "cut {cut}: the evaluator must see every table exactly once"
+            );
+            assert_eq!(report.outputs, baseline.outputs, "cut {cut}: outputs must be identical");
+            assert_eq!(stats.resume_failures, 0, "cut {cut}: no resume attempt may die");
+            resumed_cuts += u64::from(stats.resumes);
+            assert!(
+                start.elapsed() < Duration::from_secs(20),
+                "cut {cut} took {:?} — recovery must be prompt",
+                start.elapsed()
+            );
+        }
+        // Every chunk boundary lies inside the sweep, and each chunk
+        // spans several ops — the stream region must have produced at
+        // least one resumed cut per chunk.
+        assert!(
+            resumed_cuts >= baseline.table_chunks,
+            "{}: only {resumed_cuts} resumed cuts over {} chunks",
+            kind.name(),
+            baseline.table_chunks
+        );
+
+        // The pool still serves after the sweep.
+        let mut channel = server.connect();
+        client::run_session_with(&mut channel, &req, &workload, &session_config)
+            .expect("the server must keep serving after the sweep");
+
+        assert!(server.registry().wait_drained(Duration::from_secs(60)));
+        // Server side of the same story: every resumed session's
+        // outcome garbled each table exactly once (tables match the
+        // baseline), at least one replay actually came out of the
+        // buffer, and the resume counter saw every cut the clients
+        // survived.
+        let mut server_resumed = 0u64;
+        let mut replayed_frames = 0u64;
+        for outcome in server.registry().outcomes() {
+            match &outcome.result {
+                Ok(r) if r.resumes > 0 => {
+                    server_resumed += 1;
+                    replayed_frames += r.replayed_frames;
+                    assert_eq!(
+                        r.tables,
+                        baseline.tables,
+                        "{}: a resumed session re-garbled tables",
+                        kind.name()
+                    );
+                }
+                Ok(_) => {}
+                Err(failure) => {
+                    assert!(!failure.contains("panicked"), "no session may panic: {failure}");
+                }
+            }
+        }
+        assert_eq!(server_resumed, resumed_cuts, "{}: registry vs client resumes", kind.name());
+        assert_eq!(
+            server.metrics().resumed(),
+            resumed_cuts,
+            "{}: haac_sessions_resumed_total must reflect every cut",
+            kind.name()
+        );
+        assert!(replayed_frames >= 1, "{}: resumes must replay from the buffer", kind.name());
+        let samples = haac_telemetry::parse(&server.metrics_snapshot()).expect("snapshot parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "haac_sessions_resumed_total" && s.value == resumed_cuts as f64));
+        let report = server.shutdown();
+        assert_eq!(report.active, 0, "{}: registry must drain empty", kind.name());
+    }
+}
+
+/// A [`Channel`] wrapper that kills the link once a byte budget is
+/// crossed, in either direction — the byte-granular counterpart of
+/// [`FaultSpec::cut_at_op`], so resume coverage is not limited to
+/// message boundaries.
+#[derive(Debug)]
+struct ByteCutChannel<C: Channel> {
+    inner: C,
+    budget: u64,
+    seen: u64,
+    cut: bool,
+}
+
+impl<C: Channel> ByteCutChannel<C> {
+    fn new(inner: C, budget: u64) -> ByteCutChannel<C> {
+        ByteCutChannel { inner, budget, seen: 0, cut: false }
+    }
+
+    fn charge(&mut self, bytes: usize) -> io::Result<()> {
+        if self.cut {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected byte cut"));
+        }
+        self.seen += bytes as u64;
+        if self.seen > self.budget {
+            self.cut = true;
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "injected byte cut"));
+        }
+        Ok(())
+    }
+}
+
+impl<C: Channel> Channel for ByteCutChannel<C> {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.charge(bytes.len())?;
+        self.inner.send(bytes)
+    }
+
+    fn recv_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.charge(buf.len())?;
+        self.inner.recv_exact(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.cut {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected byte cut"));
+        }
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.inner.stats()
+    }
+
+    fn set_io_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_io_deadline(timeout)
+    }
+}
+
+mod random_byte_cuts {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// Calibration shared across proptest cases: total client-side
+    /// bytes and the table count of one clean DotProd Small session.
+    fn calibrate() -> (u64, u64) {
+        static CAL: OnceLock<(u64, u64)> = OnceLock::new();
+        *CAL.get_or_init(|| {
+            let server = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+            let (workload, config) =
+                client::prepare(haac_workloads::WorkloadKind::DotProduct, Scale::Small);
+            let mut clean = ByteCutChannel::new(server.connect(), u64::MAX);
+            let report =
+                client::run_session_with(&mut clean, &request("DotProd", 33), &workload, &config)
+                    .expect("calibration session succeeds");
+            let total = clean.seen;
+            server.shutdown();
+            (total, report.tables)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12 })]
+
+        /// A cut at *any* byte offset of the session — mid-frame, not
+        /// just at message boundaries — either retries (pre-stream) or
+        /// resumes (mid-stream), and always lands on the uncut outputs
+        /// with every table seen exactly once.
+        #[test]
+        fn any_byte_offset_cut_lands_on_the_uncut_outputs(permille in 0u32..1000u32) {
+            let (total_bytes, tables) = calibrate();
+            let offset = (u64::from(permille) * total_bytes / 1000).max(1);
+            let mut server_config = chaos_config(2);
+            server_config.resume_ttl = Duration::from_secs(2);
+            let server = Server::new(server_config);
+            let (workload, config) =
+                client::prepare(haac_workloads::WorkloadKind::DotProduct, Scale::Small);
+            let req = request("DotProd", 33);
+            let mut first = true;
+            let policy = resume_policy(0xB17E ^ offset);
+            let (result, stats) = client::run_session_retrying(
+                || {
+                    let budget = if first { offset } else { u64::MAX };
+                    first = false;
+                    Ok(ByteCutChannel::new(server.connect(), budget))
+                },
+                &req,
+                &workload,
+                &config,
+                &policy,
+                None,
+            );
+            let report = result
+                .unwrap_or_else(|e| panic!("byte cut at {offset}/{total_bytes} must land: {e}"));
+            prop_assert_eq!(report.tables, tables);
+            prop_assert_eq!(stats.resume_failures, 0);
+            if stats.resumes > 0 {
+                prop_assert_eq!(server.metrics().resumed(), u64::from(stats.resumes));
+            }
+            prop_assert!(server.registry().wait_drained(Duration::from_secs(30)));
+            server.shutdown();
+        }
+    }
 }

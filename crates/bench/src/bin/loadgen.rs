@@ -12,6 +12,11 @@
 //! - **warm serial** — the same sessions one at a time through one
 //!   long-lived server (what the circuit cache alone buys), pinned to
 //!   Baseline so the phases stay comparable release-to-release;
+//! - **pre-garbled** — the warm-serial mix again, but every session is
+//!   served from the server's pre-garbled instance bank (stored tables
+//!   streamed, zero online garbling cipher work); gated strictly faster
+//!   than warm serial at p50 and p99, with the bank's hit counters
+//!   reconciled against the client-observed completions;
 //! - **concurrent** — all N sessions at once on the shared pool
 //!   (`aggregate_and_gates_per_sec` = total AND tables / wall), with a
 //!   mid-load scrape of the server's live metrics snapshot and a
@@ -123,6 +128,36 @@ struct StageBreakdown {
     oor_queue_peak_max: usize,
 }
 
+/// The pre-garbled serving tier: the warm-serial mix again, but every
+/// session claims a fully pre-garbled instance from the server's bank
+/// and streams stored bytes — only OT and the input exchange stay
+/// online. Same server shape and serial discipline as `warm_serial`,
+/// so the two phases are directly comparable.
+#[derive(Debug, Serialize)]
+struct PreGarbledReport {
+    /// Instances prefilled into the bank (exactly one per session).
+    prefilled: u64,
+    /// The served sessions.
+    served: PhaseReport,
+    /// Bank claims served from storage — gated equal to the session
+    /// count (reconciled against the client-observed completions).
+    bank_hits: u64,
+    /// Claims that fell back to online garbling — gated zero.
+    bank_misses: u64,
+    /// Garbler-side online AES blocks across the phase — gated zero:
+    /// the whole cipher bill was paid off the request path.
+    garbler_aes_blocks: u64,
+    /// The same total for the warm-serial phase, for contrast (every
+    /// warm session pays the full garbling in-line).
+    warm_serial_garbler_aes_blocks: u64,
+    /// Garbler-side compute ns across the phase, banked vs warm — the
+    /// "served from storage, not compute" delta.
+    garbler_compute_ns: u64,
+    warm_serial_garbler_compute_ns: u64,
+    /// `warm_serial.p50_session_secs / served.p50_session_secs`.
+    p50_speedup_vs_warm_serial: f64,
+}
+
 /// Admission control under deliberate overload: the server sheds with
 /// typed busy acks, retrying clients absorb the refusals, and the
 /// admitted work still flows at (nearly) the full no-overload rate —
@@ -217,6 +252,8 @@ struct Report {
     cold_single_session: PhaseReport,
     /// One warm long-lived server, sessions one at a time.
     warm_serial: PhaseReport,
+    /// The warm-serial mix served from the pre-garbled instance bank.
+    pre_garbled: PreGarbledReport,
     /// One warm server, all sessions concurrent on the shared pool.
     concurrent: PhaseReport,
     /// 2× clients against a small accept queue: shedding + retries.
@@ -297,6 +334,17 @@ fn warm_session(
     SessionRow::new(kind, ReorderKind::Baseline, &report, start.elapsed())
 }
 
+/// Garbler-side online cost of a server's completed sessions: summed
+/// garbling compute time and AES blocks from the registry's outcomes.
+fn garbler_cipher_totals(server: &Server) -> (u64, u64) {
+    server.registry().outcomes().iter().fold((0, 0), |(ns, blocks), outcome| {
+        match &outcome.result {
+            Ok(r) => (ns + r.compute_ns, blocks + r.crypto.aes_blocks),
+            Err(_) => (ns, blocks),
+        }
+    })
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--quiet") {
         haac_telemetry::events::set_quiet(true);
@@ -348,7 +396,79 @@ fn main() {
         .map(|(i, &k)| warm_session(&server, k, &workload_of(k), 2_000 + i as u64))
         .collect();
     let warm_serial = phase_report(&serial_rows, serial_start.elapsed());
+    let (warm_garbler_compute_ns, warm_garbler_aes_blocks) = garbler_cipher_totals(&server);
     server.shutdown();
+
+    // Phase 2b — pre-garbled: the same serial mix, but the server's
+    // instance bank is stocked with exactly one pre-garbled instance
+    // per session before any client connects, so every session claims
+    // from storage and only OT and the input exchange compute online.
+    // The producer is left inert (hour-long refill interval): the
+    // phase measures serving prefilled inventory, not refill pacing.
+    event!("loadgen", "pre-garbled phase: {} sessions from the instance bank...", mix.len());
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        bank_capacity: mix.len(),
+        bank_refill_interval: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    });
+    let mut prefilled = 0u64;
+    for &k in &distinct {
+        server.cache().get(k, Scale::Small, ReorderKind::Baseline);
+        let count = mix.iter().filter(|&&m| m == k).count();
+        let stocked = server.prefill(k, Scale::Small, ReorderKind::Baseline, count);
+        assert_eq!(stocked, count, "prefill must bank {count} instances of {}", k.name());
+        prefilled += stocked as u64;
+    }
+    let pre_start = Instant::now();
+    let pre_rows: Vec<SessionRow> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| warm_session(&server, k, &workload_of(k), 8_000 + i as u64))
+        .collect();
+    let served = phase_report(&pre_rows, pre_start.elapsed());
+    let bank_hits = server.bank().hits();
+    let bank_misses = server.bank().misses();
+    let (banked_garbler_compute_ns, banked_garbler_aes_blocks) = garbler_cipher_totals(&server);
+    server.shutdown();
+    // The serving-tier gates. Hit counters reconcile against the
+    // client-observed completions: every one of the mix's sessions
+    // landed (warm_session panics otherwise), and each must have been
+    // a storage claim, never a compute fallback.
+    assert_eq!(
+        bank_hits,
+        mix.len() as u64,
+        "every pre-garbled session must be served from the bank"
+    );
+    assert_eq!(bank_misses, 0, "no pre-garbled session may fall back to compute");
+    assert_eq!(banked_garbler_aes_blocks, 0, "a bank hit must do zero online garbling cipher work");
+    assert!(
+        warm_garbler_aes_blocks > 0,
+        "the warm baseline must have paid its cipher bill in-line"
+    );
+    assert!(
+        served.p50_session_secs < warm_serial.p50_session_secs,
+        "pre-garbled p50 ({:.6}s) must beat warm-compute p50 ({:.6}s)",
+        served.p50_session_secs,
+        warm_serial.p50_session_secs,
+    );
+    assert!(
+        served.p99_session_secs < warm_serial.p99_session_secs,
+        "pre-garbled p99 ({:.6}s) must beat warm-compute p99 ({:.6}s)",
+        served.p99_session_secs,
+        warm_serial.p99_session_secs,
+    );
+    let pre_garbled = PreGarbledReport {
+        prefilled,
+        p50_speedup_vs_warm_serial: warm_serial.p50_session_secs / served.p50_session_secs,
+        served,
+        bank_hits,
+        bank_misses,
+        garbler_aes_blocks: banked_garbler_aes_blocks,
+        warm_serial_garbler_aes_blocks: warm_garbler_aes_blocks,
+        garbler_compute_ns: banked_garbler_compute_ns,
+        warm_serial_garbler_compute_ns: warm_garbler_compute_ns,
+    };
 
     // Phase 3 — the load: all sessions at once on the shared pool.
     event!("loadgen", "concurrent phase: {sessions} clients...");
@@ -378,25 +498,38 @@ fn main() {
         .collect();
     // Scrape the live admin plane while the clients run: the snapshot
     // must parse mid-load, and its gauges are the "is it alive" view a
-    // dashboard would poll.
+    // dashboard would poll. Poll until the load is actually visible —
+    // a single scrape taken right after spawning the clients used to
+    // land before any session had streamed and report a dead-looking
+    // server (gates_per_sec 0, pool_utilization 0) under full load.
     let mid_load_snapshot = {
         let gauge = |samples: &[haac_telemetry::Sample], name: &str| {
             samples.iter().find(|s| s.name == name).map_or(0.0, |s| s.value)
         };
-        let text = server.metrics_snapshot();
-        match haac_telemetry::parse(&text) {
-            Ok(samples) => MidLoadSnapshot {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let text = server.metrics_snapshot();
+            let Ok(samples) = haac_telemetry::parse(&text) else {
+                break MidLoadSnapshot {
+                    parsed: false,
+                    active_sessions: 0.0,
+                    gates_per_sec: 0.0,
+                    pool_utilization: 0.0,
+                };
+            };
+            let snapshot = MidLoadSnapshot {
                 parsed: true,
                 active_sessions: gauge(&samples, "haac_active_sessions"),
                 gates_per_sec: gauge(&samples, "haac_gates_per_sec"),
                 pool_utilization: gauge(&samples, "haac_pool_utilization"),
-            },
-            Err(_) => MidLoadSnapshot {
-                parsed: false,
-                active_sessions: 0.0,
-                gates_per_sec: 0.0,
-                pool_utilization: 0.0,
-            },
+            };
+            let live = snapshot.active_sessions > 0.0
+                && snapshot.gates_per_sec > 0.0
+                && snapshot.pool_utilization > 0.0;
+            if live || Instant::now() >= deadline {
+                break snapshot;
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
     };
     let concurrent_rows: Vec<SessionRow> =
@@ -404,6 +537,18 @@ fn main() {
     let concurrent_wall = concurrent_start.elapsed();
     let concurrent = phase_report(&concurrent_rows, concurrent_wall);
     assert!(mid_load_snapshot.parsed, "the mid-load metrics snapshot must parse");
+    assert!(
+        mid_load_snapshot.active_sessions > 0.0,
+        "the mid-load scrape must observe in-flight sessions"
+    );
+    assert!(
+        mid_load_snapshot.gates_per_sec > 0.0,
+        "the mid-load scrape must observe a live gates/s rate"
+    );
+    assert!(
+        mid_load_snapshot.pool_utilization > 0.0,
+        "the mid-load scrape must observe busy engines"
+    );
     let cache_hits = server.cache().hits();
     let cache_misses = server.cache().misses();
     let cache_hit_ns = server.cache().hit_ns();
@@ -731,6 +876,7 @@ fn main() {
         speedup_vs_warm_serial: concurrent.and_gates_per_sec / warm_serial.and_gates_per_sec,
         cold_single_session: cold,
         warm_serial,
+        pre_garbled,
         concurrent,
         overload,
         chaos,

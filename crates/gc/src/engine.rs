@@ -99,9 +99,18 @@ struct PoolShared {
     /// worker). The gap to wall time is that engine's idle time — the
     /// per-engine busy/idle split HAAC's evaluation plots.
     worker_busy_ns: Vec<AtomicU64>,
+    /// Per-worker start offset (nanoseconds since pool start, saturated
+    /// to ≥ 1) of the job currently executing, or 0 when the worker is
+    /// idle. Lets [`EnginePool::stats`] attribute *in-flight* busy time:
+    /// a long-running session job counts toward utilization while it
+    /// runs, not only once it completes.
+    worker_job_start_ns: Vec<AtomicU64>,
     /// Jobs completed on pool workers. Scope jobs a *waiting caller*
     /// executed inline are not counted: they never occupied an engine.
     jobs_executed: AtomicU64,
+    /// Pool birth instant — the epoch `worker_job_start_ns` offsets and
+    /// `uptime` are measured against.
+    started: std::time::Instant,
 }
 
 struct PoolQueue {
@@ -133,7 +142,6 @@ static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(1);
 pub struct EnginePool {
     shared: Arc<PoolShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    started: std::time::Instant,
 }
 
 impl std::fmt::Debug for EnginePool {
@@ -154,7 +162,9 @@ impl EnginePool {
             queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutdown: false }),
             work_ready: Condvar::new(),
             worker_busy_ns: (0..engines).map(|_| AtomicU64::new(0)).collect(),
+            worker_job_start_ns: (0..engines).map(|_| AtomicU64::new(0)).collect(),
             jobs_executed: AtomicU64::new(0),
+            started: std::time::Instant::now(),
         });
         let workers = (0..engines)
             .map(|i| {
@@ -165,7 +175,7 @@ impl EnginePool {
                     .expect("spawn gate-engine worker")
             })
             .collect();
-        EnginePool { shared, workers, started: std::time::Instant::now() }
+        EnginePool { shared, workers }
     }
 
     /// Number of worker threads in the pool.
@@ -174,22 +184,42 @@ impl EnginePool {
     }
 
     /// A point-in-time utilization snapshot: per-engine busy time,
-    /// queued-but-unstarted jobs, and completed job count. Lock cost is
-    /// one queue-length peek; the rest reads relaxed atomics, so the
-    /// admin plane can poll this on a live pool.
+    /// queued-but-unstarted jobs, in-flight jobs, and completed job
+    /// count. Lock cost is one queue-length peek; the rest reads relaxed
+    /// atomics, so the admin plane can poll this on a live pool.
+    ///
+    /// Busy time *includes the running portion of in-flight jobs*: a
+    /// worker occupied by a long-lived session job counts as busy from
+    /// the moment it picked the job up, not only once the job completes.
+    /// (A job finishing between the two per-worker reads may be briefly
+    /// undercounted; the gauge is a snapshot, not a ledger.)
     pub fn stats(&self) -> PoolStats {
         let queued_jobs = self.shared.queue.lock().expect("pool lock").jobs.len();
+        let now_ns = self.shared.started.elapsed().as_nanos() as u64;
+        let mut active_jobs = 0;
+        let worker_busy_ns = self
+            .shared
+            .worker_busy_ns
+            .iter()
+            .zip(&self.shared.worker_job_start_ns)
+            .map(|(busy, start)| {
+                let completed = busy.load(Ordering::Relaxed);
+                let start = start.load(Ordering::Relaxed);
+                if start == 0 {
+                    completed
+                } else {
+                    active_jobs += 1;
+                    completed + now_ns.saturating_sub(start)
+                }
+            })
+            .collect();
         PoolStats {
             engines: self.workers.len(),
             queued_jobs,
+            active_jobs,
             jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
-            worker_busy_ns: self
-                .shared
-                .worker_busy_ns
-                .iter()
-                .map(|ns| ns.load(Ordering::Relaxed))
-                .collect(),
-            uptime: self.started.elapsed(),
+            worker_busy_ns,
+            uptime: self.shared.started.elapsed(),
         }
     }
 
@@ -284,7 +314,12 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
         // Contain per-job panics: one poisoned job must not take down
         // the engine (mirrors per-session error isolation upstream).
         let busy = std::time::Instant::now();
+        // 0 means idle, so a job starting at the pool's birth instant
+        // saturates to offset 1 (a 1 ns attribution error at most).
+        shared.worker_job_start_ns[worker]
+            .store((shared.started.elapsed().as_nanos() as u64).max(1), Ordering::Relaxed);
         let _ = catch_unwind(AssertUnwindSafe(job));
+        shared.worker_job_start_ns[worker].store(0, Ordering::Relaxed);
         shared.worker_busy_ns[worker]
             .fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
@@ -301,6 +336,10 @@ pub struct PoolStats {
     /// Jobs queued but not yet picked up by a worker (the server's
     /// accept-queue depth when sessions are the only spawners).
     pub queued_jobs: usize,
+    /// Jobs currently executing on workers. `engines - active_jobs` is
+    /// the pool's idle capacity — what a background producer may drain
+    /// without delaying foreground sessions.
+    pub active_jobs: usize,
     /// Jobs completed on pool workers since the pool started.
     pub jobs_executed: u64,
     /// Nanoseconds each worker has spent executing jobs.
@@ -1009,6 +1048,41 @@ mod tests {
     #[should_panic(expected = "at least one engine")]
     fn zero_engines_rejected() {
         let _ = EngineConfig::new(0, 16);
+    }
+
+    /// The mid-load utilization regression: a worker occupied by a job
+    /// that has not *completed* must still count as busy. (Session jobs
+    /// run for the session's whole lifetime, so completion-only
+    /// accounting reported 0% utilization under full load.)
+    #[test]
+    fn stats_attribute_in_flight_jobs() {
+        let pool = EnginePool::new(1);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = pool.stats();
+        assert_eq!(stats.active_jobs, 1, "one job in flight");
+        assert_eq!(stats.jobs_executed, 0, "not yet completed");
+        assert!(stats.busy_ns() > 0, "in-flight busy time attributed");
+        assert!(stats.utilization() > 0.0, "mid-load utilization nonzero");
+        release_tx.send(()).unwrap();
+        // After completion the in-flight share hands over to the
+        // completed ledger without double counting to > uptime.
+        loop {
+            let stats = pool.stats();
+            if stats.jobs_executed == 1 {
+                assert_eq!(stats.active_jobs, 0);
+                assert!(stats.busy_ns() > 0);
+                assert!(stats.utilization() <= 1.0);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     #[test]

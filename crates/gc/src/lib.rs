@@ -54,6 +54,7 @@ pub mod engine;
 mod evaluate;
 mod garble;
 mod hash;
+pub mod instance;
 pub mod ot;
 pub mod ot_ext;
 pub mod protocol;
@@ -72,6 +73,7 @@ pub use garble::{
     GarbledCircuit, Garbling, MAX_AND_BATCH,
 };
 pub use hash::{CryptoCounters, GateHash, HashScheme, OT_BASE_TWEAK, OT_EXT_TWEAK};
+pub use instance::{BankedGarbler, InstanceDecodeError};
 pub use ot::OtError;
 pub use ot_ext::{OtExtReceiver, OtExtSender, KAPPA as OT_EXT_KAPPA};
 pub use slab::{SlotInstr, SlotOp, SlotProgram, OOR_SLOT};

@@ -86,9 +86,10 @@ pub use channel::{Channel, ChannelStats, MemChannel, TcpChannel, DEFAULT_MEM_CHA
 pub use error::{RuntimeError, SessionPhase};
 pub use fault::{FaultChannel, FaultDelay, FaultSpec};
 pub use session::{
-    run_evaluator, run_evaluator_resumable, run_evaluator_with, run_garbler, run_garbler_resumable,
-    run_local_session, run_tcp_session, SessionConfig, SessionDeadlines, SessionReport,
-    SessionRole, SessionTelemetry, DEFAULT_ACK_INTERVAL, MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
+    run_evaluator, run_evaluator_resumable, run_evaluator_with, run_garbler, run_garbler_banked,
+    run_garbler_resumable, run_local_session, run_tcp_session, GarblerSource, SessionConfig,
+    SessionDeadlines, SessionReport, SessionRole, SessionTelemetry, DEFAULT_ACK_INTERVAL,
+    MAX_PIPELINE_DEPTH, PIPELINE_DEPTH,
 };
 pub use wire::OtMode;
 
@@ -103,4 +104,6 @@ pub use haac_core::ReorderKind;
 // Re-exported so downstream code can name the streaming primitives and
 // the cipher-work counters carried by SessionReport without importing
 // haac-gc directly.
-pub use haac_gc::{CryptoCounters, StreamingEvaluator, StreamingGarbler};
+pub use haac_gc::{
+    BankedGarbler, CryptoCounters, PlanGarbling, StreamingEvaluator, StreamingGarbler,
+};

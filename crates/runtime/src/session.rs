@@ -30,7 +30,10 @@ use std::time::{Duration, Instant};
 use haac_circuit::Circuit;
 use haac_core::lower::{lower_with_reorder, StreamingPlan};
 use haac_core::{ReorderKind, WindowModel};
-use haac_gc::{Block, CryptoCounters, HashScheme, StreamingEvaluator, StreamingGarbler};
+use haac_gc::{
+    BankedGarbler, Block, CryptoCounters, GarblerFinish, HashScheme, PlanGarbling,
+    StreamingEvaluator, StreamingGarbler,
+};
 use haac_telemetry::{Counter, Histogram, SlidingRate};
 use rand::Rng;
 
@@ -734,15 +737,13 @@ pub fn run_garbler<C: Channel + Send + ?Sized, R: Rng + ?Sized>(
     }
     let mut stats = if config.pipeline {
         let (depth, autotune) = config.resolved_pipeline_depth();
-        stream_tables_pipelined(
-            &mut garbler,
-            channel,
+        let shape = StreamShape {
             chunk_tables,
+            chunk_pinned: config.chunk_override.is_some(),
             depth,
             autotune,
-            pre_stats.chunks,
-            live,
-        )
+        };
+        stream_tables_pipelined(&mut garbler, channel, shape, pre_stats.chunks, live)
     } else {
         stream_tables_serial(&mut garbler, channel, chunk_tables, pre_stats.chunks, live)
     }
@@ -878,6 +879,59 @@ pub const PIPELINE_DEPTH: usize = 3;
 /// memory.
 pub const MAX_PIPELINE_DEPTH: usize = 8;
 
+/// Ceiling of the chunk-size autotune's growth factor: past a few
+/// multiples the per-frame overhead being amortized (tag + length +
+/// count + one flush) is already noise against the table payload.
+const MAX_CHUNK_GROWTH: usize = 4;
+
+/// Absolute chunk ceiling shared with [`SessionConfig::chunk_tables`]:
+/// 2^20 tables = 32 MiB frames, under the wire's 64 MiB payload cap.
+const MAX_CHUNK_TABLES: usize = 1 << 20;
+
+/// The joint first-ring autotune decision: from the measured per-chunk
+/// `io_avg`/`compute_avg` imbalance, pick the ring depth **and** the
+/// chunk size the rest of the stream runs with.
+///
+/// Transfers dominating means every handoff stalls on the wire, so two
+/// levers open: a deeper ring absorbs jitter (more chunks in flight),
+/// and larger chunks amortize per-frame overhead (fewer flushes for the
+/// same bytes). The chunk lever stays untouched when the caller pinned
+/// an explicit chunk size — tests and protocols that assert exact
+/// framing opt out by pinning. Growing the chunk mid-stream is
+/// wire-compatible: the header's `chunk_tables` is a capacity hint, and
+/// frames carry their own table counts.
+fn autotune_stream_shape(
+    io_avg: u64,
+    compute_avg: u64,
+    depth: usize,
+    chunk_tables: usize,
+    chunk_pinned: bool,
+) -> (usize, usize) {
+    if io_avg <= compute_avg {
+        return (depth, chunk_tables);
+    }
+    let ratio = (io_avg / compute_avg) as usize;
+    let tuned_depth = (ratio + 1).clamp(depth, MAX_PIPELINE_DEPTH);
+    let tuned_chunk = if chunk_pinned {
+        chunk_tables
+    } else {
+        chunk_tables.saturating_mul(ratio.min(MAX_CHUNK_GROWTH)).min(MAX_CHUNK_TABLES)
+    };
+    (tuned_depth, tuned_chunk)
+}
+
+/// The stream shape [`stream_tables_pipelined`] starts from: the chunk
+/// size (and whether the caller pinned it against autotuning), the
+/// initial ring depth, and whether the first-ring autotune may widen
+/// either.
+#[derive(Debug, Clone, Copy)]
+struct StreamShape {
+    chunk_tables: usize,
+    chunk_pinned: bool,
+    depth: usize,
+    autotune: bool,
+}
+
 /// The decoupled access/execute pipeline: the calling thread garbles
 /// while a scoped I/O stage sends and flushes, joined by a bounded
 /// ring of rotating chunk buffers (chunk N+1 is garbled while chunk N
@@ -893,14 +947,13 @@ pub const MAX_PIPELINE_DEPTH: usize = 8;
 fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
     garbler: &mut StreamingGarbler<'_>,
     channel: &mut C,
-    chunk_tables: usize,
-    depth: usize,
-    autotune: bool,
+    shape: StreamShape,
     start_seq: u64,
     live: Option<&SessionTelemetry>,
 ) -> Result<StreamStats, RuntimeError> {
     use std::sync::atomic::{AtomicU64, Ordering};
 
+    let StreamShape { mut chunk_tables, chunk_pinned, depth, autotune } = shape;
     let start = Instant::now();
     let capacity = chunk_tables.min(CHUNK_BUFFER_CAP);
     // Full buffers travel compute → I/O; drained buffers travel back
@@ -1004,17 +1057,23 @@ fn stream_tables_pipelined<C: Channel + Send + ?Sized>(
             }
             stats.io_stall_ns += waited.elapsed().as_nanos() as u64;
             if !tuned && stats.chunks >= depth as u64 {
-                // First ring complete: widen once if transfers dominate.
+                // First ring complete: if transfers dominate, widen the
+                // ring once and (unless pinned) grow the chunk size —
+                // both from the same imbalance measurement.
                 let chunks_done = shipped_chunks.load(Ordering::Relaxed);
                 if let Some(io_avg) = shipped_ns.load(Ordering::Relaxed).checked_div(chunks_done) {
                     tuned = true;
                     let compute_avg = (stats.compute_ns / stats.chunks).max(1);
-                    if io_avg > compute_avg {
-                        let target =
-                            ((io_avg / compute_avg) as usize + 1).clamp(depth, MAX_PIPELINE_DEPTH);
-                        extra = target - depth;
-                        depth = target;
-                    }
+                    let (target_depth, target_chunk) = autotune_stream_shape(
+                        io_avg,
+                        compute_avg,
+                        depth,
+                        chunk_tables,
+                        chunk_pinned,
+                    );
+                    extra = target_depth - depth;
+                    depth = target_depth;
+                    chunk_tables = target_chunk;
                 }
             }
         }
@@ -2050,7 +2109,7 @@ pub fn run_garbler_resumable<C, R, F>(
     rng: &mut R,
     config: &SessionConfig,
     mut channel: C,
-    mut resume: F,
+    resume: F,
 ) -> Result<SessionReport, RuntimeError>
 where
     C: Channel,
@@ -2068,13 +2127,85 @@ where
         check_plan(plan, circuit)?;
     }
     let start = Instant::now();
-    let chunk_tables = config.chunk_tables();
-    let ack_interval = config.ack_interval.max(1);
-    let buffer_cap = u64::from(ack_interval) * 2;
+    write_resumable_header(circuit, config, &mut channel)?;
+    let plan = config.plan.clone();
+    let garbler = match &plan {
+        Some(plan) => StreamingGarbler::with_plan(&plan.program, rng, config.scheme),
+        None => StreamingGarbler::new(circuit, rng, config.scheme),
+    };
+    stream_garbler_resumable(circuit, garbler_bits, garbler, rng, config, channel, resume, start)
+}
 
-    arm_phase(&mut channel, SessionPhase::Handshake, &config.deadlines)?;
+/// Runs the garbler side of a resumable session from a **banked
+/// pre-garbled instance**: stored tables are replayed byte-for-byte
+/// while only the handshake and OT/input phase compute online. The wire
+/// protocol, ack/replay machinery, and park/resume behavior are exactly
+/// [`run_garbler_resumable`]'s — the evaluator cannot tell a banked
+/// session from an online-garbled one (and must not: the outputs are
+/// identical by construction, only Δ and the labels differ).
+///
+/// Takes the instance by value: a claimed instance is consumed whether
+/// the session succeeds or fails, so one instance can never label two
+/// evaluators (FreeXOR one-time-use, enforced by move semantics).
+///
+/// # Errors
+///
+/// Fails like [`run_garbler_resumable`], plus a protocol error when the
+/// instance's dimensions (inputs / tables / outputs) do not match
+/// `circuit` — a stale or mis-keyed bank entry is refused before any
+/// byte is streamed.
+pub fn run_garbler_banked<C, R, F>(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    instance: PlanGarbling,
+    rng: &mut R,
+    config: &SessionConfig,
+    mut channel: C,
+    resume: F,
+) -> Result<SessionReport, RuntimeError>
+where
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(&RuntimeError, u64) -> Option<(C, u64)>,
+{
+    if garbler_bits.len() != circuit.garbler_inputs() as usize {
+        return Err(RuntimeError::protocol(format!(
+            "garbler input width {} does not match circuit ({})",
+            garbler_bits.len(),
+            circuit.garbler_inputs()
+        )));
+    }
+    if instance.input_zero_labels.len() != circuit.num_inputs() as usize
+        || instance.tables.len() != circuit.num_and_gates()
+        || instance.output_decode.len() != circuit.outputs().len()
+    {
+        return Err(RuntimeError::protocol(format!(
+            "banked instance shape ({} inputs, {} tables, {} outputs) does not match the \
+             circuit ({}, {}, {}) — stale or mis-keyed bank entry",
+            instance.input_zero_labels.len(),
+            instance.tables.len(),
+            instance.output_decode.len(),
+            circuit.num_inputs(),
+            circuit.num_and_gates(),
+            circuit.outputs().len(),
+        )));
+    }
+    let start = Instant::now();
+    write_resumable_header(circuit, config, &mut channel)?;
+    let garbler = BankedGarbler::new(instance);
+    stream_garbler_resumable(circuit, garbler_bits, garbler, rng, config, channel, resume, start)
+}
+
+/// The resumable session header: identical for online and banked
+/// garblers — which is the point, the evaluator drives one protocol.
+fn write_resumable_header<C: Channel>(
+    circuit: &Circuit,
+    config: &SessionConfig,
+    channel: &mut C,
+) -> Result<(), RuntimeError> {
+    arm_phase(channel, SessionPhase::Handshake, &config.deadlines)?;
     write_message(
-        &mut channel,
+        channel,
         &Message::Header(SessionHeader {
             garbler_inputs: circuit.garbler_inputs(),
             evaluator_inputs: circuit.evaluator_inputs(),
@@ -2082,19 +2213,94 @@ where
             num_tables: circuit.num_and_gates() as u64,
             scheme: config.scheme,
             window_wires: config.window.sww_wires(),
-            chunk_tables: chunk_tables as u32,
+            chunk_tables: config.chunk_tables() as u32,
             reorder: config.reorder(),
             ot_mode: config.ot_mode,
-            ack_interval,
+            ack_interval: config.ack_interval.max(1),
         }),
     )
-    .map_err(|e| e.in_phase(SessionPhase::Handshake))?;
+    .map_err(|e| e.in_phase(SessionPhase::Handshake))
+}
 
-    let plan = config.plan.clone();
-    let mut garbler = match &plan {
-        Some(plan) => StreamingGarbler::with_plan(&plan.program, rng, config.scheme),
-        None => StreamingGarbler::new(circuit, rng, config.scheme),
-    };
+/// What the resumable streaming loop needs from a garbler: input labels
+/// until streaming starts, chunks in stream order, and a consuming
+/// finish. [`StreamingGarbler`] garbles chunks online;
+/// [`BankedGarbler`] replays them from storage — the loop cannot tell
+/// the difference, which is what keeps the two paths wire-identical.
+pub trait GarblerSource {
+    /// Active labels for the garbler's own input bits.
+    fn garbler_input_labels(&self, garbler_bits: &[bool]) -> Vec<Block>;
+    /// The `(zero, one)` label pair of a primary input wire (OT fodder).
+    fn input_label_pair(&self, wire: haac_circuit::WireId) -> (Block, Block);
+    /// Produces the next chunk of up to `max_tables` tables; `false`
+    /// once the stream is exhausted.
+    fn next_tables_into(&mut self, max_tables: usize, tables: &mut Vec<[Block; 2]>) -> bool;
+    /// Current OoRW-queue occupancy (0 for replay).
+    fn oor_queue_len(&self) -> usize;
+    /// Ends the stream, yielding the decode string and meters.
+    fn finish(self) -> GarblerFinish;
+}
+
+impl GarblerSource for StreamingGarbler<'_> {
+    fn garbler_input_labels(&self, garbler_bits: &[bool]) -> Vec<Block> {
+        StreamingGarbler::garbler_input_labels(self, garbler_bits)
+    }
+    fn input_label_pair(&self, wire: haac_circuit::WireId) -> (Block, Block) {
+        StreamingGarbler::input_label_pair(self, wire)
+    }
+    fn next_tables_into(&mut self, max_tables: usize, tables: &mut Vec<[Block; 2]>) -> bool {
+        StreamingGarbler::next_tables_into(self, max_tables, tables)
+    }
+    fn oor_queue_len(&self) -> usize {
+        StreamingGarbler::oor_queue_len(self)
+    }
+    fn finish(self) -> GarblerFinish {
+        StreamingGarbler::finish(self)
+    }
+}
+
+impl GarblerSource for BankedGarbler {
+    fn garbler_input_labels(&self, garbler_bits: &[bool]) -> Vec<Block> {
+        BankedGarbler::garbler_input_labels(self, garbler_bits)
+    }
+    fn input_label_pair(&self, wire: haac_circuit::WireId) -> (Block, Block) {
+        BankedGarbler::input_label_pair(self, wire)
+    }
+    fn next_tables_into(&mut self, max_tables: usize, tables: &mut Vec<[Block; 2]>) -> bool {
+        BankedGarbler::next_tables_into(self, max_tables, tables)
+    }
+    fn oor_queue_len(&self) -> usize {
+        BankedGarbler::oor_queue_len(self)
+    }
+    fn finish(self) -> GarblerFinish {
+        BankedGarbler::finish(self)
+    }
+}
+
+/// The post-header body of a resumable garbler session, generic over
+/// where tables come from (online garbling or bank replay): input-label
+/// delivery, OT, the ack-bounded streaming loop with byte replay on
+/// failure, the decode tail, and the shared outputs.
+#[allow(clippy::too_many_arguments)]
+fn stream_garbler_resumable<G, C, R, F>(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    mut garbler: G,
+    rng: &mut R,
+    config: &SessionConfig,
+    mut channel: C,
+    mut resume: F,
+    start: Instant,
+) -> Result<SessionReport, RuntimeError>
+where
+    G: GarblerSource,
+    C: Channel,
+    R: Rng + ?Sized,
+    F: FnMut(&RuntimeError, u64) -> Option<(C, u64)>,
+{
+    let chunk_tables = config.chunk_tables();
+    let ack_interval = config.ack_interval.max(1);
+    let buffer_cap = u64::from(ack_interval) * 2;
     write_message(
         &mut channel,
         &Message::GarblerInputs(garbler.garbler_input_labels(garbler_bits)),
@@ -2800,6 +3006,11 @@ mod tests {
     fn tiny_window_still_completes_with_many_chunks() {
         let c = adder(32);
         let config = SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2));
+        // A 2-wire window derives single-table chunks; pin that so the
+        // mid-stream chunk autotune can't merge them — this test asserts
+        // exact framing.
+        assert_eq!(config.chunk_tables(), 1);
+        let config = config.with_chunk_tables(1);
         let (g, e) = run_local_session(&c, &to_bits(7, 32), &to_bits(8, 32), 1, &config).unwrap();
         assert_eq!(from_bits(&g.outputs), 15);
         // chunk_tables = 1: one chunk (and one flush) per AND table.
@@ -2906,8 +3117,10 @@ mod tests {
         // direction: the garbler *must* stall whenever the evaluator
         // lags — by construction it cannot buffer the circuit (the
         // pipelined I/O stage holds at most PIPELINE_DEPTH chunks
-        // beyond that).
-        let config = SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2));
+        // beyond that). Chunk size pinned: this test asserts exact
+        // framing, which opts out of the mid-stream chunk autotune.
+        let config =
+            SessionConfig::new(HashScheme::Rekeyed, WindowModel::new(2)).with_chunk_tables(1);
         let (mut gc, ec) = crate::channel::MemChannel::pair_bounded(1);
         let mut ec = SlowChannel { inner: ec, delay: std::time::Duration::from_millis(1) };
         std::thread::scope(|scope| {
@@ -3073,6 +3286,34 @@ mod tests {
         cut_at_op: Option<u64>,
         wrap: &(dyn Fn(crate::channel::MemChannel) -> DynChannel + Sync),
     ) -> Result<(SessionReport, SessionReport), RuntimeError> {
+        run_resumable_pair_with(
+            false,
+            circuit,
+            seed,
+            config,
+            garbler_bits,
+            evaluator_bits,
+            cut_at_op,
+            wrap,
+        )
+    }
+
+    /// Like [`run_resumable_pair`], with a `banked` switch: the garbler
+    /// side pre-garbles the plan from the *same* seeded rng and serves
+    /// the session from the stored instance — every random draw happens
+    /// in the same order as online garbling, so the transcript must be
+    /// bit-identical to the `banked = false` run.
+    #[allow(clippy::too_many_arguments)]
+    fn run_resumable_pair_with(
+        banked: bool,
+        circuit: &Circuit,
+        seed: u64,
+        config: &SessionConfig,
+        garbler_bits: &[bool],
+        evaluator_bits: &[bool],
+        cut_at_op: Option<u64>,
+        wrap: &(dyn Fn(crate::channel::MemChannel) -> DynChannel + Sync),
+    ) -> Result<(SessionReport, SessionReport), RuntimeError> {
         use crate::channel::MemChannel;
         use crate::fault::{FaultChannel, FaultSpec};
         use rand::rngs::StdRng;
@@ -3089,23 +3330,39 @@ mod tests {
         std::thread::scope(|scope| {
             let garbler = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
-                run_garbler_resumable(
-                    circuit,
-                    garbler_bits,
-                    &mut rng,
-                    config,
-                    garbler_channel,
-                    |_err, _produced| {
-                        let mut channel = wrap(handoff_rx.recv().ok()?);
-                        let Ok(Message::Resume { ticket: got, next_seq }) =
-                            read_message(&mut channel)
-                        else {
-                            return None;
-                        };
-                        assert_eq!(got, ticket, "resume routed to the wrong session");
-                        Some((channel, next_seq))
-                    },
-                )
+                let callback = |_err: &RuntimeError, _produced: u64| {
+                    let mut channel = wrap(handoff_rx.recv().ok()?);
+                    let Ok(Message::Resume { ticket: got, next_seq }) = read_message(&mut channel)
+                    else {
+                        return None;
+                    };
+                    assert_eq!(got, ticket, "resume routed to the wrong session");
+                    Some((channel, next_seq))
+                };
+                if banked {
+                    let plan = config.plan.as_ref().expect("banked session needs a cached plan");
+                    let pool = haac_gc::EnginePool::new(2);
+                    let instance =
+                        haac_gc::garble_plan_in(&plan.program, &mut rng, config.scheme, &pool);
+                    run_garbler_banked(
+                        circuit,
+                        garbler_bits,
+                        instance,
+                        &mut rng,
+                        config,
+                        garbler_channel,
+                        callback,
+                    )
+                } else {
+                    run_garbler_resumable(
+                        circuit,
+                        garbler_bits,
+                        &mut rng,
+                        config,
+                        garbler_channel,
+                        callback,
+                    )
+                }
             });
             let evaluator = scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -3145,6 +3402,121 @@ mod tests {
         let (pg, _) = run_local_session(&c, &gb, &eb, 7, &config).unwrap();
         assert_eq!(pg.outputs, g.outputs);
         assert_eq!(pg.tables, g.tables);
+    }
+
+    /// A bank-served session must be indistinguishable on the wire from
+    /// an online-garbled one: same seed → same Δ/labels/tables → same
+    /// frames, same flush boundaries, same outputs — with zero online
+    /// cipher work.
+    #[test]
+    fn banked_replay_is_transcript_identical_to_online_resumable() {
+        let c = adder(32);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_ack_interval(2);
+        let gb = to_bits(123_456, 32);
+        let eb = to_bits(654_321, 32);
+        let (online_g, online_e) =
+            run_resumable_pair_with(false, &c, 7, &config, &gb, &eb, None, &|ch| Box::new(ch))
+                .expect("online resumable session");
+        let (banked_g, banked_e) =
+            run_resumable_pair_with(true, &c, 7, &config, &gb, &eb, None, &|ch| Box::new(ch))
+                .expect("banked resumable session");
+        assert_eq!(banked_g.outputs, online_g.outputs);
+        assert_eq!(banked_e.outputs, online_e.outputs);
+        assert_eq!(banked_g.tables, online_g.tables);
+        assert_eq!(banked_g.table_chunks, online_g.table_chunks);
+        assert_eq!(banked_g.bytes_sent, online_g.bytes_sent, "identical framing");
+        assert_eq!(banked_g.flushes, online_g.flushes, "identical flush boundaries");
+        assert_eq!(banked_e.bytes_received, online_e.bytes_received);
+        assert_eq!(banked_g.crypto, CryptoCounters::default(), "zero online cipher work");
+        assert_ne!(online_g.crypto, CryptoCounters::default(), "online garbling does compute");
+    }
+
+    /// Satellite of the bank work: bank-served sessions must survive the
+    /// chaos cut sweep exactly as online ones do — a resume replays the
+    /// *stored* frames byte-identically, never re-garbles.
+    #[test]
+    fn banked_cut_sweep_resumes_to_the_uncut_outputs() {
+        let c = adder(32);
+        let config = SessionConfig::for_circuit(&c).with_chunk_tables(2).with_ack_interval(2);
+        let gb = to_bits(123_456, 32);
+        let eb = to_bits(654_321, 32);
+        let (baseline, _) =
+            run_resumable_pair_with(true, &c, 7, &config, &gb, &eb, None, &|ch| Box::new(ch))
+                .unwrap();
+
+        let mut resumed = 0u64;
+        for op in 1..48 {
+            match run_resumable_pair_with(true, &c, 7, &config, &gb, &eb, Some(op), &|ch| {
+                Box::new(ch)
+            }) {
+                Ok((g, e)) => {
+                    assert_eq!(g.outputs, baseline.outputs, "cut at op {op}");
+                    assert_eq!(e.outputs, baseline.outputs, "cut at op {op}");
+                    if e.resumes > 0 {
+                        resumed += 1;
+                        assert!(
+                            g.replayed_frames > 0,
+                            "cut at op {op}: a banked resume must replay stored frames"
+                        );
+                        assert_eq!(
+                            g.crypto,
+                            CryptoCounters::default(),
+                            "cut at op {op}: a resume must never re-garble"
+                        );
+                    }
+                }
+                Err(err) => {
+                    assert!(
+                        err.retry_safe() || err.resume_safe(),
+                        "cut at op {op}: failure is neither resumed nor retry-safe: {err}"
+                    );
+                }
+            }
+        }
+        assert!(resumed > 0, "the sweep never exercised a banked resume");
+    }
+
+    /// A mis-keyed or stale bank entry is refused before any byte hits
+    /// the wire.
+    #[test]
+    fn banked_session_refuses_a_mismatched_instance() {
+        use crate::channel::MemChannel;
+        use rand::rngs::StdRng;
+
+        let c = adder(32);
+        let other = adder(16);
+        let config = SessionConfig::for_circuit(&c);
+        let other_config = SessionConfig::for_circuit(&other);
+        let plan = other_config.plan.as_ref().unwrap();
+        let pool = haac_gc::EnginePool::new(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let instance = haac_gc::garble_plan_in(&plan.program, &mut rng, config.scheme, &pool);
+        let (g_end, _e_end) = MemChannel::pair();
+        let err =
+            run_garbler_banked(&c, &to_bits(1, 32), instance, &mut rng, &config, g_end, |_, _| {
+                None
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("banked instance shape"), "{err}");
+    }
+
+    #[test]
+    fn autotune_widens_ring_and_chunk_from_the_same_imbalance() {
+        // Compute-bound or balanced: nothing changes.
+        assert_eq!(autotune_stream_shape(10, 10, 3, 64, false), (3, 64));
+        assert_eq!(autotune_stream_shape(5, 10, 3, 64, false), (3, 64));
+        // Transfers dominate 4×: ring grows toward the ratio, chunk
+        // grows by the ratio.
+        assert_eq!(autotune_stream_shape(40, 10, 3, 64, false), (5, 256));
+        // Both levers are capped.
+        assert_eq!(
+            autotune_stream_shape(1000, 1, 3, 1 << 19, false),
+            (MAX_PIPELINE_DEPTH, MAX_CHUNK_TABLES)
+        );
+        // A pinned chunk size only ever moves the ring.
+        assert_eq!(autotune_stream_shape(40, 10, 3, 64, true), (5, 64));
+        // Depth never shrinks below what the session started with.
+        assert_eq!(autotune_stream_shape(11, 10, 4, 64, false).0, 4);
     }
 
     #[test]

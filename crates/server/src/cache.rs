@@ -129,6 +129,15 @@ impl CircuitCache {
         self.miss_ns.load(Ordering::Relaxed)
     }
 
+    /// The `(workload, scale, reorder)` triples currently resident —
+    /// the instance-bank producer's refill universe: the bank only
+    /// pre-garbles circuits some session has already asked for, so idle
+    /// capacity is never spent speculating about traffic that may never
+    /// come.
+    pub fn resident_keys(&self) -> Vec<(WorkloadKind, Scale, ReorderKind)> {
+        self.entries().keys().copied().collect()
+    }
+
     /// Number of distinct prepared workloads resident.
     pub fn len(&self) -> usize {
         self.entries().len()

@@ -21,6 +21,7 @@ use haac_gc::PoolStats;
 use haac_runtime::{ReorderKind, SessionTelemetry};
 use haac_telemetry::{Counter, Gauge, GaugeF, Registry, SlidingRate};
 
+use crate::bank::InstanceBank;
 use crate::cache::CircuitCache;
 use crate::registry::SessionRegistry;
 
@@ -52,6 +53,10 @@ pub struct ServerMetrics {
     sessions_resumed: Arc<Counter>,
     resume_evictions: Arc<Counter>,
     resume_failures: Arc<Counter>,
+    bank_depth: Arc<Gauge>,
+    bank_hits: Arc<Gauge>,
+    bank_misses: Arc<Gauge>,
+    bank_refills: Arc<Gauge>,
 }
 
 /// Why admission control turned a connection away — the label on the
@@ -106,6 +111,10 @@ impl ServerMetrics {
             sessions_resumed: registry.counter("haac_sessions_resumed_total", &[]),
             resume_evictions: registry.counter("haac_resume_evictions_total", &[]),
             resume_failures: registry.counter("haac_resume_failures_total", &[]),
+            bank_depth: registry.gauge("haac_bank_depth", &[]),
+            bank_hits: registry.gauge("haac_bank_hits", &[]),
+            bank_misses: registry.gauge("haac_bank_misses", &[]),
+            bank_refills: registry.gauge("haac_bank_refills", &[]),
             registry,
         }
     }
@@ -202,6 +211,13 @@ impl ServerMetrics {
         self.resume_failures.get()
     }
 
+    /// Records a session served from the pre-garbled bank and its
+    /// client-visible wall time — the distribution CI gates against the
+    /// warm-compute baseline (storage must beat recompute).
+    pub fn record_bank_hit(&self, wall_us: u64) {
+        self.registry.histogram("haac_bank_hit_wall_us", &[]).record(wall_us);
+    }
+
     /// Per-workload session accounting, recorded when a served session
     /// completes successfully.
     pub fn record_session(&self, workload: &str, reorder: ReorderKind, wall_us: u64) {
@@ -216,9 +232,14 @@ impl ServerMetrics {
         &self,
         sessions: &SessionRegistry,
         cache: &CircuitCache,
+        bank: &InstanceBank,
         pool: &PoolStats,
         suspended: usize,
     ) {
+        self.bank_depth.set(bank.depth() as i64);
+        self.bank_hits.set(bank.hits() as i64);
+        self.bank_misses.set(bank.misses() as i64);
+        self.bank_refills.set(bank.refills() as i64);
         self.sessions_suspended.set(suspended as i64);
         self.active_sessions.set(sessions.active_sessions() as i64);
         self.accept_queue_depth.set(pool.queued_jobs as i64);
@@ -321,6 +342,15 @@ mod tests {
         assert!(samples.iter().any(|s| s.name == "haac_resume_evictions_total" && s.value == 1.0));
         assert!(samples.iter().any(|s| s.name == "haac_resume_failures_total" && s.value == 1.0));
         assert!(samples.iter().any(|s| s.name == "haac_resume_latency_us_count" && s.value == 2.0));
+    }
+
+    #[test]
+    fn bank_instruments_render_and_count() {
+        let metrics = ServerMetrics::new();
+        metrics.record_bank_hit(120);
+        metrics.record_bank_hit(340);
+        let samples = haac_telemetry::parse(&metrics.render()).expect("snapshot must parse");
+        assert!(samples.iter().any(|s| s.name == "haac_bank_hit_wall_us_count" && s.value == 2.0));
     }
 
     #[test]

@@ -23,13 +23,14 @@ use std::time::{Duration, Instant};
 
 use haac_gc::EnginePool;
 use haac_runtime::{
-    run_garbler_resumable, Channel, MemChannel, OtMode, ReorderKind, RuntimeError,
-    SessionDeadlines, SessionReport, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
+    run_garbler_banked, run_garbler_resumable, Channel, MemChannel, OtMode, ReorderKind,
+    RuntimeError, SessionDeadlines, SessionReport, TcpChannel, DEFAULT_MEM_CHANNEL_CAPACITY,
 };
-use haac_workloads::WorkloadKind;
+use haac_workloads::{Scale, WorkloadKind};
 use rand::{rngs::StdRng, SeedableRng};
 
-use crate::cache::CircuitCache;
+use crate::bank::{BankKey, InstanceBank};
+use crate::cache::{CachedWorkload, CircuitCache};
 use crate::metrics::{RefusalReason, ServerMetrics};
 use crate::registry::{ServerReport, SessionId, SessionRegistry};
 use crate::request::{read_hello_deadline, write_ack, write_busy, SessionHello};
@@ -77,6 +78,22 @@ pub struct ServerConfig {
     /// this well under `drain_timeout`, or shutdown can stall on parked
     /// sessions.
     pub resume_ttl: Duration,
+    /// Pre-garbled instances kept per `(workload, scale, reorder)` in
+    /// the [`InstanceBank`], each strictly one-time-use. 0 (the
+    /// default) disables the bank: no producer thread is spawned and
+    /// every session garbles online. Sizing note: an instance is
+    /// ~32 bytes per AND gate plus 16 per input, so the bank's worst
+    /// case is `capacity × resident keys × largest instance` of memory
+    /// that buys exactly `capacity` zero-compute sessions per key after
+    /// a refill lull.
+    pub bank_capacity: usize,
+    /// How often the bank producer re-checks for idle engine capacity
+    /// and unfilled shelves when it has nothing to do.
+    pub bank_refill_interval: Duration,
+    /// RNG domain for the bank producer: instance *i* garbles from
+    /// `bank_seed + i`, giving every banked instance its own Δ and
+    /// labels (deterministically, so runs are reproducible).
+    pub bank_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +112,9 @@ impl Default for ServerConfig {
             },
             max_suspended: 2,
             resume_ttl: Duration::from_secs(30),
+            bank_capacity: 0,
+            bank_refill_interval: Duration::from_millis(2),
+            bank_seed: 0xBA2C,
         }
     }
 }
@@ -115,6 +135,9 @@ struct ServerShared {
     /// Suspended sessions parked mid-stream, keyed by resume ticket.
     resume: ResumeStore,
     tickets: TicketForge,
+    /// Pre-garbled instances the producer banks during idle capacity;
+    /// sessions claim from here before falling back to online garbling.
+    bank: InstanceBank,
     config: ServerConfig,
 }
 
@@ -181,6 +204,9 @@ pub struct Server {
     shared: Arc<ServerShared>,
     config: ServerConfig,
     listeners: Vec<ListenerHandle>,
+    /// The bank producer (spawned only when `bank_capacity > 0`),
+    /// joined at shutdown — it exits as soon as draining begins.
+    producer: Option<std::thread::JoinHandle<()>>,
 }
 
 #[derive(Debug)]
@@ -199,21 +225,30 @@ impl Server {
         // worker un-parkable guarantees the handoff job a reconnect
         // queues can always eventually run.
         let suspend_capacity = config.max_suspended.min(config.workers.saturating_sub(1));
-        Server {
-            pool: Arc::new(EnginePool::new(config.workers)),
-            shared: Arc::new(ServerShared {
-                registry: SessionRegistry::new(),
-                cache: CircuitCache::new(),
-                metrics: ServerMetrics::new(),
-                accepting: AtomicBool::new(true),
-                draining: AtomicBool::new(false),
-                resume: ResumeStore::new(suspend_capacity),
-                tickets: TicketForge::new(),
-                config,
-            }),
+        let pool = Arc::new(EnginePool::new(config.workers));
+        let shared = Arc::new(ServerShared {
+            registry: SessionRegistry::new(),
+            cache: CircuitCache::new(),
+            metrics: ServerMetrics::new(),
+            accepting: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            resume: ResumeStore::new(suspend_capacity),
+            tickets: TicketForge::new(),
+            bank: InstanceBank::new(config.bank_capacity),
             config,
-            listeners: Vec::new(),
-        }
+        });
+        // The producer holds only a weak pool handle: it must never
+        // keep the engine workers alive past the server, and a failed
+        // upgrade doubles as its shutdown signal.
+        let producer = shared.bank.enabled().then(|| {
+            let pool = Arc::downgrade(&pool);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("haac-bank-producer".to_string())
+                .spawn(move || bank_producer_loop(&pool, &shared))
+                .expect("spawn bank producer")
+        });
+        Server { pool, shared, config, listeners: Vec::new(), producer }
     }
 
     /// Gate-engine workers in the shared pool.
@@ -231,6 +266,32 @@ impl Server {
         &self.shared.cache
     }
 
+    /// The pre-garbled instance bank (depth, hit/miss/refill counters).
+    pub fn bank(&self) -> &InstanceBank {
+        &self.shared.bank
+    }
+
+    /// Synchronously pre-garbles `count` instances of one key into the
+    /// bank (building the circuit first if needed), returning how many
+    /// were actually deposited — fewer when the shelf fills. The
+    /// deterministic complement to the background producer: benches and
+    /// tests use it to stock the bank to a known depth instead of
+    /// racing the refill loop.
+    pub fn prefill(
+        &self,
+        kind: WorkloadKind,
+        scale: Scale,
+        reorder: ReorderKind,
+        count: usize,
+    ) -> usize {
+        let cached = self.shared.cache.get(kind, scale, reorder);
+        (0..count)
+            .take_while(|_| {
+                bank_garble_one(&self.shared, &self.pool, (kind, scale, reorder), &cached)
+            })
+            .count()
+    }
+
     /// The live metrics plane (instrument registry, per-workload
     /// session telemetry).
     pub fn metrics(&self) -> &ServerMetrics {
@@ -245,6 +306,7 @@ impl Server {
         self.shared.metrics.refresh(
             &self.shared.registry,
             &self.shared.cache,
+            &self.shared.bank,
             &self.pool.stats(),
             self.shared.resume.suspended(),
         );
@@ -346,6 +408,13 @@ impl Server {
     pub fn shutdown(mut self) -> ServerReport {
         self.begin_drain();
         self.shared.accepting.store(false, Ordering::SeqCst);
+        // The producer stops on the draining flag; join it before the
+        // pool drains so no refill job lands behind in-flight sessions.
+        // Banked instances already on the shelves stay claimable — a
+        // drain serves out the warm inventory, it only stops restocking.
+        if let Some(producer) = self.producer.take() {
+            let _ = producer.join();
+        }
         for listener in self.listeners.drain(..) {
             // Wake the blocking accept with a throwaway connection. A
             // wildcard bind address (0.0.0.0 / ::) is not connectable
@@ -420,6 +489,7 @@ fn metrics_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<Ser
         shared.metrics.refresh(
             &shared.registry,
             &shared.cache,
+            &shared.bank,
             &pool.stats(),
             shared.resume.suspended(),
         );
@@ -431,6 +501,90 @@ fn metrics_loop(listener: &TcpListener, pool: &Arc<EnginePool>, shared: &Arc<Ser
         );
         let _ = stream.write_all(response.as_bytes());
     }
+}
+
+/// The bank producer: turns idle gate-engine capacity into pre-garbled
+/// inventory. Each pass it looks for a cache-resident key whose shelf
+/// has room, garbles **one** instance for it on the shared pool, and
+/// re-checks the pool between instances — so the moment real sessions
+/// queue, production stops and the engines go back to serving. Keys are
+/// refilled round-robin (one instance per pass, first-unfilled-wins over
+/// the resident list), and the loop exits for good when the server
+/// starts draining: a drain stops restocking but keeps serving whatever
+/// the shelves still hold.
+fn bank_producer_loop(pool: &Weak<EnginePool>, shared: &Arc<ServerShared>) {
+    // One interval of warm-up before the first pass: the producer is a
+    // background trickle, not a startup burst, and operators (and tests)
+    // that stock shelves explicitly via `Server::prefill` must never
+    // race it — a long `bank_refill_interval` keeps it inert for good.
+    if !bank_producer_pace(shared) {
+        return;
+    }
+    loop {
+        if shared.draining.load(Ordering::SeqCst) || !shared.accepting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Some(pool) = pool.upgrade() else { break };
+        // Only produce when the pool is genuinely idle for sessions:
+        // nothing queued, and at least one engine free. `engines -
+        // active_jobs` is exactly the capacity a session is not using.
+        let stats = pool.stats();
+        let idle = stats.queued_jobs == 0 && stats.active_jobs < stats.engines;
+        let mut produced = false;
+        if idle {
+            for key in shared.cache.resident_keys() {
+                if !shared.bank.needs_refill(key) {
+                    continue;
+                }
+                let (kind, scale, reorder) = key;
+                let cached = shared.cache.get(kind, scale, reorder);
+                if bank_garble_one(shared, &pool, key, &cached) {
+                    produced = true;
+                    break; // one instance per pass: re-check idleness
+                }
+            }
+        }
+        drop(pool);
+        if !produced && !bank_producer_pace(shared) {
+            return;
+        }
+    }
+}
+
+/// Sleeps one refill interval in slices, waking early — with `false` —
+/// the moment the server drains or stops accepting, so a long interval
+/// never delays the shutdown-time join.
+fn bank_producer_pace(shared: &ServerShared) -> bool {
+    let deadline = Instant::now() + shared.config.bank_refill_interval;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) || !shared.accepting.load(Ordering::SeqCst) {
+            return false;
+        }
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else { return true };
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+/// Garbles one fresh instance of `key` on the pool and deposits it.
+/// Every instance draws from its own deterministic RNG stream
+/// (`bank_seed + seq`), so Δ and the input labels are fresh per
+/// deposit. Plans with out-of-range reads are not bankable (the
+/// pre-garbler is plan-driven and refuses them), so those keys always
+/// miss and fall back to online garbling.
+fn bank_garble_one(
+    shared: &ServerShared,
+    pool: &EnginePool,
+    key: BankKey,
+    cached: &CachedWorkload,
+) -> bool {
+    let plan = cached.plan();
+    if plan.program.has_oor() {
+        return false;
+    }
+    let seq = shared.bank.next_seq();
+    let mut rng = StdRng::seed_from_u64(shared.config.bank_seed.wrapping_add(seq));
+    let instance = haac_gc::garble_plan_in(&plan.program, &mut rng, cached.config.scheme, pool);
+    shared.bank.deposit(key, instance)
 }
 
 /// Refuses a connection pre-registration: writes the typed busy ack
@@ -602,36 +756,59 @@ fn session_body(
         .with_ot_mode(ot_mode);
     let session_start = Instant::now();
     let mut rng = StdRng::seed_from_u64(request.seed);
-    let report = run_garbler_resumable(
-        &cached.workload.circuit,
-        &cached.workload.garbler_bits,
-        &mut rng,
-        &config,
-        channel,
-        |_err, _produced| {
-            // Only resume-safe mid-stream failures reach here. Park
-            // under the session's ticket and wait (bounded) for the
-            // evaluator to reconnect — unless the ticket was never
-            // issued or the server is draining (no *new* suspensions
-            // once drain starts).
-            let ticket = ticket?;
-            if shared.draining.load(Ordering::SeqCst) {
-                return None;
+    // The suspension policy, shared by both serving paths (a banked
+    // session suspends and resumes exactly like an online one — resume
+    // is byte replay either way). Only resume-safe mid-stream failures
+    // reach here. Park under the session's ticket and wait (bounded)
+    // for the evaluator to reconnect — unless the ticket was never
+    // issued or the server is draining (no *new* suspensions once
+    // drain starts).
+    let park = |_err: &RuntimeError, _produced: u64| {
+        let ticket = ticket?;
+        if shared.draining.load(Ordering::SeqCst) {
+            return None;
+        }
+        let parked = shared.resume.park(ticket)?;
+        let parked_at = Instant::now();
+        match parked.wait(shared.config.resume_ttl) {
+            ResumeWait::Resumed(handoff) => {
+                shared.metrics.record_resume(parked_at.elapsed().as_micros() as u64);
+                Some((handoff.channel, handoff.next_seq))
             }
-            let parked = shared.resume.park(ticket)?;
-            let parked_at = Instant::now();
-            match parked.wait(shared.config.resume_ttl) {
-                ResumeWait::Resumed(handoff) => {
-                    shared.metrics.record_resume(parked_at.elapsed().as_micros() as u64);
-                    Some((handoff.channel, handoff.next_seq))
-                }
-                ResumeWait::Expired | ResumeWait::Evicted => {
-                    shared.metrics.record_resume_eviction();
-                    None
-                }
+            ResumeWait::Expired | ResumeWait::Evicted => {
+                shared.metrics.record_resume_eviction();
+                None
             }
-        },
-    )?;
+        }
+    };
+    // The serving-tier split: claim a pre-garbled instance for this
+    // exact key and stream it from storage (only the OT/input phase
+    // computes online), or fall back to garbling online on a miss. The
+    // claim *moves* the instance out of the bank — one-time-use — and
+    // the evaluator cannot tell the tiers apart: same header, same
+    // framing, same labels-for-its-bits, same decode.
+    let banked = shared.bank.claim((kind, request.scale, reorder));
+    let from_bank = banked.is_some();
+    let report = if let Some(instance) = banked {
+        run_garbler_banked(
+            &cached.workload.circuit,
+            &cached.workload.garbler_bits,
+            instance,
+            &mut rng,
+            &config,
+            channel,
+            park,
+        )?
+    } else {
+        run_garbler_resumable(
+            &cached.workload.circuit,
+            &cached.workload.garbler_bits,
+            &mut rng,
+            &config,
+            channel,
+            park,
+        )?
+    };
     // The service computes the canonical VIP sample: the outputs the
     // evaluator shares back must decode to the plaintext reference, so
     // every completed session doubles as an end-to-end correctness
@@ -642,6 +819,10 @@ fn session_body(
             kind.name()
         )));
     }
-    shared.metrics.record_session(kind.name(), reorder, session_start.elapsed().as_micros() as u64);
+    let wall_us = session_start.elapsed().as_micros() as u64;
+    if from_bank {
+        shared.metrics.record_bank_hit(wall_us);
+    }
+    shared.metrics.record_session(kind.name(), reorder, wall_us);
     Ok(SessionVerdict::Completed(report))
 }

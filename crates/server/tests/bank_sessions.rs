@@ -1,0 +1,306 @@
+//! Instance-bank integration tests: the serving-tier contract end to
+//! end.
+//!
+//! A bank-served session must be indistinguishable to its evaluator
+//! from an online-garbled one (same outputs, same table counts, same
+//! byte counts) while doing **zero** online cipher work on the garbler
+//! side; claims are strictly one-time-use; the background producer
+//! restocks only from idle engine capacity and stops for good when the
+//! server drains — without un-serving whatever the shelves still hold;
+//! and a banked session cut mid-stream resumes by byte replay exactly
+//! like an online one.
+
+use std::time::{Duration, Instant};
+
+use haac_gc::CryptoCounters;
+use haac_runtime::{FaultChannel, FaultSpec, ReorderKind};
+use haac_server::SessionRequest;
+use haac_server::{client, BankKey, Server, ServerConfig};
+use haac_workloads::{Scale, WorkloadKind};
+
+fn request(name: &str, seed: u64) -> SessionRequest {
+    SessionRequest::new(name, Scale::Small, seed)
+}
+
+/// A banked server whose producer never interferes with the test's own
+/// prefills: the refill interval is effectively infinite (the sliced
+/// sleep keeps shutdown prompt anyway).
+fn prefill_only_config(workers: usize, bank_capacity: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        bank_capacity,
+        bank_refill_interval: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    }
+}
+
+fn poll_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    done()
+}
+
+#[test]
+fn all_vip_workloads_serve_from_the_bank_indistinguishably() {
+    // Two fresh servers, same requests: one serves every session from a
+    // prefilled bank, the other garbles online. The client-observed
+    // sessions must be identical in outputs and in shape (tables,
+    // chunks, bytes) — the evaluator cannot tell the tiers apart — and
+    // the banked garbler must report zero online cipher work.
+    let online = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let banked = Server::new(prefill_only_config(2, 1));
+    for &kind in &WorkloadKind::ALL {
+        assert_eq!(
+            banked.prefill(kind, Scale::Small, ReorderKind::Baseline, 1),
+            1,
+            "{} must be bankable at Small/Baseline",
+            kind.name()
+        );
+    }
+    assert_eq!(banked.bank().depth(), WorkloadKind::ALL.len());
+    for (i, &kind) in WorkloadKind::ALL.iter().enumerate() {
+        let req = request(kind.name(), 9_000 + i as u64);
+        let mut channel = online.connect();
+        let from_compute = client::run_session(&mut channel, &req)
+            .unwrap_or_else(|e| panic!("{} online: {e}", kind.name()));
+        let mut channel = banked.connect();
+        let from_storage = client::run_session(&mut channel, &req)
+            .unwrap_or_else(|e| panic!("{} banked: {e}", kind.name()));
+        assert_eq!(from_storage.outputs, from_compute.outputs, "{}", kind.name());
+        assert_eq!(from_storage.tables, from_compute.tables, "{}", kind.name());
+        assert_eq!(from_storage.table_chunks, from_compute.table_chunks, "{}", kind.name());
+        assert_eq!(
+            from_storage.bytes_received,
+            from_compute.bytes_received,
+            "{}: the wire transcript must have the same shape",
+            kind.name()
+        );
+    }
+    assert_eq!(banked.bank().hits(), WorkloadKind::ALL.len() as u64, "every session must hit");
+    assert_eq!(banked.bank().misses(), 0);
+    assert_eq!(banked.bank().depth(), 0, "claims are moves: the shelves must be empty");
+    assert!(banked.registry().wait_drained(Duration::from_secs(30)));
+    assert!(online.registry().wait_drained(Duration::from_secs(30)));
+    // Garbler-side cost split: storage-served sessions did no cipher
+    // work on the request path; online ones did plenty.
+    for outcome in banked.registry().outcomes() {
+        let report = outcome.result.as_ref().expect("banked session completes");
+        assert_eq!(
+            report.crypto,
+            CryptoCounters::default(),
+            "{}: a bank hit must not touch AES online",
+            outcome.workload
+        );
+    }
+    for outcome in online.registry().outcomes() {
+        let report = outcome.result.as_ref().expect("online session completes");
+        assert_ne!(report.crypto, CryptoCounters::default(), "{}", outcome.workload);
+    }
+    // The metrics plane agrees with the bank's own counters.
+    let samples = haac_telemetry::parse(&banked.metrics_snapshot()).expect("snapshot parses");
+    let gauge = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+    assert_eq!(gauge("haac_bank_hits"), Some(WorkloadKind::ALL.len() as f64));
+    assert_eq!(gauge("haac_bank_misses"), Some(0.0));
+    assert_eq!(gauge("haac_bank_depth"), Some(0.0));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "haac_bank_hit_wall_us_count"
+            && s.value == WorkloadKind::ALL.len() as f64));
+    banked.shutdown();
+    online.shutdown();
+}
+
+#[test]
+fn empty_shelves_fall_back_to_online_garbling() {
+    // Bank enabled but never stocked: every session is a counted miss
+    // that serves fine from compute.
+    let server = Server::new(prefill_only_config(1, 2));
+    let mut channel = server.connect();
+    client::run_session(&mut channel, &request("DotProd", 17)).expect("miss must fall back");
+    assert_eq!((server.bank().hits(), server.bank().misses()), (0, 1));
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+}
+
+#[test]
+fn producer_restocks_shelves_from_idle_capacity() {
+    // A live producer with a resident key and an idle pool must fill
+    // the shelf on its own, and restock it again after a claim.
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        bank_capacity: 2,
+        bank_refill_interval: Duration::from_millis(1),
+        ..ServerConfig::default()
+    });
+    let key: BankKey = (WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+    server.cache().get(key.0, key.1, key.2);
+    assert!(
+        poll_until(Duration::from_secs(30), || server.bank().depth_of(key) == 2),
+        "the producer must fill the resident key's shelf, depth={}",
+        server.bank().depth_of(key)
+    );
+    let mut channel = server.connect();
+    client::run_session(&mut channel, &request("DotProd", 23)).expect("banked session succeeds");
+    assert_eq!(server.bank().hits(), 1);
+    assert!(
+        poll_until(Duration::from_secs(30), || server.bank().depth_of(key) == 2),
+        "the producer must restock after a claim"
+    );
+    assert!(server.bank().refills() >= 3, "two fills plus at least one restock");
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn drain_stops_restocking_but_keeps_serving_the_shelves() {
+    // Drain semantics for the bank: the producer exits the moment the
+    // drain begins, but instances already banked keep being claimed by
+    // sessions admitted before the drain — inventory is served out, not
+    // discarded.
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        bank_capacity: 1,
+        bank_refill_interval: Duration::from_millis(1),
+        ..ServerConfig::default()
+    });
+    let key: BankKey = (WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline);
+    server.cache().get(key.0, key.1, key.2);
+    assert!(
+        poll_until(Duration::from_secs(30), || server.bank().depth_of(key) == 1),
+        "the producer must stock the shelf before the drain"
+    );
+    // Admitted before the drain; its client only talks afterwards.
+    let mut admitted = server.connect();
+    server.begin_drain();
+    let report = client::run_session(&mut admitted, &request("DotProd", 29))
+        .expect("a pre-drain session must be served from the shelf");
+    assert!(!report.outputs.is_empty());
+    assert_eq!(server.bank().hits(), 1, "the drained server must still serve from storage");
+    // The shelf is now empty; a producer still alive would restock it
+    // within a millisecond or two. It must not.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(server.bank().depth(), 0, "drain must stop restocking");
+    let refills = server.bank().refills();
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(server.bank().refills(), refills, "no deposit may land after the drain");
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.active, 0);
+}
+
+#[test]
+fn banked_sessions_resume_mid_stream_cuts_by_replay() {
+    // Satellite (c): chaos cuts against bank-served sessions. Each cut
+    // lands inside the table stream of a session serving a pre-garbled
+    // instance; the session must suspend, resume over the reconnect,
+    // and land on the uncut outputs — with the garbler replaying stored
+    // frames, never re-garbling (its online cipher count stays zero
+    // even across the resume).
+    let policy = |seed: u64| client::RetryPolicy {
+        max_attempts: 8,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed,
+        resume_attempts: 4,
+    };
+    // Calibrate the op count and reference outputs on a throwaway
+    // online server — the banked transcript has the same shape.
+    let (workload, config) = client::prepare(WorkloadKind::DotProduct, Scale::Small);
+    let req = request("DotProd", 31);
+    let calibration = Server::new(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let mut clean = FaultChannel::new(calibration.connect(), FaultSpec::default(), 1);
+    let baseline = client::run_session_with(&mut clean, &req, &workload, &config)
+        .expect("calibration session succeeds");
+    let total_ops = clean.ops();
+    calibration.shutdown();
+
+    // Cuts across the back half of the session — squarely inside the
+    // table stream for some, near the decode tail for others.
+    let cuts = [total_ops - 4, total_ops - 10, total_ops * 3 / 4, total_ops / 2];
+    let mut resumed_total = 0u64;
+    for (i, &cut) in cuts.iter().enumerate() {
+        let mut server_config = prefill_only_config(2, 1);
+        server_config.resume_ttl = Duration::from_secs(2);
+        let server = Server::new(server_config);
+        assert_eq!(
+            server.prefill(WorkloadKind::DotProduct, Scale::Small, ReorderKind::Baseline, 1),
+            1
+        );
+        let mut first = true;
+        let (result, stats) = client::run_session_retrying(
+            || {
+                let spec = if first { FaultSpec::cut_at_op(cut) } else { FaultSpec::default() };
+                first = false;
+                Ok(FaultChannel::new(server.connect(), spec, cut))
+            },
+            &req,
+            &workload,
+            &config,
+            &policy(0xBA2C + i as u64),
+            None,
+        );
+        let report =
+            result.unwrap_or_else(|e| panic!("cut at op {cut}/{total_ops} must land: {e}"));
+        assert_eq!(report.outputs, baseline.outputs, "cut {cut}");
+        assert_eq!(report.tables, baseline.tables, "cut {cut}");
+        assert_eq!(stats.resume_failures, 0, "cut {cut}");
+        resumed_total += u64::from(stats.resumes);
+        assert!(server.registry().wait_drained(Duration::from_secs(30)));
+        if stats.resumes > 0 {
+            // The resumed session was the banked one (capacity 1, and
+            // mid-stream cuts continue the same session instance).
+            assert_eq!(server.bank().hits(), 1, "cut {cut}");
+            let outcomes = server.registry().outcomes();
+            let resumed = outcomes
+                .iter()
+                .filter_map(|o| o.result.as_ref().ok())
+                .find(|r| r.resumes > 0)
+                .expect("a resumed garbler outcome");
+            assert!(resumed.replayed_frames >= 1, "cut {cut}: resume must replay the buffer");
+            assert_eq!(
+                resumed.crypto,
+                CryptoCounters::default(),
+                "cut {cut}: a banked resume must never re-garble"
+            );
+        }
+        server.shutdown();
+    }
+    assert!(resumed_total >= 1, "the sweep must land at least one cut inside the stream");
+}
+
+mod banked_freshness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Satellite (b): for any producer seed, two banked instances of
+        /// the same key share nothing — fresh Δ, fresh input labels,
+        /// fresh tables — and the second claim of each is impossible
+        /// (the shelf is empty once both moves happened).
+        #[test]
+        fn instances_of_one_key_are_cryptographically_fresh(seed in any::<u64>()) {
+            let server = Server::new(ServerConfig {
+                bank_seed: seed,
+                ..super::prefill_only_config(1, 2)
+            });
+            let key: BankKey = (WorkloadKind::Hamming, Scale::Small, ReorderKind::Baseline);
+            prop_assert_eq!(server.prefill(key.0, key.1, key.2, 2), 2);
+            let first = server.bank().claim(key).expect("first claim");
+            let second = server.bank().claim(key).expect("second claim");
+            // Fresh Δ and fresh input labels per instance.
+            prop_assert_ne!(&first.delta, &second.delta);
+            prop_assert_ne!(&first.input_zero_labels, &second.input_zero_labels);
+            prop_assert_ne!(&first.tables, &second.tables);
+            prop_assert!(server.bank().claim(key).is_none(), "a third claim must miss");
+            server.shutdown();
+        }
+    }
+}

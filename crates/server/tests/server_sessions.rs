@@ -251,6 +251,57 @@ fn metrics_snapshot_is_parseable_mid_session_and_over_tcp() {
 }
 
 #[test]
+fn mid_load_scrape_reports_nonzero_throughput_and_utilization() {
+    // Regression: BENCH_server.json's mid-load snapshot used to report
+    // gates_per_sec 0 and pool_utilization 0 — the scrape fired before
+    // any session had streamed, and worker busy time only accumulated
+    // at job completion. Pin one worker with a session that is
+    // genuinely in flight, finish a real session, and the live gauges
+    // must all be nonzero *mid-load* (the pinned session still holds
+    // its worker when the scrape runs).
+    let server = Server::new(ServerConfig { workers: 2, ..ServerConfig::default() });
+    // A connected client that never speaks: its session sits in the
+    // handshake read, holding a worker — in-flight busy time the old
+    // completion-only accounting was blind to.
+    let pinned = server.connect();
+    let gauge = |samples: &[haac_telemetry::Sample], name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from the snapshot"))
+            .value
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let samples = haac_telemetry::parse(&server.metrics_snapshot()).expect("snapshot parses");
+        if gauge(&samples, "haac_active_sessions") >= 1.0
+            && gauge(&samples, "haac_pool_utilization") > 0.0
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "an in-flight session must show up as active + busy:\n{}",
+            server.metrics_snapshot()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Real throughput on the free worker; the gates rate is a sliding
+    // 10s window, so it is still live right after the session lands.
+    let mut channel = server.connect();
+    client::run_session(&mut channel, &request("DotProd", 600)).expect("session succeeds");
+    let samples = haac_telemetry::parse(&server.metrics_snapshot()).expect("snapshot parses");
+    assert!(gauge(&samples, "haac_gates_per_sec") > 0.0, "completed work must show a gates rate");
+    assert!(gauge(&samples, "haac_pool_utilization") > 0.0, "the pinned worker is still busy");
+    assert!(gauge(&samples, "haac_active_sessions") >= 1.0);
+    drop(pinned);
+    assert!(server.registry().wait_drained(Duration::from_secs(30)));
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 1, "the pinned session fails when its client hangs up");
+}
+
+#[test]
 fn stall_attribution_reconciles_with_the_streaming_wall_clock() {
     // The server's resumable garbler streams serially (the replay
     // buffer must see frames in wire order), so its compute and send
